@@ -1,0 +1,347 @@
+//! Exact branch-and-bound for *P_AW*.
+//!
+//! The core-assignment problem is scheduling `N` independent jobs on `B`
+//! unrelated parallel machines to minimize makespan (the paper bases its
+//! heuristic on exactly this view, citing Brucker). This module solves
+//! it *exactly* by depth-first branch-and-bound:
+//!
+//! * the incumbent is seeded with the `Core_assign` heuristic;
+//! * cores are branched in decreasing order of their cheapest time
+//!   (big rocks first);
+//! * nodes are pruned by three lower bounds (current makespan, average
+//!   load, the largest remaining per-core minimum) and by symmetry
+//!   (equal-width TAMs with equal loads are interchangeable);
+//! * node and wall-clock limits make it safe inside enumeration loops.
+//!
+//! It plays the role the ILP of the paper's reference [8] plays for the
+//! exhaustive baseline, at far higher speed; the literal ILP model lives
+//! in [`crate::ilp`] and is cross-checked against this solver in tests.
+
+use std::time::{Duration, Instant};
+
+use crate::{core_assign, AssignError, AssignResult, CoreAssignOptions, CostMatrix};
+
+/// Limits for [`solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactConfig {
+    /// Maximum number of branch-and-bound nodes (partial assignments).
+    pub node_limit: u64,
+    /// Optional wall-clock limit.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig {
+            node_limit: 50_000_000,
+            time_limit: None,
+        }
+    }
+}
+
+impl ExactConfig {
+    /// Config with a wall-clock limit.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        ExactConfig {
+            time_limit: Some(limit),
+            ..Self::default()
+        }
+    }
+}
+
+/// An exact (or limit-truncated best-known) solution to *P_AW*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactSolution {
+    /// The best assignment found.
+    pub result: AssignResult,
+    /// Nodes explored.
+    pub nodes: u64,
+    /// Whether the search completed (true) or hit a limit with the
+    /// incumbent in hand (false).
+    pub proven_optimal: bool,
+}
+
+/// Solves *P_AW* exactly by branch-and-bound (up to the configured
+/// limits).
+///
+/// # Errors
+///
+/// Never fails for a well-formed [`CostMatrix`]; the heuristic incumbent
+/// guarantees a feasible solution even at `node_limit == 0`. The error
+/// type is kept for parity with the other solvers.
+///
+/// # Example
+///
+/// ```
+/// use tamopt_assign::exact::{solve, ExactConfig};
+/// use tamopt_assign::CostMatrix;
+/// use tamopt_soc::benchmarks;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (widths, times) = benchmarks::figure2_cost_table();
+/// let costs = CostMatrix::from_raw(times, widths)?;
+/// let sol = solve(&costs, &ExactConfig::default())?;
+/// assert!(sol.proven_optimal);
+/// assert!(sol.result.soc_time() <= 200); // heuristic achieves 200
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve(costs: &CostMatrix, config: &ExactConfig) -> Result<ExactSolution, AssignError> {
+    let n = costs.num_cores();
+    let b = costs.num_tams();
+    let start = Instant::now();
+
+    // Incumbent from the heuristic (always completes without a bound).
+    let seed = core_assign(costs, None, &CoreAssignOptions::default())
+        .into_result()
+        .expect("unbounded core_assign always completes");
+    let mut best_time = seed.soc_time();
+    let mut best_assignment = seed.assignment().to_vec();
+
+    // Branch order: cheapest-possible time, decreasing.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(costs.min_time(c)));
+
+    // Suffix bounds over the branch order.
+    let mut suffix_min_sum = vec![0u64; n + 1];
+    let mut suffix_max_min = vec![0u64; n + 1];
+    for i in (0..n).rev() {
+        let m = costs.min_time(order[i]);
+        suffix_min_sum[i] = suffix_min_sum[i + 1] + m;
+        suffix_max_min[i] = suffix_max_min[i + 1].max(m);
+    }
+
+    struct Search<'a> {
+        costs: &'a CostMatrix,
+        order: &'a [usize],
+        suffix_min_sum: &'a [u64],
+        suffix_max_min: &'a [u64],
+        loads: Vec<u64>,
+        current: Vec<usize>,
+        best_time: u64,
+        best_assignment: Vec<usize>,
+        nodes: u64,
+        node_limit: u64,
+        deadline: Option<Instant>,
+        limited: bool,
+    }
+
+    impl Search<'_> {
+        fn dfs(&mut self, depth: usize) {
+            if self.limited {
+                return;
+            }
+            self.nodes += 1;
+            if self.nodes >= self.node_limit
+                || (self.nodes % 4096 == 0 && self.deadline.is_some_and(|d| Instant::now() >= d))
+            {
+                self.limited = true;
+                return;
+            }
+            let b = self.loads.len();
+            let current_max = self.loads.iter().copied().max().expect("non-empty");
+            if depth == self.order.len() {
+                if current_max < self.best_time {
+                    self.best_time = current_max;
+                    self.best_assignment = self.current.clone();
+                }
+                return;
+            }
+            // Lower bounds.
+            let total: u64 = self.loads.iter().sum::<u64>() + self.suffix_min_sum[depth];
+            let avg = total.div_ceil(b as u64);
+            let lb = current_max.max(avg).max(self.suffix_max_min[depth]);
+            if lb >= self.best_time {
+                return;
+            }
+            let core = self.order[depth];
+            // Children ordered by resulting load (most promising first),
+            // with symmetric TAMs (same width, same load) deduplicated.
+            let mut children: Vec<(u64, usize)> = Vec::with_capacity(b);
+            for tam in 0..b {
+                let duplicate = (0..tam).any(|t| {
+                    self.costs.width(t) == self.costs.width(tam) && self.loads[t] == self.loads[tam]
+                });
+                if duplicate {
+                    continue;
+                }
+                let new_load = self.loads[tam] + self.costs.time(core, tam);
+                if new_load < self.best_time {
+                    children.push((new_load, tam));
+                }
+            }
+            children.sort_unstable();
+            for (_, tam) in children {
+                let cost = self.costs.time(core, tam);
+                // Re-check against a possibly improved incumbent.
+                if self.loads[tam] + cost >= self.best_time {
+                    continue;
+                }
+                self.loads[tam] += cost;
+                self.current[depth] = tam;
+                self.dfs(depth + 1);
+                self.loads[tam] -= cost;
+                if self.limited {
+                    return;
+                }
+            }
+        }
+    }
+
+    let mut search = Search {
+        costs,
+        order: &order,
+        suffix_min_sum: &suffix_min_sum,
+        suffix_max_min: &suffix_max_min,
+        loads: vec![0; b],
+        current: vec![0; n],
+        best_time,
+        best_assignment: best_assignment.clone(),
+        nodes: 0,
+        node_limit: config.node_limit.max(1),
+        deadline: config.time_limit.map(|l| start + l),
+        limited: config.node_limit == 0,
+    };
+    search.dfs(0);
+    best_time = search.best_time;
+    // `current` is in branch order; translate back to core order when the
+    // search improved on the seed.
+    if best_time < seed.soc_time() {
+        best_assignment = vec![0; n];
+        for (depth, &core) in order.iter().enumerate() {
+            best_assignment[core] = search.best_assignment[depth];
+        }
+    }
+    let result = AssignResult::from_assignment(best_assignment, costs);
+    debug_assert_eq!(result.soc_time(), best_time);
+    Ok(ExactSolution {
+        result,
+        nodes: search.nodes,
+        proven_optimal: !search.limited,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TamSet;
+    use tamopt_soc::benchmarks;
+    use tamopt_wrapper::TimeTable;
+
+    fn brute_force(costs: &CostMatrix) -> u64 {
+        let n = costs.num_cores();
+        let b = costs.num_tams();
+        let mut best = u64::MAX;
+        let mut assignment = vec![0usize; n];
+        loop {
+            let r = AssignResult::from_assignment(assignment.clone(), costs);
+            best = best.min(r.soc_time());
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == n {
+                    return best;
+                }
+                assignment[i] += 1;
+                if assignment[i] < b {
+                    break;
+                }
+                assignment[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_figure2() {
+        let (widths, times) = benchmarks::figure2_cost_table();
+        let costs = CostMatrix::from_raw(times, widths).unwrap();
+        let expected = brute_force(&costs);
+        let sol = solve(&costs, &ExactConfig::default()).unwrap();
+        assert!(sol.proven_optimal);
+        assert_eq!(sol.result.soc_time(), expected);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_d695_instances() {
+        let soc = benchmarks::d695();
+        let table = TimeTable::new(&soc, 32).unwrap();
+        for widths in [vec![8u32, 24], vec![16, 16], vec![4, 8, 20]] {
+            let tams = TamSet::new(widths.clone()).unwrap();
+            let costs = CostMatrix::from_table(&table, &tams).unwrap();
+            let expected = brute_force(&costs);
+            let sol = solve(&costs, &ExactConfig::default()).unwrap();
+            assert_eq!(sol.result.soc_time(), expected, "widths {widths:?}");
+            assert!(sol.proven_optimal);
+        }
+    }
+
+    #[test]
+    fn never_worse_than_heuristic() {
+        let soc = benchmarks::p93791();
+        let table = TimeTable::new(&soc, 64).unwrap();
+        let tams = TamSet::new([10, 23, 31]).unwrap();
+        let costs = CostMatrix::from_table(&table, &tams).unwrap();
+        let heuristic = core_assign(&costs, None, &CoreAssignOptions::default())
+            .into_result()
+            .unwrap();
+        let sol = solve(&costs, &ExactConfig::default()).unwrap();
+        assert!(sol.result.soc_time() <= heuristic.soc_time());
+    }
+
+    #[test]
+    fn node_limit_zero_returns_heuristic_incumbent() {
+        let (widths, times) = benchmarks::figure2_cost_table();
+        let costs = CostMatrix::from_raw(times, widths).unwrap();
+        let sol = solve(
+            &costs,
+            &ExactConfig {
+                node_limit: 0,
+                time_limit: None,
+            },
+        )
+        .unwrap();
+        assert!(!sol.proven_optimal);
+        assert_eq!(sol.result.soc_time(), 200, "the heuristic's figure-2 time");
+    }
+
+    #[test]
+    fn time_limit_is_respected() {
+        let soc = benchmarks::p93791();
+        let table = TimeTable::new(&soc, 64).unwrap();
+        let tams = TamSet::new([6, 7, 8, 9, 10, 12, 12]).unwrap();
+        let costs = CostMatrix::from_table(&table, &tams).unwrap();
+        let start = std::time::Instant::now();
+        let sol = solve(
+            &costs,
+            &ExactConfig::with_time_limit(Duration::from_millis(50)),
+        )
+        .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(sol.result.soc_time() > 0);
+    }
+
+    #[test]
+    fn single_tam_trivial() {
+        let costs = CostMatrix::from_raw(vec![vec![5], vec![7]], vec![8]).unwrap();
+        let sol = solve(&costs, &ExactConfig::default()).unwrap();
+        assert_eq!(sol.result.soc_time(), 12);
+        assert!(sol.proven_optimal);
+    }
+
+    #[test]
+    fn symmetric_tams_do_not_blow_up() {
+        // 12 cores on 4 identical TAMs: symmetry pruning keeps this tiny.
+        let rows: Vec<Vec<u64>> = (1..=12u64).map(|c| vec![c * 10; 4]).collect();
+        let costs = CostMatrix::from_raw(rows, vec![8, 8, 8, 8]).unwrap();
+        let sol = solve(&costs, &ExactConfig::default()).unwrap();
+        assert!(sol.proven_optimal);
+        // Σ = 780, perfect split = 195; LPT-reachable optimum is 200.
+        assert!(sol.result.soc_time() >= 195);
+        assert!(
+            sol.nodes < 2_000_000,
+            "symmetry pruning failed: {} nodes",
+            sol.nodes
+        );
+    }
+}

@@ -1,0 +1,303 @@
+use crate::{AssignResult, CostMatrix};
+
+/// Tie-break switches of the `Core_assign` heuristic (Figure 1 of the
+/// paper). Both default to on; the ablation benches turn them off to
+/// quantify their contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreAssignOptions {
+    /// Lines 11–12: when several TAMs are equally least-loaded, pick the
+    /// widest (off: pick the lowest index).
+    pub widest_tam_tie_break: bool,
+    /// Lines 14–16: when several cores have the same largest time on the
+    /// selected TAM, compare them on the next-narrower TAM and pick the
+    /// one that would suffer most there (off: pick the lowest index).
+    pub next_tam_tie_break: bool,
+}
+
+impl Default for CoreAssignOptions {
+    fn default() -> Self {
+        CoreAssignOptions {
+            widest_tam_tie_break: true,
+            next_tam_tie_break: true,
+        }
+    }
+}
+
+/// Outcome of [`core_assign`]: either a complete assignment, or an early
+/// abort because some TAM's summed time already reached the caller's
+/// best-known bound `τ` (lines 18–20 of Figure 1 — the pruning that
+/// makes `Partition_evaluate` fast).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreAssignOutcome {
+    /// All cores assigned; the SOC time may or may not beat the bound.
+    Complete(AssignResult),
+    /// Assignment abandoned: the partial makespan already reached the
+    /// best-known bound, which is returned unchanged.
+    Aborted {
+        /// The bound `τ` that triggered the abort.
+        bound: u64,
+    },
+}
+
+impl CoreAssignOutcome {
+    /// The complete result, if the run was not aborted.
+    pub fn into_result(self) -> Option<AssignResult> {
+        match self {
+            CoreAssignOutcome::Complete(r) => Some(r),
+            CoreAssignOutcome::Aborted { .. } => None,
+        }
+    }
+
+    /// The SOC testing time this outcome stands for: the achieved time,
+    /// or the unchanged bound for an aborted run.
+    pub fn soc_time(&self) -> u64 {
+        match self {
+            CoreAssignOutcome::Complete(r) => r.soc_time(),
+            CoreAssignOutcome::Aborted { bound } => *bound,
+        }
+    }
+}
+
+/// The `Core_assign` heuristic of the paper's Figure 1.
+///
+/// Repeatedly selects the least-loaded TAM (tie: widest) and assigns to
+/// it the unassigned core with the largest testing time on that TAM
+/// (tie: the core with the larger time on the next-narrower TAM). If
+/// `bound` is given and any TAM's summed time reaches it, the run aborts
+/// immediately — the partition under evaluation cannot beat the
+/// best-known architecture.
+///
+/// Complexity: `O(N·(N + B))` for `N` cores and `B` TAMs, matching the
+/// paper's `O(N²)` claim for `B ≤ N`.
+///
+/// # Example
+///
+/// The paper's Figure 2 walk-through (5 cores, TAM widths 32/16/8) ends
+/// with per-TAM times 180, 200 and 200 cycles:
+///
+/// ```
+/// use tamopt_assign::{core_assign, CoreAssignOptions, CostMatrix};
+/// use tamopt_soc::benchmarks;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (widths, times) = benchmarks::figure2_cost_table();
+/// let costs = CostMatrix::from_raw(times, widths)?;
+/// let out = core_assign(&costs, None, &CoreAssignOptions::default());
+/// assert_eq!(out.soc_time(), 200);
+/// # Ok(())
+/// # }
+/// ```
+pub fn core_assign(
+    costs: &CostMatrix,
+    bound: Option<u64>,
+    options: &CoreAssignOptions,
+) -> CoreAssignOutcome {
+    let n = costs.num_cores();
+    let b = costs.num_tams();
+    let mut tam_times = vec![0u64; b];
+    let mut assignment = vec![usize::MAX; n];
+    let mut unassigned: Vec<usize> = (0..n).collect();
+
+    while !unassigned.is_empty() {
+        // Lines 10-12: least-loaded TAM, tie broken toward the widest.
+        let tam = (0..b)
+            .min_by_key(|&t| {
+                let width_key = if options.widest_tam_tie_break {
+                    // Larger width wins the tie => smaller key.
+                    u32::MAX - costs.width(t)
+                } else {
+                    0
+                };
+                (tam_times[t], width_key, t)
+            })
+            .expect("at least one tam");
+
+        // Line 13: unassigned core with the largest time on `tam`.
+        let max_time = unassigned
+            .iter()
+            .map(|&c| costs.time(c, tam))
+            .max()
+            .expect("unassigned is non-empty");
+        let tied: Vec<usize> = unassigned
+            .iter()
+            .copied()
+            .filter(|&c| costs.time(c, tam) == max_time)
+            .collect();
+        let core = if tied.len() >= 2 && options.next_tam_tie_break {
+            // Lines 14-16: compare the tied cores on the next-narrower
+            // TAM (the widest TAM strictly narrower than `tam`).
+            let narrower = (0..b)
+                .filter(|&t| costs.width(t) < costs.width(tam))
+                .max_by_key(|&t| (costs.width(t), usize::MAX - t));
+            match narrower {
+                Some(next) => tied
+                    .iter()
+                    .copied()
+                    .max_by_key(|&c| (costs.time(c, next), usize::MAX - c))
+                    .expect("tied is non-empty"),
+                None => tied[0],
+            }
+        } else {
+            tied[0]
+        };
+
+        // Line 17: assign.
+        assignment[core] = tam;
+        tam_times[tam] += costs.time(core, tam);
+        unassigned.retain(|&c| c != core);
+
+        // Lines 18-20: abort against the best-known bound.
+        if let Some(tau) = bound {
+            let worst = tam_times.iter().copied().max().expect("non-empty");
+            if worst >= tau {
+                return CoreAssignOutcome::Aborted { bound: tau };
+            }
+        }
+    }
+    CoreAssignOutcome::Complete(AssignResult::from_assignment(assignment, costs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamopt_soc::benchmarks;
+
+    fn figure2() -> CostMatrix {
+        let (widths, times) = benchmarks::figure2_cost_table();
+        CostMatrix::from_raw(times, widths).unwrap()
+    }
+
+    /// The worked example of the paper's Figure 2, step by step.
+    #[test]
+    fn figure2_example() {
+        let costs = figure2();
+        let out = core_assign(&costs, None, &CoreAssignOptions::default());
+        let result = out.into_result().expect("no bound");
+        // Final assignment per Figure 2(b): cores 1..5 on TAMs 2,3,2,1,1.
+        assert_eq!(result.assignment(), &[1, 2, 1, 0, 0]);
+        assert_eq!(result.assignment_vector(), "(2,3,2,1,1)");
+        // "The testing times on TAMs 1, 2, and 3 are 180, 200, and 200".
+        assert_eq!(result.tam_times(), &[180, 200, 200]);
+        assert_eq!(result.soc_time(), 200);
+    }
+
+    #[test]
+    fn next_tam_tie_break_matters() {
+        // Two cores tie at 100 on the wide TAM, but core 1 would suffer
+        // far more on the narrow TAM — the Line 14-16 rule must grab it
+        // first, halving the final makespan's penalty.
+        let costs =
+            CostMatrix::from_raw(vec![vec![100, 150], vec![100, 200]], vec![16, 8]).unwrap();
+        let with = core_assign(&costs, None, &CoreAssignOptions::default())
+            .into_result()
+            .unwrap();
+        assert_eq!(with.assignment(), &[1, 0], "core 1 takes the wide TAM");
+        assert_eq!(with.soc_time(), 150);
+        let without = core_assign(
+            &costs,
+            None,
+            &CoreAssignOptions {
+                widest_tam_tie_break: true,
+                next_tam_tie_break: false,
+            },
+        )
+        .into_result()
+        .unwrap();
+        assert_eq!(
+            without.assignment(),
+            &[0, 1],
+            "index order grabs core 0 instead"
+        );
+        assert_eq!(without.soc_time(), 200);
+    }
+
+    #[test]
+    fn widest_tam_tie_break_matters() {
+        // One big core: at all-zero loads the widest TAM must be chosen
+        // so the big core lands on the fast TAM.
+        let costs = CostMatrix::from_raw(vec![vec![100, 400]], vec![32, 8]).unwrap();
+        let with = core_assign(&costs, None, &CoreAssignOptions::default())
+            .into_result()
+            .unwrap();
+        assert_eq!(with.assignment(), &[0]);
+        assert_eq!(with.soc_time(), 100);
+        // With the widths ordered narrow-first and the tie-break off, the
+        // first (narrow) TAM wins the tie.
+        let costs_rev = CostMatrix::from_raw(vec![vec![400, 100]], vec![8, 32]).unwrap();
+        let without = core_assign(
+            &costs_rev,
+            None,
+            &CoreAssignOptions {
+                widest_tam_tie_break: false,
+                next_tam_tie_break: true,
+            },
+        )
+        .into_result()
+        .unwrap();
+        assert_eq!(without.assignment(), &[0], "lowest index = narrow TAM");
+        assert_eq!(without.soc_time(), 400);
+    }
+
+    #[test]
+    fn abort_on_bound() {
+        let costs = figure2();
+        // Optimal-ish time is 200; a bound of 100 must abort.
+        let out = core_assign(&costs, Some(100), &CoreAssignOptions::default());
+        assert_eq!(out, CoreAssignOutcome::Aborted { bound: 100 });
+        assert_eq!(out.soc_time(), 100);
+        assert!(out.into_result().is_none());
+    }
+
+    #[test]
+    fn generous_bound_does_not_abort() {
+        let costs = figure2();
+        let out = core_assign(&costs, Some(1_000_000), &CoreAssignOptions::default());
+        assert!(matches!(out, CoreAssignOutcome::Complete(_)));
+    }
+
+    #[test]
+    fn boundary_bound_equal_aborts() {
+        // Abort uses >=: reaching exactly the bound cannot improve on it.
+        let costs = figure2();
+        let out = core_assign(&costs, Some(120), &CoreAssignOptions::default());
+        // Core 5 -> TAM 1 yields exactly 120 at the first step.
+        assert_eq!(out, CoreAssignOutcome::Aborted { bound: 120 });
+    }
+
+    #[test]
+    fn assigns_every_core_exactly_once() {
+        let soc = benchmarks::d695();
+        let table = tamopt_wrapper::TimeTable::new(&soc, 64).unwrap();
+        let tams = crate::TamSet::new([16, 32, 8, 8]).unwrap();
+        let costs = CostMatrix::from_table(&table, &tams).unwrap();
+        let result = core_assign(&costs, None, &CoreAssignOptions::default())
+            .into_result()
+            .unwrap();
+        assert_eq!(result.assignment().len(), 10);
+        assert!(result.assignment().iter().all(|&t| t < 4));
+        // Per-TAM times recompute consistently.
+        let expect = AssignResult::from_assignment(result.assignment().to_vec(), &costs);
+        assert_eq!(expect.soc_time(), result.soc_time());
+    }
+
+    #[test]
+    fn single_tam_sums_everything() {
+        let soc = benchmarks::d695();
+        let table = tamopt_wrapper::TimeTable::new(&soc, 16).unwrap();
+        let tams = crate::TamSet::new([16]).unwrap();
+        let costs = CostMatrix::from_table(&table, &tams).unwrap();
+        let result = core_assign(&costs, None, &CoreAssignOptions::default())
+            .into_result()
+            .unwrap();
+        let total: u64 = (0..10).map(|c| costs.time(c, 0)).sum();
+        assert_eq!(result.soc_time(), total);
+    }
+
+    #[test]
+    fn deterministic() {
+        let costs = figure2();
+        let a = core_assign(&costs, None, &CoreAssignOptions::default());
+        let b = core_assign(&costs, None, &CoreAssignOptions::default());
+        assert_eq!(a, b);
+    }
+}

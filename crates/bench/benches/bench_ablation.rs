@@ -1,0 +1,111 @@
+//! Ablations of the design choices the paper calls out (see DESIGN.md):
+//! the `Core_assign` tie-breaks, the tau-abort (pruning level 2),
+//! unique-partition enumeration vs naive compositions (pruning level 1),
+//! and the final exact step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tamopt::assign::{core_assign, CoreAssignOptions, CostMatrix, TamSet};
+use tamopt::partition::enumerate::{Compositions, Partitions};
+use tamopt::partition::pipeline::{co_optimize, FinalStep, PipelineConfig};
+use tamopt::partition::{partition_evaluate, EvaluateConfig};
+use tamopt::{benchmarks, TimeTable};
+
+fn bench_tiebreak_ablation(c: &mut Criterion) {
+    let table = TimeTable::new(&benchmarks::p93791(), 64).expect("width 64 is valid");
+    let tams = TamSet::new([10, 23, 31]).expect("widths are positive");
+    let costs = CostMatrix::from_table(&table, &tams).expect("within table");
+    let mut group = c.benchmark_group("ablation_tiebreak");
+    for (name, opts) in [
+        ("full", CoreAssignOptions::default()),
+        (
+            "no_next_tam",
+            CoreAssignOptions {
+                widest_tam_tie_break: true,
+                next_tam_tie_break: false,
+            },
+        ),
+        (
+            "no_tiebreaks",
+            CoreAssignOptions {
+                widest_tam_tie_break: false,
+                next_tam_tie_break: false,
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(core_assign(&costs, None, &opts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_prune_ablation(c: &mut Criterion) {
+    let table = TimeTable::new(&benchmarks::p21241(), 48).expect("width 48 is valid");
+    let mut group = c.benchmark_group("ablation_tau_abort");
+    group.sample_size(10);
+    group.bench_function("with_abort", |b| {
+        b.iter(|| {
+            black_box(partition_evaluate(
+                &table,
+                48,
+                &EvaluateConfig::up_to_tams(6),
+            ))
+        })
+    });
+    group.bench_function("without_abort", |b| {
+        b.iter(|| {
+            black_box(partition_evaluate(
+                &table,
+                48,
+                &EvaluateConfig {
+                    prune: false,
+                    ..EvaluateConfig::up_to_tams(6)
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_enumeration_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_enumeration_W40_B4");
+    group.bench_function("unique_partitions", |b| {
+        b.iter(|| black_box(Partitions::new(40, 4).count()))
+    });
+    group.bench_function("naive_compositions", |b| {
+        b.iter(|| black_box(Compositions::new(40, 4).count()))
+    });
+    group.finish();
+}
+
+fn bench_final_step_ablation(c: &mut Criterion) {
+    let table = TimeTable::new(&benchmarks::d695(), 48).expect("width 48 is valid");
+    let mut group = c.benchmark_group("ablation_final_step_d695_W48");
+    group.sample_size(10);
+    group.bench_function("heuristic_only", |b| {
+        b.iter(|| {
+            black_box(co_optimize(
+                &table,
+                48,
+                &PipelineConfig {
+                    final_step: FinalStep::None,
+                    ..PipelineConfig::up_to_tams(5)
+                },
+            ))
+        })
+    });
+    group.bench_function("with_final_step", |b| {
+        b.iter(|| black_box(co_optimize(&table, 48, &PipelineConfig::up_to_tams(5))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tiebreak_ablation,
+    bench_prune_ablation,
+    bench_enumeration_ablation,
+    bench_final_step_ablation
+);
+criterion_main!(benches);

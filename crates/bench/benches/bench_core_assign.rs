@@ -1,0 +1,76 @@
+//! Headline CPU-time claim: `Core_assign` runs orders of magnitude
+//! faster than the exact *P_AW* solvers (the paper reports two orders of
+//! magnitude vs its ILP).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tamopt::assign::exact::{self, ExactConfig};
+use tamopt::assign::ilp::{self, IlpAssignConfig};
+use tamopt::assign::{core_assign, CoreAssignOptions, CostMatrix, TamSet};
+use tamopt::{benchmarks, Soc, TimeTable};
+
+fn costs_for(soc: &Soc, widths: &[u32]) -> CostMatrix {
+    let table = TimeTable::new(soc, 64).expect("width 64 is valid");
+    let tams = TamSet::new(widths.iter().copied()).expect("widths are positive");
+    CostMatrix::from_table(&table, &tams).expect("widths within the table")
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let cases = [
+        ("d695_16+16", benchmarks::d695(), vec![16u32, 16]),
+        ("d695_9+16+23", benchmarks::d695(), vec![9, 16, 23]),
+        ("p93791_23+41", benchmarks::p93791(), vec![23, 41]),
+        ("p93791_10+23+31", benchmarks::p93791(), vec![10, 23, 31]),
+    ];
+    let mut group = c.benchmark_group("core_assign_vs_exact");
+    for (name, soc, widths) in cases {
+        let costs = costs_for(&soc, &widths);
+        group.bench_with_input(BenchmarkId::new("heuristic", name), &costs, |b, costs| {
+            b.iter(|| {
+                black_box(core_assign(
+                    black_box(costs),
+                    None,
+                    &CoreAssignOptions::default(),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact_bb", name), &costs, |b, costs| {
+            b.iter(|| black_box(exact::solve(black_box(costs), &ExactConfig::default())))
+        });
+        // The literal ILP model only on the small instance (it is the
+        // 2002 baseline; one data point proves the gap).
+        if name == "d695_16+16" {
+            group.bench_with_input(BenchmarkId::new("ilp", name), &costs, |b, costs| {
+                b.iter(|| black_box(ilp::solve(black_box(costs), &IlpAssignConfig::default())))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_abort(c: &mut Criterion) {
+    // The tau-abort (lines 18-20) is what makes Partition_evaluate cheap:
+    // measure an aborting run against a completing one.
+    let costs = costs_for(&benchmarks::p93791(), &[10, 23, 31]);
+    let complete = core_assign(&costs, None, &CoreAssignOptions::default())
+        .into_result()
+        .expect("no bound");
+    let tight_bound = complete.soc_time() / 2;
+    let mut group = c.benchmark_group("core_assign_abort");
+    group.bench_function("no_bound", |b| {
+        b.iter(|| black_box(core_assign(&costs, None, &CoreAssignOptions::default())))
+    });
+    group.bench_function("tight_bound_aborts", |b| {
+        b.iter(|| {
+            black_box(core_assign(
+                &costs,
+                Some(tight_bound),
+                &CoreAssignOptions::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_abort);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Criterion benchmarks of the extension layers: the TestRail model and
+//! optimizer, the LP duality/presolve additions, the ILP strategies, and
+//! power-aware co-optimization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tamopt::ilp::{BranchRule, IlpConfig, IlpProblem, NodeOrder};
+use tamopt::lp::{Problem, Relation};
+use tamopt::power::{co_optimize_with_power, PowerConfig};
+use tamopt::rail::{
+    design_rails, rail_assign, RailAssignOptions, RailConfig, RailCostModel, RailSet,
+};
+use tamopt::{benchmarks, CoOptimizer, Strategy};
+
+fn bench_rail(c: &mut Criterion) {
+    let soc = benchmarks::d695();
+    let model = RailCostModel::new(&soc, 32).expect("width 32 is valid");
+    let rails = RailSet::new([8, 8, 16]).expect("widths are positive");
+    let mut group = c.benchmark_group("rail_d695_W32");
+    group.bench_function("assign_greedy", |b| {
+        b.iter(|| {
+            black_box(rail_assign(
+                &model,
+                &rails,
+                &RailAssignOptions {
+                    local_search: false,
+                    max_rounds: 0,
+                },
+            ))
+        })
+    });
+    group.bench_function("assign_with_local_search", |b| {
+        b.iter(|| black_box(rail_assign(&model, &rails, &RailAssignOptions::default())))
+    });
+    group.sample_size(10);
+    group.bench_function("design_up_to_4_rails", |b| {
+        b.iter(|| black_box(design_rails(&model, 32, &RailConfig::up_to_rails(4))))
+    });
+    group.finish();
+}
+
+fn assignment_lp() -> Problem {
+    // The LP relaxation shape of the paper's Section 3.2 model for a
+    // 10-core, 3-TAM instance.
+    let table = tamopt::TimeTable::new(&benchmarks::d695(), 32).expect("valid width");
+    let widths = [8u32, 8, 16];
+    let n = table.num_cores();
+    let b = widths.len();
+    let mut p = Problem::minimize(n * b + 1);
+    let tau = n * b;
+    p.set_objective(tau, 1.0).expect("tau exists");
+    for (t, &w) in widths.iter().enumerate() {
+        let mut terms: Vec<(usize, f64)> = vec![(tau, 1.0)];
+        for core in 0..n {
+            terms.push((core * b + t, -(table.time(core, w) as f64)));
+        }
+        p.constraint(&terms, Relation::Ge, 0.0).expect("valid row");
+    }
+    for core in 0..n {
+        let terms: Vec<(usize, f64)> = (0..b).map(|t| (core * b + t, 1.0)).collect();
+        p.constraint(&terms, Relation::Eq, 1.0).expect("valid row");
+        for t in 0..b {
+            p.set_upper_bound(core * b + t, 1.0).expect("valid bound");
+        }
+    }
+    p
+}
+
+fn bench_lp_extensions(c: &mut Criterion) {
+    let p = assignment_lp();
+    let mut group = c.benchmark_group("lp_paw_relaxation");
+    group.bench_function("solve", |b| b.iter(|| black_box(p.solve())));
+    group.bench_function("solve_with_duals", |b| {
+        b.iter(|| black_box(p.solve_with_duals()))
+    });
+    group.bench_function("presolve_then_solve", |b| {
+        b.iter(|| {
+            let pre = p.presolved().expect("feasible");
+            black_box(pre.problem().solve())
+        })
+    });
+    group.finish();
+}
+
+fn bench_ilp_strategies(c: &mut Criterion) {
+    let lp = assignment_lp();
+    let mut ilp = IlpProblem::new(lp);
+    let n = 10 * 3;
+    for v in 0..n {
+        ilp.set_binary(v).expect("valid index");
+    }
+    let mut group = c.benchmark_group("ilp_paw_strategies");
+    group.sample_size(10);
+    for (name, config) in [
+        ("dfs_most_fractional", IlpConfig::default()),
+        (
+            "best_first",
+            IlpConfig::with_node_order(NodeOrder::BestFirst),
+        ),
+        (
+            "objective_weighted",
+            IlpConfig::with_branch_rule(BranchRule::ObjectiveWeighted),
+        ),
+    ] {
+        group.bench_function(name, |b| b.iter(|| black_box(ilp.solve(&config))));
+    }
+    group.finish();
+}
+
+fn bench_power_coopt(c: &mut Criterion) {
+    let soc = benchmarks::d695();
+    let powers: Vec<f64> = soc
+        .iter()
+        .map(|core| 1.0 + core.scan_cells() as f64 / 500.0)
+        .collect();
+    let mut group = c.benchmark_group("power_d695_W24");
+    group.sample_size(10);
+    group.bench_function("decoupled", |b| {
+        b.iter(|| {
+            let plain = CoOptimizer::new(soc.clone(), 24)
+                .max_tams(3)
+                .strategy(Strategy::Heuristic)
+                .run()
+                .expect("valid");
+            black_box(tamopt::schedule::schedule_with_power_cap(
+                &plain, &powers, 6.0,
+            ))
+        })
+    });
+    group.bench_function("co_optimized", |b| {
+        b.iter(|| {
+            black_box(co_optimize_with_power(
+                &soc,
+                24,
+                &powers,
+                &PowerConfig::new(6.0, 3),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rail,
+    bench_lp_extensions,
+    bench_ilp_strategies,
+    bench_power_coopt
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! End-to-end cost of the two-step co-optimization on every benchmark
+//! SOC (the workload of the paper's result tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tamopt::partition::pipeline::{co_optimize, PipelineConfig};
+use tamopt::{benchmarks, TimeTable};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("co_optimize_W32_B3");
+    group.sample_size(10);
+    for soc in benchmarks::all() {
+        let table = TimeTable::new(&soc, 32).expect("width 32 is valid");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(soc.name().to_owned()),
+            &table,
+            |b, table| {
+                b.iter(|| {
+                    black_box(co_optimize(
+                        black_box(table),
+                        32,
+                        &PipelineConfig::exact_tams(3),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pipeline_free_b(c: &mut Criterion) {
+    let soc = benchmarks::d695();
+    let table = TimeTable::new(&soc, 64).expect("width 64 is valid");
+    let mut group = c.benchmark_group("co_optimize_d695_W64_free_B");
+    group.sample_size(10);
+    for max_b in [3u32, 6, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(max_b), &max_b, |b, &max_b| {
+            b.iter(|| {
+                black_box(co_optimize(
+                    black_box(&table),
+                    64,
+                    &PipelineConfig::up_to_tams(max_b),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_pipeline_free_b);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Cost of the *P_W* layer: single wrapper designs and whole time-table
+//! construction (the `Design_wrapper` calls of Figure 1, line 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tamopt::{benchmarks, design_wrapper, TimeTable};
+
+fn bench_design_wrapper(c: &mut Criterion) {
+    let soc = benchmarks::d695();
+    // s38417: the largest scan core of d695 (32 chains, 1636 cells).
+    let core = soc
+        .core_by_name("s38417")
+        .expect("d695 has s38417")
+        .1
+        .clone();
+    let mut group = c.benchmark_group("design_wrapper");
+    for width in [1u32, 8, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            b.iter(|| black_box(design_wrapper(black_box(&core), w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_time_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("time_table");
+    for soc in benchmarks::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(soc.name().to_owned()),
+            &soc,
+            |b, soc| b.iter(|| black_box(TimeTable::new(black_box(soc), 64))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_design_wrapper, bench_time_table);
+criterion_main!(benches);

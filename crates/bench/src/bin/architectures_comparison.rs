@@ -1,0 +1,72 @@
+//! Extension experiment: the four access architectures of the
+//! paper's lineage, side by side on every benchmark SOC.
+//!
+//! * multiplexing and distribution are the fixed schemes of the
+//!   paper's reference [1] (Aerts & Marinissen) — the `B = 1` and
+//!   `B = N` corners of the test-bus design space;
+//! * daisychain is the TestRail of reference [11] with its bypass tax;
+//! * the flexible test bus is the paper's contribution — free to pick
+//!   `B` anywhere between the corners, so it never loses to either.
+//!
+//! The gap between the best fixed scheme and the flexible bus is the
+//! measurable value of wrapper/TAM co-optimization.
+//!
+//! Run with: `cargo run --release -p tamopt-bench --bin architectures_comparison`
+
+use tamopt::classic::{distribution, multiplexing};
+use tamopt::rail::{design_rails, RailConfig, RailCostModel};
+use tamopt::wrapper::TimeTable;
+use tamopt::{benchmarks, CoOptimizer};
+use tamopt_bench::print_table;
+
+fn main() {
+    for soc in benchmarks::all() {
+        println!(
+            "== SOC {}: access architectures at equal wire budgets ==\n",
+            soc.name()
+        );
+        let n = soc.num_cores();
+        let mut rows = Vec::new();
+        for width in [16u32, 32, 48, 64] {
+            let table = TimeTable::new(&soc, width).expect("positive width");
+            let mux = multiplexing(&table, width);
+            let dist = if (width as usize) >= n {
+                Some(distribution(&table, width).expect("width covers the cores"))
+            } else {
+                None
+            };
+            let model = RailCostModel::new(&soc, width).expect("positive width");
+            let rail = design_rails(&model, width, &RailConfig::up_to_rails(6))
+                .expect("feasible partitions exist");
+            let bus = CoOptimizer::new(soc.clone(), width)
+                .max_tams(6)
+                .run()
+                .expect("benchmark SOCs are valid");
+            let best_fixed = dist.as_ref().map_or(mux, |d| d.time().min(mux));
+            rows.push(vec![
+                width.to_string(),
+                mux.to_string(),
+                dist.as_ref()
+                    .map_or_else(|| "-".into(), |d| d.time().to_string()),
+                rail.soc_time().to_string(),
+                format!("{} ({})", bus.soc_time(), bus.tams),
+                format!("{:.2}x", best_fixed as f64 / bus.soc_time() as f64),
+            ]);
+        }
+        print_table(
+            &[
+                "W",
+                "multiplexing",
+                "distribution",
+                "daisychain",
+                "test bus (B free)",
+                "gain",
+            ],
+            &rows,
+        );
+        println!();
+    }
+    println!("'gain' is best-fixed-scheme time over flexible-bus time: how much the");
+    println!("paper's co-optimization buys over the classic architectures of [1].");
+    println!("'-' marks budgets too narrow for distribution (it needs W >= cores).");
+}

@@ -1,0 +1,57 @@
+//! Figure 2 of the paper: the `Core_assign` walk-through on the given
+//! 5-core, 3-TAM cost table, ending at per-TAM times 180/200/200.
+//!
+//! Run with: `cargo run --release -p tamopt-bench --bin figure02_example`
+
+use tamopt::assign::{core_assign, CoreAssignOptions, CostMatrix};
+use tamopt::benchmarks;
+use tamopt_bench::print_table;
+
+fn main() {
+    let (widths, times) = benchmarks::figure2_cost_table();
+    println!("Figure 2(a): core testing times (cycles)\n");
+    let rows: Vec<Vec<String>> = times
+        .iter()
+        .enumerate()
+        .map(|(core, row)| {
+            let mut cells = vec![(core + 1).to_string()];
+            cells.extend(row.iter().map(u64::to_string));
+            cells
+        })
+        .collect();
+    print_table(&["Core", "TAM 1 (32)", "TAM 2 (16)", "TAM 3 (8)"], &rows);
+
+    let costs = CostMatrix::from_raw(times, widths).expect("figure 2 table is well-formed");
+    let result = core_assign(&costs, None, &CoreAssignOptions::default())
+        .into_result()
+        .expect("no bound given");
+
+    println!("\nFigure 2(b): final assignment\n");
+    let rows: Vec<Vec<String>> = result
+        .assignment()
+        .iter()
+        .enumerate()
+        .map(|(core, &tam)| {
+            vec![
+                (core + 1).to_string(),
+                (tam + 1).to_string(),
+                costs.time(core, tam).to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["Core", "TAM", "Time (cycles)"], &rows);
+
+    println!(
+        "\nper-TAM times: {:?}  (paper: [180, 200, 200])",
+        result.tam_times()
+    );
+    println!(
+        "SOC testing time: {} cycles (paper: 200)",
+        result.soc_time()
+    );
+    assert_eq!(
+        result.tam_times(),
+        &[180, 200, 200],
+        "must match the paper exactly"
+    );
+}

@@ -1,0 +1,69 @@
+//! Table 1 of the paper: pruning efficiency of `Partition_evaluate` on
+//! p21241 for `B ∈ {6, 7}`, `W ∈ {44, …, 64}`.
+//!
+//! Columns: the estimate `V(W,B)` of unique partitions, the exact count,
+//! the number of partitions our run evaluated to completion, the
+//! efficiency `E`, and the paper's corresponding numbers.
+//!
+//! Run with: `cargo run --release -p tamopt-bench --bin table01_pruning`
+
+use tamopt::partition::count;
+use tamopt::partition::{partition_evaluate, EvaluateConfig};
+use tamopt::{benchmarks, TimeTable};
+use tamopt_bench::{paper, print_table, secs, timed};
+
+fn main() {
+    let soc = benchmarks::p21241();
+    let table = TimeTable::new(&soc, 64).expect("width 64 is valid");
+
+    println!(
+        "Table 1: efficiency of Partition_evaluate (SOC {})\n",
+        soc.name()
+    );
+    let mut rows = Vec::new();
+    for b in [6u32, 7] {
+        for w in [44u32, 48, 52, 56, 60, 64] {
+            let (eval, elapsed) = timed(|| {
+                partition_evaluate(&table, w, &EvaluateConfig::exact_tams(b))
+                    .expect("valid configuration")
+            });
+            let estimate = count::estimate(w, b);
+            let exact = count::unique_partitions(w, b);
+            let efficiency = eval.stats.completed as f64 / estimate;
+            let paper_row = paper::TABLE1
+                .iter()
+                .find(|r| r.width == w && r.tams == b)
+                .expect("row exists");
+            rows.push(vec![
+                w.to_string(),
+                b.to_string(),
+                format!("{estimate:.0}"),
+                exact.to_string(),
+                eval.stats.completed.to_string(),
+                format!("{efficiency:.3}"),
+                paper_row.evaluated.to_string(),
+                format!(
+                    "{:.3}",
+                    paper_row.evaluated as f64 / paper_row.estimated_partitions as f64
+                ),
+                secs(elapsed),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "W",
+            "B",
+            "V(W,B)",
+            "p(W,B)",
+            "P_eval",
+            "E",
+            "paper P_eval",
+            "paper E",
+            "cpu (s)",
+        ],
+        &rows,
+    );
+    println!("\nThe paper reports ~2% of unique partitions evaluated on average;");
+    println!("the exact counts p(W,B) are computed by dynamic programming.");
+}

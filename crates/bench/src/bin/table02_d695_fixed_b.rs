@@ -1,0 +1,16 @@
+//! Table 2 of the paper: d695 at fixed `B = 2` (a vs b) and `B = 3`
+//! (c vs d) — exhaustive baseline vs new co-optimization over
+//! `W ∈ {16..64}`.
+//!
+//! Run with: `cargo run --release -p tamopt-bench --bin table02_d695_fixed_b`
+
+use tamopt::benchmarks;
+use tamopt_bench::{experiments, paper};
+
+fn main() {
+    let soc = benchmarks::d695();
+    println!("== Table 2 (a, b): d695, B = 2 ==\n");
+    experiments::run_fixed_b(&soc, 2, &paper::D695_B2);
+    println!("== Table 2 (c, d): d695, B = 3 ==\n");
+    experiments::run_fixed_b(&soc, 3, &paper::D695_B3);
+}

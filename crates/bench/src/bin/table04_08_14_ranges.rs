@@ -1,0 +1,63 @@
+//! Tables 4, 8 and 14 of the paper: per-kind core test-data ranges for
+//! the three Philips SOC stand-ins (and d695 for completeness).
+//!
+//! Run with: `cargo run --release -p tamopt-bench --bin table04_08_14_ranges`
+
+use tamopt::soc::generator::summarize;
+use tamopt::{benchmarks, CoreKind, Soc};
+use tamopt_bench::print_table;
+
+fn row(soc: &Soc, kind: CoreKind) -> Option<Vec<String>> {
+    let r = summarize(soc, kind)?;
+    let scan_len = match r.scan_length {
+        Some((min, max)) => format!("{min}-{max}"),
+        None => "-".into(),
+    };
+    Some(vec![
+        soc.name().to_owned(),
+        kind.to_string(),
+        r.count.to_string(),
+        format!("{}-{}", r.patterns.0, r.patterns.1),
+        format!("{}-{}", r.io_terminals.0, r.io_terminals.1),
+        format!("{}-{}", r.scan_chains.0, r.scan_chains.1),
+        scan_len,
+    ])
+}
+
+fn main() {
+    println!("Tables 4 / 8 / 14: core test-data ranges (generated stand-ins)\n");
+    let mut rows = Vec::new();
+    for soc in benchmarks::all() {
+        for kind in [CoreKind::Logic, CoreKind::Memory] {
+            if let Some(r) = row(&soc, kind) {
+                rows.push(r);
+            }
+        }
+    }
+    print_table(
+        &[
+            "SOC",
+            "kind",
+            "cores",
+            "patterns",
+            "func I/Os",
+            "scan chains",
+            "scan lengths",
+        ],
+        &rows,
+    );
+    println!("\nPaper ranges (for the Philips SOCs the generator draws within them):");
+    println!("  p21241 logic : patterns 1-785,   I/Os 37-1197, chains 1-31,  len 1-400");
+    println!("  p21241 mem   : patterns 222-12324, I/Os 52-148");
+    println!("  p31108 logic : patterns 210-745, I/Os 109-428, chains 1-29,  len 8-806");
+    println!("  p31108 mem   : patterns 128-12236, I/Os 11-87");
+    println!("  p93791 logic : patterns 11-6127, I/Os 109-813, chains 11-46, len 1-521");
+    println!("  p93791 mem   : patterns 42-3085,  I/Os 21-396");
+    for soc in benchmarks::all() {
+        println!(
+            "  complexity number of {}: {}",
+            soc.name(),
+            soc.complexity_number()
+        );
+    }
+}

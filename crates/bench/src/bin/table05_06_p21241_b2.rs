@@ -1,0 +1,13 @@
+//! Tables 5 and 6 of the paper: p21241 at `B = 2`, exhaustive baseline
+//! vs new co-optimization. (The paper's exhaustive method never finished
+//! `B = 3` on this SOC.)
+//!
+//! Run with: `cargo run --release -p tamopt-bench --bin table05_06_p21241_b2`
+
+use tamopt::benchmarks;
+use tamopt_bench::{experiments, paper};
+
+fn main() {
+    println!("== Tables 5 / 6: p21241, B = 2 ==\n");
+    experiments::run_fixed_b(&benchmarks::p21241(), 2, &paper::P21241_B2);
+}

@@ -1,0 +1,14 @@
+//! Table 7 of the paper: p21241 with a free number of TAMs (`B ≤ 10`).
+//! For `W ≥ 24` the paper's free-B results beat its own exhaustive
+//! `B = 2` baseline by ~25 % on average — more TAMs win once the width
+//! budget allows them.
+//!
+//! Run with: `cargo run --release -p tamopt-bench --bin table07_p21241_npaw`
+
+use tamopt::benchmarks;
+use tamopt_bench::{experiments, paper};
+
+fn main() {
+    println!("== Table 7: p21241, B <= 10 (P_NPAW) ==\n");
+    experiments::run_npaw(&benchmarks::p21241(), 10, &paper::P21241_NPAW);
+}

@@ -1,0 +1,26 @@
+//! Tables 9–12 of the paper: p31108 at `B = 2` and `B = 3`, exhaustive
+//! baseline vs new co-optimization. Watch for the testing-time plateau:
+//! from some width on, both methods are pinned to the bottleneck core's
+//! minimum time (544579 cycles in the paper).
+//!
+//! Run with: `cargo run --release -p tamopt-bench --bin table09_12_p31108_fixed_b`
+
+use tamopt::benchmarks;
+use tamopt::wrapper::pareto;
+use tamopt_bench::{experiments, paper};
+
+fn main() {
+    let soc = benchmarks::p31108();
+    println!("== Tables 9 / 10: p31108, B = 2 ==\n");
+    experiments::run_fixed_b(&soc, 2, &paper::P31108_B2);
+    println!("== Tables 11 / 12: p31108, B = 3 ==\n");
+    experiments::run_fixed_b(&soc, 3, &paper::P31108_B3);
+
+    let (core, time) = pareto::bottleneck_core(&soc, 64).expect("width 64 is valid");
+    println!(
+        "bottleneck core: #{} ({}), saturated time {} cycles — the plateau floor",
+        core + 1,
+        soc.core(core).expect("index valid").name(),
+        time
+    );
+}

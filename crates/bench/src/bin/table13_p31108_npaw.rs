@@ -1,0 +1,19 @@
+//! Table 13 of the paper: p31108 with a free number of TAMs (`B ≤ 10`).
+//! The SOC saturates at the bottleneck-core lower bound once `W` is
+//! large enough — adding wires or TAMs past that point buys nothing.
+//!
+//! Run with: `cargo run --release -p tamopt-bench --bin table13_p31108_npaw`
+
+use tamopt::benchmarks;
+use tamopt::wrapper::pareto;
+use tamopt_bench::{experiments, paper};
+
+fn main() {
+    let soc = benchmarks::p31108();
+    println!("== Table 13: p31108, B <= 10 (P_NPAW) ==\n");
+    experiments::run_npaw(&soc, 10, &paper::P31108_NPAW);
+    for w in [40u32, 64] {
+        let bound = pareto::bottleneck_lower_bound(&soc, w).expect("width is valid");
+        println!("bottleneck lower bound at W = {w}: {bound} cycles");
+    }
+}

@@ -1,0 +1,15 @@
+//! Tables 15–18 of the paper: p93791 at `B = 2` and `B = 3`, exhaustive
+//! baseline vs new co-optimization.
+//!
+//! Run with: `cargo run --release -p tamopt-bench --bin table15_18_p93791_fixed_b`
+
+use tamopt::benchmarks;
+use tamopt_bench::{experiments, paper};
+
+fn main() {
+    let soc = benchmarks::p93791();
+    println!("== Tables 15 / 16: p93791, B = 2 ==\n");
+    experiments::run_fixed_b(&soc, 2, &paper::P93791_B2);
+    println!("== Tables 17 / 18: p93791, B = 3 ==\n");
+    experiments::run_fixed_b(&soc, 3, &paper::P93791_B3);
+}

@@ -1,0 +1,11 @@
+//! Table 19 of the paper: p93791 with a free number of TAMs (`B ≤ 10`).
+//!
+//! Run with: `cargo run --release -p tamopt-bench --bin table19_p93791_npaw`
+
+use tamopt::benchmarks;
+use tamopt_bench::{experiments, paper};
+
+fn main() {
+    println!("== Table 19: p93791, B <= 10 (P_NPAW) ==\n");
+    experiments::run_npaw(&benchmarks::p93791(), 10, &paper::P93791_NPAW);
+}

@@ -1,0 +1,135 @@
+//! Reusable experiment drivers shared by the per-table binaries.
+
+use std::time::Duration;
+
+use tamopt::assign::exact::ExactConfig;
+use tamopt::partition::exhaustive::{self, ExhaustiveConfig};
+use tamopt::partition::pipeline::{co_optimize, PipelineConfig};
+use tamopt::{Soc, TimeTable};
+
+use crate::paper::{FixedBTable, NpawTable};
+use crate::{delta_percent, print_table, secs, timed, WIDTH_SWEEP};
+
+/// Per-(W, B) wall-clock budget for the exhaustive baseline; the paper's
+/// baseline ran for hours-to-days, ours is bounded so the harness always
+/// terminates.
+pub const EXHAUSTIVE_BUDGET: Duration = Duration::from_secs(60);
+
+/// Runs one fixed-`B` comparison (a pair of paper tables: exhaustive vs
+/// new method) over the standard width sweep and prints the rows.
+pub fn run_fixed_b(soc: &Soc, tams: u32, reference: &FixedBTable) {
+    assert_eq!(reference.soc, soc.name(), "reference table matches the SOC");
+    assert_eq!(reference.tams, tams, "reference table matches B");
+    let table = TimeTable::new(soc, *WIDTH_SWEEP.last().expect("non-empty"))
+        .expect("sweep widths are valid");
+
+    println!(
+        "SOC {} at B = {tams}: exhaustive baseline vs new co-optimization\n",
+        soc.name()
+    );
+    let mut rows = Vec::new();
+    for (i, &w) in WIDTH_SWEEP.iter().enumerate() {
+        let (exh, t_exh) = timed(|| {
+            let config = ExhaustiveConfig {
+                per_partition: ExactConfig::with_time_limit(EXHAUSTIVE_BUDGET / 8),
+                time_limit: Some(EXHAUSTIVE_BUDGET),
+                ..ExhaustiveConfig::exact_tams(tams)
+            };
+            exhaustive::solve(&table, w, &config).expect("valid configuration")
+        });
+        let (co, t_new) = timed(|| {
+            co_optimize(&table, w, &PipelineConfig::exact_tams(tams)).expect("valid configuration")
+        });
+        let speedup = t_exh.as_secs_f64() / t_new.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            w.to_string(),
+            exh.tams.to_string(),
+            exh.result.soc_time().to_string(),
+            if exh.proven_optimal {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+            co.tams.to_string(),
+            co.soc_time().to_string(),
+            format!(
+                "{:+.2}",
+                delta_percent(co.soc_time(), exh.result.soc_time())
+            ),
+            secs(t_exh),
+            secs(t_new),
+            format!("{speedup:.0}x"),
+            reference.exact[i].to_string(),
+            reference.new_method[i].to_string(),
+            format!(
+                "{:+.2}",
+                delta_percent(reference.new_method[i], reference.exact[i])
+            ),
+        ]);
+    }
+    print_table(
+        &[
+            "W",
+            "exh part",
+            "T_exh",
+            "opt?",
+            "new part",
+            "T_new",
+            "dT %",
+            "t_exh s",
+            "t_new s",
+            "speedup",
+            "paper T_exh",
+            "paper T_new",
+            "paper dT %",
+        ],
+        &rows,
+    );
+    println!();
+}
+
+/// Runs one free-`B` (*P_NPAW*) sweep with the new method and prints the
+/// rows next to the paper's.
+pub fn run_npaw(soc: &Soc, max_tams: u32, reference: &NpawTable) {
+    assert_eq!(reference.soc, soc.name(), "reference table matches the SOC");
+    let table = TimeTable::new(soc, *WIDTH_SWEEP.last().expect("non-empty"))
+        .expect("sweep widths are valid");
+
+    println!(
+        "SOC {} free B (1..={max_tams}): new co-optimization method\n",
+        soc.name()
+    );
+    let mut rows = Vec::new();
+    for (i, &w) in WIDTH_SWEEP.iter().enumerate() {
+        let (co, elapsed) = timed(|| {
+            co_optimize(&table, w, &PipelineConfig::up_to_tams(max_tams))
+                .expect("valid configuration")
+        });
+        rows.push(vec![
+            w.to_string(),
+            co.tams.len().to_string(),
+            co.tams.to_string(),
+            co.soc_time().to_string(),
+            co.stats.completed.to_string(),
+            co.stats.enumerated.to_string(),
+            secs(elapsed),
+            reference.chosen_tams[i].to_string(),
+            reference.times[i].to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "W",
+            "B",
+            "partition",
+            "T_new",
+            "completed",
+            "enumerated",
+            "cpu s",
+            "paper B",
+            "paper T",
+        ],
+        &rows,
+    );
+    println!();
+}

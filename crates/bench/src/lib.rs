@@ -1,0 +1,89 @@
+//! Shared support for the experiment harness: the paper's published
+//! reference numbers, table formatting, and timing helpers.
+//!
+//! Each binary in `src/bin/` regenerates one table (or table group) of
+//! the paper and prints measured-vs-paper rows; `src/main.rs` runs the
+//! whole evaluation section in order. See DESIGN.md for the experiment
+//! index and EXPERIMENTS.md for recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paper;
+
+use std::time::{Duration, Instant};
+
+/// Runs `f`, returning its output and wall-clock duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration in seconds with millisecond resolution, as the
+/// paper's CPU-time columns do.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Percentage change `(new - old) / old * 100`, the paper's Δ column.
+pub fn delta_percent(new: u64, old: u64) -> f64 {
+    if old == 0 {
+        return 0.0;
+    }
+    (new as f64 - old as f64) / old as f64 * 100.0
+}
+
+/// Prints a Markdown-style table: a header row and aligned data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// The standard width sweep of the paper's experiment tables.
+pub const WIDTH_SWEEP: [u32; 7] = [16, 24, 32, 40, 48, 56, 64];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_percent_signs() {
+        assert!((delta_percent(110, 100) - 10.0).abs() < 1e-9);
+        assert!((delta_percent(90, 100) + 10.0).abs() < 1e-9);
+        assert_eq!(delta_percent(5, 0), 0.0);
+    }
+
+    #[test]
+    fn timed_returns_output() {
+        let (v, d) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_secs() < 5);
+    }
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+    }
+}

@@ -1,0 +1,53 @@
+//! Runs the paper's entire evaluation section in order (Figure 2 and
+//! Tables 1–19), invoking the same drivers as the per-table binaries.
+//!
+//! Run with: `cargo run --release -p tamopt-bench`
+//!
+//! Budget note: the exhaustive baselines are wall-clock-capped per
+//! (SOC, W, B) cell so the full run terminates in minutes, not the
+//! paper's days.
+
+use tamopt::assign::{core_assign, CoreAssignOptions, CostMatrix};
+use tamopt::benchmarks;
+use tamopt_bench::{experiments, paper};
+
+fn main() {
+    println!("===== Figure 2: Core_assign worked example =====\n");
+    let (widths, times) = benchmarks::figure2_cost_table();
+    let costs = CostMatrix::from_raw(times, widths).expect("figure 2 table is well-formed");
+    let result = core_assign(&costs, None, &CoreAssignOptions::default())
+        .into_result()
+        .expect("no bound");
+    println!(
+        "assignment {} -> per-TAM times {:?} (paper: [180, 200, 200])\n",
+        result.assignment_vector(),
+        result.tam_times()
+    );
+
+    println!("===== Tables 2-3: d695 =====\n");
+    let d695 = benchmarks::d695();
+    experiments::run_fixed_b(&d695, 2, &paper::D695_B2);
+    experiments::run_fixed_b(&d695, 3, &paper::D695_B3);
+    experiments::run_npaw(&d695, 10, &paper::D695_NPAW);
+
+    println!("===== Tables 5-7: p21241 =====\n");
+    let p21241 = benchmarks::p21241();
+    experiments::run_fixed_b(&p21241, 2, &paper::P21241_B2);
+    experiments::run_npaw(&p21241, 10, &paper::P21241_NPAW);
+
+    println!("===== Tables 9-13: p31108 =====\n");
+    let p31108 = benchmarks::p31108();
+    experiments::run_fixed_b(&p31108, 2, &paper::P31108_B2);
+    experiments::run_fixed_b(&p31108, 3, &paper::P31108_B3);
+    experiments::run_npaw(&p31108, 10, &paper::P31108_NPAW);
+
+    println!("===== Tables 15-19: p93791 =====\n");
+    let p93791 = benchmarks::p93791();
+    experiments::run_fixed_b(&p93791, 2, &paper::P93791_B2);
+    experiments::run_fixed_b(&p93791, 3, &paper::P93791_B3);
+    experiments::run_npaw(&p93791, 10, &paper::P93791_NPAW);
+
+    println!("===== Done. Table 1 and the range tables have their own binaries: =====");
+    println!("  cargo run --release -p tamopt-bench --bin table01_pruning");
+    println!("  cargo run --release -p tamopt-bench --bin table04_08_14_ranges");
+}

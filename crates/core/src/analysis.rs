@@ -1,0 +1,360 @@
+//! Utilization analysis of a test architecture.
+//!
+//! The paper motivates multiple TAMs with two effects (Section 1): with
+//! more TAMs of different widths, (i) more cores ride TAMs whose widths
+//! match their test-data needs, so fewer *idle TAM wires* are assigned,
+//! and (ii) test parallelism grows. This module turns those claims into
+//! measurable quantities on a finished [`Architecture`]:
+//!
+//! * **idle wires** — per core, TAM wires assigned but not used by the
+//!   wrapper (`width - used_width`);
+//! * **idle cycles** — per TAM, cycles between the TAM finishing and the
+//!   SOC testing time (the slack the makespan objective leaves);
+//! * **wire-cycle utilization** — the fraction of the `W × T` wire-cycle
+//!   budget actually carrying test data, the architecture-level summary
+//!   of both effects.
+//!
+//! # Example
+//!
+//! ```
+//! use tamopt::analysis::UtilizationReport;
+//! use tamopt::{benchmarks, CoOptimizer};
+//!
+//! # fn main() -> Result<(), tamopt::TamOptError> {
+//! let narrow = CoOptimizer::new(benchmarks::d695(), 32).max_tams(1).run()?;
+//! let wide = CoOptimizer::new(benchmarks::d695(), 32).max_tams(4).run()?;
+//! let single = UtilizationReport::new(&narrow);
+//! let multi = UtilizationReport::new(&wide);
+//! // More TAMs let the heuristic shed idle wire-cycles.
+//! assert!(multi.utilization() >= single.utilization());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use crate::Architecture;
+
+/// Utilization figures for one TAM of an architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TamUtilization {
+    /// TAM index (0-based).
+    pub tam: usize,
+    /// TAM width in wires.
+    pub width: u32,
+    /// Number of cores assigned to this TAM.
+    pub cores: usize,
+    /// Summed testing time of the TAM's cores, in cycles.
+    pub busy_cycles: u64,
+    /// Cycles this TAM idles while the slowest TAM finishes
+    /// (`soc_time - busy_cycles`).
+    pub idle_cycles: u64,
+    /// Wire-cycles carrying test data: for each core, its testing time
+    /// times the wrapper's *used* width.
+    pub used_wire_cycles: u64,
+    /// Wire-cycle capacity of this TAM over the SOC testing time
+    /// (`width · soc_time`).
+    pub capacity_wire_cycles: u64,
+}
+
+impl TamUtilization {
+    /// Fraction of this TAM's wire-cycle capacity carrying test data,
+    /// in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_wire_cycles == 0 {
+            return 0.0;
+        }
+        self.used_wire_cycles as f64 / self.capacity_wire_cycles as f64
+    }
+}
+
+/// Utilization figures for one core of an architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreUtilization {
+    /// Core index in SOC order.
+    pub core: usize,
+    /// TAM the core rides.
+    pub tam: usize,
+    /// Width of that TAM.
+    pub tam_width: u32,
+    /// TAM wires the wrapper actually uses.
+    pub used_width: u32,
+    /// Core testing time in cycles.
+    pub test_time: u64,
+}
+
+impl CoreUtilization {
+    /// TAM wires assigned to the core but left idle
+    /// (`tam_width - used_width`) — the waste the paper's Section 1
+    /// says multiple TAMs reduce.
+    pub fn idle_wires(&self) -> u32 {
+        self.tam_width - self.used_width
+    }
+
+    /// Wire-cycles wasted while this core tests
+    /// (`idle_wires · test_time`).
+    pub fn idle_wire_cycles(&self) -> u64 {
+        u64::from(self.idle_wires()) * self.test_time
+    }
+}
+
+/// A full utilization breakdown of an [`Architecture`].
+///
+/// Create with [`UtilizationReport::new`]; render with [`fmt::Display`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationReport {
+    tams: Vec<TamUtilization>,
+    cores: Vec<CoreUtilization>,
+    soc_time: u64,
+    total_width: u32,
+}
+
+impl UtilizationReport {
+    /// Analyzes `architecture`.
+    pub fn new(architecture: &Architecture) -> Self {
+        let soc_time = architecture.soc_time();
+        let assignment = architecture.assignment.assignment();
+        let cores: Vec<CoreUtilization> = assignment
+            .iter()
+            .enumerate()
+            .map(|(core, &tam)| {
+                let wrapper = architecture.wrapper(core);
+                CoreUtilization {
+                    core,
+                    tam,
+                    tam_width: architecture.tams.width(tam),
+                    used_width: wrapper.used_width(),
+                    test_time: wrapper.test_time(),
+                }
+            })
+            .collect();
+        let tams = (0..architecture.num_tams())
+            .map(|tam| {
+                let members: Vec<&CoreUtilization> =
+                    cores.iter().filter(|c| c.tam == tam).collect();
+                let busy_cycles = architecture.assignment.tam_times()[tam];
+                let width = architecture.tams.width(tam);
+                TamUtilization {
+                    tam,
+                    width,
+                    cores: members.len(),
+                    busy_cycles,
+                    idle_cycles: soc_time - busy_cycles,
+                    used_wire_cycles: members
+                        .iter()
+                        .map(|c| u64::from(c.used_width) * c.test_time)
+                        .sum(),
+                    capacity_wire_cycles: u64::from(width) * soc_time,
+                }
+            })
+            .collect();
+        UtilizationReport {
+            tams,
+            cores,
+            soc_time,
+            total_width: architecture.tams.total_width(),
+        }
+    }
+
+    /// Per-TAM figures, in TAM order.
+    pub fn tams(&self) -> &[TamUtilization] {
+        &self.tams
+    }
+
+    /// Per-core figures, in SOC order.
+    pub fn cores(&self) -> &[CoreUtilization] {
+        &self.cores
+    }
+
+    /// The architecture's SOC testing time in cycles.
+    pub fn soc_time(&self) -> u64 {
+        self.soc_time
+    }
+
+    /// Wire-cycles carrying test data, summed over all TAMs.
+    pub fn used_wire_cycles(&self) -> u64 {
+        self.tams.iter().map(|t| t.used_wire_cycles).sum()
+    }
+
+    /// Total wire-cycle budget (`W · soc_time`).
+    pub fn capacity_wire_cycles(&self) -> u64 {
+        u64::from(self.total_width) * self.soc_time
+    }
+
+    /// Architecture-level wire-cycle utilization in `[0, 1]`: the
+    /// fraction of the `W × T` budget that carries test data. Higher is
+    /// better; the paper's argument for more TAMs is precisely that they
+    /// raise this figure.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.capacity_wire_cycles();
+        if capacity == 0 {
+            return 0.0;
+        }
+        self.used_wire_cycles() as f64 / capacity as f64
+    }
+
+    /// Idle wires summed over cores (each core's assigned-but-unused
+    /// wires, regardless of duration). Matches
+    /// [`Architecture::idle_wires`].
+    pub fn idle_wires(&self) -> u64 {
+        self.cores.iter().map(|c| u64::from(c.idle_wires())).sum()
+    }
+
+    /// Wire-cycles wasted by idle wires while their cores test.
+    pub fn idle_wire_cycles(&self) -> u64 {
+        self.cores.iter().map(|c| c.idle_wire_cycles()).sum()
+    }
+
+    /// Wire-cycles wasted by TAMs idling after finishing (slack against
+    /// the makespan).
+    pub fn slack_wire_cycles(&self) -> u64 {
+        self.tams
+            .iter()
+            .map(|t| u64::from(t.width) * t.idle_cycles)
+            .sum()
+    }
+
+    /// The cores with the most idle wires, worst first, up to `limit`
+    /// entries — the candidates a designer would move to a narrower TAM.
+    pub fn worst_offenders(&self, limit: usize) -> Vec<&CoreUtilization> {
+        let mut sorted: Vec<&CoreUtilization> = self.cores.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.idle_wire_cycles()
+                .cmp(&a.idle_wire_cycles())
+                .then(a.core.cmp(&b.core))
+        });
+        sorted.truncate(limit);
+        sorted
+    }
+}
+
+impl fmt::Display for UtilizationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "wire-cycle utilization: {:.1} % of W×T = {} wire-cycles",
+            self.utilization() * 100.0,
+            self.capacity_wire_cycles()
+        )?;
+        writeln!(
+            f,
+            "  idle-wire waste : {:>12} wire-cycles",
+            self.idle_wire_cycles()
+        )?;
+        writeln!(
+            f,
+            "  makespan slack  : {:>12} wire-cycles",
+            self.slack_wire_cycles()
+        )?;
+        for t in &self.tams {
+            writeln!(
+                f,
+                "  TAM {} (w={:>3}): {:>3} cores, busy {:>10} cy, idle {:>10} cy, {:>5.1} % utilized",
+                t.tam + 1,
+                t.width,
+                t.cores,
+                t.busy_cycles,
+                t.idle_cycles,
+                t.utilization() * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoOptimizer;
+    use tamopt_soc::benchmarks;
+
+    fn arch(max_tams: u32) -> Architecture {
+        CoOptimizer::new(benchmarks::d695(), 32)
+            .max_tams(max_tams)
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let report = UtilizationReport::new(&arch(3));
+        assert!(report.utilization() > 0.0);
+        assert!(report.utilization() <= 1.0);
+        for t in report.tams() {
+            assert!(t.utilization() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn idle_wires_match_architecture() {
+        let a = arch(3);
+        let report = UtilizationReport::new(&a);
+        assert_eq!(report.idle_wires(), a.idle_wires());
+    }
+
+    #[test]
+    fn per_tam_figures_are_consistent() {
+        let a = arch(4);
+        let report = UtilizationReport::new(&a);
+        for t in report.tams() {
+            assert_eq!(t.busy_cycles + t.idle_cycles, report.soc_time());
+            assert!(t.used_wire_cycles <= t.capacity_wire_cycles);
+        }
+        // At least one TAM is the bottleneck with zero idle cycles.
+        assert!(report.tams().iter().any(|t| t.idle_cycles == 0));
+    }
+
+    #[test]
+    fn cores_cover_soc_and_sum_to_tam_figures() {
+        let a = arch(3);
+        let report = UtilizationReport::new(&a);
+        assert_eq!(report.cores().len(), a.soc.num_cores());
+        for t in report.tams() {
+            let members: u64 = report
+                .cores()
+                .iter()
+                .filter(|c| c.tam == t.tam)
+                .map(|c| c.test_time)
+                .sum();
+            assert_eq!(members, t.busy_cycles);
+        }
+    }
+
+    #[test]
+    fn used_plus_idle_plus_slack_fills_capacity() {
+        let report = UtilizationReport::new(&arch(4));
+        assert_eq!(
+            report.used_wire_cycles() + report.idle_wire_cycles() + report.slack_wire_cycles(),
+            report.capacity_wire_cycles()
+        );
+    }
+
+    #[test]
+    fn more_tams_do_not_hurt_utilization_on_d695() {
+        let single = UtilizationReport::new(&arch(1));
+        let multi = UtilizationReport::new(&arch(4));
+        assert!(multi.utilization() >= single.utilization());
+    }
+
+    #[test]
+    fn worst_offenders_sorted_and_bounded() {
+        let report = UtilizationReport::new(&arch(3));
+        let worst = report.worst_offenders(5);
+        assert!(worst.len() <= 5);
+        for pair in worst.windows(2) {
+            assert!(pair[0].idle_wire_cycles() >= pair[1].idle_wire_cycles());
+        }
+        let all = report.worst_offenders(usize::MAX);
+        assert_eq!(all.len(), report.cores().len());
+    }
+
+    #[test]
+    fn display_mentions_every_tam() {
+        let a = arch(3);
+        let text = UtilizationReport::new(&a).to_string();
+        for tam in 1..=a.num_tams() {
+            assert!(text.contains(&format!("TAM {tam} ")), "missing TAM {tam}");
+        }
+        assert!(text.contains("utilization"));
+    }
+}

@@ -1,0 +1,201 @@
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use tamopt_assign::{AssignResult, TamSet};
+use tamopt_partition::PruneStats;
+use tamopt_soc::Soc;
+use tamopt_wrapper::{design_wrapper, WrapperDesign};
+
+use crate::TamOptError;
+
+/// A complete SOC test architecture: the output of [`crate::CoOptimizer`].
+///
+/// Bundles the chosen TAM set, the core assignment, the per-core wrapper
+/// designs and the solve statistics into one reviewable object.
+#[derive(Debug, Clone)]
+pub struct Architecture {
+    /// The SOC the architecture was designed for.
+    pub soc: Soc,
+    /// The TAM widths (non-decreasing; the paper's partition notation).
+    pub tams: TamSet,
+    /// The optimized core assignment.
+    pub assignment: AssignResult,
+    /// The wrapper design of every core at its TAM's width
+    /// (`wrappers[core]`).
+    pub wrappers: Vec<WrapperDesign>,
+    /// Step-1 (heuristic) SOC time, before the final optimization.
+    pub heuristic_time_cycles: u64,
+    /// Pruning statistics of the partition search.
+    pub stats: PruneStats,
+    /// Wall-clock time spent in the partition search.
+    pub evaluate_time: Duration,
+    /// Wall-clock time spent in the final exact step.
+    pub final_time: Duration,
+}
+
+impl Architecture {
+    pub(crate) fn assemble(
+        soc: Soc,
+        tams: TamSet,
+        assignment: AssignResult,
+        heuristic_time_cycles: u64,
+        stats: PruneStats,
+        evaluate_time: Duration,
+        final_time: Duration,
+    ) -> Result<Self, TamOptError> {
+        let wrappers = soc
+            .iter()
+            .zip(assignment.assignment())
+            .map(|(core, &tam)| design_wrapper(core, tams.width(tam)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Architecture {
+            soc,
+            tams,
+            assignment,
+            wrappers,
+            heuristic_time_cycles,
+            stats,
+            evaluate_time,
+            final_time,
+        })
+    }
+
+    /// SOC testing time of this architecture, in clock cycles.
+    pub fn soc_time(&self) -> u64 {
+        self.assignment.soc_time()
+    }
+
+    /// Number of TAMs.
+    pub fn num_tams(&self) -> usize {
+        self.tams.len()
+    }
+
+    /// The wrapper designed for `core` (indexed in SOC order).
+    pub fn wrapper(&self, core: usize) -> &WrapperDesign {
+        &self.wrappers[core]
+    }
+
+    /// Idle wires summed over all cores: TAM wires assigned but unused by
+    /// the wrapper (the waste multiple TAMs are meant to reduce).
+    pub fn idle_wires(&self) -> u64 {
+        self.wrappers
+            .iter()
+            .zip(self.assignment.assignment())
+            .map(|(w, &tam)| u64::from(self.tams.width(tam) - w.used_width()))
+            .sum()
+    }
+
+    /// A human-readable report in the style of the paper's tables.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "SOC {}", self.soc.name());
+        let _ = writeln!(
+            out,
+            "  architecture : {} TAM(s), widths {} (W = {})",
+            self.tams.len(),
+            self.tams,
+            self.tams.total_width()
+        );
+        let _ = writeln!(out, "  testing time : {} cycles", self.soc_time());
+        let _ = writeln!(
+            out,
+            "  heuristic    : {} cycles before the final exact step",
+            self.heuristic_time_cycles
+        );
+        let _ = writeln!(
+            out,
+            "  assignment   : {}",
+            self.assignment.assignment_vector()
+        );
+        for (tam, &time) in self.assignment.tam_times().iter().enumerate() {
+            let members: Vec<&str> = self
+                .soc
+                .iter()
+                .zip(self.assignment.assignment())
+                .filter(|(_, &t)| t == tam)
+                .map(|(c, _)| c.name())
+                .collect();
+            let _ = writeln!(
+                out,
+                "  TAM {} (w={:>3}) : {:>12} cycles  [{}]",
+                tam + 1,
+                self.tams.width(tam),
+                time,
+                members.join(", ")
+            );
+        }
+        let _ = writeln!(out, "  idle wires   : {}", self.idle_wires());
+        let _ = writeln!(
+            out,
+            "  search       : {} partitions enumerated, {} completed, {} pruned",
+            self.stats.enumerated, self.stats.completed, self.stats.aborted
+        );
+        let _ = writeln!(
+            out,
+            "  wall clock   : {:.3?} evaluate + {:.3?} final step",
+            self.evaluate_time, self.final_time
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoOptimizer, Strategy};
+    use tamopt_soc::benchmarks;
+
+    fn arch() -> Architecture {
+        CoOptimizer::new(benchmarks::d695(), 24)
+            .max_tams(3)
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn wrappers_cover_every_core() {
+        let a = arch();
+        assert_eq!(a.wrappers.len(), a.soc.num_cores());
+        for (i, w) in a.wrappers.iter().enumerate() {
+            let tam = a.assignment.assignment()[i];
+            assert_eq!(w.width(), a.tams.width(tam));
+        }
+    }
+
+    #[test]
+    fn soc_time_consistent_with_wrappers() {
+        let a = arch();
+        // Recompute per-TAM times from the wrappers directly.
+        let mut tam_times = vec![0u64; a.num_tams()];
+        for (i, w) in a.wrappers.iter().enumerate() {
+            tam_times[a.assignment.assignment()[i]] += w.test_time();
+        }
+        assert_eq!(tam_times.iter().max().copied().unwrap(), a.soc_time());
+    }
+
+    #[test]
+    fn report_mentions_everything() {
+        let a = arch();
+        let r = a.report();
+        assert!(r.contains("SOC d695"));
+        assert!(r.contains("testing time"));
+        assert!(r.contains("TAM 1"));
+        assert!(r.contains("partitions enumerated"));
+    }
+
+    #[test]
+    fn idle_wires_bounded_by_total_width() {
+        let a = arch();
+        assert!(a.idle_wires() <= u64::from(a.tams.total_width()) * a.soc.num_cores() as u64);
+    }
+
+    #[test]
+    fn heuristic_time_at_least_final() {
+        let a = CoOptimizer::new(benchmarks::d695(), 32)
+            .max_tams(4)
+            .strategy(Strategy::TwoStep)
+            .run()
+            .unwrap();
+        assert!(a.soc_time() <= a.heuristic_time_cycles);
+    }
+}

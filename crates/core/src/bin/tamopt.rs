@@ -1,0 +1,313 @@
+//! `tamopt` — command-line wrapper/TAM co-optimization.
+//!
+//! ```text
+//! USAGE:
+//!   tamopt --soc <file.soc | d695 | p21241 | p31108 | p93791>
+//!          --width <W> [--max-tams <B>] [--tams <B>]
+//!          [--strategy two-step|two-step-ilp|heuristic|exhaustive]
+//!          [--analyze] [--gantt] [--svg <out.svg>] [--rail]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! tamopt --soc d695 --width 32 --max-tams 4
+//! tamopt --soc my_chip.soc --width 48 --tams 3 --strategy exhaustive
+//! tamopt --soc d695 --width 48 --max-tams 6 --analyze --gantt --rail
+//! tamopt --soc p21241 --width 64 --max-tams 6 --svg schedule.svg
+//! ```
+
+use std::process::ExitCode;
+
+use tamopt::analysis::UtilizationReport;
+use tamopt::cost::{BusCost, GateWeights};
+use tamopt::rail::{design_rails, RailConfig, RailCostModel};
+use tamopt::schedule::TestSchedule;
+use tamopt::soc::format::parse_soc;
+use tamopt::{benchmarks, CoOptimizer, Soc, Strategy};
+
+#[derive(Debug)]
+struct Args {
+    soc: String,
+    width: u32,
+    min_tams: u32,
+    max_tams: Option<u32>,
+    fixed_tams: Option<u32>,
+    strategy: Strategy,
+    analyze: bool,
+    gantt: bool,
+    svg: Option<String>,
+    rail: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: tamopt --soc <file.soc|d695|p21241|p31108|p93791> --width <W> \
+     [--max-tams <B>] [--tams <B>] \
+     [--strategy two-step|two-step-ilp|heuristic|exhaustive] \
+     [--analyze] [--gantt] [--svg <out.svg>] [--rail]"
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut soc = None;
+    let mut width = None;
+    let mut min_tams = 1u32;
+    let mut max_tams = None;
+    let mut fixed_tams = None;
+    let mut strategy = Strategy::TwoStep;
+    let mut analyze = false;
+    let mut gantt = false;
+    let mut svg = None;
+    let mut rail = false;
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--soc" => soc = Some(value("--soc")?),
+            "--width" => {
+                width = Some(
+                    value("--width")?
+                        .parse()
+                        .map_err(|_| "invalid --width value".to_owned())?,
+                )
+            }
+            "--min-tams" => {
+                min_tams = value("--min-tams")?
+                    .parse()
+                    .map_err(|_| "invalid --min-tams value".to_owned())?
+            }
+            "--max-tams" => {
+                max_tams = Some(
+                    value("--max-tams")?
+                        .parse()
+                        .map_err(|_| "invalid --max-tams value".to_owned())?,
+                )
+            }
+            "--tams" => {
+                fixed_tams = Some(
+                    value("--tams")?
+                        .parse()
+                        .map_err(|_| "invalid --tams value".to_owned())?,
+                )
+            }
+            "--strategy" => {
+                strategy = match value("--strategy")?.as_str() {
+                    "two-step" => Strategy::TwoStep,
+                    "two-step-ilp" => Strategy::TwoStepIlp,
+                    "heuristic" => Strategy::Heuristic,
+                    "exhaustive" => Strategy::Exhaustive,
+                    other => return Err(format!("unknown strategy `{other}`")),
+                }
+            }
+            "--analyze" => analyze = true,
+            "--gantt" => gantt = true,
+            "--svg" => svg = Some(value("--svg")?),
+            "--rail" => rail = true,
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        soc: soc.ok_or_else(|| format!("--soc is required\n{}", usage()))?,
+        width: width.ok_or_else(|| format!("--width is required\n{}", usage()))?,
+        min_tams,
+        max_tams,
+        fixed_tams,
+        strategy,
+        analyze,
+        gantt,
+        svg,
+        rail,
+    })
+}
+
+fn load_soc(name: &str) -> Result<Soc, String> {
+    match name {
+        "d695" => Ok(benchmarks::d695()),
+        "p21241" => Ok(benchmarks::p21241()),
+        "p31108" => Ok(benchmarks::p31108()),
+        "p93791" => Ok(benchmarks::p93791()),
+        path => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            parse_soc(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let soc = match load_soc(&args.soc) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut optimizer = CoOptimizer::new(soc.clone(), args.width)
+        .min_tams(args.min_tams)
+        .strategy(args.strategy);
+    if let Some(b) = args.fixed_tams {
+        optimizer = optimizer.exact_tams(b);
+    } else if let Some(b) = args.max_tams {
+        optimizer = optimizer.max_tams(b);
+    }
+    let arch = match optimizer.run() {
+        Ok(arch) => arch,
+        Err(e) => {
+            eprintln!("optimization failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", arch.report());
+    if args.analyze {
+        println!();
+        print!("{}", UtilizationReport::new(&arch));
+        let cost = BusCost::of(&arch);
+        println!(
+            "hardware: {} boundary cells, {} mux2 equivalents, {} wire attachments \
+             ({:.0} gate equivalents)",
+            cost.boundary_cells,
+            cost.mux_equivalents,
+            cost.wire_attachments,
+            cost.gate_equivalents(&GateWeights::default())
+        );
+    }
+    if args.gantt {
+        println!();
+        print!("{}", TestSchedule::serial(&arch).gantt(72));
+    }
+    if let Some(path) = &args.svg {
+        let svg = TestSchedule::serial(&arch).to_svg(900);
+        if let Err(e) = std::fs::write(path, svg) {
+            eprintln!("cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nschedule written to {path}");
+    }
+    if args.rail {
+        let max_rails = args.fixed_tams.or(args.max_tams).unwrap_or(6);
+        let comparison = RailCostModel::new(&soc, args.width)
+            .map_err(|e| e.to_string())
+            .and_then(|model| {
+                design_rails(&model, args.width, &RailConfig::up_to_rails(max_rails))
+                    .map_err(|e| e.to_string())
+            });
+        match comparison {
+            Ok(design) => {
+                println!();
+                print!("{}", design.report());
+                println!(
+                    "  bypass tax   : {:+.1} % vs the test-bus architecture",
+                    (design.soc_time() as f64 / arch.soc_time() as f64 - 1.0) * 100.0
+                );
+            }
+            Err(e) => {
+                eprintln!("testrail comparison failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Result<Args, String> {
+        parse_args(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_minimal() {
+        let a = args(&["--soc", "d695", "--width", "32"]).unwrap();
+        assert_eq!(a.soc, "d695");
+        assert_eq!(a.width, 32);
+        assert_eq!(a.min_tams, 1);
+        assert!(a.max_tams.is_none());
+        assert!(a.fixed_tams.is_none());
+        assert_eq!(a.strategy, Strategy::TwoStep);
+    }
+
+    #[test]
+    fn parses_everything() {
+        let a = args(&[
+            "--soc",
+            "chip.soc",
+            "--width",
+            "48",
+            "--min-tams",
+            "2",
+            "--max-tams",
+            "6",
+            "--strategy",
+            "exhaustive",
+            "--analyze",
+            "--gantt",
+            "--svg",
+            "out.svg",
+            "--rail",
+        ])
+        .unwrap();
+        assert_eq!(a.min_tams, 2);
+        assert_eq!(a.max_tams, Some(6));
+        assert_eq!(a.strategy, Strategy::Exhaustive);
+        assert!(a.analyze);
+        assert!(a.gantt);
+        assert_eq!(a.svg.as_deref(), Some("out.svg"));
+        assert!(a.rail);
+    }
+
+    #[test]
+    fn report_flags_default_off() {
+        let a = args(&["--soc", "d695", "--width", "32"]).unwrap();
+        assert!(!a.analyze && !a.gantt && !a.rail);
+        assert!(a.svg.is_none());
+    }
+
+    #[test]
+    fn rejects_missing_required() {
+        assert!(args(&["--width", "32"])
+            .unwrap_err()
+            .contains("--soc is required"));
+        assert!(args(&["--soc", "d695"])
+            .unwrap_err()
+            .contains("--width is required"));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(args(&["--soc", "d695", "--width", "x"]).is_err());
+        assert!(args(&["--soc", "d695", "--width", "8", "--strategy", "magic"]).is_err());
+        assert!(args(&["--soc", "d695", "--width", "8", "--frobnicate"]).is_err());
+        assert!(args(&["--soc"]).is_err());
+    }
+
+    #[test]
+    fn strategy_names() {
+        for (name, expected) in [
+            ("two-step", Strategy::TwoStep),
+            ("two-step-ilp", Strategy::TwoStepIlp),
+            ("heuristic", Strategy::Heuristic),
+            ("exhaustive", Strategy::Exhaustive),
+        ] {
+            let a = args(&["--soc", "d695", "--width", "8", "--strategy", name]).unwrap();
+            assert_eq!(a.strategy, expected, "{name}");
+        }
+    }
+
+    #[test]
+    fn load_soc_knows_benchmarks() {
+        assert_eq!(load_soc("d695").unwrap().num_cores(), 10);
+        assert_eq!(load_soc("p93791").unwrap().num_cores(), 32);
+        assert!(load_soc("/nonexistent/x.soc").is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! The classic scan access architectures of Aerts & Marinissen — the
+//! paper's reference [1] — as baselines for the test-bus model.
+//!
+//! Before wrapper/TAM co-optimization, core-based SOCs were tested
+//! through one of three fixed access schemes:
+//!
+//! * **multiplexing** — all `W` wires reach every core, one core tests
+//!   at a time: `T = Σ_i T_i(W)` ([`multiplexing`]);
+//! * **distribution** — every core gets its own private slice of the
+//!   `W` wires and all cores test simultaneously:
+//!   `T = max_i T_i(w_i)`, `Σ w_i = W` ([`distribution`], which
+//!   optimizes the slice widths);
+//! * **daisychain** — cores share a serial path with bypasses (the
+//!   TestRail of reference [11]; see [`crate::rail`]).
+//!
+//! Both schemes here are *limit cases of the paper's test-bus model*:
+//! multiplexing is a test bus with `B = 1`, and distribution is a test
+//! bus with one core per TAM. The paper's flexible `B` therefore can
+//! never lose to either — a property the tests pin down — and the gap
+//! it opens is the measurable value of wrapper/TAM co-optimization.
+//!
+//! # Example
+//!
+//! ```
+//! use tamopt::classic::{distribution, multiplexing};
+//! use tamopt::{benchmarks, CoOptimizer, TimeTable};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let soc = benchmarks::d695();
+//! let table = TimeTable::new(&soc, 32)?;
+//! let mux = multiplexing(&table, 32);
+//! let dist = distribution(&table, 32)?;
+//! let bus = CoOptimizer::new(soc, 32).max_tams(6).run()?;
+//! assert!(bus.soc_time() <= mux);
+//! assert!(bus.soc_time() <= dist.time());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use tamopt_wrapper::TimeTable;
+
+/// Error type of the classic-architecture baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClassicError {
+    /// Distribution needs at least one wire per core.
+    TooNarrow {
+        /// The offered total width.
+        width: u32,
+        /// The number of cores needing private wires.
+        cores: usize,
+    },
+    /// The width exceeds the time table's range.
+    WidthOutOfRange {
+        /// The offered total width.
+        width: u32,
+        /// The table's maximum width.
+        max_width: u32,
+    },
+}
+
+impl fmt::Display for ClassicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassicError::TooNarrow { width, cores } => write!(
+                f,
+                "distribution needs one wire per core: {width} wires for {cores} cores"
+            ),
+            ClassicError::WidthOutOfRange { width, max_width } => {
+                write!(f, "width {width} exceeds the table's range {max_width}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClassicError {}
+
+/// SOC testing time of the *multiplexing* architecture: every core sees
+/// the full `width`, cores test one after another.
+///
+/// Identical to a test bus with a single TAM of width `width`.
+///
+/// # Panics
+///
+/// Panics if `width` is `0` or exceeds the table's range (the same
+/// contract as [`TimeTable::time`]).
+pub fn multiplexing(table: &TimeTable, width: u32) -> u64 {
+    (0..table.num_cores())
+        .map(|core| table.time(core, width))
+        .sum()
+}
+
+/// An optimized *distribution* architecture: private per-core widths
+/// summing to the budget, all cores testing in parallel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Distribution {
+    widths: Vec<u32>,
+    time: u64,
+}
+
+impl Distribution {
+    /// The private width of each core, in SOC order.
+    pub fn widths(&self) -> &[u32] {
+        &self.widths
+    }
+
+    /// SOC testing time: the slowest core at its private width.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+}
+
+/// Optimizes the *distribution* architecture: splits `width` wires into
+/// private per-core slices minimizing `max_i T_i(w_i)`.
+///
+/// Greedy bottleneck allocation: start every core at one wire, then
+/// repeatedly grant a wire to the currently slowest core. Because each
+/// `T_i(w)` is non-increasing in `w`, no allocation can do better than
+/// this exchange-optimal schedule (verified against brute force in the
+/// tests).
+///
+/// # Errors
+///
+/// * [`ClassicError::TooNarrow`] if `width < table.num_cores()`;
+/// * [`ClassicError::WidthOutOfRange`] if `width` exceeds the table.
+pub fn distribution(table: &TimeTable, width: u32) -> Result<Distribution, ClassicError> {
+    let n = table.num_cores();
+    if (width as usize) < n {
+        return Err(ClassicError::TooNarrow { width, cores: n });
+    }
+    if width > table.max_width() {
+        return Err(ClassicError::WidthOutOfRange {
+            width,
+            max_width: table.max_width(),
+        });
+    }
+    let mut widths = vec![1u32; n];
+    let mut spare = width - n as u32;
+    while spare > 0 {
+        let bottleneck = (0..n)
+            .max_by_key(|&core| (table.time(core, widths[core]), core))
+            .expect("distribution requires at least one core");
+        // Granting a wire to the bottleneck may not help it (its
+        // staircase can be flat) — but then no core above the flat
+        // section exists and the allocation is already optimal.
+        if table.time(bottleneck, widths[bottleneck] + 1)
+            == table.time(bottleneck, widths[bottleneck])
+        {
+            // Spend the wire anyway to keep Σ w_i = W (it is free).
+            widths[bottleneck] += 1;
+            spare -= 1;
+            if table.row(bottleneck)[(widths[bottleneck] - 1) as usize..]
+                .windows(2)
+                .all(|pair| pair[0] == pair[1])
+            {
+                // The bottleneck saturated: no further grant changes T.
+                widths[bottleneck] += spare;
+                spare = 0;
+            }
+            continue;
+        }
+        widths[bottleneck] += 1;
+        spare -= 1;
+    }
+    let time = (0..n)
+        .map(|core| table.time(core, widths[core]))
+        .max()
+        .unwrap_or(0);
+    Ok(Distribution { widths, time })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{benchmarks, CoOptimizer, Strategy};
+    use tamopt_wrapper::TimeTable;
+
+    fn table(width: u32) -> TimeTable {
+        TimeTable::new(&benchmarks::d695(), width).unwrap()
+    }
+
+    #[test]
+    fn multiplexing_is_a_single_tam_bus() {
+        let soc = benchmarks::d695();
+        let t = table(24);
+        let bus = CoOptimizer::new(soc, 24)
+            .exact_tams(1)
+            .strategy(Strategy::Exhaustive)
+            .run()
+            .unwrap();
+        assert_eq!(multiplexing(&t, 24), bus.soc_time());
+    }
+
+    #[test]
+    fn distribution_widths_sum_to_budget() {
+        let t = table(32);
+        let d = distribution(&t, 32).unwrap();
+        assert_eq!(d.widths().iter().sum::<u32>(), 32);
+        assert!(d.widths().iter().all(|&w| w >= 1));
+        let recomputed = (0..t.num_cores())
+            .map(|core| t.time(core, d.widths()[core]))
+            .max()
+            .unwrap();
+        assert_eq!(d.time(), recomputed);
+    }
+
+    #[test]
+    fn greedy_matches_brute_force_on_small_instances() {
+        // 3 cores, widths up to 6: enumerate all compositions.
+        let rows = vec![
+            vec![100, 60, 40, 30, 25, 22],
+            vec![90, 50, 35, 28, 24, 21],
+            vec![80, 45, 30, 24, 20, 18],
+        ];
+        let t = TimeTable::from_matrix(rows.clone());
+        for total in 3u32..=6 {
+            let greedy = distribution(&t, total).unwrap().time();
+            let mut best = u64::MAX;
+            for a in 1..=total - 2 {
+                for b in 1..=total - a - 1 {
+                    let c = total - a - b;
+                    let time = rows[0][(a - 1) as usize]
+                        .max(rows[1][(b - 1) as usize])
+                        .max(rows[2][(c - 1) as usize]);
+                    best = best.min(time);
+                }
+            }
+            assert_eq!(greedy, best, "W = {total}");
+        }
+    }
+
+    #[test]
+    fn flexible_bus_never_loses_to_either_classic() {
+        let soc = benchmarks::d695();
+        for width in [16u32, 32, 48] {
+            let t = TimeTable::new(&soc, width).unwrap();
+            let bus = CoOptimizer::new(soc.clone(), width)
+                .max_tams(10)
+                .run()
+                .unwrap();
+            assert!(
+                bus.soc_time() <= multiplexing(&t, width),
+                "mux at W={width}"
+            );
+            assert!(
+                bus.soc_time() <= distribution(&t, width).unwrap().time(),
+                "distribution at W={width}"
+            );
+        }
+    }
+
+    #[test]
+    fn distribution_beats_multiplexing_with_many_idle_wires() {
+        // At generous widths parallelism wins on d695.
+        let t = table(64);
+        assert!(distribution(&t, 64).unwrap().time() < multiplexing(&t, 64));
+    }
+
+    #[test]
+    fn too_narrow_is_an_error() {
+        let t = table(16);
+        assert_eq!(
+            distribution(&t, 5).unwrap_err(),
+            ClassicError::TooNarrow {
+                width: 5,
+                cores: 10
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_width_is_an_error() {
+        let t = table(16);
+        assert_eq!(
+            distribution(&t, 20).unwrap_err(),
+            ClassicError::WidthOutOfRange {
+                width: 20,
+                max_width: 16
+            }
+        );
+    }
+
+    #[test]
+    fn errors_display_lowercase() {
+        for e in [
+            ClassicError::TooNarrow {
+                width: 5,
+                cores: 10,
+            }
+            .to_string(),
+            ClassicError::WidthOutOfRange {
+                width: 20,
+                max_width: 16,
+            }
+            .to_string(),
+        ] {
+            assert!(e.chars().next().unwrap().is_lowercase());
+            assert!(!e.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn saturated_table_terminates() {
+        // All cores flat from width 1 on: the spare-dumping path runs.
+        let t = TimeTable::from_matrix(vec![vec![10, 10, 10, 10]; 3]);
+        let d = distribution(&t, 4).unwrap();
+        assert_eq!(d.time(), 10);
+        assert_eq!(d.widths().iter().sum::<u32>(), 4);
+    }
+}

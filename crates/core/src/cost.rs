@@ -1,0 +1,313 @@
+//! First-order DFT area accounting for test architectures.
+//!
+//! Testing time is only half of the wrapper/TAM trade-off; the other
+//! half is silicon. This module provides a deliberately first-order
+//! hardware cost model so the architectures produced by this workspace
+//! (and the test-bus vs TestRail choice of the paper vs its
+//! reference [11]) can be compared in gate-equivalents, not only
+//! cycles:
+//!
+//! * **wrapper boundary cells** — one cell per functional terminal
+//!   (bidirs pay on both paths), independent of the TAM architecture;
+//! * **test bus** ([`BusCost`]) — a TAM of width `w` shared by `k`
+//!   cores needs a `k:1` multiplexer per wire on the return path,
+//!   counted as `w·(k-1)` 2:1-mux equivalents, plus `w` wires fanned
+//!   out to `k` wrappers;
+//! * **TestRail** ([`RailCost`]) — no multiplexers (wrappers are
+//!   daisy-chained), but every wrapper carries one bypass flip-flop per
+//!   rail wire: `w` flops per core on a `w`-wide rail.
+//!
+//! The model counts *architecture-dependent* hardware; clocking, test
+//! control and the cores' own scan cells are common to all candidates
+//! and omitted.
+//!
+//! # Example
+//!
+//! ```
+//! use tamopt::cost::{BusCost, RailCost};
+//! use tamopt::rail::{design_rails, RailConfig, RailCostModel};
+//! use tamopt::{benchmarks, CoOptimizer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let soc = benchmarks::d695();
+//! let bus = CoOptimizer::new(soc.clone(), 32).max_tams(4).run()?;
+//! let model = RailCostModel::new(&soc, 32)?;
+//! let rail = design_rails(&model, 32, &RailConfig::up_to_rails(4))?;
+//! let bus_cost = BusCost::of(&bus);
+//! let rail_cost = RailCost::of(&rail, &soc);
+//! // Rails trade multiplexers for bypass flops.
+//! assert_eq!(bus_cost.bypass_flops, 0);
+//! assert_eq!(rail_cost.mux_equivalents, 0);
+//! assert!(rail_cost.bypass_flops > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use tamopt_rail::RailDesign;
+use tamopt_soc::Soc;
+
+use crate::Architecture;
+
+/// Gate-equivalent weights of the primitive elements, used by the
+/// `gate_equivalents` summaries. First-order standard-cell figures: a
+/// scan-capable boundary cell ≈ a flop + mux, a bypass flop ≈ a flop,
+/// a 2:1 mux ≈ half a flop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateWeights {
+    /// Gate equivalents per wrapper boundary cell.
+    pub boundary_cell: f64,
+    /// Gate equivalents per bypass flip-flop.
+    pub bypass_flop: f64,
+    /// Gate equivalents per 2:1 multiplexer.
+    pub mux2: f64,
+}
+
+impl Default for GateWeights {
+    fn default() -> Self {
+        GateWeights {
+            boundary_cell: 10.0,
+            bypass_flop: 6.0,
+            mux2: 3.0,
+        }
+    }
+}
+
+/// Architecture-dependent hardware of a test-bus architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusCost {
+    /// Wrapper boundary cells over all cores (terminal cells; bidirs
+    /// counted on both the input and output path).
+    pub boundary_cells: u64,
+    /// 2:1-multiplexer equivalents on the TAM return paths:
+    /// `Σ_tams width · (cores_on_tam − 1)`.
+    pub mux_equivalents: u64,
+    /// Bypass flip-flops (always 0 in the bus model; present so bus and
+    /// rail costs share a vocabulary).
+    pub bypass_flops: u64,
+    /// Wire-attachment count: `Σ_cores width(tam(core))` — how many
+    /// wire-to-wrapper connections must be routed.
+    pub wire_attachments: u64,
+}
+
+/// Architecture-dependent hardware of a TestRail architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RailCost {
+    /// Wrapper boundary cells over all cores (same as the bus model —
+    /// the wrapper itself does not change).
+    pub boundary_cells: u64,
+    /// 2:1-multiplexer equivalents (always 0: rails daisy-chain).
+    pub mux_equivalents: u64,
+    /// Bypass flip-flops: one per rail wire per core,
+    /// `Σ_cores width(rail(core))`.
+    pub bypass_flops: u64,
+    /// Wire-attachment count: identical to the bypass flop count (each
+    /// rail wire enters and leaves every wrapper on the rail).
+    pub wire_attachments: u64,
+}
+
+fn boundary_cells(soc: &Soc) -> u64 {
+    soc.iter()
+        .map(|c| u64::from(c.input_cells()) + u64::from(c.output_cells()))
+        .sum()
+}
+
+impl BusCost {
+    /// Accounts the hardware of `architecture`.
+    pub fn of(architecture: &Architecture) -> Self {
+        let mut population = vec![0u64; architecture.num_tams()];
+        let mut wire_attachments = 0u64;
+        for &tam in architecture.assignment.assignment() {
+            population[tam] += 1;
+            wire_attachments += u64::from(architecture.tams.width(tam));
+        }
+        let mux_equivalents = population
+            .iter()
+            .enumerate()
+            .map(|(tam, &k)| u64::from(architecture.tams.width(tam)) * k.saturating_sub(1))
+            .sum();
+        BusCost {
+            boundary_cells: boundary_cells(&architecture.soc),
+            mux_equivalents,
+            bypass_flops: 0,
+            wire_attachments,
+        }
+    }
+
+    /// Weighted gate-equivalent summary.
+    pub fn gate_equivalents(&self, weights: &GateWeights) -> f64 {
+        self.boundary_cells as f64 * weights.boundary_cell
+            + self.bypass_flops as f64 * weights.bypass_flop
+            + self.mux_equivalents as f64 * weights.mux2
+    }
+}
+
+impl RailCost {
+    /// Accounts the hardware of `design` for `soc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `design` was not produced for `soc` (core counts
+    /// disagree).
+    pub fn of(design: &RailDesign, soc: &Soc) -> Self {
+        assert_eq!(
+            design.assignment.assignment().len(),
+            soc.num_cores(),
+            "design matches the SOC"
+        );
+        let bypass_flops: u64 = design
+            .assignment
+            .assignment()
+            .iter()
+            .map(|&rail| u64::from(design.rails.width(rail)))
+            .sum();
+        RailCost {
+            boundary_cells: boundary_cells(soc),
+            mux_equivalents: 0,
+            bypass_flops,
+            wire_attachments: bypass_flops,
+        }
+    }
+
+    /// Weighted gate-equivalent summary.
+    pub fn gate_equivalents(&self, weights: &GateWeights) -> f64 {
+        self.boundary_cells as f64 * weights.boundary_cell
+            + self.bypass_flops as f64 * weights.bypass_flop
+            + self.mux_equivalents as f64 * weights.mux2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rail::{design_rails, RailConfig, RailCostModel};
+    use crate::CoOptimizer;
+    use tamopt_soc::benchmarks;
+
+    fn soc() -> Soc {
+        benchmarks::d695()
+    }
+
+    fn bus(width: u32, max_tams: u32) -> Architecture {
+        CoOptimizer::new(soc(), width)
+            .max_tams(max_tams)
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn boundary_cells_are_architecture_independent() {
+        let narrow = BusCost::of(&bus(16, 2));
+        let wide = BusCost::of(&bus(48, 5));
+        assert_eq!(narrow.boundary_cells, wide.boundary_cells);
+        // d695: Σ inputs + outputs (no bidirs).
+        let expected: u64 = soc()
+            .iter()
+            .map(|c| u64::from(c.inputs()) + u64::from(c.outputs()))
+            .sum();
+        assert_eq!(narrow.boundary_cells, expected);
+    }
+
+    #[test]
+    fn mux_count_matches_hand_computation() {
+        let a = bus(32, 3);
+        let cost = BusCost::of(&a);
+        let mut expected = 0u64;
+        for tam in 0..a.num_tams() {
+            let k = a
+                .assignment
+                .assignment()
+                .iter()
+                .filter(|&&t| t == tam)
+                .count() as u64;
+            expected += u64::from(a.tams.width(tam)) * k.saturating_sub(1);
+        }
+        assert_eq!(cost.mux_equivalents, expected);
+        assert_eq!(cost.bypass_flops, 0);
+    }
+
+    #[test]
+    fn single_core_tams_need_no_muxes() {
+        // With as many TAMs as cores every TAM holds one core.
+        let small = tamopt_soc::Soc::builder("two")
+            .core(
+                tamopt_soc::Core::builder("a")
+                    .inputs(4)
+                    .outputs(4)
+                    .scan_chains([8])
+                    .patterns(10)
+                    .build()
+                    .unwrap(),
+            )
+            .core(
+                tamopt_soc::Core::builder("b")
+                    .inputs(4)
+                    .outputs(4)
+                    .scan_chains([8])
+                    .patterns(10)
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let a = CoOptimizer::new(small, 8).exact_tams(2).run().unwrap();
+        let cost = BusCost::of(&a);
+        assert_eq!(cost.mux_equivalents, 0);
+    }
+
+    #[test]
+    fn rail_cost_trades_muxes_for_bypass_flops() {
+        let model = RailCostModel::new(&soc(), 32).unwrap();
+        let design = design_rails(&model, 32, &RailConfig::up_to_rails(4)).unwrap();
+        let cost = RailCost::of(&design, &soc());
+        assert_eq!(cost.mux_equivalents, 0);
+        assert!(cost.bypass_flops > 0);
+        assert_eq!(cost.wire_attachments, cost.bypass_flops);
+        // Hand recomputation.
+        let expected: u64 = design
+            .assignment
+            .assignment()
+            .iter()
+            .map(|&r| u64::from(design.rails.width(r)))
+            .sum();
+        assert_eq!(cost.bypass_flops, expected);
+    }
+
+    #[test]
+    fn gate_equivalents_weight_the_right_fields() {
+        let cost = BusCost {
+            boundary_cells: 10,
+            mux_equivalents: 4,
+            bypass_flops: 0,
+            wire_attachments: 0,
+        };
+        let w = GateWeights {
+            boundary_cell: 1.0,
+            bypass_flop: 100.0,
+            mux2: 2.0,
+        };
+        assert_eq!(cost.gate_equivalents(&w), 10.0 + 8.0);
+        let rail = RailCost {
+            boundary_cells: 10,
+            mux_equivalents: 0,
+            bypass_flops: 3,
+            wire_attachments: 3,
+        };
+        assert_eq!(rail.gate_equivalents(&w), 10.0 + 300.0);
+    }
+
+    #[test]
+    fn default_weights_are_ordered_sensibly() {
+        let w = GateWeights::default();
+        assert!(w.boundary_cell > w.bypass_flop);
+        assert!(w.bypass_flop > w.mux2);
+    }
+
+    #[test]
+    #[should_panic(expected = "matches the SOC")]
+    fn rail_cost_rejects_mismatched_soc() {
+        let model = RailCostModel::new(&soc(), 16).unwrap();
+        let design = design_rails(&model, 16, &RailConfig::up_to_rails(2)).unwrap();
+        let other = benchmarks::p21241();
+        let _ = RailCost::of(&design, &other);
+    }
+}

@@ -1,0 +1,113 @@
+//! # tamopt — wrapper/TAM co-optimization for SOC test architectures
+//!
+//! A from-scratch reproduction of *Iyengar, Chakrabarty & Marinissen,
+//! "Efficient Wrapper/TAM Co-Optimization for Large SOCs" (DATE 2002)*,
+//! packaged as the library a DFT engineer would actually use.
+//!
+//! An SOC integrates many pre-designed cores; testing them requires
+//! (1) a *test wrapper* around each core and (2) *test access mechanisms*
+//! (TAMs) — on-chip buses of limited total width `W` that carry test
+//! data from the chip pins to the wrappers. Cores on one TAM are tested
+//! serially; TAMs operate in parallel. Minimizing the SOC testing time
+//! means co-optimizing four nested decisions: wrapper design per core
+//! (*P_W*), core-to-TAM assignment (*P_AW*), the width partition
+//! (*P_PAW*), and the number of TAMs (*P_NPAW*).
+//!
+//! The centerpiece is the paper's two-step heuristic methodology
+//! ([`CoOptimizer`] with [`Strategy::TwoStep`]): the fast
+//! `Partition_evaluate`/`Core_assign` heuristics pick an architecture,
+//! then one exact optimization pass polishes the core assignment. The
+//! exhaustive exact baseline ([`Strategy::Exhaustive`]) is included for
+//! comparison, as are all substrates (wrapper design, a simplex LP
+//! solver, branch-and-bound ILP).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tamopt::{benchmarks, CoOptimizer};
+//!
+//! # fn main() -> Result<(), tamopt::TamOptError> {
+//! let soc = benchmarks::d695();
+//! let architecture = CoOptimizer::new(soc, 32).max_tams(4).run()?;
+//! println!("{}", architecture.report());
+//! assert_eq!(architecture.tams.total_width(), 32);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents | paper problem |
+//! |---|---|---|
+//! | [`soc`] | SOC/core model, `.soc` format, benchmarks, generator | — |
+//! | [`wrapper`] | `Design_wrapper`, time tables, Pareto analysis | *P_W* |
+//! | [`assign`] | `Core_assign`, exact B&B, the Section 3.2 ILP | *P_AW* |
+//! | [`partition`] | `Partition_evaluate`, exhaustive baseline, pipeline | *P_PAW*, *P_NPAW* |
+//! | [`lp`], [`ilp`] | simplex + branch-and-bound substrate (lpsolve stand-in) | — |
+//! | [`rail`] | TestRail (daisy-chain) model of the paper's ref [11] | extension |
+//! | [`analysis`] | idle-wire / utilization metrics behind the paper's motivation | extension |
+//! | [`schedule`] | serial + power-capped test schedules, Gantt/SVG rendering | extension |
+//! | [`power`] | power-aware co-optimization (the paper's refs [9, 13]) | extension |
+//! | [`cost`] | first-order DFT area accounting (bus muxes vs rail bypasses) | extension |
+//! | [`classic`] | multiplexing / distribution baselines (the paper's ref [1]) | extension |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod architecture;
+pub mod classic;
+pub mod cost;
+mod error;
+mod optimizer;
+pub mod power;
+pub mod schedule;
+
+pub use crate::architecture::Architecture;
+pub use crate::error::TamOptError;
+pub use crate::optimizer::{CoOptimizer, Strategy};
+
+/// SOC test-data model, benchmarks, generator, `.soc` format
+/// (re-export of [`tamopt_soc`]).
+pub mod soc {
+    pub use tamopt_soc::*;
+}
+
+/// Wrapper design and testing-time tables (re-export of
+/// [`tamopt_wrapper`]).
+pub mod wrapper {
+    pub use tamopt_wrapper::*;
+}
+
+/// Core-to-TAM assignment solvers (re-export of [`tamopt_assign`]).
+pub mod assign {
+    pub use tamopt_assign::*;
+}
+
+/// Partition optimization and the co-optimization pipeline (re-export of
+/// [`tamopt_partition`]).
+pub mod partition {
+    pub use tamopt_partition::*;
+}
+
+/// TestRail (daisy-chain) architecture model and optimizer, the
+/// alternative to the paper's test-bus model (re-export of
+/// [`tamopt_rail`]).
+pub mod rail {
+    pub use tamopt_rail::*;
+}
+
+/// Linear programming substrate (re-export of [`tamopt_lp`]).
+pub mod lp {
+    pub use tamopt_lp::*;
+}
+
+/// Integer programming substrate (re-export of [`tamopt_ilp`]).
+pub mod ilp {
+    pub use tamopt_ilp::*;
+}
+
+// The everyday vocabulary, flattened for convenience.
+pub use tamopt_assign::{AssignResult, CostMatrix, TamSet};
+pub use tamopt_soc::{benchmarks, Core, CoreKind, Soc, SocError};
+pub use tamopt_wrapper::{design_wrapper, TimeTable, WrapperDesign};

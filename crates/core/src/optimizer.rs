@@ -1,0 +1,245 @@
+use std::time::{Duration, Instant};
+
+use tamopt_assign::exact::ExactConfig;
+use tamopt_assign::ilp::IlpAssignConfig;
+use tamopt_partition::exhaustive::{self, ExhaustiveConfig};
+use tamopt_partition::pipeline::{co_optimize, FinalStep, PipelineConfig};
+use tamopt_partition::PruneStats;
+use tamopt_soc::Soc;
+use tamopt_wrapper::TimeTable;
+
+use crate::{Architecture, TamOptError};
+
+/// Solution strategy of the [`CoOptimizer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// The paper's methodology: `Partition_evaluate` + one exact
+    /// re-optimization of the assignment (branch-and-bound). Default.
+    #[default]
+    TwoStep,
+    /// Two-step, but the final pass uses the literal ILP model of the
+    /// paper's Section 3.2 (slower; kept for fidelity).
+    TwoStepIlp,
+    /// Heuristic only — skip the final exact step.
+    Heuristic,
+    /// The exhaustive exact baseline of the paper's reference [8]:
+    /// solve every unique partition exactly. Slow for many TAMs.
+    Exhaustive,
+}
+
+/// High-level builder for wrapper/TAM co-optimization.
+///
+/// Wraps the whole stack — wrapper time tables, partition search, core
+/// assignment, final exact step — behind one call.
+///
+/// # Example
+///
+/// ```
+/// use tamopt::{benchmarks, CoOptimizer, Strategy};
+///
+/// # fn main() -> Result<(), tamopt::TamOptError> {
+/// let soc = benchmarks::d695();
+/// let arch = CoOptimizer::new(soc, 24)
+///     .max_tams(3)
+///     .strategy(Strategy::TwoStep)
+///     .run()?;
+/// assert!(arch.num_tams() <= 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoOptimizer {
+    soc: Soc,
+    total_width: u32,
+    min_tams: u32,
+    max_tams: u32,
+    strategy: Strategy,
+    time_limit: Option<Duration>,
+}
+
+impl CoOptimizer {
+    /// Creates an optimizer for `soc` with `total_width` TAM wires.
+    ///
+    /// Defaults: explore 1 to 10 TAMs (the paper found more than ten
+    /// TAMs "less useful for testing time minimization"), two-step
+    /// strategy, no time limit.
+    pub fn new(soc: Soc, total_width: u32) -> Self {
+        CoOptimizer {
+            soc,
+            total_width,
+            min_tams: 1,
+            max_tams: 10.min(total_width.max(1)),
+            strategy: Strategy::TwoStep,
+            time_limit: None,
+        }
+    }
+
+    /// Sets the largest TAM count to consider.
+    pub fn max_tams(mut self, max_tams: u32) -> Self {
+        self.max_tams = max_tams;
+        self
+    }
+
+    /// Sets the smallest TAM count to consider (default 1).
+    pub fn min_tams(mut self, min_tams: u32) -> Self {
+        self.min_tams = min_tams;
+        self
+    }
+
+    /// Fixes the TAM count (problem *P_PAW*).
+    pub fn exact_tams(mut self, tams: u32) -> Self {
+        self.min_tams = tams;
+        self.max_tams = tams;
+        self
+    }
+
+    /// Selects the solution [`Strategy`].
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Caps the wall-clock budget of the exact components (final step /
+    /// exhaustive per-partition solves).
+    pub fn time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Runs the optimization and assembles the [`Architecture`].
+    ///
+    /// # Errors
+    ///
+    /// Validation and solver errors of the underlying layers
+    /// ([`TamOptError`]).
+    pub fn run(&self) -> Result<Architecture, TamOptError> {
+        let table = TimeTable::new(&self.soc, self.total_width.max(1))?;
+        match self.strategy {
+            Strategy::Exhaustive => self.run_exhaustive(&table),
+            _ => self.run_pipeline(&table),
+        }
+    }
+
+    fn run_pipeline(&self, table: &TimeTable) -> Result<Architecture, TamOptError> {
+        let final_step = match self.strategy {
+            Strategy::Heuristic => FinalStep::None,
+            Strategy::TwoStepIlp => FinalStep::Ilp(IlpAssignConfig {
+                time_limit: self.time_limit,
+                ..IlpAssignConfig::default()
+            }),
+            _ => FinalStep::BranchBound(ExactConfig {
+                time_limit: self.time_limit,
+                ..ExactConfig::default()
+            }),
+        };
+        let config = PipelineConfig {
+            min_tams: self.min_tams,
+            max_tams: self.max_tams,
+            final_step,
+            ..PipelineConfig::up_to_tams(self.max_tams)
+        };
+        let co = co_optimize(table, self.total_width, &config)?;
+        Architecture::assemble(
+            self.soc.clone(),
+            co.tams.clone(),
+            co.optimized.clone(),
+            co.heuristic.soc_time(),
+            co.stats,
+            co.evaluate_time,
+            co.final_time,
+        )
+    }
+
+    fn run_exhaustive(&self, table: &TimeTable) -> Result<Architecture, TamOptError> {
+        let start = Instant::now();
+        let config = ExhaustiveConfig {
+            min_tams: self.min_tams,
+            max_tams: self.max_tams,
+            per_partition: ExactConfig::default(),
+            time_limit: self.time_limit,
+        };
+        let best = exhaustive::solve(table, self.total_width, &config)?;
+        let elapsed = start.elapsed();
+        let stats = PruneStats {
+            enumerated: best.partitions_solved,
+            completed: best.partitions_solved,
+            aborted: 0,
+        };
+        let heuristic_time = best.result.soc_time();
+        Architecture::assemble(
+            self.soc.clone(),
+            best.tams.clone(),
+            best.result.clone(),
+            heuristic_time,
+            stats,
+            elapsed,
+            Duration::ZERO,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamopt_soc::benchmarks;
+
+    #[test]
+    fn defaults_are_sane() {
+        let opt = CoOptimizer::new(benchmarks::d695(), 16);
+        let arch = opt.run().unwrap();
+        assert!(arch.num_tams() >= 1 && arch.num_tams() <= 10);
+        assert_eq!(arch.tams.total_width(), 16);
+    }
+
+    #[test]
+    fn strategies_rank_correctly() {
+        let soc = benchmarks::d695();
+        let heuristic = CoOptimizer::new(soc.clone(), 24)
+            .max_tams(3)
+            .strategy(Strategy::Heuristic)
+            .run()
+            .unwrap();
+        let two_step = CoOptimizer::new(soc.clone(), 24)
+            .max_tams(3)
+            .strategy(Strategy::TwoStep)
+            .run()
+            .unwrap();
+        let exhaustive = CoOptimizer::new(soc, 24)
+            .max_tams(3)
+            .strategy(Strategy::Exhaustive)
+            .run()
+            .unwrap();
+        assert!(two_step.soc_time() <= heuristic.soc_time());
+        assert!(exhaustive.soc_time() <= two_step.soc_time());
+    }
+
+    #[test]
+    fn exact_tams_pins_the_count() {
+        let arch = CoOptimizer::new(benchmarks::d695(), 24)
+            .exact_tams(2)
+            .run()
+            .unwrap();
+        assert_eq!(arch.num_tams(), 2);
+    }
+
+    #[test]
+    fn zero_width_is_an_error() {
+        let err = CoOptimizer::new(benchmarks::d695(), 0).run().unwrap_err();
+        assert!(matches!(err, TamOptError::Partition(_)));
+    }
+
+    #[test]
+    fn ilp_strategy_matches_branch_bound() {
+        let soc = benchmarks::d695();
+        let bb = CoOptimizer::new(soc.clone(), 16)
+            .exact_tams(2)
+            .run()
+            .unwrap();
+        let ilp = CoOptimizer::new(soc, 16)
+            .exact_tams(2)
+            .strategy(Strategy::TwoStepIlp)
+            .run()
+            .unwrap();
+        assert_eq!(bb.soc_time(), ilp.soc_time());
+    }
+}

@@ -1,0 +1,326 @@
+//! Power-aware wrapper/TAM co-optimization.
+//!
+//! The paper's related work ([9] Larsson & Peng, [13] Nourani &
+//! Papachristou) integrates TAM design with *power-constrained* test
+//! scheduling: concurrent tests must not draw more power than the
+//! package can dissipate. Under a cap, the architecture minimizing the
+//! unconstrained makespan is no longer necessarily best — a partition
+//! that spreads high-power cores across TAMs may reschedule better than
+//! one that merely balances testing time.
+//!
+//! [`co_optimize_with_power`] searches architectures *by their
+//! power-capped makespan*:
+//!
+//! 1. every unique partition in the configured TAM-count range is
+//!    evaluated with the paper's `Core_assign` heuristic (cheap,
+//!    unconstrained objective), and a shortlist of the best
+//!    [`PowerConfig::shortlist`] distinct partitions is kept;
+//! 2. each shortlisted architecture is rescheduled with the greedy
+//!    power-capped list scheduler of [`crate::schedule`], and the one
+//!    with the smallest *capped* makespan wins.
+//!
+//! Step 2 is where the ranking can flip — the whole point of
+//! co-optimizing instead of scheduling after the fact.
+
+use tamopt_assign::{core_assign, CoreAssignOptions, CostMatrix, TamSet};
+use tamopt_partition::enumerate::Partitions;
+use tamopt_partition::PruneStats;
+use tamopt_soc::Soc;
+use tamopt_wrapper::TimeTable;
+
+use crate::schedule::{greedy_capped, ScheduleError, TestSchedule};
+use crate::{Architecture, TamOptError};
+
+/// Configuration of the power-aware architecture search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerConfig {
+    /// Maximum allowed instantaneous test power.
+    pub cap: f64,
+    /// Smallest number of TAMs tried.
+    pub min_tams: u32,
+    /// Largest number of TAMs tried.
+    pub max_tams: u32,
+    /// How many best-by-unconstrained-time partitions are rescheduled
+    /// under the cap (step 2). Larger values search more thoroughly.
+    pub shortlist: usize,
+}
+
+impl PowerConfig {
+    /// A search up to `max_tams` TAMs under `cap`, with the default
+    /// shortlist of 12 partitions.
+    pub fn new(cap: f64, max_tams: u32) -> Self {
+        PowerConfig {
+            cap,
+            min_tams: 1,
+            max_tams: max_tams.max(1),
+            shortlist: 12,
+        }
+    }
+}
+
+/// The result of power-aware co-optimization: a full architecture plus
+/// the power-capped schedule it was selected by.
+#[derive(Debug, Clone)]
+pub struct PowerArchitecture {
+    /// The winning architecture (wrappers, TAMs, assignment).
+    pub architecture: Architecture,
+    /// The power-capped schedule on that architecture.
+    pub schedule: TestSchedule,
+    /// The cap the schedule respects.
+    pub cap: f64,
+    /// Number of architectures rescheduled under the cap (step 2).
+    pub rescheduled: usize,
+}
+
+impl PowerArchitecture {
+    /// The capped makespan — the figure the search minimized.
+    pub fn capped_makespan(&self) -> u64 {
+        self.schedule.makespan()
+    }
+
+    /// The unconstrained testing time of the same architecture; the gap
+    /// to [`capped_makespan`](PowerArchitecture::capped_makespan) is the
+    /// price of the power cap.
+    pub fn unconstrained_time(&self) -> u64 {
+        self.architecture.soc_time()
+    }
+}
+
+/// Co-optimizes the wrapper/TAM architecture of `soc` for the smallest
+/// *power-capped* SOC testing time.
+///
+/// `powers[core]` is the instantaneous test power drawn while `core`
+/// tests; `config.cap` is the package budget.
+///
+/// # Errors
+///
+/// * [`TamOptError::Schedule`] if `powers` is shorter than the core
+///   count or a single core exceeds the cap (no schedule can exist);
+/// * [`TamOptError::Wrapper`] if `total_width == 0`;
+/// * assignment/partition errors from the underlying layers.
+///
+/// # Example
+///
+/// ```
+/// use tamopt::power::{co_optimize_with_power, PowerConfig};
+/// use tamopt::benchmarks;
+///
+/// # fn main() -> Result<(), tamopt::TamOptError> {
+/// let soc = benchmarks::d695();
+/// let powers: Vec<f64> = soc.iter().map(|c| 1.0 + c.scan_cells() as f64 / 500.0).collect();
+/// let result = co_optimize_with_power(&soc, 32, &powers, &PowerConfig::new(6.0, 4))?;
+/// assert!(result.capped_makespan() >= result.unconstrained_time());
+/// assert!(result.schedule.peak_power(&powers) <= 6.0 + 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn co_optimize_with_power(
+    soc: &Soc,
+    total_width: u32,
+    powers: &[f64],
+    config: &PowerConfig,
+) -> Result<PowerArchitecture, TamOptError> {
+    let n = soc.num_cores();
+    if powers.len() < n {
+        return Err(ScheduleError::MissingPower { core: powers.len() }.into());
+    }
+    for (core, &p) in powers.iter().take(n).enumerate() {
+        if p > config.cap {
+            return Err(ScheduleError::CoreExceedsCap {
+                core,
+                power: p,
+                cap: config.cap,
+            }
+            .into());
+        }
+    }
+    let table = TimeTable::new(soc, total_width.max(1))?;
+
+    // Step 1: shortlist partitions by unconstrained heuristic makespan.
+    struct Candidate {
+        tams: TamSet,
+        assignment: Vec<usize>,
+        times: Vec<u64>,
+        plain_makespan: u64,
+    }
+    let mut shortlist: Vec<Candidate> = Vec::new();
+    let mut stats = PruneStats::default();
+    for b in config.min_tams..=config.max_tams.min(total_width) {
+        for parts in Partitions::new(total_width, b) {
+            stats.enumerated += 1;
+            let tams = TamSet::new(parts)?;
+            let costs = CostMatrix::from_table(&table, &tams)?;
+            let outcome = core_assign(&costs, None, &CoreAssignOptions::default())
+                .into_result()
+                .expect("unbounded core_assign always completes");
+            stats.completed += 1;
+            let candidate = Candidate {
+                times: (0..n)
+                    .map(|c| costs.time(c, outcome.assignment()[c]))
+                    .collect(),
+                assignment: outcome.assignment().to_vec(),
+                plain_makespan: outcome.soc_time(),
+                tams,
+            };
+            let position = shortlist
+                .binary_search_by(|probe| probe.plain_makespan.cmp(&candidate.plain_makespan))
+                .unwrap_or_else(|e| e);
+            if position < config.shortlist.max(1) {
+                shortlist.insert(position, candidate);
+                shortlist.truncate(config.shortlist.max(1));
+            }
+        }
+    }
+
+    // Step 2: rank the shortlist by capped makespan.
+    let rescheduled = shortlist.len();
+    let mut best: Option<(Candidate, TestSchedule)> = None;
+    for candidate in shortlist {
+        let mut pending: Vec<Vec<(usize, u64)>> = vec![Vec::new(); candidate.tams.len()];
+        for (core, &tam) in candidate.assignment.iter().enumerate() {
+            pending[tam].push((core, candidate.times[core]));
+        }
+        let schedule = greedy_capped(pending, powers, config.cap);
+        if best
+            .as_ref()
+            .is_none_or(|(_, s)| schedule.makespan() < s.makespan())
+        {
+            best = Some((candidate, schedule));
+        }
+    }
+    let (winner, schedule) = best.ok_or(TamOptError::Partition(
+        tamopt_partition::PartitionError::ZeroWidth,
+    ))?;
+
+    let assignment = tamopt_assign::AssignResult::from_assignment(
+        winner.assignment,
+        &CostMatrix::from_table(&table, &winner.tams)?,
+    );
+    let heuristic_time = assignment.soc_time();
+    let architecture = Architecture::assemble(
+        soc.clone(),
+        winner.tams,
+        assignment,
+        heuristic_time,
+        stats,
+        std::time::Duration::ZERO,
+        std::time::Duration::ZERO,
+    )?;
+    Ok(PowerArchitecture {
+        architecture,
+        schedule,
+        cap: config.cap,
+        rescheduled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoOptimizer;
+    use tamopt_soc::benchmarks;
+
+    fn powers(soc: &Soc) -> Vec<f64> {
+        soc.iter()
+            .map(|c| 1.0 + c.scan_cells() as f64 / 500.0)
+            .collect()
+    }
+
+    #[test]
+    fn respects_the_cap() {
+        let soc = benchmarks::d695();
+        let powers = powers(&soc);
+        let result = co_optimize_with_power(&soc, 32, &powers, &PowerConfig::new(6.0, 4)).unwrap();
+        assert!(result.schedule.peak_power(&powers) <= 6.0 + 1e-9);
+        assert!(result.capped_makespan() >= result.unconstrained_time());
+        assert!(result.rescheduled >= 1);
+    }
+
+    #[test]
+    fn generous_cap_matches_unconstrained_heuristic() {
+        let soc = benchmarks::d695();
+        let powers = powers(&soc);
+        let result =
+            co_optimize_with_power(&soc, 32, &powers, &PowerConfig::new(f64::MAX, 4)).unwrap();
+        // No cap pressure: the capped makespan equals the architecture's
+        // own unconstrained time.
+        assert_eq!(result.capped_makespan(), result.unconstrained_time());
+        // And it is no worse than the heuristic-only co-optimizer at the
+        // same budget (same candidate space, same evaluator).
+        let plain = CoOptimizer::new(soc, 32)
+            .max_tams(4)
+            .strategy(crate::Strategy::Heuristic)
+            .run()
+            .unwrap();
+        assert!(result.capped_makespan() <= plain.soc_time());
+    }
+
+    #[test]
+    fn tighter_caps_never_test_faster() {
+        let soc = benchmarks::d695();
+        let powers = powers(&soc);
+        let mut previous = 0u64;
+        for cap in [12.0f64, 8.0, 6.0, 5.0] {
+            let result =
+                co_optimize_with_power(&soc, 24, &powers, &PowerConfig::new(cap, 3)).unwrap();
+            assert!(
+                result.capped_makespan() >= previous,
+                "cap {cap}: {} < {previous}",
+                result.capped_makespan()
+            );
+            previous = result.capped_makespan();
+        }
+    }
+
+    #[test]
+    fn can_beat_schedule_after_the_fact() {
+        // The co-optimized capped makespan is never worse than taking
+        // the unconstrained winner and scheduling it under the cap —
+        // the unconstrained winner is in the candidate pool.
+        let soc = benchmarks::d695();
+        let powers = powers(&soc);
+        let cap = 5.0;
+        let co = co_optimize_with_power(&soc, 32, &powers, &PowerConfig::new(cap, 4)).unwrap();
+        let plain = CoOptimizer::new(soc, 32)
+            .max_tams(4)
+            .strategy(crate::Strategy::Heuristic)
+            .run()
+            .unwrap();
+        let after_the_fact =
+            crate::schedule::schedule_with_power_cap(&plain, &powers, cap).unwrap();
+        assert!(co.capped_makespan() <= after_the_fact.makespan());
+    }
+
+    #[test]
+    fn missing_power_is_an_error() {
+        let soc = benchmarks::d695();
+        let err =
+            co_optimize_with_power(&soc, 16, &[1.0; 3], &PowerConfig::new(9.0, 2)).unwrap_err();
+        assert!(matches!(
+            err,
+            TamOptError::Schedule(ScheduleError::MissingPower { core: 3 })
+        ));
+    }
+
+    #[test]
+    fn oversized_core_is_an_error() {
+        let soc = benchmarks::d695();
+        let mut powers = powers(&soc);
+        powers[2] = 99.0;
+        let err = co_optimize_with_power(&soc, 16, &powers, &PowerConfig::new(9.0, 2)).unwrap_err();
+        assert!(matches!(
+            err,
+            TamOptError::Schedule(ScheduleError::CoreExceedsCap { core: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn schedule_covers_every_core_once() {
+        let soc = benchmarks::d695();
+        let powers = powers(&soc);
+        let result = co_optimize_with_power(&soc, 24, &powers, &PowerConfig::new(6.0, 3)).unwrap();
+        let mut seen: Vec<usize> = result.schedule.entries().iter().map(|e| e.core).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..soc.num_cores()).collect::<Vec<_>>());
+    }
+}

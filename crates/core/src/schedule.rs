@@ -1,0 +1,531 @@
+//! Test scheduling on a co-optimized architecture.
+//!
+//! The paper's introduction separates SOC test integration into
+//! wrapper/TAM design and *test scheduling* ("the order in which tests
+//! are applied"), and cites power-constrained scheduling as the
+//! neighbouring problem (its references [4, 9, 13]). This module adds
+//! that layer on top of [`crate::Architecture`]:
+//!
+//! * [`TestSchedule::serial`] — the schedule implied by the test-bus
+//!   model: cores on one TAM test back-to-back, TAMs in parallel; its
+//!   makespan *is* the architecture's SOC testing time;
+//! * [`schedule_with_power_cap`] — greedy power-aware list scheduling:
+//!   tests may be reordered within their TAM and delayed so the total
+//!   instantaneous test power never exceeds a cap (idle gaps trade
+//!   testing time for power safety);
+//! * [`TestSchedule::gantt`] — a text Gantt chart for reports.
+
+use std::fmt::{self, Write as _};
+
+use crate::Architecture;
+
+/// One scheduled core test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledTest {
+    /// Core index in SOC order.
+    pub core: usize,
+    /// TAM the core is assigned to.
+    pub tam: usize,
+    /// First cycle of the test.
+    pub start: u64,
+    /// One past the last cycle (`end - start` is the core testing time).
+    pub end: u64,
+}
+
+/// A complete SOC test schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestSchedule {
+    entries: Vec<ScheduledTest>,
+    makespan: u64,
+    num_tams: usize,
+}
+
+/// Error type for power-aware scheduling.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// A power rating was missing (`powers` shorter than the core
+    /// count).
+    MissingPower {
+        /// Core without a rating.
+        core: usize,
+    },
+    /// One core alone exceeds the cap; no schedule can exist.
+    CoreExceedsCap {
+        /// The offending core.
+        core: usize,
+        /// Its power rating.
+        power: f64,
+        /// The cap.
+        cap: f64,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::MissingPower { core } => {
+                write!(f, "no power rating for core {core}")
+            }
+            ScheduleError::CoreExceedsCap { core, power, cap } => {
+                write!(f, "core {core} draws {power} which exceeds the cap {cap}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl TestSchedule {
+    /// The schedule implied by the architecture's test-bus model: each
+    /// TAM tests its cores back-to-back in SOC order; all TAMs start at
+    /// cycle 0.
+    pub fn serial(architecture: &Architecture) -> Self {
+        let num_tams = architecture.num_tams();
+        let mut next_free = vec![0u64; num_tams];
+        let mut entries = Vec::with_capacity(architecture.soc.num_cores());
+        for (core, &tam) in architecture.assignment.assignment().iter().enumerate() {
+            let len = architecture.wrapper(core).test_time();
+            let start = next_free[tam];
+            next_free[tam] += len;
+            entries.push(ScheduledTest {
+                core,
+                tam,
+                start,
+                end: start + len,
+            });
+        }
+        let makespan = next_free.into_iter().max().unwrap_or(0);
+        TestSchedule {
+            entries,
+            makespan,
+            num_tams,
+        }
+    }
+
+    /// The scheduled tests, in scheduling order.
+    pub fn entries(&self) -> &[ScheduledTest] {
+        &self.entries
+    }
+
+    /// Total cycles until the last test completes.
+    pub fn makespan(&self) -> u64 {
+        self.makespan
+    }
+
+    /// Peak instantaneous power, given per-core ratings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers` is shorter than the largest core index.
+    pub fn peak_power(&self, powers: &[f64]) -> f64 {
+        // Sweep the event points; at most 2 per test.
+        let mut events: Vec<u64> = self.entries.iter().flat_map(|e| [e.start, e.end]).collect();
+        events.sort_unstable();
+        events.dedup();
+        let mut peak = 0.0f64;
+        for &t in &events {
+            let level: f64 = self
+                .entries
+                .iter()
+                .filter(|e| e.start <= t && t < e.end)
+                .map(|e| powers[e.core])
+                .sum();
+            peak = peak.max(level);
+        }
+        peak
+    }
+
+    /// Renders the schedule as a standalone SVG document, one swim lane
+    /// per TAM, suitable for embedding in reports. `width` is the chart
+    /// width in pixels (clamped to at least 100); no external renderer
+    /// or dependency is involved — the output is plain SVG 1.1 markup.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tamopt::schedule::TestSchedule;
+    /// use tamopt::{benchmarks, CoOptimizer};
+    ///
+    /// # fn main() -> Result<(), tamopt::TamOptError> {
+    /// let arch = CoOptimizer::new(benchmarks::d695(), 24).max_tams(3).run()?;
+    /// let svg = TestSchedule::serial(&arch).to_svg(640);
+    /// assert!(svg.starts_with("<svg"));
+    /// assert!(svg.contains("</svg>"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_svg(&self, width: u32) -> String {
+        const LANE_HEIGHT: u32 = 28;
+        const LANE_GAP: u32 = 6;
+        const LABEL_WIDTH: u32 = 64;
+        const AXIS_HEIGHT: u32 = 24;
+        let width = width.max(100);
+        let chart_width = width - LABEL_WIDTH;
+        let height = self.num_tams as u32 * (LANE_HEIGHT + LANE_GAP) + AXIS_HEIGHT;
+        let scale = chart_width as f64 / self.makespan.max(1) as f64;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+             font-family=\"monospace\" font-size=\"11\">"
+        );
+        for tam in 0..self.num_tams {
+            let y = tam as u32 * (LANE_HEIGHT + LANE_GAP);
+            let _ = writeln!(
+                out,
+                "  <text x=\"2\" y=\"{}\" fill=\"#333\">TAM {}</text>",
+                y + LANE_HEIGHT / 2 + 4,
+                tam + 1
+            );
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{LABEL_WIDTH}\" y=\"{y}\" width=\"{chart_width}\" \
+                 height=\"{LANE_HEIGHT}\" fill=\"#f4f4f4\"/>"
+            );
+        }
+        for e in &self.entries {
+            let x = LABEL_WIDTH as f64 + e.start as f64 * scale;
+            let w = ((e.end - e.start) as f64 * scale).max(1.0);
+            let y = e.tam as u32 * (LANE_HEIGHT + LANE_GAP);
+            // Spread hues around the wheel so neighbouring cores differ.
+            let hue = (e.core * 137) % 360;
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{x:.1}\" y=\"{y}\" width=\"{w:.1}\" height=\"{LANE_HEIGHT}\" \
+                 fill=\"hsl({hue},60%,65%)\" stroke=\"#555\" stroke-width=\"0.5\">\
+                 <title>core {}: {}..{} ({} cycles)</title></rect>",
+                e.core + 1,
+                e.start,
+                e.end,
+                e.end - e.start
+            );
+            if w >= 18.0 {
+                let _ = writeln!(
+                    out,
+                    "  <text x=\"{:.1}\" y=\"{}\" fill=\"#222\">{}</text>",
+                    x + 3.0,
+                    y + LANE_HEIGHT / 2 + 4,
+                    e.core + 1
+                );
+            }
+        }
+        let axis_y = self.num_tams as u32 * (LANE_HEIGHT + LANE_GAP) + 14;
+        let _ = writeln!(
+            out,
+            "  <text x=\"{LABEL_WIDTH}\" y=\"{axis_y}\" fill=\"#333\">0</text>"
+        );
+        let _ = writeln!(
+            out,
+            "  <text x=\"{}\" y=\"{axis_y}\" fill=\"#333\" text-anchor=\"end\">{} cycles</text>",
+            width - 2,
+            self.makespan
+        );
+        out.push_str("</svg>\n");
+        out
+    }
+
+    /// Renders a text Gantt chart, `width` characters wide, one row per
+    /// TAM. Each core's slot is labelled with its (1-based) index.
+    pub fn gantt(&self, width: usize) -> String {
+        let width = width.max(10);
+        let scale = self.makespan.max(1) as f64 / width as f64;
+        let mut out = String::new();
+        for tam in 0..self.num_tams {
+            let mut row = vec![b'.'; width];
+            for e in self.entries.iter().filter(|e| e.tam == tam) {
+                let from = (e.start as f64 / scale) as usize;
+                let to = (((e.end as f64) / scale) as usize).clamp(from + 1, width);
+                let label = ((e.core + 1) % 36) as u32;
+                let ch = char::from_digit(label, 36).unwrap_or('#') as u8;
+                for slot in row.iter_mut().take(to).skip(from.min(width - 1)) {
+                    *slot = ch;
+                }
+            }
+            out.push_str(&format!("TAM {:>2} |", tam + 1));
+            out.push_str(std::str::from_utf8(&row).expect("ascii row"));
+            out.push_str("|\n");
+        }
+        out.push_str(&format!("0 .. {} cycles\n", self.makespan));
+        out
+    }
+}
+
+/// Greedy power-aware list scheduling: within each TAM, the next test is
+/// the highest-power pending one that fits under `cap` given everything
+/// currently running; a TAM whose pending tests all violate the cap
+/// idles until the next completion. All TAMs are packed left-to-right.
+///
+/// The resulting makespan is never below the architecture's SOC testing
+/// time; the gap is the price of the power cap.
+///
+/// # Errors
+///
+/// * [`ScheduleError::MissingPower`] if `powers.len()` is less than the
+///   core count;
+/// * [`ScheduleError::CoreExceedsCap`] if any single core's rating
+///   exceeds `cap`.
+///
+/// # Example
+///
+/// ```
+/// use tamopt::schedule::{schedule_with_power_cap, TestSchedule};
+/// use tamopt::{benchmarks, CoOptimizer};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let arch = CoOptimizer::new(benchmarks::d695(), 24).max_tams(3).run()?;
+/// let powers = vec![1.0; 10];
+/// let unconstrained = TestSchedule::serial(&arch);
+/// let capped = schedule_with_power_cap(&arch, &powers, 2.0)?;
+/// assert!(capped.makespan() >= unconstrained.makespan());
+/// assert!(capped.peak_power(&powers) <= 2.0 + 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn schedule_with_power_cap(
+    architecture: &Architecture,
+    powers: &[f64],
+    cap: f64,
+) -> Result<TestSchedule, ScheduleError> {
+    let n = architecture.soc.num_cores();
+    if powers.len() < n {
+        return Err(ScheduleError::MissingPower { core: powers.len() });
+    }
+    for (core, &p) in powers.iter().take(n).enumerate() {
+        if p > cap {
+            return Err(ScheduleError::CoreExceedsCap {
+                core,
+                power: p,
+                cap,
+            });
+        }
+    }
+    let num_tams = architecture.num_tams();
+    // Pending tests per TAM, each (core, length).
+    let mut pending: Vec<Vec<(usize, u64)>> = vec![Vec::new(); num_tams];
+    for (core, &tam) in architecture.assignment.assignment().iter().enumerate() {
+        pending[tam].push((core, architecture.wrapper(core).test_time()));
+    }
+    Ok(greedy_capped(pending, powers, cap))
+}
+
+/// The greedy power-capped list scheduler shared by
+/// [`schedule_with_power_cap`] and the power-aware co-optimization of
+/// [`crate::power`]. `pending[tam]` holds the `(core, length)` tests of
+/// that TAM; every core must individually fit under `cap`.
+pub(crate) fn greedy_capped(
+    mut pending: Vec<Vec<(usize, u64)>>,
+    powers: &[f64],
+    cap: f64,
+) -> TestSchedule {
+    let num_tams = pending.len();
+    let n: usize = pending.iter().map(Vec::len).sum();
+    // Sorted by power descending so the greedy picks tall tests early.
+    for queue in &mut pending {
+        queue.sort_by(|a, b| powers[b.0].total_cmp(&powers[a.0]).then(a.0.cmp(&b.0)));
+    }
+
+    #[derive(Clone, Copy)]
+    struct Running {
+        core: usize,
+        end: u64,
+    }
+    let mut running: Vec<Option<Running>> = vec![None; num_tams];
+    let mut entries: Vec<ScheduledTest> = Vec::with_capacity(n);
+    let mut now = 0u64;
+    let mut remaining = n;
+
+    while remaining > 0 {
+        // Retire finished tests at `now`.
+        for slot in &mut running {
+            if slot.is_some_and(|r| r.end <= now) {
+                *slot = None;
+            }
+        }
+        let mut level: f64 = running.iter().flatten().map(|r| powers[r.core]).sum();
+        // Fill idle TAMs greedily under the cap.
+        for tam in 0..num_tams {
+            if running[tam].is_some() {
+                continue;
+            }
+            let queue = &mut pending[tam];
+            if let Some(pos) = queue
+                .iter()
+                .position(|&(core, _)| level + powers[core] <= cap + 1e-12)
+            {
+                let (core, len) = queue.remove(pos);
+                let end = now + len.max(1);
+                running[tam] = Some(Running { core, end });
+                entries.push(ScheduledTest {
+                    core,
+                    tam,
+                    start: now,
+                    end,
+                });
+                level += powers[core];
+                remaining -= 1;
+            }
+        }
+        // Advance to the next completion.
+        if remaining > 0 {
+            let next = running.iter().flatten().map(|r| r.end).min();
+            match next {
+                Some(t) => now = t,
+                // Nothing is running yet nothing fits: impossible,
+                // since every single core fits under the cap alone.
+                None => unreachable!("an idle system always admits some test"),
+            }
+        }
+    }
+    let makespan = entries.iter().map(|e| e.end).max().unwrap_or(0);
+    TestSchedule {
+        entries,
+        makespan,
+        num_tams,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoOptimizer;
+    use tamopt_soc::benchmarks;
+
+    fn arch() -> Architecture {
+        CoOptimizer::new(benchmarks::d695(), 24)
+            .max_tams(3)
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn serial_makespan_is_soc_time() {
+        let a = arch();
+        let s = TestSchedule::serial(&a);
+        assert_eq!(s.makespan(), a.soc_time());
+        assert_eq!(s.entries().len(), a.soc.num_cores());
+    }
+
+    #[test]
+    fn serial_has_no_gaps_or_overlaps_per_tam() {
+        let a = arch();
+        let s = TestSchedule::serial(&a);
+        for tam in 0..a.num_tams() {
+            let mut slots: Vec<_> = s.entries().iter().filter(|e| e.tam == tam).collect();
+            slots.sort_by_key(|e| e.start);
+            let mut cursor = 0;
+            for e in slots {
+                assert_eq!(e.start, cursor, "gap or overlap on tam {tam}");
+                cursor = e.end;
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_cap_equals_serial_makespan() {
+        let a = arch();
+        let powers = vec![1.0; a.soc.num_cores()];
+        let s = schedule_with_power_cap(&a, &powers, f64::MAX).unwrap();
+        assert_eq!(s.makespan(), TestSchedule::serial(&a).makespan());
+    }
+
+    #[test]
+    fn cap_is_respected_and_costs_time() {
+        let a = arch();
+        let powers = vec![1.0; a.soc.num_cores()];
+        // Cap below the TAM count forces serialization across TAMs.
+        let capped = schedule_with_power_cap(&a, &powers, 1.5).unwrap();
+        assert!(capped.peak_power(&powers) <= 1.5 + 1e-9);
+        assert!(capped.makespan() >= TestSchedule::serial(&a).makespan());
+        // With only one test allowed at a time, the makespan is at least
+        // the total of all test lengths.
+        let total: u64 = (0..a.soc.num_cores())
+            .map(|c| a.wrapper(c).test_time())
+            .sum();
+        assert!(capped.makespan() >= total);
+    }
+
+    #[test]
+    fn errors_on_missing_or_oversized_power() {
+        let a = arch();
+        assert_eq!(
+            schedule_with_power_cap(&a, &[1.0; 3], 10.0).unwrap_err(),
+            ScheduleError::MissingPower { core: 3 }
+        );
+        let mut powers = vec![1.0; a.soc.num_cores()];
+        powers[4] = 99.0;
+        assert!(matches!(
+            schedule_with_power_cap(&a, &powers, 10.0).unwrap_err(),
+            ScheduleError::CoreExceedsCap { core: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn every_core_scheduled_exactly_once() {
+        let a = arch();
+        let powers: Vec<f64> = (0..a.soc.num_cores())
+            .map(|i| 1.0 + (i % 3) as f64)
+            .collect();
+        let s = schedule_with_power_cap(&a, &powers, 4.0).unwrap();
+        let mut seen: Vec<usize> = s.entries().iter().map(|e| e.core).collect();
+        seen.sort_unstable();
+        let expected: Vec<usize> = (0..a.soc.num_cores()).collect();
+        assert_eq!(seen, expected);
+        // Per-TAM non-overlap still holds with idle gaps allowed.
+        for tam in 0..a.num_tams() {
+            let mut slots: Vec<_> = s.entries().iter().filter(|e| e.tam == tam).collect();
+            slots.sort_by_key(|e| e.start);
+            for pair in slots.windows(2) {
+                assert!(pair[0].end <= pair[1].start, "overlap on tam {tam}");
+            }
+        }
+    }
+
+    #[test]
+    fn gantt_renders_all_tams() {
+        let a = arch();
+        let s = TestSchedule::serial(&a);
+        let g = s.gantt(60);
+        for tam in 1..=a.num_tams() {
+            assert!(
+                g.contains(&format!("TAM {tam:>2} |")),
+                "missing TAM {tam} row"
+            );
+        }
+        assert!(g.contains("cycles"));
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_covers_every_core() {
+        let a = arch();
+        let svg = TestSchedule::serial(&a).to_svg(640);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<title>core ").count(), a.soc.num_cores());
+        for tam in 1..=a.num_tams() {
+            assert!(svg.contains(&format!(">TAM {tam}<")), "missing lane {tam}");
+        }
+        // One background rect per lane plus one slot rect per core.
+        assert_eq!(
+            svg.matches("<rect").count(),
+            a.num_tams() + a.soc.num_cores()
+        );
+        assert_eq!(svg.matches("</rect>").count(), a.soc.num_cores());
+    }
+
+    #[test]
+    fn svg_width_is_clamped() {
+        let a = arch();
+        let svg = TestSchedule::serial(&a).to_svg(1);
+        assert!(svg.contains("width=\"100\""));
+    }
+
+    #[test]
+    fn peak_power_of_serial_sums_concurrent_tams() {
+        let a = arch();
+        let powers = vec![1.0; a.soc.num_cores()];
+        let s = TestSchedule::serial(&a);
+        // At cycle 0 every TAM starts a test.
+        assert!((s.peak_power(&powers) - a.num_tams() as f64).abs() < 1e-9);
+    }
+}

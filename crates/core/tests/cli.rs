@@ -1,0 +1,120 @@
+//! End-to-end tests of the `tamopt` command-line binary.
+
+use std::process::Command;
+
+fn tamopt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tamopt"))
+}
+
+#[test]
+fn optimizes_a_named_benchmark() {
+    let out = tamopt()
+        .args(["--soc", "d695", "--width", "16", "--max-tams", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SOC d695"));
+    assert!(stdout.contains("testing time"));
+    assert!(stdout.contains("W = 16"));
+}
+
+#[test]
+fn analyze_gantt_and_rail_flags_extend_the_report() {
+    let out = tamopt()
+        .args([
+            "--soc",
+            "d695",
+            "--width",
+            "16",
+            "--max-tams",
+            "2",
+            "--analyze",
+            "--gantt",
+            "--rail",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wire-cycle utilization"));
+    assert!(stdout.contains("hardware:"));
+    assert!(stdout.contains("cycles\n"), "gantt axis line");
+    assert!(stdout.contains("TestRail architecture"));
+    assert!(stdout.contains("bypass tax"));
+}
+
+#[test]
+fn svg_flag_writes_a_file() {
+    let dir = std::env::temp_dir().join("tamopt-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("schedule.svg");
+    let out = tamopt()
+        .args(["--soc", "d695", "--width", "16", "--max-tams", "2", "--svg"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let svg = std::fs::read_to_string(&path).expect("file written");
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.contains("</svg>"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_required_flags_fail_with_usage() {
+    let out = tamopt()
+        .args(["--width", "16"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--soc is required"));
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn unknown_benchmark_fails_cleanly() {
+    let out = tamopt()
+        .args(["--soc", "/nonexistent/chip.soc", "--width", "16"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn parses_a_soc_file_from_disk() {
+    let dir = std::env::temp_dir().join("tamopt-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("mini.soc");
+    std::fs::write(
+        &path,
+        "soc mini\n\
+         core cpu\n  inputs 8\n  outputs 8\n  scanchains 16 16\n  patterns 50\nend\n\
+         core mem\n  inputs 12\n  outputs 10\n  patterns 200\nend\n",
+    )
+    .expect("file written");
+    let out = tamopt()
+        .arg("--soc")
+        .arg(&path)
+        .args(["--width", "8", "--max-tams", "2"])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("SOC mini"));
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,125 @@
+use std::time::Duration;
+
+/// How the branching variable is chosen at a fractional node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum BranchRule {
+    /// Branch on the integer variable whose LP value is farthest from an
+    /// integer — the classic default; usually balances the two children.
+    #[default]
+    MostFractional,
+    /// Branch on the first fractional variable in declaration order —
+    /// cheapest to compute, often worst; kept as the ablation baseline.
+    FirstFractional,
+    /// Branch on the fractional variable with the largest
+    /// `|objective coefficient| · fractionality` — biases the search
+    /// toward variables that move the bound the most.
+    ObjectiveWeighted,
+}
+
+/// How the open-node set is ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum NodeOrder {
+    /// Depth-first (a stack): finds incumbents fast and keeps the open
+    /// set small — the right default when a good warm-start bound
+    /// exists, which is how the paper's final step uses the ILP.
+    #[default]
+    DepthFirst,
+    /// Best-bound-first (a priority queue on the parent relaxation):
+    /// explores no node a perfect bound would prune, at the cost of a
+    /// larger open set and later incumbents.
+    BestFirst,
+}
+
+/// Search limits and strategy configuration for
+/// [`IlpProblem::solve`](crate::IlpProblem::solve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpConfig {
+    /// Maximum number of branch-and-bound nodes to explore.
+    pub node_limit: u64,
+    /// Optional wall-clock limit.
+    pub time_limit: Option<Duration>,
+    /// Optional initial objective bound (an incumbent value known from a
+    /// heuristic): for minimization, nodes with LP bound ≥ this are
+    /// pruned from the start.
+    pub initial_bound: Option<f64>,
+    /// Branching-variable selection rule.
+    pub branch_rule: BranchRule,
+    /// Open-node ordering.
+    pub node_order: NodeOrder,
+    /// Fix binary variables at the root by reduced-cost arguments: a
+    /// non-basic binary whose reduced cost alone pushes the root bound
+    /// past the incumbent can never flip in an improving solution.
+    /// Requires an incumbent ([`initial_bound`](IlpConfig::initial_bound))
+    /// to act on; a no-op otherwise.
+    pub reduced_cost_fixing: bool,
+}
+
+impl Default for IlpConfig {
+    fn default() -> Self {
+        IlpConfig {
+            node_limit: 1_000_000,
+            time_limit: None,
+            initial_bound: None,
+            branch_rule: BranchRule::default(),
+            node_order: NodeOrder::default(),
+            reduced_cost_fixing: false,
+        }
+    }
+}
+
+impl IlpConfig {
+    /// Config with a wall-clock limit.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        IlpConfig {
+            time_limit: Some(limit),
+            ..Self::default()
+        }
+    }
+
+    /// Config with a branching rule.
+    pub fn with_branch_rule(branch_rule: BranchRule) -> Self {
+        IlpConfig {
+            branch_rule,
+            ..Self::default()
+        }
+    }
+
+    /// Config with a node ordering.
+    pub fn with_node_order(node_order: NodeOrder) -> Self {
+        IlpConfig {
+            node_order,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_classic_strategy() {
+        let c = IlpConfig::default();
+        assert_eq!(c.branch_rule, BranchRule::MostFractional);
+        assert_eq!(c.node_order, NodeOrder::DepthFirst);
+        assert!(!c.reduced_cost_fixing);
+        assert!(c.initial_bound.is_none());
+    }
+
+    #[test]
+    fn constructors_override_one_field() {
+        assert_eq!(
+            IlpConfig::with_branch_rule(BranchRule::ObjectiveWeighted).branch_rule,
+            BranchRule::ObjectiveWeighted
+        );
+        assert_eq!(
+            IlpConfig::with_node_order(NodeOrder::BestFirst).node_order,
+            NodeOrder::BestFirst
+        );
+        assert!(IlpConfig::with_time_limit(Duration::from_secs(1))
+            .time_limit
+            .is_some());
+    }
+}

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+use tamopt_lp::LpError;
+
+/// Error type for integer programming.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IlpError {
+    /// No integer-feasible point exists.
+    Infeasible,
+    /// The relaxation (and hence the ILP) is unbounded.
+    Unbounded,
+    /// Search hit the node or time limit before finding any
+    /// integer-feasible solution.
+    LimitWithoutSolution,
+    /// An underlying LP error other than infeasible/unbounded.
+    Lp(LpError),
+}
+
+impl fmt::Display for IlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IlpError::Infeasible => f.write_str("no integer-feasible solution exists"),
+            IlpError::Unbounded => f.write_str("integer program is unbounded"),
+            IlpError::LimitWithoutSolution => {
+                f.write_str("search limit reached before any integer-feasible solution")
+            }
+            IlpError::Lp(e) => write!(f, "lp failure: {e}"),
+        }
+    }
+}
+
+impl Error for IlpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IlpError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LpError> for IlpError {
+    fn from(e: LpError) -> Self {
+        match e {
+            LpError::Infeasible => IlpError::Infeasible,
+            LpError::Unbounded => IlpError::Unbounded,
+            other => IlpError::Lp(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e = IlpError::Lp(LpError::IterationLimit);
+        assert!(e.to_string().contains("lp failure"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&IlpError::Infeasible).is_none());
+    }
+
+    #[test]
+    fn from_lp_error_maps_outcomes() {
+        assert_eq!(IlpError::from(LpError::Infeasible), IlpError::Infeasible);
+        assert_eq!(IlpError::from(LpError::Unbounded), IlpError::Unbounded);
+        assert_eq!(
+            IlpError::from(LpError::IterationLimit),
+            IlpError::Lp(LpError::IterationLimit)
+        );
+    }
+}

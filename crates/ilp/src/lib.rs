@@ -1,0 +1,59 @@
+//! Branch-and-bound 0/1 and general-integer programming on top of
+//! [`tamopt_lp`].
+//!
+//! The exact baseline of the paper solves the core-assignment problem
+//! *P_AW* with an integer linear program (`lpsolve 3.0`, the paper's
+//! reference [2]). This crate provides the equivalent capability, built
+//! entirely on the workspace's own simplex:
+//!
+//! * LP-relaxation bounding,
+//! * selectable branching rules ([`BranchRule`]: most-fractional by
+//!   default, first-fractional and objective-weighted as alternatives),
+//! * selectable node orderings ([`NodeOrder`]: depth-first with
+//!   value-guided child ordering, or best-bound-first),
+//! * optional initial bound (warm start from a heuristic solution —
+//!   exactly how the paper's final optimization step uses the
+//!   `Partition_evaluate` result),
+//! * optional reduced-cost fixing of binaries at the root node,
+//! * node and wall-clock limits, and per-solve statistics
+//!   ([`IlpStats`]).
+//!
+//! # Example
+//!
+//! ```
+//! use tamopt_ilp::{IlpProblem, IlpConfig};
+//! use tamopt_lp::{Problem, Relation};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Knapsack: max 8x + 11y + 6z, 5x + 7y + 4z <= 14, x,y,z binary.
+//! let mut lp = Problem::maximize(3);
+//! lp.set_objective(0, 8.0)?;
+//! lp.set_objective(1, 11.0)?;
+//! lp.set_objective(2, 6.0)?;
+//! lp.constraint(&[(0, 5.0), (1, 7.0), (2, 4.0)], Relation::Le, 14.0)?;
+//! let mut ilp = IlpProblem::new(lp);
+//! ilp.set_binary(0)?;
+//! ilp.set_binary(1)?;
+//! ilp.set_binary(2)?;
+//! let sol = ilp.solve(&IlpConfig::default())?;
+//! assert_eq!(sol.objective().round() as i64, 19); // x + y
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod problem;
+mod solution;
+
+pub use crate::config::{BranchRule, IlpConfig, NodeOrder};
+pub use crate::error::IlpError;
+pub use crate::problem::IlpProblem;
+pub use crate::solution::{IlpSolution, IlpStats};
+
+/// Integrality tolerance: an LP value within this distance of an integer
+/// is considered integral.
+pub const INT_EPSILON: f64 = 1e-6;

@@ -1,0 +1,590 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use tamopt_lp::{LpError, Objective, Problem};
+
+use crate::{BranchRule, IlpConfig, IlpError, IlpSolution, IlpStats, NodeOrder, INT_EPSILON};
+
+/// A mixed 0/1 / integer program: an LP plus integrality restrictions.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct IlpProblem {
+    base: Problem,
+    integer_vars: Vec<usize>,
+}
+
+/// One open node: tightened bounds for the integer variables plus the
+/// parent's relaxation bound (minimization sense) and the node depth.
+#[derive(Clone)]
+struct Node {
+    lower: Vec<f64>,
+    upper: Vec<Option<f64>>,
+    parent_bound: f64,
+    depth: u64,
+}
+
+/// Heap adapter ordering nodes by *smallest* parent bound first.
+struct HeapNode(Node);
+
+impl PartialEq for HeapNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.parent_bound == other.0.parent_bound
+    }
+}
+impl Eq for HeapNode {}
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for best(-lowest)-bound-first.
+        other.0.parent_bound.total_cmp(&self.0.parent_bound)
+    }
+}
+
+enum OpenSet {
+    Stack(Vec<Node>),
+    Heap(BinaryHeap<HeapNode>),
+}
+
+impl OpenSet {
+    fn new(order: NodeOrder) -> Self {
+        match order {
+            NodeOrder::DepthFirst => OpenSet::Stack(Vec::new()),
+            NodeOrder::BestFirst => OpenSet::Heap(BinaryHeap::new()),
+        }
+    }
+
+    fn push(&mut self, node: Node) {
+        match self {
+            OpenSet::Stack(v) => v.push(node),
+            OpenSet::Heap(h) => h.push(HeapNode(node)),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Node> {
+        match self {
+            OpenSet::Stack(v) => v.pop(),
+            OpenSet::Heap(h) => h.pop().map(|n| n.0),
+        }
+    }
+}
+
+impl IlpProblem {
+    /// Wraps an LP; initially no variable is integer-constrained.
+    pub fn new(problem: Problem) -> Self {
+        IlpProblem {
+            base: problem,
+            integer_vars: Vec::new(),
+        }
+    }
+
+    /// Marks `variable` as integer.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::VariableOutOfRange`] if `variable` does not exist.
+    pub fn set_integer(&mut self, variable: usize) -> Result<(), LpError> {
+        if variable >= self.base.num_variables() {
+            return Err(LpError::VariableOutOfRange {
+                variable,
+                num_variables: self.base.num_variables(),
+            });
+        }
+        if !self.integer_vars.contains(&variable) {
+            self.integer_vars.push(variable);
+        }
+        Ok(())
+    }
+
+    /// Marks `variable` as binary (integer with bounds `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::VariableOutOfRange`] if `variable` does not exist.
+    pub fn set_binary(&mut self, variable: usize) -> Result<(), LpError> {
+        self.set_integer(variable)?;
+        self.base.set_upper_bound(variable, 1.0)?;
+        Ok(())
+    }
+
+    /// The variables currently marked integer, in marking order.
+    pub fn integer_variables(&self) -> &[usize] {
+        &self.integer_vars
+    }
+
+    /// Read access to the wrapped LP.
+    pub fn lp(&self) -> &Problem {
+        &self.base
+    }
+
+    /// Mutable access to the wrapped LP (to add constraints or bounds).
+    pub fn lp_mut(&mut self) -> &mut Problem {
+        &mut self.base
+    }
+
+    /// Solves by branch and bound.
+    ///
+    /// # Errors
+    ///
+    /// * [`IlpError::Infeasible`] / [`IlpError::Unbounded`];
+    /// * [`IlpError::LimitWithoutSolution`] if limits were exhausted
+    ///   before any integer-feasible point was found;
+    /// * [`IlpError::Lp`] for numerical failures in the relaxations.
+    pub fn solve(&self, config: &IlpConfig) -> Result<IlpSolution, IlpError> {
+        let sense = self.base.sense();
+        let start = Instant::now();
+        let mut work = self.base.clone();
+        let to_min = |obj: f64| match sense {
+            Objective::Minimize => obj,
+            Objective::Maximize => -obj,
+        };
+        let mut best_bound = config.initial_bound.map(to_min).unwrap_or(f64::INFINITY);
+        let mut stats = IlpStats::default();
+
+        let mut root = Node {
+            lower: self
+                .integer_vars
+                .iter()
+                .map(|&v| self.base.lower_bound(v))
+                .collect(),
+            upper: self
+                .integer_vars
+                .iter()
+                .map(|&v| self.base.upper_bound(v))
+                .collect(),
+            parent_bound: f64::NEG_INFINITY,
+            depth: 0,
+        };
+        if config.reduced_cost_fixing && best_bound.is_finite() {
+            stats.variables_fixed = self.fix_by_reduced_costs(&mut root, to_min, best_bound)?;
+        }
+
+        let mut open = OpenSet::new(config.node_order);
+        open.push(root);
+        let mut incumbent: Option<IlpSolution> = None;
+        let mut limited = false;
+
+        while let Some(node) = open.pop() {
+            if stats.nodes >= config.node_limit
+                || config.time_limit.is_some_and(|l| start.elapsed() >= l)
+            {
+                limited = true;
+                break;
+            }
+            // Best-first pops can be stale once an incumbent improved.
+            if node.parent_bound >= best_bound - 1e-9 {
+                stats.pruned_by_bound += 1;
+                continue;
+            }
+            stats.nodes += 1;
+            stats.max_depth = stats.max_depth.max(node.depth);
+            for (k, &var) in self.integer_vars.iter().enumerate() {
+                work.set_lower_bound(var, node.lower[k])
+                    .map_err(IlpError::Lp)?;
+                if let Some(ub) = node.upper[k] {
+                    work.set_upper_bound(var, ub).map_err(IlpError::Lp)?;
+                }
+            }
+            let relaxed = match work.solve() {
+                Ok(sol) => sol,
+                Err(LpError::Infeasible) => {
+                    stats.pruned_infeasible += 1;
+                    continue;
+                }
+                Err(LpError::Unbounded) => {
+                    // An unbounded relaxation means an unbounded ILP:
+                    // branching only tightens variable bounds, which
+                    // cannot remove an improving ray of the polytope.
+                    return Err(IlpError::Unbounded);
+                }
+                Err(other) => return Err(IlpError::Lp(other)),
+            };
+            let bound = to_min(relaxed.objective());
+            if bound >= best_bound - 1e-9 {
+                stats.pruned_by_bound += 1;
+                continue;
+            }
+            match self.pick_branch_variable(config.branch_rule, &relaxed) {
+                None => {
+                    // Integral: new incumbent.
+                    best_bound = bound;
+                    stats.incumbents += 1;
+                    incumbent = Some(IlpSolution {
+                        values: relaxed.values().to_vec(),
+                        objective: relaxed.objective(),
+                        stats,
+                        proven_optimal: false,
+                    });
+                }
+                Some((k, v)) => {
+                    let floor = v.floor();
+                    let mut down = node.clone();
+                    down.parent_bound = bound;
+                    down.depth += 1;
+                    down.upper[k] = Some(match down.upper[k] {
+                        Some(ub) => ub.min(floor),
+                        None => floor,
+                    });
+                    let mut up = node;
+                    up.parent_bound = bound;
+                    up.depth += 1;
+                    up.lower[k] = up.lower[k].max(floor + 1.0);
+                    // Explore the side nearer the LP value first (pushed
+                    // last, popped first under DFS; the heap ignores
+                    // insertion order).
+                    if v - floor < 0.5 {
+                        open.push(up);
+                        open.push(down);
+                    } else {
+                        open.push(down);
+                        open.push(up);
+                    }
+                }
+            }
+        }
+
+        match incumbent {
+            Some(mut sol) => {
+                sol.stats = stats;
+                sol.proven_optimal = !limited;
+                Ok(sol)
+            }
+            None if limited => Err(IlpError::LimitWithoutSolution),
+            None => Err(IlpError::Infeasible),
+        }
+    }
+
+    /// Chooses the branching variable per `rule`; `None` when integral.
+    /// Returns the index *within* `integer_vars` and the LP value.
+    fn pick_branch_variable(
+        &self,
+        rule: BranchRule,
+        relaxed: &tamopt_lp::LpSolution,
+    ) -> Option<(usize, f64)> {
+        let fractional = self
+            .integer_vars
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &var)| {
+                let v = relaxed.value(var);
+                let frac = (v - v.round()).abs();
+                (frac > INT_EPSILON).then_some((k, var, v, frac))
+            });
+        match rule {
+            BranchRule::FirstFractional => fractional.map(|(k, _, v, _)| (k, v)).next(),
+            BranchRule::MostFractional => fractional
+                .max_by(|a, b| a.3.total_cmp(&b.3))
+                .map(|(k, _, v, _)| (k, v)),
+            BranchRule::ObjectiveWeighted => fractional
+                .max_by(|a, b| {
+                    let wa = self.base.objective_coefficient(a.1).abs() * a.3;
+                    let wb = self.base.objective_coefficient(b.1).abs() * b.3;
+                    wa.total_cmp(&wb)
+                })
+                .map(|(k, _, v, _)| (k, v)),
+        }
+    }
+
+    /// Root-node reduced-cost fixing: a non-basic binary whose reduced
+    /// cost alone pushes the root bound past the incumbent is fixed at
+    /// its bound. Returns the number of variables fixed; LP failures at
+    /// the root are deliberately swallowed (fixing is an optimization,
+    /// not a requirement — the main solve reports them properly).
+    fn fix_by_reduced_costs(
+        &self,
+        root: &mut Node,
+        to_min: impl Fn(f64) -> f64,
+        best_bound: f64,
+    ) -> Result<u64, IlpError> {
+        let Ok((relaxed, duals)) = self.base.solve_with_duals() else {
+            return Ok(0);
+        };
+        let sign = match self.base.sense() {
+            Objective::Minimize => 1.0,
+            Objective::Maximize => -1.0,
+        };
+        let root_bound = to_min(relaxed.objective());
+        let mut fixed = 0;
+        for (k, &var) in self.integer_vars.iter().enumerate() {
+            let is_binary = root.lower[k] == 0.0 && root.upper[k] == Some(1.0);
+            if !is_binary {
+                continue;
+            }
+            let value = relaxed.value(var);
+            let d_min = sign * duals.reduced_cost(var);
+            if value <= INT_EPSILON && root_bound + d_min >= best_bound - 1e-9 {
+                root.upper[k] = Some(0.0);
+                fixed += 1;
+            } else if (value - 1.0).abs() <= INT_EPSILON && root_bound - d_min >= best_bound - 1e-9
+            {
+                root.lower[k] = 1.0;
+                fixed += 1;
+            }
+        }
+        Ok(fixed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamopt_lp::Relation;
+
+    fn knapsack(values: &[f64], weights: &[f64], capacity: f64) -> IlpProblem {
+        let mut lp = Problem::maximize(values.len());
+        for (i, v) in values.iter().enumerate() {
+            lp.set_objective(i, *v).unwrap();
+        }
+        let terms: Vec<(usize, f64)> = weights.iter().copied().enumerate().collect();
+        lp.constraint(&terms, Relation::Le, capacity).unwrap();
+        let mut ilp = IlpProblem::new(lp);
+        for i in 0..values.len() {
+            ilp.set_binary(i).unwrap();
+        }
+        ilp
+    }
+
+    #[test]
+    fn knapsack_optimum() {
+        let ilp = knapsack(&[10.0, 40.0, 30.0, 50.0], &[5.0, 4.0, 6.0, 3.0], 10.0);
+        let sol = ilp.solve(&IlpConfig::default()).unwrap();
+        assert_eq!(sol.objective().round() as i64, 90); // items 1 and 3
+        assert_eq!(sol.value_rounded(1), 1);
+        assert_eq!(sol.value_rounded(3), 1);
+        assert!(sol.proven_optimal());
+    }
+
+    #[test]
+    fn all_strategy_combinations_agree_on_the_optimum() {
+        let ilp = knapsack(
+            &[10.0, 40.0, 30.0, 50.0, 35.0, 25.0, 15.0],
+            &[5.0, 4.0, 6.0, 3.0, 5.0, 4.0, 2.0],
+            14.0,
+        );
+        let reference = ilp.solve(&IlpConfig::default()).unwrap().objective();
+        for rule in [
+            BranchRule::MostFractional,
+            BranchRule::FirstFractional,
+            BranchRule::ObjectiveWeighted,
+        ] {
+            for order in [NodeOrder::DepthFirst, NodeOrder::BestFirst] {
+                let config = IlpConfig {
+                    branch_rule: rule,
+                    node_order: order,
+                    ..IlpConfig::default()
+                };
+                let sol = ilp.solve(&config).unwrap();
+                assert!(
+                    (sol.objective() - reference).abs() < 1e-6,
+                    "{rule:?}/{order:?} found {} instead of {reference}",
+                    sol.objective()
+                );
+                assert!(sol.proven_optimal());
+            }
+        }
+    }
+
+    #[test]
+    fn best_first_explores_no_more_nodes_than_dfs_here() {
+        // Best-bound search is node-optimal w.r.t. pruning with the same
+        // bound function; on this instance it must not expand more
+        // relaxations than DFS.
+        let ilp = knapsack(
+            &[12.0, 19.0, 30.0, 14.0, 7.0, 20.0],
+            &[4.0, 5.0, 7.0, 3.0, 2.0, 5.5],
+            13.0,
+        );
+        let dfs = ilp.solve(&IlpConfig::default()).unwrap();
+        let best = ilp
+            .solve(&IlpConfig::with_node_order(NodeOrder::BestFirst))
+            .unwrap();
+        assert!(
+            best.nodes() <= dfs.nodes(),
+            "{} > {}",
+            best.nodes(),
+            dfs.nodes()
+        );
+        assert_eq!(best.objective(), dfs.objective());
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x, 2x <= 5, x integer -> 2 (LP gives 2.5).
+        let mut lp = Problem::maximize(1);
+        lp.set_objective(0, 1.0).unwrap();
+        lp.constraint(&[(0, 2.0)], Relation::Le, 5.0).unwrap();
+        let mut ilp = IlpProblem::new(lp);
+        ilp.set_integer(0).unwrap();
+        let sol = ilp.solve(&IlpConfig::default()).unwrap();
+        assert_eq!(sol.value_rounded(0), 2);
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 0.4 <= x <= 0.6, x integer -> infeasible.
+        let mut lp = Problem::minimize(1);
+        lp.set_lower_bound(0, 0.4).unwrap();
+        lp.set_upper_bound(0, 0.6).unwrap();
+        let mut ilp = IlpProblem::new(lp);
+        ilp.set_integer(0).unwrap();
+        assert_eq!(
+            ilp.solve(&IlpConfig::default()).unwrap_err(),
+            IlpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = Problem::maximize(1);
+        lp.set_objective(0, 1.0).unwrap();
+        let mut ilp = IlpProblem::new(lp);
+        ilp.set_integer(0).unwrap();
+        assert_eq!(
+            ilp.solve(&IlpConfig::default()).unwrap_err(),
+            IlpError::Unbounded
+        );
+    }
+
+    #[test]
+    fn two_machine_partition_model() {
+        // Assign jobs of sizes 7, 5, 4 to 2 machines minimizing
+        // makespan: optimum 9.
+        let sizes = [7.0, 5.0, 4.0];
+        let mut lp = Problem::minimize(4);
+        lp.set_objective(0, 1.0).unwrap();
+        let mut m0: Vec<(usize, f64)> = vec![(0, 1.0)];
+        let mut m1: Vec<(usize, f64)> = vec![(0, 1.0)];
+        for (j, s) in sizes.iter().enumerate() {
+            m0.push((j + 1, -s));
+            m1.push((j + 1, *s));
+        }
+        lp.constraint(&m0, Relation::Ge, 0.0).unwrap();
+        lp.constraint(&m1, Relation::Ge, sizes.iter().sum())
+            .unwrap();
+        let mut ilp = IlpProblem::new(lp);
+        for j in 1..=3 {
+            ilp.set_binary(j).unwrap();
+        }
+        let sol = ilp.solve(&IlpConfig::default()).unwrap();
+        assert_eq!(sol.objective().round() as i64, 9);
+    }
+
+    #[test]
+    fn warm_start_bound_prunes_but_preserves_optimum() {
+        let ilp = knapsack(&[6.0, 10.0, 12.0], &[1.0, 2.0, 3.0], 5.0);
+        let plain = ilp.solve(&IlpConfig::default()).unwrap();
+        let warm = ilp
+            .solve(&IlpConfig {
+                initial_bound: Some(plain.objective() - 1.0),
+                ..IlpConfig::default()
+            })
+            .unwrap();
+        assert_eq!(warm.objective(), plain.objective());
+        assert!(warm.nodes() <= plain.nodes());
+    }
+
+    #[test]
+    fn reduced_cost_fixing_preserves_the_optimum() {
+        let ilp = knapsack(
+            &[10.0, 40.0, 30.0, 50.0, 1.0, 2.0],
+            &[5.0, 4.0, 6.0, 3.0, 5.0, 6.0],
+            10.0,
+        );
+        let plain = ilp.solve(&IlpConfig::default()).unwrap();
+        let fixing = ilp
+            .solve(&IlpConfig {
+                initial_bound: Some(plain.objective() - 0.5),
+                reduced_cost_fixing: true,
+                ..IlpConfig::default()
+            })
+            .unwrap();
+        assert_eq!(fixing.objective(), plain.objective());
+        assert!(fixing.stats().variables_fixed >= 1, "nothing was fixed");
+        assert!(fixing.nodes() <= plain.nodes());
+    }
+
+    #[test]
+    fn reduced_cost_fixing_without_bound_is_a_noop() {
+        let ilp = knapsack(&[6.0, 10.0], &[1.0, 2.0], 2.0);
+        let sol = ilp
+            .solve(&IlpConfig {
+                reduced_cost_fixing: true,
+                ..IlpConfig::default()
+            })
+            .unwrap();
+        assert_eq!(sol.stats().variables_fixed, 0);
+    }
+
+    #[test]
+    fn node_limit_without_solution_errors() {
+        let mut lp = Problem::maximize(2);
+        lp.set_objective(0, 1.0).unwrap();
+        lp.constraint(&[(0, 2.0), (1, 2.0)], Relation::Le, 3.0)
+            .unwrap();
+        let mut ilp = IlpProblem::new(lp);
+        ilp.set_binary(0).unwrap();
+        ilp.set_binary(1).unwrap();
+        let err = ilp
+            .solve(&IlpConfig {
+                node_limit: 0,
+                ..IlpConfig::default()
+            })
+            .unwrap_err();
+        assert_eq!(err, IlpError::LimitWithoutSolution);
+    }
+
+    #[test]
+    fn mixed_integer_keeps_continuous_vars_fractional() {
+        // max x + y, x integer, x + y <= 2.5, x <= 1.7 -> x = 1, y = 1.5.
+        let mut lp = Problem::maximize(2);
+        lp.set_objective(0, 1.0).unwrap();
+        lp.set_objective(1, 1.0).unwrap();
+        lp.constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 2.5)
+            .unwrap();
+        lp.set_upper_bound(0, 1.7).unwrap();
+        let mut ilp = IlpProblem::new(lp);
+        ilp.set_integer(0).unwrap();
+        let sol = ilp.solve(&IlpConfig::default()).unwrap();
+        assert_eq!(sol.value_rounded(0), 1);
+        assert!((sol.value(1) - 1.5).abs() < 1e-6);
+        assert!((sol.objective() - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn set_integer_validates_index() {
+        let lp = Problem::minimize(1);
+        let mut ilp = IlpProblem::new(lp);
+        assert!(matches!(
+            ilp.set_integer(3),
+            Err(LpError::VariableOutOfRange { .. })
+        ));
+        assert!(matches!(
+            ilp.set_binary(3),
+            Err(LpError::VariableOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_integer_marks_are_idempotent() {
+        let lp = Problem::minimize(1);
+        let mut ilp = IlpProblem::new(lp);
+        ilp.set_integer(0).unwrap();
+        ilp.set_integer(0).unwrap();
+        assert_eq!(ilp.integer_variables().len(), 1);
+    }
+
+    #[test]
+    fn stats_account_for_every_node_outcome() {
+        let ilp = knapsack(&[10.0, 40.0, 30.0, 50.0], &[5.0, 4.0, 6.0, 3.0], 10.0);
+        let sol = ilp.solve(&IlpConfig::default()).unwrap();
+        let stats = sol.stats();
+        assert!(stats.nodes >= 1);
+        assert!(stats.incumbents >= 1);
+        assert!(stats.max_depth >= 1);
+    }
+}

@@ -1,0 +1,98 @@
+/// Search statistics of one branch-and-bound run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IlpStats {
+    /// Nodes whose relaxation was solved.
+    pub nodes: u64,
+    /// Nodes discarded because their bound could not beat the incumbent.
+    pub pruned_by_bound: u64,
+    /// Nodes whose relaxation was infeasible.
+    pub pruned_infeasible: u64,
+    /// Number of incumbent improvements found.
+    pub incumbents: u64,
+    /// Deepest node expanded.
+    pub max_depth: u64,
+    /// Binary variables fixed at the root by reduced-cost arguments.
+    pub variables_fixed: u64,
+}
+
+/// An integer-feasible solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpSolution {
+    pub(crate) values: Vec<f64>,
+    pub(crate) objective: f64,
+    pub(crate) stats: IlpStats,
+    pub(crate) proven_optimal: bool,
+}
+
+impl IlpSolution {
+    /// Objective value at the solution.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Raw (LP) value of `variable`; integral for integer variables up
+    /// to [`crate::INT_EPSILON`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variable` is out of range.
+    pub fn value(&self, variable: usize) -> f64 {
+        self.values[variable]
+    }
+
+    /// Value of `variable` rounded to the nearest integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variable` is out of range.
+    pub fn value_rounded(&self, variable: usize) -> i64 {
+        self.values[variable].round() as i64
+    }
+
+    /// All variable values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of branch-and-bound nodes explored.
+    pub fn nodes(&self) -> u64 {
+        self.stats.nodes
+    }
+
+    /// Full search statistics.
+    pub fn stats(&self) -> IlpStats {
+        self.stats
+    }
+
+    /// Whether optimality was proven (false when a limit stopped the
+    /// search with an incumbent in hand).
+    pub fn proven_optimal(&self) -> bool {
+        self.proven_optimal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_all_fields() {
+        let s = IlpSolution {
+            values: vec![1.0, 0.0],
+            objective: 5.0,
+            stats: IlpStats {
+                nodes: 3,
+                incumbents: 1,
+                ..IlpStats::default()
+            },
+            proven_optimal: true,
+        };
+        assert_eq!(s.objective(), 5.0);
+        assert_eq!(s.value(0), 1.0);
+        assert_eq!(s.value_rounded(0), 1);
+        assert_eq!(s.values(), &[1.0, 0.0]);
+        assert_eq!(s.nodes(), 3);
+        assert_eq!(s.stats().incumbents, 1);
+        assert!(s.proven_optimal());
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the branch-and-bound ILP against brute force
+//! on random 0/1 knapsacks and assignment-shaped models.
+
+use proptest::prelude::*;
+use tamopt_ilp::{BranchRule, IlpConfig, IlpProblem, NodeOrder};
+use tamopt_lp::{Problem, Relation};
+
+fn knapsack_brute_force(values: &[u64], weights: &[u64], capacity: u64) -> u64 {
+    let n = values.len();
+    let mut best = 0;
+    for mask in 0u32..(1 << n) {
+        let mut v = 0;
+        let mut w = 0;
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                v += values[i];
+                w += weights[i];
+            }
+        }
+        if w <= capacity {
+            best = best.max(v);
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random knapsacks: the B&B optimum equals brute force.
+    #[test]
+    fn knapsack_optimal(
+        values in proptest::collection::vec(1u64..50, 2..9),
+        weights_seed in proptest::collection::vec(1u64..20, 2..9),
+        cap_frac in 0.2f64..0.9,
+    ) {
+        let n = values.len().min(weights_seed.len());
+        let values = &values[..n];
+        let weights = &weights_seed[..n];
+        let total: u64 = weights.iter().sum();
+        let capacity = ((total as f64) * cap_frac) as u64;
+
+        let mut lp = Problem::maximize(n);
+        for (i, &v) in values.iter().enumerate() {
+            lp.set_objective(i, v as f64).expect("valid index");
+        }
+        let terms: Vec<(usize, f64)> =
+            weights.iter().map(|&w| w as f64).enumerate().collect();
+        lp.constraint(&terms, Relation::Le, capacity as f64).expect("valid row");
+        let mut ilp = IlpProblem::new(lp);
+        for i in 0..n {
+            ilp.set_binary(i).expect("valid index");
+        }
+        let sol = ilp.solve(&IlpConfig::default()).expect("feasible: empty set");
+        let expected = knapsack_brute_force(values, weights, capacity);
+        prop_assert_eq!(sol.objective().round() as u64, expected);
+        // The reported selection is itself feasible and achieves the
+        // objective.
+        let mut v = 0u64;
+        let mut w = 0u64;
+        for i in 0..n {
+            if sol.value_rounded(i) == 1 {
+                v += values[i];
+                w += weights[i];
+            }
+        }
+        prop_assert!(w <= capacity);
+        prop_assert_eq!(v, expected);
+    }
+
+    /// Two-machine partition: B&B equals the DP optimum.
+    #[test]
+    fn partition_makespan_optimal(sizes in proptest::collection::vec(1u64..60, 2..10)) {
+        let total: u64 = sizes.iter().sum();
+        // DP for the best machine-0 load <= total/2 ... compute the
+        // reachable subset sums.
+        let mut reachable = vec![false; (total + 1) as usize];
+        reachable[0] = true;
+        for &s in &sizes {
+            for t in (s..=total).rev() {
+                if reachable[(t - s) as usize] {
+                    reachable[t as usize] = true;
+                }
+            }
+        }
+        let best_half =
+            (0..=total / 2).rev().find(|&t| reachable[t as usize]).unwrap_or(0);
+        let expected_makespan = total - best_half;
+
+        let n = sizes.len();
+        let mut lp = Problem::minimize(n + 1);
+        lp.set_objective(0, 1.0).expect("tau exists");
+        let mut m0: Vec<(usize, f64)> = vec![(0, 1.0)];
+        let mut m1: Vec<(usize, f64)> = vec![(0, 1.0)];
+        for (j, &s) in sizes.iter().enumerate() {
+            m0.push((j + 1, -(s as f64)));
+            m1.push((j + 1, s as f64));
+        }
+        lp.constraint(&m0, Relation::Ge, 0.0).expect("valid row");
+        lp.constraint(&m1, Relation::Ge, total as f64).expect("valid row");
+        let mut ilp = IlpProblem::new(lp);
+        for j in 1..=n {
+            ilp.set_binary(j).expect("valid index");
+        }
+        let sol = ilp.solve(&IlpConfig::default()).expect("always feasible");
+        prop_assert_eq!(sol.objective().round() as u64, expected_makespan);
+    }
+
+    /// Every branching rule and node ordering finds the same knapsack
+    /// optimum, and warm-starting with it (plus reduced-cost fixing)
+    /// never explores more nodes.
+    #[test]
+    fn strategies_agree_and_fixing_helps(
+        values in proptest::collection::vec(1u64..50, 2..8),
+        weights_seed in proptest::collection::vec(1u64..20, 2..8),
+        cap_frac in 0.2f64..0.9,
+    ) {
+        let n = values.len().min(weights_seed.len());
+        let values = &values[..n];
+        let weights = &weights_seed[..n];
+        let total: u64 = weights.iter().sum();
+        let capacity = ((total as f64) * cap_frac) as u64;
+
+        let mut lp = Problem::maximize(n);
+        for (i, &v) in values.iter().enumerate() {
+            lp.set_objective(i, v as f64).expect("valid index");
+        }
+        let terms: Vec<(usize, f64)> =
+            weights.iter().map(|&w| w as f64).enumerate().collect();
+        lp.constraint(&terms, Relation::Le, capacity as f64).expect("valid row");
+        let mut ilp = IlpProblem::new(lp);
+        for i in 0..n {
+            ilp.set_binary(i).expect("valid index");
+        }
+        let reference = ilp.solve(&IlpConfig::default()).expect("feasible");
+        for rule in [
+            BranchRule::MostFractional,
+            BranchRule::FirstFractional,
+            BranchRule::ObjectiveWeighted,
+        ] {
+            for order in [NodeOrder::DepthFirst, NodeOrder::BestFirst] {
+                let config = IlpConfig {
+                    branch_rule: rule,
+                    node_order: order,
+                    ..IlpConfig::default()
+                };
+                let sol = ilp.solve(&config).expect("feasible");
+                prop_assert!(
+                    (sol.objective() - reference.objective()).abs() < 1e-6,
+                    "{rule:?}/{order:?}: {} vs {}",
+                    sol.objective(),
+                    reference.objective()
+                );
+                prop_assert!(sol.proven_optimal());
+            }
+        }
+        // Warm start + reduced-cost fixing keeps the optimum reachable.
+        let warm = ilp
+            .solve(&IlpConfig {
+                initial_bound: Some(reference.objective() - 0.5),
+                reduced_cost_fixing: true,
+                ..IlpConfig::default()
+            })
+            .expect("warm bound keeps the optimum reachable");
+        prop_assert!((warm.objective() - reference.objective()).abs() < 1e-6);
+        prop_assert!(warm.nodes() <= reference.nodes());
+    }
+}

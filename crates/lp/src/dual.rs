@@ -1,0 +1,346 @@
+//! Dual values and reduced costs.
+//!
+//! The simplex in this crate is a primal tableau method; rather than
+//! threading basis inverses out of it, [`Problem::solve_with_duals`]
+//! constructs the *explicit dual program* (including the bound rows the
+//! primal solve adds) and solves it with the same simplex. For the
+//! problem sizes of this workspace the extra solve is negligible, and
+//! the approach is easy to verify: strong duality and complementary
+//! slackness are checked by the property tests, not trusted.
+
+use crate::problem::{Relation, Row};
+use crate::{LpError, LpSolution, Objective, Problem};
+
+/// Dual information for an optimal LP solution.
+///
+/// Sign conventions follow the problem's own sense. For a
+/// *minimization* problem:
+///
+/// * `dual(i) ≥ 0` for `≥` rows, `≤ 0` for `≤` rows, free for `=` rows;
+/// * `reduced_cost(j) = c_j − Σ_i dual(i)·a_ij`: `0` for a variable
+///   strictly between its bounds, `≥ 0` at its lower bound, `≤ 0` at
+///   its upper bound.
+///
+/// For a *maximization* problem all signs flip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DualSolution {
+    duals: Vec<f64>,
+    reduced_costs: Vec<f64>,
+    dual_objective: f64,
+}
+
+impl DualSolution {
+    /// Dual value (shadow price) of constraint `constraint`, in the
+    /// order constraints were added. Bound rows are not included; their
+    /// effect surfaces in the reduced costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constraint` is out of range.
+    pub fn dual(&self, constraint: usize) -> f64 {
+        self.duals[constraint]
+    }
+
+    /// All constraint duals, in constraint order.
+    pub fn duals(&self) -> &[f64] {
+        &self.duals
+    }
+
+    /// Reduced cost of `variable`; see the type docs for the sign
+    /// convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variable` is out of range.
+    pub fn reduced_cost(&self, variable: usize) -> f64 {
+        self.reduced_costs[variable]
+    }
+
+    /// All reduced costs, indexed by variable.
+    pub fn reduced_costs(&self) -> &[f64] {
+        &self.reduced_costs
+    }
+
+    /// The dual objective value; equals the primal objective at an
+    /// optimum (strong duality).
+    pub fn dual_objective(&self) -> f64 {
+        self.dual_objective
+    }
+}
+
+impl Problem {
+    /// Solves the problem and returns dual values and reduced costs
+    /// alongside the primal solution.
+    ///
+    /// # Errors
+    ///
+    /// The same conditions as [`Problem::solve`]. If the primal solve
+    /// succeeds, the dual solve succeeds too (both problems are then
+    /// feasible and bounded).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tamopt_lp::{Problem, Relation};
+    ///
+    /// # fn main() -> Result<(), tamopt_lp::LpError> {
+    /// // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6.
+    /// let mut p = Problem::maximize(2);
+    /// p.set_objective(0, 3.0)?;
+    /// p.set_objective(1, 2.0)?;
+    /// p.constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 4.0)?;
+    /// p.constraint(&[(0, 1.0), (1, 3.0)], Relation::Le, 6.0)?;
+    /// let (primal, dual) = p.solve_with_duals()?;
+    /// // Strong duality.
+    /// assert!((dual.dual_objective() - primal.objective()).abs() < 1e-6);
+    /// // Only the first constraint binds the optimum (x = 4, y = 0).
+    /// assert!(dual.dual(0) > 0.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn solve_with_duals(&self) -> Result<(LpSolution, DualSolution), LpError> {
+        let primal = self.solve()?;
+        let n = self.num_variables();
+        let m = self.rows().len();
+
+        // Work in the minimization sense; flip costs for Maximize.
+        let sign = match self.sense() {
+            Objective::Minimize => 1.0,
+            Objective::Maximize => -1.0,
+        };
+        let costs: Vec<f64> = self.costs().iter().map(|c| sign * c).collect();
+
+        // The expanded row set mirrors Problem::solve: user rows, then
+        // upper-bound rows, then raised-lower-bound rows.
+        let mut rows: Vec<Row> = self.rows().to_vec();
+        let mut ub_row_of: Vec<Option<usize>> = vec![None; n];
+        let mut lb_row_of: Vec<Option<usize>> = vec![None; n];
+        for var in 0..n {
+            if let Some(ub) = self.upper_bound(var) {
+                let mut coeffs = vec![0.0; n];
+                coeffs[var] = 1.0;
+                ub_row_of[var] = Some(rows.len());
+                rows.push(Row {
+                    coeffs,
+                    relation: Relation::Le,
+                    rhs: ub,
+                });
+            }
+        }
+        for var in 0..n {
+            let lb = self.lower_bound(var);
+            if lb > 0.0 {
+                let mut coeffs = vec![0.0; n];
+                coeffs[var] = 1.0;
+                lb_row_of[var] = Some(rows.len());
+                rows.push(Row {
+                    coeffs,
+                    relation: Relation::Ge,
+                    rhs: lb,
+                });
+            }
+        }
+
+        // Dual variables: one non-negative variable per row, plus a
+        // second one for each equality (free y = u - v).
+        let mut var_of_row: Vec<(usize, Option<usize>)> = Vec::with_capacity(rows.len());
+        let mut num_dual_vars = 0usize;
+        for row in &rows {
+            match row.relation {
+                Relation::Eq => {
+                    var_of_row.push((num_dual_vars, Some(num_dual_vars + 1)));
+                    num_dual_vars += 2;
+                }
+                _ => {
+                    var_of_row.push((num_dual_vars, None));
+                    num_dual_vars += 1;
+                }
+            }
+        }
+
+        // max y·b  s.t.  Σ_i a_ij y_i <= c_j for every variable j,
+        // where y_i = +u for Ge, -u for Le, u - v for Eq.
+        let mut dual = Problem::maximize(num_dual_vars);
+        for (i, row) in rows.iter().enumerate() {
+            let (u, v) = var_of_row[i];
+            let orientation = match row.relation {
+                Relation::Ge | Relation::Eq => 1.0,
+                Relation::Le => -1.0,
+            };
+            dual.set_objective(u, orientation * row.rhs)?;
+            if let Some(v) = v {
+                dual.set_objective(v, -row.rhs)?;
+            }
+        }
+        for (j, &cost) in costs.iter().enumerate() {
+            let mut terms: Vec<(usize, f64)> = Vec::new();
+            for (i, row) in rows.iter().enumerate() {
+                let a = row.coeffs[j];
+                if a != 0.0 {
+                    let (u, v) = var_of_row[i];
+                    let orientation = match row.relation {
+                        Relation::Ge | Relation::Eq => 1.0,
+                        Relation::Le => -1.0,
+                    };
+                    terms.push((u, orientation * a));
+                    if let Some(v) = v {
+                        terms.push((v, -a));
+                    }
+                }
+            }
+            dual.constraint(&terms, Relation::Le, cost)?;
+        }
+        let dual_solution = dual.solve()?;
+
+        // Recover y per expanded row, then restrict to user rows and
+        // fold the orientation and the Maximize flip back in.
+        let y_of = |i: usize| -> f64 {
+            let (u, v) = var_of_row[i];
+            let orientation = match rows[i].relation {
+                Relation::Ge | Relation::Eq => 1.0,
+                Relation::Le => -1.0,
+            };
+            let mut y = orientation * dual_solution.value(u);
+            if let Some(v) = v {
+                y -= dual_solution.value(v);
+            }
+            y
+        };
+        let duals: Vec<f64> = (0..m).map(|i| sign * y_of(i)).collect();
+        let reduced_costs: Vec<f64> = (0..n)
+            .map(|j| {
+                let mut d = self.costs()[j];
+                for (i, dual_value) in duals.iter().enumerate() {
+                    d -= dual_value * self.rows()[i].coeffs[j];
+                }
+                d
+            })
+            .collect();
+        let dual_objective = sign * dual_solution.objective();
+        Ok((
+            primal,
+            DualSolution {
+                duals,
+                reduced_costs,
+                dual_objective,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Relation;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_duals() {
+        // max 5x + 4y; 6x + 4y <= 24; x + 2y <= 6. Optimum (3, 1.5),
+        // obj 21, duals y1 = 0.75, y2 = 0.5.
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, 5.0).unwrap();
+        p.set_objective(1, 4.0).unwrap();
+        p.constraint(&[(0, 6.0), (1, 4.0)], Relation::Le, 24.0)
+            .unwrap();
+        p.constraint(&[(0, 1.0), (1, 2.0)], Relation::Le, 6.0)
+            .unwrap();
+        let (primal, dual) = p.solve_with_duals().unwrap();
+        approx(primal.objective(), 21.0);
+        approx(dual.dual_objective(), 21.0);
+        approx(dual.dual(0), 0.75);
+        approx(dual.dual(1), 0.5);
+        // Both variables are basic: zero reduced costs.
+        approx(dual.reduced_cost(0), 0.0);
+        approx(dual.reduced_cost(1), 0.0);
+    }
+
+    #[test]
+    fn nonbinding_row_has_zero_dual() {
+        // min 2x s.t. x >= 3, x >= 1: second row slack at the optimum.
+        let mut p = Problem::minimize(1);
+        p.set_objective(0, 2.0).unwrap();
+        p.constraint(&[(0, 1.0)], Relation::Ge, 3.0).unwrap();
+        p.constraint(&[(0, 1.0)], Relation::Ge, 1.0).unwrap();
+        let (primal, dual) = p.solve_with_duals().unwrap();
+        approx(primal.objective(), 6.0);
+        approx(dual.dual(0), 2.0);
+        approx(dual.dual(1), 0.0);
+    }
+
+    #[test]
+    fn variable_at_zero_has_nonnegative_reduced_cost() {
+        // min x + 10y s.t. x + y >= 4 -> y stays at 0.
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 1.0).unwrap();
+        p.set_objective(1, 10.0).unwrap();
+        p.constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 4.0)
+            .unwrap();
+        let (primal, dual) = p.solve_with_duals().unwrap();
+        approx(primal.value(1), 0.0);
+        approx(dual.reduced_cost(0), 0.0);
+        // d_y = 10 - y1*1 = 10 - 1 = 9 > 0.
+        approx(dual.reduced_cost(1), 9.0);
+    }
+
+    #[test]
+    fn variable_at_upper_bound_has_nonpositive_reduced_cost_min_sense() {
+        // min -3x (i.e. push x up) with x <= 2: x = 2, d = -3.
+        let mut p = Problem::minimize(1);
+        p.set_objective(0, -3.0).unwrap();
+        p.set_upper_bound(0, 2.0).unwrap();
+        let (primal, dual) = p.solve_with_duals().unwrap();
+        approx(primal.value(0), 2.0);
+        assert!(dual.reduced_cost(0) <= 1e-9);
+        approx(dual.dual_objective(), -6.0);
+    }
+
+    #[test]
+    fn equality_duals_are_free() {
+        // min x + y s.t. x + y = 5, x - y = 1 -> (3, 2). Duals solve
+        // y1 + y2 = 1, y1 - y2 = 1 -> y1 = 1, y2 = 0.
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 1.0).unwrap();
+        p.set_objective(1, 1.0).unwrap();
+        p.constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 5.0)
+            .unwrap();
+        p.constraint(&[(0, 1.0), (1, -1.0)], Relation::Eq, 1.0)
+            .unwrap();
+        let (primal, dual) = p.solve_with_duals().unwrap();
+        approx(primal.objective(), 5.0);
+        approx(dual.dual_objective(), 5.0);
+        approx(dual.dual(0), 1.0);
+        approx(dual.dual(1), 0.0);
+    }
+
+    #[test]
+    fn infeasible_problems_error_before_the_dual_solve() {
+        let mut p = Problem::minimize(1);
+        p.constraint(&[(0, 1.0)], Relation::Ge, 3.0).unwrap();
+        p.constraint(&[(0, 1.0)], Relation::Le, 1.0).unwrap();
+        assert_eq!(p.solve_with_duals().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn complementary_slackness_on_a_mixed_problem() {
+        // max 2x + 3y s.t. x + y <= 10, x - y >= 2, y <= 6.
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, 2.0).unwrap();
+        p.set_objective(1, 3.0).unwrap();
+        p.constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 10.0)
+            .unwrap();
+        p.constraint(&[(0, 1.0), (1, -1.0)], Relation::Ge, 2.0)
+            .unwrap();
+        p.set_upper_bound(1, 6.0).unwrap();
+        let (primal, dual) = p.solve_with_duals().unwrap();
+        approx(dual.dual_objective(), primal.objective());
+        // y_i · slack_i = 0 for user rows.
+        let slack0 = 10.0 - (primal.value(0) + primal.value(1));
+        let slack1 = (primal.value(0) - primal.value(1)) - 2.0;
+        assert!((dual.dual(0) * slack0).abs() < 1e-6);
+        assert!((dual.dual(1) * slack1).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error and non-optimal outcome type for LP solving.
+///
+/// `Infeasible` and `Unbounded` are ordinary mathematical outcomes — the
+/// branch-and-bound layer treats `Infeasible` as a pruned node — but they
+/// are modeled as errors so that `?`-style call sites only handle the
+/// optimal path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// A variable index was out of range for the problem.
+    VariableOutOfRange {
+        /// The offending variable index.
+        variable: usize,
+        /// Number of variables in the problem.
+        num_variables: usize,
+    },
+    /// A coefficient or right-hand side was NaN or infinite.
+    NotFinite,
+    /// The simplex iteration limit was exceeded (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => f.write_str("problem is infeasible"),
+            LpError::Unbounded => f.write_str("objective is unbounded"),
+            LpError::VariableOutOfRange {
+                variable,
+                num_variables,
+            } => write!(
+                f,
+                "variable index {variable} out of range for problem with {num_variables} variables"
+            ),
+            LpError::NotFinite => f.write_str("coefficient or bound is NaN or infinite"),
+            LpError::IterationLimit => f.write_str("simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<LpError>();
+    }
+
+    #[test]
+    fn displays_are_meaningful() {
+        assert!(LpError::Infeasible.to_string().contains("infeasible"));
+        assert!(LpError::VariableOutOfRange {
+            variable: 9,
+            num_variables: 3
+        }
+        .to_string()
+        .contains("9"));
+    }
+}

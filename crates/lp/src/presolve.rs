@@ -1,0 +1,428 @@
+//! Presolve: cheap problem reductions applied before the simplex.
+//!
+//! Real LP codes (including the `lpsolve` the paper's exact method used)
+//! shrink a problem before pivoting. This module implements the
+//! reductions that pay off on this workspace's models:
+//!
+//! 1. **fixed variables** — `lb == ub` pins a variable; it is
+//!    substituted into every row and removed;
+//! 2. **singleton rows** — a row with one structural coefficient is a
+//!    bound in disguise; it tightens the variable's bounds and is
+//!    dropped (possibly fixing the variable, feeding rule 1);
+//! 3. **empty rows** — rows with no coefficients are checked against
+//!    their right-hand side and dropped, or declared infeasible;
+//! 4. **bound conflicts** — `lb > ub` is infeasible without any solve.
+//!
+//! Rules run to a fixpoint. [`Presolve::restore`] maps a solution of
+//! the reduced problem back onto the original variables.
+
+use crate::problem::Relation;
+use crate::{LpError, LpSolution, Problem, EPSILON};
+
+/// A presolved problem plus the bookkeeping to undo the reduction.
+///
+/// Created by [`Problem::presolved`].
+///
+/// # Example
+///
+/// ```
+/// use tamopt_lp::{Problem, Relation};
+///
+/// # fn main() -> Result<(), tamopt_lp::LpError> {
+/// // min x + y + z with z fixed to 3 by its bounds and a singleton row
+/// // x >= 2 that becomes a plain bound: presolve removes z and the row.
+/// let mut p = Problem::minimize(3);
+/// for v in 0..3 {
+///     p.set_objective(v, 1.0)?;
+/// }
+/// p.set_lower_bound(2, 3.0)?;
+/// p.set_upper_bound(2, 3.0)?;
+/// p.constraint(&[(0, 1.0)], Relation::Ge, 2.0)?;
+/// let pre = p.presolved()?;
+/// assert_eq!(pre.problem().num_variables(), 2);
+/// assert_eq!(pre.problem().num_constraints(), 0);
+/// let reduced = pre.problem().solve()?;
+/// let full = pre.restore(&reduced);
+/// assert!((full.objective() - 5.0).abs() < 1e-6);
+/// assert!((full.value(2) - 3.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Presolve {
+    problem: Problem,
+    /// `kept[reduced_index] = original_index`.
+    kept: Vec<usize>,
+    /// `fixed[original_index] = Some(value)` for eliminated variables.
+    fixed: Vec<Option<f64>>,
+    /// Objective contribution of the fixed variables.
+    fixed_cost: f64,
+    rows_dropped: usize,
+}
+
+impl Presolve {
+    /// The reduced problem (same sense as the original).
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Number of variables eliminated by the reduction.
+    pub fn variables_fixed(&self) -> usize {
+        self.fixed.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Number of rows removed by the reduction.
+    pub fn rows_dropped(&self) -> usize {
+        self.rows_dropped
+    }
+
+    /// Maps a solution of [`problem`](Presolve::problem) back to the
+    /// original variable space, restoring fixed variables and the full
+    /// objective value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reduced` does not match the reduced problem's
+    /// variable count.
+    pub fn restore(&self, reduced: &LpSolution) -> LpSolution {
+        assert_eq!(
+            reduced.values().len(),
+            self.problem.num_variables(),
+            "solution matches the reduced problem"
+        );
+        let mut values = vec![0.0; self.fixed.len()];
+        for (original, fixed) in self.fixed.iter().enumerate() {
+            if let Some(v) = fixed {
+                values[original] = *v;
+            }
+        }
+        for (reduced_index, &original) in self.kept.iter().enumerate() {
+            values[original] = reduced.value(reduced_index);
+        }
+        LpSolution::new(values, reduced.objective() + self.fixed_cost)
+    }
+}
+
+/// Working representation during reduction.
+struct Work {
+    costs: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<Option<f64>>,
+    rows: Vec<WorkRow>,
+    fixed: Vec<Option<f64>>,
+}
+
+struct WorkRow {
+    coeffs: Vec<f64>,
+    relation: Relation,
+    rhs: f64,
+    dropped: bool,
+}
+
+impl Problem {
+    /// Applies the presolve reductions and returns the reduced problem
+    /// with restore bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Infeasible`] if the reduction proves infeasibility
+    /// (bound conflicts, unsatisfiable empty rows, or a singleton chain
+    /// that empties a row inconsistently).
+    pub fn presolved(&self) -> Result<Presolve, LpError> {
+        let n = self.num_variables();
+        let mut work = Work {
+            costs: self.costs().to_vec(),
+            lower: (0..n).map(|v| self.lower_bound(v)).collect(),
+            upper: (0..n).map(|v| self.upper_bound(v)).collect(),
+            rows: self
+                .rows()
+                .iter()
+                .map(|r| WorkRow {
+                    coeffs: r.coeffs.clone(),
+                    relation: r.relation,
+                    rhs: r.rhs,
+                    dropped: false,
+                })
+                .collect(),
+            fixed: vec![None; n],
+        };
+
+        loop {
+            let mut changed = false;
+            // Rule 4: bound conflicts; rule 1: fixed variables.
+            for var in 0..n {
+                if work.fixed[var].is_some() {
+                    continue;
+                }
+                if let Some(ub) = work.upper[var] {
+                    if work.lower[var] > ub + EPSILON {
+                        return Err(LpError::Infeasible);
+                    }
+                    if (ub - work.lower[var]).abs() <= EPSILON {
+                        work.fix(var, work.lower[var]);
+                        changed = true;
+                    }
+                }
+            }
+            // Rules 2 and 3: singleton and empty rows.
+            for i in 0..work.rows.len() {
+                if work.rows[i].dropped {
+                    continue;
+                }
+                let live: Vec<usize> = work.rows[i]
+                    .coeffs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, &a)| a.abs() > EPSILON && work.fixed[j].is_none())
+                    .map(|(j, _)| j)
+                    .collect();
+                match live.len() {
+                    0 => {
+                        let rhs = work.rows[i].rhs;
+                        let satisfied = match work.rows[i].relation {
+                            Relation::Le => rhs >= -EPSILON,
+                            Relation::Ge => rhs <= EPSILON,
+                            Relation::Eq => rhs.abs() <= EPSILON,
+                        };
+                        if !satisfied {
+                            return Err(LpError::Infeasible);
+                        }
+                        work.rows[i].dropped = true;
+                        changed = true;
+                    }
+                    1 => {
+                        let var = live[0];
+                        let a = work.rows[i].coeffs[var];
+                        let bound = work.rows[i].rhs / a;
+                        // a·x {rel} rhs  ==>  x {rel'} bound, with the
+                        // relation flipping for negative a.
+                        let relation = if a > 0.0 {
+                            work.rows[i].relation
+                        } else {
+                            match work.rows[i].relation {
+                                Relation::Le => Relation::Ge,
+                                Relation::Ge => Relation::Le,
+                                Relation::Eq => Relation::Eq,
+                            }
+                        };
+                        match relation {
+                            Relation::Le => {
+                                let ub = work.upper[var].map_or(bound, |u| u.min(bound));
+                                work.upper[var] = Some(ub);
+                            }
+                            Relation::Ge => {
+                                work.lower[var] = work.lower[var].max(bound);
+                            }
+                            Relation::Eq => {
+                                work.lower[var] = work.lower[var].max(bound);
+                                let ub = work.upper[var].map_or(bound, |u| u.min(bound));
+                                work.upper[var] = Some(ub);
+                            }
+                        }
+                        if work.lower[var] < 0.0 {
+                            // The solver's orthant is x >= 0; a negative
+                            // implied bound stays at 0.
+                            work.lower[var] = 0.0;
+                        }
+                        work.rows[i].dropped = true;
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Build the reduced problem over the surviving variables.
+        let kept: Vec<usize> = (0..n).filter(|&v| work.fixed[v].is_none()).collect();
+        let index_of: Vec<Option<usize>> = {
+            let mut map = vec![None; n];
+            for (reduced, &original) in kept.iter().enumerate() {
+                map[original] = Some(reduced);
+            }
+            map
+        };
+        let mut reduced = match self.sense() {
+            crate::Objective::Minimize => Problem::minimize(kept.len()),
+            crate::Objective::Maximize => Problem::maximize(kept.len()),
+        };
+        for (reduced_index, &original) in kept.iter().enumerate() {
+            reduced.set_objective(reduced_index, work.costs[original])?;
+            if work.lower[original] > 0.0 {
+                reduced.set_lower_bound(reduced_index, work.lower[original])?;
+            }
+            if let Some(ub) = work.upper[original] {
+                reduced.set_upper_bound(reduced_index, ub)?;
+            }
+        }
+        let mut rows_dropped = 0;
+        for row in &work.rows {
+            if row.dropped {
+                rows_dropped += 1;
+                continue;
+            }
+            let terms: Vec<(usize, f64)> = row
+                .coeffs
+                .iter()
+                .enumerate()
+                .filter(|&(j, &a)| a.abs() > EPSILON && work.fixed[j].is_none())
+                .map(|(j, &a)| (index_of[j].expect("kept variable"), a))
+                .collect();
+            reduced.constraint(&terms, row.relation, row.rhs)?;
+        }
+        let fixed_cost: f64 = work
+            .fixed
+            .iter()
+            .enumerate()
+            .filter_map(|(j, f)| f.map(|v| self.costs()[j] * v))
+            .sum();
+        Ok(Presolve {
+            problem: reduced,
+            kept,
+            fixed: work.fixed,
+            fixed_cost,
+            rows_dropped,
+        })
+    }
+}
+
+impl Work {
+    /// Fixes `var` to `value`: folds it into every row's right-hand
+    /// side and records it for restore.
+    fn fix(&mut self, var: usize, value: f64) {
+        self.fixed[var] = Some(value);
+        for row in &mut self.rows {
+            let a = row.coeffs[var];
+            if a != 0.0 {
+                row.rhs -= a * value;
+                row.coeffs[var] = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn fixes_pinned_variables() {
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 2.0).unwrap();
+        p.set_objective(1, 1.0).unwrap();
+        p.set_lower_bound(0, 1.5).unwrap();
+        p.set_upper_bound(0, 1.5).unwrap();
+        p.constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 4.0)
+            .unwrap();
+        let pre = p.presolved().unwrap();
+        assert_eq!(pre.variables_fixed(), 1);
+        assert_eq!(pre.problem().num_variables(), 1);
+        let full = pre.restore(&pre.problem().solve().unwrap());
+        approx(full.value(0), 1.5);
+        approx(full.value(1), 2.5);
+        approx(full.objective(), 2.0 * 1.5 + 2.5);
+        // Matches the unpresolved solve.
+        approx(full.objective(), p.solve().unwrap().objective());
+    }
+
+    #[test]
+    fn converts_singleton_rows_to_bounds() {
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 1.0).unwrap();
+        p.set_objective(1, 1.0).unwrap();
+        p.constraint(&[(0, 2.0)], Relation::Ge, 6.0).unwrap(); // x >= 3
+        p.constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 5.0)
+            .unwrap();
+        let pre = p.presolved().unwrap();
+        assert_eq!(pre.rows_dropped(), 1);
+        assert_eq!(pre.problem().num_constraints(), 1);
+        let full = pre.restore(&pre.problem().solve().unwrap());
+        approx(full.objective(), p.solve().unwrap().objective());
+    }
+
+    #[test]
+    fn negative_coefficient_singleton_flips_relation() {
+        // -x >= -4  <=>  x <= 4; maximize x.
+        let mut p = Problem::maximize(1);
+        p.set_objective(0, 1.0).unwrap();
+        p.constraint(&[(0, -1.0)], Relation::Ge, -4.0).unwrap();
+        let pre = p.presolved().unwrap();
+        assert_eq!(pre.problem().num_constraints(), 0);
+        let full = pre.restore(&pre.problem().solve().unwrap());
+        approx(full.value(0), 4.0);
+    }
+
+    #[test]
+    fn singleton_equality_fixes_through_the_fixpoint() {
+        // 2x = 8 fixes x = 4, which then empties the second row into a
+        // satisfied empty row.
+        let mut p = Problem::minimize(2);
+        p.set_objective(1, 1.0).unwrap();
+        p.constraint(&[(0, 2.0)], Relation::Eq, 8.0).unwrap();
+        p.constraint(&[(0, 1.0)], Relation::Le, 5.0).unwrap();
+        let pre = p.presolved().unwrap();
+        assert_eq!(pre.variables_fixed(), 1);
+        assert_eq!(pre.problem().num_constraints(), 0);
+        let full = pre.restore(&pre.problem().solve().unwrap());
+        approx(full.value(0), 4.0);
+    }
+
+    #[test]
+    fn detects_bound_conflicts() {
+        let mut p = Problem::minimize(1);
+        p.set_lower_bound(0, 3.0).unwrap();
+        p.set_upper_bound(0, 2.0).unwrap();
+        assert_eq!(p.presolved().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unsatisfiable_chains() {
+        // x = 2 (singleton eq) then x >= 5 empties to 0 >= 3: infeasible.
+        let mut p = Problem::minimize(1);
+        p.constraint(&[(0, 1.0)], Relation::Eq, 2.0).unwrap();
+        p.constraint(&[(0, 1.0)], Relation::Ge, 5.0).unwrap();
+        assert_eq!(p.presolved().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn empty_satisfied_rows_are_dropped() {
+        let mut p = Problem::minimize(1);
+        p.set_objective(0, 1.0).unwrap();
+        p.constraint(&[], Relation::Le, 3.0).unwrap();
+        p.constraint(&[], Relation::Ge, -1.0).unwrap();
+        let pre = p.presolved().unwrap();
+        assert_eq!(pre.rows_dropped(), 2);
+    }
+
+    #[test]
+    fn noop_presolve_keeps_everything() {
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, 3.0).unwrap();
+        p.set_objective(1, 2.0).unwrap();
+        p.constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 4.0)
+            .unwrap();
+        p.constraint(&[(0, 1.0), (1, 3.0)], Relation::Le, 6.0)
+            .unwrap();
+        let pre = p.presolved().unwrap();
+        assert_eq!(pre.variables_fixed(), 0);
+        assert_eq!(pre.rows_dropped(), 0);
+        let full = pre.restore(&pre.problem().solve().unwrap());
+        approx(full.objective(), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matches the reduced problem")]
+    fn restore_rejects_mismatched_solutions() {
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 1.0).unwrap();
+        let pre = p.presolved().unwrap();
+        let bogus = LpSolution::new(vec![0.0; 5], 0.0);
+        let _ = pre.restore(&bogus);
+    }
+}

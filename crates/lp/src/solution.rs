@@ -1,0 +1,47 @@
+/// An optimal solution to a linear program.
+///
+/// Returned by [`Problem::solve`](crate::Problem::solve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    values: Vec<f64>,
+    objective: f64,
+}
+
+impl LpSolution {
+    pub(crate) fn new(values: Vec<f64>, objective: f64) -> Self {
+        LpSolution { values, objective }
+    }
+
+    /// Optimal objective value (in the problem's own sense — already
+    /// negated back for maximization problems).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Value of decision variable `variable` at the optimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variable` is out of range.
+    pub fn value(&self, variable: usize) -> f64 {
+        self.values[variable]
+    }
+
+    /// All variable values, indexed by variable.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = LpSolution::new(vec![1.0, 2.5], 7.25);
+        assert_eq!(s.objective(), 7.25);
+        assert_eq!(s.value(1), 2.5);
+        assert_eq!(s.values(), &[1.0, 2.5]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests of the simplex solver: returned points are
+//! feasible, and no random feasible point beats the reported optimum.
+
+use proptest::prelude::*;
+use tamopt_lp::{LpError, Problem, Relation};
+
+/// A random LP built around a known feasible point: constraints are
+/// generated as `a·x0 <= a·x0 + slack`, so `x0` is always feasible.
+#[derive(Debug, Clone)]
+struct SeededLp {
+    costs: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>, // (coefficients, rhs) with Le relation
+    feasible_point: Vec<f64>,
+}
+
+fn arb_lp() -> impl Strategy<Value = SeededLp> {
+    (2usize..6, 1usize..6).prop_flat_map(|(n, m)| {
+        let point = proptest::collection::vec(0.0f64..10.0, n);
+        let costs = proptest::collection::vec(-5.0f64..5.0, n);
+        let row = proptest::collection::vec(-3.0f64..3.0, n);
+        let rows = proptest::collection::vec((row, 0.0f64..5.0), m);
+        (point, costs, rows).prop_map(|(feasible_point, costs, raw_rows)| {
+            let rows = raw_rows
+                .into_iter()
+                .map(|(coeffs, slack)| {
+                    let activity: f64 =
+                        coeffs.iter().zip(&feasible_point).map(|(a, x)| a * x).sum();
+                    (coeffs, activity + slack)
+                })
+                .collect();
+            SeededLp {
+                costs,
+                rows,
+                feasible_point,
+            }
+        })
+    })
+}
+
+fn build(lp: &SeededLp, maximize: bool) -> Problem {
+    let n = lp.costs.len();
+    let mut p = if maximize {
+        Problem::maximize(n)
+    } else {
+        Problem::minimize(n)
+    };
+    for (i, &c) in lp.costs.iter().enumerate() {
+        p.set_objective(i, c).expect("valid index");
+    }
+    // Box the variables so the problem is never unbounded.
+    for i in 0..n {
+        p.set_upper_bound(i, 100.0).expect("valid bound");
+    }
+    for (coeffs, rhs) in &lp.rows {
+        let terms: Vec<(usize, f64)> = coeffs.iter().copied().enumerate().collect();
+        p.constraint(&terms, Relation::Le, *rhs).expect("valid row");
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The solver never reports infeasible (x0 exists), the returned
+    /// point satisfies every constraint, and it is at least as good as
+    /// the seeded feasible point.
+    #[test]
+    fn optimal_dominates_seeded_point(lp in arb_lp(), maximize in any::<bool>()) {
+        let p = build(&lp, maximize);
+        let sol = match p.solve() {
+            Ok(s) => s,
+            Err(LpError::IterationLimit) => {
+                // Extremely unlikely numerical stall; not a correctness
+                // failure of the returned value (none was returned).
+                return Ok(());
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("solver failed: {e}"))),
+        };
+        // Feasibility of the returned point.
+        for (coeffs, rhs) in &lp.rows {
+            let activity: f64 =
+                coeffs.iter().enumerate().map(|(i, a)| a * sol.value(i)).sum();
+            prop_assert!(activity <= rhs + 1e-6, "row violated: {activity} > {rhs}");
+        }
+        for i in 0..lp.costs.len() {
+            prop_assert!(sol.value(i) >= -1e-7);
+            prop_assert!(sol.value(i) <= 100.0 + 1e-6);
+        }
+        // Optimality vs the seeded point.
+        let seeded_obj: f64 =
+            lp.costs.iter().zip(&lp.feasible_point).map(|(c, x)| c * x).sum();
+        if maximize {
+            prop_assert!(sol.objective() >= seeded_obj - 1e-6);
+        } else {
+            prop_assert!(sol.objective() <= seeded_obj + 1e-6);
+        }
+        // Reported objective equals c.x of the returned point.
+        let recomputed: f64 =
+            lp.costs.iter().enumerate().map(|(i, c)| c * sol.value(i)).sum();
+        prop_assert!((recomputed - sol.objective()).abs() < 1e-5);
+    }
+
+    /// Strong duality and dual feasibility hold on every solvable
+    /// random instance.
+    #[test]
+    fn duality_invariants(lp in arb_lp(), maximize in any::<bool>()) {
+        let p = build(&lp, maximize);
+        let (primal, dual) = match p.solve_with_duals() {
+            Ok(pair) => pair,
+            Err(LpError::IterationLimit) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("solver failed: {e}"))),
+        };
+        // Strong duality.
+        prop_assert!(
+            (dual.dual_objective() - primal.objective()).abs()
+                < 1e-4 * (1.0 + primal.objective().abs()),
+            "duality gap: primal {} vs dual {}",
+            primal.objective(),
+            dual.dual_objective()
+        );
+        // Dual sign: all user rows are Le, so duals are <= 0 when
+        // minimizing and >= 0 when maximizing.
+        for i in 0..lp.rows.len() {
+            if maximize {
+                prop_assert!(dual.dual(i) >= -1e-6, "dual {i} = {}", dual.dual(i));
+            } else {
+                prop_assert!(dual.dual(i) <= 1e-6, "dual {i} = {}", dual.dual(i));
+            }
+        }
+        // Complementary slackness on user rows.
+        for (i, (coeffs, rhs)) in lp.rows.iter().enumerate() {
+            let activity: f64 =
+                coeffs.iter().enumerate().map(|(j, a)| a * primal.value(j)).sum();
+            let slack = rhs - activity;
+            prop_assert!(
+                (dual.dual(i) * slack).abs() < 1e-3,
+                "row {i}: dual {} x slack {slack}",
+                dual.dual(i)
+            );
+        }
+    }
+
+    /// Presolve + solve + restore agrees with the direct solve.
+    #[test]
+    fn presolve_preserves_the_optimum(lp in arb_lp(), maximize in any::<bool>()) {
+        let p = build(&lp, maximize);
+        let direct = match p.solve() {
+            Ok(s) => s,
+            Err(LpError::IterationLimit) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("solver failed: {e}"))),
+        };
+        let pre = p.presolved().expect("seeded problems are feasible");
+        let reduced = match pre.problem().solve() {
+            Ok(s) => s,
+            Err(LpError::IterationLimit) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("reduced solve failed: {e}"))),
+        };
+        let restored = pre.restore(&reduced);
+        prop_assert!(
+            (restored.objective() - direct.objective()).abs()
+                < 1e-4 * (1.0 + direct.objective().abs()),
+            "presolve changed the optimum: {} vs {}",
+            restored.objective(),
+            direct.objective()
+        );
+        // The restored point is feasible for the original rows.
+        for (coeffs, rhs) in &lp.rows {
+            let activity: f64 =
+                coeffs.iter().enumerate().map(|(j, a)| a * restored.value(j)).sum();
+            prop_assert!(activity <= rhs + 1e-5);
+        }
+    }
+}

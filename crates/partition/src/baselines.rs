@@ -1,0 +1,308 @@
+//! Metaheuristic baselines for *P_NPAW*: random search and simulated
+//! annealing over width partitions.
+//!
+//! The paper compares its `Partition_evaluate` only against exhaustive
+//! enumeration; these baselines situate it against the generic
+//! alternatives a practitioner would try first. Both score candidate
+//! partitions with the same `Core_assign` evaluator, so the comparison
+//! isolates the *search strategy*. Since `Partition_evaluate` enumerates
+//! the full partition space, neither baseline can beat it under the same
+//! evaluator — the experiments quantify how close they get with a
+//! bounded budget.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tamopt_assign::{core_assign, AssignResult, CoreAssignOptions, CostMatrix, TamSet};
+use tamopt_wrapper::TimeTable;
+
+use crate::evaluate::validate;
+use crate::PartitionError;
+
+/// Budget and seed for the metaheuristic baselines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineConfig {
+    /// Largest TAM count to consider.
+    pub max_tams: u32,
+    /// Number of candidate partitions to evaluate.
+    pub evaluations: u32,
+    /// RNG seed (baselines are deterministic in it).
+    pub seed: u64,
+    /// Initial temperature for annealing, as a fraction of the first
+    /// candidate's testing time.
+    pub initial_temperature: f64,
+}
+
+impl BaselineConfig {
+    /// A default budget: `evaluations` candidates over up to `max_tams`
+    /// TAMs.
+    pub fn new(max_tams: u32, evaluations: u32, seed: u64) -> Self {
+        BaselineConfig {
+            max_tams,
+            evaluations,
+            seed,
+            initial_temperature: 0.2,
+        }
+    }
+}
+
+/// Result of a baseline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineResult {
+    /// Best TAM set found.
+    pub tams: TamSet,
+    /// Assignment achieving it.
+    pub result: AssignResult,
+    /// Candidates actually evaluated.
+    pub evaluated: u32,
+}
+
+/// Uniform-random partition sampling: draw a TAM count, cut the width at
+/// random points, evaluate, keep the best.
+///
+/// # Errors
+///
+/// The validation errors of [`crate::partition_evaluate`].
+pub fn random_search(
+    table: &TimeTable,
+    total_width: u32,
+    config: &BaselineConfig,
+) -> Result<BaselineResult, PartitionError> {
+    validate(table, total_width, 1, config.max_tams)?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut best: Option<(TamSet, AssignResult)> = None;
+    let mut evaluated = 0;
+    for _ in 0..config.evaluations {
+        let widths = random_partition(total_width, config.max_tams, &mut rng);
+        let (tams, result) = evaluate(table, widths)?;
+        evaluated += 1;
+        if best
+            .as_ref()
+            .is_none_or(|(_, r)| result.soc_time() < r.soc_time())
+        {
+            best = Some((tams, result));
+        }
+    }
+    let (tams, result) = best.ok_or(PartitionError::NoFeasiblePartition { total_width })?;
+    Ok(BaselineResult {
+        tams,
+        result,
+        evaluated,
+    })
+}
+
+/// Simulated annealing over partitions: the neighbourhood moves one wire
+/// between parts, splits a part in two, or merges two parts (respecting
+/// `max_tams`); acceptance follows Metropolis with geometric cooling.
+///
+/// # Errors
+///
+/// The validation errors of [`crate::partition_evaluate`].
+pub fn simulated_annealing(
+    table: &TimeTable,
+    total_width: u32,
+    config: &BaselineConfig,
+) -> Result<BaselineResult, PartitionError> {
+    validate(table, total_width, 1, config.max_tams)?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let start_widths = random_partition(total_width, config.max_tams, &mut rng);
+    let (mut current_tams, mut current) = evaluate(table, start_widths)?;
+    let mut best = (current_tams.clone(), current.clone());
+    let mut evaluated = 1;
+    let mut temperature = config.initial_temperature * current.soc_time() as f64;
+    let cooling = 0.97f64;
+
+    for _ in 1..config.evaluations {
+        let widths = neighbour(current_tams.widths(), config.max_tams, &mut rng);
+        let (tams, result) = evaluate(table, widths)?;
+        evaluated += 1;
+        let delta = result.soc_time() as f64 - current.soc_time() as f64;
+        let accept =
+            delta <= 0.0 || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
+        if accept {
+            current_tams = tams;
+            current = result;
+            if current.soc_time() < best.1.soc_time() {
+                best = (current_tams.clone(), current.clone());
+            }
+        }
+        temperature *= cooling;
+    }
+    Ok(BaselineResult {
+        tams: best.0,
+        result: best.1,
+        evaluated,
+    })
+}
+
+fn evaluate(
+    table: &TimeTable,
+    mut widths: Vec<u32>,
+) -> Result<(TamSet, AssignResult), PartitionError> {
+    widths.sort_unstable();
+    let tams = TamSet::new(widths).expect("parts are positive");
+    let costs = CostMatrix::from_table(table, &tams)?;
+    let result = core_assign(&costs, None, &CoreAssignOptions::default())
+        .into_result()
+        .expect("unbounded core_assign always completes");
+    Ok((tams, result))
+}
+
+/// Draws a uniform-random composition of `total` into a random number of
+/// parts `1..=max_tams` (clamped to `total`).
+fn random_partition(total: u32, max_tams: u32, rng: &mut StdRng) -> Vec<u32> {
+    let b = rng.gen_range(1..=max_tams.min(total));
+    let mut cuts: Vec<u32> = (0..b - 1).map(|_| rng.gen_range(1..total)).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut widths = Vec::with_capacity(cuts.len() + 1);
+    let mut prev = 0;
+    for c in cuts {
+        widths.push(c - prev);
+        prev = c;
+    }
+    widths.push(total - prev);
+    widths
+}
+
+/// One annealing move on a sorted width vector.
+fn neighbour(widths: &[u32], max_tams: u32, rng: &mut StdRng) -> Vec<u32> {
+    let mut w = widths.to_vec();
+    let total: u32 = w.iter().sum();
+    match rng.gen_range(0..3u8) {
+        // Move one wire from a part with >= 2 to another part.
+        0 if w.len() >= 2 => {
+            let donors: Vec<usize> = (0..w.len()).filter(|&i| w[i] >= 2).collect();
+            if let Some(&from) = donors.get(
+                rng.gen_range(0..donors.len().max(1))
+                    .min(donors.len().saturating_sub(1)),
+            ) {
+                let mut to = rng.gen_range(0..w.len());
+                if to == from {
+                    to = (to + 1) % w.len();
+                }
+                w[from] -= 1;
+                w[to] += 1;
+            }
+        }
+        // Split a part >= 2 in two (if room for another TAM).
+        1 if (w.len() as u32) < max_tams => {
+            let candidates: Vec<usize> = (0..w.len()).filter(|&i| w[i] >= 2).collect();
+            if !candidates.is_empty() {
+                let i = candidates[rng.gen_range(0..candidates.len())];
+                let cut = rng.gen_range(1..w[i]);
+                let rest = w[i] - cut;
+                w[i] = cut;
+                w.push(rest);
+            }
+        }
+        // Merge two parts.
+        _ if w.len() >= 2 => {
+            let i = rng.gen_range(0..w.len());
+            let mut j = rng.gen_range(0..w.len());
+            if j == i {
+                j = (j + 1) % w.len();
+            }
+            let merged = w[i] + w[j];
+            let (lo, hi) = (i.min(j), i.max(j));
+            w.remove(hi);
+            w[lo] = merged;
+        }
+        _ => {}
+    }
+    debug_assert_eq!(w.iter().sum::<u32>(), total);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::{partition_evaluate, EvaluateConfig};
+    use tamopt_soc::benchmarks;
+
+    fn table() -> TimeTable {
+        TimeTable::new(&benchmarks::d695(), 32).unwrap()
+    }
+
+    #[test]
+    fn random_search_is_valid_and_deterministic() {
+        let t = table();
+        let cfg = BaselineConfig::new(4, 50, 7);
+        let a = random_search(&t, 32, &cfg).unwrap();
+        let b = random_search(&t, 32, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.evaluated, 50);
+        assert_eq!(a.tams.total_width(), 32);
+    }
+
+    #[test]
+    fn annealing_is_valid_and_deterministic() {
+        let t = table();
+        let cfg = BaselineConfig::new(4, 80, 11);
+        let a = simulated_annealing(&t, 32, &cfg).unwrap();
+        let b = simulated_annealing(&t, 32, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.tams.total_width(), 32);
+    }
+
+    #[test]
+    fn partition_evaluate_dominates_baselines() {
+        // Same evaluator, full enumeration: the paper's heuristic is the
+        // floor for any sampling strategy.
+        let t = table();
+        let full = partition_evaluate(&t, 32, &EvaluateConfig::up_to_tams(4)).unwrap();
+        for seed in [1u64, 2, 3] {
+            let cfg = BaselineConfig::new(4, 60, seed);
+            let rand = random_search(&t, 32, &cfg).unwrap();
+            let sa = simulated_annealing(&t, 32, &cfg).unwrap();
+            assert!(rand.result.soc_time() >= full.result.soc_time());
+            assert!(sa.result.soc_time() >= full.result.soc_time());
+        }
+    }
+
+    #[test]
+    fn annealing_tends_to_beat_random_at_equal_budget() {
+        // Not a theorem — check over seeds that SA wins or ties on
+        // average.
+        let t = table();
+        let mut sa_wins = 0i32;
+        for seed in 0..10u64 {
+            let cfg = BaselineConfig::new(6, 40, seed);
+            let rand = random_search(&t, 32, &cfg).unwrap();
+            let sa = simulated_annealing(&t, 32, &cfg).unwrap();
+            if sa.result.soc_time() <= rand.result.soc_time() {
+                sa_wins += 1;
+            }
+        }
+        assert!(sa_wins >= 5, "annealing lost too often: {sa_wins}/10");
+    }
+
+    #[test]
+    fn random_partition_always_sums() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let p = random_partition(40, 6, &mut rng);
+            assert_eq!(p.iter().sum::<u32>(), 40);
+            assert!(!p.is_empty() && p.len() <= 6);
+            assert!(p.iter().all(|&x| x >= 1));
+        }
+    }
+
+    #[test]
+    fn neighbour_preserves_total_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut w = vec![4u32, 12, 16];
+        for _ in 0..300 {
+            w = neighbour(&w, 6, &mut rng);
+            assert_eq!(w.iter().sum::<u32>(), 32);
+            assert!(w.iter().all(|&x| x >= 1));
+            assert!(w.len() <= 6);
+        }
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let t = table();
+        assert!(random_search(&t, 0, &BaselineConfig::new(3, 5, 1)).is_err());
+        assert!(simulated_annealing(&t, 64, &BaselineConfig::new(3, 5, 1)).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+
+use tamopt_assign::AssignError;
+
+/// Error type for partition optimization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// The total TAM width was zero.
+    ZeroWidth,
+    /// The TAM-count range was empty (`min_tams == 0` or
+    /// `min_tams > max_tams`).
+    EmptyTamRange {
+        /// Requested minimum TAM count.
+        min_tams: u32,
+        /// Requested maximum TAM count.
+        max_tams: u32,
+    },
+    /// No partition exists in the requested range (every TAM needs at
+    /// least one wire, so `min_tams > total_width` has no solutions).
+    NoFeasiblePartition {
+        /// Requested total width.
+        total_width: u32,
+    },
+    /// The wrapper time table does not cover the total width.
+    TableTooNarrow {
+        /// Width required (`total_width`, for the single-TAM partition).
+        required: u32,
+        /// Width the table covers.
+        max_width: u32,
+    },
+    /// An assignment solver failed.
+    Assign(AssignError),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::ZeroWidth => f.write_str("total tam width is zero"),
+            PartitionError::EmptyTamRange { min_tams, max_tams } => {
+                write!(f, "empty tam-count range {min_tams}..={max_tams}")
+            }
+            PartitionError::NoFeasiblePartition { total_width } => {
+                write!(
+                    f,
+                    "no feasible partition of width {total_width} in the requested range"
+                )
+            }
+            PartitionError::TableTooNarrow {
+                required,
+                max_width,
+            } => write!(
+                f,
+                "time table covers widths up to {max_width} but the architecture needs {required}"
+            ),
+            PartitionError::Assign(e) => write!(f, "assignment failure: {e}"),
+        }
+    }
+}
+
+impl Error for PartitionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PartitionError::Assign(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AssignError> for PartitionError {
+    fn from(e: AssignError) -> Self {
+        PartitionError::Assign(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_source() {
+        assert!(PartitionError::ZeroWidth.to_string().contains("zero"));
+        let e = PartitionError::Assign(AssignError::NoTams);
+        assert!(e.to_string().contains("assignment"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&PartitionError::ZeroWidth).is_none());
+    }
+}

@@ -1,0 +1,325 @@
+//! The `Partition_evaluate` heuristic (Figure 3 of the paper).
+//!
+//! For every TAM count `B` in the configured range and every unique
+//! partition of the total width `W` into `B` parts, the partition is
+//! scored with the `Core_assign` heuristic, carrying the best-known SOC
+//! testing time `τ` across evaluations so that most partitions abort
+//! early (pruning level 2). The result is the paper's *intermediate*
+//! solution to *P_PAW* / *P_NPAW*; the final exact optimization step
+//! lives in [`crate::pipeline`].
+
+use serde::{Deserialize, Serialize};
+use tamopt_assign::{
+    core_assign, AssignResult, CoreAssignOptions, CoreAssignOutcome, CostMatrix, TamSet,
+};
+use tamopt_wrapper::TimeTable;
+
+use crate::enumerate::Partitions;
+use crate::PartitionError;
+
+/// Pruning statistics of one `Partition_evaluate` run — the quantities
+/// behind the paper's Table 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruneStats {
+    /// Unique partitions enumerated (pruning level 1 already applied).
+    pub enumerated: u64,
+    /// Partitions whose evaluation ran to completion.
+    pub completed: u64,
+    /// Partitions whose evaluation was aborted by the `τ` bound.
+    pub aborted: u64,
+}
+
+impl PruneStats {
+    /// The paper's efficiency measure `E = completed / estimate`, where
+    /// `estimate` is the number of unique partitions (Table 1 uses the
+    /// asymptotic `V(W,B)`; pass whichever denominator is wanted).
+    pub fn efficiency(&self, denominator: f64) -> f64 {
+        if denominator <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / denominator
+    }
+}
+
+/// Configuration of [`partition_evaluate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvaluateConfig {
+    /// Smallest TAM count to consider (≥ 1).
+    pub min_tams: u32,
+    /// Largest TAM count to consider (inclusive).
+    pub max_tams: u32,
+    /// `Core_assign` tie-break switches.
+    pub options: CoreAssignOptions,
+    /// Whether to carry the `τ` bound into `Core_assign` (pruning
+    /// level 2). Disabled only by the ablation benches.
+    pub prune: bool,
+}
+
+impl EvaluateConfig {
+    /// Evaluates every TAM count from 1 to `max_tams` (problem
+    /// *P_NPAW*).
+    pub fn up_to_tams(max_tams: u32) -> Self {
+        EvaluateConfig {
+            min_tams: 1,
+            max_tams,
+            options: CoreAssignOptions::default(),
+            prune: true,
+        }
+    }
+
+    /// Evaluates exactly `tams` TAMs (problem *P_PAW*).
+    pub fn exact_tams(tams: u32) -> Self {
+        EvaluateConfig {
+            min_tams: tams,
+            max_tams: tams,
+            options: CoreAssignOptions::default(),
+            prune: true,
+        }
+    }
+}
+
+/// Result of [`partition_evaluate`]: the best partition found, the
+/// heuristic assignment achieving it, and pruning statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalResult {
+    /// The winning TAM set (widths in non-decreasing order).
+    pub tams: TamSet,
+    /// The heuristic core assignment on the winning TAM set.
+    pub result: AssignResult,
+    /// Pruning statistics over the whole run.
+    pub stats: PruneStats,
+}
+
+/// Runs `Partition_evaluate`: enumerates every unique partition of
+/// `total_width` over the configured TAM-count range, scores each with
+/// `Core_assign` under the running best-known bound `τ`, and returns the
+/// best.
+///
+/// # Errors
+///
+/// * [`PartitionError::ZeroWidth`] if `total_width == 0`;
+/// * [`PartitionError::EmptyTamRange`] for an empty TAM-count range;
+/// * [`PartitionError::TableTooNarrow`] if `table` does not cover
+///   `total_width`;
+/// * [`PartitionError::NoFeasiblePartition`] if no TAM count in range
+///   admits any partition (all exceed `total_width`).
+///
+/// # Example
+///
+/// ```
+/// use tamopt_partition::{partition_evaluate, EvaluateConfig};
+/// use tamopt_soc::benchmarks;
+/// use tamopt_wrapper::TimeTable;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let soc = benchmarks::d695();
+/// let table = TimeTable::new(&soc, 24)?;
+/// let eval = partition_evaluate(&table, 24, &EvaluateConfig::up_to_tams(4))?;
+/// assert_eq!(eval.tams.total_width(), 24);
+/// assert!(eval.stats.completed >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn partition_evaluate(
+    table: &TimeTable,
+    total_width: u32,
+    config: &EvaluateConfig,
+) -> Result<EvalResult, PartitionError> {
+    validate(table, total_width, config.min_tams, config.max_tams)?;
+
+    let mut best: Option<(TamSet, AssignResult)> = None;
+    let mut tau = u64::MAX;
+    let mut stats = PruneStats::default();
+
+    for b in config.min_tams..=config.max_tams {
+        for widths in Partitions::new(total_width, b) {
+            stats.enumerated += 1;
+            let tams = TamSet::new(widths).expect("partition parts are positive");
+            let costs = CostMatrix::from_table(table, &tams)?;
+            let bound = if config.prune && tau != u64::MAX {
+                Some(tau)
+            } else {
+                None
+            };
+            match core_assign(&costs, bound, &config.options) {
+                CoreAssignOutcome::Complete(result) => {
+                    stats.completed += 1;
+                    if result.soc_time() < tau {
+                        tau = result.soc_time();
+                        best = Some((tams, result));
+                    }
+                }
+                CoreAssignOutcome::Aborted { .. } => {
+                    stats.aborted += 1;
+                }
+            }
+        }
+    }
+
+    let (tams, result) = best.ok_or(PartitionError::NoFeasiblePartition { total_width })?;
+    Ok(EvalResult {
+        tams,
+        result,
+        stats,
+    })
+}
+
+pub(crate) fn validate(
+    table: &TimeTable,
+    total_width: u32,
+    min_tams: u32,
+    max_tams: u32,
+) -> Result<(), PartitionError> {
+    if total_width == 0 {
+        return Err(PartitionError::ZeroWidth);
+    }
+    if min_tams == 0 || min_tams > max_tams {
+        return Err(PartitionError::EmptyTamRange { min_tams, max_tams });
+    }
+    if table.max_width() < total_width {
+        return Err(PartitionError::TableTooNarrow {
+            required: total_width,
+            max_width: table.max_width(),
+        });
+    }
+    if min_tams > total_width {
+        return Err(PartitionError::NoFeasiblePartition { total_width });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count;
+    use tamopt_soc::benchmarks;
+
+    fn d695_table(width: u32) -> TimeTable {
+        TimeTable::new(&benchmarks::d695(), width).unwrap()
+    }
+
+    #[test]
+    fn finds_a_partition_for_fixed_b() {
+        let table = d695_table(32);
+        let eval = partition_evaluate(&table, 32, &EvaluateConfig::exact_tams(2)).unwrap();
+        assert_eq!(eval.tams.len(), 2);
+        assert_eq!(eval.tams.total_width(), 32);
+        assert_eq!(
+            eval.stats.enumerated,
+            count::unique_partitions(32, 2),
+            "every unique partition is enumerated"
+        );
+        assert_eq!(
+            eval.stats.completed + eval.stats.aborted,
+            eval.stats.enumerated
+        );
+    }
+
+    #[test]
+    fn pruning_skips_most_partitions() {
+        let table = d695_table(48);
+        let eval = partition_evaluate(&table, 48, &EvaluateConfig::up_to_tams(4)).unwrap();
+        assert!(
+            eval.stats.aborted > eval.stats.completed,
+            "τ-pruning should dominate: {:?}",
+            eval.stats
+        );
+    }
+
+    #[test]
+    fn pruning_does_not_change_the_result() {
+        let table = d695_table(40);
+        let pruned = partition_evaluate(&table, 40, &EvaluateConfig::up_to_tams(3)).unwrap();
+        let unpruned = partition_evaluate(
+            &table,
+            40,
+            &EvaluateConfig {
+                prune: false,
+                ..EvaluateConfig::up_to_tams(3)
+            },
+        )
+        .unwrap();
+        assert_eq!(pruned.result.soc_time(), unpruned.result.soc_time());
+        assert_eq!(unpruned.stats.aborted, 0);
+        assert_eq!(unpruned.stats.completed, unpruned.stats.enumerated);
+    }
+
+    #[test]
+    fn more_tams_never_hurt_the_heuristic_bound() {
+        let table = d695_table(32);
+        let b2 = partition_evaluate(&table, 32, &EvaluateConfig::up_to_tams(2)).unwrap();
+        let b4 = partition_evaluate(&table, 32, &EvaluateConfig::up_to_tams(4)).unwrap();
+        assert!(b4.result.soc_time() <= b2.result.soc_time());
+    }
+
+    #[test]
+    fn single_tam_is_the_serial_schedule() {
+        let table = d695_table(16);
+        let eval = partition_evaluate(&table, 16, &EvaluateConfig::exact_tams(1)).unwrap();
+        let serial: u64 = (0..table.num_cores()).map(|c| table.time(c, 16)).sum();
+        assert_eq!(eval.result.soc_time(), serial);
+        assert_eq!(eval.stats.enumerated, 1);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let table = d695_table(16);
+        assert_eq!(
+            partition_evaluate(&table, 0, &EvaluateConfig::up_to_tams(2)).unwrap_err(),
+            PartitionError::ZeroWidth
+        );
+        assert_eq!(
+            partition_evaluate(&table, 16, &EvaluateConfig::exact_tams(0)).unwrap_err(),
+            PartitionError::EmptyTamRange {
+                min_tams: 0,
+                max_tams: 0
+            }
+        );
+        assert_eq!(
+            partition_evaluate(
+                &table,
+                16,
+                &EvaluateConfig {
+                    min_tams: 3,
+                    max_tams: 2,
+                    ..EvaluateConfig::up_to_tams(2)
+                }
+            )
+            .unwrap_err(),
+            PartitionError::EmptyTamRange {
+                min_tams: 3,
+                max_tams: 2
+            }
+        );
+        assert_eq!(
+            partition_evaluate(&table, 32, &EvaluateConfig::up_to_tams(2)).unwrap_err(),
+            PartitionError::TableTooNarrow {
+                required: 32,
+                max_width: 16
+            }
+        );
+        assert_eq!(
+            partition_evaluate(&table, 4, &EvaluateConfig::exact_tams(9)).unwrap_err(),
+            PartitionError::NoFeasiblePartition { total_width: 4 }
+        );
+    }
+
+    #[test]
+    fn stats_efficiency() {
+        let stats = PruneStats {
+            enumerated: 100,
+            completed: 2,
+            aborted: 98,
+        };
+        assert!((stats.efficiency(100.0) - 0.02).abs() < 1e-12);
+        assert_eq!(stats.efficiency(0.0), 0.0);
+    }
+
+    #[test]
+    fn result_partition_is_canonical() {
+        let table = d695_table(24);
+        let eval = partition_evaluate(&table, 24, &EvaluateConfig::up_to_tams(5)).unwrap();
+        let w = eval.tams.widths();
+        assert!(w.windows(2).all(|p| p[0] <= p[1]));
+    }
+}

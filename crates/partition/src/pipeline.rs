@@ -1,0 +1,257 @@
+//! The two-step co-optimization methodology of the paper.
+//!
+//! Step 1 runs [`crate::partition_evaluate`] to pick a TAM partition
+//! quickly; step 2 re-optimizes the core assignment on that single
+//! partition *exactly* (Section 3.2 — the paper uses its ILP model once,
+//! warm-started). The combination reaches near-optimal architectures at
+//! a small fraction of the exhaustive baseline's cost.
+//!
+//! The paper documents an *anomaly* of this scheme: because step 1 ranks
+//! partitions by heuristic testing time, the partition it hands to
+//! step 2 is not always the one that would win after exact optimization
+//! (its p21241, `W = 16` discussion). [`CoOptimization`] therefore keeps
+//! both the heuristic and the optimized results visible.
+
+use std::time::{Duration, Instant};
+
+use tamopt_assign::exact::ExactConfig;
+use tamopt_assign::ilp::IlpAssignConfig;
+use tamopt_assign::{exact, ilp, AssignResult, CoreAssignOptions, CostMatrix, TamSet};
+use tamopt_wrapper::TimeTable;
+
+use crate::evaluate::{partition_evaluate, EvaluateConfig, PruneStats};
+use crate::PartitionError;
+
+/// Which exact solver performs the final optimization step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinalStep {
+    /// Skip the final step (pure heuristic — ablation mode).
+    None,
+    /// Specialized branch-and-bound (default; fastest).
+    BranchBound(ExactConfig),
+    /// The literal ILP model of the paper's Section 3.2.
+    Ilp(IlpAssignConfig),
+}
+
+impl Default for FinalStep {
+    fn default() -> Self {
+        FinalStep::BranchBound(ExactConfig::default())
+    }
+}
+
+/// Configuration of [`co_optimize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Smallest TAM count to consider (≥ 1).
+    pub min_tams: u32,
+    /// Largest TAM count to consider (inclusive).
+    pub max_tams: u32,
+    /// `Core_assign` tie-break switches for step 1.
+    pub options: CoreAssignOptions,
+    /// `τ`-pruning in step 1 (ablation switch).
+    pub prune: bool,
+    /// The final optimization step.
+    pub final_step: FinalStep,
+}
+
+impl PipelineConfig {
+    /// Full *P_NPAW* over 1..=`max_tams` TAMs with default settings.
+    pub fn up_to_tams(max_tams: u32) -> Self {
+        PipelineConfig {
+            min_tams: 1,
+            max_tams,
+            options: CoreAssignOptions::default(),
+            prune: true,
+            final_step: FinalStep::default(),
+        }
+    }
+
+    /// *P_PAW* at exactly `tams` TAMs with default settings.
+    pub fn exact_tams(tams: u32) -> Self {
+        PipelineConfig {
+            min_tams: tams,
+            max_tams: tams,
+            ..Self::up_to_tams(tams)
+        }
+    }
+}
+
+/// Result of the two-step pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoOptimization {
+    /// The TAM partition selected by step 1.
+    pub tams: TamSet,
+    /// Step-1 heuristic assignment on that partition.
+    pub heuristic: AssignResult,
+    /// Step-2 exactly optimized assignment (equals `heuristic` when the
+    /// final step is [`FinalStep::None`]).
+    pub optimized: AssignResult,
+    /// Whether step 2 proved its assignment optimal for the partition.
+    pub final_step_optimal: bool,
+    /// Pruning statistics of step 1.
+    pub stats: PruneStats,
+    /// Wall-clock time of step 1 (`Partition_evaluate`).
+    pub evaluate_time: Duration,
+    /// Wall-clock time of step 2 (the exact re-optimization).
+    pub final_time: Duration,
+}
+
+impl CoOptimization {
+    /// SOC testing time of the final architecture, in clock cycles.
+    pub fn soc_time(&self) -> u64 {
+        self.optimized.soc_time()
+    }
+
+    /// Total wall-clock time of both steps.
+    pub fn total_time(&self) -> Duration {
+        self.evaluate_time + self.final_time
+    }
+}
+
+/// Runs the full wrapper/TAM co-optimization (problems *P_PAW* /
+/// *P_NPAW* depending on the configured TAM range).
+///
+/// # Errors
+///
+/// The validation errors of [`partition_evaluate`], plus
+/// [`PartitionError::Assign`] if the final exact step fails.
+///
+/// # Example
+///
+/// ```
+/// use tamopt_partition::pipeline::{co_optimize, PipelineConfig};
+/// use tamopt_soc::benchmarks;
+/// use tamopt_wrapper::TimeTable;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let table = TimeTable::new(&benchmarks::d695(), 32)?;
+/// let co = co_optimize(&table, 32, &PipelineConfig::up_to_tams(4))?;
+/// assert!(co.soc_time() <= co.heuristic.soc_time());
+/// # Ok(())
+/// # }
+/// ```
+pub fn co_optimize(
+    table: &TimeTable,
+    total_width: u32,
+    config: &PipelineConfig,
+) -> Result<CoOptimization, PartitionError> {
+    let eval_config = EvaluateConfig {
+        min_tams: config.min_tams,
+        max_tams: config.max_tams,
+        options: config.options,
+        prune: config.prune,
+    };
+    let eval_start = Instant::now();
+    let eval = partition_evaluate(table, total_width, &eval_config)?;
+    let evaluate_time = eval_start.elapsed();
+
+    let final_start = Instant::now();
+    let costs = CostMatrix::from_table(table, &eval.tams)?;
+    let (optimized, final_step_optimal) = match config.final_step {
+        FinalStep::None => (eval.result.clone(), false),
+        FinalStep::BranchBound(cfg) => {
+            let sol = exact::solve(&costs, &cfg)?;
+            (sol.result, sol.proven_optimal)
+        }
+        FinalStep::Ilp(cfg) => {
+            let sol = ilp::solve(&costs, &cfg)?;
+            (sol.result, sol.proven_optimal)
+        }
+    };
+    let final_time = final_start.elapsed();
+
+    // The exact step can only improve (it is seeded with a heuristic
+    // at least as good as step 1's assignment on this partition).
+    let optimized = if optimized.soc_time() <= eval.result.soc_time() {
+        optimized
+    } else {
+        eval.result.clone()
+    };
+
+    Ok(CoOptimization {
+        tams: eval.tams,
+        heuristic: eval.result,
+        optimized,
+        final_step_optimal,
+        stats: eval.stats,
+        evaluate_time,
+        final_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::{self, ExhaustiveConfig};
+    use tamopt_soc::benchmarks;
+
+    fn d695_table(width: u32) -> TimeTable {
+        TimeTable::new(&benchmarks::d695(), width).unwrap()
+    }
+
+    #[test]
+    fn final_step_never_hurts() {
+        let table = d695_table(32);
+        for b in 1..=4 {
+            let co = co_optimize(&table, 32, &PipelineConfig::exact_tams(b)).unwrap();
+            assert!(co.optimized.soc_time() <= co.heuristic.soc_time(), "B={b}");
+        }
+    }
+
+    #[test]
+    fn near_optimal_versus_exhaustive() {
+        // The paper reports the two-step method within a few percent of
+        // exhaustive on d695; allow 25 % slack for the reconstruction.
+        let table = d695_table(24);
+        for b in 2..=3 {
+            let co = co_optimize(&table, 24, &PipelineConfig::exact_tams(b)).unwrap();
+            let ex = exhaustive::solve(&table, 24, &ExhaustiveConfig::exact_tams(b)).unwrap();
+            let gap = co.soc_time() as f64 / ex.result.soc_time() as f64;
+            assert!(gap >= 1.0 - 1e-12, "co-optimization beat a proven optimum");
+            assert!(gap < 1.25, "B={b}: gap {gap} too large");
+        }
+    }
+
+    #[test]
+    fn ilp_final_step_agrees_with_branch_bound() {
+        let table = d695_table(16);
+        let bb = co_optimize(&table, 16, &PipelineConfig::exact_tams(2)).unwrap();
+        let ilp_cfg = PipelineConfig {
+            final_step: FinalStep::Ilp(IlpAssignConfig::default()),
+            ..PipelineConfig::exact_tams(2)
+        };
+        let via_ilp = co_optimize(&table, 16, &ilp_cfg).unwrap();
+        assert_eq!(bb.tams, via_ilp.tams, "step 1 is deterministic");
+        assert_eq!(bb.soc_time(), via_ilp.soc_time());
+    }
+
+    #[test]
+    fn skipping_final_step_returns_heuristic() {
+        let table = d695_table(16);
+        let cfg = PipelineConfig {
+            final_step: FinalStep::None,
+            ..PipelineConfig::exact_tams(2)
+        };
+        let co = co_optimize(&table, 16, &cfg).unwrap();
+        assert_eq!(co.heuristic, co.optimized);
+        assert!(!co.final_step_optimal);
+        assert_eq!(co.final_time, co.total_time() - co.evaluate_time);
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let table = d695_table(8);
+        assert_eq!(
+            co_optimize(&table, 0, &PipelineConfig::up_to_tams(2)).unwrap_err(),
+            PartitionError::ZeroWidth
+        );
+    }
+
+    #[test]
+    fn wider_budget_never_worse() {
+        let table = d695_table(48);
+        let w24 = co_optimize(&table, 24, &PipelineConfig::up_to_tams(4)).unwrap();
+        let w48 = co_optimize(&table, 48, &PipelineConfig::up_to_tams(4)).unwrap();
+        assert!(w48.soc_time() <= w24.soc_time());
+    }
+}

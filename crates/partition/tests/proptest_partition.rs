@@ -1,0 +1,173 @@
+//! Property-based tests of partition enumeration, counting and the
+//! evaluation/pipeline layers.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use tamopt_partition::count;
+use tamopt_partition::enumerate::{Compositions, Partitions};
+use tamopt_partition::pipeline::{co_optimize, FinalStep, PipelineConfig};
+use tamopt_partition::{partition_evaluate, EvaluateConfig};
+use tamopt_wrapper::TimeTable;
+
+/// A small random cost table shaped like `T_i(w)`: non-increasing rows.
+fn arb_table() -> impl Strategy<Value = TimeTable> {
+    (2usize..7, 4u32..12).prop_flat_map(|(cores, width)| {
+        proptest::collection::vec(proptest::collection::vec(1u64..500, width as usize), cores)
+            .prop_map(|mut rows| {
+                for row in &mut rows {
+                    // Sort descending so wider never tests slower.
+                    row.sort_unstable_by(|a, b| b.cmp(a));
+                }
+                TimeTable::from_matrix(rows)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The iterator yields exactly p(W, B) partitions, all canonical
+    /// (non-decreasing), all summing to W, all distinct.
+    #[test]
+    fn partitions_complete_and_unique(w in 1u32..48, b in 1u32..9) {
+        let all: Vec<Vec<u32>> = Partitions::new(w, b).collect();
+        prop_assert_eq!(all.len() as u64, count::unique_partitions(w, b));
+        let mut seen = HashSet::new();
+        for p in &all {
+            prop_assert_eq!(p.len() as u32, b);
+            prop_assert_eq!(p.iter().sum::<u32>(), w);
+            prop_assert!(p.iter().all(|&x| x >= 1));
+            prop_assert!(p.windows(2).all(|x| x[0] <= x[1]), "{:?} not canonical", p);
+            prop_assert!(seen.insert(p.clone()), "duplicate {:?}", p);
+        }
+    }
+
+    /// Compositions count C(W-1, B-1); each sorts into some partition,
+    /// and each partition is reachable from some composition.
+    #[test]
+    fn compositions_cover_partitions(w in 1u32..26, b in 1u32..6) {
+        let comps: Vec<Vec<u32>> = Compositions::new(w, b).collect();
+        prop_assert_eq!(comps.len() as u64, count::compositions(w, b));
+        let partitions: HashSet<Vec<u32>> = Partitions::new(w, b).collect();
+        let mut reached = HashSet::new();
+        for mut c in comps {
+            prop_assert_eq!(c.iter().sum::<u32>(), w);
+            c.sort_unstable();
+            prop_assert!(partitions.contains(&c));
+            reached.insert(c);
+        }
+        prop_assert_eq!(reached.len(), partitions.len());
+    }
+
+    /// Pascal-style recurrence of the exact counter.
+    #[test]
+    fn count_recurrence(w in 2u32..60, b in 2u32..10) {
+        prop_assert_eq!(
+            count::unique_partitions(w, b),
+            count::unique_partitions(w - 1, b - 1)
+                + if w >= b { count::unique_partitions(w - b, b) } else { 0 }
+        );
+    }
+
+    /// Counting by symmetry: partitions of W into exactly B parts equal
+    /// partitions of W - B into at most B parts.
+    #[test]
+    fn count_shift_identity(w in 1u32..50, b in 1u32..10) {
+        prop_assume!(w >= b);
+        let lhs = count::unique_partitions(w, b);
+        let rhs: u64 = if w == b {
+            1
+        } else {
+            (1..=b).map(|k| count::unique_partitions(w - b, k)).sum()
+        };
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// The tau-abort (pruning level 2) is an optimization, not an
+    /// approximation: Partition_evaluate returns the same best testing
+    /// time with pruning on and off.
+    #[test]
+    fn pruning_never_changes_the_answer(table in arb_table(), max_tams in 1u32..5) {
+        let width = table.max_width();
+        let pruned = partition_evaluate(&table, width, &EvaluateConfig::up_to_tams(max_tams))
+            .expect("valid width");
+        let full = partition_evaluate(
+            &table,
+            width,
+            &EvaluateConfig { prune: false, ..EvaluateConfig::up_to_tams(max_tams) },
+        )
+        .expect("valid width");
+        prop_assert_eq!(pruned.result.soc_time(), full.result.soc_time());
+        // Pruning only ever *reduces* completed evaluations.
+        prop_assert!(pruned.stats.completed <= full.stats.completed);
+        prop_assert_eq!(pruned.stats.enumerated, full.stats.enumerated);
+    }
+
+    /// The final exact step of the two-step pipeline never makes the
+    /// architecture worse than the heuristic that seeded it.
+    #[test]
+    fn final_step_never_hurts(table in arb_table(), max_tams in 1u32..5) {
+        let width = table.max_width();
+        let heuristic_only = co_optimize(
+            &table,
+            width,
+            &PipelineConfig { final_step: FinalStep::None, ..PipelineConfig::up_to_tams(max_tams) },
+        )
+        .expect("valid width");
+        let two_step = co_optimize(&table, width, &PipelineConfig::up_to_tams(max_tams))
+            .expect("valid width");
+        prop_assert!(two_step.soc_time() <= two_step.heuristic.soc_time());
+        // Both flows see the same partition ranking, so the two-step
+        // result never exceeds the heuristic-only one.
+        prop_assert!(two_step.soc_time() <= heuristic_only.soc_time());
+    }
+
+    /// Widening the TAM budget (larger max B) never increases the
+    /// *heuristic* testing time: `Partition_evaluate` takes the minimum
+    /// over a superset of partitions. The *final-step* time is NOT
+    /// monotone — that is precisely the anomaly the paper documents in
+    /// its conclusion (the heuristically-best partition need not be
+    /// best after exact re-optimization), so only the heuristic
+    /// invariant is asserted here.
+    #[test]
+    fn more_tams_never_hurt_the_heuristic(table in arb_table()) {
+        let width = table.max_width();
+        let mut previous = u64::MAX;
+        for b in 1..=4u32 {
+            let result = co_optimize(
+                &table,
+                width,
+                &PipelineConfig { final_step: FinalStep::None, ..PipelineConfig::up_to_tams(b) },
+            )
+            .expect("valid width");
+            prop_assert!(
+                result.heuristic.soc_time() <= previous,
+                "B <= {b}: {} > {previous}",
+                result.heuristic.soc_time()
+            );
+            previous = result.heuristic.soc_time();
+        }
+    }
+}
+
+/// The minimal counterexample proptest found for "the two-step testing
+/// time is monotone in the TAM budget" — kept as a pinned witness of
+/// the anomaly the paper documents: at `B ≤ 3` the pipeline's heuristic
+/// ranking picks a partition whose exactly-optimized time (441) is
+/// worse than the `B ≤ 2` result (327).
+#[test]
+fn two_step_time_is_not_monotone_in_the_tam_budget() {
+    let table = TimeTable::from_matrix(vec![
+        vec![441, 197, 182, 65],
+        vec![291, 291, 291, 264],
+        vec![442, 276, 145, 145],
+    ]);
+    let narrow = co_optimize(&table, 4, &PipelineConfig::up_to_tams(2)).expect("valid");
+    let wide = co_optimize(&table, 4, &PipelineConfig::up_to_tams(3)).expect("valid");
+    // The wider budget looks better to the heuristic...
+    assert!(wide.heuristic.soc_time() <= narrow.heuristic.soc_time());
+    // ...but ends worse after the final exact step: the anomaly.
+    assert!(wide.soc_time() > narrow.soc_time());
+    assert_eq!(narrow.soc_time(), 327);
+    assert_eq!(wide.soc_time(), 441);
+}

@@ -1,0 +1,378 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{RailCostModel, RailSet};
+
+/// Options for [`rail_assign`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RailAssignOptions {
+    /// Run best-improvement local search after the greedy construction
+    /// (single-core moves between rails). On by default.
+    pub local_search: bool,
+    /// Upper bound on local-search rounds; each round scans every
+    /// (core, rail) move once.
+    pub max_rounds: usize,
+}
+
+impl Default for RailAssignOptions {
+    fn default() -> Self {
+        RailAssignOptions {
+            local_search: true,
+            max_rounds: 64,
+        }
+    }
+}
+
+/// A complete assignment of cores to rails with its derived testing
+/// times under the daisy-chain cost model.
+///
+/// Unlike the test-bus case, a rail's testing time is *not* a plain sum
+/// of per-core times: every member pays a bypass penalty per peer, so
+/// with population `m` the rail time is
+/// `Σ T_bus(c, w) + (m-1)·Σ (p_c + 1)` over its members.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RailAssignment {
+    assignment: Vec<usize>,
+    rail_times: Vec<u64>,
+    soc_time: u64,
+}
+
+impl RailAssignment {
+    /// Builds the result from an assignment vector
+    /// (`assignment[core] = rail`), computing per-rail and SOC times
+    /// under `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment's length disagrees with the model's core
+    /// count, an entry indexes a non-existent rail, or a rail is wider
+    /// than the model covers.
+    pub fn from_assignment(assignment: Vec<usize>, model: &RailCostModel, rails: &RailSet) -> Self {
+        assert_eq!(
+            assignment.len(),
+            model.num_cores(),
+            "assignment covers every core"
+        );
+        let mut populations = vec![0usize; rails.len()];
+        for (core, &rail) in assignment.iter().enumerate() {
+            assert!(
+                rail < rails.len(),
+                "core {core} assigned to non-existent rail {rail}"
+            );
+            populations[rail] += 1;
+        }
+        let mut rail_times = vec![0u64; rails.len()];
+        for (core, &rail) in assignment.iter().enumerate() {
+            rail_times[rail] += model.time(core, rails.width(rail), populations[rail]);
+        }
+        let soc_time = rail_times.iter().copied().max().unwrap_or(0);
+        RailAssignment {
+            assignment,
+            rail_times,
+            soc_time,
+        }
+    }
+
+    /// The assignment vector: `assignment()[core]` is the rail index.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Testing time per rail (bypass penalties included).
+    pub fn rail_times(&self) -> &[u64] {
+        &self.rail_times
+    }
+
+    /// SOC testing time: the maximum rail time (rails run in parallel).
+    pub fn soc_time(&self) -> u64 {
+        self.soc_time
+    }
+
+    /// The assignment in the paper's 1-based vector notation, e.g.
+    /// `(2,1,2,1,1)`.
+    pub fn assignment_vector(&self) -> String {
+        let parts: Vec<String> = self
+            .assignment
+            .iter()
+            .map(|&r| (r + 1).to_string())
+            .collect();
+        format!("({})", parts.join(","))
+    }
+}
+
+/// Per-rail running totals that make rail times O(1) to maintain.
+#[derive(Debug, Clone, Copy, Default)]
+struct RailLoad {
+    population: usize,
+    sum_bus: u64,
+    sum_penalty_rate: u64,
+}
+
+impl RailLoad {
+    fn time(&self) -> u64 {
+        if self.population == 0 {
+            return 0;
+        }
+        self.sum_bus + (self.population as u64 - 1) * self.sum_penalty_rate
+    }
+
+    fn with_core(mut self, bus: u64, penalty_rate: u64) -> Self {
+        self.population += 1;
+        self.sum_bus += bus;
+        self.sum_penalty_rate += penalty_rate;
+        self
+    }
+
+    fn without_core(mut self, bus: u64, penalty_rate: u64) -> Self {
+        debug_assert!(self.population >= 1);
+        self.population -= 1;
+        self.sum_bus -= bus;
+        self.sum_penalty_rate -= penalty_rate;
+        self
+    }
+}
+
+/// Assigns every core of `model` to one of `rails`, minimizing the SOC
+/// testing time under the daisy-chain cost model — the TestRail analogue
+/// of the paper's `Core_assign`.
+///
+/// The construction phase mirrors `Core_assign` (largest-time unassigned
+/// core onto the currently least-loaded rail, widest rail first), with
+/// the bypass penalties tracked incrementally. Because adding a core
+/// also slows every core already on the rail, a greedy pass alone can
+/// misplace cores; an optional best-improvement local search (enabled by
+/// default, see [`RailAssignOptions`]) then relocates single cores while
+/// any move lowers the SOC time.
+///
+/// # Panics
+///
+/// Panics if any rail is wider than `model.max_width()`.
+///
+/// # Example
+///
+/// ```
+/// use tamopt_rail::{rail_assign, RailAssignOptions, RailCostModel, RailSet};
+/// use tamopt_soc::benchmarks;
+///
+/// # fn main() -> Result<(), tamopt_rail::RailError> {
+/// let model = RailCostModel::new(&benchmarks::d695(), 32)?;
+/// let rails = RailSet::new([16, 16])?;
+/// let result = rail_assign(&model, &rails, &RailAssignOptions::default());
+/// assert_eq!(result.assignment().len(), 10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn rail_assign(
+    model: &RailCostModel,
+    rails: &RailSet,
+    options: &RailAssignOptions,
+) -> RailAssignment {
+    let n = model.num_cores();
+    let b = rails.len();
+    for (i, &w) in rails.widths().iter().enumerate() {
+        assert!(
+            w <= model.max_width(),
+            "rail {i} of width {w} exceeds the model's max width {}",
+            model.max_width()
+        );
+    }
+    let bus: Vec<Vec<u64>> = (0..n)
+        .map(|c| {
+            rails
+                .widths()
+                .iter()
+                .map(|&w| model.bus_time(c, w))
+                .collect()
+        })
+        .collect();
+    let penalty_rate: Vec<u64> = (0..n).map(|c| model.patterns(c) + 1).collect();
+
+    // Greedy construction in the spirit of Core_assign (Figure 1): pick
+    // the least-loaded rail (widest on ties), give it the unassigned
+    // core with the largest bus time there.
+    let mut loads = vec![RailLoad::default(); b];
+    let mut assignment = vec![usize::MAX; n];
+    let mut unassigned: Vec<usize> = (0..n).collect();
+    while !unassigned.is_empty() {
+        let rail = (0..b)
+            .min_by(|&x, &y| {
+                loads[x]
+                    .time()
+                    .cmp(&loads[y].time())
+                    .then(rails.width(y).cmp(&rails.width(x)))
+            })
+            .expect("at least one rail");
+        let (pos, &core) = unassigned
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| bus[c][rail])
+            .expect("non-empty");
+        loads[rail] = loads[rail].with_core(bus[core][rail], penalty_rate[core]);
+        assignment[core] = rail;
+        unassigned.swap_remove(pos);
+    }
+
+    if options.local_search && b > 1 {
+        local_search(
+            &mut assignment,
+            &mut loads,
+            &bus,
+            &penalty_rate,
+            options.max_rounds,
+        );
+    }
+    RailAssignment::from_assignment(assignment, model, rails)
+}
+
+/// Best-improvement single-core relocation until a local optimum (or the
+/// round cap). The objective is the makespan over rails.
+fn local_search(
+    assignment: &mut [usize],
+    loads: &mut [RailLoad],
+    bus: &[Vec<u64>],
+    penalty_rate: &[u64],
+    max_rounds: usize,
+) {
+    let makespan = |loads: &[RailLoad]| loads.iter().map(RailLoad::time).max().unwrap_or(0);
+    for _ in 0..max_rounds {
+        let current = makespan(loads);
+        let mut best: Option<(usize, usize, u64)> = None;
+        for (core, &from) in assignment.iter().enumerate() {
+            let from_load = loads[from].without_core(bus[core][from], penalty_rate[core]);
+            for to in 0..loads.len() {
+                if to == from {
+                    continue;
+                }
+                let to_load = loads[to].with_core(bus[core][to], penalty_rate[core]);
+                let moved = loads
+                    .iter()
+                    .enumerate()
+                    .map(|(r, l)| {
+                        if r == from {
+                            from_load.time()
+                        } else if r == to {
+                            to_load.time()
+                        } else {
+                            l.time()
+                        }
+                    })
+                    .max()
+                    .unwrap_or(0);
+                if moved < current && best.is_none_or(|(_, _, t)| moved < t) {
+                    best = Some((core, to, moved));
+                }
+            }
+        }
+        let Some((core, to, _)) = best else { break };
+        let from = assignment[core];
+        loads[from] = loads[from].without_core(bus[core][from], penalty_rate[core]);
+        loads[to] = loads[to].with_core(bus[core][to], penalty_rate[core]);
+        assignment[core] = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamopt_soc::benchmarks;
+
+    fn model() -> RailCostModel {
+        RailCostModel::new(&benchmarks::d695(), 32).unwrap()
+    }
+
+    #[test]
+    fn assigns_every_core_to_a_real_rail() {
+        let m = model();
+        let rails = RailSet::new([8, 24]).unwrap();
+        let r = rail_assign(&m, &rails, &RailAssignOptions::default());
+        assert_eq!(r.assignment().len(), m.num_cores());
+        assert!(r.assignment().iter().all(|&rail| rail < rails.len()));
+    }
+
+    #[test]
+    fn soc_time_is_max_rail_time() {
+        let m = model();
+        let rails = RailSet::new([16, 16]).unwrap();
+        let r = rail_assign(&m, &rails, &RailAssignOptions::default());
+        assert_eq!(r.soc_time(), r.rail_times().iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn rail_times_match_from_assignment_recomputation() {
+        let m = model();
+        let rails = RailSet::new([8, 12, 12]).unwrap();
+        let r = rail_assign(&m, &rails, &RailAssignOptions::default());
+        let recomputed = RailAssignment::from_assignment(r.assignment().to_vec(), &m, &rails);
+        assert_eq!(r, recomputed);
+    }
+
+    #[test]
+    fn local_search_never_hurts() {
+        let m = model();
+        let rails = RailSet::new([8, 8, 16]).unwrap();
+        let greedy = rail_assign(
+            &m,
+            &rails,
+            &RailAssignOptions {
+                local_search: false,
+                max_rounds: 0,
+            },
+        );
+        let polished = rail_assign(&m, &rails, &RailAssignOptions::default());
+        assert!(polished.soc_time() <= greedy.soc_time());
+    }
+
+    #[test]
+    fn single_rail_time_includes_all_penalties() {
+        let m = model();
+        let rails = RailSet::new([16]).unwrap();
+        let r = rail_assign(&m, &rails, &RailAssignOptions::default());
+        let n = m.num_cores();
+        let expected: u64 = (0..n).map(|c| m.time(c, 16, n)).sum();
+        assert_eq!(r.soc_time(), expected);
+    }
+
+    #[test]
+    fn rail_model_is_never_faster_than_bus_sum_on_one_rail() {
+        let m = model();
+        let rails = RailSet::new([16]).unwrap();
+        let r = rail_assign(&m, &rails, &RailAssignOptions::default());
+        let bus_sum: u64 = (0..m.num_cores()).map(|c| m.bus_time(c, 16)).sum();
+        assert!(r.soc_time() >= bus_sum);
+    }
+
+    #[test]
+    fn vector_notation_is_one_based() {
+        let m = model();
+        let rails = RailSet::new([32]).unwrap();
+        let r = rail_assign(&m, &rails, &RailAssignOptions::default());
+        assert_eq!(r.assignment_vector(), format!("({})", ["1"; 10].join(",")));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the model's max width")]
+    fn too_wide_rail_panics() {
+        let m = model();
+        let rails = RailSet::new([64]).unwrap();
+        let _ = rail_assign(&m, &rails, &RailAssignOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-existent rail")]
+    fn from_assignment_rejects_bad_rail() {
+        let m = model();
+        let rails = RailSet::new([8, 8]).unwrap();
+        let _ = RailAssignment::from_assignment(
+            vec![0; 9].into_iter().chain([7]).collect(),
+            &m,
+            &rails,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "covers every core")]
+    fn from_assignment_rejects_short_vector() {
+        let m = model();
+        let rails = RailSet::new([8, 8]).unwrap();
+        let _ = RailAssignment::from_assignment(vec![0, 1], &m, &rails);
+    }
+}

@@ -1,0 +1,200 @@
+use serde::{Deserialize, Serialize};
+use tamopt_soc::Soc;
+use tamopt_wrapper::TimeTable;
+
+use crate::RailError;
+
+/// Per-core testing-time model for daisy-chained (TestRail) access.
+///
+/// On a TestRail, every core wrapper sits in the rail's scan path. While
+/// core `c` is tested, the other wrappers on its rail switch to 1-flop
+/// *bypass* mode, so each of them adds one flip-flop to `c`'s scan-in
+/// and scan-out paths (taking the conservative position-independent
+/// view: a core may see every peer's bypass flop on its longest path).
+/// With `m` cores sharing the rail, the testing time of `c` becomes
+///
+/// ```text
+/// T_rail(c, w, m) = (1 + max(s_i, s_o) + (m-1))·p + min(s_i, s_o) + (m-1)
+///                 = T_bus(c, w) + (m-1)·(p + 1)
+/// ```
+///
+/// i.e. the test-bus time plus a bypass penalty of `p + 1` cycles per
+/// peer. This is the cost model of the TestRail architecture of
+/// Marinissen et al. (ITC'98), reference [11] of the paper, which the
+/// paper's test-bus model deliberately avoids — quantifying that choice
+/// is the point of this crate.
+///
+/// # Example
+///
+/// ```
+/// use tamopt_rail::RailCostModel;
+/// use tamopt_soc::benchmarks;
+///
+/// # fn main() -> Result<(), tamopt_rail::RailError> {
+/// let soc = benchmarks::d695();
+/// let model = RailCostModel::new(&soc, 32)?;
+/// // Alone on its rail, a core tests exactly as fast as on a test bus.
+/// assert_eq!(model.time(0, 16, 1), model.bus_time(0, 16));
+/// // Every peer costs p + 1 extra cycles.
+/// assert_eq!(
+///     model.time(0, 16, 3),
+///     model.bus_time(0, 16) + 2 * (model.patterns(0) + 1)
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RailCostModel {
+    table: TimeTable,
+    patterns: Vec<u64>,
+}
+
+impl RailCostModel {
+    /// Builds the model for every core of `soc` at widths
+    /// `1..=max_width`.
+    ///
+    /// # Errors
+    ///
+    /// [`RailError::Wrapper`] if `max_width == 0`.
+    pub fn new(soc: &Soc, max_width: u32) -> Result<Self, RailError> {
+        let table = TimeTable::new(soc, max_width)?;
+        let patterns = soc.iter().map(|c| c.patterns()).collect();
+        Ok(RailCostModel { table, patterns })
+    }
+
+    /// Builds the model from a precomputed bus-model [`TimeTable`] and
+    /// per-core pattern counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns.len()` disagrees with the table's core count.
+    pub fn from_parts(table: TimeTable, patterns: Vec<u64>) -> Self {
+        assert_eq!(
+            patterns.len(),
+            table.num_cores(),
+            "one pattern count per core"
+        );
+        RailCostModel { table, patterns }
+    }
+
+    /// Number of cores covered.
+    pub fn num_cores(&self) -> usize {
+        self.table.num_cores()
+    }
+
+    /// Largest rail width covered.
+    pub fn max_width(&self) -> u32 {
+        self.table.max_width()
+    }
+
+    /// Pattern count of core `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn patterns(&self, core: usize) -> u64 {
+        self.patterns[core]
+    }
+
+    /// Test-bus testing time of `core` at `width` (no peers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or `width` is `0` or above
+    /// [`max_width`](RailCostModel::max_width).
+    pub fn bus_time(&self, core: usize, width: u32) -> u64 {
+        self.table.time(core, width)
+    }
+
+    /// TestRail testing time of `core` on a rail of `width` shared by
+    /// `rail_population` cores in total (including `core` itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range `core`/`width`, or if
+    /// `rail_population == 0`.
+    pub fn time(&self, core: usize, width: u32, rail_population: usize) -> u64 {
+        assert!(
+            rail_population >= 1,
+            "a populated rail holds at least the core itself"
+        );
+        let peers = (rail_population - 1) as u64;
+        self.table.time(core, width) + peers * (self.patterns[core] + 1)
+    }
+
+    /// The bus-model table the model was built from.
+    pub fn bus_table(&self) -> &TimeTable {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamopt_soc::benchmarks;
+
+    fn model() -> RailCostModel {
+        RailCostModel::new(&benchmarks::d695(), 16).unwrap()
+    }
+
+    #[test]
+    fn solo_rail_matches_bus_time() {
+        let m = model();
+        for core in 0..m.num_cores() {
+            for width in [1, 7, 16] {
+                assert_eq!(m.time(core, width, 1), m.bus_time(core, width));
+            }
+        }
+    }
+
+    #[test]
+    fn penalty_is_linear_in_peers() {
+        let m = model();
+        for core in 0..m.num_cores() {
+            let p = m.patterns(core);
+            for pop in 2..6usize {
+                assert_eq!(
+                    m.time(core, 8, pop),
+                    m.bus_time(core, 8) + (pop as u64 - 1) * (p + 1)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn time_monotone_in_population() {
+        let m = model();
+        for pop in 1..5usize {
+            assert!(m.time(3, 4, pop) < m.time(3, 4, pop + 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the core itself")]
+    fn zero_population_panics() {
+        let _ = model().time(0, 4, 0);
+    }
+
+    #[test]
+    fn from_parts_checks_length() {
+        let m = model();
+        let rebuilt = RailCostModel::from_parts(
+            m.bus_table().clone(),
+            (0..m.num_cores()).map(|c| m.patterns(c)).collect(),
+        );
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "one pattern count per core")]
+    fn from_parts_rejects_mismatch() {
+        let m = model();
+        let _ = RailCostModel::from_parts(m.bus_table().clone(), vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_width_is_a_wrapper_error() {
+        let err = RailCostModel::new(&benchmarks::d695(), 0).unwrap_err();
+        assert!(matches!(err, RailError::Wrapper(_)));
+    }
+}

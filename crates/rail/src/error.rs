@@ -1,0 +1,88 @@
+use std::fmt;
+
+use tamopt_wrapper::WrapperError;
+
+/// Error type of the TestRail model and optimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RailError {
+    /// A rail set must contain at least one rail.
+    NoRails,
+    /// Rail widths must be positive.
+    ZeroWidthRail {
+        /// Index of the offending rail.
+        index: usize,
+    },
+    /// Total width must be positive and at least the number of rails.
+    InvalidWidth {
+        /// The requested total width.
+        total: u32,
+        /// The requested (maximum) number of rails.
+        rails: u32,
+    },
+    /// Wrapper design failed while building the cost model.
+    Wrapper(WrapperError),
+}
+
+impl fmt::Display for RailError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RailError::NoRails => f.write_str("a rail set needs at least one rail"),
+            RailError::ZeroWidthRail { index } => {
+                write!(f, "rail {index} has zero width")
+            }
+            RailError::InvalidWidth { total, rails } => write!(
+                f,
+                "total width {total} cannot host {rails} rail(s) of positive width"
+            ),
+            RailError::Wrapper(e) => write!(f, "wrapper design failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RailError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RailError::Wrapper(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WrapperError> for RailError {
+    fn from(e: WrapperError) -> Self {
+        RailError::Wrapper(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase_and_unpunctuated() {
+        let messages = [
+            RailError::NoRails.to_string(),
+            RailError::ZeroWidthRail { index: 2 }.to_string(),
+            RailError::InvalidWidth { total: 1, rails: 3 }.to_string(),
+        ];
+        for m in messages {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'), "{m}");
+            assert!(m.chars().next().unwrap().is_lowercase(), "{m}");
+        }
+    }
+
+    #[test]
+    fn wrapper_error_is_source() {
+        use std::error::Error as _;
+        let e = RailError::from(WrapperError::ZeroWidth);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RailError>();
+    }
+}

@@ -1,0 +1,54 @@
+//! TestRail (daisy-chain) test access architectures — the alternative
+//! TAM model the paper deliberately does *not* use.
+//!
+//! The paper adopts the *test bus* model: cores on one TAM are
+//! multiplexed onto it and tested one after another, each enjoying the
+//! full TAM width with no interference. Its reference [11]
+//! (Marinissen et al., ITC'98) proposed the *TestRail* instead: core
+//! wrappers are daisy-chained on the rail, and a wrapper that is not
+//! being tested degenerates to a 1-flop bypass in the scan path. The
+//! bypass keeps rails cheap to route but taxes every test: with `m`
+//! cores on a rail, each core's shift paths grow by `m - 1` flops, i.e.
+//! `(m-1)·(p+1)` extra cycles for a `p`-pattern test
+//! ([`RailCostModel`]).
+//!
+//! This crate makes that trade-off measurable against the test-bus
+//! results of the rest of the workspace:
+//!
+//! * [`RailCostModel`] — daisy-chain testing-time model on top of the
+//!   same `Design_wrapper` wrappers;
+//! * [`rail_assign`] — `Core_assign`-style greedy assignment plus
+//!   best-improvement local search (the penalty couples cores on a rail,
+//!   so a plain greedy pass is not enough);
+//! * [`design_rails`] — full architecture search over rail counts and
+//!   width partitions (the TestRail analogue of *P_NPAW*).
+//!
+//! # Example
+//!
+//! ```
+//! use tamopt_rail::{design_rails, RailConfig, RailCostModel};
+//! use tamopt_soc::benchmarks;
+//!
+//! # fn main() -> Result<(), tamopt_rail::RailError> {
+//! let soc = benchmarks::d695();
+//! let model = RailCostModel::new(&soc, 32)?;
+//! let design = design_rails(&model, 32, &RailConfig::up_to_rails(4))?;
+//! println!("{}", design.report());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assign;
+mod cost;
+mod error;
+mod optimize;
+mod rails;
+
+pub use crate::assign::{rail_assign, RailAssignOptions, RailAssignment};
+pub use crate::cost::RailCostModel;
+pub use crate::error::RailError;
+pub use crate::optimize::{design_rails, RailConfig, RailDesign};
+pub use crate::rails::RailSet;

@@ -1,0 +1,252 @@
+use std::fmt::Write as _;
+
+use tamopt_partition::enumerate::Partitions;
+
+use crate::{rail_assign, RailAssignOptions, RailAssignment, RailCostModel, RailError, RailSet};
+
+/// Configuration of the TestRail architecture search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RailConfig {
+    /// Smallest number of rails tried.
+    pub min_rails: u32,
+    /// Largest number of rails tried.
+    pub max_rails: u32,
+    /// Assignment options used to evaluate each partition.
+    pub assign: RailAssignOptions,
+}
+
+impl RailConfig {
+    /// Searches every rail count from 1 up to `max_rails`.
+    pub fn up_to_rails(max_rails: u32) -> Self {
+        RailConfig {
+            min_rails: 1,
+            max_rails: max_rails.max(1),
+            assign: RailAssignOptions::default(),
+        }
+    }
+
+    /// Searches exactly `rails` rails.
+    pub fn exact_rails(rails: u32) -> Self {
+        let rails = rails.max(1);
+        RailConfig {
+            min_rails: rails,
+            max_rails: rails,
+            assign: RailAssignOptions::default(),
+        }
+    }
+}
+
+/// The optimized TestRail architecture returned by [`design_rails`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RailDesign {
+    /// The winning rail widths.
+    pub rails: RailSet,
+    /// The winning core-to-rail assignment.
+    pub assignment: RailAssignment,
+    /// Number of (partition, assignment) evaluations performed.
+    pub evaluated: u64,
+}
+
+impl RailDesign {
+    /// SOC testing time of the design, in clock cycles.
+    pub fn soc_time(&self) -> u64 {
+        self.assignment.soc_time()
+    }
+
+    /// A report in the style of [`tamopt`'s architecture
+    /// report](https://docs.rs/tamopt), for side-by-side comparison with
+    /// the test-bus model.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "TestRail architecture: {} rail(s), widths {} (W = {})",
+            self.rails.len(),
+            self.rails,
+            self.rails.total_width()
+        );
+        let _ = writeln!(out, "  testing time : {} cycles", self.soc_time());
+        let _ = writeln!(
+            out,
+            "  assignment   : {}",
+            self.assignment.assignment_vector()
+        );
+        for (rail, &time) in self.assignment.rail_times().iter().enumerate() {
+            let population = self
+                .assignment
+                .assignment()
+                .iter()
+                .filter(|&&r| r == rail)
+                .count();
+            let _ = writeln!(
+                out,
+                "  rail {} (w={:>3}) : {:>12} cycles, {} core(s)",
+                rail + 1,
+                self.rails.width(rail),
+                time,
+                population
+            );
+        }
+        let _ = writeln!(out, "  evaluations  : {}", self.evaluated);
+        out
+    }
+}
+
+/// Designs a TestRail architecture for the SOC behind `model`: chooses
+/// the number of rails, the width partition and the core assignment
+/// minimizing the SOC testing time under the daisy-chain cost model —
+/// the TestRail analogue of the paper's *P_NPAW*.
+///
+/// Every unique partition of `total_width` into `min_rails..=max_rails`
+/// positive parts is evaluated with [`rail_assign`]; partitions whose
+/// widest rail exceeds the model's width range are skipped.
+///
+/// # Errors
+///
+/// [`RailError::InvalidWidth`] if `total_width == 0`, if no partition
+/// fits the configured rail-count range, or if `total_width` exceeds the
+/// model's `max_width` budget times the rail count (nothing to
+/// evaluate).
+///
+/// # Example
+///
+/// ```
+/// use tamopt_rail::{design_rails, RailConfig, RailCostModel};
+/// use tamopt_soc::benchmarks;
+///
+/// # fn main() -> Result<(), tamopt_rail::RailError> {
+/// let model = RailCostModel::new(&benchmarks::d695(), 32)?;
+/// let design = design_rails(&model, 32, &RailConfig::up_to_rails(4))?;
+/// assert_eq!(design.rails.total_width(), 32);
+/// # Ok(())
+/// # }
+/// ```
+pub fn design_rails(
+    model: &RailCostModel,
+    total_width: u32,
+    config: &RailConfig,
+) -> Result<RailDesign, RailError> {
+    if total_width == 0 {
+        return Err(RailError::InvalidWidth {
+            total: 0,
+            rails: config.max_rails,
+        });
+    }
+    let mut best: Option<RailDesign> = None;
+    let mut evaluated = 0u64;
+    for b in config.min_rails..=config.max_rails.min(total_width) {
+        for parts in Partitions::new(total_width, b) {
+            // Partitions are non-decreasing, so the last part is widest.
+            if *parts.last().expect("b >= 1") > model.max_width() {
+                continue;
+            }
+            let rails = RailSet::new(parts).expect("partition parts are positive");
+            let assignment = rail_assign(model, &rails, &config.assign);
+            evaluated += 1;
+            if best
+                .as_ref()
+                .is_none_or(|b| assignment.soc_time() < b.soc_time())
+            {
+                best = Some(RailDesign {
+                    rails,
+                    assignment,
+                    evaluated,
+                });
+            }
+        }
+    }
+    match best {
+        Some(mut design) => {
+            design.evaluated = evaluated;
+            Ok(design)
+        }
+        None => Err(RailError::InvalidWidth {
+            total: total_width,
+            rails: config.min_rails,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamopt_soc::benchmarks;
+
+    fn model() -> RailCostModel {
+        RailCostModel::new(&benchmarks::d695(), 32).unwrap()
+    }
+
+    #[test]
+    fn returns_a_partition_of_the_requested_width() {
+        let m = model();
+        let d = design_rails(&m, 24, &RailConfig::up_to_rails(4)).unwrap();
+        assert_eq!(d.rails.total_width(), 24);
+        assert!(d.rails.len() <= 4);
+        assert!(d.evaluated > 0);
+    }
+
+    #[test]
+    fn more_rail_freedom_never_hurts() {
+        let m = model();
+        let narrow = design_rails(&m, 32, &RailConfig::exact_rails(1)).unwrap();
+        let free = design_rails(&m, 32, &RailConfig::up_to_rails(5)).unwrap();
+        assert!(free.soc_time() <= narrow.soc_time());
+    }
+
+    #[test]
+    fn bypass_penalties_favour_more_rails_than_the_bus_model() {
+        // On one 32-wire rail every core pays 9 peers of bypass penalty;
+        // splitting must win once the penalty dwarfs the width loss.
+        let m = model();
+        let single = design_rails(&m, 32, &RailConfig::exact_rails(1)).unwrap();
+        let multi = design_rails(&m, 32, &RailConfig::up_to_rails(6)).unwrap();
+        assert!(multi.soc_time() < single.soc_time());
+        assert!(multi.rails.len() > 1);
+    }
+
+    #[test]
+    fn skips_partitions_wider_than_the_model() {
+        let m = RailCostModel::new(&benchmarks::d695(), 8).unwrap();
+        // W = 16 over exactly one rail would need width 16 > 8: no
+        // feasible partition.
+        let err = design_rails(&m, 16, &RailConfig::exact_rails(1)).unwrap_err();
+        assert_eq!(
+            err,
+            RailError::InvalidWidth {
+                total: 16,
+                rails: 1
+            }
+        );
+        // But two rails of 8 fit.
+        let ok = design_rails(&m, 16, &RailConfig::exact_rails(2)).unwrap();
+        assert_eq!(ok.rails.widths(), &[8, 8]);
+    }
+
+    #[test]
+    fn zero_width_is_an_error() {
+        let m = model();
+        assert!(matches!(
+            design_rails(&m, 0, &RailConfig::up_to_rails(3)),
+            Err(RailError::InvalidWidth { total: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn report_mentions_rails_and_time() {
+        let m = model();
+        let d = design_rails(&m, 16, &RailConfig::up_to_rails(3)).unwrap();
+        let r = d.report();
+        assert!(r.contains("TestRail architecture"));
+        assert!(r.contains("testing time"));
+        assert!(r.contains("rail 1"));
+    }
+
+    #[test]
+    fn evaluated_counts_all_partitions_in_range() {
+        let m = model();
+        let d = design_rails(&m, 12, &RailConfig::up_to_rails(3)).unwrap();
+        // p(12,1) + p(12,2) + p(12,3) = 1 + 6 + 12 = 19, all within the
+        // 32-wide model.
+        assert_eq!(d.evaluated, 19);
+    }
+}

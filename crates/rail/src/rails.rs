@@ -1,0 +1,120 @@
+use serde::{Deserialize, Serialize};
+
+use crate::RailError;
+
+/// A set of TestRails, each with a fixed width in wires.
+///
+/// Structurally identical to a test-bus TAM set, but with daisy-chain
+/// access semantics: every wrapper on a rail sits *in* the scan path, so
+/// inactive wrappers contribute bypass flops to the active core's shift
+/// paths (see [`crate::RailCostModel`]).
+///
+/// # Example
+///
+/// ```
+/// use tamopt_rail::RailSet;
+///
+/// # fn main() -> Result<(), tamopt_rail::RailError> {
+/// let rails = RailSet::new([8, 16, 24])?;
+/// assert_eq!(rails.len(), 3);
+/// assert_eq!(rails.total_width(), 48);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RailSet {
+    widths: Vec<u32>,
+}
+
+impl RailSet {
+    /// Builds a rail set from widths.
+    ///
+    /// # Errors
+    ///
+    /// [`RailError::NoRails`] for an empty set,
+    /// [`RailError::ZeroWidthRail`] for any zero width.
+    pub fn new<I: IntoIterator<Item = u32>>(widths: I) -> Result<Self, RailError> {
+        let widths: Vec<u32> = widths.into_iter().collect();
+        if widths.is_empty() {
+            return Err(RailError::NoRails);
+        }
+        if let Some(index) = widths.iter().position(|&w| w == 0) {
+            return Err(RailError::ZeroWidthRail { index });
+        }
+        Ok(RailSet { widths })
+    }
+
+    /// Number of rails.
+    pub fn len(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.widths.is_empty()
+    }
+
+    /// Width of rail `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn width(&self, index: usize) -> u32 {
+        self.widths[index]
+    }
+
+    /// All widths, in rail order.
+    pub fn widths(&self) -> &[u32] {
+        &self.widths
+    }
+
+    /// Sum of the widths (the SOC's total rail width `W`).
+    pub fn total_width(&self) -> u32 {
+        self.widths.iter().sum()
+    }
+}
+
+impl std::fmt::Display for RailSet {
+    /// Formats in the paper's partition notation, e.g. `8+16+24`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for w in &self.widths {
+            if !first {
+                f.write_str("+")?;
+            }
+            write!(f, "{w}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_accesses() {
+        let r = RailSet::new([4, 8]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.width(0), 4);
+        assert_eq!(r.widths(), &[4, 8]);
+        assert_eq!(r.total_width(), 12);
+    }
+
+    #[test]
+    fn rejects_empty_and_zero_width() {
+        assert_eq!(RailSet::new([]).unwrap_err(), RailError::NoRails);
+        assert_eq!(
+            RailSet::new([3, 0]).unwrap_err(),
+            RailError::ZeroWidthRail { index: 1 }
+        );
+    }
+
+    #[test]
+    fn displays_partition_notation() {
+        assert_eq!(RailSet::new([8, 16, 24]).unwrap().to_string(), "8+16+24");
+        assert_eq!(RailSet::new([7]).unwrap().to_string(), "7");
+    }
+}

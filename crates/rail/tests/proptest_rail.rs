@@ -1,0 +1,100 @@
+//! Property-based tests of the TestRail cost model and optimizer.
+
+use proptest::prelude::*;
+use tamopt_rail::{
+    design_rails, rail_assign, RailAssignOptions, RailConfig, RailCostModel, RailSet,
+};
+use tamopt_soc::{Core, Soc};
+
+fn arb_core(index: usize) -> impl Strategy<Value = Core> {
+    (
+        0u32..60,
+        0u32..60,
+        proptest::collection::vec(1u32..200, 0..5),
+        1u64..500,
+    )
+        .prop_filter_map("non-empty core", move |(i, o, scan, p)| {
+            Core::builder(format!("core{index}"))
+                .inputs(i)
+                .outputs(o)
+                .scan_chains(scan)
+                .patterns(p)
+                .build()
+                .ok()
+        })
+}
+
+fn arb_soc() -> impl Strategy<Value = Soc> {
+    (1usize..8).prop_flat_map(|n| {
+        let cores: Vec<_> = (0..n).map(arb_core).collect();
+        cores.prop_filter_map("valid soc", |cores| {
+            Soc::builder("prop").cores(cores).build().ok()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rail_time_is_bus_time_plus_linear_penalty(soc in arb_soc(), width in 1u32..16, pop in 1usize..6) {
+        let model = RailCostModel::new(&soc, 16).unwrap();
+        for core in 0..model.num_cores() {
+            let expected = model.bus_time(core, width)
+                + (pop as u64 - 1) * (model.patterns(core) + 1);
+            prop_assert_eq!(model.time(core, width, pop), expected);
+        }
+    }
+
+    #[test]
+    fn assignment_is_complete_and_valid(soc in arb_soc(), split in 1u32..15) {
+        let model = RailCostModel::new(&soc, 16).unwrap();
+        let rails = RailSet::new([split, 16 - split]).unwrap();
+        let result = rail_assign(&model, &rails, &RailAssignOptions::default());
+        prop_assert_eq!(result.assignment().len(), model.num_cores());
+        prop_assert!(result.assignment().iter().all(|&r| r < rails.len()));
+        // Per-rail times recompute to the same values.
+        let recomputed = tamopt_rail::RailAssignment::from_assignment(
+            result.assignment().to_vec(), &model, &rails);
+        prop_assert_eq!(&result, &recomputed);
+    }
+
+    #[test]
+    fn local_search_never_worse_than_greedy(soc in arb_soc()) {
+        let model = RailCostModel::new(&soc, 12).unwrap();
+        let rails = RailSet::new([4, 8]).unwrap();
+        let greedy = rail_assign(
+            &model, &rails,
+            &RailAssignOptions { local_search: false, max_rounds: 0 });
+        let polished = rail_assign(&model, &rails, &RailAssignOptions::default());
+        prop_assert!(polished.soc_time() <= greedy.soc_time());
+    }
+
+    #[test]
+    fn design_rails_is_deterministic_and_well_formed(soc in arb_soc(), width in 2u32..14) {
+        let model = RailCostModel::new(&soc, 16).unwrap();
+        let config = RailConfig::up_to_rails(3);
+        let a = design_rails(&model, width, &config).unwrap();
+        let b = design_rails(&model, width, &config).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.rails.total_width(), width);
+        // The design's time is the assignment's makespan.
+        prop_assert_eq!(
+            a.soc_time(),
+            a.assignment.rail_times().iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn rail_design_never_beats_bus_lower_bound(soc in arb_soc(), width in 2u32..14) {
+        // Any rail architecture is at least as slow as the best
+        // bus-model bottleneck: each core needs at least its full-width
+        // bus time even with zero peers.
+        let model = RailCostModel::new(&soc, 16).unwrap();
+        let design = design_rails(&model, width, &RailConfig::up_to_rails(3)).unwrap();
+        let bottleneck = (0..model.num_cores())
+            .map(|c| model.bus_time(c, width))
+            .max()
+            .unwrap();
+        prop_assert!(design.soc_time() >= bottleneck);
+    }
+}

@@ -1,0 +1,249 @@
+//! The four experiment SOCs of the paper.
+//!
+//! * [`d695`] — the academic Duke benchmark (2 ISCAS'85 + 8 ISCAS'89
+//!   cores). Its composition was later published in the ITC'02 SOC Test
+//!   Benchmarks; we embed a best-effort reconstruction of that data from
+//!   the standard ISCAS circuit statistics. The reconstruction reproduces
+//!   the SOC complexity number ≈ 695 (the SOC's name), which validates it.
+//! * [`p21241`], [`p31108`], [`p93791`] — proprietary Philips SOCs whose
+//!   full test data was never published. We generate deterministic
+//!   synthetic stand-ins from the published per-core ranges (the paper's
+//!   Tables 4, 8 and 14) and calibrate total test-data volume to the
+//!   SOC name number. See [`crate::generator`] and DESIGN.md for why this
+//!   substitution preserves the behaviour the experiments probe.
+//!
+//! All four constructors are deterministic and cheap (microseconds).
+
+use crate::generator::{CoreClass, SocSpec};
+use crate::stitch::balanced;
+use crate::{Core, Soc};
+
+/// Builds the `d695` academic benchmark SOC (10 cores).
+///
+/// Core order matches the paper's assignment vectors: `c6288`, `c7552`,
+/// `s838`, `s9234`, `s38584`, `s13207`, `s15850`, `s5378`, `s35932`,
+/// `s38417`.
+///
+/// # Example
+///
+/// ```
+/// let d695 = tamopt_soc::benchmarks::d695();
+/// assert_eq!(d695.num_cores(), 10);
+/// assert_eq!(d695.core(0).unwrap().name(), "c6288");
+/// ```
+pub fn d695() -> Soc {
+    // Scan-chain length lists follow the usual balanced stitching of the
+    // ISCAS'89 flip-flop counts over the ITC'02 chain counts.
+    let cores = vec![
+        iscas("c6288", 32, 32, vec![], 12),
+        iscas("c7552", 207, 108, vec![], 73),
+        iscas("s838", 35, 2, vec![32], 75),
+        iscas("s9234", 36, 39, vec![54, 53, 52, 52], 105),
+        iscas("s38584", 38, 304, balanced(1426, 32), 110),
+        iscas("s13207", 62, 152, balanced(638, 16), 234),
+        iscas("s15850", 77, 150, balanced(534, 16), 95),
+        iscas("s5378", 35, 49, balanced(179, 4), 97),
+        iscas("s35932", 35, 320, balanced(1728, 32), 12),
+        iscas("s38417", 28, 106, balanced(1636, 32), 68),
+    ];
+    Soc::builder("d695")
+        .cores(cores)
+        .build()
+        .expect("d695 data is valid")
+}
+
+/// Builds the synthetic stand-in for Philips SOC `p21241`
+/// (28 cores: 22 scan-testable logic, 6 memories) from the ranges of the
+/// paper's Table 4, calibrated to complexity number 21241.
+pub fn p21241() -> Soc {
+    SocSpec::new("p21241", 0x2124_1001)
+        .class(CoreClass::logic(
+            "logic",
+            22,
+            (1, 785),
+            (37, 1197),
+            (1, 31),
+            (1, 400),
+        ))
+        .class(CoreClass::memory("mem", 6, (222, 12324), (52, 148)))
+        .target_complexity(21241)
+        .generate()
+        .expect("p21241 spec is valid")
+}
+
+/// Builds the synthetic stand-in for Philips SOC `p31108`
+/// (19 cores: 4 scan-testable logic, 15 memories) from the ranges of the
+/// paper's Table 8, calibrated to complexity number 31108.
+///
+/// Like the real SOC, the stand-in has a *bottleneck memory core* with a
+/// very large pattern count whose minimum testing time lower-bounds the
+/// whole SOC once enough TAM width is available (the paper's Core 18 /
+/// 544579-cycle phenomenon, Tables 11–13).
+pub fn p31108() -> Soc {
+    SocSpec::new("p31108", 0x3110_8001)
+        .class(CoreClass::logic(
+            "logic",
+            4,
+            (210, 745),
+            (109, 428),
+            (1, 29),
+            (8, 806),
+        ))
+        .class(CoreClass::memory("mem", 15, (128, 12236), (11, 87)))
+        .target_complexity(31108)
+        .generate()
+        .expect("p31108 spec is valid")
+}
+
+/// Builds the synthetic stand-in for Philips SOC `p93791`
+/// (32 cores: 14 scan-testable logic, 18 memories) from the ranges of the
+/// paper's Table 14, calibrated to complexity number 93791.
+pub fn p93791() -> Soc {
+    SocSpec::new("p93791", 0x9379_1001)
+        .class(CoreClass::logic(
+            "logic",
+            14,
+            (11, 6127),
+            (109, 813),
+            (11, 46),
+            (1, 521),
+        ))
+        .class(CoreClass::memory("mem", 18, (42, 3085), (21, 396)))
+        .target_complexity(93791)
+        .generate()
+        .expect("p93791 spec is valid")
+}
+
+/// All four experiment SOCs, in the order the paper presents them
+/// (`d695`, `p21241`, `p31108`, `p93791`).
+pub fn all() -> Vec<Soc> {
+    vec![d695(), p21241(), p31108(), p93791()]
+}
+
+/// The worked example of the paper's Figure 2: a 5-core, 3-TAM cost
+/// table. Returned as the `(widths, times)` pair where `times[i][b]` is
+/// the testing time of core `i` on TAM `b` (TAM widths 32, 16, 8).
+///
+/// This table is *given* in the paper (it is not derived from wrapper
+/// design), so it is embedded verbatim for the `Core_assign` example
+/// test.
+pub fn figure2_cost_table() -> (Vec<u32>, Vec<Vec<u64>>) {
+    let widths = vec![32, 16, 8];
+    let times = vec![
+        vec![50, 100, 200],
+        vec![75, 95, 200],
+        vec![90, 100, 150],
+        vec![60, 75, 80],
+        vec![120, 120, 125],
+    ];
+    (widths, times)
+}
+
+fn iscas(name: &str, inputs: u32, outputs: u32, scan: Vec<u32>, patterns: u64) -> Core {
+    Core::builder(name)
+        .inputs(inputs)
+        .outputs(outputs)
+        .scan_chains(scan)
+        .patterns(patterns)
+        .build()
+        .expect("embedded benchmark data is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoreKind;
+
+    #[test]
+    fn d695_complexity_near_name() {
+        let soc = d695();
+        let c = soc.complexity_number();
+        // Reconstruction tolerance: within 5 % of the name number.
+        assert!(
+            (660..=730).contains(&c),
+            "d695 complexity {c} strays from its name number"
+        );
+    }
+
+    #[test]
+    fn d695_composition() {
+        let soc = d695();
+        assert_eq!(soc.num_cores(), 10);
+        assert_eq!(
+            soc.count_kind(CoreKind::Memory),
+            2,
+            "the two ISCAS'85 combinational cores"
+        );
+        assert_eq!(soc.count_kind(CoreKind::Logic), 8);
+    }
+
+    #[test]
+    fn philips_core_counts_match_paper() {
+        let p = p21241();
+        assert_eq!(p.num_cores(), 28);
+        assert_eq!(p.count_kind(CoreKind::Logic), 22);
+        assert_eq!(p.count_kind(CoreKind::Memory), 6);
+        let p = p31108();
+        assert_eq!(p.num_cores(), 19);
+        assert_eq!(p.count_kind(CoreKind::Logic), 4);
+        assert_eq!(p.count_kind(CoreKind::Memory), 15);
+        let p = p93791();
+        assert_eq!(p.num_cores(), 32);
+        assert_eq!(p.count_kind(CoreKind::Logic), 14);
+        assert_eq!(p.count_kind(CoreKind::Memory), 18);
+    }
+
+    #[test]
+    fn philips_complexity_calibrated() {
+        for (soc, target) in [(p21241(), 21241), (p31108(), 31108), (p93791(), 93791)] {
+            let c = soc.complexity_number() as f64;
+            let err = (c - target as f64).abs() / target as f64;
+            assert!(
+                err < 0.03,
+                "{}: complexity {c} vs target {target}",
+                soc.name()
+            );
+        }
+    }
+
+    #[test]
+    fn philips_ranges_within_published_tables() {
+        use crate::generator::summarize;
+        let soc = p21241();
+        let logic = summarize(&soc, CoreKind::Logic).unwrap();
+        assert!(logic.patterns.0 >= 1 && logic.patterns.1 <= 785);
+        assert!(logic.io_terminals.0 >= 37 && logic.io_terminals.1 <= 1197);
+        assert!(logic.scan_chains.0 >= 1 && logic.scan_chains.1 <= 31);
+        let (lmin, lmax) = logic.scan_length.unwrap();
+        assert!(lmin >= 1 && lmax <= 400);
+        let mem = summarize(&soc, CoreKind::Memory).unwrap();
+        assert!(mem.patterns.0 >= 222 && mem.patterns.1 <= 12324);
+        assert!(mem.io_terminals.0 >= 52 && mem.io_terminals.1 <= 148);
+    }
+
+    #[test]
+    fn benchmarks_are_deterministic() {
+        assert_eq!(d695(), d695());
+        assert_eq!(p21241(), p21241());
+        assert_eq!(p31108(), p31108());
+        assert_eq!(p93791(), p93791());
+    }
+
+    #[test]
+    fn figure2_table_shape() {
+        let (widths, times) = figure2_cost_table();
+        assert_eq!(widths, vec![32, 16, 8]);
+        assert_eq!(times.len(), 5);
+        assert!(times.iter().all(|row| row.len() == 3));
+        // Times are non-increasing in width (wider TAM is never slower).
+        for row in &times {
+            assert!(row[0] <= row[1] && row[1] <= row[2]);
+        }
+    }
+
+    #[test]
+    fn all_returns_four_socs() {
+        let names: Vec<String> = all().iter().map(|s| s.name().to_owned()).collect();
+        assert_eq!(names, ["d695", "p21241", "p31108", "p93791"]);
+    }
+}

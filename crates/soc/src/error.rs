@@ -1,0 +1,127 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for constructing and parsing SOC test data.
+///
+/// Returned by the [`Core`](crate::Core) / [`Soc`](crate::Soc) builders,
+/// the [`format`](crate::format) parser and the
+/// [`generator`](crate::generator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SocError {
+    /// A core was built with no test payload at all (no terminals, no
+    /// scan cells).
+    EmptyCore {
+        /// Name of the offending core.
+        name: String,
+    },
+    /// A core was built with a zero test-pattern count.
+    ZeroPatterns {
+        /// Name of the offending core.
+        name: String,
+    },
+    /// A scan chain of length zero was supplied.
+    ZeroLengthScanChain {
+        /// Name of the offending core.
+        name: String,
+        /// Index of the zero-length chain in the supplied list.
+        index: usize,
+    },
+    /// An SOC was built with no cores.
+    EmptySoc {
+        /// Name of the offending SOC.
+        name: String,
+    },
+    /// Two cores in one SOC share a name.
+    DuplicateCoreName {
+        /// The duplicated core name.
+        name: String,
+    },
+    /// A name (core or SOC) was empty or contained whitespace.
+    InvalidName {
+        /// The rejected name.
+        name: String,
+    },
+    /// The `.soc` text could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Explanation of what was expected.
+        message: String,
+    },
+    /// A generator specification was internally inconsistent
+    /// (e.g. `min > max` in a range).
+    InvalidSpec {
+        /// Explanation of the inconsistency.
+        message: String,
+    },
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::EmptyCore { name } => {
+                write!(f, "core `{name}` has no terminals and no scan cells")
+            }
+            SocError::ZeroPatterns { name } => {
+                write!(f, "core `{name}` has a zero test-pattern count")
+            }
+            SocError::ZeroLengthScanChain { name, index } => {
+                write!(f, "core `{name}` scan chain #{index} has length zero")
+            }
+            SocError::EmptySoc { name } => write!(f, "soc `{name}` contains no cores"),
+            SocError::DuplicateCoreName { name } => {
+                write!(f, "duplicate core name `{name}`")
+            }
+            SocError::InvalidName { name } => {
+                write!(f, "invalid name `{name}` (empty or contains whitespace)")
+            }
+            SocError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            SocError::InvalidSpec { message } => {
+                write!(f, "invalid generator specification: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_unpunctuated() {
+        let errs: Vec<SocError> = vec![
+            SocError::EmptyCore { name: "a".into() },
+            SocError::ZeroPatterns { name: "a".into() },
+            SocError::ZeroLengthScanChain {
+                name: "a".into(),
+                index: 3,
+            },
+            SocError::EmptySoc { name: "s".into() },
+            SocError::DuplicateCoreName { name: "a".into() },
+            SocError::InvalidName { name: "a b".into() },
+            SocError::Parse {
+                line: 7,
+                message: "expected `core`".into(),
+            },
+            SocError::InvalidSpec {
+                message: "min > max".into(),
+            },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "message `{msg}` ends with a period");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SocError>();
+    }
+}

@@ -1,0 +1,374 @@
+//! ITC'02-style module format.
+//!
+//! The ITC'02 SOC Test Benchmarks (which published the paper's `d695`
+//! and `p93791` compositions) distribute SOCs as `SocName`/`Module`
+//! files. This module reads and writes a documented subset of that
+//! format carrying exactly the data the co-optimization consumes —
+//! enough to exchange SOCs with ITC'02-style tooling:
+//!
+//! ```text
+//! SocName d695
+//! TotalModules 2
+//! Module 1
+//!   ModuleName cpu
+//!   Level 1
+//!   Inputs 32
+//!   Outputs 32
+//!   Bidirs 0
+//!   ScanChains 3 : 40 40 38
+//!   Patterns 120
+//! Module 2
+//!   ModuleName rom
+//!   Inputs 18
+//!   Outputs 16
+//!   ScanChains 0
+//!   Patterns 4096
+//! ```
+//!
+//! * `#` comments and blank lines are ignored; keywords are
+//!   case-sensitive; a trailing `:` after a keyword value list is
+//!   accepted (ITC'02 files use `ScanChains <n> : <lengths>`).
+//! * `ModuleName` is optional (defaults to `module<k>`); `Level` and
+//!   `Bidirs` are optional (default 0); `Patterns` defaults to 1.
+//! * `TotalModules` must match the number of `Module` blocks.
+//!
+//! The hierarchical `Level` field is parsed and re-emitted but not used
+//! by the optimizers (the paper's flat test-bus model ignores it).
+
+use std::fmt::Write as _;
+
+use crate::{Core, Soc, SocError};
+
+/// Parses an SOC from the ITC'02-style module format.
+///
+/// # Errors
+///
+/// [`SocError::Parse`] with a 1-based line number for syntax problems;
+/// builder errors for semantic ones.
+pub fn parse_itc02(text: &str) -> Result<Soc, SocError> {
+    let mut soc_name: Option<String> = None;
+    let mut total_modules: Option<usize> = None;
+    let mut modules: Vec<ModuleDraft> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line");
+        match keyword {
+            "SocName" => {
+                if soc_name.is_some() {
+                    return err(line_no, "duplicate SocName");
+                }
+                soc_name = Some(
+                    tokens
+                        .next()
+                        .ok_or_else(|| perr(line_no, "missing SocName value"))?
+                        .to_owned(),
+                );
+            }
+            "TotalModules" => {
+                if total_modules.is_some() {
+                    return err(line_no, "duplicate TotalModules");
+                }
+                total_modules = Some(parse_num(tokens.next(), line_no, "TotalModules")? as usize);
+            }
+            "Module" => {
+                let number = parse_num(tokens.next(), line_no, "Module")?;
+                modules.push(ModuleDraft::new(number));
+            }
+            "ModuleName" | "Level" | "Inputs" | "Outputs" | "Bidirs" | "Patterns" => {
+                let module = modules
+                    .last_mut()
+                    .ok_or_else(|| perr(line_no, format!("`{keyword}` before any Module")))?;
+                match keyword {
+                    "ModuleName" => {
+                        module.name = Some(
+                            tokens
+                                .next()
+                                .ok_or_else(|| perr(line_no, "missing ModuleName value"))?
+                                .to_owned(),
+                        );
+                    }
+                    "Level" => module.level = parse_num(tokens.next(), line_no, "Level")?,
+                    "Inputs" => module.inputs = parse_num(tokens.next(), line_no, "Inputs")? as u32,
+                    "Outputs" => {
+                        module.outputs = parse_num(tokens.next(), line_no, "Outputs")? as u32
+                    }
+                    "Bidirs" => module.bidirs = parse_num(tokens.next(), line_no, "Bidirs")? as u32,
+                    "Patterns" => module.patterns = parse_num(tokens.next(), line_no, "Patterns")?,
+                    _ => unreachable!("outer match covers the keyword"),
+                }
+            }
+            "ScanChains" => {
+                let module = modules
+                    .last_mut()
+                    .ok_or_else(|| perr(line_no, "`ScanChains` before any Module"))?;
+                let count = parse_num(tokens.next(), line_no, "ScanChains")? as usize;
+                let mut lengths = Vec::with_capacity(count);
+                for tok in tokens {
+                    if tok == ":" {
+                        continue;
+                    }
+                    let len: u32 = tok
+                        .parse()
+                        .map_err(|_| perr(line_no, format!("invalid scan length `{tok}`")))?;
+                    lengths.push(len);
+                }
+                if lengths.len() != count {
+                    return err(
+                        line_no,
+                        format!(
+                            "ScanChains declares {count} chains but lists {}",
+                            lengths.len()
+                        ),
+                    );
+                }
+                module.scan_chains = lengths;
+            }
+            other => return err(line_no, format!("unknown keyword `{other}`")),
+        }
+    }
+
+    let name = soc_name.ok_or_else(|| perr(1, "missing SocName"))?;
+    if let Some(total) = total_modules {
+        if total != modules.len() {
+            return err(
+                text.lines().count().max(1),
+                format!(
+                    "TotalModules says {total} but {} Module blocks found",
+                    modules.len()
+                ),
+            );
+        }
+    }
+    let cores = modules
+        .into_iter()
+        .map(ModuleDraft::build)
+        .collect::<Result<Vec<_>, _>>()?;
+    Soc::builder(name).cores(cores).build()
+}
+
+/// Serializes an SOC to the ITC'02-style module format. The output
+/// round-trips through [`parse_itc02`].
+pub fn write_itc02(soc: &Soc) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "SocName {}", soc.name());
+    let _ = writeln!(out, "TotalModules {}", soc.num_cores());
+    for (i, core) in soc.iter().enumerate() {
+        let _ = writeln!(out, "Module {}", i + 1);
+        let _ = writeln!(out, "  ModuleName {}", core.name());
+        let _ = writeln!(out, "  Level 1");
+        let _ = writeln!(out, "  Inputs {}", core.inputs());
+        let _ = writeln!(out, "  Outputs {}", core.outputs());
+        let _ = writeln!(out, "  Bidirs {}", core.bidirs());
+        if core.scan_chains().is_empty() {
+            let _ = writeln!(out, "  ScanChains 0");
+        } else {
+            let lengths: Vec<String> = core.scan_chains().iter().map(u32::to_string).collect();
+            let _ = writeln!(
+                out,
+                "  ScanChains {} : {}",
+                core.scan_chains().len(),
+                lengths.join(" ")
+            );
+        }
+        let _ = writeln!(out, "  Patterns {}", core.patterns());
+    }
+    out
+}
+
+struct ModuleDraft {
+    number: u64,
+    name: Option<String>,
+    level: u64,
+    inputs: u32,
+    outputs: u32,
+    bidirs: u32,
+    scan_chains: Vec<u32>,
+    patterns: u64,
+}
+
+impl ModuleDraft {
+    fn new(number: u64) -> Self {
+        ModuleDraft {
+            number,
+            name: None,
+            level: 0,
+            inputs: 0,
+            outputs: 0,
+            bidirs: 0,
+            scan_chains: Vec::new(),
+            patterns: 1,
+        }
+    }
+
+    fn build(self) -> Result<Core, SocError> {
+        let name = self
+            .name
+            .unwrap_or_else(|| format!("module{}", self.number));
+        let _ = self.level; // parsed for fidelity; the flat model ignores it
+        Core::builder(name)
+            .inputs(self.inputs)
+            .outputs(self.outputs)
+            .bidirs(self.bidirs)
+            .scan_chains(self.scan_chains)
+            .patterns(self.patterns)
+            .build()
+    }
+}
+
+fn parse_num(token: Option<&str>, line: usize, field: &str) -> Result<u64, SocError> {
+    let tok = token.ok_or_else(|| perr(line, format!("missing `{field}` value")))?;
+    tok.parse()
+        .map_err(|_| perr(line, format!("invalid `{field}` value `{tok}`")))
+}
+
+fn perr(line: usize, message: impl Into<String>) -> SocError {
+    SocError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, SocError> {
+    Err(perr(line, message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    const SAMPLE: &str = "\
+# an ITC'02-style file
+SocName demo
+TotalModules 2
+Module 1
+  ModuleName cpu
+  Level 1
+  Inputs 32
+  Outputs 32
+  Bidirs 4
+  ScanChains 3 : 40 40 38
+  Patterns 120
+Module 2
+  Inputs 18
+  Outputs 16
+  ScanChains 0
+  Patterns 4096
+";
+
+    #[test]
+    fn parses_sample() {
+        let soc = parse_itc02(SAMPLE).unwrap();
+        assert_eq!(soc.name(), "demo");
+        assert_eq!(soc.num_cores(), 2);
+        let cpu = soc.core(0).unwrap();
+        assert_eq!(cpu.name(), "cpu");
+        assert_eq!(cpu.bidirs(), 4);
+        assert_eq!(cpu.scan_chains(), &[40, 40, 38]);
+        assert_eq!(soc.core(1).unwrap().name(), "module2");
+        assert_eq!(soc.core(1).unwrap().patterns(), 4096);
+    }
+
+    #[test]
+    fn roundtrips_all_benchmarks() {
+        for soc in benchmarks::all() {
+            let text = write_itc02(&soc);
+            let parsed = parse_itc02(&text).unwrap();
+            assert_eq!(parsed, soc, "{} failed", soc.name());
+        }
+    }
+
+    #[test]
+    fn scanchain_count_mismatch_rejected() {
+        let bad = "SocName s\nTotalModules 1\nModule 1\n Inputs 1\n ScanChains 2 : 5\n";
+        assert!(matches!(
+            parse_itc02(bad),
+            Err(SocError::Parse { line: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn total_modules_mismatch_rejected() {
+        let bad = "SocName s\nTotalModules 3\nModule 1\n Inputs 1\n";
+        assert!(matches!(parse_itc02(bad), Err(SocError::Parse { .. })));
+    }
+
+    #[test]
+    fn total_modules_optional() {
+        let ok = "SocName s\nModule 1\n Inputs 1\n";
+        assert_eq!(parse_itc02(ok).unwrap().num_cores(), 1);
+    }
+
+    #[test]
+    fn field_before_module_rejected() {
+        assert!(matches!(
+            parse_itc02("SocName s\nInputs 4\n"),
+            Err(SocError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_itc02("SocName s\nScanChains 0\n"),
+            Err(SocError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_socname_rejected() {
+        assert!(matches!(
+            parse_itc02("Module 1\n Inputs 1\n"),
+            Err(SocError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_headers_rejected() {
+        assert!(matches!(
+            parse_itc02("SocName a\nSocName b\n"),
+            Err(SocError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_itc02("SocName a\nTotalModules 1\nTotalModules 1\n"),
+            Err(SocError::Parse { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_keyword_rejected() {
+        assert!(matches!(
+            parse_itc02("SocName s\nWombat 3\n"),
+            Err(SocError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn colon_is_optional() {
+        let ok = "SocName s\nModule 1\n ScanChains 2 7 9\n Patterns 3\n";
+        let soc = parse_itc02(ok).unwrap();
+        assert_eq!(soc.core(0).unwrap().scan_chains(), &[7, 9]);
+    }
+
+    #[test]
+    fn comments_anywhere() {
+        let ok = "# head\nSocName s # tail\nModule 1 # m\n Inputs 2\n";
+        assert_eq!(parse_itc02(ok).unwrap().core(0).unwrap().inputs(), 2);
+    }
+
+    #[test]
+    fn cross_format_agreement() {
+        // The two formats describe identical SOCs.
+        for soc in benchmarks::all() {
+            let via_itc = parse_itc02(&write_itc02(&soc)).unwrap();
+            let via_dialect = crate::format::parse_soc(&crate::format::write_soc(&soc)).unwrap();
+            assert_eq!(via_itc, via_dialect);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! SOC test-data model for wrapper/TAM co-optimization.
+//!
+//! This crate is the data substrate of the `tamopt` workspace, a
+//! reproduction of *Iyengar, Chakrabarty & Marinissen, “Efficient
+//! Wrapper/TAM Co-Optimization for Large SOCs”, DATE 2002*. It provides:
+//!
+//! * [`Core`] and [`Soc`] — the per-core test data (test patterns,
+//!   functional terminals, internal scan chains) that every algorithm in
+//!   the paper consumes, with validating builders;
+//! * [`complexity`] — the SOC *test complexity number* used to name the
+//!   benchmark SOCs (`d695`, `p93791`, …);
+//! * [`format`] — a plain-text `.soc` exchange format (an ITC'02-inspired
+//!   dialect) with a round-tripping parser and writer;
+//! * [`generator`] — a seeded synthetic SOC generator driven by published
+//!   per-core data *ranges*, used to stand in for the proprietary Philips
+//!   SOCs of the paper;
+//! * [`benchmarks`] — the four experiment SOCs of the paper: an embedded
+//!   reconstruction of `d695` and deterministic synthetic stand-ins for
+//!   `p21241`, `p31108` and `p93791`;
+//! * [`scenarios`] — labelled synthetic stress cases (logic-heavy,
+//!   memory-heavy, bottleneck, uniform) for tests and benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use tamopt_soc::{Core, Soc};
+//!
+//! # fn main() -> Result<(), tamopt_soc::SocError> {
+//! let soc = Soc::builder("demo")
+//!     .core(
+//!         Core::builder("cpu")
+//!             .inputs(32)
+//!             .outputs(32)
+//!             .scan_chains([400, 380, 350])
+//!             .patterns(220)
+//!             .build()?,
+//!     )
+//!     .core(Core::builder("sram").inputs(40).outputs(39).patterns(4000).build()?)
+//!     .build()?;
+//! assert_eq!(soc.num_cores(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod complexity;
+mod core;
+mod error;
+pub mod format;
+pub mod generator;
+pub mod itc02;
+pub mod scenarios;
+mod soc;
+pub mod stitch;
+
+pub use crate::core::{Core, CoreBuilder, CoreKind};
+pub use crate::error::SocError;
+pub use crate::soc::{Soc, SocBuilder};

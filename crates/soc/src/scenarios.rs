@@ -1,0 +1,222 @@
+//! Named synthetic SOC scenarios for tests, benchmarks and exploration.
+//!
+//! The paper's four SOCs cover a specific mix of workloads; these
+//! constructors generate *labelled stress cases* for the behaviours the
+//! algorithms in this workspace are sensitive to. They are openly
+//! synthetic (no claim to match any silicon) and deterministic in
+//! `(scale, seed)`:
+//!
+//! * [`logic_heavy`] — scan-dominated SOCs where wrapper design and
+//!   width partitioning do all the work (p21241-like);
+//! * [`memory_heavy`] — many scan-less cores with big pattern counts;
+//!   TAM width barely helps such cores beyond their terminal count, so
+//!   assignment balance dominates (p31108-like);
+//! * [`bottleneck`] — one core dwarfs the rest; testing time saturates
+//!   at its minimum time once width is ample (the paper's Core-18 /
+//!   544579-cycle phenomenon, Tables 11–13);
+//! * [`uniform`] — near-identical cores; exercises every tie-break rule
+//!   in `Core_assign` (Figure 1, lines 11–16).
+//!
+//! # Example
+//!
+//! ```
+//! use tamopt_soc::scenarios;
+//!
+//! let soc = scenarios::bottleneck(12, 7)?;
+//! assert_eq!(soc.num_cores(), 12);
+//! // The bottleneck core dominates the total test data volume.
+//! let volumes: Vec<u64> =
+//!     soc.iter().map(|c| c.patterns() * c.test_bits_per_pattern()).collect();
+//! let top = volumes.iter().max().unwrap();
+//! let rest: u64 = volumes.iter().sum::<u64>() - top;
+//! assert!(*top >= rest);
+//! # Ok::<(), tamopt_soc::SocError>(())
+//! ```
+
+use crate::generator::{CoreClass, SocSpec};
+use crate::{Soc, SocError};
+
+/// Minimum core count accepted by every scenario constructor.
+pub const MIN_CORES: usize = 2;
+
+fn check_cores(cores: usize) -> Result<(), SocError> {
+    if cores < MIN_CORES {
+        return Err(SocError::InvalidSpec {
+            message: format!("scenarios need at least {MIN_CORES} cores, got {cores}"),
+        });
+    }
+    Ok(())
+}
+
+/// A scan-dominated SOC: `cores` logic cores with wide ranges of scan
+/// chains and pattern counts, plus a couple of small memories.
+///
+/// # Errors
+///
+/// [`SocError::InvalidSpec`] if `cores < MIN_CORES`.
+pub fn logic_heavy(cores: usize, seed: u64) -> Result<Soc, SocError> {
+    check_cores(cores)?;
+    let memories = (cores / 8).max(1);
+    let logic = cores - memories.min(cores - 1);
+    SocSpec::new(format!("logic-heavy-{cores}-{seed}"), seed)
+        .class(CoreClass::logic(
+            "logic",
+            logic,
+            (20, 800),
+            (40, 600),
+            (2, 32),
+            (8, 400),
+        ))
+        .class(CoreClass::memory(
+            "mem",
+            cores - logic,
+            (100, 2000),
+            (20, 120),
+        ))
+        .generate()
+}
+
+/// A memory-dominated SOC: most cores are scan-less with large pattern
+/// counts; only a few logic cores carry scan chains.
+///
+/// # Errors
+///
+/// [`SocError::InvalidSpec`] if `cores < MIN_CORES`.
+pub fn memory_heavy(cores: usize, seed: u64) -> Result<Soc, SocError> {
+    check_cores(cores)?;
+    let logic = (cores / 6).max(1);
+    SocSpec::new(format!("memory-heavy-{cores}-{seed}"), seed)
+        .class(CoreClass::logic(
+            "logic",
+            logic,
+            (50, 600),
+            (60, 400),
+            (1, 16),
+            (16, 500),
+        ))
+        .class(CoreClass::memory(
+            "mem",
+            cores - logic,
+            (500, 16000),
+            (10, 100),
+        ))
+        .generate()
+}
+
+/// An SOC with a single dominant core whose test-data volume exceeds the
+/// rest of the SOC combined — the saturation stress case.
+///
+/// # Errors
+///
+/// [`SocError::InvalidSpec`] if `cores < MIN_CORES`.
+pub fn bottleneck(cores: usize, seed: u64) -> Result<Soc, SocError> {
+    check_cores(cores)?;
+    SocSpec::new(format!("bottleneck-{cores}-{seed}"), seed)
+        // One giant scan core: many chains, long chains, many patterns.
+        .class(CoreClass::logic(
+            "giant",
+            1,
+            (4000, 6000),
+            (200, 400),
+            (24, 32),
+            (200, 400),
+        ))
+        // The rest are small.
+        .class(CoreClass::logic(
+            "small",
+            cores - 1,
+            (10, 80),
+            (10, 80),
+            (1, 4),
+            (4, 60),
+        ))
+        .generate()
+}
+
+/// An SOC of near-identical cores (tight ranges): every selection step
+/// in `Core_assign` hits its tie-break rules.
+///
+/// # Errors
+///
+/// [`SocError::InvalidSpec`] if `cores < MIN_CORES`.
+pub fn uniform(cores: usize, seed: u64) -> Result<Soc, SocError> {
+    check_cores(cores)?;
+    SocSpec::new(format!("uniform-{cores}-{seed}"), seed)
+        .class(CoreClass::logic(
+            "core",
+            cores,
+            (100, 102),
+            (64, 66),
+            (8, 8),
+            (50, 51),
+        ))
+        .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoreKind;
+
+    #[test]
+    fn all_scenarios_build_and_are_deterministic() {
+        for build in [logic_heavy, memory_heavy, bottleneck, uniform] {
+            let a = build(10, 42).unwrap();
+            let b = build(10, 42).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a.num_cores(), 10);
+            // Different seed, different SOC.
+            let c = build(10, 43).unwrap();
+            assert_ne!(a, c);
+        }
+    }
+
+    #[test]
+    fn too_few_cores_is_an_error() {
+        for build in [logic_heavy, memory_heavy, bottleneck, uniform] {
+            assert!(matches!(build(1, 1), Err(SocError::InvalidSpec { .. })));
+        }
+    }
+
+    #[test]
+    fn logic_heavy_is_mostly_logic() {
+        let soc = logic_heavy(16, 1).unwrap();
+        assert!(soc.count_kind(CoreKind::Logic) > soc.count_kind(CoreKind::Memory));
+    }
+
+    #[test]
+    fn memory_heavy_is_mostly_memory() {
+        let soc = memory_heavy(18, 1).unwrap();
+        assert!(soc.count_kind(CoreKind::Memory) > soc.count_kind(CoreKind::Logic));
+    }
+
+    #[test]
+    fn bottleneck_core_dominates_volume() {
+        let soc = bottleneck(12, 5).unwrap();
+        let volumes: Vec<u64> = soc
+            .iter()
+            .map(|c| c.patterns() * c.test_bits_per_pattern())
+            .collect();
+        let top = *volumes.iter().max().unwrap();
+        let rest: u64 = volumes.iter().sum::<u64>() - top;
+        assert!(top >= rest, "giant core must dominate: {top} vs {rest}");
+        // And it is the named giant.
+        let giant_index = volumes.iter().position(|&v| v == top).unwrap();
+        assert!(soc.core(giant_index).unwrap().name().starts_with("giant"));
+    }
+
+    #[test]
+    fn uniform_cores_are_near_identical() {
+        let soc = uniform(8, 3).unwrap();
+        let times: Vec<u64> = soc.iter().map(|c| c.patterns()).collect();
+        let (min, max) = (times.iter().min().unwrap(), times.iter().max().unwrap());
+        assert!(max - min <= 2);
+        assert!(soc.iter().all(|c| c.scan_chains().len() == 8));
+    }
+
+    #[test]
+    fn scenario_names_encode_parameters() {
+        assert_eq!(logic_heavy(10, 7).unwrap().name(), "logic-heavy-10-7");
+        assert_eq!(bottleneck(5, 0).unwrap().name(), "bottleneck-5-0");
+    }
+}

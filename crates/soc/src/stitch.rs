@@ -1,0 +1,157 @@
+//! Scan-chain stitching: splitting a core's flip-flops into internal
+//! scan chains.
+//!
+//! Benchmark data usually publishes a core's total flip-flop count and
+//! a chain count; turning that into concrete chain lengths is the
+//! *stitching* step a DFT insertion tool performs. The wrapper layer's
+//! testing time depends only on the resulting length multiset, so
+//! stitching policy is part of the experiment setup. Two policies are
+//! provided:
+//!
+//! * [`balanced`] — lengths differ by at most one (what scan-insertion
+//!   tools do by default, and what the ITC'02 benchmark set assumes);
+//! * [`geometric`] — deliberately skewed lengths with a fixed ratio
+//!   between consecutive chains; useful as a stress case, since
+//!   `Design_wrapper`'s bin packing has to work hardest on skewed
+//!   inputs.
+//!
+//! # Example
+//!
+//! ```
+//! use tamopt_soc::stitch;
+//!
+//! assert_eq!(stitch::balanced(10, 3), vec![4, 3, 3]);
+//! let skewed = stitch::geometric(1000, 4, 2.0);
+//! assert_eq!(skewed.iter().sum::<u32>(), 1000);
+//! assert!(skewed.first() > skewed.last());
+//! ```
+
+/// Splits `cells` flip-flops over `chains` scan chains as evenly as
+/// possible (lengths differ by at most one), longest chains first.
+/// Chains that would be empty are omitted, so fewer than `chains`
+/// entries are returned when `cells < chains`.
+///
+/// Returns an empty vector if `chains == 0` or `cells == 0`.
+pub fn balanced(cells: u32, chains: u32) -> Vec<u32> {
+    if chains == 0 || cells == 0 {
+        return Vec::new();
+    }
+    let base = cells / chains;
+    let extra = cells % chains;
+    (0..chains)
+        .map(|i| if i < extra { base + 1 } else { base })
+        .filter(|&len| len > 0)
+        .collect()
+}
+
+/// Splits `cells` flip-flops over at most `chains` chains with lengths
+/// in (approximately) geometric progression: each chain is `ratio`
+/// times shorter than the previous one. Lengths are rounded to integers
+/// and the remainder is folded into the longest chain, so the lengths
+/// always sum to `cells`. Chains that round to zero are omitted.
+///
+/// `ratio` is clamped to at least 1 (a ratio of 1 reproduces
+/// [`balanced`] up to rounding).
+///
+/// Returns an empty vector if `chains == 0` or `cells == 0`.
+pub fn geometric(cells: u32, chains: u32, ratio: f64) -> Vec<u32> {
+    if chains == 0 || cells == 0 {
+        return Vec::new();
+    }
+    let ratio = ratio.max(1.0);
+    // Ideal real-valued lengths: l, l/r, l/r², …, scaled to sum to cells.
+    let weights: Vec<f64> = (0..chains).map(|i| ratio.powi(-(i as i32))).collect();
+    let total: f64 = weights.iter().sum();
+    let mut lengths: Vec<u32> = weights
+        .iter()
+        .map(|w| ((cells as f64) * w / total).floor() as u32)
+        .collect();
+    let assigned: u32 = lengths.iter().sum();
+    lengths[0] += cells - assigned;
+    lengths.retain(|&l| l > 0);
+    lengths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_sums_and_differs_by_at_most_one() {
+        for (cells, chains) in [(10u32, 3u32), (9, 3), (1426, 32), (7, 7), (100, 1)] {
+            let lens = balanced(cells, chains);
+            assert_eq!(lens.iter().sum::<u32>(), cells, "{cells}/{chains}");
+            let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            assert!(max - min <= 1, "{cells}/{chains}: {lens:?}");
+        }
+    }
+
+    #[test]
+    fn balanced_omits_empty_chains() {
+        assert_eq!(balanced(2, 5), vec![1, 1]);
+        assert!(balanced(0, 3).is_empty());
+        assert!(balanced(5, 0).is_empty());
+    }
+
+    #[test]
+    fn balanced_is_longest_first() {
+        let lens = balanced(11, 4);
+        assert_eq!(lens, vec![3, 3, 3, 2]);
+    }
+
+    #[test]
+    fn geometric_sums_exactly() {
+        for (cells, chains, ratio) in [
+            (1000u32, 4u32, 2.0f64),
+            (97, 5, 1.5),
+            (1426, 32, 1.1),
+            (10, 3, 4.0),
+        ] {
+            let lens = geometric(cells, chains, ratio);
+            assert_eq!(lens.iter().sum::<u32>(), cells, "{cells}/{chains}/{ratio}");
+        }
+    }
+
+    #[test]
+    fn geometric_is_skewed_and_sorted() {
+        let lens = geometric(1000, 4, 2.0);
+        for pair in lens.windows(2) {
+            assert!(pair[0] >= pair[1], "{lens:?}");
+        }
+        assert!(lens[0] >= 2 * lens[lens.len() - 1]);
+    }
+
+    #[test]
+    fn geometric_ratio_one_is_near_balanced() {
+        let geo = geometric(100, 4, 1.0);
+        let bal = balanced(100, 4);
+        assert_eq!(geo.iter().sum::<u32>(), bal.iter().sum::<u32>());
+        let gmax = geo.iter().max().unwrap();
+        let gmin = geo.iter().min().unwrap();
+        assert!(gmax - gmin <= 1, "{geo:?}");
+    }
+
+    #[test]
+    fn geometric_clamps_silly_ratios() {
+        assert_eq!(
+            geometric(100, 4, 0.25).iter().sum::<u32>(),
+            100,
+            "sub-1 ratios are clamped, not inverted"
+        );
+    }
+
+    #[test]
+    fn geometric_drops_zero_tails() {
+        // Extreme skew: later chains round to zero and vanish.
+        let lens = geometric(8, 6, 8.0);
+        assert!(lens.len() < 6, "{lens:?}");
+        assert_eq!(lens.iter().sum::<u32>(), 8);
+        assert!(lens.iter().all(|&l| l > 0));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(geometric(0, 4, 2.0).is_empty());
+        assert!(geometric(10, 0, 2.0).is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the SOC model, format round-trip and the
+//! synthetic generator.
+
+use proptest::prelude::*;
+use tamopt_soc::format::{parse_soc, write_soc};
+use tamopt_soc::generator::{summarize, CoreClass, SocSpec};
+use tamopt_soc::{complexity, Core, CoreKind, Soc};
+
+fn arb_core(index: usize) -> impl Strategy<Value = Core> {
+    (
+        0u32..500,
+        0u32..500,
+        0u32..50,
+        proptest::collection::vec(1u32..800, 0..10),
+        1u64..20_000,
+    )
+        .prop_filter_map("non-empty core", move |(i, o, b, scan, p)| {
+            Core::builder(format!("core{index}"))
+                .inputs(i)
+                .outputs(o)
+                .bidirs(b)
+                .scan_chains(scan)
+                .patterns(p)
+                .build()
+                .ok()
+        })
+}
+
+fn arb_soc() -> impl Strategy<Value = Soc> {
+    (1usize..12).prop_flat_map(|n| {
+        let cores: Vec<_> = (0..n).map(arb_core).collect();
+        cores.prop_map(|cores| {
+            Soc::builder("random")
+                .cores(cores)
+                .build()
+                .expect("distinct names")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// write → parse is the identity on any valid SOC.
+    #[test]
+    fn format_roundtrip(soc in arb_soc()) {
+        let text = write_soc(&soc);
+        let parsed = parse_soc(&text).expect("own output parses");
+        prop_assert_eq!(parsed, soc);
+    }
+
+    /// The complexity number matches its definition and scales linearly
+    /// with pattern counts.
+    #[test]
+    fn complexity_definition(soc in arb_soc()) {
+        let bits: u64 = soc
+            .iter()
+            .map(|c| c.patterns() * (u64::from(c.io_terminals()) + c.scan_cells()))
+            .sum();
+        prop_assert_eq!(complexity::test_data_bits(&soc), bits);
+        prop_assert_eq!(soc.complexity_number(), (bits + 500) / 1000);
+    }
+
+    /// Generated SOCs respect their class ranges and are deterministic
+    /// in the seed.
+    #[test]
+    fn generator_respects_spec(
+        seed in any::<u64>(),
+        logic_count in 1usize..8,
+        mem_count in 1usize..8,
+    ) {
+        let spec = SocSpec::new("gen", seed)
+            .class(CoreClass::logic("l", logic_count, (5, 400), (10, 90), (1, 6), (4, 64)))
+            .class(CoreClass::memory("m", mem_count, (50, 2000), (8, 40)));
+        let soc = spec.generate().expect("valid spec");
+        prop_assert_eq!(soc.num_cores(), logic_count + mem_count);
+        prop_assert_eq!(spec.generate().expect("valid spec"), soc.clone());
+        let logic = summarize(&soc, CoreKind::Logic).expect("has logic cores");
+        prop_assert!(logic.patterns.0 >= 5 && logic.patterns.1 <= 400);
+        prop_assert!(logic.io_terminals.0 >= 10 && logic.io_terminals.1 <= 90);
+        prop_assert!(logic.scan_chains.0 >= 1 && logic.scan_chains.1 <= 6);
+        if let Some((lmin, lmax)) = logic.scan_length {
+            prop_assert!(lmin >= 4 && lmax <= 64);
+        }
+        let mem = summarize(&soc, CoreKind::Memory).expect("has memory cores");
+        prop_assert!(mem.patterns.0 >= 50 && mem.patterns.1 <= 2000);
+        prop_assert_eq!(mem.scan_chains, (0, 0));
+    }
+
+    /// Calibration lands near the target whenever the target is inside
+    /// the spec's achievable volume band.
+    #[test]
+    fn generator_calibrates(seed in any::<u64>(), target in 200u64..2_000) {
+        let spec = SocSpec::new("gen", seed)
+            .class(CoreClass::logic("l", 4, (5, 4_000), (10, 90), (1, 6), (4, 128)))
+            .class(CoreClass::memory("m", 4, (50, 20_000), (8, 60)))
+            .target_complexity(target);
+        let soc = spec.generate().expect("valid spec");
+        let c = soc.complexity_number() as f64;
+        let err = (c - target as f64).abs() / target as f64;
+        prop_assert!(err < 0.10, "complexity {c} vs target {target}");
+    }
+
+    /// Balanced stitching conserves cells, differs by at most one, and
+    /// its longest chain lower-bounds every other stitch of the same
+    /// cells over the same chain count.
+    #[test]
+    fn stitch_balanced_invariants(cells in 1u32..5_000, chains in 1u32..64) {
+        use tamopt_soc::stitch;
+        let lens = stitch::balanced(cells, chains);
+        prop_assert_eq!(lens.iter().sum::<u32>(), cells);
+        prop_assert!(lens.len() as u32 <= chains);
+        let max = *lens.iter().max().expect("cells >= 1");
+        let min = *lens.iter().min().expect("cells >= 1");
+        prop_assert!(max - min <= 1);
+        // Optimality of the longest chain: ceil(cells / chains).
+        prop_assert_eq!(max, cells.div_ceil(chains.min(cells)));
+    }
+
+    /// Geometric stitching conserves cells for every ratio and is
+    /// non-increasing in chain order.
+    #[test]
+    fn stitch_geometric_invariants(cells in 1u32..5_000, chains in 1u32..24, ratio in 1.0f64..6.0) {
+        use tamopt_soc::stitch;
+        let lens = stitch::geometric(cells, chains, ratio);
+        prop_assert_eq!(lens.iter().sum::<u32>(), cells);
+        prop_assert!(lens.iter().all(|&l| l > 0));
+        for pair in lens.windows(2) {
+            prop_assert!(pair[0] >= pair[1], "{:?}", lens);
+        }
+        // The longest geometric chain can never beat the balanced one.
+        let balanced_max = *stitch::balanced(cells, chains)
+            .iter()
+            .max()
+            .expect("cells >= 1");
+        prop_assert!(lens[0] >= balanced_max);
+    }
+}

@@ -1,0 +1,31 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for wrapper design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WrapperError {
+    /// A wrapper was requested at TAM width zero; a core needs at least
+    /// one TAM wire to be tested.
+    ZeroWidth,
+}
+
+impl fmt::Display for WrapperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WrapperError::ZeroWidth => f.write_str("wrapper requested at TAM width zero"),
+        }
+    }
+}
+
+impl Error for WrapperError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(WrapperError::ZeroWidth.to_string().contains("width zero"));
+    }
+}

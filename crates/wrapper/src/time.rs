@@ -1,0 +1,47 @@
+//! The core testing-time formula of the paper's reference [8].
+
+/// Computes the testing time, in clock cycles, of a wrapped core with
+/// scan-in length `scan_in`, scan-out length `scan_out` and `patterns`
+/// test patterns:
+///
+/// ```text
+/// T = (1 + max(s_i, s_o)) · p + min(s_i, s_o)
+/// ```
+///
+/// Scan-in of pattern `k+1` overlaps scan-out of pattern `k`, so each of
+/// the `p` patterns costs `max(s_i, s_o)` shift cycles plus one capture
+/// cycle; the final response flush costs the trailing `min(s_i, s_o)`.
+///
+/// # Example
+///
+/// ```
+/// use tamopt_wrapper::testing_time;
+///
+/// // 10 patterns through a wrapper with s_i = 20, s_o = 12:
+/// assert_eq!(testing_time(20, 12, 10), (1 + 20) * 10 + 12);
+/// // A pure-combinational core wrapped at width >= terminals: s = 1.
+/// assert_eq!(testing_time(1, 1, 5), 11);
+/// ```
+pub fn testing_time(scan_in: u64, scan_out: u64, patterns: u64) -> u64 {
+    (1 + scan_in.max(scan_out)) * patterns + scan_in.min(scan_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_reference() {
+        assert_eq!(testing_time(0, 0, 7), 7);
+        assert_eq!(testing_time(5, 3, 1), 6 + 3);
+        assert_eq!(testing_time(3, 5, 1), 6 + 3, "symmetric in s_i/s_o");
+        assert_eq!(testing_time(100, 100, 10), 101 * 10 + 100);
+    }
+
+    #[test]
+    fn monotone_in_all_arguments() {
+        assert!(testing_time(10, 10, 5) <= testing_time(11, 10, 5));
+        assert!(testing_time(10, 10, 5) <= testing_time(10, 11, 5));
+        assert!(testing_time(10, 10, 5) <= testing_time(10, 10, 6));
+    }
+}

@@ -1,0 +1,66 @@
+//! Design-space exploration: how testing time falls with TAM width, why
+//! multiple TAMs help, and where the bottleneck core caps everything.
+//!
+//! Reproduces, on the p31108 stand-in, the saturation phenomenon the
+//! paper discusses around its Tables 11–13: beyond a certain width the
+//! SOC testing time is pinned to the fastest possible time of its
+//! slowest core.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use tamopt::wrapper::pareto;
+use tamopt::{benchmarks, CoOptimizer, TamOptError};
+
+fn main() -> Result<(), TamOptError> {
+    let soc = benchmarks::p31108();
+    println!("exploring {} ({} cores)\n", soc.name(), soc.num_cores());
+
+    // Identify the bottleneck core and its saturated testing time.
+    let (bottleneck, saturated) = pareto::bottleneck_core(&soc, 64)?;
+    let core = soc.core(bottleneck).expect("bottleneck index is valid");
+    println!(
+        "bottleneck core: {} ({} patterns, {} terminals)",
+        core.name(),
+        core.patterns(),
+        core.io_terminals()
+    );
+    println!("  its best possible testing time: {saturated} cycles");
+    println!(
+        "  it saturates at width {} — wires beyond that are idle\n",
+        pareto::saturation_width(core, 64)?
+    );
+
+    // Sweep the total width and watch the SOC time hit the bound.
+    println!(
+        "{:>5} {:>8} {:>14} {:>14}  note",
+        "W", "TAMs", "time (cycles)", "lower bound"
+    );
+    for w in (16..=64).step_by(8) {
+        let arch = CoOptimizer::new(soc.clone(), w).max_tams(6).run()?;
+        let bound = pareto::bottleneck_lower_bound(&soc, w)?;
+        let pinned = if arch.soc_time() == bound {
+            "<- at the bottleneck bound"
+        } else {
+            ""
+        };
+        println!(
+            "{:>5} {:>8} {:>14} {:>14}  {}",
+            w,
+            arch.num_tams(),
+            arch.soc_time(),
+            bound,
+            pinned
+        );
+    }
+
+    println!("\nPer-core Pareto staircases (width -> time) at W = 32:");
+    for (i, core) in soc.iter().enumerate().take(5) {
+        let steps = pareto::pareto_widths(core, 32)?;
+        let s: Vec<String> = steps
+            .iter()
+            .map(|p| format!("{}→{}", p.width, p.time))
+            .collect();
+        println!("  core {:>2} {:<8} {}", i + 1, core.name(), s.join(", "));
+    }
+    Ok(())
+}

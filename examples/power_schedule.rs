@@ -1,0 +1,41 @@
+//! Test scheduling under a power cap: co-optimize the architecture,
+//! then reorder and delay core tests so the instantaneous test power
+//! never exceeds a budget — the neighbouring problem the paper's
+//! related work (its references [4, 9, 13]) addresses.
+//!
+//! Run with: `cargo run --release --example power_schedule`
+
+use tamopt::schedule::{schedule_with_power_cap, TestSchedule};
+use tamopt::{benchmarks, CoOptimizer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = benchmarks::d695();
+    let arch = CoOptimizer::new(soc.clone(), 32).max_tams(4).run()?;
+    println!("{}", arch.report());
+
+    // Scan-heavy cores toggle more logic: rate power by scan cells.
+    let powers: Vec<f64> = soc
+        .iter()
+        .map(|c| 1.0 + (c.scan_cells() as f64 / 500.0))
+        .collect();
+    let unconstrained = TestSchedule::serial(&arch);
+    println!(
+        "unconstrained schedule: {} cycles, peak power {:.2}",
+        unconstrained.makespan(),
+        unconstrained.peak_power(&powers)
+    );
+    println!("{}", unconstrained.gantt(64));
+
+    for cap in [8.0f64, 6.0, 4.5] {
+        let capped = schedule_with_power_cap(&arch, &powers, cap)?;
+        println!(
+            "cap {:>4.1}: {} cycles (+{:.1} % time), peak {:.2}",
+            cap,
+            capped.makespan(),
+            (capped.makespan() as f64 / unconstrained.makespan() as f64 - 1.0) * 100.0,
+            capped.peak_power(&powers)
+        );
+        println!("{}", capped.gantt(64));
+    }
+    Ok(())
+}

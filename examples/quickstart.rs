@@ -1,0 +1,21 @@
+//! Quickstart: co-optimize the wrapper/TAM architecture of the d695
+//! benchmark SOC at a 32-wire TAM budget.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tamopt::{benchmarks, CoOptimizer, TamOptError};
+
+fn main() -> Result<(), TamOptError> {
+    // The academic benchmark SOC from the paper (2 ISCAS'85 + 8 ISCAS'89
+    // cores).
+    let soc = benchmarks::d695();
+    println!("{soc}");
+
+    // Design a test architecture: 32 TAM wires, up to 4 TAMs, the
+    // paper's two-step methodology (heuristic search + one exact
+    // assignment optimization).
+    let architecture = CoOptimizer::new(soc, 32).max_tams(4).run()?;
+
+    println!("{}", architecture.report());
+    Ok(())
+}

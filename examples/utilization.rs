@@ -1,0 +1,54 @@
+//! Quantify the paper's motivation for multiple TAMs: sweep the TAM
+//! count at a fixed total width and watch idle wires fall and wire-cycle
+//! utilization rise.
+//!
+//! Section 1 of the paper argues that with more TAMs (i) cores ride TAMs
+//! whose widths match their needs, so fewer assigned wires idle, and
+//! (ii) test parallelism grows. [`tamopt::analysis`] measures both.
+//!
+//! Run with: `cargo run --release --example utilization`
+
+use tamopt::analysis::UtilizationReport;
+use tamopt::{benchmarks, CoOptimizer, TamOptError};
+
+fn main() -> Result<(), TamOptError> {
+    let width = 48;
+    println!("SOC d695, W = {width}\n");
+    println!(
+        "{:>5}  {:>14}  {:>12}  {:>11}  {:>11}",
+        "TAMs", "partition", "time (cy)", "idle wires", "utilization"
+    );
+    for max_tams in 1..=6 {
+        let soc = benchmarks::d695();
+        let architecture = CoOptimizer::new(soc, width).max_tams(max_tams).run()?;
+        let report = UtilizationReport::new(&architecture);
+        println!(
+            "{:>5}  {:>14}  {:>12}  {:>11}  {:>10.1} %",
+            architecture.num_tams(),
+            architecture.tams.to_string(),
+            architecture.soc_time(),
+            report.idle_wires(),
+            report.utilization() * 100.0
+        );
+    }
+
+    // A detailed breakdown of the best architecture.
+    let soc = benchmarks::d695();
+    let architecture = CoOptimizer::new(soc, width).max_tams(6).run()?;
+    let report = UtilizationReport::new(&architecture);
+    println!("\ndetailed breakdown at {} TAMs:", architecture.num_tams());
+    print!("{report}");
+    println!("\nworst idle-wire offenders:");
+    for c in report.worst_offenders(5) {
+        println!(
+            "  core {:>2} on TAM {} (w={:>2}): uses {:>2} wires, idles {:>2} for {} cycles",
+            c.core + 1,
+            c.tam + 1,
+            c.tam_width,
+            c.used_width,
+            c.idle_wires(),
+            c.test_time
+        );
+    }
+    Ok(())
+}

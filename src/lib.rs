@@ -1,0 +1,7 @@
+//! Thin facade over the [`tamopt`] workspace for root-level examples and
+//! integration tests.
+//!
+//! Everything re-exported here is documented in the `tamopt` crate
+//! (`crates/core`), which is the primary public API of this repository.
+
+pub use tamopt::*;

@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: the full co-optimization pipeline on
+//! every benchmark SOC, exercising tamopt-soc → tamopt-wrapper →
+//! tamopt-assign → tamopt-partition through the `tamopt` facade.
+
+use tamopt_repro::{benchmarks, CoOptimizer, Strategy};
+
+#[test]
+fn two_step_runs_on_every_benchmark_soc() {
+    for soc in benchmarks::all() {
+        let arch = CoOptimizer::new(soc.clone(), 32)
+            .max_tams(4)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", soc.name()));
+        assert_eq!(arch.tams.total_width(), 32, "{}", soc.name());
+        assert_eq!(arch.assignment.assignment().len(), soc.num_cores());
+        assert!(arch.soc_time() > 0);
+        // Every core's wrapper fits its TAM.
+        for (i, w) in arch.wrappers.iter().enumerate() {
+            let tam = arch.assignment.assignment()[i];
+            assert!(w.used_width() <= arch.tams.width(tam));
+        }
+    }
+}
+
+#[test]
+fn testing_time_decreases_with_width() {
+    let soc = benchmarks::d695();
+    let mut last = u64::MAX;
+    for w in [8u32, 16, 32, 64] {
+        let arch = CoOptimizer::new(soc.clone(), w)
+            .max_tams(4)
+            .run()
+            .expect("valid run");
+        assert!(
+            arch.soc_time() <= last,
+            "W={w}: {} worse than narrower budget {last}",
+            arch.soc_time()
+        );
+        last = arch.soc_time();
+    }
+}
+
+#[test]
+fn exhaustive_is_a_lower_bound_for_two_step() {
+    let soc = benchmarks::d695();
+    for b in 1..=3u32 {
+        let exhaustive = CoOptimizer::new(soc.clone(), 20)
+            .exact_tams(b)
+            .strategy(Strategy::Exhaustive)
+            .run()
+            .expect("valid run");
+        let two_step = CoOptimizer::new(soc.clone(), 20)
+            .exact_tams(b)
+            .run()
+            .expect("valid run");
+        assert!(
+            exhaustive.soc_time() <= two_step.soc_time(),
+            "B={b}: exhaustive {} > two-step {}",
+            exhaustive.soc_time(),
+            two_step.soc_time()
+        );
+    }
+}
+
+#[test]
+fn heuristic_close_to_exact_on_d695() {
+    // The paper's headline quality claim: heuristic testing times are
+    // comparable to exact (within ~20 % at matched B on d695).
+    let soc = benchmarks::d695();
+    for w in [16u32, 32, 48] {
+        let exact = CoOptimizer::new(soc.clone(), w)
+            .exact_tams(3)
+            .strategy(Strategy::Exhaustive)
+            .run()
+            .expect("valid run");
+        let heuristic = CoOptimizer::new(soc.clone(), w)
+            .exact_tams(3)
+            .strategy(Strategy::TwoStep)
+            .run()
+            .expect("valid run");
+        let gap = heuristic.soc_time() as f64 / exact.soc_time() as f64;
+        assert!(gap < 1.2, "W={w}: two-step {gap}x of exact");
+    }
+}
+
+#[test]
+fn bottleneck_bound_is_respected_everywhere() {
+    use tamopt_repro::wrapper::pareto;
+    for soc in benchmarks::all() {
+        let bound = pareto::bottleneck_lower_bound(&soc, 48).expect("width 48 valid");
+        let arch = CoOptimizer::new(soc.clone(), 48)
+            .max_tams(6)
+            .run()
+            .expect("valid run");
+        assert!(
+            arch.soc_time() >= bound,
+            "{}: architecture beat the physical lower bound",
+            soc.name()
+        );
+    }
+}
+
+#[test]
+fn p31108_saturates_at_its_bottleneck() {
+    // The paper's plateau phenomenon (Tables 11-13) on the stand-in:
+    // once W is large, the best architecture sits exactly on the
+    // bottleneck-core bound.
+    use tamopt_repro::wrapper::pareto;
+    let soc = benchmarks::p31108();
+    let arch = CoOptimizer::new(soc.clone(), 64)
+        .max_tams(6)
+        .run()
+        .expect("valid run");
+    let bound = pareto::bottleneck_lower_bound(&soc, 64).expect("width 64 valid");
+    let slack = arch.soc_time() as f64 / bound as f64;
+    assert!(
+        slack < 1.10,
+        "no plateau: time {} vs bound {bound}",
+        arch.soc_time()
+    );
+}
+
+#[test]
+fn determinism_end_to_end() {
+    let soc = benchmarks::p21241();
+    let a = CoOptimizer::new(soc.clone(), 24)
+        .max_tams(4)
+        .run()
+        .expect("valid run");
+    let b = CoOptimizer::new(soc, 24)
+        .max_tams(4)
+        .run()
+        .expect("valid run");
+    assert_eq!(a.tams, b.tams);
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.soc_time(), b.soc_time());
+}

@@ -1,0 +1,76 @@
+//! Integration tests of the scheduling extension and the ITC'02 format
+//! across the whole stack.
+
+use proptest::prelude::*;
+use tamopt_repro::schedule::{schedule_with_power_cap, TestSchedule};
+use tamopt_repro::soc::itc02::{parse_itc02, write_itc02};
+use tamopt_repro::{benchmarks, CoOptimizer};
+
+#[test]
+fn serial_schedule_matches_architecture_on_all_socs() {
+    for soc in benchmarks::all() {
+        let arch = CoOptimizer::new(soc.clone(), 24)
+            .max_tams(3)
+            .run()
+            .expect("valid run");
+        let schedule = TestSchedule::serial(&arch);
+        assert_eq!(schedule.makespan(), arch.soc_time(), "{}", soc.name());
+        assert_eq!(schedule.entries().len(), soc.num_cores());
+    }
+}
+
+#[test]
+fn tighter_caps_never_shorten_the_schedule() {
+    let arch = CoOptimizer::new(benchmarks::d695(), 32)
+        .max_tams(4)
+        .run()
+        .expect("valid run");
+    let powers = vec![1.0; 10];
+    let mut last = 0u64;
+    for cap in [4.0f64, 3.0, 2.0, 1.0] {
+        let s = schedule_with_power_cap(&arch, &powers, cap).expect("cap >= max power");
+        assert!(s.makespan() >= last, "cap {cap} shortened the schedule");
+        assert!(s.peak_power(&powers) <= cap + 1e-9);
+        last = s.makespan();
+    }
+}
+
+#[test]
+fn itc02_roundtrip_preserves_optimization() {
+    for soc in benchmarks::all() {
+        let reparsed = parse_itc02(&write_itc02(&soc)).expect("own output parses");
+        assert_eq!(reparsed, soc);
+        let a = CoOptimizer::new(soc.clone(), 16)
+            .max_tams(2)
+            .run()
+            .expect("valid run");
+        let b = CoOptimizer::new(reparsed, 16)
+            .max_tams(2)
+            .run()
+            .expect("valid run");
+        assert_eq!(a.soc_time(), b.soc_time(), "{}", soc.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random power vectors: the cap always holds and every core is
+    /// scheduled exactly once.
+    #[test]
+    fn power_cap_respected_for_random_ratings(
+        seed_powers in proptest::collection::vec(0.1f64..3.0, 10),
+        cap_slack in 0.0f64..2.0,
+    ) {
+        let arch =
+            CoOptimizer::new(benchmarks::d695(), 24).max_tams(3).run().expect("valid run");
+        let max_power = seed_powers.iter().copied().fold(0.0f64, f64::max);
+        let cap = max_power + cap_slack;
+        let s = schedule_with_power_cap(&arch, &seed_powers, cap).expect("cap fits all");
+        prop_assert!(s.peak_power(&seed_powers) <= cap + 1e-9);
+        let mut cores: Vec<usize> = s.entries().iter().map(|e| e.core).collect();
+        cores.sort_unstable();
+        prop_assert_eq!(cores, (0..10).collect::<Vec<_>>());
+        prop_assert!(s.makespan() >= arch.soc_time());
+    }
+}

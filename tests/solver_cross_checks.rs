@@ -1,0 +1,79 @@
+//! Cross-solver agreement: the specialized branch-and-bound, the literal
+//! Section 3.2 ILP (on our own simplex), and brute force must agree on
+//! optimal SOC testing times.
+
+use tamopt_repro::assign::exact::{self, ExactConfig};
+use tamopt_repro::assign::ilp::{self, IlpAssignConfig};
+use tamopt_repro::assign::{AssignResult, CostMatrix, TamSet};
+use tamopt_repro::{benchmarks, TimeTable};
+
+fn brute_force_optimum(costs: &CostMatrix) -> u64 {
+    let n = costs.num_cores();
+    let b = costs.num_tams();
+    let mut best = u64::MAX;
+    let mut assignment = vec![0usize; n];
+    loop {
+        best = best.min(AssignResult::from_assignment(assignment.clone(), costs).soc_time());
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            assignment[i] += 1;
+            if assignment[i] < b {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[test]
+fn three_solvers_agree_on_d695() {
+    let soc = benchmarks::d695();
+    let table = TimeTable::new(&soc, 48).expect("width 48 valid");
+    for widths in [vec![24u32, 24], vec![8, 16, 24], vec![4, 4, 8, 16]] {
+        let tams = TamSet::new(widths.clone()).expect("positive widths");
+        let costs = CostMatrix::from_table(&table, &tams).expect("within table");
+        let brute = brute_force_optimum(&costs);
+        let bb = exact::solve(&costs, &ExactConfig::default()).expect("bb solves");
+        let via_ilp = ilp::solve(&costs, &IlpAssignConfig::default()).expect("ilp solves");
+        assert_eq!(bb.result.soc_time(), brute, "bb vs brute on {widths:?}");
+        assert_eq!(
+            via_ilp.result.soc_time(),
+            brute,
+            "ilp vs brute on {widths:?}"
+        );
+    }
+}
+
+#[test]
+fn solvers_agree_on_industrial_socs() {
+    // Brute force is out of reach at 28-32 cores; check B&B vs ILP only.
+    for soc in [benchmarks::p21241(), benchmarks::p93791()] {
+        let table = TimeTable::new(&soc, 32).expect("width 32 valid");
+        let tams = TamSet::new([9, 23]).expect("positive widths");
+        let costs = CostMatrix::from_table(&table, &tams).expect("within table");
+        let bb = exact::solve(&costs, &ExactConfig::default()).expect("bb solves");
+        let via_ilp = ilp::solve(&costs, &IlpAssignConfig::default()).expect("ilp solves");
+        assert_eq!(
+            bb.result.soc_time(),
+            via_ilp.result.soc_time(),
+            "disagreement on {}",
+            soc.name()
+        );
+    }
+}
+
+#[test]
+fn exact_solution_is_a_valid_assignment() {
+    let soc = benchmarks::p31108();
+    let table = TimeTable::new(&soc, 40).expect("width 40 valid");
+    let tams = TamSet::new([10, 10, 20]).expect("positive widths");
+    let costs = CostMatrix::from_table(&table, &tams).expect("within table");
+    let sol = exact::solve(&costs, &ExactConfig::default()).expect("solves");
+    // Recomputing the times from scratch agrees.
+    let recomputed = AssignResult::from_assignment(sol.result.assignment().to_vec(), &costs);
+    assert_eq!(recomputed, sol.result);
+}
