@@ -1,0 +1,39 @@
+# Local entry points mirroring the CI jobs (.github/workflows/ci.yml) so
+# local and CI runs stay identical. `make verify` is the tier-1 command
+# from ROADMAP.md.
+
+.PHONY: all build test verify doc-gate bench-smoke lint fmt clean
+
+all: build test lint
+
+# --- CI job: test -----------------------------------------------------------
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q --workspace
+
+# Tier-1 verify (ROADMAP.md).
+verify:
+	cargo build --release && cargo test -q
+
+doc-gate:
+	cargo test --doc -p tamopt
+
+# --- CI job: bench-smoke ----------------------------------------------------
+
+bench-smoke:
+	cargo bench -p tamopt_bench --benches -- --test
+
+# --- CI job: lint -----------------------------------------------------------
+
+lint:
+	cargo fmt --all --check
+	cargo clippy --workspace --all-targets -- -D warnings
+
+fmt:
+	cargo fmt --all
+
+clean:
+	cargo clean

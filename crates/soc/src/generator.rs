@@ -213,6 +213,8 @@ struct Draft {
     patterns: u64,
     pattern_range: (u64, u64),
     length_range: (u32, u32),
+    io_range: (u32, u32),
+    chain_range: (u32, u32),
 }
 
 impl Draft {
@@ -253,6 +255,8 @@ impl Draft {
             patterns,
             pattern_range: class.patterns,
             length_range: class.scan_length,
+            io_range: class.io_terminals,
+            chain_range: class.scan_chains,
         }
     }
 
@@ -273,12 +277,14 @@ impl Draft {
 
 /// Rescales pattern counts (within each draft's class range) so the total
 /// test-data volume approaches `target * 1000` bits. If pattern scaling
-/// alone saturates at the range bounds, scan-chain lengths are also
-/// rescaled (within the class length range). A final residual fix lands
-/// on the core with the most slack.
+/// alone saturates at the range bounds, scan-chain lengths and functional
+/// terminal counts are also rescaled (within their class ranges) —
+/// terminal scaling is the only volume knob for memory cores, whose
+/// bits-per-pattern is pure I/O. A final residual fix greedily spreads
+/// the remaining gap over the cores with the most slack.
 fn calibrate(drafts: &mut [Draft], target: u64) {
     let target_bits = target as f64 * 1000.0;
-    for round in 0..24 {
+    for round in 0..36 {
         let current: u64 = drafts
             .iter()
             .map(|d| d.patterns * d.bits_per_pattern())
@@ -290,56 +296,114 @@ fn calibrate(drafts: &mut [Draft], target: u64) {
         if (ratio - 1.0).abs() < 0.002 {
             break;
         }
-        // Alternate: even rounds scale patterns, odd rounds scale scan
-        // structure. The alternation lets calibration escape saturation
-        // of either knob at its range bound.
-        if round % 2 == 0 {
-            for d in drafts.iter_mut() {
-                let scaled = (d.patterns as f64 * ratio).round() as u64;
-                d.patterns = scaled.clamp(d.pattern_range.0, d.pattern_range.1).max(1);
-            }
-        } else {
-            for d in drafts.iter_mut() {
-                if d.scan_chains.is_empty() {
-                    continue;
+        // Cycle the three knobs — patterns, scan structure, functional
+        // terminals — so calibration escapes saturation of any one knob
+        // at its range bound.
+        match round % 3 {
+            0 => {
+                for d in drafts.iter_mut() {
+                    let scaled = (d.patterns as f64 * ratio).round() as u64;
+                    d.patterns = scaled.clamp(d.pattern_range.0, d.pattern_range.1).max(1);
                 }
-                let (lo, hi) = (d.length_range.0.max(1), d.length_range.1);
-                for len in &mut d.scan_chains {
-                    let scaled = (f64::from(*len) * ratio).round() as u32;
-                    *len = scaled.clamp(lo, hi);
+            }
+            1 => {
+                for d in drafts.iter_mut() {
+                    if d.scan_chains.is_empty() {
+                        continue;
+                    }
+                    let (lo, hi) = (d.length_range.0.max(1), d.length_range.1);
+                    let mut desired: u64 = 0;
+                    let mut current: u64 = 0;
+                    for len in &mut d.scan_chains {
+                        let scaled = (f64::from(*len) * ratio).round() as u64;
+                        desired += scaled;
+                        *len = (scaled.min(u64::from(hi)) as u32).max(lo);
+                        current += u64::from(*len);
+                    }
+                    // Length scaling saturates at the class bound; the
+                    // chain *count* (also a published range) absorbs the
+                    // rest. Only deficits of at least one minimum-length
+                    // chain are absorbed, so pushes never overshoot
+                    // (chains are never removed again).
+                    let mut deficit = desired.saturating_sub(current);
+                    while deficit >= u64::from(lo) && (d.scan_chains.len() as u32) < d.chain_range.1
+                    {
+                        let len = deficit.min(u64::from(hi)) as u32;
+                        d.scan_chains.push(len);
+                        deficit -= u64::from(len);
+                    }
+                }
+            }
+            _ => {
+                for d in drafts.iter_mut() {
+                    if d.io_range.1 == 0 {
+                        continue;
+                    }
+                    // Never scale down to 0 terminals: a terminal-free
+                    // memory core is invalid, and a zero would disable
+                    // this knob (and the core) for good. A core that
+                    // legitimately has 0 terminals only gains one when
+                    // volume must grow.
+                    let io = d.inputs + d.outputs;
+                    let scaled = if io == 0 {
+                        if ratio > 1.0 {
+                            1
+                        } else {
+                            continue;
+                        }
+                    } else {
+                        (f64::from(io) * ratio).round() as u32
+                    };
+                    let new_io = scaled.clamp(d.io_range.0.max(1), d.io_range.1);
+                    let in_frac = if io == 0 {
+                        0.5
+                    } else {
+                        f64::from(d.inputs) / f64::from(io)
+                    };
+                    d.inputs = ((f64::from(new_io) * in_frac).round() as u32).min(new_io);
+                    d.outputs = new_io - d.inputs;
                 }
             }
         }
     }
-    // Residual fix: adjust the single core with the widest remaining
-    // headroom in the needed direction.
-    let current: i128 = drafts
-        .iter()
-        .map(|d| (d.patterns * d.bits_per_pattern()) as i128)
-        .sum();
-    let residual = target_bits as i128 - current;
-    if residual == 0 {
-        return;
-    }
-    let best = drafts
-        .iter_mut()
-        .filter(|d| d.bits_per_pattern() > 0)
-        .max_by_key(|d| {
-            let bpp = d.bits_per_pattern() as i128;
-            let headroom = if residual > 0 {
+    // Residual fix: greedily spread the remaining gap over the cores with
+    // the widest pattern headroom in the needed direction, one core per
+    // pass, until the residual is absorbed or no core can move.
+    for _ in 0..drafts.len() {
+        let current: i128 = drafts
+            .iter()
+            .map(|d| (d.patterns * d.bits_per_pattern()) as i128)
+            .sum();
+        let residual = target_bits as i128 - current;
+        if residual == 0 {
+            return;
+        }
+        // Only cores that can actually move: positive pattern headroom in
+        // the needed direction, and a bits-per-pattern no larger than the
+        // residual (otherwise `delta` rounds to zero).
+        let headroom = |d: &Draft| {
+            if residual > 0 {
                 (d.pattern_range.1 - d.patterns) as i128
             } else {
                 (d.patterns - d.pattern_range.0) as i128
-            };
-            headroom * bpp
-        });
-    if let Some(d) = best {
+            }
+        };
+        let best = drafts
+            .iter_mut()
+            .filter(|d| {
+                let bpp = d.bits_per_pattern() as i128;
+                bpp > 0 && bpp <= residual.abs() && headroom(d) > 0
+            })
+            .max_by_key(|d| headroom(d) * d.bits_per_pattern() as i128);
+        let Some(d) = best else { return };
         let bpp = d.bits_per_pattern() as i128;
         let delta = residual / bpp;
-        let new = d.patterns as i128 + delta;
-        d.patterns = (new.max(1) as u64)
-            .clamp(d.pattern_range.0, d.pattern_range.1)
-            .max(1);
+        let new = (d.patterns as i128 + delta).max(1) as u64;
+        let clamped = new.clamp(d.pattern_range.0, d.pattern_range.1).max(1);
+        if clamped == d.patterns {
+            return;
+        }
+        d.patterns = clamped;
     }
 }
 

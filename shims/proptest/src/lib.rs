@@ -1,0 +1,612 @@
+//! Offline stand-in for the parts of [`proptest`] that this workspace uses.
+//!
+//! The build container has no access to crates.io, so this shim implements
+//! the subset of the proptest API exercised by the workspace's property
+//! tests:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! * the [`Strategy`](strategy::Strategy) trait with range, tuple, `Vec`,
+//!   [`Just`](strategy::Just) and [`any`](arbitrary::any) strategies plus
+//!   the `prop_map` / `prop_flat_map` / `prop_filter_map` adapters,
+//! * [`collection::vec`],
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+//!
+//! Semantics match real proptest for *generation and assertion*: each test
+//! runs `cases` random inputs (deterministically seeded from the test path,
+//! overridable via the `PROPTEST_CASES` and `PROPTEST_SEED` environment
+//! variables) and panics on the first failing case, printing the failed
+//! assertion. What the shim deliberately does **not** do is *shrinking* —
+//! a failing case is reported as drawn, not minimized. When the real crate
+//! becomes available, point `[workspace.dependencies] proptest` back at
+//! crates.io and delete this shim; no call sites need to change.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-runner plumbing: configuration, RNG and case outcomes.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleUniform, SeedableRng};
+    use std::ops::RangeBounds;
+
+    /// Runner configuration; only `cases` is honoured by the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases each test must accumulate.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases, unless overridden by the
+        /// `PROPTEST_CASES` environment variable.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases: env_cases().unwrap_or(cases),
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self::with_cases(256)
+        }
+    }
+
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+    }
+
+    /// Deterministic per-test random source.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from the test's module path and name, XORed
+        /// with `PROPTEST_SEED` when set, so every test draws its own
+        /// reproducible stream.
+        pub fn for_test(test_path: &str) -> Self {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let env_seed: u64 = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            Self {
+                inner: StdRng::seed_from_u64(hash ^ env_seed),
+            }
+        }
+
+        pub(crate) fn sample_range<T: SampleUniform, R: RangeBounds<T>>(&mut self, r: R) -> T {
+            self.inner.gen_range(r)
+        }
+
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.inner.gen()
+        }
+
+        pub(crate) fn unit_f64(&mut self) -> f64 {
+            self.inner.gen()
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected (e.g. by `prop_assume!`) and should not
+        /// count toward the case budget.
+        Reject(String),
+        /// An assertion failed; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given reason.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            Self::Fail(reason.into())
+        }
+
+        /// A rejection with the given reason.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            Self::Reject(reason.into())
+        }
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// Value-generation strategies and their combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generated case was locally rejected (filtered out); the runner
+    /// redraws without counting the case.
+    #[derive(Debug)]
+    pub struct Rejection;
+
+    /// A source of random values of type `Self::Value`.
+    ///
+    /// The shim generates values directly (no intermediate `ValueTree`,
+    /// hence no shrinking).
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value, or rejects the draw.
+        fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns
+        /// for it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Maps generated values through `f`, rejecting draws for which it
+        /// returns `None`. `reason` mirrors the real API and is unused.
+        fn prop_filter_map<O, F, W>(self, reason: W, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<O>,
+            W: Into<String>,
+        {
+            let _ = reason.into();
+            FilterMap { source: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+            self.source.new_value(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+            let intermediate = self.source.new_value(rng)?;
+            (self.f)(intermediate).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    #[derive(Debug)]
+    pub struct FilterMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for FilterMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<O>,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+            // Retry locally a few times so sparse filters don't exhaust the
+            // runner's global reject budget.
+            for _ in 0..32 {
+                if let Some(v) = (self.f)(self.source.new_value(rng)?) {
+                    return Ok(v);
+                }
+            }
+            Err(Rejection)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> Result<T, Rejection> {
+            Ok(self.0.clone())
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                    Ok(rng.sample_range(self.clone()))
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                    Ok(rng.sample_range(self.clone()))
+                }
+            }
+        )*};
+    }
+    int_range_strategies!(u8, u16, u32, u64, usize, f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                    Ok(($(self.$idx.new_value(rng)?,)+))
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+
+    /// A `Vec` of strategies generates element-wise (real proptest's
+    /// homogeneous-collection behaviour).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+            self.iter().map(|s| s.new_value(rng)).collect()
+        }
+    }
+}
+
+/// `any::<T>()` — full-domain strategies for primitive types.
+pub mod arbitrary {
+    use crate::strategy::{Rejection, Strategy};
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value uniformly over the type's domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+            Ok(T::arbitrary(rng))
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{Rejection, Strategy};
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible lengths for a generated collection.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+            let len = rng.sample_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($pat:pat in $strat:expr),+ $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut passed: u32 = 0;
+            let mut attempts: u64 = 0;
+            let max_attempts = u64::from(config.cases) * 16 + 256;
+            'cases: while passed < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest shim: test {} rejected too many generated cases \
+                     ({} passed of {} wanted after {} draws)",
+                    stringify!($name), passed, config.cases, attempts,
+                );
+                $(
+                    let $pat = match $crate::strategy::Strategy::new_value(&($strat), &mut rng) {
+                        ::core::result::Result::Ok(v) => v,
+                        ::core::result::Result::Err(_) => continue 'cases,
+                    };
+                )+
+                let outcome: $crate::test_runner::TestCaseResult = (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => panic!(
+                        "proptest shim: {} failed after {} passing cases: {}\n\
+                         (no shrinking in the offline shim; rerun with \
+                         PROPTEST_SEED to vary inputs)",
+                        stringify!($name), passed, msg,
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` for property tests: fails the case instead of panicking so
+/// the runner can report it uniformly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` for property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<u32>> {
+        crate::collection::vec(1u32..10, 2..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 10u64..20), c in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert!((10..20).contains(&b));
+            let _ = c;
+        }
+
+        #[test]
+        fn collections_respect_sizes(v in small_vec()) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (1..10).contains(&x)));
+        }
+
+        #[test]
+        fn adapters_compose(
+            n in (1usize..4).prop_flat_map(|n| {
+                let elems: Vec<_> = (0..n).map(|_| 5u32..9).collect();
+                elems.prop_map(move |v| (n, v))
+            }),
+        ) {
+            let (n, v) = n;
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn filter_and_assume(x in (0u32..100).prop_filter_map("even", |x| {
+            (x % 2 == 0).then_some(x)
+        })) {
+            prop_assume!(x != 2);
+            prop_assert!(x % 2 == 0, "odd value {} survived the filter", x);
+        }
+
+        #[test]
+        fn just_yields_its_value(x in Just(41)) {
+            prop_assert_eq!(x + 1, 42);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = small_vec();
+        let mut a = crate::test_runner::TestRng::for_test("same::path");
+        let mut b = crate::test_runner::TestRng::for_test("same::path");
+        for _ in 0..8 {
+            assert_eq!(s.new_value(&mut a).ok(), s.new_value(&mut b).ok());
+        }
+    }
+}

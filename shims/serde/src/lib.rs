@@ -1,0 +1,24 @@
+//! Offline stand-in for the parts of [`serde`] that this workspace uses.
+//!
+//! The build container has no access to crates.io, so this shim provides
+//! just enough surface for `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` to compile: empty marker traits and
+//! no-op derive macros (see `shims/serde_derive`). No in-tree code performs
+//! serialization yet, so no impls are required.
+//!
+//! When the real crate becomes available, point
+//! `[workspace.dependencies] serde` back at crates.io (with the `derive`
+//! feature) and delete this shim; no call sites need to change.
+//!
+//! [`serde`]: https://crates.io/crates/serde
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros backing
+//! the offline [`serde`] shim (see `shims/serde`).
+//!
+//! The workspace derives these traits on its public data types so the API
+//! is serialization-ready, but nothing in-tree performs serialization yet
+//! (there is no `serde_json` in the container). The derives therefore emit
+//! no code at all: the attribute compiles, and no trait impl exists until
+//! the real `serde`/`serde_derive` are restored from crates.io.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
