@@ -2,7 +2,7 @@
 # local and CI runs stay identical. `make verify` is the tier-1 command
 # from ROADMAP.md.
 
-.PHONY: all build test verify doc-gate bench-smoke lint fmt clean
+.PHONY: all build test verify doc-gate determinism bench-smoke lint fmt clean
 
 all: build test lint
 
@@ -21,10 +21,24 @@ verify:
 doc-gate:
 	cargo test --doc -p tamopt
 
+# --- CI job: determinism ----------------------------------------------------
+
+determinism:
+	cargo test --release -p tamopt_partition --test determinism
+	cargo build --release -p tamopt
+	for soc in d695 p31108; do \
+	  ./target/release/tamopt --soc $$soc --width 32 --max-tams 6 --threads 1 \
+	    | grep -v 'wall clock' > /tmp/$${soc}_t1.txt; \
+	  ./target/release/tamopt --soc $$soc --width 32 --max-tams 6 --threads 4 \
+	    | grep -v 'wall clock' > /tmp/$${soc}_t4.txt; \
+	  diff /tmp/$${soc}_t1.txt /tmp/$${soc}_t4.txt || exit 1; \
+	done
+
 # --- CI job: bench-smoke ----------------------------------------------------
 
 bench-smoke:
 	cargo bench -p tamopt_bench --benches -- --test
+	cargo bench -p tamopt_bench --bench bench_parallel
 
 # --- CI job: lint -----------------------------------------------------------
 

@@ -17,33 +17,42 @@
 //! exhaustive baseline, at far higher speed; the literal ILP model lives
 //! in [`crate::ilp`] and is cross-checked against this solver in tests.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use tamopt_engine::SearchBudget;
 
 use crate::{core_assign, AssignError, AssignResult, CoreAssignOptions, CostMatrix};
 
 /// Limits for [`solve`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ExactConfig {
     /// Maximum number of branch-and-bound nodes (partial assignments).
     pub node_limit: u64,
-    /// Optional wall-clock limit.
-    pub time_limit: Option<Duration>,
+    /// Unified wall-clock / node / cancellation budget
+    /// ([`SearchBudget`]); its node budget, if any, caps `node_limit`.
+    pub budget: SearchBudget,
 }
 
 impl Default for ExactConfig {
     fn default() -> Self {
         ExactConfig {
             node_limit: 50_000_000,
-            time_limit: None,
+            budget: SearchBudget::unlimited(),
         }
     }
 }
 
 impl ExactConfig {
-    /// Config with a wall-clock limit.
+    /// Config with a wall-clock limit starting now (delegates to
+    /// [`SearchBudget::time_limited`]).
     pub fn with_time_limit(limit: Duration) -> Self {
+        Self::with_budget(SearchBudget::time_limited(limit))
+    }
+
+    /// Config bounded by an existing [`SearchBudget`].
+    pub fn with_budget(budget: SearchBudget) -> Self {
         ExactConfig {
-            time_limit: Some(limit),
+            budget,
             ..Self::default()
         }
     }
@@ -89,7 +98,6 @@ pub struct ExactSolution {
 pub fn solve(costs: &CostMatrix, config: &ExactConfig) -> Result<ExactSolution, AssignError> {
     let n = costs.num_cores();
     let b = costs.num_tams();
-    let start = Instant::now();
 
     // Incumbent from the heuristic (always completes without a bound).
     let seed = core_assign(costs, None, &CoreAssignOptions::default())
@@ -122,7 +130,7 @@ pub fn solve(costs: &CostMatrix, config: &ExactConfig) -> Result<ExactSolution, 
         best_assignment: Vec<usize>,
         nodes: u64,
         node_limit: u64,
-        deadline: Option<Instant>,
+        budget: &'a SearchBudget,
         limited: bool,
     }
 
@@ -133,7 +141,7 @@ pub fn solve(costs: &CostMatrix, config: &ExactConfig) -> Result<ExactSolution, 
             }
             self.nodes += 1;
             if self.nodes >= self.node_limit
-                || (self.nodes % 4096 == 0 && self.deadline.is_some_and(|d| Instant::now() >= d))
+                || (self.nodes % 4096 == 0 && self.budget.is_exhausted(self.nodes))
             {
                 self.limited = true;
                 return;
@@ -198,9 +206,12 @@ pub fn solve(costs: &CostMatrix, config: &ExactConfig) -> Result<ExactSolution, 
         best_time,
         best_assignment: best_assignment.clone(),
         nodes: 0,
-        node_limit: config.node_limit.max(1),
-        deadline: config.time_limit.map(|l| start + l),
-        limited: config.node_limit == 0,
+        node_limit: config
+            .node_limit
+            .min(config.budget.node_budget().unwrap_or(u64::MAX))
+            .max(1),
+        budget: &config.budget,
+        limited: config.node_limit == 0 || config.budget.node_budget() == Some(0),
     };
     search.dfs(0);
     best_time = search.best_time;
@@ -297,7 +308,7 @@ mod tests {
             &costs,
             &ExactConfig {
                 node_limit: 0,
-                time_limit: None,
+                budget: SearchBudget::unlimited(),
             },
         )
         .unwrap();

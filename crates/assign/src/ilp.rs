@@ -18,6 +18,7 @@
 
 use std::time::Duration;
 
+use tamopt_engine::SearchBudget;
 use tamopt_ilp::{IlpConfig, IlpError, IlpProblem};
 use tamopt_lp::{Problem, Relation};
 
@@ -25,12 +26,13 @@ use crate::exact::ExactSolution;
 use crate::{core_assign, AssignError, AssignResult, CoreAssignOptions, CostMatrix};
 
 /// Limits for the ILP solver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct IlpAssignConfig {
     /// Branch-and-bound node limit.
     pub node_limit: u64,
-    /// Optional wall-clock limit.
-    pub time_limit: Option<Duration>,
+    /// Unified wall-clock / node / cancellation budget
+    /// ([`SearchBudget`]).
+    pub budget: SearchBudget,
     /// Seed the search with the `Core_assign` heuristic bound
     /// (the paper's final-step usage). On by default.
     pub warm_start: bool,
@@ -40,8 +42,19 @@ impl Default for IlpAssignConfig {
     fn default() -> Self {
         IlpAssignConfig {
             node_limit: 2_000_000,
-            time_limit: None,
+            budget: SearchBudget::unlimited(),
             warm_start: true,
+        }
+    }
+}
+
+impl IlpAssignConfig {
+    /// Config with a wall-clock limit starting now (delegates to
+    /// [`SearchBudget::time_limited`]).
+    pub fn with_time_limit(limit: Duration) -> Self {
+        IlpAssignConfig {
+            budget: SearchBudget::time_limited(limit),
+            ..Self::default()
         }
     }
 }
@@ -110,7 +123,7 @@ pub fn solve(costs: &CostMatrix, config: &IlpAssignConfig) -> Result<ExactSoluti
         .expect("unbounded core_assign always completes");
     let ilp_config = IlpConfig {
         node_limit: config.node_limit,
-        time_limit: config.time_limit,
+        budget: config.budget.clone(),
         // +0.5 keeps a solution *equal* to the heuristic reachable while
         // pruning everything worse (times are integral).
         initial_bound: config.warm_start.then(|| heuristic.soc_time() as f64 + 0.5),

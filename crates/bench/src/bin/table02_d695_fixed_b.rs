@@ -8,9 +8,10 @@ use tamopt::benchmarks;
 use tamopt_bench::{experiments, paper};
 
 fn main() {
+    let options = experiments::RunOptions::from_env_args();
     let soc = benchmarks::d695();
     println!("== Table 2 (a, b): d695, B = 2 ==\n");
-    experiments::run_fixed_b(&soc, 2, &paper::D695_B2);
+    experiments::run_fixed_b(&soc, 2, &paper::D695_B2, &options);
     println!("== Table 2 (c, d): d695, B = 3 ==\n");
-    experiments::run_fixed_b(&soc, 3, &paper::D695_B3);
+    experiments::run_fixed_b(&soc, 3, &paper::D695_B3, &options);
 }

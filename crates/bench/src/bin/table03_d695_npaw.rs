@@ -7,8 +7,9 @@ use tamopt::benchmarks;
 use tamopt_bench::{experiments, paper};
 
 fn main() {
+    let options = experiments::RunOptions::from_env_args();
     println!("== Table 3: d695, B <= 10 (P_NPAW) ==\n");
-    experiments::run_npaw(&benchmarks::d695(), 10, &paper::D695_NPAW);
+    experiments::run_npaw(&benchmarks::d695(), 10, &paper::D695_NPAW, &options);
     println!("Note: the paper's exhaustive baseline was limited to B <= 3 by CPU cost;");
     println!("for large W the free-B architectures beat every fixed-B <= 3 result.");
 }

@@ -8,6 +8,7 @@ use tamopt::benchmarks;
 use tamopt_bench::{experiments, paper};
 
 fn main() {
+    let options = experiments::RunOptions::from_env_args();
     println!("== Tables 5 / 6: p21241, B = 2 ==\n");
-    experiments::run_fixed_b(&benchmarks::p21241(), 2, &paper::P21241_B2);
+    experiments::run_fixed_b(&benchmarks::p21241(), 2, &paper::P21241_B2, &options);
 }

@@ -9,6 +9,7 @@ use tamopt::benchmarks;
 use tamopt_bench::{experiments, paper};
 
 fn main() {
+    let options = experiments::RunOptions::from_env_args();
     println!("== Table 7: p21241, B <= 10 (P_NPAW) ==\n");
-    experiments::run_npaw(&benchmarks::p21241(), 10, &paper::P21241_NPAW);
+    experiments::run_npaw(&benchmarks::p21241(), 10, &paper::P21241_NPAW, &options);
 }

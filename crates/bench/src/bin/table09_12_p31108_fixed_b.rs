@@ -10,11 +10,12 @@ use tamopt::wrapper::pareto;
 use tamopt_bench::{experiments, paper};
 
 fn main() {
+    let options = experiments::RunOptions::from_env_args();
     let soc = benchmarks::p31108();
     println!("== Tables 9 / 10: p31108, B = 2 ==\n");
-    experiments::run_fixed_b(&soc, 2, &paper::P31108_B2);
+    experiments::run_fixed_b(&soc, 2, &paper::P31108_B2, &options);
     println!("== Tables 11 / 12: p31108, B = 3 ==\n");
-    experiments::run_fixed_b(&soc, 3, &paper::P31108_B3);
+    experiments::run_fixed_b(&soc, 3, &paper::P31108_B3, &options);
 
     let (core, time) = pareto::bottleneck_core(&soc, 64).expect("width 64 is valid");
     println!(

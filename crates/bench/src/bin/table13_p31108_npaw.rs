@@ -9,9 +9,10 @@ use tamopt::wrapper::pareto;
 use tamopt_bench::{experiments, paper};
 
 fn main() {
+    let options = experiments::RunOptions::from_env_args();
     let soc = benchmarks::p31108();
     println!("== Table 13: p31108, B <= 10 (P_NPAW) ==\n");
-    experiments::run_npaw(&soc, 10, &paper::P31108_NPAW);
+    experiments::run_npaw(&soc, 10, &paper::P31108_NPAW, &options);
     for w in [40u32, 64] {
         let bound = pareto::bottleneck_lower_bound(&soc, w).expect("width is valid");
         println!("bottleneck lower bound at W = {w}: {bound} cycles");

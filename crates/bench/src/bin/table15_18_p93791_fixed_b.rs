@@ -7,9 +7,10 @@ use tamopt::benchmarks;
 use tamopt_bench::{experiments, paper};
 
 fn main() {
+    let options = experiments::RunOptions::from_env_args();
     let soc = benchmarks::p93791();
     println!("== Tables 15 / 16: p93791, B = 2 ==\n");
-    experiments::run_fixed_b(&soc, 2, &paper::P93791_B2);
+    experiments::run_fixed_b(&soc, 2, &paper::P93791_B2, &options);
     println!("== Tables 17 / 18: p93791, B = 3 ==\n");
-    experiments::run_fixed_b(&soc, 3, &paper::P93791_B3);
+    experiments::run_fixed_b(&soc, 3, &paper::P93791_B3, &options);
 }

@@ -6,6 +6,7 @@ use tamopt::benchmarks;
 use tamopt_bench::{experiments, paper};
 
 fn main() {
+    let options = experiments::RunOptions::from_env_args();
     println!("== Table 19: p93791, B <= 10 (P_NPAW) ==\n");
-    experiments::run_npaw(&benchmarks::p93791(), 10, &paper::P93791_NPAW);
+    experiments::run_npaw(&benchmarks::p93791(), 10, &paper::P93791_NPAW, &options);
 }

@@ -3,21 +3,93 @@
 use std::time::Duration;
 
 use tamopt::assign::exact::ExactConfig;
+use tamopt::cli::{parse_threads, parse_time_limit};
+use tamopt::engine::ParallelConfig;
 use tamopt::partition::exhaustive::{self, ExhaustiveConfig};
 use tamopt::partition::pipeline::{co_optimize, PipelineConfig};
-use tamopt::{Soc, TimeTable};
+use tamopt::{SearchBudget, Soc, TimeTable};
 
 use crate::paper::{FixedBTable, NpawTable};
 use crate::{delta_percent, print_table, secs, timed, WIDTH_SWEEP};
 
 /// Per-(W, B) wall-clock budget for the exhaustive baseline; the paper's
 /// baseline ran for hours-to-days, ours is bounded so the harness always
-/// terminates.
+/// terminates. Overridable with `--time-limit` (see [`RunOptions`]).
 pub const EXHAUSTIVE_BUDGET: Duration = Duration::from_secs(60);
+
+/// Shared `--threads` / `--time-limit` knobs of the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads for the partition scans (`0` = all CPUs).
+    pub threads: usize,
+    /// Overrides [`EXHAUSTIVE_BUDGET`] as the per-(W, B) wall-clock cap
+    /// of the exhaustive baseline, and caps each *P_NPAW*
+    /// co-optimization run in [`run_npaw`].
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            threads: 1,
+            time_limit: None,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Parses `--threads <N>` and `--time-limit <seconds>` from the
+    /// process arguments; unknown flags abort with a usage message so
+    /// typos cannot silently run a multi-minute harness wrong.
+    pub fn from_env_args() -> Self {
+        let mut options = RunOptions::default();
+        let mut argv = std::env::args().skip(1);
+        let usage = "usage: [--threads <N, 0 = all CPUs>] [--time-limit <seconds>]";
+        let fail = |message: String| -> ! {
+            eprintln!(
+                "{message}
+{usage}"
+            );
+            std::process::exit(2)
+        };
+        while let Some(flag) = argv.next() {
+            let mut value = |name: &str| {
+                argv.next()
+                    .unwrap_or_else(|| fail(format!("missing value for {name}")))
+            };
+            match flag.as_str() {
+                "--threads" => {
+                    options.threads = parse_threads(&value("--threads")).unwrap_or_else(|e| fail(e))
+                }
+                "--time-limit" => {
+                    options.time_limit =
+                        Some(parse_time_limit(&value("--time-limit")).unwrap_or_else(|e| fail(e)))
+                }
+                other => fail(format!("unknown flag `{other}`")),
+            }
+        }
+        options
+    }
+
+    fn exhaustive_budget(&self) -> Duration {
+        self.time_limit.unwrap_or(EXHAUSTIVE_BUDGET)
+    }
+
+    fn parallel(&self) -> ParallelConfig {
+        ParallelConfig::with_threads(self.threads)
+    }
+
+    /// A fresh budget whose clock starts now: `--time-limit` if given,
+    /// unlimited otherwise.
+    fn npaw_budget(&self) -> SearchBudget {
+        self.time_limit
+            .map_or_else(SearchBudget::unlimited, SearchBudget::time_limited)
+    }
+}
 
 /// Runs one fixed-`B` comparison (a pair of paper tables: exhaustive vs
 /// new method) over the standard width sweep and prints the rows.
-pub fn run_fixed_b(soc: &Soc, tams: u32, reference: &FixedBTable) {
+pub fn run_fixed_b(soc: &Soc, tams: u32, reference: &FixedBTable, options: &RunOptions) {
     assert_eq!(reference.soc, soc.name(), "reference table matches the SOC");
     assert_eq!(reference.tams, tams, "reference table matches B");
     let table = TimeTable::new(soc, *WIDTH_SWEEP.last().expect("non-empty"))
@@ -29,16 +101,31 @@ pub fn run_fixed_b(soc: &Soc, tams: u32, reference: &FixedBTable) {
     );
     let mut rows = Vec::new();
     for (i, &w) in WIDTH_SWEEP.iter().enumerate() {
+        let budget = options.exhaustive_budget();
         let (exh, t_exh) = timed(|| {
             let config = ExhaustiveConfig {
-                per_partition: ExactConfig::with_time_limit(EXHAUSTIVE_BUDGET / 8),
-                time_limit: Some(EXHAUSTIVE_BUDGET),
+                // Cap each per-partition branch-and-bound by *nodes* so
+                // no single partition hogs the scan; the shared deadline
+                // below bounds total wall clock for all solves. (A
+                // per-solve time limit would fix one absolute deadline
+                // at config construction, expiring for every solve
+                // dispatched after it.)
+                per_partition: ExactConfig {
+                    node_limit: 2_000_000,
+                    ..ExactConfig::default()
+                },
+                budget: SearchBudget::time_limited(budget),
+                parallel: options.parallel(),
                 ..ExhaustiveConfig::exact_tams(tams)
             };
             exhaustive::solve(&table, w, &config).expect("valid configuration")
         });
         let (co, t_new) = timed(|| {
-            co_optimize(&table, w, &PipelineConfig::exact_tams(tams)).expect("valid configuration")
+            let config = PipelineConfig {
+                parallel: options.parallel(),
+                ..PipelineConfig::exact_tams(tams)
+            };
+            co_optimize(&table, w, &config).expect("valid configuration")
         });
         let speedup = t_exh.as_secs_f64() / t_new.as_secs_f64().max(1e-9);
         rows.push(vec![
@@ -90,7 +177,7 @@ pub fn run_fixed_b(soc: &Soc, tams: u32, reference: &FixedBTable) {
 
 /// Runs one free-`B` (*P_NPAW*) sweep with the new method and prints the
 /// rows next to the paper's.
-pub fn run_npaw(soc: &Soc, max_tams: u32, reference: &NpawTable) {
+pub fn run_npaw(soc: &Soc, max_tams: u32, reference: &NpawTable, options: &RunOptions) {
     assert_eq!(reference.soc, soc.name(), "reference table matches the SOC");
     let table = TimeTable::new(soc, *WIDTH_SWEEP.last().expect("non-empty"))
         .expect("sweep widths are valid");
@@ -102,8 +189,12 @@ pub fn run_npaw(soc: &Soc, max_tams: u32, reference: &NpawTable) {
     let mut rows = Vec::new();
     for (i, &w) in WIDTH_SWEEP.iter().enumerate() {
         let (co, elapsed) = timed(|| {
-            co_optimize(&table, w, &PipelineConfig::up_to_tams(max_tams))
-                .expect("valid configuration")
+            let config = PipelineConfig {
+                parallel: options.parallel(),
+                budget: options.npaw_budget(),
+                ..PipelineConfig::up_to_tams(max_tams)
+            };
+            co_optimize(&table, w, &config).expect("valid configuration")
         });
         rows.push(vec![
             w.to_string(),

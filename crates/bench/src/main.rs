@@ -12,6 +12,7 @@ use tamopt::benchmarks;
 use tamopt_bench::{experiments, paper};
 
 fn main() {
+    let options = experiments::RunOptions::from_env_args();
     println!("===== Figure 2: Core_assign worked example =====\n");
     let (widths, times) = benchmarks::figure2_cost_table();
     let costs = CostMatrix::from_raw(times, widths).expect("figure 2 table is well-formed");
@@ -26,26 +27,26 @@ fn main() {
 
     println!("===== Tables 2-3: d695 =====\n");
     let d695 = benchmarks::d695();
-    experiments::run_fixed_b(&d695, 2, &paper::D695_B2);
-    experiments::run_fixed_b(&d695, 3, &paper::D695_B3);
-    experiments::run_npaw(&d695, 10, &paper::D695_NPAW);
+    experiments::run_fixed_b(&d695, 2, &paper::D695_B2, &options);
+    experiments::run_fixed_b(&d695, 3, &paper::D695_B3, &options);
+    experiments::run_npaw(&d695, 10, &paper::D695_NPAW, &options);
 
     println!("===== Tables 5-7: p21241 =====\n");
     let p21241 = benchmarks::p21241();
-    experiments::run_fixed_b(&p21241, 2, &paper::P21241_B2);
-    experiments::run_npaw(&p21241, 10, &paper::P21241_NPAW);
+    experiments::run_fixed_b(&p21241, 2, &paper::P21241_B2, &options);
+    experiments::run_npaw(&p21241, 10, &paper::P21241_NPAW, &options);
 
     println!("===== Tables 9-13: p31108 =====\n");
     let p31108 = benchmarks::p31108();
-    experiments::run_fixed_b(&p31108, 2, &paper::P31108_B2);
-    experiments::run_fixed_b(&p31108, 3, &paper::P31108_B3);
-    experiments::run_npaw(&p31108, 10, &paper::P31108_NPAW);
+    experiments::run_fixed_b(&p31108, 2, &paper::P31108_B2, &options);
+    experiments::run_fixed_b(&p31108, 3, &paper::P31108_B3, &options);
+    experiments::run_npaw(&p31108, 10, &paper::P31108_NPAW, &options);
 
     println!("===== Tables 15-19: p93791 =====\n");
     let p93791 = benchmarks::p93791();
-    experiments::run_fixed_b(&p93791, 2, &paper::P93791_B2);
-    experiments::run_fixed_b(&p93791, 3, &paper::P93791_B3);
-    experiments::run_npaw(&p93791, 10, &paper::P93791_NPAW);
+    experiments::run_fixed_b(&p93791, 2, &paper::P93791_B2, &options);
+    experiments::run_fixed_b(&p93791, 3, &paper::P93791_B3, &options);
+    experiments::run_npaw(&p93791, 10, &paper::P93791_NPAW, &options);
 
     println!("===== Done. Table 1 and the range tables have their own binaries: =====");
     println!("  cargo run --release -p tamopt-bench --bin table01_pruning");

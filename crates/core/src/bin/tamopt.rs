@@ -5,6 +5,7 @@
 //!   tamopt --soc <file.soc | d695 | p21241 | p31108 | p93791>
 //!          --width <W> [--max-tams <B>] [--tams <B>]
 //!          [--strategy two-step|two-step-ilp|heuristic|exhaustive]
+//!          [--threads <N>] [--time-limit <seconds>]
 //!          [--analyze] [--gantt] [--svg <out.svg>] [--rail]
 //! ```
 //!
@@ -12,14 +13,17 @@
 //!
 //! ```text
 //! tamopt --soc d695 --width 32 --max-tams 4
+//! tamopt --soc p93791 --width 64 --max-tams 10 --threads 4 --time-limit 5
 //! tamopt --soc my_chip.soc --width 48 --tams 3 --strategy exhaustive
 //! tamopt --soc d695 --width 48 --max-tams 6 --analyze --gantt --rail
 //! tamopt --soc p21241 --width 64 --max-tams 6 --svg schedule.svg
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use tamopt::analysis::UtilizationReport;
+use tamopt::cli::{parse_threads, parse_time_limit};
 use tamopt::cost::{BusCost, GateWeights};
 use tamopt::rail::{design_rails, RailConfig, RailCostModel};
 use tamopt::schedule::TestSchedule;
@@ -34,6 +38,8 @@ struct Args {
     max_tams: Option<u32>,
     fixed_tams: Option<u32>,
     strategy: Strategy,
+    threads: usize,
+    time_limit: Option<Duration>,
     analyze: bool,
     gantt: bool,
     svg: Option<String>,
@@ -44,6 +50,7 @@ fn usage() -> &'static str {
     "usage: tamopt --soc <file.soc|d695|p21241|p31108|p93791> --width <W> \
      [--max-tams <B>] [--tams <B>] \
      [--strategy two-step|two-step-ilp|heuristic|exhaustive] \
+     [--threads <N, 0 = all CPUs>] [--time-limit <seconds>] \
      [--analyze] [--gantt] [--svg <out.svg>] [--rail]"
 }
 
@@ -54,6 +61,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut max_tams = None;
     let mut fixed_tams = None;
     let mut strategy = Strategy::TwoStep;
+    let mut threads = 1usize;
+    let mut time_limit = None;
     let mut analyze = false;
     let mut gantt = false;
     let mut svg = None;
@@ -100,6 +109,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     other => return Err(format!("unknown strategy `{other}`")),
                 }
             }
+            "--threads" => threads = parse_threads(&value("--threads")?)?,
+            "--time-limit" => time_limit = Some(parse_time_limit(&value("--time-limit")?)?),
             "--analyze" => analyze = true,
             "--gantt" => gantt = true,
             "--svg" => svg = Some(value("--svg")?),
@@ -115,6 +126,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         max_tams,
         fixed_tams,
         strategy,
+        threads,
+        time_limit,
         analyze,
         gantt,
         svg,
@@ -153,7 +166,11 @@ fn main() -> ExitCode {
     };
     let mut optimizer = CoOptimizer::new(soc.clone(), args.width)
         .min_tams(args.min_tams)
-        .strategy(args.strategy);
+        .strategy(args.strategy)
+        .threads(args.threads);
+    if let Some(limit) = args.time_limit {
+        optimizer = optimizer.time_limit(limit);
+    }
     if let Some(b) = args.fixed_tams {
         optimizer = optimizer.exact_tams(b);
     } else if let Some(b) = args.max_tams {
@@ -235,6 +252,32 @@ mod tests {
         assert!(a.max_tams.is_none());
         assert!(a.fixed_tams.is_none());
         assert_eq!(a.strategy, Strategy::TwoStep);
+        assert_eq!(a.threads, 1);
+        assert!(a.time_limit.is_none());
+    }
+
+    #[test]
+    fn parses_threads_and_time_limit() {
+        let a = args(&[
+            "--soc",
+            "d695",
+            "--width",
+            "32",
+            "--threads",
+            "4",
+            "--time-limit",
+            "2.5",
+        ])
+        .unwrap();
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.time_limit, Some(Duration::from_millis(2500)));
+    }
+
+    #[test]
+    fn rejects_bad_threads_and_time_limit() {
+        assert!(args(&["--soc", "d695", "--width", "8", "--threads", "x"]).is_err());
+        assert!(args(&["--soc", "d695", "--width", "8", "--time-limit", "-1"]).is_err());
+        assert!(args(&["--soc", "d695", "--width", "8", "--time-limit", "inf"]).is_err());
     }
 
     #[test]

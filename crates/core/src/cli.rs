@@ -1,0 +1,79 @@
+//! Shared parsing for the `--threads` / `--time-limit` command-line
+//! flags, used by the `tamopt` CLI binary and the `tamopt_bench`
+//! experiment harness so the two flag grammars cannot drift apart.
+
+use std::time::Duration;
+
+/// Parses a `--threads` value: a worker count, with `0` meaning one
+/// thread per available CPU.
+///
+/// # Errors
+///
+/// A human-readable message for non-numeric input.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(tamopt::cli::parse_threads("4"), Ok(4));
+/// assert!(tamopt::cli::parse_threads("x").is_err());
+/// ```
+pub fn parse_threads(value: &str) -> Result<usize, String> {
+    value
+        .parse()
+        .map_err(|_| "invalid --threads value".to_owned())
+}
+
+/// Parses a `--time-limit` value in (possibly fractional) seconds.
+///
+/// # Errors
+///
+/// A human-readable message for non-numeric, negative or non-finite
+/// input.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// assert_eq!(
+///     tamopt::cli::parse_time_limit("2.5"),
+///     Ok(Duration::from_millis(2500))
+/// );
+/// assert!(tamopt::cli::parse_time_limit("-1").is_err());
+/// assert!(tamopt::cli::parse_time_limit("inf").is_err());
+/// ```
+pub fn parse_time_limit(value: &str) -> Result<Duration, String> {
+    let seconds: f64 = value
+        .parse()
+        .map_err(|_| "invalid --time-limit value".to_owned())?;
+    // try_from (not from): enormous finite values must be a usage error,
+    // not a panic.
+    Duration::try_from_secs_f64(seconds).map_err(|_| "invalid --time-limit value".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_parse() {
+        assert_eq!(parse_threads("0"), Ok(0));
+        assert_eq!(parse_threads("16"), Ok(16));
+        assert!(parse_threads("").is_err());
+        assert!(parse_threads("-1").is_err());
+        assert!(parse_threads("four").is_err());
+    }
+
+    #[test]
+    fn time_limit_parse() {
+        assert_eq!(parse_time_limit("0"), Ok(Duration::ZERO));
+        assert_eq!(parse_time_limit("1.5"), Ok(Duration::from_millis(1500)));
+        assert!(parse_time_limit("nan").is_err());
+        assert!(
+            parse_time_limit("1e20").is_err(),
+            "overflow is an error, not a panic"
+        );
+        assert!(parse_time_limit("inf").is_err());
+        assert!(parse_time_limit("-0.1").is_err());
+        assert!(parse_time_limit("abc").is_err());
+    }
+}

@@ -43,6 +43,7 @@
 //! | [`wrapper`] | `Design_wrapper`, time tables, Pareto analysis | *P_W* |
 //! | [`assign`] | `Core_assign`, exact B&B, the Section 3.2 ILP | *P_AW* |
 //! | [`partition`] | `Partition_evaluate`, exhaustive baseline, pipeline | *P_PAW*, *P_NPAW* |
+//! | [`engine`] | deterministic parallel executor, `SearchBudget`, shared `τ` | — |
 //! | [`lp`], [`ilp`] | simplex + branch-and-bound substrate (lpsolve stand-in) | — |
 //! | [`rail`] | TestRail (daisy-chain) model of the paper's ref [11] | extension |
 //! | [`analysis`] | idle-wire / utilization metrics behind the paper's motivation | extension |
@@ -62,6 +63,8 @@ mod error;
 mod optimizer;
 pub mod power;
 pub mod schedule;
+
+pub mod cli;
 
 pub use crate::architecture::Architecture;
 pub use crate::error::TamOptError;
@@ -97,6 +100,13 @@ pub mod rail {
     pub use tamopt_rail::*;
 }
 
+/// Deterministic parallel search engine: the unified [`SearchBudget`],
+/// the shared incumbent bound and the chunked executor (re-export of
+/// [`tamopt_engine`]).
+pub mod engine {
+    pub use tamopt_engine::*;
+}
+
 /// Linear programming substrate (re-export of [`tamopt_lp`]).
 pub mod lp {
     pub use tamopt_lp::*;
@@ -109,5 +119,6 @@ pub mod ilp {
 
 // The everyday vocabulary, flattened for convenience.
 pub use tamopt_assign::{AssignResult, CostMatrix, TamSet};
+pub use tamopt_engine::{ParallelConfig, SearchBudget};
 pub use tamopt_soc::{benchmarks, Core, CoreKind, Soc, SocError};
 pub use tamopt_wrapper::{design_wrapper, TimeTable, WrapperDesign};

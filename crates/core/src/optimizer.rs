@@ -2,6 +2,7 @@ use std::time::{Duration, Instant};
 
 use tamopt_assign::exact::ExactConfig;
 use tamopt_assign::ilp::IlpAssignConfig;
+use tamopt_engine::{ParallelConfig, SearchBudget};
 use tamopt_partition::exhaustive::{self, ExhaustiveConfig};
 use tamopt_partition::pipeline::{co_optimize, FinalStep, PipelineConfig};
 use tamopt_partition::PruneStats;
@@ -55,6 +56,8 @@ pub struct CoOptimizer {
     max_tams: u32,
     strategy: Strategy,
     time_limit: Option<Duration>,
+    budget: SearchBudget,
+    threads: usize,
 }
 
 impl CoOptimizer {
@@ -71,6 +74,8 @@ impl CoOptimizer {
             max_tams: 10.min(total_width.max(1)),
             strategy: Strategy::TwoStep,
             time_limit: None,
+            budget: SearchBudget::unlimited(),
+            threads: 1,
         }
     }
 
@@ -99,10 +104,28 @@ impl CoOptimizer {
         self
     }
 
-    /// Caps the wall-clock budget of the exact components (final step /
-    /// exhaustive per-partition solves).
+    /// Caps the total wall-clock budget of the optimization — the
+    /// partition scan *and* the exact components (final step /
+    /// exhaustive per-partition solves) share one deadline, which
+    /// starts when [`run`](Self::run) is called.
     pub fn time_limit(mut self, limit: Duration) -> Self {
         self.time_limit = Some(limit);
+        self
+    }
+
+    /// Bounds the optimization by an existing [`SearchBudget`]
+    /// (deadline, node budget and/or cancellation flag). Combined with
+    /// [`time_limit`](Self::time_limit) the tighter limit wins.
+    pub fn budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the worker-thread count for the partition search (`0` = one
+    /// per available CPU; default 1). Results are bit-identical for
+    /// every thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -113,29 +136,35 @@ impl CoOptimizer {
     /// Validation and solver errors of the underlying layers
     /// ([`TamOptError`]).
     pub fn run(&self) -> Result<Architecture, TamOptError> {
+        // The clock starts here: one deadline bounds wrapper-table
+        // construction aside, every search step end to end.
+        let mut budget = self.budget.clone();
+        if let Some(limit) = self.time_limit {
+            budget = budget.and_time_limit(limit);
+        }
         let table = TimeTable::new(&self.soc, self.total_width.max(1))?;
         match self.strategy {
-            Strategy::Exhaustive => self.run_exhaustive(&table),
-            _ => self.run_pipeline(&table),
+            Strategy::Exhaustive => self.run_exhaustive(&table, budget),
+            _ => self.run_pipeline(&table, budget),
         }
     }
 
-    fn run_pipeline(&self, table: &TimeTable) -> Result<Architecture, TamOptError> {
+    fn run_pipeline(
+        &self,
+        table: &TimeTable,
+        budget: SearchBudget,
+    ) -> Result<Architecture, TamOptError> {
         let final_step = match self.strategy {
             Strategy::Heuristic => FinalStep::None,
-            Strategy::TwoStepIlp => FinalStep::Ilp(IlpAssignConfig {
-                time_limit: self.time_limit,
-                ..IlpAssignConfig::default()
-            }),
-            _ => FinalStep::BranchBound(ExactConfig {
-                time_limit: self.time_limit,
-                ..ExactConfig::default()
-            }),
+            Strategy::TwoStepIlp => FinalStep::Ilp(IlpAssignConfig::default()),
+            _ => FinalStep::BranchBound(ExactConfig::default()),
         };
         let config = PipelineConfig {
             min_tams: self.min_tams,
             max_tams: self.max_tams,
             final_step,
+            budget,
+            parallel: ParallelConfig::with_threads(self.threads),
             ..PipelineConfig::up_to_tams(self.max_tams)
         };
         let co = co_optimize(table, self.total_width, &config)?;
@@ -150,13 +179,18 @@ impl CoOptimizer {
         )
     }
 
-    fn run_exhaustive(&self, table: &TimeTable) -> Result<Architecture, TamOptError> {
+    fn run_exhaustive(
+        &self,
+        table: &TimeTable,
+        budget: SearchBudget,
+    ) -> Result<Architecture, TamOptError> {
         let start = Instant::now();
         let config = ExhaustiveConfig {
             min_tams: self.min_tams,
             max_tams: self.max_tams,
             per_partition: ExactConfig::default(),
-            time_limit: self.time_limit,
+            budget,
+            parallel: ParallelConfig::with_threads(self.threads),
         };
         let best = exhaustive::solve(table, self.total_width, &config)?;
         let elapsed = start.elapsed();
@@ -226,6 +260,60 @@ mod tests {
     fn zero_width_is_an_error() {
         let err = CoOptimizer::new(benchmarks::d695(), 0).run().unwrap_err();
         assert!(matches!(err, TamOptError::Partition(_)));
+    }
+
+    #[test]
+    fn time_limit_bounds_step_one_end_to_end() {
+        // Unbounded, p93791 at W = 64 with up to 10 TAMs enumerates
+        // hundreds of thousands of partitions in step 1. A zero time
+        // limit must stop after the first generation — well under a
+        // second — and still return a valid architecture.
+        let start = Instant::now();
+        let arch = CoOptimizer::new(benchmarks::p93791(), 64)
+            .max_tams(10)
+            .time_limit(Duration::ZERO)
+            .run()
+            .unwrap();
+        assert!(
+            arch.stats.enumerated <= 64,
+            "step 1 must be budget-truncated, enumerated {}",
+            arch.stats.enumerated
+        );
+        assert_eq!(arch.tams.total_width(), 64);
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "the deadline must bound total runtime"
+        );
+    }
+
+    #[test]
+    fn budget_builder_bounds_the_run() {
+        let arch = CoOptimizer::new(benchmarks::d695(), 48)
+            .max_tams(6)
+            .budget(SearchBudget::node_limited(50))
+            .run()
+            .unwrap();
+        // Whole generations only: 32 + 64 dispatched partitions.
+        assert_eq!(arch.stats.enumerated, 96);
+        assert_eq!(arch.tams.total_width(), 48);
+    }
+
+    #[test]
+    fn threads_do_not_change_the_architecture() {
+        let reference = CoOptimizer::new(benchmarks::d695(), 32)
+            .max_tams(4)
+            .run()
+            .unwrap();
+        for threads in [2, 8] {
+            let arch = CoOptimizer::new(benchmarks::d695(), 32)
+                .max_tams(4)
+                .threads(threads)
+                .run()
+                .unwrap();
+            assert_eq!(arch.tams, reference.tams, "threads {threads}");
+            assert_eq!(arch.soc_time(), reference.soc_time());
+            assert_eq!(arch.stats, reference.stats);
+        }
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! The unified [`SearchBudget`]: one deadline / node / cancellation
+//! mechanism for every search in the workspace.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared, cooperative budget for a (possibly parallel) search.
+///
+/// A budget combines three independent limits, all optional:
+///
+/// * a **wall-clock deadline** — fixed at construction, so one budget
+///   threaded through several solver layers bounds their *total*
+///   runtime, not each layer separately;
+/// * a **node budget** — an upper bound on search nodes, interpreted by
+///   each solver against its own node counter;
+/// * **cancellation flags** — [`CancelHandle`]s that any thread can
+///   trip to stop the search cooperatively.
+///
+/// The default budget is unlimited. Budgets are cheap to clone and are
+/// meant to be passed down the whole solver stack; solvers poll
+/// [`SearchBudget::is_exhausted`] at coarse intervals and return their
+/// best incumbent when it trips — a budget never aborts mid-evaluation,
+/// it only stops further work.
+#[derive(Debug, Clone, Default)]
+pub struct SearchBudget {
+    deadline: Option<Instant>,
+    node_budget: Option<u64>,
+    cancel: Vec<Arc<AtomicBool>>,
+}
+
+/// A handle that cancels the [`SearchBudget`] it was created from (and
+/// every budget derived from it via [`SearchBudget::intersect`]).
+#[derive(Debug, Clone)]
+pub struct CancelHandle(Arc<AtomicBool>);
+
+impl CancelHandle {
+    /// Requests cooperative cancellation; idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested through this handle.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+impl SearchBudget {
+    /// No limits at all (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A budget expiring `limit` from **now**. The clock starts here, so
+    /// build the budget when the work starts, not when configs are
+    /// assembled.
+    pub fn time_limited(limit: Duration) -> Self {
+        Self::default().and_time_limit(limit)
+    }
+
+    /// A budget expiring at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        SearchBudget {
+            deadline: Some(deadline),
+            ..Self::default()
+        }
+    }
+
+    /// A budget of at most `nodes` search nodes.
+    pub fn node_limited(nodes: u64) -> Self {
+        SearchBudget {
+            node_budget: Some(nodes),
+            ..Self::default()
+        }
+    }
+
+    /// Tightens the budget to also expire `limit` from now. An
+    /// `Instant` overflow (absurdly large limits) leaves the budget
+    /// unbounded in time.
+    pub fn and_time_limit(mut self, limit: Duration) -> Self {
+        if let Some(deadline) = Instant::now().checked_add(limit) {
+            self.deadline = Some(match self.deadline {
+                Some(d) => d.min(deadline),
+                None => deadline,
+            });
+        }
+        self
+    }
+
+    /// Tightens the budget to at most `nodes` search nodes.
+    pub fn and_node_budget(mut self, nodes: u64) -> Self {
+        self.node_budget = Some(self.node_budget.map_or(nodes, |n| n.min(nodes)));
+        self
+    }
+
+    /// Drops the node budget, keeping deadline and cancellation.
+    ///
+    /// Deadlines and cancellation are global — they mean the same thing
+    /// in every layer — but node counts are **per search layer** (an
+    /// enumeration counts partitions, a branch-and-bound counts tree
+    /// nodes). Use this before intersecting an outer scan's budget into
+    /// an inner solver so the outer node budget is not misread as a cap
+    /// on the inner solver's own node counter.
+    pub fn without_node_budget(mut self) -> Self {
+        self.node_budget = None;
+        self
+    }
+
+    /// Attaches a fresh cancellation flag, returning the tightened
+    /// budget and the [`CancelHandle`] that trips it.
+    pub fn cancellable(mut self) -> (Self, CancelHandle) {
+        let flag = Arc::new(AtomicBool::new(false));
+        self.cancel.push(Arc::clone(&flag));
+        (self, CancelHandle(flag))
+    }
+
+    /// The wall-clock deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The node budget, if any.
+    pub fn node_budget(&self) -> Option<u64> {
+        self.node_budget
+    }
+
+    /// Time left until the deadline (`None` = unbounded; zero when the
+    /// deadline has passed).
+    pub fn remaining_time(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether the wall-clock deadline has passed.
+    pub fn out_of_time(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether any attached [`CancelHandle`] has been tripped.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.iter().any(|f| f.load(Ordering::Acquire))
+    }
+
+    /// Whether the search should stop: cancelled, out of time, or past
+    /// the node budget given `nodes_used` nodes already spent.
+    pub fn is_exhausted(&self, nodes_used: u64) -> bool {
+        self.node_budget.is_some_and(|n| nodes_used >= n) || self.cancelled() || self.out_of_time()
+    }
+
+    /// The tighter combination of two budgets: earlier deadline, smaller
+    /// node budget, and the union of both cancellation flags. Used when
+    /// a layer with its own budget runs under an enclosing one (e.g. a
+    /// per-partition exact solve inside a time-boxed enumeration).
+    pub fn intersect(&self, other: &Self) -> Self {
+        let mut cancel = self.cancel.clone();
+        for flag in &other.cancel {
+            if !cancel.iter().any(|f| Arc::ptr_eq(f, flag)) {
+                cancel.push(Arc::clone(flag));
+            }
+        }
+        SearchBudget {
+            deadline: match (self.deadline, other.deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+            node_budget: match (self.node_budget, other.node_budget) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+            cancel,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = SearchBudget::unlimited();
+        assert!(!b.is_exhausted(u64::MAX));
+        assert!(!b.out_of_time());
+        assert!(!b.cancelled());
+        assert!(b.remaining_time().is_none());
+    }
+
+    #[test]
+    fn zero_time_limit_is_immediately_exhausted() {
+        let b = SearchBudget::time_limited(Duration::ZERO);
+        assert!(b.out_of_time());
+        assert!(b.is_exhausted(0));
+        assert_eq!(b.remaining_time(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_time_limit_is_not_exhausted() {
+        let b = SearchBudget::time_limited(Duration::from_secs(3600));
+        assert!(!b.out_of_time());
+        assert!(!b.is_exhausted(0));
+        assert!(b.remaining_time().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn node_budget_counts() {
+        let b = SearchBudget::node_limited(100);
+        assert!(!b.is_exhausted(99));
+        assert!(b.is_exhausted(100));
+        assert_eq!(b.node_budget(), Some(100));
+    }
+
+    #[test]
+    fn cancellation_trips_the_budget() {
+        let (b, handle) = SearchBudget::unlimited().cancellable();
+        assert!(!b.is_exhausted(0));
+        assert!(!handle.is_cancelled());
+        handle.cancel();
+        assert!(handle.is_cancelled());
+        assert!(b.cancelled());
+        assert!(b.is_exhausted(0));
+        // A clone taken before cancellation sees it too.
+        assert!(b.clone().cancelled());
+    }
+
+    #[test]
+    fn intersect_takes_the_tighter_limits() {
+        let a = SearchBudget::node_limited(50);
+        let b = SearchBudget::node_limited(100).and_time_limit(Duration::from_secs(3600));
+        let i = a.intersect(&b);
+        assert_eq!(i.node_budget(), Some(50));
+        assert!(i.deadline().is_some());
+        let j = b.intersect(&a);
+        assert_eq!(j.node_budget(), Some(50));
+        assert!(j.deadline().is_some());
+    }
+
+    #[test]
+    fn intersect_unions_cancellation() {
+        let (a, ha) = SearchBudget::unlimited().cancellable();
+        let (b, _hb) = SearchBudget::unlimited().cancellable();
+        let i = a.intersect(&b);
+        assert!(!i.cancelled());
+        ha.cancel();
+        assert!(i.cancelled());
+        // Intersecting a budget with itself does not duplicate flags.
+        let same = a.intersect(&a);
+        assert_eq!(same.cancel.len(), a.cancel.len());
+    }
+
+    #[test]
+    fn and_time_limit_keeps_the_earlier_deadline() {
+        let b = SearchBudget::time_limited(Duration::ZERO).and_time_limit(Duration::from_secs(60));
+        assert!(b.out_of_time(), "the earlier deadline must win");
+    }
+}

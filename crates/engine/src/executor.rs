@@ -1,0 +1,618 @@
+//! Deterministic chunked parallel execution of indexed search spaces.
+//!
+//! The executor splits a lazily produced item stream into fixed-size,
+//! globally indexed *chunks*, groups chunks into *generations*, and
+//! evaluates the chunks of one generation concurrently on a pool of
+//! `std::thread` workers. Between generations the caller's `merge`
+//! closure folds chunk results **in chunk-index order** on the calling
+//! thread — this is where a [`crate::SharedIncumbent`] is tightened, so
+//! every worker of generation `g` prunes against exactly the bound
+//! established by generations `0..g`, regardless of thread count or
+//! timing.
+//!
+//! # Determinism
+//!
+//! For a fixed [`ParallelConfig`] chunk geometry, the set of chunks, the
+//! shared state each chunk observes, and the merge order are all
+//! independent of [`ParallelConfig::threads`]. If `eval` is a pure
+//! function of `(chunk index, chunk items, pre-generation shared
+//! state)`, the merged outcome at `threads = N` is **bit-identical** to
+//! `threads = 1`. Wall-clock truncation ([`SearchBudget::out_of_time`] /
+//! cancellation) necessarily depends on timing, but it only takes effect
+//! at generation boundaries: a truncated run is always equivalent to a
+//! complete run over its first `k` generations. Node-budget truncation
+//! counts dispatched items and is therefore fully deterministic.
+//!
+//! Generations ramp up exponentially (1, 2, 4, … chunks, capped at
+//! [`ParallelConfig::chunks_per_generation`]): the first chunks
+//! establish a strong incumbent almost as fast as a fully sequential
+//! scan would, and the later, wide generations carry the parallelism.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, PoisonError};
+
+use crate::SearchBudget;
+
+/// Thread-count and chunk geometry of a parallel search.
+///
+/// The chunk geometry (`chunk_size`, `chunks_per_generation`) is part of
+/// the *search definition*: it fixes the deterministic schedule on which
+/// incumbent bounds propagate. The `threads` knob is pure execution
+/// policy and never changes results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads; `0` means one per available CPU, `1` (the
+    /// default) runs inline on the calling thread.
+    pub threads: usize,
+    /// Items per chunk (the unit of work stealing).
+    pub chunk_size: usize,
+    /// Upper bound on chunks per generation (the maximum useful
+    /// parallelism and the staleness window of the incumbent bound).
+    pub chunks_per_generation: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: 1,
+            chunk_size: 32,
+            chunks_per_generation: 16,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Default geometry with `threads` workers (`0` = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// The actual worker count: resolves `threads == 0` to the number of
+    /// available CPUs, and clamps to `chunks_per_generation` — more
+    /// workers than chunks in a generation can never be busy, and an
+    /// absurd request must not exhaust OS threads.
+    pub fn effective_threads(&self) -> usize {
+        let requested = match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            n => n,
+        };
+        requested.clamp(1, self.chunks_per_generation.max(1))
+    }
+
+    /// Chunk capacity of generation `index` under the exponential
+    /// ramp-up.
+    fn generation_width(&self, index: u32) -> usize {
+        self.chunks_per_generation
+            .max(1)
+            .min(1usize << index.min(20))
+    }
+}
+
+/// Whether a search ran to completion or was stopped by its
+/// [`SearchBudget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStatus {
+    /// Every item of the search space was evaluated.
+    Complete,
+    /// The budget expired; the merged state covers a prefix of whole
+    /// generations.
+    Truncated,
+}
+
+impl SearchStatus {
+    /// `true` for [`SearchStatus::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, SearchStatus::Complete)
+    }
+}
+
+/// One chunk in flight: its global base index, its items (taken by the
+/// evaluating worker) and the evaluation outcome.
+struct Slot<T, C, E> {
+    base: u64,
+    items: Vec<T>,
+    out: Option<std::thread::Result<Result<C, E>>>,
+}
+
+/// Evaluates `items` chunk by chunk, possibly in parallel, and folds the
+/// chunk results in deterministic chunk order.
+///
+/// * `eval(base, chunk)` runs on a worker thread; `base` is the global
+///   index of the chunk's first item. It must not mutate shared state
+///   (read-only access to e.g. a [`crate::SharedIncumbent`] is the
+///   intended pattern).
+/// * `merge(result)` runs on the calling thread, in ascending chunk
+///   order, only between generations; it may mutate shared state.
+///
+/// Errors from `eval` and `merge` abort the search; when several chunks
+/// of one generation fail, the error of the lowest-indexed chunk wins
+/// (deterministically). Panics in `eval` are forwarded to the caller
+/// after the worker pool shuts down cleanly.
+///
+/// The budget is polled between generations (the first generation always
+/// runs), so a truncated search still merges at least one chunk —
+/// callers relying on "partial but valid" results get a best-effort
+/// incumbent even under an already-expired budget.
+pub fn search_chunks<T, C, E, F, M>(
+    items: impl Iterator<Item = T>,
+    config: &ParallelConfig,
+    budget: &SearchBudget,
+    eval: F,
+    mut merge: M,
+) -> Result<SearchStatus, E>
+where
+    T: Send,
+    C: Send,
+    E: Send,
+    F: Fn(u64, Vec<T>) -> Result<C, E> + Sync,
+    M: FnMut(C) -> Result<(), E>,
+{
+    struct Producer<I: Iterator> {
+        items: std::iter::Fuse<I>,
+        chunk_size: usize,
+        next_base: u64,
+    }
+    impl<I: Iterator> Producer<I> {
+        fn produce<C, E>(&mut self, width: usize) -> Vec<Slot<I::Item, C, E>> {
+            let mut slots = Vec::with_capacity(width);
+            for _ in 0..width {
+                let chunk: Vec<I::Item> = self.items.by_ref().take(self.chunk_size).collect();
+                if chunk.is_empty() {
+                    break;
+                }
+                let base = self.next_base;
+                self.next_base += chunk.len() as u64;
+                slots.push(Slot {
+                    base,
+                    items: chunk,
+                    out: None,
+                });
+            }
+            slots
+        }
+    }
+
+    let threads = config.effective_threads().max(1);
+    let mut producer = Producer {
+        items: items.fuse(),
+        chunk_size: config.chunk_size.max(1),
+        next_base: 0,
+    };
+    let mut generation = 0u32;
+
+    if threads == 1 {
+        // Inline execution on the exact same generation schedule: chunks
+        // of one generation are all evaluated before any is merged, so
+        // they observe the same shared state as parallel workers would.
+        loop {
+            if generation > 0 && budget.is_exhausted(producer.next_base) {
+                return Ok(SearchStatus::Truncated);
+            }
+            let mut gen = producer.produce(config.generation_width(generation));
+            if gen.is_empty() {
+                return Ok(SearchStatus::Complete);
+            }
+            for slot in &mut gen {
+                let chunk = std::mem::take(&mut slot.items);
+                slot.out = Some(Ok(eval(slot.base, chunk)));
+            }
+            for slot in gen {
+                match slot.out.expect("chunk evaluated") {
+                    Ok(Ok(c)) => merge(c)?,
+                    Ok(Err(e)) => return Err(e),
+                    Err(_) => unreachable!("inline evaluation does not catch panics"),
+                }
+            }
+            generation += 1;
+        }
+    }
+
+    let slots: Mutex<Vec<Slot<T, C, E>>> = Mutex::new(Vec::new());
+    let next_slot = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    // Two barriers per generation: `start` publishes the generation to
+    // the workers, `finish` hands the filled slots back to the driver.
+    let start = Barrier::new(threads + 1);
+    let finish = Barrier::new(threads + 1);
+
+    let mut status = SearchStatus::Complete;
+    let mut first_error: Option<E> = None;
+    let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                start.wait();
+                if done.load(Ordering::Acquire) {
+                    return;
+                }
+                loop {
+                    let index = next_slot.fetch_add(1, Ordering::Relaxed);
+                    let work = {
+                        let mut guard = slots.lock().unwrap_or_else(PoisonError::into_inner);
+                        guard
+                            .get_mut(index)
+                            .map(|slot| (slot.base, std::mem::take(&mut slot.items)))
+                    };
+                    let Some((base, chunk)) = work else { break };
+                    let out = catch_unwind(AssertUnwindSafe(|| eval(base, chunk)));
+                    slots.lock().unwrap_or_else(PoisonError::into_inner)[index].out = Some(out);
+                }
+                finish.wait();
+            });
+        }
+
+        // The driver loop itself runs under catch_unwind: a panic in the
+        // caller's `merge` or in the items iterator must still reach the
+        // shutdown protocol below, or the workers would stay parked on
+        // the start barrier forever and scope-join would deadlock.
+        let driver = catch_unwind(AssertUnwindSafe(|| loop {
+            if generation > 0 && budget.is_exhausted(producer.next_base) {
+                status = SearchStatus::Truncated;
+                break;
+            }
+            let gen = producer.produce(config.generation_width(generation));
+            if gen.is_empty() {
+                break;
+            }
+            *slots.lock().unwrap_or_else(PoisonError::into_inner) = gen;
+            next_slot.store(0, Ordering::Relaxed);
+            start.wait();
+            finish.wait();
+            let gen = std::mem::take(&mut *slots.lock().unwrap_or_else(PoisonError::into_inner));
+            for slot in gen {
+                match slot.out.expect("generation fully evaluated") {
+                    Ok(Ok(c)) => {
+                        if first_error.is_none() && panic_payload.is_none() {
+                            if let Err(e) = merge(c) {
+                                first_error = Some(e);
+                            }
+                        }
+                    }
+                    Ok(Err(e)) => {
+                        if first_error.is_none() && panic_payload.is_none() {
+                            first_error = Some(e);
+                        }
+                    }
+                    Err(payload) => {
+                        if panic_payload.is_none() {
+                            panic_payload = Some(payload);
+                        }
+                    }
+                }
+            }
+            if first_error.is_some() || panic_payload.is_some() {
+                break;
+            }
+            generation += 1;
+        }));
+        // Single shutdown point: every driver exit path — normal,
+        // erroring or panicking — releases the workers exactly once.
+        done.store(true, Ordering::Release);
+        start.wait();
+        if let Err(payload) = driver {
+            if panic_payload.is_none() {
+                panic_payload = Some(payload);
+            }
+        }
+    });
+
+    if let Some(payload) = panic_payload {
+        resume_unwind(payload);
+    }
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok(status),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SharedIncumbent;
+    use std::time::Duration;
+
+    /// Runs a bound-pruned "find the minimum" search and returns
+    /// (winner value, winner index, number of items actually scored).
+    fn pruned_min(values: &[u64], threads: usize) -> (u64, u64, u64) {
+        let incumbent = SharedIncumbent::unbounded();
+        let mut best: Option<(u64, u64)> = None;
+        let mut scored = 0u64;
+        let config = ParallelConfig {
+            threads,
+            chunk_size: 4,
+            chunks_per_generation: 4,
+        };
+        let status = search_chunks(
+            values.iter().copied(),
+            &config,
+            &SearchBudget::unlimited(),
+            |base, chunk: Vec<u64>| -> Result<_, ()> {
+                let tau = incumbent.get();
+                let mut local_tau = tau;
+                let mut local_best = None;
+                let mut local_scored = 0u64;
+                for (i, v) in chunk.into_iter().enumerate() {
+                    // "Scoring" only happens under the bound, like a
+                    // τ-pruned evaluation would.
+                    if v < local_tau {
+                        local_scored += 1;
+                        local_tau = v;
+                        local_best = Some((v, base + i as u64));
+                    }
+                }
+                Ok((local_best, local_scored))
+            },
+            |(chunk_best, chunk_scored)| {
+                scored += chunk_scored;
+                if let Some((v, i)) = chunk_best {
+                    incumbent.tighten(v);
+                    if best.is_none_or(|(bv, _)| v < bv) {
+                        best = Some((v, i));
+                    }
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert!(status.is_complete());
+        let (v, i) = best.unwrap();
+        (v, i, scored)
+    }
+
+    #[test]
+    fn parallel_equals_sequential_bitwise() {
+        let values: Vec<u64> = (0..500u64).map(|i| (i * 2_654_435_761) % 1000).collect();
+        let reference = pruned_min(&values, 1);
+        for threads in [2, 3, 8] {
+            assert_eq!(pruned_min(&values, threads), reference, "threads {threads}");
+        }
+        // The winner is the *first* index achieving the minimum.
+        let min = *values.iter().min().unwrap();
+        let first = values.iter().position(|&v| v == min).unwrap() as u64;
+        assert_eq!((reference.0, reference.1), (min, first));
+    }
+
+    #[test]
+    fn merge_sees_chunks_in_index_order() {
+        for threads in [1, 4] {
+            let mut bases = Vec::new();
+            let status = search_chunks(
+                0..100u32,
+                &ParallelConfig {
+                    threads,
+                    chunk_size: 7,
+                    chunks_per_generation: 3,
+                },
+                &SearchBudget::unlimited(),
+                |base, chunk: Vec<u32>| Ok::<_, ()>((base, chunk.len())),
+                |(base, _)| {
+                    bases.push(base);
+                    Ok(())
+                },
+            )
+            .unwrap();
+            assert!(status.is_complete());
+            let expected: Vec<u64> = (0..100).step_by(7).map(|b| b as u64).collect();
+            assert_eq!(bases, expected, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_completes_without_merging() {
+        let status = search_chunks(
+            std::iter::empty::<u32>(),
+            &ParallelConfig::with_threads(4),
+            &SearchBudget::unlimited(),
+            |_, _| Ok::<_, ()>(()),
+            |_| panic!("nothing to merge"),
+        )
+        .unwrap();
+        assert!(status.is_complete());
+    }
+
+    #[test]
+    fn expired_budget_still_runs_the_first_generation() {
+        for threads in [1, 4] {
+            let mut merged_items = 0usize;
+            let status = search_chunks(
+                0..1000u32,
+                &ParallelConfig {
+                    threads,
+                    chunk_size: 8,
+                    chunks_per_generation: 16,
+                },
+                &SearchBudget::time_limited(Duration::ZERO),
+                |_, chunk: Vec<u32>| Ok::<_, ()>(chunk.len()),
+                |n| {
+                    merged_items += n;
+                    Ok(())
+                },
+            )
+            .unwrap();
+            assert_eq!(status, SearchStatus::Truncated);
+            // Generation 0 ramps up to a single chunk.
+            assert_eq!(merged_items, 8, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn node_budget_truncation_is_deterministic() {
+        let count = |threads: usize| {
+            let mut merged = 0u64;
+            let status = search_chunks(
+                0..10_000u32,
+                &ParallelConfig {
+                    threads,
+                    chunk_size: 32,
+                    chunks_per_generation: 16,
+                },
+                &SearchBudget::node_limited(100),
+                |_, chunk: Vec<u32>| Ok::<_, ()>(chunk.len() as u64),
+                |n| {
+                    merged += n;
+                    Ok(())
+                },
+            )
+            .unwrap();
+            assert_eq!(status, SearchStatus::Truncated);
+            merged
+        };
+        let reference = count(1);
+        // Whole generations: 32 (gen 0) + 64 (gen 1) + 128 (gen 2) — the
+        // budget trips after the generation crossing 100 items.
+        assert_eq!(reference, 224);
+        for threads in [2, 8] {
+            assert_eq!(count(threads), reference, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn lowest_indexed_error_wins() {
+        for threads in [1, 4] {
+            let err = search_chunks(
+                0..256u32,
+                &ParallelConfig {
+                    threads,
+                    chunk_size: 8,
+                    chunks_per_generation: 8,
+                },
+                &SearchBudget::unlimited(),
+                |base, _chunk| {
+                    if base >= 64 {
+                        Err(base)
+                    } else {
+                        Ok(())
+                    }
+                },
+                |()| Ok(()),
+            )
+            .unwrap_err();
+            assert_eq!(err, 64, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn merge_error_aborts() {
+        let err = search_chunks(
+            0..100u32,
+            &ParallelConfig::with_threads(4),
+            &SearchBudget::unlimited(),
+            |base, _chunk| Ok(base),
+            |base| if base >= 32 { Err("stop") } else { Ok(()) },
+        )
+        .unwrap_err();
+        assert_eq!(err, "stop");
+    }
+
+    #[test]
+    fn worker_panics_propagate_after_clean_shutdown() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            search_chunks(
+                0..100u32,
+                &ParallelConfig::with_threads(4),
+                &SearchBudget::unlimited(),
+                |base, _chunk| -> Result<(), ()> {
+                    if base >= 32 {
+                        panic!("worker bug");
+                    }
+                    Ok(())
+                },
+                |()| Ok(()),
+            )
+        }));
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "worker bug");
+    }
+
+    #[test]
+    fn merge_panics_propagate_instead_of_deadlocking() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            search_chunks(
+                0..100u32,
+                &ParallelConfig::with_threads(4),
+                &SearchBudget::unlimited(),
+                |base, _chunk| Ok::<_, ()>(base),
+                |base| {
+                    if base >= 32 {
+                        panic!("merge bug");
+                    }
+                    Ok(())
+                },
+            )
+        }));
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "merge bug");
+    }
+
+    #[test]
+    fn producer_panics_propagate_instead_of_deadlocking() {
+        let items = (0..100u32).inspect(|&i| {
+            if i >= 40 {
+                panic!("iterator bug");
+            }
+        });
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            search_chunks(
+                items,
+                &ParallelConfig::with_threads(4),
+                &SearchBudget::unlimited(),
+                |_base, _chunk: Vec<u32>| Ok::<_, ()>(()),
+                |()| Ok(()),
+            )
+        }));
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "iterator bug");
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let config = ParallelConfig::with_threads(0);
+        assert!(config.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn absurd_thread_counts_are_clamped_to_usable_parallelism() {
+        let config = ParallelConfig::with_threads(usize::MAX);
+        assert_eq!(
+            config.effective_threads(),
+            config.chunks_per_generation,
+            "workers beyond the generation width can never be busy"
+        );
+        // And the search still runs (and stays deterministic).
+        let mut sum = 0u64;
+        search_chunks(
+            0..100u64,
+            &ParallelConfig {
+                threads: 1_000_000,
+                chunk_size: 8,
+                chunks_per_generation: 4,
+            },
+            &SearchBudget::unlimited(),
+            |_base, chunk: Vec<u64>| Ok::<_, ()>(chunk.iter().sum::<u64>()),
+            |s| {
+                sum += s;
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn generation_ramp_is_capped() {
+        let config = ParallelConfig::default();
+        assert_eq!(config.generation_width(0), 1);
+        assert_eq!(config.generation_width(1), 2);
+        assert_eq!(config.generation_width(3), 8);
+        assert_eq!(config.generation_width(10), 16);
+        assert_eq!(config.generation_width(u32::MAX), 16);
+    }
+}

@@ -1,0 +1,101 @@
+//! The shared incumbent bound `τ` — an [`AtomicU64`] all workers prune
+//! against.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically tightening upper bound shared between search workers.
+///
+/// Holds the best (smallest) objective value found so far; `u64::MAX`
+/// means "no incumbent yet". Workers read it with [`get`](Self::get) /
+/// [`bound`](Self::bound) to prune, and publish improvements with
+/// [`tighten`](Self::tighten) (a lock-free `fetch_min`).
+///
+/// For the engine's *deterministic* executor, the incumbent is only
+/// tightened at generation barriers (by the merging thread), so every
+/// worker of a generation reads the same value regardless of thread
+/// count or timing; see [`crate::executor`].
+#[derive(Debug)]
+pub struct SharedIncumbent(AtomicU64);
+
+impl Default for SharedIncumbent {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl SharedIncumbent {
+    /// No incumbent yet (`u64::MAX`).
+    pub fn unbounded() -> Self {
+        SharedIncumbent(AtomicU64::new(u64::MAX))
+    }
+
+    /// An incumbent seeded with a known feasible value.
+    pub fn seeded(value: u64) -> Self {
+        SharedIncumbent(AtomicU64::new(value))
+    }
+
+    /// The current bound; `u64::MAX` when no incumbent exists.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// The current bound, or `None` when no incumbent exists.
+    pub fn bound(&self) -> Option<u64> {
+        match self.get() {
+            u64::MAX => None,
+            v => Some(v),
+        }
+    }
+
+    /// Tightens the bound to `min(current, value)`; returns whether
+    /// `value` improved on the previous bound.
+    pub fn tighten(&self, value: u64) -> bool {
+        self.0.fetch_min(value, Ordering::AcqRel) > value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_unbounded() {
+        let inc = SharedIncumbent::unbounded();
+        assert_eq!(inc.get(), u64::MAX);
+        assert_eq!(inc.bound(), None);
+    }
+
+    #[test]
+    fn tighten_is_monotone() {
+        let inc = SharedIncumbent::unbounded();
+        assert!(inc.tighten(100));
+        assert_eq!(inc.bound(), Some(100));
+        assert!(!inc.tighten(150), "looser values are ignored");
+        assert_eq!(inc.bound(), Some(100));
+        assert!(inc.tighten(40));
+        assert_eq!(inc.bound(), Some(40));
+        assert!(!inc.tighten(40), "equal values do not count as improvement");
+    }
+
+    #[test]
+    fn seeded_starts_bounded() {
+        let inc = SharedIncumbent::seeded(7);
+        assert_eq!(inc.bound(), Some(7));
+    }
+
+    #[test]
+    fn concurrent_tighten_keeps_the_minimum() {
+        let inc = SharedIncumbent::unbounded();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let inc = &inc;
+                s.spawn(move || {
+                    for v in (0..100).rev() {
+                        inc.tighten(t * 1000 + v);
+                    }
+                });
+            }
+        });
+        assert_eq!(inc.bound(), Some(0));
+    }
+}

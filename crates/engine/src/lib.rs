@@ -1,0 +1,56 @@
+//! # tamopt_engine — deterministic parallel search for the tamopt stack
+//!
+//! The paper's `Partition_evaluate` scores every unique partition of the
+//! TAM width `W` under a shared incumbent bound `τ` — an embarrassingly
+//! parallel search. This crate provides the three pieces that let every
+//! solver in the workspace run it (and its exact cousins) concurrently
+//! *without giving up reproducibility*:
+//!
+//! * [`SearchBudget`] — the single wall-clock / node / cancellation
+//!   budget threaded through all solver layers, replacing the per-crate
+//!   `time_limit` fields;
+//! * [`SharedIncumbent`] — an atomic `τ` bound workers prune against;
+//! * [`search_chunks`] — a `std::thread`-based chunked executor whose
+//!   generation-barrier schedule makes `threads = N` bit-identical to
+//!   `threads = 1` (see [`executor`] for the determinism argument).
+//!
+//! No external dependencies: the executor is built on `std::thread`
+//! scoped threads, a [`std::sync::Barrier`] pair and atomics.
+//!
+//! # Example
+//!
+//! ```
+//! use tamopt_engine::{search_chunks, ParallelConfig, SearchBudget, SharedIncumbent};
+//!
+//! // Minimize (i * 37) % 101 over 0..500, pruning with a shared bound.
+//! let incumbent = SharedIncumbent::unbounded();
+//! let mut best = u64::MAX;
+//! let status = search_chunks(
+//!     (0..500u64).map(|i| (i * 37) % 101),
+//!     &ParallelConfig::with_threads(4),
+//!     &SearchBudget::unlimited(),
+//!     |_base, chunk: Vec<u64>| -> Result<u64, ()> {
+//!         let tau = incumbent.get();
+//!         Ok(chunk.into_iter().filter(|&v| v < tau).min().unwrap_or(u64::MAX))
+//!     },
+//!     |chunk_min| {
+//!         incumbent.tighten(chunk_min);
+//!         best = best.min(chunk_min);
+//!         Ok(())
+//!     },
+//! )
+//! .unwrap();
+//! assert!(status.is_complete());
+//! assert_eq!(best, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+pub mod executor;
+mod incumbent;
+
+pub use crate::budget::{CancelHandle, SearchBudget};
+pub use crate::executor::{search_chunks, ParallelConfig, SearchStatus};
+pub use crate::incumbent::SharedIncumbent;

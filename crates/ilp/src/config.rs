@@ -1,5 +1,7 @@
 use std::time::Duration;
 
+use tamopt_engine::SearchBudget;
+
 /// How the branching variable is chosen at a fractional node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[non_exhaustive]
@@ -34,12 +36,13 @@ pub enum NodeOrder {
 
 /// Search limits and strategy configuration for
 /// [`IlpProblem::solve`](crate::IlpProblem::solve).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct IlpConfig {
     /// Maximum number of branch-and-bound nodes to explore.
     pub node_limit: u64,
-    /// Optional wall-clock limit.
-    pub time_limit: Option<Duration>,
+    /// Unified wall-clock / node / cancellation budget
+    /// ([`SearchBudget`]); its node budget, if any, caps `node_limit`.
+    pub budget: SearchBudget,
     /// Optional initial objective bound (an incumbent value known from a
     /// heuristic): for minimization, nodes with LP bound ≥ this are
     /// pruned from the start.
@@ -60,7 +63,7 @@ impl Default for IlpConfig {
     fn default() -> Self {
         IlpConfig {
             node_limit: 1_000_000,
-            time_limit: None,
+            budget: SearchBudget::unlimited(),
             initial_bound: None,
             branch_rule: BranchRule::default(),
             node_order: NodeOrder::default(),
@@ -70,10 +73,16 @@ impl Default for IlpConfig {
 }
 
 impl IlpConfig {
-    /// Config with a wall-clock limit.
+    /// Config with a wall-clock limit starting now (delegates to
+    /// [`SearchBudget::time_limited`]).
     pub fn with_time_limit(limit: Duration) -> Self {
+        Self::with_budget(SearchBudget::time_limited(limit))
+    }
+
+    /// Config bounded by an existing [`SearchBudget`].
+    pub fn with_budget(budget: SearchBudget) -> Self {
         IlpConfig {
-            time_limit: Some(limit),
+            budget,
             ..Self::default()
         }
     }
@@ -119,7 +128,8 @@ mod tests {
             NodeOrder::BestFirst
         );
         assert!(IlpConfig::with_time_limit(Duration::from_secs(1))
-            .time_limit
+            .budget
+            .deadline()
             .is_some());
     }
 }

@@ -1,6 +1,5 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::time::Instant;
 
 use tamopt_lp::{LpError, Objective, Problem};
 
@@ -137,7 +136,6 @@ impl IlpProblem {
     /// * [`IlpError::Lp`] for numerical failures in the relaxations.
     pub fn solve(&self, config: &IlpConfig) -> Result<IlpSolution, IlpError> {
         let sense = self.base.sense();
-        let start = Instant::now();
         let mut work = self.base.clone();
         let to_min = |obj: f64| match sense {
             Objective::Minimize => obj,
@@ -170,9 +168,7 @@ impl IlpProblem {
         let mut limited = false;
 
         while let Some(node) = open.pop() {
-            if stats.nodes >= config.node_limit
-                || config.time_limit.is_some_and(|l| start.elapsed() >= l)
-            {
+            if stats.nodes >= config.node_limit || config.budget.is_exhausted(stats.nodes) {
                 limited = true;
                 break;
             }

@@ -7,11 +7,21 @@
 //! early (pruning level 2). The result is the paper's *intermediate*
 //! solution to *P_PAW* / *P_NPAW*; the final exact optimization step
 //! lives in [`crate::pipeline`].
+//!
+//! The enumeration runs on the deterministic chunked executor of
+//! [`tamopt_engine`]: partitions are split into index-ordered chunks,
+//! chunks of one generation are scored concurrently against a shared
+//! [`SharedIncumbent`] `τ`-bound, and results reduce in chunk order —
+//! the winner is the lowest-indexed partition achieving the best time,
+//! so `threads = N` is bit-identical to `threads = 1` (statistics
+//! included). A [`SearchBudget`] bounds the whole scan; a truncated run
+//! still returns the best partition of the generations that finished.
 
 use serde::{Deserialize, Serialize};
 use tamopt_assign::{
     core_assign, AssignResult, CoreAssignOptions, CoreAssignOutcome, CostMatrix, TamSet,
 };
+use tamopt_engine::{search_chunks, ParallelConfig, SearchBudget, SharedIncumbent};
 use tamopt_wrapper::TimeTable;
 
 use crate::enumerate::Partitions;
@@ -39,10 +49,26 @@ impl PruneStats {
         }
         self.completed as f64 / denominator
     }
+
+    /// Folds another (per-chunk) statistic into this one. Associative
+    /// and commutative — parallel chunk merges cannot change totals —
+    /// and it preserves the invariant
+    /// `enumerated == completed + aborted`.
+    pub fn merge(&mut self, other: PruneStats) {
+        self.enumerated += other.enumerated;
+        self.completed += other.completed;
+        self.aborted += other.aborted;
+    }
+}
+
+impl std::ops::AddAssign for PruneStats {
+    fn add_assign(&mut self, other: PruneStats) {
+        self.merge(other);
+    }
 }
 
 /// Configuration of [`partition_evaluate`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct EvaluateConfig {
     /// Smallest TAM count to consider (≥ 1).
     pub min_tams: u32,
@@ -53,6 +79,10 @@ pub struct EvaluateConfig {
     /// Whether to carry the `τ` bound into `Core_assign` (pruning
     /// level 2). Disabled only by the ablation benches.
     pub prune: bool,
+    /// Wall-clock / node / cancellation budget for the whole scan.
+    pub budget: SearchBudget,
+    /// Thread count and chunk geometry of the parallel enumeration.
+    pub parallel: ParallelConfig,
 }
 
 impl EvaluateConfig {
@@ -64,6 +94,8 @@ impl EvaluateConfig {
             max_tams,
             options: CoreAssignOptions::default(),
             prune: true,
+            budget: SearchBudget::unlimited(),
+            parallel: ParallelConfig::default(),
         }
     }
 
@@ -72,8 +104,7 @@ impl EvaluateConfig {
         EvaluateConfig {
             min_tams: tams,
             max_tams: tams,
-            options: CoreAssignOptions::default(),
-            prune: true,
+            ..Self::up_to_tams(tams)
         }
     }
 }
@@ -88,12 +119,22 @@ pub struct EvalResult {
     pub result: AssignResult,
     /// Pruning statistics over the whole run.
     pub stats: PruneStats,
+    /// Whether the whole partition space was scanned (`false` when the
+    /// [`SearchBudget`] stopped the scan early; the result is then the
+    /// best over `stats.enumerated` partitions).
+    pub complete: bool,
 }
 
 /// Runs `Partition_evaluate`: enumerates every unique partition of
 /// `total_width` over the configured TAM-count range, scores each with
 /// `Core_assign` under the running best-known bound `τ`, and returns the
 /// best.
+///
+/// With `parallel.threads > 1` the chunked scan runs concurrently; the
+/// returned [`EvalResult`] (winner *and* statistics) is bit-identical to
+/// a single-threaded run. The budget is polled at generation boundaries,
+/// and the first generation always runs, so even an already-expired
+/// budget yields a valid (partial) result.
 ///
 /// # Errors
 ///
@@ -117,6 +158,7 @@ pub struct EvalResult {
 /// let eval = partition_evaluate(&table, 24, &EvaluateConfig::up_to_tams(4))?;
 /// assert_eq!(eval.tams.total_width(), 24);
 /// assert!(eval.stats.completed >= 1);
+/// assert!(eval.complete);
 /// # Ok(())
 /// # }
 /// ```
@@ -127,40 +169,76 @@ pub fn partition_evaluate(
 ) -> Result<EvalResult, PartitionError> {
     validate(table, total_width, config.min_tams, config.max_tams)?;
 
-    let mut best: Option<(TamSet, AssignResult)> = None;
-    let mut tau = u64::MAX;
-    let mut stats = PruneStats::default();
-
-    for b in config.min_tams..=config.max_tams {
-        for widths in Partitions::new(total_width, b) {
-            stats.enumerated += 1;
-            let tams = TamSet::new(widths).expect("partition parts are positive");
-            let costs = CostMatrix::from_table(table, &tams)?;
-            let bound = if config.prune && tau != u64::MAX {
-                Some(tau)
-            } else {
-                None
-            };
-            match core_assign(&costs, bound, &config.options) {
-                CoreAssignOutcome::Complete(result) => {
-                    stats.completed += 1;
-                    if result.soc_time() < tau {
-                        tau = result.soc_time();
-                        best = Some((tams, result));
-                    }
-                }
-                CoreAssignOutcome::Aborted { .. } => {
-                    stats.aborted += 1;
-                }
-            }
-        }
+    /// Outcome of one index-ordered chunk of partitions.
+    struct ChunkEval {
+        stats: PruneStats,
+        /// Best completed partition of the chunk: `(time, tams, result)`.
+        best: Option<(u64, TamSet, AssignResult)>,
     }
 
-    let (tams, result) = best.ok_or(PartitionError::NoFeasiblePartition { total_width })?;
+    let incumbent = SharedIncumbent::unbounded();
+    let mut stats = PruneStats::default();
+    let mut best: Option<(u64, TamSet, AssignResult)> = None;
+
+    let items = (config.min_tams..=config.max_tams).flat_map(|b| Partitions::new(total_width, b));
+    let status = search_chunks(
+        items,
+        &config.parallel,
+        &config.budget,
+        |_base, chunk: Vec<Vec<u32>>| -> Result<ChunkEval, PartitionError> {
+            // The shared bound as of this chunk's generation, improved
+            // locally as the chunk's own partitions complete.
+            let mut tau = incumbent.get();
+            let mut out = ChunkEval {
+                stats: PruneStats::default(),
+                best: None,
+            };
+            for widths in chunk {
+                out.stats.enumerated += 1;
+                let tams = TamSet::new(widths).expect("partition parts are positive");
+                let costs = CostMatrix::from_table(table, &tams)?;
+                let bound = if config.prune && tau != u64::MAX {
+                    Some(tau)
+                } else {
+                    None
+                };
+                match core_assign(&costs, bound, &config.options) {
+                    CoreAssignOutcome::Complete(result) => {
+                        out.stats.completed += 1;
+                        if result.soc_time() < tau {
+                            tau = result.soc_time();
+                            out.best = Some((tau, tams, result));
+                        }
+                    }
+                    CoreAssignOutcome::Aborted { .. } => {
+                        out.stats.aborted += 1;
+                    }
+                }
+            }
+            Ok(out)
+        },
+        |chunk: ChunkEval| {
+            stats.merge(chunk.stats);
+            if let Some((time, tams, result)) = chunk.best {
+                incumbent.tighten(time);
+                // Chunks merge in index order and improvement is strict,
+                // so the winner is the lowest-indexed partition with the
+                // best time — exactly the sequential winner.
+                if best.as_ref().is_none_or(|(t, _, _)| time < *t) {
+                    best = Some((time, tams, result));
+                }
+            }
+            Ok(())
+        },
+    )?;
+
+    debug_assert_eq!(stats.enumerated, stats.completed + stats.aborted);
+    let (_, tams, result) = best.ok_or(PartitionError::NoFeasiblePartition { total_width })?;
     Ok(EvalResult {
         tams,
         result,
         stats,
+        complete: status.is_complete(),
     })
 }
 
@@ -192,6 +270,7 @@ pub(crate) fn validate(
 mod tests {
     use super::*;
     use crate::count;
+    use std::time::Duration;
     use tamopt_soc::benchmarks;
 
     fn d695_table(width: u32) -> TimeTable {
@@ -204,6 +283,7 @@ mod tests {
         let eval = partition_evaluate(&table, 32, &EvaluateConfig::exact_tams(2)).unwrap();
         assert_eq!(eval.tams.len(), 2);
         assert_eq!(eval.tams.total_width(), 32);
+        assert!(eval.complete);
         assert_eq!(
             eval.stats.enumerated,
             count::unique_partitions(32, 2),
@@ -316,10 +396,85 @@ mod tests {
     }
 
     #[test]
+    fn stats_merge_is_associative() {
+        let chunks = [
+            PruneStats {
+                enumerated: 10,
+                completed: 3,
+                aborted: 7,
+            },
+            PruneStats {
+                enumerated: 5,
+                completed: 5,
+                aborted: 0,
+            },
+            PruneStats {
+                enumerated: 8,
+                completed: 1,
+                aborted: 7,
+            },
+        ];
+        // (a + b) + c == a + (b + c) == sum in any order.
+        let mut left = chunks[0];
+        left.merge(chunks[1]);
+        left.merge(chunks[2]);
+        let mut right = chunks[1];
+        right.merge(chunks[2]);
+        let mut a = chunks[0];
+        a.merge(right);
+        assert_eq!(left, a);
+        let mut reversed = chunks[2];
+        reversed += chunks[1];
+        reversed += chunks[0];
+        assert_eq!(left, reversed);
+        assert_eq!(left.enumerated, left.completed + left.aborted);
+    }
+
+    #[test]
     fn result_partition_is_canonical() {
         let table = d695_table(24);
         let eval = partition_evaluate(&table, 24, &EvaluateConfig::up_to_tams(5)).unwrap();
         let w = eval.tams.widths();
         assert!(w.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn expired_budget_returns_partial_but_valid_result() {
+        let table = d695_table(48);
+        let config = EvaluateConfig {
+            budget: SearchBudget::time_limited(Duration::ZERO),
+            ..EvaluateConfig::up_to_tams(6)
+        };
+        let eval = partition_evaluate(&table, 48, &config).unwrap();
+        assert!(!eval.complete, "zero budget cannot scan everything");
+        // Exactly the first generation (one chunk) ran.
+        assert_eq!(eval.stats.enumerated, config.parallel.chunk_size as u64);
+        assert_eq!(
+            eval.stats.enumerated,
+            eval.stats.completed + eval.stats.aborted
+        );
+        assert_eq!(eval.tams.total_width(), 48, "partial result is valid");
+    }
+
+    #[test]
+    fn node_budget_truncates_deterministically() {
+        let table = d695_table(48);
+        let run = |threads: usize| {
+            partition_evaluate(
+                &table,
+                48,
+                &EvaluateConfig {
+                    budget: SearchBudget::node_limited(100),
+                    parallel: ParallelConfig::with_threads(threads),
+                    ..EvaluateConfig::up_to_tams(6)
+                },
+            )
+            .unwrap()
+        };
+        let reference = run(1);
+        assert!(!reference.complete);
+        // Whole generations: 32 + 64 + 128 dispatched items.
+        assert_eq!(reference.stats.enumerated, 224);
+        assert_eq!(run(4), reference, "node-budget truncation is deterministic");
     }
 }

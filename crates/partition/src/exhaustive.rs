@@ -8,11 +8,17 @@
 //! baseline is actually runnable here, but the *relative* gap to
 //! [`crate::partition_evaluate`] (two to three orders of magnitude)
 //! reproduces the paper's headline claim; see the benches.
-
-use std::time::{Duration, Instant};
+//!
+//! Like the heuristic scan, the baseline runs on the deterministic
+//! chunked executor of [`tamopt_engine`]: per-partition exact solves are
+//! independent, so chunks parallelize freely, and the winner reduces by
+//! partition index — `threads = N` returns exactly the `threads = 1`
+//! result. The unified [`SearchBudget`] bounds the whole enumeration
+//! *and* is intersected into every per-partition solve.
 
 use tamopt_assign::exact::{self, ExactConfig};
 use tamopt_assign::{AssignResult, CostMatrix, TamSet};
+use tamopt_engine::{search_chunks, ParallelConfig, SearchBudget};
 use tamopt_wrapper::TimeTable;
 
 use crate::enumerate::Partitions;
@@ -20,17 +26,20 @@ use crate::evaluate::validate;
 use crate::PartitionError;
 
 /// Configuration of [`solve`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ExhaustiveConfig {
     /// Smallest TAM count to consider (≥ 1).
     pub min_tams: u32,
     /// Largest TAM count to consider (inclusive).
     pub max_tams: u32,
-    /// Limits for each per-partition exact solve.
+    /// Limits for each per-partition exact solve (its budget is
+    /// intersected with the overall `budget`).
     pub per_partition: ExactConfig,
-    /// Overall wall-clock limit; when exceeded, the best architecture
-    /// found so far is returned with `proven_optimal = false`.
-    pub time_limit: Option<Duration>,
+    /// Overall budget; when exhausted, the best architecture found so
+    /// far is returned with `proven_optimal = false`.
+    pub budget: SearchBudget,
+    /// Thread count and chunk geometry of the parallel enumeration.
+    pub parallel: ParallelConfig,
 }
 
 impl ExhaustiveConfig {
@@ -40,7 +49,8 @@ impl ExhaustiveConfig {
             min_tams: tams,
             max_tams: tams,
             per_partition: ExactConfig::default(),
-            time_limit: None,
+            budget: SearchBudget::unlimited(),
+            parallel: ParallelConfig::default(),
         }
     }
 
@@ -49,9 +59,7 @@ impl ExhaustiveConfig {
     pub fn up_to_tams(max_tams: u32) -> Self {
         ExhaustiveConfig {
             min_tams: 1,
-            max_tams,
-            per_partition: ExactConfig::default(),
-            time_limit: None,
+            ..Self::exact_tams(max_tams)
         }
     }
 }
@@ -66,7 +74,7 @@ pub struct ExhaustiveResult {
     /// Number of partitions solved.
     pub partitions_solved: u64,
     /// Whether every per-partition solve was proven optimal and the
-    /// search was not cut short by the time limit.
+    /// search was not cut short by the budget.
     pub proven_optimal: bool,
 }
 
@@ -98,37 +106,72 @@ pub fn solve(
     config: &ExhaustiveConfig,
 ) -> Result<ExhaustiveResult, PartitionError> {
     validate(table, total_width, config.min_tams, config.max_tams)?;
-    let start = Instant::now();
-    let mut best: Option<(TamSet, AssignResult)> = None;
-    let mut partitions_solved = 0u64;
-    let mut proven = true;
 
-    'outer: for b in config.min_tams..=config.max_tams {
-        for widths in Partitions::new(total_width, b) {
-            if config.time_limit.is_some_and(|l| start.elapsed() >= l) {
-                proven = false;
-                break 'outer;
-            }
-            let tams = TamSet::new(widths).expect("partition parts are positive");
-            let costs = CostMatrix::from_table(table, &tams)?;
-            let solution = exact::solve(&costs, &config.per_partition)?;
-            proven &= solution.proven_optimal;
-            partitions_solved += 1;
-            let better = best
-                .as_ref()
-                .is_none_or(|(_, r)| solution.result.soc_time() < r.soc_time());
-            if better {
-                best = Some((tams, solution.result));
-            }
-        }
+    /// Outcome of one index-ordered chunk of exactly solved partitions.
+    struct ChunkSolve {
+        solved: u64,
+        proven: bool,
+        /// Best partition of the chunk: `(time, tams, result)`.
+        best: Option<(u64, TamSet, AssignResult)>,
     }
 
-    let (tams, result) = best.ok_or(PartitionError::NoFeasiblePartition { total_width })?;
+    // The scan-level node budget counts *partitions* (enforced by the
+    // executor); only the deadline and cancellation flags apply inside
+    // each per-partition branch-and-bound, whose nodes are a different
+    // unit.
+    let per_partition = ExactConfig {
+        budget: config
+            .per_partition
+            .budget
+            .intersect(&config.budget.clone().without_node_budget()),
+        ..config.per_partition.clone()
+    };
+    let mut partitions_solved = 0u64;
+    let mut proven = true;
+    let mut best: Option<(u64, TamSet, AssignResult)> = None;
+
+    let items = (config.min_tams..=config.max_tams).flat_map(|b| Partitions::new(total_width, b));
+    let status = search_chunks(
+        items,
+        &config.parallel,
+        &config.budget,
+        |_base, chunk: Vec<Vec<u32>>| -> Result<ChunkSolve, PartitionError> {
+            let mut out = ChunkSolve {
+                solved: 0,
+                proven: true,
+                best: None,
+            };
+            for widths in chunk {
+                let tams = TamSet::new(widths).expect("partition parts are positive");
+                let costs = CostMatrix::from_table(table, &tams)?;
+                let solution = exact::solve(&costs, &per_partition)?;
+                out.proven &= solution.proven_optimal;
+                out.solved += 1;
+                let time = solution.result.soc_time();
+                if out.best.as_ref().is_none_or(|(t, _, _)| time < *t) {
+                    out.best = Some((time, tams, solution.result));
+                }
+            }
+            Ok(out)
+        },
+        |chunk: ChunkSolve| {
+            partitions_solved += chunk.solved;
+            proven &= chunk.proven;
+            if let Some((time, tams, result)) = chunk.best {
+                if best.as_ref().is_none_or(|(t, _, _)| time < *t) {
+                    best = Some((time, tams, result));
+                }
+            }
+            Ok(())
+        },
+    )?;
+
+    let (_, tams, result) = best.ok_or(PartitionError::NoFeasiblePartition { total_width })?;
     Ok(ExhaustiveResult {
         tams,
         result,
         partitions_solved,
-        proven_optimal: proven,
+        proven_optimal: proven && status.is_complete(),
     })
 }
 
@@ -137,6 +180,7 @@ mod tests {
     use super::*;
     use crate::count;
     use crate::evaluate::{partition_evaluate, EvaluateConfig};
+    use std::time::Duration;
     use tamopt_soc::benchmarks;
 
     fn d695_table(width: u32) -> TimeTable {
@@ -175,20 +219,38 @@ mod tests {
     }
 
     #[test]
-    fn time_limit_returns_partial_result() {
-        let table = d695_table(32);
+    fn expired_budget_returns_partial_unproven_result() {
+        // p(64, 3) = 341 partitions — several generations. A zero
+        // budget stops after the first one but still returns a valid
+        // best-so-far architecture.
+        let table = d695_table(64);
         let cfg = ExhaustiveConfig {
-            time_limit: Some(Duration::ZERO),
+            budget: SearchBudget::time_limited(Duration::ZERO),
+            ..ExhaustiveConfig::exact_tams(3)
+        };
+        let out = solve(&table, 64, &cfg).unwrap();
+        assert!(!out.proven_optimal, "truncated search cannot prove");
+        assert_eq!(
+            out.partitions_solved, cfg.parallel.chunk_size as u64,
+            "exactly the first generation was solved"
+        );
+        assert_eq!(out.tams.total_width(), 64);
+    }
+
+    #[test]
+    fn scan_node_budget_does_not_cap_per_partition_solves() {
+        // A node budget large enough to cover the whole scan counts
+        // partitions, not branch-and-bound nodes: every per-partition
+        // solve must still run to proven optimality.
+        let table = d695_table(16);
+        let cfg = ExhaustiveConfig {
+            budget: SearchBudget::node_limited(10_000),
             ..ExhaustiveConfig::exact_tams(2)
         };
-        // Zero budget: either an error (nothing evaluated) or a partial,
-        // unproven result — depending on whether the first partition
-        // fits before the clock check. With Duration::ZERO nothing runs.
-        let out = solve(&table, 32, &cfg);
-        assert!(matches!(
-            out,
-            Err(PartitionError::NoFeasiblePartition { .. })
-        ));
+        let out = solve(&table, 16, &cfg).unwrap();
+        let unbudgeted = solve(&table, 16, &ExhaustiveConfig::exact_tams(2)).unwrap();
+        assert_eq!(out, unbudgeted);
+        assert!(out.proven_optimal);
     }
 
     #[test]

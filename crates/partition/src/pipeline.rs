@@ -17,13 +17,14 @@ use std::time::{Duration, Instant};
 use tamopt_assign::exact::ExactConfig;
 use tamopt_assign::ilp::IlpAssignConfig;
 use tamopt_assign::{exact, ilp, AssignResult, CoreAssignOptions, CostMatrix, TamSet};
+use tamopt_engine::{ParallelConfig, SearchBudget};
 use tamopt_wrapper::TimeTable;
 
 use crate::evaluate::{partition_evaluate, EvaluateConfig, PruneStats};
 use crate::PartitionError;
 
 /// Which exact solver performs the final optimization step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub enum FinalStep {
     /// Skip the final step (pure heuristic — ablation mode).
     None,
@@ -40,7 +41,7 @@ impl Default for FinalStep {
 }
 
 /// Configuration of [`co_optimize`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct PipelineConfig {
     /// Smallest TAM count to consider (≥ 1).
     pub min_tams: u32,
@@ -52,6 +53,12 @@ pub struct PipelineConfig {
     pub prune: bool,
     /// The final optimization step.
     pub final_step: FinalStep,
+    /// Budget for the *whole* pipeline: step 1 enumerates under it and
+    /// step 2's solver budget is intersected with it, so one deadline
+    /// bounds both steps end to end.
+    pub budget: SearchBudget,
+    /// Thread count and chunk geometry for step 1's parallel scan.
+    pub parallel: ParallelConfig,
 }
 
 impl PipelineConfig {
@@ -63,6 +70,8 @@ impl PipelineConfig {
             options: CoreAssignOptions::default(),
             prune: true,
             final_step: FinalStep::default(),
+            budget: SearchBudget::unlimited(),
+            parallel: ParallelConfig::default(),
         }
     }
 
@@ -88,6 +97,9 @@ pub struct CoOptimization {
     pub optimized: AssignResult,
     /// Whether step 2 proved its assignment optimal for the partition.
     pub final_step_optimal: bool,
+    /// Whether step 1 scanned the whole partition space (`false` when
+    /// the budget truncated it; the result is then partial but valid).
+    pub evaluate_complete: bool,
     /// Pruning statistics of step 1.
     pub stats: PruneStats,
     /// Wall-clock time of step 1 (`Partition_evaluate`).
@@ -140,6 +152,8 @@ pub fn co_optimize(
         max_tams: config.max_tams,
         options: config.options,
         prune: config.prune,
+        budget: config.budget.clone(),
+        parallel: config.parallel.clone(),
     };
     let eval_start = Instant::now();
     let eval = partition_evaluate(table, total_width, &eval_config)?;
@@ -147,13 +161,25 @@ pub fn co_optimize(
 
     let final_start = Instant::now();
     let costs = CostMatrix::from_table(table, &eval.tams)?;
-    let (optimized, final_step_optimal) = match config.final_step {
+    // The pipeline-level node budget counts step-1 partitions; only the
+    // deadline and cancellation carry into the step-2 solver, whose
+    // nodes are a different unit.
+    let step2_budget = config.budget.clone().without_node_budget();
+    let (optimized, final_step_optimal) = match &config.final_step {
         FinalStep::None => (eval.result.clone(), false),
         FinalStep::BranchBound(cfg) => {
+            let cfg = ExactConfig {
+                budget: cfg.budget.intersect(&step2_budget),
+                ..cfg.clone()
+            };
             let sol = exact::solve(&costs, &cfg)?;
             (sol.result, sol.proven_optimal)
         }
         FinalStep::Ilp(cfg) => {
+            let cfg = IlpAssignConfig {
+                budget: cfg.budget.intersect(&step2_budget),
+                ..cfg.clone()
+            };
             let sol = ilp::solve(&costs, &cfg)?;
             (sol.result, sol.proven_optimal)
         }
@@ -173,6 +199,7 @@ pub fn co_optimize(
         heuristic: eval.result,
         optimized,
         final_step_optimal,
+        evaluate_complete: eval.complete,
         stats: eval.stats,
         evaluate_time,
         final_time,
@@ -245,6 +272,60 @@ mod tests {
             co_optimize(&table, 0, &PipelineConfig::up_to_tams(2)).unwrap_err(),
             PartitionError::ZeroWidth
         );
+    }
+
+    #[test]
+    fn tiny_budget_returns_partial_but_valid_result() {
+        // Unbounded, d695 at W=48 enumerates thousands of partitions; an
+        // expired budget must stop step 1 after its first generation and
+        // still hand a valid architecture to step 2.
+        let table = d695_table(48);
+        let cfg = PipelineConfig {
+            budget: SearchBudget::time_limited(Duration::ZERO),
+            ..PipelineConfig::up_to_tams(6)
+        };
+        let co = co_optimize(&table, 48, &cfg).unwrap();
+        assert!(!co.evaluate_complete, "step 1 must be budget-truncated");
+        assert_eq!(
+            co.stats.enumerated, cfg.parallel.chunk_size as u64,
+            "exactly the first generation was scanned"
+        );
+        assert_eq!(
+            co.stats.enumerated,
+            co.stats.completed + co.stats.aborted,
+            "stats invariant holds on truncated runs"
+        );
+        assert_eq!(co.tams.total_width(), 48, "partial result is valid");
+        assert!(co.optimized.soc_time() <= co.heuristic.soc_time());
+    }
+
+    #[test]
+    fn node_budget_counts_partitions_not_final_step_nodes() {
+        // A node budget covering the whole step-1 scan must leave the
+        // step-2 exact solver untouched (its nodes are a different
+        // unit), so the result matches the unbudgeted run exactly.
+        let table = d695_table(16);
+        let budgeted = co_optimize(
+            &table,
+            16,
+            &PipelineConfig {
+                budget: SearchBudget::node_limited(1_000_000),
+                ..PipelineConfig::up_to_tams(2)
+            },
+        )
+        .unwrap();
+        let unbudgeted = co_optimize(&table, 16, &PipelineConfig::up_to_tams(2)).unwrap();
+        assert!(budgeted.evaluate_complete);
+        assert_eq!(budgeted.optimized, unbudgeted.optimized);
+        assert_eq!(budgeted.final_step_optimal, unbudgeted.final_step_optimal);
+        assert!(budgeted.final_step_optimal);
+    }
+
+    #[test]
+    fn unbounded_run_reports_complete() {
+        let table = d695_table(16);
+        let co = co_optimize(&table, 16, &PipelineConfig::up_to_tams(2)).unwrap();
+        assert!(co.evaluate_complete);
     }
 
     #[test]

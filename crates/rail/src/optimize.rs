@@ -1,11 +1,12 @@
 use std::fmt::Write as _;
 
+use tamopt_engine::SearchBudget;
 use tamopt_partition::enumerate::Partitions;
 
 use crate::{rail_assign, RailAssignOptions, RailAssignment, RailCostModel, RailError, RailSet};
 
 /// Configuration of the TestRail architecture search.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct RailConfig {
     /// Smallest number of rails tried.
     pub min_rails: u32,
@@ -13,6 +14,10 @@ pub struct RailConfig {
     pub max_rails: u32,
     /// Assignment options used to evaluate each partition.
     pub assign: RailAssignOptions,
+    /// Unified search budget; its node budget counts evaluated
+    /// partitions. At least one partition is always evaluated, so a
+    /// truncated search still returns a valid design.
+    pub budget: SearchBudget,
 }
 
 impl RailConfig {
@@ -22,6 +27,7 @@ impl RailConfig {
             min_rails: 1,
             max_rails: max_rails.max(1),
             assign: RailAssignOptions::default(),
+            budget: SearchBudget::unlimited(),
         }
     }
 
@@ -32,6 +38,7 @@ impl RailConfig {
             min_rails: rails,
             max_rails: rails,
             assign: RailAssignOptions::default(),
+            budget: SearchBudget::unlimited(),
         }
     }
 }
@@ -45,6 +52,9 @@ pub struct RailDesign {
     pub assignment: RailAssignment,
     /// Number of (partition, assignment) evaluations performed.
     pub evaluated: u64,
+    /// Whether every feasible partition in range was evaluated (`false`
+    /// when the budget truncated the sweep).
+    pub complete: bool,
 }
 
 impl RailDesign {
@@ -134,11 +144,18 @@ pub fn design_rails(
     }
     let mut best: Option<RailDesign> = None;
     let mut evaluated = 0u64;
-    for b in config.min_rails..=config.max_rails.min(total_width) {
+    let mut complete = true;
+    'sweep: for b in config.min_rails..=config.max_rails.min(total_width) {
         for parts in Partitions::new(total_width, b) {
             // Partitions are non-decreasing, so the last part is widest.
             if *parts.last().expect("b >= 1") > model.max_width() {
                 continue;
+            }
+            // Guarantee at least one evaluation so a truncated sweep
+            // still yields a valid design.
+            if evaluated > 0 && config.budget.is_exhausted(evaluated) {
+                complete = false;
+                break 'sweep;
             }
             let rails = RailSet::new(parts).expect("partition parts are positive");
             let assignment = rail_assign(model, &rails, &config.assign);
@@ -151,6 +168,7 @@ pub fn design_rails(
                     rails,
                     assignment,
                     evaluated,
+                    complete: true,
                 });
             }
         }
@@ -158,6 +176,7 @@ pub fn design_rails(
     match best {
         Some(mut design) => {
             design.evaluated = evaluated;
+            design.complete = complete;
             Ok(design)
         }
         None => Err(RailError::InvalidWidth {
@@ -248,5 +267,19 @@ mod tests {
         // p(12,1) + p(12,2) + p(12,3) = 1 + 6 + 12 = 19, all within the
         // 32-wide model.
         assert_eq!(d.evaluated, 19);
+        assert!(d.complete);
+    }
+
+    #[test]
+    fn budget_truncates_but_returns_a_valid_design() {
+        let m = model();
+        let cfg = RailConfig {
+            budget: SearchBudget::node_limited(1),
+            ..RailConfig::up_to_rails(4)
+        };
+        let d = design_rails(&m, 24, &cfg).unwrap();
+        assert!(!d.complete);
+        assert_eq!(d.evaluated, 1, "exactly the guaranteed evaluation ran");
+        assert_eq!(d.rails.total_width(), 24);
     }
 }
