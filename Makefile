@@ -2,7 +2,12 @@
 # local and CI runs stay identical. `make verify` is the tier-1 command
 # from ROADMAP.md.
 
-.PHONY: all build test verify doc-gate determinism bench-smoke lint fmt clean
+# The determinism target pipes the CLI through grep; without pipefail a
+# crashing binary would leave the pipeline (and the diff) green.
+SHELL := /bin/bash
+
+.PHONY: all build test verify doc-gate determinism bench-smoke bench-json \
+        msrv-check lint fmt clean
 
 all: build test lint
 
@@ -21,11 +26,22 @@ verify:
 doc-gate:
 	cargo test --doc -p tamopt
 
+# MSRV drift guard: Cargo.toml's rust-version must match the CI matrix.
+msrv-check:
+	@msrv="$$(sed -n 's/^rust-version = "\(.*\)"$$/\1/p' Cargo.toml)"; \
+	test -n "$$msrv" || { echo "no rust-version in Cargo.toml"; exit 1; }; \
+	grep -qF -- "- \"$$msrv\" # MSRV" .github/workflows/ci.yml \
+	  || { echo "MSRV drift: Cargo.toml says $$msrv but the ci.yml matrix disagrees"; exit 1; }; \
+	echo "MSRV $$msrv in sync with CI"
+
 # --- CI job: determinism ----------------------------------------------------
 
 determinism:
 	cargo test --release -p tamopt_partition --test determinism
+	cargo test --release -p tamopt_rail --test determinism
+	cargo test --release -p tamopt_service --test batch
 	cargo build --release -p tamopt
+	set -o pipefail; \
 	for soc in d695 p31108; do \
 	  ./target/release/tamopt --soc $$soc --width 32 --max-tams 6 --threads 1 \
 	    | grep -v 'wall clock' > /tmp/$${soc}_t1.txt; \
@@ -33,12 +49,28 @@ determinism:
 	    | grep -v 'wall clock' > /tmp/$${soc}_t4.txt; \
 	  diff /tmp/$${soc}_t1.txt /tmp/$${soc}_t4.txt || exit 1; \
 	done
+	set -o pipefail; \
+	./target/release/tamopt batch examples/batch.manifest --threads 1 \
+	  | grep -v wall_clock > /tmp/batch_t1.json
+	set -o pipefail; \
+	./target/release/tamopt batch examples/batch.manifest --threads 4 \
+	  | grep -v wall_clock > /tmp/batch_t4.json
+	diff /tmp/batch_t1.json /tmp/batch_t4.json
 
 # --- CI job: bench-smoke ----------------------------------------------------
 
 bench-smoke:
 	cargo bench -p tamopt_bench --benches -- --test
-	cargo bench -p tamopt_bench --bench bench_parallel
+
+# --- CI job: bench-results (perf trajectory) --------------------------------
+
+bench-json:
+	rm -rf target/criterion
+	cargo bench -p tamopt_bench --bench bench_parallel --bench bench_batch
+	cargo run --release -p tamopt_bench --bin bench_json -- \
+	  --prefix parallel_ --out BENCH_parallel.json
+	cargo run --release -p tamopt_bench --bin bench_json -- \
+	  --prefix batch_ --out BENCH_batch.json
 
 # --- CI job: lint -----------------------------------------------------------
 

@@ -96,6 +96,31 @@ pub struct ExactSolution {
 /// # }
 /// ```
 pub fn solve(costs: &CostMatrix, config: &ExactConfig) -> Result<ExactSolution, AssignError> {
+    solve_bounded(costs, config, None)
+}
+
+/// [`solve`] seeded with an external incumbent bound.
+///
+/// With `bound = Some(τ)` the search only looks for assignments with
+/// makespan **strictly below** `τ` (on top of the internal heuristic
+/// incumbent): subtrees that cannot beat `min(heuristic, τ)` are pruned,
+/// so a tight external bound — e.g. a [`tamopt_engine::SharedIncumbent`]
+/// carried across an enumeration of partitions — cuts the node count
+/// without changing which solutions can win. When no assignment beats
+/// `τ`, the returned result is the heuristic incumbent (valid, but not
+/// better than `τ`) and `proven_optimal` means "proven: nothing below
+/// `min(heuristic, τ)` exists".
+///
+/// `bound = None` is exactly [`solve`].
+///
+/// # Errors
+///
+/// Same as [`solve`]: never fails for a well-formed [`CostMatrix`].
+pub fn solve_bounded(
+    costs: &CostMatrix,
+    config: &ExactConfig,
+    bound: Option<u64>,
+) -> Result<ExactSolution, AssignError> {
     let n = costs.num_cores();
     let b = costs.num_tams();
 
@@ -127,6 +152,10 @@ pub fn solve(costs: &CostMatrix, config: &ExactConfig) -> Result<ExactSolution, 
         loads: Vec<u64>,
         current: Vec<usize>,
         best_time: u64,
+        /// Pruning threshold: `min(best_time, external bound)`. Kept
+        /// separate from `best_time` so an external bound tightens the
+        /// search without being mistaken for a found incumbent.
+        prune_bound: u64,
         best_assignment: Vec<usize>,
         nodes: u64,
         node_limit: u64,
@@ -149,8 +178,9 @@ pub fn solve(costs: &CostMatrix, config: &ExactConfig) -> Result<ExactSolution, 
             let b = self.loads.len();
             let current_max = self.loads.iter().copied().max().expect("non-empty");
             if depth == self.order.len() {
-                if current_max < self.best_time {
+                if current_max < self.prune_bound {
                     self.best_time = current_max;
+                    self.prune_bound = current_max;
                     self.best_assignment = self.current.clone();
                 }
                 return;
@@ -159,7 +189,7 @@ pub fn solve(costs: &CostMatrix, config: &ExactConfig) -> Result<ExactSolution, 
             let total: u64 = self.loads.iter().sum::<u64>() + self.suffix_min_sum[depth];
             let avg = total.div_ceil(b as u64);
             let lb = current_max.max(avg).max(self.suffix_max_min[depth]);
-            if lb >= self.best_time {
+            if lb >= self.prune_bound {
                 return;
             }
             let core = self.order[depth];
@@ -174,7 +204,7 @@ pub fn solve(costs: &CostMatrix, config: &ExactConfig) -> Result<ExactSolution, 
                     continue;
                 }
                 let new_load = self.loads[tam] + self.costs.time(core, tam);
-                if new_load < self.best_time {
+                if new_load < self.prune_bound {
                     children.push((new_load, tam));
                 }
             }
@@ -182,7 +212,7 @@ pub fn solve(costs: &CostMatrix, config: &ExactConfig) -> Result<ExactSolution, 
             for (_, tam) in children {
                 let cost = self.costs.time(core, tam);
                 // Re-check against a possibly improved incumbent.
-                if self.loads[tam] + cost >= self.best_time {
+                if self.loads[tam] + cost >= self.prune_bound {
                     continue;
                 }
                 self.loads[tam] += cost;
@@ -204,6 +234,7 @@ pub fn solve(costs: &CostMatrix, config: &ExactConfig) -> Result<ExactSolution, 
         loads: vec![0; b],
         current: vec![0; n],
         best_time,
+        prune_bound: best_time.min(bound.unwrap_or(u64::MAX)),
         best_assignment: best_assignment.clone(),
         nodes: 0,
         node_limit: config
@@ -338,6 +369,66 @@ mod tests {
         let sol = solve(&costs, &ExactConfig::default()).unwrap();
         assert_eq!(sol.result.soc_time(), 12);
         assert!(sol.proven_optimal);
+    }
+
+    #[test]
+    fn loose_external_bound_changes_nothing() {
+        let (widths, times) = benchmarks::figure2_cost_table();
+        let costs = CostMatrix::from_raw(times, widths).unwrap();
+        let free = solve(&costs, &ExactConfig::default()).unwrap();
+        let bounded = solve_bounded(&costs, &ExactConfig::default(), Some(u64::MAX - 1)).unwrap();
+        assert_eq!(bounded.result, free.result);
+        assert!(bounded.proven_optimal);
+    }
+
+    #[test]
+    fn tight_external_bound_prunes_nodes() {
+        let soc = benchmarks::d695();
+        let table = TimeTable::new(&soc, 32).unwrap();
+        let tams = TamSet::new([4, 8, 20]).unwrap();
+        let costs = CostMatrix::from_table(&table, &tams).unwrap();
+        let free = solve(&costs, &ExactConfig::default()).unwrap();
+        assert!(free.proven_optimal);
+        // A bound just above the optimum still admits it...
+        let above = solve_bounded(
+            &costs,
+            &ExactConfig::default(),
+            Some(free.result.soc_time() + 1),
+        )
+        .unwrap();
+        assert_eq!(above.result.soc_time(), free.result.soc_time());
+        assert!(above.proven_optimal);
+        assert!(
+            above.nodes <= free.nodes,
+            "seeding can only prune: {} > {}",
+            above.nodes,
+            free.nodes
+        );
+        // ...while a bound at the optimum proves "nothing better" with
+        // strictly fewer nodes and falls back to the heuristic seed.
+        let at = solve_bounded(
+            &costs,
+            &ExactConfig::default(),
+            Some(free.result.soc_time()),
+        )
+        .unwrap();
+        assert!(at.proven_optimal);
+        assert!(
+            at.nodes < free.nodes,
+            "a bound at the optimum must prune strictly: {} vs {}",
+            at.nodes,
+            free.nodes
+        );
+        assert!(at.result.soc_time() >= free.result.soc_time());
+    }
+
+    #[test]
+    fn zero_bound_returns_the_heuristic_seed_quickly() {
+        let (widths, times) = benchmarks::figure2_cost_table();
+        let costs = CostMatrix::from_raw(times, widths).unwrap();
+        let sol = solve_bounded(&costs, &ExactConfig::default(), Some(0)).unwrap();
+        assert!(sol.proven_optimal, "an empty search space is a proof");
+        assert_eq!(sol.result.soc_time(), 200, "the heuristic's figure-2 time");
     }
 
     #[test]

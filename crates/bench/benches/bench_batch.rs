@@ -1,0 +1,76 @@
+//! Throughput of the batched multi-SOC service layer: an eight-request
+//! queue over the three SOC families (led by the acceptance manifest's
+//! d695 W=32 B≤6, p31108 W=32 B≤4 and p93791 W=64 B≤10) co-optimized on
+//! one shared pool at 1, 2 and 4 worker threads.
+//!
+//! Eight requests matter: the batch dispatches one request per chunk
+//! under the executor's exponential generation ramp (1, 2, 4, …), so a
+//! queue needs at least seven requests before any generation is four
+//! wide — with fewer, the `threads/4` point would silently measure the
+//! `threads/2` schedule.
+//!
+//! The service guarantees reports that are bit-identical across thread
+//! counts once wall-clock lines are filtered (asserted here before any
+//! timing), so the only thing these benches trade is wall-clock time.
+//! On a single-core host the multi-thread variants measure pure
+//! scheduling overhead; speedups need real CPUs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tamopt::benchmarks;
+use tamopt::service::{run_batch, BatchConfig, BatchReport, Request};
+
+fn queue_requests() -> Vec<Request> {
+    vec![
+        // The acceptance manifest (examples/batch.manifest)...
+        Request::new(benchmarks::d695(), 32).max_tams(6),
+        Request::new(benchmarks::p31108(), 32)
+            .max_tams(4)
+            .priority(1),
+        Request::new(benchmarks::p93791(), 64).max_tams(10),
+        // ...padded to eight requests so the ramp reaches width 4.
+        Request::new(benchmarks::d695(), 48).max_tams(6),
+        Request::new(benchmarks::p31108(), 24).max_tams(3),
+        Request::new(benchmarks::d695(), 24).max_tams(4),
+        Request::new(benchmarks::p31108(), 16).max_tams(2),
+        Request::new(benchmarks::d695(), 16).max_tams(2),
+    ]
+}
+
+/// The deterministic portion of a report: its JSON minus wall-clock
+/// lines.
+fn stable_json(report: &BatchReport) -> String {
+    report
+        .to_json()
+        .lines()
+        .filter(|line| !line.contains("wall_clock"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn bench_batch_threads(c: &mut Criterion) {
+    let reference = stable_json(&run_batch(queue_requests(), &BatchConfig::with_threads(1)));
+    let mut group = c.benchmark_group("batch_multi_soc");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        // Determinism gate before timing anything.
+        let report = run_batch(queue_requests(), &BatchConfig::with_threads(threads));
+        assert_eq!(
+            stable_json(&report),
+            reference,
+            "threads={threads} must be bit-identical"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let config = BatchConfig::with_threads(threads);
+                b.iter(|| black_box(run_batch(black_box(queue_requests()), &config)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_threads);
+criterion_main!(benches);

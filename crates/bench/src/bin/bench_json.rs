@@ -1,0 +1,209 @@
+//! `bench_json` — export criterion estimates as one machine-readable
+//! JSON file, the unit of the repository's performance trajectory.
+//!
+//! Criterion (real or the workspace shim) persists one
+//! `estimates.json` per benchmark under `target/criterion/<id>/new/`.
+//! This bin collects them into a single sorted document so CI can
+//! upload e.g. `BENCH_parallel.json` / `BENCH_batch.json` artifacts per
+//! commit:
+//!
+//! ```text
+//! cargo bench -p tamopt_bench --bench bench_parallel
+//! cargo run -p tamopt_bench --bin bench_json -- \
+//!     --prefix parallel_ --out BENCH_parallel.json
+//! ```
+//!
+//! `--prefix` filters benchmark ids (repeatable, any-match; no prefix
+//! exports everything); `--out` writes to a file instead of stdout.
+//! Finding **zero** matching estimates is an error — a silently empty
+//! trajectory is worse than a red CI step.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: bench_json [--prefix <id-prefix>]... [--out <file.json>]"
+}
+
+/// Where criterion persisted its measurements: `$CRITERION_HOME`, else
+/// `$CARGO_TARGET_DIR/criterion`, else `target/criterion` under the
+/// nearest ancestor holding a `Cargo.lock` (matches the criterion shim).
+fn criterion_dir() -> Option<PathBuf> {
+    if let Ok(dir) = std::env::var("CRITERION_HOME") {
+        return Some(PathBuf::from(dir));
+    }
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return Some(PathBuf::from(dir).join("criterion"));
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return Some(dir.join("target").join("criterion"));
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Pulls `mean.point_estimate` out of an `estimates.json` body without a
+/// JSON parser: finds the `"mean"` object and reads the number after its
+/// `"point_estimate":` key. Works for the shim's compact output and for
+/// real criterion's serde_json output alike.
+fn extract_mean_ns(json: &str) -> Option<f64> {
+    let mean = &json[json.find("\"mean\"")?..];
+    let value = &mean[mean.find("\"point_estimate\":")? + "\"point_estimate\":".len()..];
+    let end = value.find([',', '}']).unwrap_or(value.len());
+    value[..end].trim().parse().ok()
+}
+
+/// Recursively collects `(bench id, mean ns)` from every
+/// `<root>/<id>/new/estimates.json`.
+fn collect(root: &Path, dir: &Path, out: &mut Vec<(String, f64)>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_dir() {
+            continue;
+        }
+        if path.file_name().is_some_and(|n| n == "new") {
+            let Ok(json) = std::fs::read_to_string(path.join("estimates.json")) else {
+                continue;
+            };
+            let Some(mean_ns) = extract_mean_ns(&json) else {
+                continue;
+            };
+            let id = dir
+                .strip_prefix(root)
+                .unwrap_or(dir)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((id, mean_ns));
+        } else {
+            collect(root, &path, out);
+        }
+    }
+}
+
+fn render(benchmarks: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"tamopt.bench-estimates/v1\",\n  \"unit\": \"ns\",\n");
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, (id, mean_ns)) in benchmarks.iter().enumerate() {
+        let comma = if i + 1 < benchmarks.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"id\": \"{id}\", \"mean_ns\": {mean_ns} }}{comma}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let mut prefixes: Vec<String> = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        let result = match flag.as_str() {
+            "--prefix" => value("--prefix").map(|v| prefixes.push(v)),
+            "--out" => value("--out").map(|v| out_path = Some(v)),
+            "--help" | "-h" => Err(usage().to_owned()),
+            other => Err(format!("unknown flag `{other}`\n{}", usage())),
+        };
+        if let Err(msg) = result {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let Some(root) = criterion_dir() else {
+        eprintln!("cannot locate the criterion output directory");
+        return ExitCode::FAILURE;
+    };
+    let mut benchmarks = Vec::new();
+    collect(&root, &root, &mut benchmarks);
+    if !prefixes.is_empty() {
+        benchmarks.retain(|(id, _)| prefixes.iter().any(|p| id.starts_with(p.as_str())));
+    }
+    benchmarks.sort_by(|a, b| a.0.cmp(&b.0));
+    if benchmarks.is_empty() {
+        eprintln!(
+            "no estimates under {} match {:?} — did the benches run?",
+            root.display(),
+            prefixes
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let json = render(&benchmarks);
+    match &out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("{} estimate(s) written to {path}", benchmarks.len());
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_the_mean_from_shim_and_real_layouts() {
+        let shim = "{\"mean\":{\"confidence_interval\":{\"confidence_level\":0.95,\
+                    \"lower_bound\":10.0,\"upper_bound\":10.0},\
+                    \"point_estimate\":1234.5,\"standard_error\":0.0}}";
+        assert_eq!(extract_mean_ns(shim), Some(1234.5));
+        // Real criterion puts more estimators in the same document.
+        let real = "{\"mean\":{\"confidence_interval\":{},\"point_estimate\":7.25e3,\
+                    \"standard_error\":1.0},\"median\":{\"point_estimate\":9.0}}";
+        assert_eq!(extract_mean_ns(real), Some(7250.0));
+        assert_eq!(extract_mean_ns("{}"), None);
+        assert_eq!(extract_mean_ns("{\"mean\":{}}"), None);
+    }
+
+    #[test]
+    fn collects_and_renders_sorted_estimates() {
+        let root = std::env::temp_dir().join("bench-json-test");
+        std::fs::remove_dir_all(&root).ok();
+        for (id, ns) in [("b_group/threads/4", 20.0), ("a_group/threads/1", 10.0)] {
+            let dir = id
+                .split('/')
+                .fold(root.clone(), |d, p| d.join(p))
+                .join("new");
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(
+                dir.join("estimates.json"),
+                format!("{{\"mean\":{{\"point_estimate\":{ns}}}}}"),
+            )
+            .unwrap();
+        }
+        let mut found = Vec::new();
+        collect(&root, &root, &mut found);
+        found.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(
+            found,
+            vec![
+                ("a_group/threads/1".to_owned(), 10.0),
+                ("b_group/threads/4".to_owned(), 20.0)
+            ]
+        );
+        let json = render(&found);
+        assert!(json.contains("\"id\": \"a_group/threads/1\", \"mean_ns\": 10"));
+        assert!(json.contains("tamopt.bench-estimates/v1"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

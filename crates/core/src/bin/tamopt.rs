@@ -7,6 +7,9 @@
 //!          [--strategy two-step|two-step-ilp|heuristic|exhaustive]
 //!          [--threads <N>] [--time-limit <seconds>]
 //!          [--analyze] [--gantt] [--svg <out.svg>] [--rail]
+//!
+//!   tamopt batch <manifest> [--threads <N>] [--time-limit <seconds>]
+//!                [--out <report.json>]
 //! ```
 //!
 //! Examples:
@@ -17,7 +20,14 @@
 //! tamopt --soc my_chip.soc --width 48 --tams 3 --strategy exhaustive
 //! tamopt --soc d695 --width 48 --max-tams 6 --analyze --gantt --rail
 //! tamopt --soc p21241 --width 64 --max-tams 6 --svg schedule.svg
+//! tamopt batch examples/batch.manifest --threads 4
 //! ```
+//!
+//! A batch manifest holds one request per line — `<soc> <width>
+//! <max-tams>` plus optional `key=value` pairs (`min-tams`, `priority`,
+//! `time-limit`, `node-budget`); `#` starts a comment. The report is
+//! deterministic JSON (see [`tamopt::service`]): identical for every
+//! `--threads` value once its `wall_clock` lines are filtered.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -25,8 +35,10 @@ use std::time::Duration;
 use tamopt::analysis::UtilizationReport;
 use tamopt::cli::{parse_threads, parse_time_limit};
 use tamopt::cost::{BusCost, GateWeights};
+use tamopt::engine::SearchBudget;
 use tamopt::rail::{design_rails, RailConfig, RailCostModel};
 use tamopt::schedule::TestSchedule;
+use tamopt::service::{BatchConfig, Request, RequestStatus};
 use tamopt::soc::format::parse_soc;
 use tamopt::{benchmarks, CoOptimizer, Soc, Strategy};
 
@@ -51,7 +63,9 @@ fn usage() -> &'static str {
      [--max-tams <B>] [--tams <B>] \
      [--strategy two-step|two-step-ilp|heuristic|exhaustive] \
      [--threads <N, 0 = all CPUs>] [--time-limit <seconds>] \
-     [--analyze] [--gantt] [--svg <out.svg>] [--rail]"
+     [--analyze] [--gantt] [--svg <out.svg>] [--rail]\n\
+     or:    tamopt batch <manifest> [--threads <N>] [--time-limit <seconds>] \
+     [--out <report.json>]"
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -135,6 +149,153 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     })
 }
 
+#[derive(Debug)]
+struct BatchArgs {
+    manifest: String,
+    threads: usize,
+    time_limit: Option<Duration>,
+    out: Option<String>,
+}
+
+fn batch_usage() -> &'static str {
+    "usage: tamopt batch <manifest> [--threads <N, 0 = all CPUs>] \
+     [--time-limit <seconds>] [--out <report.json>]\n\
+     manifest lines: <soc> <width> <max-tams> \
+     [min-tams=N] [priority=P] [time-limit=S] [node-budget=N]"
+}
+
+fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs, String> {
+    let mut manifest = None;
+    let mut threads = 1usize;
+    let mut time_limit = None;
+    let mut out = None;
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--threads" => threads = parse_threads(&value("--threads")?)?,
+            "--time-limit" => time_limit = Some(parse_time_limit(&value("--time-limit")?)?),
+            "--out" => out = Some(value("--out")?),
+            "--help" | "-h" => return Err(batch_usage().to_owned()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`\n{}", batch_usage()))
+            }
+            positional if manifest.is_none() => manifest = Some(positional.to_owned()),
+            extra => return Err(format!("unexpected argument `{extra}`\n{}", batch_usage())),
+        }
+    }
+    Ok(BatchArgs {
+        manifest: manifest
+            .ok_or_else(|| format!("manifest path is required\n{}", batch_usage()))?,
+        threads,
+        time_limit,
+        out,
+    })
+}
+
+/// Parses a request manifest: one request per line, `#` comments.
+fn parse_manifest(text: &str) -> Result<Vec<Request>, String> {
+    let mut requests = Vec::new();
+    for (number, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or_default().trim();
+        if line.is_empty() {
+            continue;
+        }
+        let context = |message: String| format!("manifest line {}: {message}", number + 1);
+        let mut fields = line.split_whitespace();
+        let soc_name = fields.next().expect("non-empty line has a first field");
+        let width: u32 = fields
+            .next()
+            .ok_or_else(|| context("missing <width>".to_owned()))?
+            .parse()
+            .map_err(|_| context("invalid <width>".to_owned()))?;
+        let max_tams: u32 = fields
+            .next()
+            .ok_or_else(|| context("missing <max-tams>".to_owned()))?
+            .parse()
+            .map_err(|_| context("invalid <max-tams>".to_owned()))?;
+        let soc = load_soc(soc_name).map_err(&context)?;
+        let mut request = Request::new(soc, width).max_tams(max_tams);
+        for option in fields {
+            let (key, value) = option
+                .split_once('=')
+                .ok_or_else(|| context(format!("expected key=value, got `{option}`")))?;
+            request = match key {
+                "min-tams" => request.min_tams(
+                    value
+                        .parse()
+                        .map_err(|_| context("invalid min-tams value".to_owned()))?,
+                ),
+                "priority" => request.priority(
+                    value
+                        .parse()
+                        .map_err(|_| context("invalid priority value".to_owned()))?,
+                ),
+                "time-limit" => request.time_limit(parse_time_limit(value).map_err(&context)?),
+                "node-budget" => {
+                    let nodes: u64 = value
+                        .parse()
+                        .map_err(|_| context("invalid node-budget value".to_owned()))?;
+                    request.budget(SearchBudget::node_limited(nodes))
+                }
+                other => return Err(context(format!("unknown option `{other}`"))),
+            };
+        }
+        requests.push(request);
+    }
+    if requests.is_empty() {
+        return Err("manifest contains no requests".to_owned());
+    }
+    Ok(requests)
+}
+
+fn batch_main(argv: impl Iterator<Item = String>) -> ExitCode {
+    let args = match parse_batch_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&args.manifest) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read `{}`: {e}", args.manifest);
+            return ExitCode::FAILURE;
+        }
+    };
+    let requests = match parse_manifest(&text) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = BatchConfig::with_threads(args.threads);
+    if let Some(limit) = args.time_limit {
+        config = config.time_limit(limit);
+    }
+    let report = CoOptimizer::batch(requests, &config);
+    let json = report.to_json();
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("batch report written to {path}");
+    } else {
+        print!("{json}");
+    }
+    let failed = report.count(RequestStatus::Failed);
+    if failed > 0 {
+        eprintln!("{failed} request(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn load_soc(name: &str) -> Result<Soc, String> {
     match name {
         "d695" => Ok(benchmarks::d695()),
@@ -150,7 +311,12 @@ fn load_soc(name: &str) -> Result<Soc, String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args(std::env::args().skip(1)) {
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("batch") {
+        argv.next();
+        return batch_main(argv);
+    }
+    let args = match parse_args(argv) {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
@@ -352,5 +518,66 @@ mod tests {
         assert_eq!(load_soc("d695").unwrap().num_cores(), 10);
         assert_eq!(load_soc("p93791").unwrap().num_cores(), 32);
         assert!(load_soc("/nonexistent/x.soc").is_err());
+    }
+
+    fn batch_args(list: &[&str]) -> Result<BatchArgs, String> {
+        parse_batch_args(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_batch_flags() {
+        let a = batch_args(&["jobs.manifest", "--threads", "4", "--time-limit", "2"]).unwrap();
+        assert_eq!(a.manifest, "jobs.manifest");
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.time_limit, Some(Duration::from_secs(2)));
+        assert!(a.out.is_none());
+        let b = batch_args(&["jobs.manifest", "--out", "report.json"]).unwrap();
+        assert_eq!(b.out.as_deref(), Some("report.json"));
+    }
+
+    #[test]
+    fn batch_rejects_bad_usage() {
+        assert!(batch_args(&[]).unwrap_err().contains("manifest path"));
+        assert!(batch_args(&["a", "b"]).is_err(), "two positionals");
+        assert!(batch_args(&["a", "--frobnicate"]).is_err());
+        assert!(batch_args(&["a", "--threads", "x"]).is_err());
+    }
+
+    #[test]
+    fn parses_a_manifest() {
+        let requests = parse_manifest(
+            "# comment\n\
+             d695   32 6\n\
+             \n\
+             p31108 32 4 priority=1 min-tams=2  # trailing comment\n\
+             d695   16 2 node-budget=100\n",
+        )
+        .unwrap();
+        assert_eq!(requests.len(), 3);
+        assert_eq!(requests[0].width, 32);
+        assert_eq!(requests[0].max_tams, 6);
+        assert_eq!(requests[0].priority, 0);
+        assert_eq!(requests[1].soc.name(), "p31108");
+        assert_eq!(requests[1].priority, 1);
+        assert_eq!(requests[1].min_tams, 2);
+        assert_eq!(requests[2].budget.node_budget(), Some(100));
+    }
+
+    #[test]
+    fn manifest_errors_name_the_line() {
+        assert!(parse_manifest("").unwrap_err().contains("no requests"));
+        assert!(parse_manifest("d695\n").unwrap_err().contains("line 1"));
+        assert!(parse_manifest("d695 32\n")
+            .unwrap_err()
+            .contains("max-tams"));
+        assert!(parse_manifest("d695 32 4 bogus\n")
+            .unwrap_err()
+            .contains("key=value"));
+        assert!(parse_manifest("d695 32 4 zoom=1\n")
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(parse_manifest("nope.soc 32 4\n")
+            .unwrap_err()
+            .contains("line 1"));
     }
 }

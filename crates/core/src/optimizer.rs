@@ -129,6 +129,44 @@ impl CoOptimizer {
         self
     }
 
+    /// Runs a whole queue of co-optimization requests on one shared
+    /// worker pool — the batch entry point of the service layer
+    /// ([`tamopt_service`], re-exported as [`crate::service`]).
+    ///
+    /// Requests dispatch in priority order under the intersection of
+    /// the batch-global budget and each request's own; the report lists
+    /// outcomes in submission order and is bit-identical (minus
+    /// wall-clock fields) for every
+    /// [`BatchConfig::threads`](crate::service::BatchConfig) value.
+    /// Per-request failures become
+    /// [`RequestStatus::Failed`](crate::service::RequestStatus)
+    /// outcomes, never errors. Callers that need per-request
+    /// cancellation handles should drive a
+    /// [`Batch`](crate::service::Batch) directly.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tamopt::service::{BatchConfig, Request};
+    /// use tamopt::{benchmarks, CoOptimizer};
+    ///
+    /// let report = CoOptimizer::batch(
+    ///     [
+    ///         Request::new(benchmarks::d695(), 16).max_tams(2),
+    ///         Request::new(benchmarks::d695(), 24).max_tams(3),
+    ///     ],
+    ///     &BatchConfig::with_threads(2),
+    /// );
+    /// assert!(report.complete);
+    /// assert!(report.outcomes[0].soc_time().is_some());
+    /// ```
+    pub fn batch(
+        requests: impl IntoIterator<Item = tamopt_service::Request>,
+        config: &tamopt_service::BatchConfig,
+    ) -> tamopt_service::BatchReport {
+        tamopt_service::run_batch(requests, config)
+    }
+
     /// Runs the optimization and assembles the [`Architecture`].
     ///
     /// # Errors
@@ -191,13 +229,17 @@ impl CoOptimizer {
             per_partition: ExactConfig::default(),
             budget,
             parallel: ParallelConfig::with_threads(self.threads),
+            ..ExhaustiveConfig::up_to_tams(self.max_tams)
         };
         let best = exhaustive::solve(table, self.total_width, &config)?;
         let elapsed = start.elapsed();
+        // Architecture statistics stay in partition units (matching the
+        // pipeline strategies): a per-partition solve that hit its limit
+        // counts as aborted, not completed.
         let stats = PruneStats {
             enumerated: best.partitions_solved,
-            completed: best.partitions_solved,
-            aborted: 0,
+            completed: best.partitions_proven,
+            aborted: best.partitions_solved - best.partitions_proven,
         };
         let heuristic_time = best.result.soc_time();
         Architecture::assemble(

@@ -74,6 +74,120 @@ fn svg_flag_writes_a_file() {
 }
 
 #[test]
+fn batch_subcommand_reports_every_request_in_submission_order() {
+    let dir = std::env::temp_dir().join("tamopt-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("jobs.manifest");
+    std::fs::write(
+        &path,
+        "d695 16 2 priority=0\n\
+         d695 24 3 priority=5\n",
+    )
+    .expect("file written");
+    let out = tamopt()
+        .arg("batch")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"schema\": \"tamopt.batch-report/v1\""));
+    assert!(stdout.contains("\"complete\": true"));
+    // Submission order, not priority order.
+    let first = stdout.find("\"width\": 16").expect("first request present");
+    let second = stdout
+        .find("\"width\": 24")
+        .expect("second request present");
+    assert!(first < second, "outcomes must be in submission order");
+    assert_eq!(stdout.matches("\"status\": \"complete\"").count(), 2);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn batch_reports_are_thread_count_invariant_minus_wall_clock() {
+    let dir = std::env::temp_dir().join("tamopt-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("determinism.manifest");
+    std::fs::write(&path, "d695 16 2\nd695 24 3\n").expect("file written");
+    let strip = |raw: &[u8]| -> String {
+        String::from_utf8_lossy(raw)
+            .lines()
+            .filter(|l| !l.contains("wall_clock"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let run = |threads: &str| {
+        let out = tamopt()
+            .arg("batch")
+            .arg(&path)
+            .args(["--threads", threads])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        strip(&out.stdout)
+    };
+    assert_eq!(run("1"), run("4"), "threads must not change the report");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn batch_out_flag_writes_the_report_file() {
+    let dir = std::env::temp_dir().join("tamopt-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let manifest = dir.join("out.manifest");
+    let report = dir.join("report.json");
+    std::fs::write(&manifest, "d695 16 2\n").expect("file written");
+    let out = tamopt()
+        .arg("batch")
+        .arg(&manifest)
+        .arg("--out")
+        .arg(&report)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&report).expect("report written");
+    assert!(json.starts_with("{\n"));
+    assert!(json.contains("\"soc\": \"d695\""));
+    std::fs::remove_file(&manifest).ok();
+    std::fs::remove_file(&report).ok();
+}
+
+#[test]
+fn batch_bad_manifest_fails_cleanly() {
+    let out = tamopt()
+        .args(["batch", "/nonexistent/jobs.manifest"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let dir = std::env::temp_dir().join("tamopt-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("broken.manifest");
+    std::fs::write(&path, "d695 16\n").expect("file written");
+    let out = tamopt()
+        .arg("batch")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn missing_required_flags_fail_with_usage() {
     let out = tamopt()
         .args(["--width", "16"])

@@ -29,6 +29,12 @@ use crate::PartitionError;
 
 /// Pruning statistics of one `Partition_evaluate` run — the quantities
 /// behind the paper's Table 1.
+///
+/// The counting unit is defined by the producing search: here and in
+/// [`crate::pipeline`] it is **partitions**; the exhaustive baseline's
+/// [`crate::exhaustive::ExhaustiveResult::stats`] reuses the type with
+/// **branch-and-bound nodes**. Do not merge statistics across searches
+/// with different units.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PruneStats {
     /// Unique partitions enumerated (pruning level 1 already applied).

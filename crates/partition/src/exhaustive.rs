@@ -15,14 +15,24 @@
 //! partition index — `threads = N` returns exactly the `threads = 1`
 //! result. The unified [`SearchBudget`] bounds the whole enumeration
 //! *and* is intersected into every per-partition solve.
+//!
+//! Per-partition solves are additionally **seeded** from the shared
+//! generation-barrier incumbent (see
+//! [`ExhaustiveConfig::seed_incumbent`]): the best SOC time merged so
+//! far becomes an external bound for every later branch-and-bound, so
+//! partitions that cannot beat it are dismissed after a handful of
+//! nodes. Because the incumbent only tightens at generation barriers,
+//! the seeding is part of the deterministic schedule — results stay
+//! bit-identical across thread counts, and identical to the unseeded
+//! scan (only the node statistics shrink).
 
 use tamopt_assign::exact::{self, ExactConfig};
 use tamopt_assign::{AssignResult, CostMatrix, TamSet};
-use tamopt_engine::{search_chunks, ParallelConfig, SearchBudget};
+use tamopt_engine::{search_chunks, ParallelConfig, SearchBudget, SharedIncumbent};
 use tamopt_wrapper::TimeTable;
 
 use crate::enumerate::Partitions;
-use crate::evaluate::validate;
+use crate::evaluate::{validate, PruneStats};
 use crate::PartitionError;
 
 /// Configuration of [`solve`].
@@ -40,6 +50,13 @@ pub struct ExhaustiveConfig {
     pub budget: SearchBudget,
     /// Thread count and chunk geometry of the parallel enumeration.
     pub parallel: ParallelConfig,
+    /// Seed each per-partition exact solve with the best SOC time found
+    /// by previous generations (and previous partitions of the same
+    /// chunk). On by default: it only prunes — the winning architecture
+    /// and `proven_optimal` are identical either way, but
+    /// [`ExhaustiveResult::stats`] reports fewer enumerated nodes.
+    /// Disable for ablation runs that measure the cold baseline.
+    pub seed_incumbent: bool,
 }
 
 impl ExhaustiveConfig {
@@ -51,6 +68,7 @@ impl ExhaustiveConfig {
             per_partition: ExactConfig::default(),
             budget: SearchBudget::unlimited(),
             parallel: ParallelConfig::default(),
+            seed_incumbent: true,
         }
     }
 
@@ -73,6 +91,16 @@ pub struct ExhaustiveResult {
     pub result: AssignResult,
     /// Number of partitions solved.
     pub partitions_solved: u64,
+    /// How many of those per-partition solves ran to a proof (the rest
+    /// hit a node or time limit and returned their incumbent).
+    pub partitions_proven: u64,
+    /// Branch-and-bound node statistics summed over every per-partition
+    /// solve: `enumerated` is the total node count, split into the nodes
+    /// spent by solves that ran to a proof (`completed`) and by solves
+    /// cut short by a limit (`aborted`). Incumbent seeding
+    /// ([`ExhaustiveConfig::seed_incumbent`]) shows up here as a smaller
+    /// `enumerated` for the same winning architecture.
+    pub stats: PruneStats,
     /// Whether every per-partition solve was proven optimal and the
     /// search was not cut short by the budget.
     pub proven_optimal: bool,
@@ -110,6 +138,8 @@ pub fn solve(
     /// Outcome of one index-ordered chunk of exactly solved partitions.
     struct ChunkSolve {
         solved: u64,
+        proven_solves: u64,
+        stats: PruneStats,
         proven: bool,
         /// Best partition of the chunk: `(time, tams, result)`.
         best: Option<(u64, TamSet, AssignResult)>,
@@ -126,7 +156,10 @@ pub fn solve(
             .intersect(&config.budget.clone().without_node_budget()),
         ..config.per_partition.clone()
     };
+    let incumbent = SharedIncumbent::unbounded();
     let mut partitions_solved = 0u64;
+    let mut partitions_proven = 0u64;
+    let mut stats = PruneStats::default();
     let mut proven = true;
     let mut best: Option<(u64, TamSet, AssignResult)> = None;
 
@@ -136,18 +169,38 @@ pub fn solve(
         &config.parallel,
         &config.budget,
         |_base, chunk: Vec<Vec<u32>>| -> Result<ChunkSolve, PartitionError> {
+            // The incumbent as of this chunk's generation barrier,
+            // tightened locally as the chunk's own partitions solve.
+            let mut tau = incumbent.get();
             let mut out = ChunkSolve {
                 solved: 0,
+                proven_solves: 0,
+                stats: PruneStats::default(),
                 proven: true,
                 best: None,
             };
             for widths in chunk {
                 let tams = TamSet::new(widths).expect("partition parts are positive");
                 let costs = CostMatrix::from_table(table, &tams)?;
-                let solution = exact::solve(&costs, &per_partition)?;
+                let bound = if config.seed_incumbent && tau != u64::MAX {
+                    Some(tau)
+                } else {
+                    None
+                };
+                let solution = exact::solve_bounded(&costs, &per_partition, bound)?;
+                out.stats.enumerated += solution.nodes;
+                if solution.proven_optimal {
+                    out.proven_solves += 1;
+                    out.stats.completed += solution.nodes;
+                } else {
+                    out.stats.aborted += solution.nodes;
+                }
                 out.proven &= solution.proven_optimal;
                 out.solved += 1;
                 let time = solution.result.soc_time();
+                if time < tau {
+                    tau = time;
+                }
                 if out.best.as_ref().is_none_or(|(t, _, _)| time < *t) {
                     out.best = Some((time, tams, solution.result));
                 }
@@ -156,8 +209,11 @@ pub fn solve(
         },
         |chunk: ChunkSolve| {
             partitions_solved += chunk.solved;
+            partitions_proven += chunk.proven_solves;
+            stats.merge(chunk.stats);
             proven &= chunk.proven;
             if let Some((time, tams, result)) = chunk.best {
+                incumbent.tighten(time);
                 if best.as_ref().is_none_or(|(t, _, _)| time < *t) {
                     best = Some((time, tams, result));
                 }
@@ -171,6 +227,8 @@ pub fn solve(
         tams,
         result,
         partitions_solved,
+        partitions_proven,
+        stats,
         proven_optimal: proven && status.is_complete(),
     })
 }
@@ -192,7 +250,29 @@ mod tests {
         let table = d695_table(16);
         let best = solve(&table, 16, &ExhaustiveConfig::exact_tams(2)).unwrap();
         assert_eq!(best.partitions_solved, count::unique_partitions(16, 2));
+        assert_eq!(best.partitions_proven, best.partitions_solved);
+        assert_eq!(best.stats.enumerated, best.stats.completed);
         assert!(best.proven_optimal);
+    }
+
+    #[test]
+    fn limited_per_partition_solves_count_as_unproven() {
+        let table = d695_table(24);
+        let cfg = ExhaustiveConfig {
+            per_partition: ExactConfig {
+                node_limit: 1,
+                ..ExactConfig::default()
+            },
+            ..ExhaustiveConfig::exact_tams(3)
+        };
+        let out = solve(&table, 24, &cfg).unwrap();
+        assert!(!out.proven_optimal);
+        assert!(out.partitions_proven < out.partitions_solved);
+        assert_eq!(
+            out.stats.enumerated,
+            out.stats.completed + out.stats.aborted
+        );
+        assert!(out.stats.aborted > 0, "limited solves spend aborted nodes");
     }
 
     #[test]
@@ -251,6 +331,42 @@ mod tests {
         let unbudgeted = solve(&table, 16, &ExhaustiveConfig::exact_tams(2)).unwrap();
         assert_eq!(out, unbudgeted);
         assert!(out.proven_optimal);
+    }
+
+    #[test]
+    fn incumbent_seeding_prunes_nodes_but_not_results() {
+        let table = d695_table(24);
+        let mut strictly_fewer_somewhere = false;
+        for b in 2..=3 {
+            let seeded = solve(&table, 24, &ExhaustiveConfig::exact_tams(b)).unwrap();
+            let cold = solve(
+                &table,
+                24,
+                &ExhaustiveConfig {
+                    seed_incumbent: false,
+                    ..ExhaustiveConfig::exact_tams(b)
+                },
+            )
+            .unwrap();
+            assert_eq!(seeded.tams, cold.tams, "B={b}: seeding changed the winner");
+            assert_eq!(seeded.result, cold.result, "B={b}");
+            assert_eq!(seeded.partitions_solved, cold.partitions_solved, "B={b}");
+            assert_eq!(seeded.proven_optimal, cold.proven_optimal, "B={b}");
+            assert!(
+                seeded.stats.enumerated <= cold.stats.enumerated,
+                "B={b}: seeding must never enumerate more nodes"
+            );
+            strictly_fewer_somewhere |= seeded.stats.enumerated < cold.stats.enumerated;
+            assert_eq!(
+                seeded.stats.enumerated,
+                seeded.stats.completed + seeded.stats.aborted,
+                "B={b}: node-stat invariant"
+            );
+        }
+        assert!(
+            strictly_fewer_somewhere,
+            "incumbent seeding pruned nothing on d695 W=24"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use std::fmt::Write as _;
 
-use tamopt_engine::SearchBudget;
+use tamopt_engine::{search_chunks, ParallelConfig, SearchBudget};
 use tamopt_partition::enumerate::Partitions;
 
 use crate::{rail_assign, RailAssignOptions, RailAssignment, RailCostModel, RailError, RailSet};
@@ -15,9 +15,15 @@ pub struct RailConfig {
     /// Assignment options used to evaluate each partition.
     pub assign: RailAssignOptions,
     /// Unified search budget; its node budget counts evaluated
-    /// partitions. At least one partition is always evaluated, so a
-    /// truncated search still returns a valid design.
+    /// partitions, polled at generation boundaries of the chunked
+    /// executor. The first generation always runs, so a truncated
+    /// search still returns a valid design.
     pub budget: SearchBudget,
+    /// Thread count and chunk geometry of the parallel sweep. Rail
+    /// evaluations are independent, so the sweep runs on the same
+    /// deterministic chunked executor as the test-bus scans: the
+    /// returned [`RailDesign`] is bit-identical for every thread count.
+    pub parallel: ParallelConfig,
 }
 
 impl RailConfig {
@@ -28,6 +34,7 @@ impl RailConfig {
             max_rails: max_rails.max(1),
             assign: RailAssignOptions::default(),
             budget: SearchBudget::unlimited(),
+            parallel: ParallelConfig::default(),
         }
     }
 
@@ -37,8 +44,7 @@ impl RailConfig {
         RailConfig {
             min_rails: rails,
             max_rails: rails,
-            assign: RailAssignOptions::default(),
-            budget: SearchBudget::unlimited(),
+            ..Self::up_to_rails(rails)
         }
     }
 }
@@ -111,6 +117,15 @@ impl RailDesign {
 /// positive parts is evaluated with [`rail_assign`]; partitions whose
 /// widest rail exceeds the model's width range are skipped.
 ///
+/// The sweep runs on the deterministic chunked executor of
+/// [`tamopt_engine`]: partitions are evaluated in index-ordered chunks
+/// (concurrently when [`RailConfig::parallel`] asks for threads) and the
+/// winner reduces in chunk order — the first partition achieving the
+/// minimal SOC time wins, so `threads = N` returns a [`RailDesign`]
+/// bit-identical to `threads = 1`. The [`SearchBudget`] is polled at
+/// generation boundaries; a truncated sweep returns the best design of
+/// the generations that finished, with [`RailDesign::complete`] false.
+///
 /// # Errors
 ///
 /// [`RailError::InvalidWidth`] if `total_width == 0`, if no partition
@@ -142,43 +157,65 @@ pub fn design_rails(
             rails: config.max_rails,
         });
     }
-    let mut best: Option<RailDesign> = None;
-    let mut evaluated = 0u64;
-    let mut complete = true;
-    'sweep: for b in config.min_rails..=config.max_rails.min(total_width) {
-        for parts in Partitions::new(total_width, b) {
-            // Partitions are non-decreasing, so the last part is widest.
-            if *parts.last().expect("b >= 1") > model.max_width() {
-                continue;
-            }
-            // Guarantee at least one evaluation so a truncated sweep
-            // still yields a valid design.
-            if evaluated > 0 && config.budget.is_exhausted(evaluated) {
-                complete = false;
-                break 'sweep;
-            }
-            let rails = RailSet::new(parts).expect("partition parts are positive");
-            let assignment = rail_assign(model, &rails, &config.assign);
-            evaluated += 1;
-            if best
-                .as_ref()
-                .is_none_or(|b| assignment.soc_time() < b.soc_time())
-            {
-                best = Some(RailDesign {
-                    rails,
-                    assignment,
-                    evaluated,
-                    complete: true,
-                });
-            }
-        }
+
+    /// Outcome of one index-ordered chunk of evaluated rail partitions.
+    struct ChunkSweep {
+        evaluated: u64,
+        /// Best partition of the chunk: `(time, rails, assignment)`.
+        best: Option<(u64, RailSet, RailAssignment)>,
     }
+
+    let mut evaluated = 0u64;
+    let mut best: Option<(u64, RailSet, RailAssignment)> = None;
+
+    // Infeasible partitions are filtered before chunking so the chunk
+    // geometry (and therefore the budget's node accounting) only counts
+    // real evaluations. Partitions are non-decreasing, so the last part
+    // is the widest.
+    let items = (config.min_rails..=config.max_rails.min(total_width))
+        .flat_map(|b| Partitions::new(total_width, b))
+        .filter(|parts| *parts.last().expect("b >= 1") <= model.max_width());
+    let status = search_chunks(
+        items,
+        &config.parallel,
+        &config.budget,
+        |_base, chunk: Vec<Vec<u32>>| -> Result<ChunkSweep, RailError> {
+            let mut out = ChunkSweep {
+                evaluated: 0,
+                best: None,
+            };
+            for parts in chunk {
+                let rails = RailSet::new(parts).expect("partition parts are positive");
+                let assignment = rail_assign(model, &rails, &config.assign);
+                out.evaluated += 1;
+                let time = assignment.soc_time();
+                if out.best.as_ref().is_none_or(|(t, _, _)| time < *t) {
+                    out.best = Some((time, rails, assignment));
+                }
+            }
+            Ok(out)
+        },
+        |chunk: ChunkSweep| {
+            evaluated += chunk.evaluated;
+            if let Some((time, rails, assignment)) = chunk.best {
+                // Chunks merge in index order and improvement is strict,
+                // so the winner is the first partition achieving the
+                // minimal time — exactly the sequential winner.
+                if best.as_ref().is_none_or(|(t, _, _)| time < *t) {
+                    best = Some((time, rails, assignment));
+                }
+            }
+            Ok(())
+        },
+    )?;
+
     match best {
-        Some(mut design) => {
-            design.evaluated = evaluated;
-            design.complete = complete;
-            Ok(design)
-        }
+        Some((_, rails, assignment)) => Ok(RailDesign {
+            rails,
+            assignment,
+            evaluated,
+            complete: status.is_complete(),
+        }),
         None => Err(RailError::InvalidWidth {
             total: total_width,
             rails: config.min_rails,
@@ -279,7 +316,36 @@ mod tests {
         };
         let d = design_rails(&m, 24, &cfg).unwrap();
         assert!(!d.complete);
-        assert_eq!(d.evaluated, 1, "exactly the guaranteed evaluation ran");
+        // The budget is polled at generation boundaries and the first
+        // generation (one chunk) always runs.
+        assert_eq!(
+            d.evaluated, cfg.parallel.chunk_size as u64,
+            "exactly the first generation was evaluated"
+        );
         assert_eq!(d.rails.total_width(), 24);
+    }
+
+    #[test]
+    fn node_budget_truncation_is_thread_count_invariant() {
+        let m = model();
+        let run = |threads: usize| {
+            design_rails(
+                &m,
+                28,
+                &RailConfig {
+                    budget: SearchBudget::node_limited(40),
+                    parallel: ParallelConfig::with_threads(threads),
+                    ..RailConfig::up_to_rails(5)
+                },
+            )
+            .unwrap()
+        };
+        let reference = run(1);
+        assert!(!reference.complete);
+        // Whole generations: 32 + 64 dispatched partitions.
+        assert_eq!(reference.evaluated, 96);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), reference, "threads {threads}");
+        }
     }
 }

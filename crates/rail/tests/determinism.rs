@@ -1,0 +1,88 @@
+//! Rail-sweep determinism: `design_rails` runs on the deterministic
+//! chunked executor, so the returned [`RailDesign`] must be bit-identical
+//! for every thread count — widths, assignment, evaluation count and
+//! completion flag alike. CI's determinism gate runs this file next to
+//! the partition suite.
+
+use tamopt_engine::{ParallelConfig, SearchBudget};
+use tamopt_rail::{design_rails, RailConfig, RailCostModel, RailDesign};
+use tamopt_soc::{benchmarks, scenarios, Soc};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn sweep(soc: &Soc, model_width: u32, total_width: u32, max_rails: u32) -> Vec<RailDesign> {
+    let model = RailCostModel::new(soc, model_width).expect("width is valid");
+    THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            design_rails(
+                &model,
+                total_width,
+                &RailConfig {
+                    parallel: ParallelConfig::with_threads(threads),
+                    ..RailConfig::up_to_rails(max_rails)
+                },
+            )
+            .expect("valid configuration")
+        })
+        .collect()
+}
+
+#[test]
+fn d695_rail_sweep_is_thread_count_invariant() {
+    let designs = sweep(&benchmarks::d695(), 32, 32, 6);
+    for (threads, design) in THREAD_COUNTS.iter().zip(&designs) {
+        assert_eq!(design, &designs[0], "threads {threads}");
+    }
+    assert!(designs[0].complete);
+    assert_eq!(designs[0].rails.total_width(), 32);
+}
+
+#[test]
+fn d695_narrow_model_skips_are_thread_count_invariant() {
+    // An 8-wide model on W = 16 filters every 1-rail partition; the
+    // filter happens before chunking, so skipped partitions must not
+    // perturb the deterministic chunk geometry.
+    let designs = sweep(&benchmarks::d695(), 8, 16, 3);
+    for (threads, design) in THREAD_COUNTS.iter().zip(&designs) {
+        assert_eq!(design, &designs[0], "threads {threads}");
+    }
+    assert!(designs[0].rails.widths().iter().all(|&w| w <= 8));
+}
+
+#[test]
+fn synthetic_soc_rail_sweep_is_thread_count_invariant() {
+    let soc = scenarios::uniform(12, 0xDA7E_2002).expect("valid scenario");
+    let designs = sweep(&soc, 40, 40, 5);
+    for (threads, design) in THREAD_COUNTS.iter().zip(&designs) {
+        assert_eq!(design, &designs[0], "threads {threads}");
+    }
+}
+
+#[test]
+fn truncated_rail_sweep_is_thread_count_invariant() {
+    let model = RailCostModel::new(&benchmarks::d695(), 32).expect("width is valid");
+    let run = |threads: usize| {
+        design_rails(
+            &model,
+            32,
+            &RailConfig {
+                budget: SearchBudget::node_limited(50),
+                parallel: ParallelConfig {
+                    threads,
+                    chunk_size: 8,
+                    chunks_per_generation: 4,
+                },
+                ..RailConfig::up_to_rails(6)
+            },
+        )
+        .expect("valid configuration")
+    };
+    let reference = run(1);
+    assert!(!reference.complete);
+    // Whole generations of 8-item chunks: 8 + 16 + 32 dispatched.
+    assert_eq!(reference.evaluated, 56);
+    for threads in THREAD_COUNTS {
+        assert_eq!(run(threads), reference, "threads {threads}");
+    }
+}

@@ -1,0 +1,300 @@
+//! The batch queue and its pool-driven executor.
+
+use std::time::Instant;
+
+use tamopt_engine::{search_chunks, CancelHandle, ParallelConfig, SearchBudget};
+use tamopt_partition::pipeline::{co_optimize, PipelineConfig};
+use tamopt_partition::CoOptimization;
+use tamopt_wrapper::TimeTable;
+
+use crate::report::{BatchReport, RequestOutcome, RequestStatus};
+use crate::Request;
+
+/// Configuration of [`Batch::run`].
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Global budget for the whole batch. The deadline and cancellation
+    /// flags are intersected into every request; a node budget caps the
+    /// number of requests *dispatched* (it does not leak into the
+    /// requests' own partition counters).
+    pub budget: SearchBudget,
+    /// Worker threads of the shared pool (`0` = one per available CPU,
+    /// `1` = inline). Pure execution policy: results are bit-identical
+    /// for every value.
+    pub threads: usize,
+    /// Upper bound on requests dispatched per executor generation. The
+    /// executor ramps generations exponentially — 1, 2, 4, … requests,
+    /// capped here — and polls the global budget between generations, so
+    /// this caps the useful parallelism and, together with the ramp,
+    /// fixes the deterministic schedule: changing it can change *which*
+    /// requests run under a tight budget, but never any request's
+    /// result.
+    pub requests_per_generation: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            budget: SearchBudget::unlimited(),
+            threads: 1,
+            requests_per_generation: 8,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Default configuration with `threads` workers (`0` = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        BatchConfig {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// Tightens the global budget by a wall-clock limit counted from
+    /// **now** — build the config when the batch is about to run.
+    pub fn time_limit(mut self, limit: std::time::Duration) -> Self {
+        self.budget = self.budget.and_time_limit(limit);
+        self
+    }
+}
+
+/// One queued request plus the cancellation handle minted at submission.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// The request, its budget already carrying the entry's cancel flag.
+    request: Request,
+    handle: CancelHandle,
+}
+
+/// A queue of co-optimization requests sharing one worker pool.
+///
+/// Push requests with [`Batch::push`] (which returns a per-request
+/// [`CancelHandle`]), then execute the whole queue with [`Batch::run`].
+/// The batch itself is immutable during a run; handles may be tripped
+/// from any thread.
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    entries: Vec<Entry>,
+}
+
+impl Batch {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues `request`, returning the handle that cancels it — and only
+    /// it — cooperatively. A request cancelled mid-run stops at its next
+    /// generation boundary and reports partial-but-valid results; its
+    /// siblings are unaffected.
+    pub fn push(&mut self, request: Request) -> CancelHandle {
+        let (budget, handle) = request.budget.clone().cancellable();
+        self.entries.push(Entry {
+            request: Request { budget, ..request },
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cancellation handle of the request at `index` (submission
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn handle(&self, index: usize) -> &CancelHandle {
+        &self.entries[index].handle
+    }
+
+    /// Runs every queued request on one shared worker pool and returns
+    /// the report, outcomes in submission order.
+    ///
+    /// Requests are dispatched in priority order (ties keep submission
+    /// order), one request per executor chunk: with `threads = N`, up to
+    /// `N` requests co-optimize concurrently, and the global budget is
+    /// polled between generations. Requests never dispatched because the
+    /// budget ran out are reported as [`RequestStatus::Skipped`].
+    /// Per-request failures (e.g. an infeasible width) are captured as
+    /// [`RequestStatus::Failed`] outcomes — they never abort the batch.
+    pub fn run(&self, config: &BatchConfig) -> BatchReport {
+        let start = Instant::now();
+        // Dispatch order: priority descending; sort_by_key is stable, so
+        // equal priorities keep submission order.
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.entries[i].request.priority));
+
+        // The global node budget counts dispatched requests (enforced by
+        // the executor); only the deadline and cancellation flags carry
+        // into each request, whose own node budget counts partitions — a
+        // different unit.
+        let inner_global = config.budget.clone().without_node_budget();
+        let mut slots: Vec<Option<Result<CoOptimization, String>>> =
+            (0..self.entries.len()).map(|_| None).collect();
+
+        let parallel = ParallelConfig {
+            threads: config.threads,
+            chunk_size: 1,
+            chunks_per_generation: config.requests_per_generation.max(1),
+        };
+        search_chunks(
+            order.iter().copied(),
+            &parallel,
+            &config.budget,
+            |_base, chunk: Vec<usize>| -> Result<_, std::convert::Infallible> {
+                Ok(chunk
+                    .into_iter()
+                    .map(|index| {
+                        (
+                            index,
+                            run_request(&self.entries[index].request, &inner_global),
+                        )
+                    })
+                    .collect::<Vec<_>>())
+            },
+            |chunk| {
+                for (index, outcome) in chunk {
+                    slots[index] = Some(outcome);
+                }
+                Ok(())
+            },
+        )
+        .expect("request failures are captured per request");
+
+        let outcomes: Vec<RequestOutcome> = self
+            .entries
+            .iter()
+            .zip(slots)
+            .enumerate()
+            .map(|(index, (entry, slot))| {
+                let (status, result, error) = match slot {
+                    Some(Ok(co)) => {
+                        let status = if co.evaluate_complete {
+                            RequestStatus::Complete
+                        } else if entry.handle.is_cancelled() {
+                            RequestStatus::Cancelled
+                        } else {
+                            RequestStatus::Partial
+                        };
+                        (status, Some(co), None)
+                    }
+                    Some(Err(message)) => (RequestStatus::Failed, None, Some(message)),
+                    None => (RequestStatus::Skipped, None, None),
+                };
+                let request = &entry.request;
+                RequestOutcome {
+                    index,
+                    soc: request.soc.name().to_owned(),
+                    width: request.width,
+                    min_tams: request.min_tams,
+                    max_tams: request.max_tams,
+                    priority: request.priority,
+                    status,
+                    result,
+                    error,
+                }
+            })
+            .collect();
+        let complete = outcomes.iter().all(|o| o.status != RequestStatus::Skipped);
+        BatchReport {
+            outcomes,
+            complete,
+            wall_time: start.elapsed(),
+        }
+    }
+}
+
+/// Runs one request under the intersection of its own budget and the
+/// batch-global deadline/cancellation. The inner partition scan runs
+/// single-threaded (its worker thread *is* the parallelism) with the
+/// default chunk geometry, so the result matches a standalone
+/// `co_optimize` run bit for bit.
+fn run_request(request: &Request, global: &SearchBudget) -> Result<CoOptimization, String> {
+    let table = TimeTable::new(&request.soc, request.width).map_err(|e| e.to_string())?;
+    let pipeline = PipelineConfig {
+        min_tams: request.min_tams,
+        max_tams: request.max_tams,
+        budget: request.budget.intersect(global),
+        ..PipelineConfig::up_to_tams(request.max_tams)
+    };
+    co_optimize(&table, request.width, &pipeline).map_err(|e| e.to_string())
+}
+
+/// Queues `requests` in order and runs them — [`Batch::push`] +
+/// [`Batch::run`] for callers that do not need cancellation handles.
+pub fn run_batch(requests: impl IntoIterator<Item = Request>, config: &BatchConfig) -> BatchReport {
+    let mut batch = Batch::new();
+    for request in requests {
+        batch.push(request);
+    }
+    batch.run(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamopt_soc::benchmarks;
+
+    #[test]
+    fn empty_batch_reports_complete() {
+        let report = Batch::new().run(&BatchConfig::default());
+        assert!(report.complete);
+        assert!(report.outcomes.is_empty());
+    }
+
+    #[test]
+    fn failed_requests_do_not_abort_the_batch() {
+        let mut batch = Batch::new();
+        batch.push(Request::new(benchmarks::d695(), 0)); // infeasible
+        batch.push(Request::new(benchmarks::d695(), 16).max_tams(2));
+        let report = batch.run(&BatchConfig::default());
+        assert!(report.complete, "failure is an outcome, not an abort");
+        assert_eq!(report.outcomes[0].status, RequestStatus::Failed);
+        assert!(report.outcomes[0].error.is_some());
+        assert_eq!(report.outcomes[1].status, RequestStatus::Complete);
+        assert!(report.outcomes[1].soc_time().is_some());
+    }
+
+    #[test]
+    fn node_budget_dispatches_highest_priority_first() {
+        let mut batch = Batch::new();
+        batch.push(Request::new(benchmarks::d695(), 16).max_tams(2)); // priority 0
+        batch.push(Request::new(benchmarks::d695(), 16).max_tams(2).priority(5));
+        let config = BatchConfig {
+            budget: SearchBudget::node_limited(1),
+            ..BatchConfig::default()
+        };
+        let report = batch.run(&config);
+        assert!(!report.complete);
+        assert_eq!(
+            report.outcomes[0].status,
+            RequestStatus::Skipped,
+            "the low-priority submission must be the one skipped"
+        );
+        assert_eq!(report.outcomes[1].status, RequestStatus::Complete);
+    }
+
+    #[test]
+    fn equal_priorities_dispatch_in_submission_order() {
+        let mut batch = Batch::new();
+        batch.push(Request::new(benchmarks::d695(), 16).max_tams(2));
+        batch.push(Request::new(benchmarks::d695(), 24).max_tams(2));
+        let config = BatchConfig {
+            budget: SearchBudget::node_limited(1),
+            ..BatchConfig::default()
+        };
+        let report = batch.run(&config);
+        assert_eq!(report.outcomes[0].status, RequestStatus::Complete);
+        assert_eq!(report.outcomes[1].status, RequestStatus::Skipped);
+    }
+}

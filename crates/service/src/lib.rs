@@ -1,0 +1,66 @@
+//! Batched multi-SOC co-optimization — the service layer of the
+//! workspace.
+//!
+//! A long-running test-architecture service does not optimize one SOC at
+//! a time: it receives a *queue* of `(SOC, W)` requests — different
+//! chips, widths, TAM ranges, deadlines and priorities — and must run
+//! them on one machine without letting any single request monopolize it.
+//! This crate turns the deterministic parallel engine of
+//! [`tamopt_engine`] into exactly that service:
+//!
+//! * a [`Request`] bundles one co-optimization job (SOC, total width,
+//!   TAM range, per-request [`SearchBudget`], priority);
+//! * a [`Batch`] queues requests and hands out a
+//!   [`CancelHandle`](tamopt_engine::CancelHandle) per request at
+//!   submission, so callers can cancel individual jobs while the batch
+//!   runs;
+//! * [`Batch::run`] executes the queue on a single shared worker pool
+//!   (the engine's chunked executor with one request per chunk):
+//!   requests are dispatched in priority order, every request runs under
+//!   the intersection of the **global** budget and its **own** budget,
+//!   and the [`BatchReport`] lists outcomes in **submission order**,
+//!   independent of completion order or thread count;
+//! * the report serializes to deterministic JSON
+//!   ([`BatchReport::to_json`]) with every wall-clock quantity on its
+//!   own `wall_clock*` line, so byte-level diffs across thread counts
+//!   need only filter those lines.
+//!
+//! # Determinism
+//!
+//! The batch schedule (dispatch order, generation geometry) is fixed by
+//! the request list and [`BatchConfig::requests_per_generation`] — never
+//! by [`BatchConfig::threads`]. Each request's inner partition scan runs
+//! single-threaded on its worker with the default chunk geometry, so a
+//! request's result inside a batch is bit-identical to a standalone
+//! [`co_optimize`](tamopt_partition::co_optimize) run, and the whole
+//! report (minus wall-clock fields) is bit-identical across thread
+//! counts. Wall-clock deadlines and cancellation truncate — they never
+//! reorder.
+//!
+//! # Example
+//!
+//! ```
+//! use tamopt_service::{Batch, BatchConfig, Request};
+//! use tamopt_soc::benchmarks;
+//!
+//! let mut batch = Batch::new();
+//! batch.push(Request::new(benchmarks::d695(), 16).max_tams(2));
+//! batch.push(Request::new(benchmarks::d695(), 24).max_tams(3).priority(1));
+//! let report = batch.run(&BatchConfig::default());
+//! assert!(report.complete);
+//! // Outcomes are in submission order even though the priority-1
+//! // request was dispatched first.
+//! assert_eq!(report.outcomes[0].width, 16);
+//! assert!(report.outcomes[1].soc_time().is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod report;
+mod request;
+
+pub use crate::batch::{run_batch, Batch, BatchConfig};
+pub use crate::report::{BatchReport, RequestOutcome, RequestStatus};
+pub use crate::request::Request;

@@ -1,0 +1,262 @@
+//! Batch outcomes and their deterministic JSON rendering.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use tamopt_partition::CoOptimization;
+
+/// How one request in a batch ended.
+///
+/// The JSON wire encoding is the lower-case [`RequestStatus::as_str`]
+/// name, written by [`BatchReport::to_json`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestStatus {
+    /// The partition scan covered its whole space (the final exact step
+    /// may still be unproven — see
+    /// [`CoOptimization::final_step_optimal`]).
+    Complete,
+    /// Dispatched, but truncated by a deadline or node budget: the
+    /// result covers a prefix of the scan and is valid.
+    Partial,
+    /// Truncated because this request's [`tamopt_engine::CancelHandle`]
+    /// was tripped; the result is partial but valid.
+    Cancelled,
+    /// Never dispatched — the batch-global budget ran out first.
+    Skipped,
+    /// The request itself was invalid (e.g. zero width); see
+    /// [`RequestOutcome::error`].
+    Failed,
+}
+
+impl RequestStatus {
+    /// The stable lower-case name used in JSON reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RequestStatus::Complete => "complete",
+            RequestStatus::Partial => "partial",
+            RequestStatus::Cancelled => "cancelled",
+            RequestStatus::Skipped => "skipped",
+            RequestStatus::Failed => "failed",
+        }
+    }
+}
+
+impl std::fmt::Display for RequestStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The outcome of one request, in submission order within
+/// [`BatchReport::outcomes`].
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// Submission index within the batch.
+    pub index: usize,
+    /// Name of the request's SOC.
+    pub soc: String,
+    /// Requested total TAM width.
+    pub width: u32,
+    /// Requested smallest TAM count.
+    pub min_tams: u32,
+    /// Requested largest TAM count.
+    pub max_tams: u32,
+    /// Scheduling priority the request ran under.
+    pub priority: i32,
+    /// How the request ended.
+    pub status: RequestStatus,
+    /// The co-optimization result (`None` for skipped and failed
+    /// requests).
+    pub result: Option<CoOptimization>,
+    /// The failure message for [`RequestStatus::Failed`].
+    pub error: Option<String>,
+}
+
+impl RequestOutcome {
+    /// SOC testing time of the final architecture, if the request
+    /// produced one.
+    pub fn soc_time(&self) -> Option<u64> {
+        self.result.as_ref().map(CoOptimization::soc_time)
+    }
+}
+
+/// Everything [`crate::Batch::run`] produced, outcomes in submission
+/// order regardless of priorities, completion order or thread count.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-request outcomes, indexed by submission order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Whether every request was dispatched (no
+    /// [`RequestStatus::Skipped`] outcome). Individual requests may
+    /// still be partial or failed — inspect their statuses.
+    pub complete: bool,
+    /// Wall-clock time of the whole batch.
+    pub wall_time: Duration,
+}
+
+impl BatchReport {
+    /// Number of outcomes with the given status.
+    pub fn count(&self, status: RequestStatus) -> usize {
+        self.outcomes.iter().filter(|o| o.status == status).count()
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    ///
+    /// The rendering is **deterministic** — fixed key order, integer
+    /// quantities, stable status names — except for wall-clock
+    /// durations, which are integers of milliseconds on lines whose key
+    /// starts with `wall_clock`. Filtering those lines (e.g.
+    /// `grep -v wall_clock`) therefore yields byte-identical reports
+    /// across thread counts.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"tamopt.batch-report/v1\",\n");
+        let _ = writeln!(out, "  \"complete\": {},", self.complete);
+        let _ = writeln!(out, "  \"requests\": [");
+        for (i, outcome) in self.outcomes.iter().enumerate() {
+            let comma = if i + 1 < self.outcomes.len() { "," } else { "" };
+            write_outcome(&mut out, outcome, comma);
+        }
+        out.push_str("  ],\n");
+        let _ = writeln!(out, "  \"wall_clock_ms\": {}", self.wall_time.as_millis());
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn write_outcome(out: &mut String, outcome: &RequestOutcome, comma: &str) {
+    out.push_str("    {\n");
+    let _ = writeln!(out, "      \"index\": {},", outcome.index);
+    let _ = writeln!(out, "      \"soc\": {},", json_string(&outcome.soc));
+    let _ = writeln!(out, "      \"width\": {},", outcome.width);
+    let _ = writeln!(out, "      \"min_tams\": {},", outcome.min_tams);
+    let _ = writeln!(out, "      \"max_tams\": {},", outcome.max_tams);
+    let _ = writeln!(out, "      \"priority\": {},", outcome.priority);
+    match (&outcome.result, &outcome.error) {
+        (Some(co), _) => {
+            let _ = writeln!(
+                out,
+                "      \"status\": {},",
+                json_string(outcome.status.as_str())
+            );
+            let _ = writeln!(out, "      \"soc_time\": {},", co.soc_time());
+            let _ = writeln!(
+                out,
+                "      \"heuristic_time\": {},",
+                co.heuristic.soc_time()
+            );
+            let _ = writeln!(out, "      \"tams\": {},", json_u32_array(co.tams.widths()));
+            let _ = writeln!(
+                out,
+                "      \"assignment\": {},",
+                json_usize_array(co.optimized.assignment())
+            );
+            let _ = writeln!(
+                out,
+                "      \"final_step_optimal\": {},",
+                co.final_step_optimal
+            );
+            let _ = writeln!(
+                out,
+                "      \"evaluate_complete\": {},",
+                co.evaluate_complete
+            );
+            let _ = writeln!(
+                out,
+                "      \"stats\": {{ \"enumerated\": {}, \"completed\": {}, \"aborted\": {} }},",
+                co.stats.enumerated, co.stats.completed, co.stats.aborted
+            );
+            let _ = writeln!(
+                out,
+                "      \"wall_clock_evaluate_ms\": {},",
+                co.evaluate_time.as_millis()
+            );
+            let _ = writeln!(
+                out,
+                "      \"wall_clock_final_ms\": {}",
+                co.final_time.as_millis()
+            );
+        }
+        (None, Some(message)) => {
+            let _ = writeln!(
+                out,
+                "      \"status\": {},",
+                json_string(outcome.status.as_str())
+            );
+            let _ = writeln!(out, "      \"error\": {}", json_string(message));
+        }
+        (None, None) => {
+            let _ = writeln!(
+                out,
+                "      \"status\": {}",
+                json_string(outcome.status.as_str())
+            );
+        }
+    }
+    let _ = writeln!(out, "    }}{comma}");
+}
+
+/// Escapes `value` as a JSON string literal (quotes included).
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_u32_array(values: &[u32]) -> String {
+    let items: Vec<String> = values.iter().map(u32::to_string).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn json_usize_array(values: &[usize]) -> String {
+    let items: Vec<String> = values.iter().map(usize::to_string).collect();
+    format!("[{}]", items.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_render_compactly() {
+        assert_eq!(json_u32_array(&[8, 12, 12]), "[8, 12, 12]");
+        assert_eq!(json_usize_array(&[]), "[]");
+    }
+
+    #[test]
+    fn status_names_are_stable() {
+        for (status, name) in [
+            (RequestStatus::Complete, "complete"),
+            (RequestStatus::Partial, "partial"),
+            (RequestStatus::Cancelled, "cancelled"),
+            (RequestStatus::Skipped, "skipped"),
+            (RequestStatus::Failed, "failed"),
+        ] {
+            assert_eq!(status.as_str(), name);
+            assert_eq!(status.to_string(), name);
+        }
+    }
+}

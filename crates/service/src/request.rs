@@ -1,0 +1,117 @@
+//! One co-optimization job in a batch queue.
+
+use std::time::Duration;
+
+use tamopt_engine::SearchBudget;
+use tamopt_soc::Soc;
+
+/// One wrapper/TAM co-optimization request: an SOC, its total TAM width,
+/// the TAM-count range to explore, a per-request budget and a scheduling
+/// priority.
+///
+/// Requests are plain data; submission to a [`crate::Batch`] assigns the
+/// submission index and the cancellation handle.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The SOC to co-optimize.
+    pub soc: Soc,
+    /// Total TAM width `W` in wires.
+    pub width: u32,
+    /// Smallest TAM count to consider (≥ 1).
+    pub min_tams: u32,
+    /// Largest TAM count to consider (inclusive).
+    pub max_tams: u32,
+    /// Per-request budget, intersected with the batch's global budget at
+    /// dispatch. A node budget here counts the request's own step-1
+    /// partitions.
+    pub budget: SearchBudget,
+    /// Scheduling priority: higher priorities are dispatched first;
+    /// ties keep submission order. Priority affects only *when* a
+    /// request runs (and therefore which requests still fit under a
+    /// global deadline) — never its result.
+    pub priority: i32,
+}
+
+impl Request {
+    /// A request for `soc` at `width` wires with the same defaults as
+    /// [`tamopt`'s `CoOptimizer`](https://docs.rs/tamopt): TAM counts 1
+    /// to `min(10, width)`, unlimited budget, priority 0.
+    pub fn new(soc: Soc, width: u32) -> Self {
+        Request {
+            soc,
+            width,
+            min_tams: 1,
+            max_tams: 10.min(width.max(1)),
+            budget: SearchBudget::unlimited(),
+            priority: 0,
+        }
+    }
+
+    /// Sets the largest TAM count to consider.
+    pub fn max_tams(mut self, max_tams: u32) -> Self {
+        self.max_tams = max_tams;
+        self
+    }
+
+    /// Sets the smallest TAM count to consider (default 1).
+    pub fn min_tams(mut self, min_tams: u32) -> Self {
+        self.min_tams = min_tams;
+        self
+    }
+
+    /// Fixes the TAM count (problem *P_PAW*).
+    pub fn exact_tams(mut self, tams: u32) -> Self {
+        self.min_tams = tams;
+        self.max_tams = tams;
+        self
+    }
+
+    /// Replaces the per-request budget.
+    pub fn budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Tightens the per-request budget by a wall-clock limit counted
+    /// from **now** (budgets carry absolute deadlines).
+    pub fn time_limit(mut self, limit: Duration) -> Self {
+        self.budget = self.budget.and_time_limit(limit);
+        self
+    }
+
+    /// Sets the scheduling priority (default 0; higher runs earlier).
+    pub fn priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamopt_soc::benchmarks;
+
+    #[test]
+    fn defaults_mirror_the_co_optimizer() {
+        let r = Request::new(benchmarks::d695(), 24);
+        assert_eq!((r.min_tams, r.max_tams), (1, 10));
+        assert_eq!(r.priority, 0);
+        assert!(r.budget.deadline().is_none());
+        // Narrow widths clamp the default TAM range.
+        assert_eq!(Request::new(benchmarks::d695(), 4).max_tams, 4);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let r = Request::new(benchmarks::d695(), 32)
+            .min_tams(2)
+            .max_tams(6)
+            .priority(3)
+            .time_limit(Duration::from_secs(60));
+        assert_eq!((r.min_tams, r.max_tams), (2, 6));
+        assert_eq!(r.priority, 3);
+        assert!(r.budget.deadline().is_some());
+        let fixed = Request::new(benchmarks::d695(), 32).exact_tams(4);
+        assert_eq!((fixed.min_tams, fixed.max_tams), (4, 4));
+    }
+}

@@ -10,13 +10,18 @@
 //!
 //! Timing is deliberately simple — calibrate the per-iteration cost once,
 //! then time a batch sized to roughly `sample_size × 10 ms` of wall clock
-//! and report mean time per iteration. There are no statistics, plots or
-//! saved baselines. Criterion's `--test` CLI mode (run every benchmark
-//! body exactly once, measure nothing) is supported because CI uses it as
-//! a bench-rot smoke check; `--bench`, `--quiet`, `--verbose` and filter
-//! arguments are accepted and ignored. When the real crate becomes
-//! available, point `[workspace.dependencies] criterion` back at crates.io
-//! and delete this shim; no call sites need to change.
+//! and report mean time per iteration. There are no statistics or plots,
+//! but each measurement **is** persisted in the real crate's on-disk
+//! layout — `target/criterion/<id>/new/estimates.json` with a
+//! `mean.point_estimate` in nanoseconds — so estimate extractors (CI's
+//! perf-trajectory step, `tamopt_bench`'s `bench_json` bin) work
+//! unchanged against shim and real criterion alike. Criterion's `--test`
+//! CLI mode (run every benchmark body exactly once, measure nothing) is
+//! supported because CI uses it as a bench-rot smoke check; `--bench`,
+//! `--quiet`, `--verbose` and filter arguments are accepted and ignored.
+//! When the real crate becomes available, point
+//! `[workspace.dependencies] criterion` back at crates.io and delete this
+//! shim; no call sites need to change.
 //!
 //! [`criterion`]: https://crates.io/crates/criterion
 
@@ -24,6 +29,7 @@
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -176,6 +182,50 @@ fn run_one<R: FnMut(&mut Bencher)>(test_mode: bool, id: &str, sample_size: usize
     routine(&mut bencher);
     let per_iter = bencher.elapsed / iters as u32;
     println!("{id:<60} time: [{per_iter:?} per iter, {iters} iters]");
+    save_estimate(id, bencher.elapsed.as_nanos() as f64 / iters as f64);
+}
+
+/// Where measurements are persisted: `$CRITERION_HOME`, else
+/// `$CARGO_TARGET_DIR/criterion`, else `target/criterion` under the
+/// nearest ancestor directory holding a `Cargo.lock` (cargo runs bench
+/// binaries from the package root, which for workspace members is not
+/// the directory `target/` lives in).
+fn criterion_dir() -> Option<PathBuf> {
+    if let Ok(dir) = std::env::var("CRITERION_HOME") {
+        return Some(PathBuf::from(dir));
+    }
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return Some(PathBuf::from(dir).join("criterion"));
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return Some(dir.join("target").join("criterion"));
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Writes `<criterion dir>/<id>/new/estimates.json` in the subset of the
+/// real crate's schema that downstream extractors read. Persistence is
+/// best-effort: an unwritable disk must never fail a benchmark run.
+fn save_estimate(id: &str, mean_ns: f64) {
+    let Some(root) = criterion_dir() else { return };
+    let dir = id
+        .split('/')
+        .fold(root, |dir, part| dir.join(part))
+        .join("new");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let json = format!(
+        "{{\"mean\":{{\"confidence_interval\":{{\"confidence_level\":0.95,\
+         \"lower_bound\":{mean_ns},\"upper_bound\":{mean_ns}}},\
+         \"point_estimate\":{mean_ns},\"standard_error\":0.0}}}}"
+    );
+    let _ = std::fs::write(dir.join("estimates.json"), json);
 }
 
 /// Declares a function running a list of benchmark functions in order.
@@ -228,5 +278,25 @@ mod tests {
         let start = Instant::now();
         criterion.bench_function("tiny", |b| b.iter(|| black_box(1u64.wrapping_add(2))));
         assert!(start.elapsed() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn estimates_persist_in_the_real_criterion_layout() {
+        let home = std::env::temp_dir().join("criterion-shim-test");
+        std::fs::remove_dir_all(&home).ok();
+        std::env::set_var("CRITERION_HOME", &home);
+        save_estimate("group/fn/4", 1234.5);
+        std::env::remove_var("CRITERION_HOME");
+        let path = home.join("group/fn/4/new/estimates.json");
+        let json = std::fs::read_to_string(&path).expect("estimate written");
+        assert!(json.contains("\"mean\""));
+        assert!(json.contains("\"point_estimate\":1234.5"));
+        std::fs::remove_dir_all(&home).ok();
+    }
+
+    #[test]
+    fn criterion_dir_resolves_somewhere() {
+        // Under cargo the walk-up always finds the workspace Cargo.lock.
+        assert!(criterion_dir().is_some());
     }
 }
