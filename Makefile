@@ -6,8 +6,8 @@
 # crashing binary would leave the pipeline (and the diff) green.
 SHELL := /bin/bash
 
-.PHONY: all build test verify doc-gate determinism bench-smoke bench-json \
-        msrv-check lint fmt clean
+.PHONY: all build test verify doc-gate determinism serve-determinism \
+        bench-smoke bench-json bench-compare msrv-check lint fmt clean
 
 all: build test lint
 
@@ -36,7 +36,7 @@ msrv-check:
 
 # --- CI job: determinism ----------------------------------------------------
 
-determinism:
+determinism: serve-determinism
 	cargo test --release -p tamopt_partition --test determinism
 	cargo test --release -p tamopt_rail --test determinism
 	cargo test --release -p tamopt_service --test batch
@@ -57,6 +57,20 @@ determinism:
 	  | grep -v wall_clock > /tmp/batch_t4.json
 	diff /tmp/batch_t1.json /tmp/batch_t4.json
 
+# Live-daemon gate: the trace-replay suite plus a byte-level diff of the
+# `tamopt serve` stream (outcome lines + final report, minus wall_clock*
+# lines) at threads 1 vs 4 over the example trace.
+serve-determinism:
+	cargo test --release -p tamopt_service --test live
+	cargo build --release -p tamopt
+	set -o pipefail; \
+	./target/release/tamopt serve --threads 1 < examples/serve.trace \
+	  | grep -v wall_clock > /tmp/serve_t1.txt
+	set -o pipefail; \
+	./target/release/tamopt serve --threads 4 < examples/serve.trace \
+	  | grep -v wall_clock > /tmp/serve_t4.txt
+	diff /tmp/serve_t1.txt /tmp/serve_t4.txt
+
 # --- CI job: bench-smoke ----------------------------------------------------
 
 bench-smoke:
@@ -66,11 +80,24 @@ bench-smoke:
 
 bench-json:
 	rm -rf target/criterion
-	cargo bench -p tamopt_bench --bench bench_parallel --bench bench_batch
+	cargo bench -p tamopt_bench \
+	  --bench bench_parallel --bench bench_batch --bench bench_serve
 	cargo run --release -p tamopt_bench --bin bench_json -- \
 	  --prefix parallel_ --out BENCH_parallel.json
 	cargo run --release -p tamopt_bench --bin bench_json -- \
 	  --prefix batch_ --out BENCH_batch.json
+	cargo run --release -p tamopt_bench --bin bench_json -- \
+	  --prefix serve_ --out BENCH_serve.json
+
+# Perf-regression comparator (warn-only, mirrors the CI step): put the
+# previous run's exports under baseline/ and compare. Missing baselines
+# pass cleanly.
+bench-compare:
+	for family in parallel batch serve; do \
+	  cargo run --release -p tamopt_bench --bin bench_json -- \
+	    --compare baseline/BENCH_$${family}.json BENCH_$${family}.json \
+	    --threshold 15 || exit 1; \
+	done
 
 # --- CI job: lint -----------------------------------------------------------
 

@@ -1,0 +1,96 @@
+//! Throughput of the live serving daemon: a replayed eight-submission
+//! trace (three SOC families, a mid-run high-priority submission and a
+//! warm-start duplicate) dispatched by the `LiveQueue` at 1, 2 and 4
+//! worker threads, plus a warm-vs-cold pair quantifying the incumbent
+//! cache.
+//!
+//! As with `bench_batch`, eight submissions make the generation ramp
+//! (1, 2, 4, …) actually reach a four-wide schedule. The replayed
+//! stream and report are bit-identical across thread counts (asserted
+//! here before any timing), so the threads axis trades wall-clock time
+//! only. On a single-core host the multi-thread variants measure pure
+//! dispatch overhead; speedups need real CPUs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tamopt::benchmarks;
+use tamopt::service::{LiveConfig, LiveQueue, Request, RequestOutcome, Trace};
+
+fn serve_trace() -> Trace {
+    let mut trace = Trace::new()
+        .submit_at(0, Request::new(benchmarks::d695(), 32).max_tams(6))
+        .submit_at(0, Request::new(benchmarks::p31108(), 32).max_tams(4))
+        .submit_at(0, Request::new(benchmarks::d695(), 48).max_tams(6))
+        .submit_at(0, Request::new(benchmarks::p31108(), 24).max_tams(3))
+        .submit_at(0, Request::new(benchmarks::d695(), 24).max_tams(4))
+        .submit_at(0, Request::new(benchmarks::p31108(), 16).max_tams(2));
+    // Mid-run preemption and a warm-start duplicate of submission 0.
+    trace = trace.submit_at(
+        1,
+        Request::new(benchmarks::d695(), 16).max_tams(2).priority(9),
+    );
+    trace.submit_at(2, Request::new(benchmarks::d695(), 32).max_tams(6))
+}
+
+/// The deterministic portion of a replay: outcome lines + stable report
+/// lines.
+fn stable_text(stream: &[RequestOutcome], report: &tamopt::service::BatchReport) -> String {
+    let mut text: String = stream.iter().map(RequestOutcome::to_json_line).collect();
+    text.extend(
+        report
+            .to_json()
+            .lines()
+            .filter(|line| !line.contains("wall_clock"))
+            .map(|line| format!("{line}\n")),
+    );
+    text
+}
+
+fn config(threads: usize, warm_start: bool) -> LiveConfig {
+    LiveConfig {
+        warm_start,
+        ..LiveConfig::with_threads(threads)
+    }
+}
+
+fn bench_serve_threads(c: &mut Criterion) {
+    let (stream, report) = LiveQueue::replay(serve_trace(), config(1, true));
+    let reference = stable_text(&stream, &report);
+    let mut group = c.benchmark_group("serve_replay");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        // Determinism gate before timing anything.
+        let (stream, report) = LiveQueue::replay(serve_trace(), config(threads, true));
+        assert_eq!(
+            stable_text(&stream, &report),
+            reference,
+            "threads={threads} must be bit-identical"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(LiveQueue::replay(
+                        black_box(serve_trace()),
+                        config(threads, true),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // The warm-start cache on repeat SOCs: same trace, cache on vs off.
+    let mut group = c.benchmark_group("serve_warm_start");
+    group.sample_size(10);
+    for (name, warm) in [("warm", true), ("cold", false)] {
+        group.bench_with_input(BenchmarkId::new("cache", name), &warm, |b, &warm| {
+            b.iter(|| black_box(LiveQueue::replay(black_box(serve_trace()), config(1, warm))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_threads);
+criterion_main!(benches);

@@ -17,12 +17,28 @@
 //! exports everything); `--out` writes to a file instead of stdout.
 //! Finding **zero** matching estimates is an error — a silently empty
 //! trajectory is worse than a red CI step.
+//!
+//! The **comparator** mode turns two exported documents into a
+//! perf-regression report:
+//!
+//! ```text
+//! bench_json --compare OLD.json NEW.json --threshold 15
+//! ```
+//!
+//! Benchmarks present in both files are compared by `mean_ns` point
+//! estimate; regressions beyond the threshold (percent) print GitHub
+//! `::warning::` annotations. The mode is **warn-only by design** — CI
+//! timings on shared runners are noisy — so the exit code stays 0 for
+//! regressions; it is nonzero only for unreadable/empty *new* files. A
+//! missing *old* file (e.g. the first run of a repository, with no
+//! previous artifact) passes cleanly with a note.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: bench_json [--prefix <id-prefix>]... [--out <file.json>]"
+    "usage: bench_json [--prefix <id-prefix>]... [--out <file.json>]\n\
+     or:    bench_json --compare <old.json> <new.json> [--threshold <percent>]"
 }
 
 /// Where criterion persisted its measurements: `$CRITERION_HOME`, else
@@ -103,9 +119,88 @@ fn render(benchmarks: &[(String, f64)]) -> String {
     out
 }
 
+/// Parses the `benchmarks` array of an exported document back into
+/// `(id, mean_ns)` pairs. Tolerant of whitespace, intolerant of schema
+/// drift (unparseable entries are skipped, a fully empty result is the
+/// caller's error to raise).
+fn parse_export(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for chunk in json.split("\"id\":").skip(1) {
+        let Some(start) = chunk.find('"') else {
+            continue;
+        };
+        let rest = &chunk[start + 1..];
+        let Some(end) = rest.find('"') else { continue };
+        let id = rest[..end].to_owned();
+        let Some(mean) = chunk.find("\"mean_ns\":") else {
+            continue;
+        };
+        let value = chunk[mean + "\"mean_ns\":".len()..].trim_start();
+        let end = value
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+            .unwrap_or(value.len());
+        if let Ok(mean_ns) = value[..end].parse::<f64>() {
+            out.push((id, mean_ns));
+        }
+    }
+    out
+}
+
+/// The comparator: matches ids across two exports and reports per-id
+/// deltas. Returns the `::warning::` count (informational — the mode is
+/// warn-only).
+fn compare(old_path: &str, new_path: &str, threshold_percent: f64) -> Result<u32, String> {
+    let Ok(old_json) = std::fs::read_to_string(old_path) else {
+        // No baseline — the first run of the trajectory. Nothing to
+        // compare against is a clean pass, not an error.
+        println!("no baseline at {old_path}; skipping comparison (first run?)");
+        return Ok(0);
+    };
+    let new_json =
+        std::fs::read_to_string(new_path).map_err(|e| format!("cannot read `{new_path}`: {e}"))?;
+    let old: Vec<(String, f64)> = parse_export(&old_json);
+    let new: Vec<(String, f64)> = parse_export(&new_json);
+    if new.is_empty() {
+        return Err(format!("no benchmark estimates in `{new_path}`"));
+    }
+    let old_by_id: std::collections::HashMap<&str, f64> =
+        old.iter().map(|(id, ns)| (id.as_str(), *ns)).collect();
+    let mut warnings = 0u32;
+    let mut matched = 0u32;
+    for (id, new_ns) in &new {
+        let Some(&old_ns) = old_by_id.get(id.as_str()) else {
+            println!("{id}: new benchmark, no baseline");
+            continue;
+        };
+        matched += 1;
+        if old_ns <= 0.0 {
+            println!("{id}: baseline is non-positive ({old_ns} ns), skipped");
+            continue;
+        }
+        let delta_percent = (new_ns / old_ns - 1.0) * 100.0;
+        if delta_percent > threshold_percent {
+            // GitHub annotation syntax: surfaces on the PR without
+            // failing the job (timings are noisy on shared runners).
+            println!(
+                "::warning title=bench regression::{id}: {old_ns:.0} ns -> {new_ns:.0} ns \
+                 ({delta_percent:+.1} %, threshold {threshold_percent} %)"
+            );
+            warnings += 1;
+        } else {
+            println!("{id}: {old_ns:.0} ns -> {new_ns:.0} ns ({delta_percent:+.1} %)");
+        }
+    }
+    println!(
+        "compared {matched} benchmark(s): {warnings} regression(s) beyond {threshold_percent} %"
+    );
+    Ok(warnings)
+}
+
 fn main() -> ExitCode {
     let mut prefixes: Vec<String> = Vec::new();
     let mut out_path: Option<String> = None;
+    let mut compare_paths: Option<(String, String)> = None;
+    let mut threshold = 15.0f64;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
@@ -115,6 +210,14 @@ fn main() -> ExitCode {
         let result = match flag.as_str() {
             "--prefix" => value("--prefix").map(|v| prefixes.push(v)),
             "--out" => value("--out").map(|v| out_path = Some(v)),
+            "--compare" => value("--compare <old>").and_then(|old| {
+                value("--compare <new>").map(|new| compare_paths = Some((old, new)))
+            }),
+            "--threshold" => value("--threshold").and_then(|v| {
+                v.parse::<f64>()
+                    .map(|t| threshold = t)
+                    .map_err(|_| "invalid --threshold value".to_owned())
+            }),
             "--help" | "-h" => Err(usage().to_owned()),
             other => Err(format!("unknown flag `{other}`\n{}", usage())),
         };
@@ -122,6 +225,16 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
+    }
+
+    if let Some((old, new)) = &compare_paths {
+        return match compare(old, new, threshold) {
+            Ok(_warnings) => ExitCode::SUCCESS, // warn-only by design
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let Some(root) = criterion_dir() else {
@@ -173,6 +286,66 @@ mod tests {
         assert_eq!(extract_mean_ns(real), Some(7250.0));
         assert_eq!(extract_mean_ns("{}"), None);
         assert_eq!(extract_mean_ns("{\"mean\":{}}"), None);
+    }
+
+    #[test]
+    fn parse_export_roundtrips_render() {
+        let doc = render(&[
+            ("a/threads/1".to_owned(), 1500.0),
+            ("b/threads/4".to_owned(), 2.5e6),
+        ]);
+        assert_eq!(
+            parse_export(&doc),
+            vec![
+                ("a/threads/1".to_owned(), 1500.0),
+                ("b/threads/4".to_owned(), 2.5e6)
+            ]
+        );
+        assert!(parse_export("{}").is_empty());
+        assert!(parse_export("{\"benchmarks\": []}").is_empty());
+    }
+
+    #[test]
+    fn comparator_flags_only_regressions_beyond_threshold() {
+        let dir = std::env::temp_dir().join("bench-json-compare-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("old.json");
+        let new = dir.join("new.json");
+        std::fs::write(
+            &old,
+            render(&[
+                ("steady".to_owned(), 1000.0),
+                ("regressed".to_owned(), 1000.0),
+                ("improved".to_owned(), 1000.0),
+                ("retired".to_owned(), 1000.0),
+            ]),
+        )
+        .unwrap();
+        std::fs::write(
+            &new,
+            render(&[
+                ("steady".to_owned(), 1100.0),    // +10 %: under threshold
+                ("regressed".to_owned(), 1300.0), // +30 %: flagged
+                ("improved".to_owned(), 700.0),
+                ("fresh".to_owned(), 500.0), // no baseline
+            ]),
+        )
+        .unwrap();
+        let warnings =
+            compare(old.to_str().unwrap(), new.to_str().unwrap(), 15.0).expect("compare runs");
+        assert_eq!(warnings, 1, "only the +30 % entry trips the threshold");
+        // A missing baseline file is a clean pass, not an error…
+        let missing = dir.join("does-not-exist.json");
+        assert_eq!(
+            compare(missing.to_str().unwrap(), new.to_str().unwrap(), 15.0),
+            Ok(0)
+        );
+        // …but an empty/unreadable *new* export is a hard error.
+        let empty = dir.join("empty.json");
+        std::fs::write(&empty, "{}").unwrap();
+        assert!(compare(old.to_str().unwrap(), empty.to_str().unwrap(), 15.0).is_err());
+        assert!(compare(old.to_str().unwrap(), missing.to_str().unwrap(), 15.0).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

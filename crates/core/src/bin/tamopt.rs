@@ -10,6 +10,9 @@
 //!
 //!   tamopt batch <manifest> [--threads <N>] [--time-limit <seconds>]
 //!                [--out <report.json>]
+//!
+//!   tamopt serve [--threads <N>] [--time-limit <seconds>]
+//!                [--no-warm-start]
 //! ```
 //!
 //! Examples:
@@ -21,6 +24,7 @@
 //! tamopt --soc d695 --width 48 --max-tams 6 --analyze --gantt --rail
 //! tamopt --soc p21241 --width 64 --max-tams 6 --svg schedule.svg
 //! tamopt batch examples/batch.manifest --threads 4
+//! tamopt serve --threads 4 < examples/serve.trace
 //! ```
 //!
 //! A batch manifest holds one request per line — `<soc> <width>
@@ -28,6 +32,18 @@
 //! `time-limit`, `node-budget`); `#` starts a comment. The report is
 //! deterministic JSON (see [`tamopt::service`]): identical for every
 //! `--threads` value once its `wall_clock` lines are filtered.
+//!
+//! `tamopt serve` runs the live daemon: it reads the same request lines
+//! from **stdin** (plus `cancel <id>` lines) and streams one JSON
+//! outcome line per request to stdout as results complete, submitting
+//! each line the moment it is read — a high-priority request entered
+//! while earlier work runs preempts the queued backlog. A final pretty
+//! report follows once stdin closes. If the first line starts with
+//! `@<generation>`, the whole input is a deterministic submission
+//! *trace* instead (every line tagged, e.g. `@2 d695 32 6 priority=4`
+//! or `@3 cancel 1`): the queue replays it, and the full stdout —
+//! stream and report, minus `wall_clock*` lines — is byte-identical for
+//! every `--threads` value.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -38,7 +54,7 @@ use tamopt::cost::{BusCost, GateWeights};
 use tamopt::engine::SearchBudget;
 use tamopt::rail::{design_rails, RailConfig, RailCostModel};
 use tamopt::schedule::TestSchedule;
-use tamopt::service::{BatchConfig, Request, RequestStatus};
+use tamopt::service::{BatchConfig, LiveConfig, LiveQueue, Request, RequestStatus, Trace};
 use tamopt::soc::format::parse_soc;
 use tamopt::{benchmarks, CoOptimizer, Soc, Strategy};
 
@@ -195,6 +211,51 @@ fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs,
     })
 }
 
+/// Parses one request line — `<soc> <width> <max-tams> [key=value]…` —
+/// shared by the batch manifest and the serve protocol.
+fn parse_request_line(line: &str) -> Result<Request, String> {
+    let mut fields = line.split_whitespace();
+    let soc_name = fields.next().ok_or_else(|| "empty request".to_owned())?;
+    let width: u32 = fields
+        .next()
+        .ok_or_else(|| "missing <width>".to_owned())?
+        .parse()
+        .map_err(|_| "invalid <width>".to_owned())?;
+    let max_tams: u32 = fields
+        .next()
+        .ok_or_else(|| "missing <max-tams>".to_owned())?
+        .parse()
+        .map_err(|_| "invalid <max-tams>".to_owned())?;
+    let soc = load_soc(soc_name)?;
+    let mut request = Request::new(soc, width).max_tams(max_tams);
+    for option in fields {
+        let (key, value) = option
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got `{option}`"))?;
+        request = match key {
+            "min-tams" => request.min_tams(
+                value
+                    .parse()
+                    .map_err(|_| "invalid min-tams value".to_owned())?,
+            ),
+            "priority" => request.priority(
+                value
+                    .parse()
+                    .map_err(|_| "invalid priority value".to_owned())?,
+            ),
+            "time-limit" => request.time_limit(parse_time_limit(value)?),
+            "node-budget" => {
+                let nodes: u64 = value
+                    .parse()
+                    .map_err(|_| "invalid node-budget value".to_owned())?;
+                request.budget(SearchBudget::node_limited(nodes))
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        };
+    }
+    Ok(request)
+}
+
 /// Parses a request manifest: one request per line, `#` comments.
 fn parse_manifest(text: &str) -> Result<Vec<Request>, String> {
     let mut requests = Vec::new();
@@ -203,46 +264,8 @@ fn parse_manifest(text: &str) -> Result<Vec<Request>, String> {
         if line.is_empty() {
             continue;
         }
-        let context = |message: String| format!("manifest line {}: {message}", number + 1);
-        let mut fields = line.split_whitespace();
-        let soc_name = fields.next().expect("non-empty line has a first field");
-        let width: u32 = fields
-            .next()
-            .ok_or_else(|| context("missing <width>".to_owned()))?
-            .parse()
-            .map_err(|_| context("invalid <width>".to_owned()))?;
-        let max_tams: u32 = fields
-            .next()
-            .ok_or_else(|| context("missing <max-tams>".to_owned()))?
-            .parse()
-            .map_err(|_| context("invalid <max-tams>".to_owned()))?;
-        let soc = load_soc(soc_name).map_err(&context)?;
-        let mut request = Request::new(soc, width).max_tams(max_tams);
-        for option in fields {
-            let (key, value) = option
-                .split_once('=')
-                .ok_or_else(|| context(format!("expected key=value, got `{option}`")))?;
-            request = match key {
-                "min-tams" => request.min_tams(
-                    value
-                        .parse()
-                        .map_err(|_| context("invalid min-tams value".to_owned()))?,
-                ),
-                "priority" => request.priority(
-                    value
-                        .parse()
-                        .map_err(|_| context("invalid priority value".to_owned()))?,
-                ),
-                "time-limit" => request.time_limit(parse_time_limit(value).map_err(&context)?),
-                "node-budget" => {
-                    let nodes: u64 = value
-                        .parse()
-                        .map_err(|_| context("invalid node-budget value".to_owned()))?;
-                    request.budget(SearchBudget::node_limited(nodes))
-                }
-                other => return Err(context(format!("unknown option `{other}`"))),
-            };
-        }
+        let request = parse_request_line(line)
+            .map_err(|message| format!("manifest line {}: {message}", number + 1))?;
         requests.push(request);
     }
     if requests.is_empty() {
@@ -296,6 +319,255 @@ fn batch_main(argv: impl Iterator<Item = String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+#[derive(Debug)]
+struct ServeArgs {
+    threads: usize,
+    time_limit: Option<Duration>,
+    warm_start: bool,
+}
+
+fn serve_usage() -> &'static str {
+    "usage: tamopt serve [--threads <N, 0 = all CPUs>] [--time-limit <seconds>] \
+     [--no-warm-start]\n\
+     stdin lines: <soc> <width> <max-tams> [min-tams=N] [priority=P] \
+     [time-limit=S] [node-budget=N]  |  cancel <id>\n\
+     prefix every line with @<generation> to replay a deterministic trace"
+}
+
+fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
+    let mut threads = 1usize;
+    let mut time_limit = None;
+    let mut warm_start = true;
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--threads" => threads = parse_threads(&value("--threads")?)?,
+            "--time-limit" => time_limit = Some(parse_time_limit(&value("--time-limit")?)?),
+            "--no-warm-start" => warm_start = false,
+            "--help" | "-h" => return Err(serve_usage().to_owned()),
+            other => return Err(format!("unknown argument `{other}`\n{}", serve_usage())),
+        }
+    }
+    Ok(ServeArgs {
+        threads,
+        time_limit,
+        warm_start,
+    })
+}
+
+/// One directive of the serve protocol.
+#[derive(Debug)]
+enum ServeLine {
+    Submit(Request),
+    Cancel(usize),
+}
+
+/// Parses one serve stdin line into an optional `@generation` tag and a
+/// directive; comments and blank lines yield `None`.
+fn parse_serve_line(raw: &str) -> Result<Option<(Option<u32>, ServeLine)>, String> {
+    let line = raw.split('#').next().unwrap_or_default().trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let (generation, rest) = match line.strip_prefix('@') {
+        Some(tagged) => {
+            let (tag, rest) = tagged
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "missing directive after @<generation>".to_owned())?;
+            let generation: u32 = tag
+                .parse()
+                .map_err(|_| format!("invalid generation tag `@{tag}`"))?;
+            (Some(generation), rest.trim())
+        }
+        None => (None, line),
+    };
+    let directive = match rest.strip_prefix("cancel") {
+        Some(id) if id.starts_with(char::is_whitespace) => {
+            let id: usize = id
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid cancel id `{}`", id.trim()))?;
+            ServeLine::Cancel(id)
+        }
+        _ => ServeLine::Submit(parse_request_line(rest)?),
+    };
+    Ok(Some((generation, directive)))
+}
+
+fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
+    let args = match parse_serve_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = LiveConfig::with_threads(args.threads);
+    config.warm_start = args.warm_start;
+    if let Some(limit) = args.time_limit {
+        config = config.time_limit(limit);
+    }
+
+    use std::io::BufRead as _;
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines().enumerate();
+
+    // The first directive decides the mode: `@`-tagged → deterministic
+    // trace replay; untagged → live submission as lines arrive.
+    let first = loop {
+        match lines.next() {
+            None => break None,
+            Some((number, line)) => {
+                let line = match line {
+                    Ok(l) => l,
+                    Err(e) => {
+                        eprintln!("serve: cannot read stdin: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match parse_serve_line(&line) {
+                    Ok(None) => continue,
+                    Ok(Some(directive)) => break Some((number, directive)),
+                    Err(msg) => {
+                        eprintln!("serve: line {}: {msg}", number + 1);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+    };
+
+    let report = match first {
+        // Empty input: an empty trace still owes a valid (empty) report.
+        None => {
+            let (_, report) = LiveQueue::replay(Trace::new(), config);
+            report
+        }
+        Some((_, (Some(generation), directive))) => {
+            // Trace mode: collect the whole input, then replay.
+            let mut trace = match directive {
+                ServeLine::Submit(request) => Trace::new().submit_at(generation, request),
+                ServeLine::Cancel(id) => Trace::new().cancel_at(generation, id),
+            };
+            for (number, line) in lines {
+                let line = match line {
+                    Ok(l) => l,
+                    Err(e) => {
+                        eprintln!("serve: cannot read stdin: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match parse_serve_line(&line) {
+                    Ok(None) => {}
+                    Ok(Some((Some(generation), ServeLine::Submit(request)))) => {
+                        trace = trace.submit_at(generation, request);
+                    }
+                    Ok(Some((Some(generation), ServeLine::Cancel(id)))) => {
+                        trace = trace.cancel_at(generation, id);
+                    }
+                    Ok(Some((None, _))) => {
+                        eprintln!(
+                            "serve: line {}: missing @<generation> tag (trace mode)",
+                            number + 1
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    Err(msg) => {
+                        eprintln!("serve: line {}: {msg}", number + 1);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let (stream, report) = LiveQueue::replay(trace, config);
+            for outcome in &stream {
+                print!("{}", outcome.to_json_line());
+            }
+            report
+        }
+        Some((first_number, (None, first_directive))) => {
+            // Live mode: submit each line as it is read; outcomes stream
+            // concurrently. Parse errors are reported and skipped — work
+            // already submitted keeps running — but fail the exit code.
+            let queue = LiveQueue::start(config);
+            let mut parse_errors = 0u32;
+            let report = std::thread::scope(|scope| {
+                let printer = scope.spawn(|| {
+                    use std::io::Write as _;
+                    let mut out = std::io::stdout().lock();
+                    while let Some(outcome) = queue.recv_outcome() {
+                        let _ = out.write_all(outcome.to_json_line().as_bytes());
+                        let _ = out.flush();
+                    }
+                });
+                let apply = |number: usize, directive: ServeLine, errors: &mut u32| match directive
+                {
+                    ServeLine::Submit(request) => {
+                        if queue.submit(request).is_err() {
+                            eprintln!("serve: line {}: queue is shut down", number + 1);
+                            *errors += 1;
+                        }
+                    }
+                    ServeLine::Cancel(id) => {
+                        if !queue.cancel(id.into()) {
+                            eprintln!("serve: line {}: unknown request id {id}", number + 1);
+                            *errors += 1;
+                        }
+                    }
+                };
+                apply(first_number, first_directive, &mut parse_errors);
+                for (number, line) in lines {
+                    let line = match line {
+                        Ok(l) => l,
+                        Err(e) => {
+                            eprintln!("serve: cannot read stdin: {e}");
+                            parse_errors += 1;
+                            break;
+                        }
+                    };
+                    match parse_serve_line(&line) {
+                        Ok(None) => {}
+                        Ok(Some((None, directive))) => {
+                            apply(number, directive, &mut parse_errors);
+                        }
+                        Ok(Some((Some(_), _))) => {
+                            eprintln!(
+                                "serve: line {}: @<generation> tags are only valid when the \
+                                 whole input is a trace",
+                                number + 1
+                            );
+                            parse_errors += 1;
+                        }
+                        Err(msg) => {
+                            eprintln!("serve: line {}: {msg}", number + 1);
+                            parse_errors += 1;
+                        }
+                    }
+                }
+                let report = queue.shutdown().expect("first shutdown");
+                printer.join().expect("printer thread");
+                report
+            });
+            if parse_errors > 0 {
+                eprintln!("{parse_errors} invalid line(s)");
+                print!("{}", report.to_json());
+                return ExitCode::FAILURE;
+            }
+            report
+        }
+    };
+
+    print!("{}", report.to_json());
+    let failed = report.count(RequestStatus::Failed);
+    if failed > 0 {
+        eprintln!("{failed} request(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn load_soc(name: &str) -> Result<Soc, String> {
     match name {
         "d695" => Ok(benchmarks::d695()),
@@ -315,6 +587,10 @@ fn main() -> ExitCode {
     if argv.peek().map(String::as_str) == Some("batch") {
         argv.next();
         return batch_main(argv);
+    }
+    if argv.peek().map(String::as_str) == Some("serve") {
+        argv.next();
+        return serve_main(argv);
     }
     let args = match parse_args(argv) {
         Ok(a) => a,
@@ -561,6 +837,63 @@ mod tests {
         assert_eq!(requests[1].priority, 1);
         assert_eq!(requests[1].min_tams, 2);
         assert_eq!(requests[2].budget.node_budget(), Some(100));
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let a = parse_serve_args(
+            ["--threads", "4", "--no-warm-start"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(a.threads, 4);
+        assert!(!a.warm_start);
+        assert!(a.time_limit.is_none());
+        let b = parse_serve_args(["--time-limit", "2.5"].iter().map(|s| s.to_string())).unwrap();
+        assert!(b.warm_start);
+        assert_eq!(b.time_limit, Some(Duration::from_millis(2500)));
+        assert!(parse_serve_args(["--frobnicate".to_string()].into_iter()).is_err());
+        assert!(parse_serve_args(["positional".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn parses_serve_lines() {
+        assert!(parse_serve_line("# comment").unwrap().is_none());
+        assert!(parse_serve_line("   ").unwrap().is_none());
+        let (tag, line) = parse_serve_line("d695 32 6 priority=2").unwrap().unwrap();
+        assert!(tag.is_none());
+        match line {
+            ServeLine::Submit(request) => {
+                assert_eq!(request.width, 32);
+                assert_eq!(request.priority, 2);
+            }
+            other => panic!("expected a submit, got {other:?}"),
+        }
+        let (tag, line) = parse_serve_line("@3 cancel 7 # trailing").unwrap().unwrap();
+        assert_eq!(tag, Some(3));
+        assert!(matches!(line, ServeLine::Cancel(7)));
+        let (tag, _) = parse_serve_line("@0 d695 16 2").unwrap().unwrap();
+        assert_eq!(tag, Some(0));
+    }
+
+    #[test]
+    fn serve_line_errors_are_precise() {
+        assert!(parse_serve_line("@x d695 16 2")
+            .unwrap_err()
+            .contains("generation tag"));
+        assert!(parse_serve_line("@5")
+            .unwrap_err()
+            .contains("missing directive"));
+        assert!(parse_serve_line("cancel seven")
+            .unwrap_err()
+            .contains("invalid cancel id"));
+        assert!(parse_serve_line("d695 16")
+            .unwrap_err()
+            .contains("max-tams"));
+        // `cancel` with no id falls through to request parsing and
+        // errors there (no SOC named `cancel`).
+        assert!(parse_serve_line("cancel").is_err());
     }
 
     #[test]

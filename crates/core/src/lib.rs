@@ -44,7 +44,7 @@
 //! | [`assign`] | `Core_assign`, exact B&B, the Section 3.2 ILP | *P_AW* |
 //! | [`partition`] | `Partition_evaluate`, exhaustive baseline, pipeline | *P_PAW*, *P_NPAW* |
 //! | [`engine`] | deterministic parallel executor, `SearchBudget`, shared `τ` | — |
-//! | [`service`] | batched multi-SOC request queue on one worker pool | extension |
+//! | [`service`] | batched + live multi-SOC request queues on one worker pool | extension |
 //! | [`lp`], [`ilp`] | simplex + branch-and-bound substrate (lpsolve stand-in) | — |
 //! | [`rail`] | TestRail (daisy-chain) model of the paper's ref [11] | extension |
 //! | [`analysis`] | idle-wire / utilization metrics behind the paper's motivation | extension |
@@ -108,9 +108,11 @@ pub mod engine {
     pub use tamopt_engine::*;
 }
 
-/// Batched multi-SOC co-optimization service: request queues,
-/// per-request budgets and cancellation, deterministic batch reports
-/// (re-export of [`tamopt_service`]). See also [`CoOptimizer::batch`].
+/// Batched and live multi-SOC co-optimization service: request queues,
+/// per-request budgets and cancellation, deterministic batch reports,
+/// and the live daemon (`LiveQueue`) with trace replay and warm-start
+/// caching (re-export of [`tamopt_service`]). See also
+/// [`CoOptimizer::batch`] and [`CoOptimizer::serve`].
 pub mod service {
     pub use tamopt_service::*;
 }

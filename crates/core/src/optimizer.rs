@@ -167,6 +167,38 @@ impl CoOptimizer {
         tamopt_service::run_batch(requests, config)
     }
 
+    /// Starts a live serving daemon — the long-running front-end of the
+    /// service layer ([`tamopt_service::live`], re-exported as
+    /// [`crate::service`]).
+    ///
+    /// Unlike [`CoOptimizer::batch`], the returned
+    /// [`LiveQueue`](crate::service::LiveQueue) accepts
+    /// [`submit`](crate::service::LiveQueue::submit) calls *while
+    /// requests execute*: the dispatcher re-reads the priority queue at
+    /// every generation barrier (so a high-priority submission preempts
+    /// queued work), streams outcomes as they complete, and warm-starts
+    /// repeat SOCs from a per-queue incumbent cache. Call
+    /// [`shutdown`](crate::service::LiveQueue::shutdown) to drain the
+    /// backlog and collect the final report. For reproducible runs, see
+    /// [`LiveQueue::replay`](crate::service::LiveQueue::replay).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tamopt::service::{LiveConfig, Request};
+    /// use tamopt::{benchmarks, CoOptimizer};
+    ///
+    /// let queue = CoOptimizer::serve(LiveConfig::default());
+    /// queue
+    ///     .submit(Request::new(benchmarks::d695(), 16).max_tams(2))
+    ///     .unwrap();
+    /// let report = queue.shutdown().unwrap();
+    /// assert!(report.complete);
+    /// ```
+    pub fn serve(config: tamopt_service::LiveConfig) -> tamopt_service::LiveQueue {
+        tamopt_service::LiveQueue::start(config)
+    }
+
     /// Runs the optimization and assembles the [`Architecture`].
     ///
     /// # Errors

@@ -1,9 +1,38 @@
 //! End-to-end tests of the `tamopt` command-line binary.
 
-use std::process::Command;
+use std::io::Write as _;
+use std::process::{Command, Stdio};
 
 fn tamopt() -> Command {
     Command::new(env!("CARGO_BIN_EXE_tamopt"))
+}
+
+/// Runs `tamopt serve` with `stdin` piped in and returns the output.
+fn serve(stdin: &str, args: &[&str]) -> std::process::Output {
+    let mut child = tamopt()
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("stdin accepts the trace");
+    child.wait_with_output().expect("binary exits")
+}
+
+/// Drops the lines whose values legitimately vary run to run.
+fn stable_lines(raw: &[u8]) -> String {
+    String::from_utf8_lossy(raw)
+        .lines()
+        .filter(|l| !l.contains("wall_clock"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[test]
@@ -185,6 +214,78 @@ fn batch_bad_manifest_fails_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn serve_streams_outcomes_then_a_final_report() {
+    // Equal priorities: ties dispatch in submission order, so the
+    // stream order is deterministic even in live mode.
+    let out = serve("d695 16 2\nd695 24 3\n", &[]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    // Two compact outcome lines precede the pretty report.
+    assert!(lines[0].starts_with("{\"id\": 0,"), "line: {}", lines[0]);
+    assert!(lines[1].starts_with("{\"id\": 1,"), "line: {}", lines[1]);
+    assert!(stdout.contains("\"schema\": \"tamopt.batch-report/v1\""));
+    assert!(stdout.contains("\"complete\": true"));
+    assert_eq!(stdout.matches("\"status\": \"complete\"").count(), 4);
+}
+
+#[test]
+fn serve_trace_replay_is_thread_count_invariant() {
+    let trace = "@0 d695 32 6\n\
+                 @0 d695 16 2\n\
+                 @0 p31108 24 3\n\
+                 @1 d695 24 3 priority=9\n\
+                 @1 cancel 1\n";
+    let t1 = serve(trace, &["--threads", "1"]);
+    let t4 = serve(trace, &["--threads", "4"]);
+    assert!(t1.status.success() && t4.status.success());
+    let (s1, s4) = (stable_lines(&t1.stdout), stable_lines(&t4.stdout));
+    assert_eq!(s1, s4, "replayed serve output must not depend on threads");
+    // The high-priority mid-run submission (id 3) streams before the
+    // queued id 2…
+    let id3 = s1.find("{\"id\": 3,").expect("id 3 streamed");
+    let id2 = s1.find("{\"id\": 2,").expect("id 2 streamed");
+    assert!(id3 < id2, "priority 9 preempts the queued backlog");
+    // …and id 1 was cancelled at the same barrier, before dispatch.
+    assert!(s1.contains(
+        "{\"id\": 1, \"soc\": \"d695\", \"width\": 16, \"min_tams\": 1, \
+         \"max_tams\": 2, \"priority\": 0, \"status\": \"cancelled\"}"
+    ));
+}
+
+#[test]
+fn serve_empty_input_reports_cleanly() {
+    let out = serve("# nothing but comments\n\n", &[]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"complete\": true"));
+    assert!(stdout.contains("\"requests\": ["));
+}
+
+#[test]
+fn serve_rejects_mixed_and_malformed_input() {
+    // Untagged line in a trace: fatal before any work runs.
+    let out = serve("@0 d695 16 2\nd695 24 3\n", &[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+    // Malformed line in live mode: reported, skipped, exit code fails,
+    // but the valid submission still ran.
+    let out = serve("d695 16 2\nbogus!\n", &[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"status\": \"complete\""));
 }
 
 #[test]

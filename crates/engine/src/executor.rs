@@ -142,7 +142,7 @@ pub fn search_chunks<T, C, E, F, M>(
     config: &ParallelConfig,
     budget: &SearchBudget,
     eval: F,
-    mut merge: M,
+    merge: M,
 ) -> Result<SearchStatus, E>
 where
     T: Send,
@@ -151,36 +151,77 @@ where
     F: Fn(u64, Vec<T>) -> Result<C, E> + Sync,
     M: FnMut(C) -> Result<(), E>,
 {
-    struct Producer<I: Iterator> {
-        items: std::iter::Fuse<I>,
-        chunk_size: usize,
-        next_base: u64,
-    }
-    impl<I: Iterator> Producer<I> {
-        fn produce<C, E>(&mut self, width: usize) -> Vec<Slot<I::Item, C, E>> {
-            let mut slots = Vec::with_capacity(width);
-            for _ in 0..width {
-                let chunk: Vec<I::Item> = self.items.by_ref().take(self.chunk_size).collect();
-                if chunk.is_empty() {
-                    break;
-                }
-                let base = self.next_base;
-                self.next_base += chunk.len() as u64;
-                slots.push(Slot {
-                    base,
-                    items: chunk,
-                    out: None,
-                });
-            }
-            slots
-        }
-    }
+    let mut items = items.fuse();
+    search_generations(
+        |_generation, capacity| items.by_ref().take(capacity).collect(),
+        config,
+        budget,
+        eval,
+        merge,
+    )
+}
 
+/// [`search_chunks`] with the item stream replaced by a **generation
+/// barrier hook**: `produce(generation, capacity)` runs on the calling
+/// thread at every generation boundary — while all workers are parked —
+/// and returns the items to dispatch in that generation.
+///
+/// This is the engine-level primitive behind dynamic schedulers (e.g. a
+/// live request queue that re-reads its priority queue between
+/// generations): because the hook runs under the barrier, it may consult
+/// and mutate caller state that `merge` also touches, admit work that
+/// arrived after the search started, and reorder what it hands out —
+/// all without breaking the determinism contract, which now reads: for a
+/// fixed *sequence of produced generations*, the merged outcome at
+/// `threads = N` is bit-identical to `threads = 1`.
+///
+/// `capacity` is the generation's chunk budget in items
+/// (`generation_width(g) × chunk_size` under the exponential ramp);
+/// returning more than `capacity` items simply widens the generation
+/// (still deterministically — the schedule depends only on the hook's
+/// return values). Returning an **empty** vector ends the search with
+/// [`SearchStatus::Complete`]; the hook may block (e.g. on a condition
+/// variable) to wait for more work instead. The budget is polled between
+/// generations, *before* the hook runs, so a blocking hook is not
+/// consulted once the budget has expired.
+pub fn search_generations<T, C, E, F, M, P>(
+    mut produce: P,
+    config: &ParallelConfig,
+    budget: &SearchBudget,
+    eval: F,
+    mut merge: M,
+) -> Result<SearchStatus, E>
+where
+    T: Send,
+    C: Send,
+    E: Send,
+    P: FnMut(u32, usize) -> Vec<T>,
+    F: Fn(u64, Vec<T>) -> Result<C, E> + Sync,
+    M: FnMut(C) -> Result<(), E>,
+{
     let threads = config.effective_threads().max(1);
-    let mut producer = Producer {
-        items: items.fuse(),
-        chunk_size: config.chunk_size.max(1),
-        next_base: 0,
+    let chunk_size = config.chunk_size.max(1);
+    // Global index of the next item — doubles as the dispatched-item
+    // count the node budget is polled against. Passed into the closure
+    // by reference so the budget poll can read it between calls.
+    let mut next_base = 0u64;
+    let mut produce_generation = |generation: u32, next_base: &mut u64| -> Vec<Slot<T, C, E>> {
+        let width = config.generation_width(generation);
+        let mut produced = produce(generation, width * chunk_size).into_iter();
+        let mut slots = Vec::with_capacity(width);
+        loop {
+            let chunk: Vec<T> = produced.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break slots;
+            }
+            let base = *next_base;
+            *next_base += chunk.len() as u64;
+            slots.push(Slot {
+                base,
+                items: chunk,
+                out: None,
+            });
+        }
     };
     let mut generation = 0u32;
 
@@ -189,10 +230,10 @@ where
         // of one generation are all evaluated before any is merged, so
         // they observe the same shared state as parallel workers would.
         loop {
-            if generation > 0 && budget.is_exhausted(producer.next_base) {
+            if generation > 0 && budget.is_exhausted(next_base) {
                 return Ok(SearchStatus::Truncated);
             }
-            let mut gen = producer.produce(config.generation_width(generation));
+            let mut gen = produce_generation(generation, &mut next_base);
             if gen.is_empty() {
                 return Ok(SearchStatus::Complete);
             }
@@ -251,11 +292,11 @@ where
         // shutdown protocol below, or the workers would stay parked on
         // the start barrier forever and scope-join would deadlock.
         let driver = catch_unwind(AssertUnwindSafe(|| loop {
-            if generation > 0 && budget.is_exhausted(producer.next_base) {
+            if generation > 0 && budget.is_exhausted(next_base) {
                 status = SearchStatus::Truncated;
                 break;
             }
-            let gen = producer.produce(config.generation_width(generation));
+            let gen = produce_generation(generation, &mut next_base);
             if gen.is_empty() {
                 break;
             }
@@ -604,6 +645,102 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn generation_hook_sees_the_ramp() {
+        // The hook runs once per generation with the ramped capacity;
+        // returning fewer items than the capacity keeps the search going.
+        let mut calls: Vec<(u32, usize)> = Vec::new();
+        let mut merged: Vec<u64> = Vec::new();
+        let mut remaining = 10u32;
+        let status = search_generations(
+            |generation, capacity| {
+                calls.push((generation, capacity));
+                let take = remaining.min(3);
+                remaining -= take;
+                (0..take).collect::<Vec<u32>>()
+            },
+            &ParallelConfig {
+                threads: 1,
+                chunk_size: 2,
+                chunks_per_generation: 4,
+            },
+            &SearchBudget::unlimited(),
+            |base, chunk: Vec<u32>| Ok::<_, ()>(base + chunk.len() as u64),
+            |v| {
+                merged.push(v);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert!(status.is_complete());
+        // Capacities follow the exponential ramp × chunk_size: 1×2, 2×2,
+        // 4×2 (cap), …; the final call finds nothing and ends the search.
+        assert_eq!(calls, vec![(0, 2), (1, 4), (2, 8), (3, 8), (4, 8)]);
+        // 3 items per call → chunks (2,1), (2,1), (2,1), (1): bases
+        // advance across generations.
+        assert_eq!(merged, vec![2, 3, 5, 6, 8, 9, 10]);
+    }
+
+    #[test]
+    fn dynamic_production_is_thread_count_invariant() {
+        // A hook that "admits" new work depending on the generation index
+        // (the live-queue pattern) must still merge bit-identically for
+        // every thread count.
+        let run = |threads: usize| {
+            let mut queue: Vec<u64> = (0..40).collect();
+            let mut merged = Vec::new();
+            let status = search_generations(
+                |generation, capacity| {
+                    if generation == 2 {
+                        // Mid-run submission, admitted at the barrier.
+                        queue.extend(1000..1010);
+                    }
+                    let take = capacity.min(queue.len());
+                    queue.drain(..take).collect::<Vec<u64>>()
+                },
+                &ParallelConfig {
+                    threads,
+                    chunk_size: 4,
+                    chunks_per_generation: 4,
+                },
+                &SearchBudget::unlimited(),
+                |base, chunk: Vec<u64>| Ok::<_, ()>((base, chunk)),
+                |(base, chunk)| {
+                    merged.push((base, chunk));
+                    Ok(())
+                },
+            )
+            .unwrap();
+            assert!(status.is_complete());
+            merged
+        };
+        let reference = run(1);
+        assert_eq!(reference.iter().map(|(_, c)| c.len()).sum::<usize>(), 50);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), reference, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn hook_budget_is_polled_before_producing() {
+        // Once the budget expires, the hook must not be consulted again —
+        // a blocking hook would otherwise hang a truncated search.
+        let mut calls = 0u32;
+        let status = search_generations(
+            |_, capacity| {
+                calls += 1;
+                vec![0u32; capacity]
+            },
+            &ParallelConfig::with_threads(4),
+            &SearchBudget::time_limited(Duration::ZERO),
+            |_, _chunk| Ok::<_, ()>(()),
+            |()| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(status, SearchStatus::Truncated);
+        assert_eq!(calls, 1, "only the always-run first generation produced");
     }
 
     #[test]

@@ -52,5 +52,5 @@ pub mod executor;
 mod incumbent;
 
 pub use crate::budget::{CancelHandle, SearchBudget};
-pub use crate::executor::{search_chunks, ParallelConfig, SearchStatus};
+pub use crate::executor::{search_chunks, search_generations, ParallelConfig, SearchStatus};
 pub use crate::incumbent::SharedIncumbent;

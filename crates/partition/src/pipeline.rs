@@ -59,6 +59,12 @@ pub struct PipelineConfig {
     pub budget: SearchBudget,
     /// Thread count and chunk geometry for step 1's parallel scan.
     pub parallel: ParallelConfig,
+    /// Warm-start seed for step 1's `τ` bound — an SOC testing time
+    /// known to be achievable for this SOC (see
+    /// [`EvaluateConfig::seed_tau`](crate::EvaluateConfig)). Same
+    /// winner, strictly fewer completed evaluations; unreachable seeds
+    /// fall back to a cold rescan automatically.
+    pub seed_tau: Option<u64>,
 }
 
 impl PipelineConfig {
@@ -72,6 +78,7 @@ impl PipelineConfig {
             final_step: FinalStep::default(),
             budget: SearchBudget::unlimited(),
             parallel: ParallelConfig::default(),
+            seed_tau: None,
         }
     }
 
@@ -154,6 +161,7 @@ pub fn co_optimize(
         prune: config.prune,
         budget: config.budget.clone(),
         parallel: config.parallel.clone(),
+        seed_tau: config.seed_tau,
     };
     let eval_start = Instant::now();
     let eval = partition_evaluate(table, total_width, &eval_config)?;
@@ -263,6 +271,25 @@ mod tests {
         assert_eq!(co.heuristic, co.optimized);
         assert!(!co.final_step_optimal);
         assert_eq!(co.final_time, co.total_time() - co.evaluate_time);
+    }
+
+    #[test]
+    fn warm_start_seed_keeps_the_architecture_with_fewer_completions() {
+        let table = d695_table(32);
+        let cold = co_optimize(&table, 32, &PipelineConfig::up_to_tams(4)).unwrap();
+        let seeded = co_optimize(
+            &table,
+            32,
+            &PipelineConfig {
+                seed_tau: Some(cold.heuristic.soc_time()),
+                ..PipelineConfig::up_to_tams(4)
+            },
+        )
+        .unwrap();
+        assert_eq!(seeded.tams, cold.tams);
+        assert_eq!(seeded.optimized, cold.optimized);
+        assert_eq!(seeded.heuristic, cold.heuristic);
+        assert!(seeded.stats.completed < cold.stats.completed);
     }
 
     #[test]

@@ -157,7 +157,7 @@ impl Batch {
                     .map(|index| {
                         (
                             index,
-                            run_request(&self.entries[index].request, &inner_global),
+                            run_request(&self.entries[index].request, &inner_global, None),
                         )
                     })
                     .collect::<Vec<_>>())
@@ -215,16 +215,22 @@ impl Batch {
 }
 
 /// Runs one request under the intersection of its own budget and the
-/// batch-global deadline/cancellation. The inner partition scan runs
-/// single-threaded (its worker thread *is* the parallelism) with the
-/// default chunk geometry, so the result matches a standalone
-/// `co_optimize` run bit for bit.
-fn run_request(request: &Request, global: &SearchBudget) -> Result<CoOptimization, String> {
+/// batch-global deadline/cancellation, optionally warm-started with a
+/// `seed_tau` bound (see [`crate::LiveQueue`]'s incumbent cache). The
+/// inner partition scan runs single-threaded (its worker thread *is* the
+/// parallelism) with the default chunk geometry, so an unseeded result
+/// matches a standalone `co_optimize` run bit for bit.
+pub(crate) fn run_request(
+    request: &Request,
+    global: &SearchBudget,
+    seed_tau: Option<u64>,
+) -> Result<CoOptimization, String> {
     let table = TimeTable::new(&request.soc, request.width).map_err(|e| e.to_string())?;
     let pipeline = PipelineConfig {
         min_tams: request.min_tams,
         max_tams: request.max_tams,
         budget: request.budget.intersect(global),
+        seed_tau,
         ..PipelineConfig::up_to_tams(request.max_tams)
     };
     co_optimize(&table, request.width, &pipeline).map_err(|e| e.to_string())

@@ -23,7 +23,12 @@
 //! * the report serializes to deterministic JSON
 //!   ([`BatchReport::to_json`]) with every wall-clock quantity on its
 //!   own `wall_clock*` line, so byte-level diffs across thread counts
-//!   need only filter those lines.
+//!   need only filter those lines;
+//! * a [`LiveQueue`] (module [`live`]) upgrades the batch into a
+//!   long-running daemon: non-blocking [`LiveQueue::submit`] while
+//!   requests execute, re-prioritization at every generation barrier,
+//!   streamed outcomes, deterministic [`Trace`] replay and a warm-start
+//!   incumbent cache across requests on the same SOC.
 //!
 //! # Determinism
 //!
@@ -58,9 +63,13 @@
 #![warn(missing_docs)]
 
 mod batch;
+pub mod live;
 mod report;
 mod request;
 
 pub use crate::batch::{run_batch, Batch, BatchConfig};
+pub use crate::live::{
+    LiveConfig, LiveQueue, RequestId, SubmitError, Trace, TraceAction, TraceEvent,
+};
 pub use crate::report::{BatchReport, RequestOutcome, RequestStatus};
 pub use crate::request::Request;

@@ -1,0 +1,724 @@
+//! The live serving daemon: a non-blocking request queue over one
+//! long-lived worker pool, with between-generation re-prioritization.
+//!
+//! [`crate::Batch`] is build-then-run: a request arriving mid-run waits
+//! for the whole batch. A [`LiveQueue`] removes that limitation — it
+//! owns the engine's worker pool for its lifetime and accepts
+//! [`submit`](LiveQueue::submit) calls *while requests execute*. The
+//! dispatcher re-reads the priority queue at every generation barrier of
+//! the engine ([`tamopt_engine::search_generations`]), so a
+//! high-priority request submitted mid-run preempts queued (not yet
+//! dispatched) lower-priority work. Completed outcomes stream out via
+//! [`recv_outcome`](LiveQueue::recv_outcome) as they merge instead of
+//! one terminal report; [`shutdown`](LiveQueue::shutdown) drains the
+//! queue and returns the final [`BatchReport`].
+//!
+//! # Determinism
+//!
+//! Real-time submission is inherently racy — *when* a request lands
+//! relative to the running generations depends on wall-clock timing. The
+//! determinism contract is therefore stated over **traces**: for a fixed
+//! [`Trace`] (a sequence of submit/cancel events tagged with generation
+//! indices), [`LiveQueue::replay`] produces a bit-identical outcome
+//! stream and final report for every thread count. Live operation is the
+//! same machinery with the trace written by the wall clock.
+//!
+//! # Warm starts
+//!
+//! The queue keeps a per-queue incumbent cache keyed by
+//! [`Soc::fingerprint`](tamopt_soc::Soc::fingerprint): when a request
+//! arrives for an SOC seen before
+//! (at a width ≥ the cached one, with the cached TAM count inside the new
+//! request's range), its step-1 scan is seeded with the cached heuristic
+//! time — same winner, strictly fewer completed evaluations. Cache reads
+//! happen at dispatch and writes at merge, both on the dispatcher thread
+//! at generation barriers, so warm starts never break trace determinism.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use tamopt_engine::{search_generations, CancelHandle, ParallelConfig, SearchBudget};
+
+use crate::batch::run_request;
+use crate::report::{BatchReport, RequestOutcome, RequestStatus};
+use crate::Request;
+
+/// Configuration of a [`LiveQueue`].
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Global budget for the queue's whole lifetime. As in
+    /// [`crate::BatchConfig`], the deadline and cancellation flags are
+    /// intersected into every request and a node budget caps the number
+    /// of requests *dispatched*.
+    pub budget: SearchBudget,
+    /// Worker threads of the pool (`0` = one per available CPU, `1` =
+    /// inline on the dispatcher). Pure execution policy: replayed traces
+    /// are bit-identical for every value.
+    pub threads: usize,
+    /// Upper bound on requests dispatched per generation — the window of
+    /// the exponential ramp and therefore the preemption granularity:
+    /// smaller generations re-read the priority queue more often.
+    pub requests_per_generation: usize,
+    /// Whether to warm-start requests from the per-queue incumbent cache
+    /// (default `true`). Disable to measure cold-start costs.
+    pub warm_start: bool,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            budget: SearchBudget::unlimited(),
+            threads: 1,
+            requests_per_generation: 8,
+            warm_start: true,
+        }
+    }
+}
+
+impl LiveConfig {
+    /// Default configuration with `threads` workers (`0` = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        LiveConfig {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// Tightens the global budget by a wall-clock limit counted from
+    /// **now** — build the config when the queue is about to start.
+    pub fn time_limit(mut self, limit: Duration) -> Self {
+        self.budget = self.budget.and_time_limit(limit);
+        self
+    }
+}
+
+/// Identifier of a submitted request: its submission index, unique per
+/// queue, and the `index` of its outcome in the final report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(usize);
+
+impl RequestId {
+    /// The submission index this id wraps.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for RequestId {
+    /// Ids are plain submission indices, so traces can reference
+    /// submissions they have not "made" yet (the `n`-th submit event of
+    /// a [`Trace`] gets id `n`).
+    fn from(index: usize) -> Self {
+        RequestId(index)
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Why a [`LiveQueue::submit`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is shutting down (or its dispatcher already finished);
+    /// no new requests are accepted.
+    ShutDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::ShutDown => f.write_str("queue is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One event of a deterministic submission [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// The earliest generation barrier at which the event applies. If
+    /// the queue runs dry before this barrier is reached, the event is
+    /// fast-forwarded (tags are lower bounds, so a trace can never
+    /// deadlock an idle queue).
+    pub generation: u32,
+    /// What happens.
+    pub action: TraceAction,
+}
+
+/// The action of a [`TraceEvent`].
+#[derive(Debug, Clone)]
+pub enum TraceAction {
+    /// Submit a request. Submissions are numbered 0, 1, 2, … in trace
+    /// order; that number is the [`RequestId`] cancellations refer to.
+    Submit(Request),
+    /// Trip the [`CancelHandle`] of an earlier submission.
+    Cancel(RequestId),
+}
+
+/// A fixed submission trace: the replayable description of one queue
+/// session. See [`LiveQueue::replay`].
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a submission applying at generation barrier `generation`.
+    pub fn submit_at(mut self, generation: u32, request: Request) -> Self {
+        self.events.push(TraceEvent {
+            generation,
+            action: TraceAction::Submit(request),
+        });
+        self
+    }
+
+    /// Appends a cancellation of submission `id` (the index of an
+    /// earlier submit event) applying at generation barrier
+    /// `generation`.
+    pub fn cancel_at(mut self, generation: u32, id: impl Into<RequestId>) -> Self {
+        self.events.push(TraceEvent {
+            generation,
+            action: TraceAction::Cancel(id.into()),
+        });
+        self
+    }
+
+    /// The events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// One queued, not yet dispatched submission.
+#[derive(Debug)]
+struct Pending {
+    id: usize,
+    request: Request,
+    handle: CancelHandle,
+    fingerprint: u64,
+}
+
+/// One request handed to the worker pool, warm-start seed resolved.
+struct Dispatch {
+    id: usize,
+    request: Request,
+    handle: CancelHandle,
+    fingerprint: u64,
+    seed: Option<u64>,
+}
+
+/// Queue state behind the mutex.
+#[derive(Debug, Default)]
+struct State {
+    pending: Vec<Pending>,
+    next_id: usize,
+    shutdown: bool,
+    /// Cancellation handles of submissions still in flight (pending or
+    /// dispatched), so [`LiveQueue::cancel`] and trace cancel events can
+    /// reach them. Pruned when a submission's outcome is emitted —
+    /// cancelling a finished request is meaningless, and a long-running
+    /// daemon must not accumulate one entry per request forever.
+    handles: HashMap<usize, CancelHandle>,
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+fn lock(shared: &Shared) -> std::sync::MutexGuard<'_, State> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The per-queue incumbent cache: best known heuristic times per SOC
+/// fingerprint, indexed by the width and TAM count that achieved them.
+#[derive(Debug, Default)]
+struct WarmCache {
+    entries: HashMap<u64, Vec<WarmEntry>>,
+}
+
+#[derive(Debug)]
+struct WarmEntry {
+    width: u32,
+    tams: u32,
+    time: u64,
+}
+
+impl WarmCache {
+    /// The tightest applicable seed for `request`: a cached time is
+    /// transferable when it was achieved at a width ≤ the request's
+    /// (widening a TAM never slows a core) by a TAM count inside the
+    /// request's range (so the widened partition is enumerable here).
+    fn seed_for(&self, fingerprint: u64, request: &Request) -> Option<u64> {
+        self.entries
+            .get(&fingerprint)?
+            .iter()
+            .filter(|e| {
+                e.width <= request.width && request.min_tams <= e.tams && e.tams <= request.max_tams
+            })
+            .map(|e| e.time)
+            .min()
+    }
+
+    fn record(&mut self, fingerprint: u64, width: u32, tams: u32, time: u64) {
+        let entries = self.entries.entry(fingerprint).or_default();
+        match entries
+            .iter_mut()
+            .find(|e| e.width == width && e.tams == tams)
+        {
+            Some(entry) => entry.time = entry.time.min(time),
+            None => entries.push(WarmEntry { width, tams, time }),
+        }
+    }
+}
+
+/// Dispatcher-thread bookkeeping: the warm cache, the outcome stream and
+/// the accumulated outcomes for the final report. Wrapped in a `RefCell`
+/// because both the barrier hook and the merge closure need it — they
+/// run at disjoint times on the dispatcher thread.
+struct Book {
+    cache: WarmCache,
+    outcomes: Vec<RequestOutcome>,
+    stream: Sender<RequestOutcome>,
+}
+
+impl Book {
+    fn emit(&mut self, outcome: RequestOutcome) {
+        // A receiver may have been dropped (fire-and-forget callers);
+        // the final report still collects everything.
+        let _ = self.stream.send(outcome.clone());
+        self.outcomes.push(outcome);
+    }
+}
+
+/// An outcome carrying no result — cancelled before dispatch, or skipped
+/// because the global budget ran out first.
+fn bare_outcome(id: usize, request: &Request, status: RequestStatus) -> RequestOutcome {
+    RequestOutcome {
+        index: id,
+        soc: request.soc.name().to_owned(),
+        width: request.width,
+        min_tams: request.min_tams,
+        max_tams: request.max_tams,
+        priority: request.priority,
+        status,
+        result: None,
+        error: None,
+    }
+}
+
+/// A long-running request queue over one worker pool.
+///
+/// Start it with [`LiveQueue::start`], feed it with
+/// [`submit`](Self::submit) (thread-safe, non-blocking, callable while
+/// requests run), stream results with [`recv_outcome`](Self::recv_outcome)
+/// and finish with [`shutdown`](Self::shutdown). For reproducible runs,
+/// [`replay`](Self::replay) executes a fixed [`Trace`] instead.
+///
+/// # Example
+///
+/// ```
+/// use tamopt_service::{LiveConfig, LiveQueue, Request};
+/// use tamopt_soc::benchmarks;
+///
+/// let queue = LiveQueue::start(LiveConfig::default());
+/// let (id, _handle) = queue
+///     .submit(Request::new(benchmarks::d695(), 16).max_tams(2))
+///     .unwrap();
+/// let outcome = queue.recv_outcome().unwrap();
+/// assert_eq!(outcome.index, id.index());
+/// let report = queue.shutdown().expect("first shutdown returns the report");
+/// assert!(report.complete);
+/// // The queue is sealed now.
+/// assert!(queue.submit(Request::new(benchmarks::d695(), 8)).is_err());
+/// ```
+#[derive(Debug)]
+pub struct LiveQueue {
+    shared: Arc<Shared>,
+    /// Behind a mutex so the queue is `Sync`: one thread can submit
+    /// while another drains outcomes (the `tamopt serve` pattern).
+    outcomes: Mutex<Receiver<RequestOutcome>>,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<BatchReport>>>,
+}
+
+impl LiveQueue {
+    /// Starts the queue: spawns the dispatcher thread, which owns the
+    /// worker pool until [`shutdown`](Self::shutdown).
+    pub fn start(config: LiveConfig) -> Self {
+        Self::launch(config, None)
+    }
+
+    /// Replays a fixed submission trace and returns the streamed
+    /// outcomes (in stream order) plus the final drained report.
+    ///
+    /// For a fixed trace and [`LiveConfig::requests_per_generation`],
+    /// both are bit-identical across [`LiveConfig::threads`] values —
+    /// wall-clock fields aside. The queue shuts down by itself once the
+    /// trace is exhausted and the backlog drained.
+    pub fn replay(trace: Trace, config: LiveConfig) -> (Vec<RequestOutcome>, BatchReport) {
+        let queue = Self::launch(config, Some(trace.events.into()));
+        let mut stream = Vec::new();
+        while let Some(outcome) = queue.recv_outcome() {
+            stream.push(outcome);
+        }
+        let report = queue.join().expect("replay joins exactly once");
+        (stream, report)
+    }
+
+    fn launch(config: LiveConfig, replay: Option<VecDeque<TraceEvent>>) -> Self {
+        let shared = Arc::new(Shared::default());
+        let (tx, rx) = std::sync::mpsc::channel();
+        let dispatcher_shared = Arc::clone(&shared);
+        let dispatcher = std::thread::Builder::new()
+            .name("tamopt-live-dispatcher".to_owned())
+            .spawn(move || dispatch(&dispatcher_shared, &config, replay, tx))
+            .expect("spawning the dispatcher thread");
+        LiveQueue {
+            shared,
+            outcomes: Mutex::new(rx),
+            dispatcher: Mutex::new(Some(dispatcher)),
+        }
+    }
+
+    /// Submits `request`, returning its [`RequestId`] and the
+    /// [`CancelHandle`] that cancels it — and only it. Thread-safe and
+    /// non-blocking; may be called while other requests are executing.
+    /// The request becomes dispatchable at the next generation barrier,
+    /// ahead of any queued work of lower priority.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShutDown`] after [`shutdown`](Self::shutdown) (or
+    /// after the dispatcher stopped because the global budget expired).
+    pub fn submit(&self, request: Request) -> Result<(RequestId, CancelHandle), SubmitError> {
+        let mut state = lock(&self.shared);
+        if state.shutdown {
+            return Err(SubmitError::ShutDown);
+        }
+        let (budget, handle) = request.budget.clone().cancellable();
+        let fingerprint = request.soc.fingerprint();
+        let id = state.next_id;
+        state.next_id += 1;
+        state.pending.push(Pending {
+            id,
+            request: Request { budget, ..request },
+            handle: handle.clone(),
+            fingerprint,
+        });
+        state.handles.insert(id, handle.clone());
+        drop(state);
+        self.shared.cv.notify_all();
+        Ok((RequestId(id), handle))
+    }
+
+    /// Cancels submission `id` (pending or already dispatched); returns
+    /// whether the id named a request still in flight — `false` for
+    /// unknown ids *and* for requests whose outcome already streamed.
+    /// Equivalent to the [`CancelHandle`] returned by
+    /// [`submit`](Self::submit).
+    pub fn cancel(&self, id: RequestId) -> bool {
+        let state = lock(&self.shared);
+        let known = state.handles.get(&id.0).inspect(|h| h.cancel()).is_some();
+        drop(state);
+        self.shared.cv.notify_all();
+        known
+    }
+
+    /// Number of submissions accepted so far.
+    pub fn submitted(&self) -> usize {
+        lock(&self.shared).next_id
+    }
+
+    /// Blocks until the next outcome streams out of the pool; `None`
+    /// once the dispatcher has finished and all outcomes were received.
+    pub fn recv_outcome(&self) -> Option<RequestOutcome> {
+        self.outcomes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .recv()
+            .ok()
+    }
+
+    /// The next outcome if one is ready right now (never blocks — a
+    /// `None` may also mean another thread is currently parked inside
+    /// [`recv_outcome`](Self::recv_outcome) holding the receiver).
+    pub fn try_recv_outcome(&self) -> Option<RequestOutcome> {
+        // try_lock, not lock: recv_outcome holds the mutex across its
+        // blocking recv, and this method must never wait on it.
+        match self.outcomes.try_lock() {
+            Ok(receiver) => receiver.try_recv().ok(),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                poisoned.into_inner().try_recv().ok()
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Stops accepting submissions (later [`submit`](Self::submit)s
+    /// return [`SubmitError::ShutDown`] immediately), drains the
+    /// backlog, joins the worker pool and returns the final report —
+    /// outcomes in submission order, exactly one per accepted
+    /// submission. `None` if the queue was already shut down.
+    pub fn shutdown(&self) -> Option<BatchReport> {
+        self.signal_shutdown();
+        self.join()
+    }
+
+    fn signal_shutdown(&self) {
+        lock(&self.shared).shutdown = true;
+        self.shared.cv.notify_all();
+    }
+
+    fn join(&self) -> Option<BatchReport> {
+        let handle = self
+            .dispatcher
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()?;
+        Some(handle.join().expect("dispatcher thread panicked"))
+    }
+}
+
+impl Drop for LiveQueue {
+    fn drop(&mut self) {
+        // A queue dropped without `shutdown` still winds the pool down
+        // cleanly (finishing the backlog it already accepted).
+        self.signal_shutdown();
+        let _ = self.join();
+    }
+}
+
+/// The dispatcher: runs the engine's generation loop for the queue's
+/// whole lifetime. The barrier hook re-reads (and re-prioritizes) the
+/// pending queue, injects due trace events, reports
+/// cancelled-before-dispatch entries, resolves warm-start seeds, and —
+/// in live mode — blocks waiting for work; `merge` streams outcomes and
+/// feeds the warm cache.
+fn dispatch(
+    shared: &Shared,
+    config: &LiveConfig,
+    mut replay: Option<VecDeque<TraceEvent>>,
+    stream: Sender<RequestOutcome>,
+) -> BatchReport {
+    let start = Instant::now();
+    let parallel = ParallelConfig {
+        threads: config.threads,
+        chunk_size: 1,
+        chunks_per_generation: config.requests_per_generation.max(1),
+    };
+    // As in `Batch::run`: the global node budget counts dispatched
+    // requests (polled by the executor); only deadline + cancellation
+    // carry into the requests themselves.
+    let inner_global = config.budget.clone().without_node_budget();
+    let book = RefCell::new(Book {
+        cache: WarmCache::default(),
+        outcomes: Vec::new(),
+        stream,
+    });
+
+    let apply = |state: &mut State, event: TraceEvent| match event.action {
+        TraceAction::Submit(request) => {
+            let (budget, handle) = request.budget.clone().cancellable();
+            let fingerprint = request.soc.fingerprint();
+            let id = state.next_id;
+            state.next_id += 1;
+            state.handles.insert(id, handle.clone());
+            state.pending.push(Pending {
+                id,
+                request: Request { budget, ..request },
+                handle,
+                fingerprint,
+            });
+        }
+        TraceAction::Cancel(id) => {
+            if let Some(handle) = state.handles.get(&id.0) {
+                handle.cancel();
+            }
+        }
+    };
+
+    let produce = |generation: u32, capacity: usize| -> Vec<Dispatch> {
+        let mut book = book.borrow_mut();
+        let mut state = lock(shared);
+        loop {
+            // 1. Inject trace events due at this barrier.
+            if let Some(events) = replay.as_mut() {
+                while events.front().is_some_and(|e| e.generation <= generation) {
+                    apply(&mut state, events.pop_front().expect("peeked"));
+                }
+            }
+            // 2. Requests cancelled before dispatch never reach the
+            // pool; their outcomes stream right here, in id order.
+            let (mut cancelled, kept): (Vec<Pending>, Vec<Pending>) =
+                std::mem::take(&mut state.pending)
+                    .into_iter()
+                    .partition(|p| p.handle.is_cancelled());
+            state.pending = kept;
+            cancelled.sort_by_key(|p| p.id);
+            for p in &cancelled {
+                state.handles.remove(&p.id);
+                book.emit(bare_outcome(p.id, &p.request, RequestStatus::Cancelled));
+            }
+            // 3. Anything dispatchable? Pop it (priority desc, id asc).
+            if !state.pending.is_empty() {
+                break;
+            }
+            // 4. Queue is dry. Fast-forward the trace (tags are lower
+            // bounds — without work the generation counter cannot
+            // advance to meet them)…
+            if let Some(events) = replay.as_mut() {
+                if let Some(next) = events.front() {
+                    let tag = next.generation;
+                    while events.front().is_some_and(|e| e.generation == tag) {
+                        apply(&mut state, events.pop_front().expect("peeked"));
+                    }
+                    continue;
+                }
+                return Vec::new(); // trace exhausted: replay is over
+            }
+            // …or, live: end on shutdown / a dead budget, else park
+            // until a submission or cancellation arrives.
+            if state.shutdown || config.budget.out_of_time() || config.budget.cancelled() {
+                return Vec::new();
+            }
+            state = shared
+                .cv
+                .wait_timeout(state, Duration::from_millis(25))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        state
+            .pending
+            .sort_by_key(|p| (std::cmp::Reverse(p.request.priority), p.id));
+        let take = capacity.min(state.pending.len());
+        state
+            .pending
+            .drain(..take)
+            .map(|p| {
+                let seed = if config.warm_start {
+                    book.cache.seed_for(p.fingerprint, &p.request)
+                } else {
+                    None
+                };
+                Dispatch {
+                    id: p.id,
+                    request: p.request,
+                    handle: p.handle,
+                    fingerprint: p.fingerprint,
+                    seed,
+                }
+            })
+            .collect()
+    };
+
+    let status = search_generations(
+        produce,
+        &parallel,
+        &config.budget,
+        |_base, chunk: Vec<Dispatch>| -> Result<_, std::convert::Infallible> {
+            Ok(chunk
+                .into_iter()
+                .map(|dispatch| {
+                    let result = run_request(&dispatch.request, &inner_global, dispatch.seed);
+                    (dispatch, result)
+                })
+                .collect::<Vec<_>>())
+        },
+        |evaluated| {
+            let mut book = book.borrow_mut();
+            let mut state = lock(shared);
+            for (dispatch, result) in evaluated {
+                state.handles.remove(&dispatch.id);
+                let outcome = match result {
+                    Ok(co) => {
+                        if config.warm_start {
+                            book.cache.record(
+                                dispatch.fingerprint,
+                                dispatch.request.width,
+                                co.tams.len() as u32,
+                                co.heuristic.soc_time(),
+                            );
+                        }
+                        let status = if co.evaluate_complete {
+                            RequestStatus::Complete
+                        } else if dispatch.handle.is_cancelled() {
+                            RequestStatus::Cancelled
+                        } else {
+                            RequestStatus::Partial
+                        };
+                        RequestOutcome {
+                            result: Some(co),
+                            ..bare_outcome(dispatch.id, &dispatch.request, status)
+                        }
+                    }
+                    Err(message) => RequestOutcome {
+                        error: Some(message),
+                        ..bare_outcome(dispatch.id, &dispatch.request, RequestStatus::Failed)
+                    },
+                };
+                book.emit(outcome);
+            }
+            Ok(())
+        },
+    );
+    let _status = status.expect("request failures are captured per request");
+
+    // Seal the queue and report whatever never got dispatched (the
+    // global budget ran out, or the replay truncated) as skipped.
+    let mut book = book.into_inner();
+    let mut state = lock(shared);
+    state.shutdown = true;
+    let mut leftovers: Vec<Pending> = std::mem::take(&mut state.pending);
+    if let Some(events) = replay.as_mut() {
+        // Submissions the truncated replay never injected still owe an
+        // outcome — inject them now, straight into the leftovers.
+        while let Some(event) = events.pop_front() {
+            apply(&mut state, event);
+        }
+        leftovers.append(&mut state.pending);
+    }
+    // The queue is sealed: no handle can reach anything anymore.
+    state.handles.clear();
+    drop(state);
+    leftovers.sort_by_key(|p| p.id);
+    for p in &leftovers {
+        let status = if p.handle.is_cancelled() {
+            RequestStatus::Cancelled
+        } else {
+            RequestStatus::Skipped
+        };
+        book.emit(bare_outcome(p.id, &p.request, status));
+    }
+
+    let mut outcomes = book.outcomes;
+    outcomes.sort_by_key(|o| o.index);
+    let complete = outcomes.iter().all(|o| o.status != RequestStatus::Skipped);
+    BatchReport {
+        outcomes,
+        complete,
+        wall_time: start.elapsed(),
+    }
+}

@@ -78,6 +78,55 @@ impl RequestOutcome {
     pub fn soc_time(&self) -> Option<u64> {
         self.result.as_ref().map(CoOptimization::soc_time)
     }
+
+    /// Renders the outcome as one compact JSON line — the streaming wire
+    /// format of the live daemon (`tamopt serve`).
+    ///
+    /// Deliberately free of wall-clock quantities: every line of the
+    /// stream is **deterministic** for a fixed submission trace, so two
+    /// serve runs diff clean without any filtering. The trailing newline
+    /// is included.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(160);
+        let _ = write!(
+            out,
+            "{{\"id\": {}, \"soc\": {}, \"width\": {}, \"min_tams\": {}, \
+             \"max_tams\": {}, \"priority\": {}, \"status\": {}",
+            self.index,
+            json_string(&self.soc),
+            self.width,
+            self.min_tams,
+            self.max_tams,
+            self.priority,
+            json_string(self.status.as_str()),
+        );
+        match (&self.result, &self.error) {
+            (Some(co), _) => {
+                let _ = write!(
+                    out,
+                    ", \"soc_time\": {}, \"heuristic_time\": {}, \"tams\": {}, \
+                     \"assignment\": {}, \"final_step_optimal\": {}, \
+                     \"evaluate_complete\": {}, \"stats\": {{\"enumerated\": {}, \
+                     \"completed\": {}, \"aborted\": {}}}",
+                    co.soc_time(),
+                    co.heuristic.soc_time(),
+                    json_u32_array(co.tams.widths()),
+                    json_usize_array(co.optimized.assignment()),
+                    co.final_step_optimal,
+                    co.evaluate_complete,
+                    co.stats.enumerated,
+                    co.stats.completed,
+                    co.stats.aborted,
+                );
+            }
+            (None, Some(message)) => {
+                let _ = write!(out, ", \"error\": {}", json_string(message));
+            }
+            (None, None) => {}
+        }
+        out.push_str("}\n");
+        out
+    }
 }
 
 /// Everything [`crate::Batch::run`] produced, outcomes in submission
@@ -244,6 +293,33 @@ mod tests {
     fn arrays_render_compactly() {
         assert_eq!(json_u32_array(&[8, 12, 12]), "[8, 12, 12]");
         assert_eq!(json_usize_array(&[]), "[]");
+    }
+
+    #[test]
+    fn json_lines_are_compact_and_wall_clock_free() {
+        let outcome = RequestOutcome {
+            index: 3,
+            soc: "d695".to_owned(),
+            width: 16,
+            min_tams: 1,
+            max_tams: 2,
+            priority: 7,
+            status: RequestStatus::Skipped,
+            result: None,
+            error: None,
+        };
+        let line = outcome.to_json_line();
+        assert!(line.ends_with("}\n"));
+        assert_eq!(line.lines().count(), 1, "exactly one line");
+        assert!(line.contains("\"id\": 3"));
+        assert!(line.contains("\"status\": \"skipped\""));
+        assert!(!line.contains("wall_clock"));
+        let failed = RequestOutcome {
+            status: RequestStatus::Failed,
+            error: Some("zero width".to_owned()),
+            ..outcome
+        };
+        assert!(failed.to_json_line().contains("\"error\": \"zero width\""));
     }
 
     #[test]

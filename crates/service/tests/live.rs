@@ -1,0 +1,279 @@
+//! Integration tests of the live serving daemon: trace-replay
+//! determinism across thread counts, mid-run preemption, warm-start
+//! cache behavior, and queue edge cases.
+
+use std::time::Duration;
+
+use tamopt_service::{LiveConfig, LiveQueue, Request, RequestOutcome, RequestStatus, Trace};
+use tamopt_soc::benchmarks;
+
+/// Renders a streamed outcome sequence as its wire format (the JSON
+/// lines `tamopt serve` prints) — the canonical comparison key.
+fn stream_text(outcomes: &[RequestOutcome]) -> String {
+    outcomes.iter().map(RequestOutcome::to_json_line).collect()
+}
+
+/// Strips the wall-clock lines a pretty report may vary on.
+fn stable_lines(report_json: &str) -> String {
+    report_json
+        .lines()
+        .filter(|line| !line.contains("wall_clock"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// A trace mixing generations, priorities, a mid-run high-priority
+/// submission and a mid-run cancellation.
+fn mixed_trace() -> Trace {
+    let mut trace = Trace::new()
+        .submit_at(0, Request::new(benchmarks::d695(), 32).max_tams(6)) // id 0
+        .submit_at(0, Request::new(benchmarks::d695(), 16).max_tams(2)) // id 1
+        .submit_at(0, Request::new(benchmarks::p31108(), 24).max_tams(3)); // id 2
+                                                                           // Mid-run: a high-priority request jumps the remaining backlog…
+    trace = trace.submit_at(
+        1,
+        Request::new(benchmarks::d695(), 24).max_tams(3).priority(9), // id 3
+    );
+    // …and a pending low-priority request is cancelled before dispatch.
+    let id1 = tamopt_service::RequestId::from(1);
+    trace.cancel_at(1, id1)
+}
+
+#[test]
+fn replayed_traces_are_thread_count_invariant() {
+    let (ref_stream, ref_report) = LiveQueue::replay(mixed_trace(), LiveConfig::with_threads(1));
+    assert_eq!(ref_report.outcomes.len(), 4, "one outcome per submission");
+    let ref_stream_text = stream_text(&ref_stream);
+    let ref_report_text = stable_lines(&ref_report.to_json());
+    for threads in [2, 8] {
+        let (stream, report) = LiveQueue::replay(mixed_trace(), LiveConfig::with_threads(threads));
+        assert_eq!(stream_text(&stream), ref_stream_text, "threads {threads}");
+        assert_eq!(
+            stable_lines(&report.to_json()),
+            ref_report_text,
+            "threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn high_priority_submission_preempts_queued_work() {
+    // Five submissions at generation 0 (ids 0..5, priority 0), one
+    // priority-9 submission at generation 1 (id 5). The ramp dispatches
+    // 1, 2, 4, … requests per generation, so id 5 arrives while ids 1+
+    // still wait — and must run before them.
+    let mut trace = Trace::new();
+    for _ in 0..5 {
+        trace = trace.submit_at(0, Request::new(benchmarks::d695(), 16).max_tams(2));
+    }
+    trace = trace.submit_at(
+        1,
+        Request::new(benchmarks::d695(), 24).max_tams(3).priority(9),
+    );
+    let (stream, report) = LiveQueue::replay(trace, LiveConfig::default());
+    let order: Vec<usize> = stream.iter().map(|o| o.index).collect();
+    assert_eq!(
+        order,
+        vec![0, 5, 1, 2, 3, 4],
+        "generation 0 runs id 0; the barrier of generation 1 admits id 5 \
+         ahead of the queued ids 1..5"
+    );
+    assert!(report.complete);
+    assert_eq!(report.count(RequestStatus::Complete), 6);
+    // The final report is in submission order regardless of the stream.
+    let ids: Vec<usize> = report.outcomes.iter().map(|o| o.index).collect();
+    assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn replayed_results_match_the_synchronous_batch() {
+    // A trace without cancellations must produce the same per-request
+    // results as the build-then-run batch API.
+    let requests = || {
+        vec![
+            Request::new(benchmarks::d695(), 32).max_tams(6),
+            Request::new(benchmarks::d695(), 16).max_tams(2),
+            Request::new(benchmarks::p31108(), 24).max_tams(3),
+        ]
+    };
+    let mut trace = Trace::new();
+    for request in requests() {
+        trace = trace.submit_at(0, request);
+    }
+    // Warm starts off: the batch API runs every request cold.
+    let config = LiveConfig {
+        warm_start: false,
+        ..LiveConfig::default()
+    };
+    let (_, live) = LiveQueue::replay(trace, config);
+    let batch = tamopt_service::run_batch(requests(), &tamopt_service::BatchConfig::default());
+    for (a, b) in live.outcomes.iter().zip(&batch.outcomes) {
+        assert_eq!(a.status, b.status);
+        let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+        assert_eq!(a.tams, b.tams);
+        assert_eq!(a.optimized, b.optimized);
+        assert_eq!(a.stats, b.stats);
+    }
+}
+
+#[test]
+fn duplicate_soc_warm_hit_beats_cold_miss() {
+    // The same request twice: the second dispatch seeds its τ bound from
+    // the first outcome — identical winner, strictly fewer completed
+    // step-1 evaluations.
+    let request = || Request::new(benchmarks::d695(), 32).max_tams(4);
+    let trace = || Trace::new().submit_at(0, request()).submit_at(0, request());
+    let (_, warm) = LiveQueue::replay(trace(), LiveConfig::default());
+    let cold_config = LiveConfig {
+        warm_start: false,
+        ..LiveConfig::default()
+    };
+    let (_, cold) = LiveQueue::replay(trace(), cold_config);
+    for report in [&warm, &cold] {
+        assert_eq!(report.count(RequestStatus::Complete), 2);
+    }
+    let (warm_first, warm_second) = (
+        warm.outcomes[0].result.as_ref().unwrap(),
+        warm.outcomes[1].result.as_ref().unwrap(),
+    );
+    let cold_second = cold.outcomes[1].result.as_ref().unwrap();
+    assert_eq!(warm_second.tams, cold_second.tams, "identical winner");
+    assert_eq!(warm_second.optimized, cold_second.optimized);
+    assert_eq!(warm_second.heuristic, cold_second.heuristic);
+    assert!(
+        warm_second.stats.completed < cold_second.stats.completed,
+        "warm hit must complete strictly fewer evaluations: {:?} vs {:?}",
+        warm_second.stats,
+        cold_second.stats
+    );
+    // The first request of the warm queue is itself a cold miss.
+    assert_eq!(
+        warm_first.stats,
+        cold.outcomes[0].result.as_ref().unwrap().stats
+    );
+}
+
+#[test]
+fn warm_start_transfers_across_widths() {
+    // Same SOC at a larger width: the cached W=24 time seeds the W=32
+    // scan (widening a TAM never slows a core, so the bound transfers).
+    let trace = || {
+        Trace::new()
+            .submit_at(0, Request::new(benchmarks::d695(), 24).max_tams(4))
+            .submit_at(0, Request::new(benchmarks::d695(), 32).max_tams(4))
+    };
+    let (_, warm) = LiveQueue::replay(trace(), LiveConfig::default());
+    let (_, cold) = LiveQueue::replay(
+        trace(),
+        LiveConfig {
+            warm_start: false,
+            ..LiveConfig::default()
+        },
+    );
+    let warm_wide = warm.outcomes[1].result.as_ref().unwrap();
+    let cold_wide = cold.outcomes[1].result.as_ref().unwrap();
+    assert_eq!(warm_wide.tams, cold_wide.tams, "identical winner");
+    assert_eq!(warm_wide.optimized, cold_wide.optimized);
+    assert!(
+        warm_wide.stats.completed < cold_wide.stats.completed,
+        "cross-width warm start must prune: {:?} vs {:?}",
+        warm_wide.stats,
+        cold_wide.stats
+    );
+}
+
+#[test]
+fn empty_trace_produces_a_valid_empty_report() {
+    let (stream, report) = LiveQueue::replay(Trace::new(), LiveConfig::default());
+    assert!(stream.is_empty());
+    assert!(report.outcomes.is_empty());
+    assert!(report.complete);
+    assert!(stable_lines(&report.to_json()).contains("\"requests\": ["));
+}
+
+#[test]
+fn all_requests_cancelled_before_dispatch() {
+    let mut trace = Trace::new();
+    for _ in 0..3 {
+        trace = trace.submit_at(0, Request::new(benchmarks::d695(), 48).max_tams(6));
+    }
+    for id in 0..3 {
+        trace = trace.cancel_at(0, tamopt_service::RequestId::from(id));
+    }
+    let (stream, report) = LiveQueue::replay(trace, LiveConfig::default());
+    assert_eq!(stream.len(), 3);
+    assert_eq!(report.count(RequestStatus::Cancelled), 3);
+    assert!(report.complete, "cancelled is a final outcome, not a skip");
+    for outcome in &report.outcomes {
+        assert!(outcome.result.is_none(), "never dispatched");
+        assert!(outcome.error.is_none());
+    }
+}
+
+#[test]
+fn expired_global_budget_skips_the_backlog() {
+    // The first generation always dispatches one request (truncated
+    // internally by the shared deadline); the rest of the backlog is
+    // reported as skipped — including trace events never injected.
+    let trace = Trace::new()
+        .submit_at(0, Request::new(benchmarks::d695(), 48).max_tams(6))
+        .submit_at(0, Request::new(benchmarks::d695(), 16).max_tams(2))
+        .submit_at(3, Request::new(benchmarks::d695(), 24).max_tams(3));
+    let config = LiveConfig::default().time_limit(Duration::ZERO);
+    let (stream, report) = LiveQueue::replay(trace, config);
+    assert_eq!(report.outcomes.len(), 3, "every submission owes an outcome");
+    assert!(!report.complete);
+    assert_eq!(report.outcomes[0].status, RequestStatus::Partial);
+    assert!(report.outcomes[0].result.is_some(), "partial but valid");
+    assert_eq!(report.outcomes[1].status, RequestStatus::Skipped);
+    assert_eq!(report.outcomes[2].status, RequestStatus::Skipped);
+    assert_eq!(stream.len(), 3);
+}
+
+#[test]
+fn live_queue_streams_submissions_and_seals_on_shutdown() {
+    let queue = LiveQueue::start(LiveConfig::default());
+    let (id0, _) = queue
+        .submit(Request::new(benchmarks::d695(), 16).max_tams(2))
+        .unwrap();
+    let (id1, _) = queue
+        .submit(Request::new(benchmarks::d695(), 24).max_tams(3))
+        .unwrap();
+    assert_eq!((id0.index(), id1.index()), (0, 1));
+    assert_eq!(queue.submitted(), 2);
+    let first = queue.recv_outcome().expect("first outcome streams");
+    assert_eq!(first.index, 0);
+    let report = queue.shutdown().expect("first shutdown yields the report");
+    assert_eq!(report.outcomes.len(), 2);
+    assert!(report.complete);
+    // Sealed: no more submissions, no second report.
+    assert_eq!(
+        queue
+            .submit(Request::new(benchmarks::d695(), 8))
+            .unwrap_err(),
+        tamopt_service::SubmitError::ShutDown
+    );
+    assert!(queue.shutdown().is_none());
+}
+
+#[test]
+fn cancel_by_id_works_for_pending_requests() {
+    let queue = LiveQueue::start(LiveConfig::default());
+    // A long request keeps the pool busy while we cancel a queued one.
+    queue
+        .submit(Request::new(benchmarks::p31108(), 32).max_tams(4))
+        .unwrap();
+    let (victim, _) = queue
+        .submit(Request::new(benchmarks::d695(), 48).max_tams(6))
+        .unwrap();
+    assert!(queue.cancel(victim));
+    assert!(
+        !queue.cancel(tamopt_service::RequestId::from(99)),
+        "unknown ids are reported, not panicked on"
+    );
+    let report = queue.shutdown().expect("report");
+    assert_eq!(report.outcomes[0].status, RequestStatus::Complete);
+    // Cancelled either before dispatch (no result) or cooperatively
+    // right after its first generation — both are `cancelled`.
+    assert_eq!(report.outcomes[1].status, RequestStatus::Cancelled);
+}

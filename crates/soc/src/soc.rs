@@ -77,6 +77,19 @@ impl Soc {
     pub fn complexity_number(&self) -> u64 {
         complexity::complexity_number(self)
     }
+
+    /// A content fingerprint of the SOC: equal SOCs (name and full core
+    /// data) hash equal, structurally different SOCs virtually never
+    /// collide. Stable within a process — the key of per-process caches
+    /// such as the service layer's warm-start cache — but **not** a
+    /// persistent identifier across builds or machines.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.name.hash(&mut hasher);
+        self.cores.hash(&mut hasher);
+        hasher.finish()
+    }
 }
 
 impl<'a> IntoIterator for &'a Soc {
@@ -238,6 +251,21 @@ mod tests {
             .unwrap();
         assert_eq!(soc.count_kind(CoreKind::Memory), 1);
         assert_eq!(soc.count_kind(CoreKind::Logic), 1);
+    }
+
+    #[test]
+    fn fingerprint_separates_content_not_instances() {
+        let a = Soc::builder("s").core(core("a", 7)).build().unwrap();
+        let same = Soc::builder("s").core(core("a", 7)).build().unwrap();
+        assert_eq!(a.fingerprint(), same.fingerprint(), "content-addressed");
+        let renamed = Soc::builder("t").core(core("a", 7)).build().unwrap();
+        let grown = Soc::builder("s")
+            .core(core("a", 7))
+            .core(core("b", 2))
+            .build()
+            .unwrap();
+        assert_ne!(a.fingerprint(), renamed.fingerprint());
+        assert_ne!(a.fingerprint(), grown.fingerprint());
     }
 
     #[test]
