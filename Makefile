@@ -7,7 +7,8 @@
 SHELL := /bin/bash
 
 .PHONY: all build test verify doc-gate determinism serve-determinism \
-        bench-smoke bench-json bench-compare msrv-check lint fmt clean
+        alloc-gate bench-smoke bench-json bench-compare msrv-check lint \
+        fmt clean
 
 all: build test lint
 
@@ -25,6 +26,12 @@ verify:
 
 doc-gate:
 	cargo test --doc -p tamopt
+
+# Counting-allocator proof (also part of `make test`): the scan hot path
+# must be allocation-free after warm-up and strictly cheaper than the
+# allocate-per-partition seed path.
+alloc-gate:
+	cargo test --release -p tamopt_alloctest
 
 # MSRV drift guard: Cargo.toml's rust-version must match the CI matrix.
 msrv-check:
@@ -81,9 +88,12 @@ bench-smoke:
 bench-json:
 	rm -rf target/criterion
 	cargo bench -p tamopt_bench \
-	  --bench bench_parallel --bench bench_batch --bench bench_serve
+	  --bench bench_parallel --bench bench_scan --bench bench_batch \
+	  --bench bench_serve
 	cargo run --release -p tamopt_bench --bin bench_json -- \
 	  --prefix parallel_ --out BENCH_parallel.json
+	cargo run --release -p tamopt_bench --bin bench_json -- \
+	  --prefix scan_ --out BENCH_scan.json
 	cargo run --release -p tamopt_bench --bin bench_json -- \
 	  --prefix batch_ --out BENCH_batch.json
 	cargo run --release -p tamopt_bench --bin bench_json -- \
@@ -93,7 +103,7 @@ bench-json:
 # previous run's exports under baseline/ and compare. Missing baselines
 # pass cleanly.
 bench-compare:
-	for family in parallel batch serve; do \
+	for family in parallel scan batch serve; do \
 	  cargo run --release -p tamopt_bench --bin bench_json -- \
 	    --compare baseline/BENCH_$${family}.json BENCH_$${family}.json \
 	    --threshold 15 || exit 1; \

@@ -1,0 +1,6 @@
+//! Intentionally empty: this package exists only for `tests/alloc.rs`,
+//! the counting-allocator proof that the partition-scan hot path is
+//! allocation-free. A `#[global_allocator]` replaces the allocator of
+//! its whole process, so the test needs a binary of its own — and the
+//! workspace-wide `unsafe_code = "forbid"` needs the per-package lint
+//! override in this crate's manifest.

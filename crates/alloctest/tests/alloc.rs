@@ -1,0 +1,158 @@
+//! Counting-allocator proof of the scan hot path's allocation behavior:
+//!
+//! 1. after warm-up, rebuilding the cost matrix and running the
+//!    heuristic for a partition performs **zero** heap allocations —
+//!    the steady state of `partition_evaluate`'s inner loop;
+//! 2. a whole `partition_evaluate` scan allocates **strictly less**
+//!    than the seed path it replaced (a fresh `CostMatrix::from_table`
+//!    plus an allocating `core_assign` per enumerated partition).
+//!
+//! The counter wraps the system allocator and counts every `alloc`
+//! (reallocations included — they claim new blocks). Tests share one
+//! mutex so their deltas never interleave.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use tamopt_assign::{
+    core_assign, core_assign_into, AssignScratch, CoreAssignOptions, CostMatrix, TamSet,
+};
+use tamopt_partition::enumerate::Partitions;
+use tamopt_partition::{partition_evaluate, EvaluateConfig};
+use tamopt_soc::benchmarks;
+use tamopt_wrapper::TimeTable;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+/// Serializes the measured sections across test threads.
+static MEASURE: Mutex<()> = Mutex::new(());
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_hot_path_allocates_nothing_per_partition() {
+    let _guard = MEASURE.lock().unwrap();
+    let table = TimeTable::new(&benchmarks::d695(), 32).expect("width 32 is valid");
+    // Every unique partition of 32 wires into exactly 3 TAMs.
+    let partitions: Vec<TamSet> = Partitions::new(32, 3)
+        .map(|widths| TamSet::new(widths).expect("parts are positive"))
+        .collect();
+    assert!(partitions.len() > 50, "enough shapes to be meaningful");
+    let mut matrix = CostMatrix::scratch();
+    let mut assign = AssignScratch::new();
+    let options = CoreAssignOptions::default();
+
+    // A mid-range bound so the steady-state pass mixes completed and
+    // aborted evaluations, like the real τ-pruned scan.
+    let tau = {
+        CostMatrix::from_table_into(&table, &partitions[0], &mut matrix).expect("widths covered");
+        core_assign_into(&matrix, None, &options, &mut assign).expect("unbounded completes")
+    };
+
+    let mut run_all = |bound: Option<u64>| {
+        let mut completed = 0u64;
+        for tams in &partitions {
+            CostMatrix::from_table_into(&table, tams, &mut matrix).expect("widths covered");
+            if core_assign_into(&matrix, bound, &options, &mut assign).is_some() {
+                completed += 1;
+            }
+        }
+        completed
+    };
+
+    // Warm-up: buffers grow to the run's maximal shape.
+    let completed = run_all(None);
+    assert_eq!(completed as usize, partitions.len());
+
+    let before = allocations();
+    for _ in 0..5 {
+        run_all(None);
+        run_all(Some(tau));
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta,
+        0,
+        "steady-state scan hot path must not allocate: {delta} allocations \
+         over {} partition evaluations",
+        10 * partitions.len()
+    );
+}
+
+#[test]
+fn full_scan_allocates_strictly_less_than_the_seed_path() {
+    let _guard = MEASURE.lock().unwrap();
+    let table = TimeTable::new(&benchmarks::d695(), 32).expect("width 32 is valid");
+    let config = EvaluateConfig::up_to_tams(4);
+
+    let before = allocations();
+    let eval = partition_evaluate(&table, 32, &config).expect("valid configuration");
+    let new_path = allocations() - before;
+
+    // The seed path this PR replaced: enumerate the same partitions,
+    // allocate a fresh matrix per partition, run the allocating
+    // heuristic, carry τ sequentially.
+    let before = allocations();
+    let mut tau = u64::MAX;
+    let mut best: Option<(u64, TamSet)> = None;
+    let mut enumerated = 0u64;
+    for b in 1..=4u32 {
+        for widths in Partitions::new(32, b) {
+            enumerated += 1;
+            let tams = TamSet::new(widths).expect("parts are positive");
+            let costs = CostMatrix::from_table(&table, &tams).expect("widths covered");
+            let bound = if tau != u64::MAX { Some(tau) } else { None };
+            if let Some(result) =
+                core_assign(&costs, bound, &CoreAssignOptions::default()).into_result()
+            {
+                if result.soc_time() < tau {
+                    tau = result.soc_time();
+                    best = Some((tau, tams));
+                }
+            }
+        }
+    }
+    let seed_path = allocations() - before;
+
+    // Same search space, same winner.
+    assert_eq!(enumerated, eval.stats.enumerated);
+    let (seed_time, seed_tams) = best.expect("d695 W=32 is feasible");
+    assert_eq!(seed_time, eval.result.soc_time());
+    assert_eq!(seed_tams, eval.tams);
+
+    assert!(
+        new_path < seed_path,
+        "the allocation-free scan must allocate strictly less than the \
+         seed path: {new_path} vs {seed_path} over {enumerated} partitions"
+    );
+    // And not marginally: the seed path pays ~a dozen allocations per
+    // partition, the new path amortizes to the enumerator's own output.
+    assert!(
+        new_path < seed_path / 3,
+        "expected a large margin: {new_path} vs {seed_path}"
+    );
+}

@@ -161,6 +161,10 @@ pub fn solve_bounded(
         node_limit: u64,
         budget: &'a SearchBudget,
         limited: bool,
+        /// One child buffer per depth, allocated once up front: the DFS
+        /// hot loop must not pay a heap allocation per node (the buffers
+        /// grow to `B` entries on first use and are reused thereafter).
+        children: Vec<Vec<(u64, usize)>>,
     }
 
     impl Search<'_> {
@@ -195,7 +199,10 @@ pub fn solve_bounded(
             let core = self.order[depth];
             // Children ordered by resulting load (most promising first),
             // with symmetric TAMs (same width, same load) deduplicated.
-            let mut children: Vec<(u64, usize)> = Vec::with_capacity(b);
+            // The buffer is taken out of the per-depth pool (and put
+            // back below) so the recursive call can borrow `self`.
+            let mut children = std::mem::take(&mut self.children[depth]);
+            children.clear();
             for tam in 0..b {
                 let duplicate = (0..tam).any(|t| {
                     self.costs.width(t) == self.costs.width(tam) && self.loads[t] == self.loads[tam]
@@ -209,7 +216,7 @@ pub fn solve_bounded(
                 }
             }
             children.sort_unstable();
-            for (_, tam) in children {
+            for &(_, tam) in &children {
                 let cost = self.costs.time(core, tam);
                 // Re-check against a possibly improved incumbent.
                 if self.loads[tam] + cost >= self.prune_bound {
@@ -220,9 +227,10 @@ pub fn solve_bounded(
                 self.dfs(depth + 1);
                 self.loads[tam] -= cost;
                 if self.limited {
-                    return;
+                    break;
                 }
             }
+            self.children[depth] = children;
         }
     }
 
@@ -243,6 +251,7 @@ pub fn solve_bounded(
             .max(1),
         budget: &config.budget,
         limited: config.node_limit == 0 || config.budget.node_budget() == Some(0),
+        children: vec![Vec::new(); n],
     };
     search.dfs(0);
     best_time = search.best_time;

@@ -92,14 +92,73 @@ pub fn core_assign(
     bound: Option<u64>,
     options: &CoreAssignOptions,
 ) -> CoreAssignOutcome {
+    let mut scratch = AssignScratch::new();
+    match core_assign_into(costs, bound, options, &mut scratch) {
+        Some(_) => CoreAssignOutcome::Complete(scratch.result(costs)),
+        None => CoreAssignOutcome::Aborted {
+            bound: bound.expect("only a bound can abort the heuristic"),
+        },
+    }
+}
+
+/// Reusable working buffers of [`core_assign_into`]: per-TAM loads, the
+/// assignment under construction and the two selection lists. Keep one
+/// per worker thread — after the first call at the largest `(cores,
+/// tams)` shape, every further call is allocation-free.
+#[derive(Debug, Default)]
+pub struct AssignScratch {
+    tam_times: Vec<u64>,
+    assignment: Vec<usize>,
+    unassigned: Vec<usize>,
+    tied: Vec<usize>,
+}
+
+impl AssignScratch {
+    /// Empty buffers; they grow on first use and are reused thereafter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Materializes the last **completed** [`core_assign_into`] run as an
+    /// owned [`AssignResult`] (this is the only allocating step of the
+    /// hot path, paid just for results worth keeping).
+    ///
+    /// # Panics
+    ///
+    /// Panics (via [`AssignResult::from_assignment`]) if `costs` is not
+    /// the matrix of the last completed run on this scratch.
+    pub fn result(&self, costs: &CostMatrix) -> AssignResult {
+        AssignResult::from_assignment(self.assignment.clone(), costs)
+    }
+}
+
+/// Allocation-free [`core_assign`]: identical selection and abort
+/// semantics, with all working state borrowed from `scratch`.
+///
+/// Returns `Some(soc_time)` when the assignment completes — the
+/// assignment vector is left in `scratch` and can be materialized with
+/// [`AssignScratch::result`] — or `None` when the run aborted against
+/// `bound` (lines 18–20 of Figure 1). The τ-pruned partition scan calls
+/// this once per enumerated partition; with a warmed scratch neither
+/// outcome allocates.
+pub fn core_assign_into(
+    costs: &CostMatrix,
+    bound: Option<u64>,
+    options: &CoreAssignOptions,
+    scratch: &mut AssignScratch,
+) -> Option<u64> {
     let n = costs.num_cores();
     let b = costs.num_tams();
-    let mut tam_times = vec![0u64; b];
-    let mut assignment = vec![usize::MAX; n];
-    let mut unassigned: Vec<usize> = (0..n).collect();
+    scratch.tam_times.clear();
+    scratch.tam_times.resize(b, 0);
+    scratch.assignment.clear();
+    scratch.assignment.resize(n, usize::MAX);
+    scratch.unassigned.clear();
+    scratch.unassigned.extend(0..n);
 
-    while !unassigned.is_empty() {
+    while !scratch.unassigned.is_empty() {
         // Lines 10-12: least-loaded TAM, tie broken toward the widest.
+        let tam_times = &scratch.tam_times;
         let tam = (0..b)
             .min_by_key(|&t| {
                 let width_key = if options.widest_tam_tie_break {
@@ -113,16 +172,21 @@ pub fn core_assign(
             .expect("at least one tam");
 
         // Line 13: unassigned core with the largest time on `tam`.
-        let max_time = unassigned
+        let max_time = scratch
+            .unassigned
             .iter()
             .map(|&c| costs.time(c, tam))
             .max()
             .expect("unassigned is non-empty");
-        let tied: Vec<usize> = unassigned
-            .iter()
-            .copied()
-            .filter(|&c| costs.time(c, tam) == max_time)
-            .collect();
+        scratch.tied.clear();
+        scratch.tied.extend(
+            scratch
+                .unassigned
+                .iter()
+                .copied()
+                .filter(|&c| costs.time(c, tam) == max_time),
+        );
+        let tied = &scratch.tied;
         let core = if tied.len() >= 2 && options.next_tam_tie_break {
             // Lines 14-16: compare the tied cores on the next-narrower
             // TAM (the widest TAM strictly narrower than `tam`).
@@ -142,19 +206,26 @@ pub fn core_assign(
         };
 
         // Line 17: assign.
-        assignment[core] = tam;
-        tam_times[tam] += costs.time(core, tam);
-        unassigned.retain(|&c| c != core);
+        scratch.assignment[core] = tam;
+        scratch.tam_times[tam] += costs.time(core, tam);
+        scratch.unassigned.retain(|&c| c != core);
 
         // Lines 18-20: abort against the best-known bound.
         if let Some(tau) = bound {
-            let worst = tam_times.iter().copied().max().expect("non-empty");
+            let worst = scratch.tam_times.iter().copied().max().expect("non-empty");
             if worst >= tau {
-                return CoreAssignOutcome::Aborted { bound: tau };
+                return None;
             }
         }
     }
-    CoreAssignOutcome::Complete(AssignResult::from_assignment(assignment, costs))
+    Some(
+        scratch
+            .tam_times
+            .iter()
+            .copied()
+            .max()
+            .expect("at least one tam"),
+    )
 }
 
 #[cfg(test)]
@@ -291,6 +362,50 @@ mod tests {
             .unwrap();
         let total: u64 = (0..10).map(|c| costs.time(c, 0)).sum();
         assert_eq!(result.soc_time(), total);
+    }
+
+    #[test]
+    fn scratch_variant_matches_the_allocating_one() {
+        let soc = benchmarks::d695();
+        let table = tamopt_wrapper::TimeTable::new(&soc, 32).unwrap();
+        let mut scratch = AssignScratch::new();
+        for widths in [vec![8u32, 24], vec![4, 4, 8, 16], vec![32]] {
+            let tams = crate::TamSet::new(widths.clone()).unwrap();
+            let costs = CostMatrix::from_table(&table, &tams).unwrap();
+            for bound in [None, Some(30_000), Some(1)] {
+                let owned = core_assign(&costs, bound, &CoreAssignOptions::default());
+                let fitted =
+                    core_assign_into(&costs, bound, &CoreAssignOptions::default(), &mut scratch);
+                match (owned, fitted) {
+                    (CoreAssignOutcome::Complete(result), Some(time)) => {
+                        assert_eq!(result.soc_time(), time, "widths {widths:?} bound {bound:?}");
+                        assert_eq!(scratch.result(&costs), result);
+                    }
+                    (CoreAssignOutcome::Aborted { .. }, None) => {}
+                    (owned, fitted) => {
+                        panic!("outcomes diverge for {widths:?}/{bound:?}: {owned:?} vs {fitted:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_shrinking_shapes() {
+        // A scratch warmed on a wide matrix must produce correct results
+        // on a narrower one (buffers shrink logically, not physically).
+        let wide = CostMatrix::from_raw(
+            vec![vec![9, 8, 7, 6], vec![5, 4, 3, 2], vec![1, 2, 3, 4]],
+            vec![4, 8, 16, 32],
+        )
+        .unwrap();
+        let narrow = CostMatrix::from_raw(vec![vec![5], vec![7]], vec![8]).unwrap();
+        let mut scratch = AssignScratch::new();
+        core_assign_into(&wide, None, &CoreAssignOptions::default(), &mut scratch).unwrap();
+        let time =
+            core_assign_into(&narrow, None, &CoreAssignOptions::default(), &mut scratch).unwrap();
+        assert_eq!(time, 12);
+        assert_eq!(scratch.result(&narrow).assignment(), &[0, 0]);
     }
 
     #[test]

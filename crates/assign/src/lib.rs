@@ -54,6 +54,8 @@ mod tam;
 
 pub use crate::cost::CostMatrix;
 pub use crate::error::AssignError;
-pub use crate::heuristic::{core_assign, CoreAssignOptions, CoreAssignOutcome};
+pub use crate::heuristic::{
+    core_assign, core_assign_into, AssignScratch, CoreAssignOptions, CoreAssignOutcome,
+};
 pub use crate::result::AssignResult;
 pub use crate::tam::TamSet;

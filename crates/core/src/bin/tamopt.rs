@@ -12,7 +12,7 @@
 //!                [--out <report.json>]
 //!
 //!   tamopt serve [--threads <N>] [--time-limit <seconds>]
-//!                [--no-warm-start]
+//!                [--no-warm-start] [--aging <rate>]
 //! ```
 //!
 //! Examples:
@@ -324,11 +324,12 @@ struct ServeArgs {
     threads: usize,
     time_limit: Option<Duration>,
     warm_start: bool,
+    aging: u32,
 }
 
 fn serve_usage() -> &'static str {
     "usage: tamopt serve [--threads <N, 0 = all CPUs>] [--time-limit <seconds>] \
-     [--no-warm-start]\n\
+     [--no-warm-start] [--aging <rate, 0 = strict priorities>]\n\
      stdin lines: <soc> <width> <max-tams> [min-tams=N] [priority=P] \
      [time-limit=S] [node-budget=N]  |  cancel <id>\n\
      prefix every line with @<generation> to replay a deterministic trace"
@@ -338,6 +339,7 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
     let mut threads = 1usize;
     let mut time_limit = None;
     let mut warm_start = true;
+    let mut aging = 0u32;
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
             argv.next()
@@ -347,6 +349,11 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
             "--threads" => threads = parse_threads(&value("--threads")?)?,
             "--time-limit" => time_limit = Some(parse_time_limit(&value("--time-limit")?)?),
             "--no-warm-start" => warm_start = false,
+            "--aging" => {
+                aging = value("--aging")?
+                    .parse()
+                    .map_err(|_| "invalid --aging value".to_owned())?
+            }
             "--help" | "-h" => return Err(serve_usage().to_owned()),
             other => return Err(format!("unknown argument `{other}`\n{}", serve_usage())),
         }
@@ -355,6 +362,7 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
         threads,
         time_limit,
         warm_start,
+        aging,
     })
 }
 
@@ -407,6 +415,7 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
     };
     let mut config = LiveConfig::with_threads(args.threads);
     config.warm_start = args.warm_start;
+    config.aging = args.aging;
     if let Some(limit) = args.time_limit {
         config = config.time_limit(limit);
     }
@@ -850,9 +859,17 @@ mod tests {
         assert_eq!(a.threads, 4);
         assert!(!a.warm_start);
         assert!(a.time_limit.is_none());
-        let b = parse_serve_args(["--time-limit", "2.5"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(a.aging, 0, "strict priorities by default");
+        let b = parse_serve_args(
+            ["--time-limit", "2.5", "--aging", "3"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
         assert!(b.warm_start);
         assert_eq!(b.time_limit, Some(Duration::from_millis(2500)));
+        assert_eq!(b.aging, 3);
+        assert!(parse_serve_args(["--aging", "-1"].iter().map(|s| s.to_string())).is_err());
         assert!(parse_serve_args(["--frobnicate".to_string()].into_iter()).is_err());
         assert!(parse_serve_args(["positional".to_string()].into_iter()).is_err());
     }

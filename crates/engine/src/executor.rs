@@ -1,14 +1,29 @@
-//! Deterministic chunked parallel execution of indexed search spaces.
+//! Deterministic chunked parallel execution of indexed search spaces,
+//! with pipelined generation production.
 //!
 //! The executor splits a lazily produced item stream into fixed-size,
 //! globally indexed *chunks*, groups chunks into *generations*, and
 //! evaluates the chunks of one generation concurrently on a pool of
-//! `std::thread` workers. Between generations the caller's `merge`
-//! closure folds chunk results **in chunk-index order** on the calling
-//! thread — this is where a [`crate::SharedIncumbent`] is tightened, so
-//! every worker of generation `g` prunes against exactly the bound
-//! established by generations `0..g`, regardless of thread count or
-//! timing.
+//! `std::thread` workers. Workers do not get a fixed pre-assignment:
+//! they **pull** chunks from a shared index-ordered queue, so a slow
+//! chunk never idles the rest of the pool (work stealing within a
+//! generation). Between generations the caller's `merge` closure folds
+//! chunk results **in chunk-index order** on the calling thread — this
+//! is where a [`crate::SharedIncumbent`] is tightened, so every worker
+//! of generation `g` prunes against exactly the bound established by
+//! generations `0..g`, regardless of thread count or timing.
+//!
+//! # Pipelining
+//!
+//! For iterator-driven searches ([`search_chunks`] /
+//! [`search_chunks_with`]) the driver **produces generation `g + 1`
+//! while the workers evaluate generation `g`**: item production never
+//! depends on the incumbent — only `merge` does — so prefetching is
+//! determinism-safe and removes the production stall from the
+//! generation barrier. The barrier-hook variant
+//! ([`search_generations`]) deliberately keeps the stall: its hook may
+//! read and mutate state that `merge` also touches (that is its whole
+//! point), so it only ever runs while all workers are parked.
 //!
 //! # Determinism
 //!
@@ -21,7 +36,14 @@
 //! cancellation) necessarily depends on timing, but it only takes effect
 //! at generation boundaries: a truncated run is always equivalent to a
 //! complete run over its first `k` generations. Node-budget truncation
-//! counts dispatched items and is therefore fully deterministic.
+//! counts dispatched items and is therefore fully deterministic — the
+//! prefetch of generation `g + 1` is gated on exactly the same
+//! dispatched-item count the non-pipelined executor polled.
+//!
+//! Per-worker scratch ([`search_chunks_with`]) is invisible to the
+//! contract: a scratch value may cache and reuse buffers across the
+//! chunks one worker happens to evaluate, but `eval`'s *result* must not
+//! depend on it (reuse changes where bytes live, never what they say).
 //!
 //! Generations ramp up exponentially (1, 2, 4, … chunks, capped at
 //! [`ParallelConfig::chunks_per_generation`]): the first chunks
@@ -128,6 +150,13 @@ struct Slot<T, C, E> {
 /// * `merge(result)` runs on the calling thread, in ascending chunk
 ///   order, only between generations; it may mutate shared state.
 ///
+/// Production is **pipelined**: the items of generation `g + 1` are
+/// pulled from the iterator while generation `g` evaluates, so the
+/// iterator must not observe state mutated by `merge` (an iterator over
+/// a precomputed search space — the intended pattern — trivially
+/// satisfies this; use [`search_generations`] when production must see
+/// merged state).
+///
 /// Errors from `eval` and `merge` abort the search; when several chunks
 /// of one generation fail, the error of the lowest-indexed chunk wins
 /// (deterministically). Panics in `eval` are forwarded to the caller
@@ -151,12 +180,53 @@ where
     F: Fn(u64, Vec<T>) -> Result<C, E> + Sync,
     M: FnMut(C) -> Result<(), E>,
 {
-    let mut items = items.fuse();
-    search_generations(
-        |_generation, capacity| items.by_ref().take(capacity).collect(),
+    search_chunks_with(
+        items,
         config,
         budget,
-        eval,
+        || (),
+        |(), base, chunk| eval(base, chunk),
+        merge,
+    )
+}
+
+/// [`search_chunks`] with a reusable **per-worker scratch value**.
+///
+/// `scratch()` runs once per worker thread (once total when `threads ==
+/// 1`); the worker hands the same `&mut W` to every `eval` call it
+/// executes, across all generations. This is the hook for allocation-free
+/// hot paths: a scratch can hold grow-once buffers, memo tables and
+/// reusable result objects, so the steady-state evaluation of one chunk
+/// allocates nothing.
+///
+/// Determinism: which chunks share a scratch depends on thread count and
+/// timing, so `eval`'s result must be independent of the scratch's
+/// history — caches may change *how fast* a value is computed, never
+/// *which* value.
+pub fn search_chunks_with<T, C, E, W, S, F, M>(
+    items: impl Iterator<Item = T>,
+    config: &ParallelConfig,
+    budget: &SearchBudget,
+    scratch: S,
+    eval: F,
+    merge: M,
+) -> Result<SearchStatus, E>
+where
+    T: Send,
+    C: Send,
+    E: Send,
+    S: Fn() -> W + Sync,
+    F: Fn(&mut W, u64, Vec<T>) -> Result<C, E> + Sync,
+    M: FnMut(C) -> Result<(), E>,
+{
+    let mut items = items.fuse();
+    search_impl(
+        |_generation, capacity| items.by_ref().take(capacity).collect(),
+        true,
+        config,
+        budget,
+        &scratch,
+        &eval,
         merge,
     )
 }
@@ -173,7 +243,9 @@ where
 /// arrived after the search started, and reorder what it hands out —
 /// all without breaking the determinism contract, which now reads: for a
 /// fixed *sequence of produced generations*, the merged outcome at
-/// `threads = N` is bit-identical to `threads = 1`.
+/// `threads = N` is bit-identical to `threads = 1`. (Because the hook
+/// may observe merged state, this variant is **not** pipelined — the
+/// production stall is the price of the richer contract.)
 ///
 /// `capacity` is the generation's chunk budget in items
 /// (`generation_width(g) × chunk_size` under the exponential ramp);
@@ -185,11 +257,11 @@ where
 /// generations, *before* the hook runs, so a blocking hook is not
 /// consulted once the budget has expired.
 pub fn search_generations<T, C, E, F, M, P>(
-    mut produce: P,
+    produce: P,
     config: &ParallelConfig,
     budget: &SearchBudget,
     eval: F,
-    mut merge: M,
+    merge: M,
 ) -> Result<SearchStatus, E>
 where
     T: Send,
@@ -197,6 +269,40 @@ where
     E: Send,
     P: FnMut(u32, usize) -> Vec<T>,
     F: Fn(u64, Vec<T>) -> Result<C, E> + Sync,
+    M: FnMut(C) -> Result<(), E>,
+{
+    search_impl(
+        produce,
+        false,
+        config,
+        budget,
+        &|| (),
+        &|(), base, chunk| eval(base, chunk),
+        merge,
+    )
+}
+
+/// The shared implementation behind both front-ends. `pipelined`
+/// selects the production schedule: `true` overlaps `produce` with the
+/// evaluation of the current generation (iterator-driven searches),
+/// `false` runs `produce` strictly under the barrier (hook-driven
+/// searches).
+fn search_impl<T, C, E, W, P, S, F, M>(
+    mut produce: P,
+    pipelined: bool,
+    config: &ParallelConfig,
+    budget: &SearchBudget,
+    scratch: &S,
+    eval: &F,
+    mut merge: M,
+) -> Result<SearchStatus, E>
+where
+    T: Send,
+    C: Send,
+    E: Send,
+    P: FnMut(u32, usize) -> Vec<T>,
+    S: Fn() -> W + Sync,
+    F: Fn(&mut W, u64, Vec<T>) -> Result<C, E> + Sync,
     M: FnMut(C) -> Result<(), E>,
 {
     let threads = config.effective_threads().max(1);
@@ -228,7 +334,50 @@ where
     if threads == 1 {
         // Inline execution on the exact same generation schedule: chunks
         // of one generation are all evaluated before any is merged, so
-        // they observe the same shared state as parallel workers would.
+        // they observe the same shared state as parallel workers would,
+        // and the produce/merge interleaving matches the threaded
+        // driver of the same `pipelined` mode.
+        let mut workspace = scratch();
+        if pipelined {
+            let mut current = produce_generation(0, &mut next_base);
+            let mut truncated = false;
+            loop {
+                if current.is_empty() {
+                    return Ok(if truncated {
+                        SearchStatus::Truncated
+                    } else {
+                        SearchStatus::Complete
+                    });
+                }
+                // The deadline/cancellation re-poll before dispatching a
+                // prefetched generation (see the threaded driver).
+                if generation > 0 && (budget.out_of_time() || budget.cancelled()) {
+                    return Ok(SearchStatus::Truncated);
+                }
+                for slot in &mut current {
+                    let chunk = std::mem::take(&mut slot.items);
+                    slot.out = Some(Ok(eval(&mut workspace, slot.base, chunk)));
+                }
+                // Prefetch under the same dispatched-item count the
+                // threaded driver polls (everything through this
+                // generation), before any of it merges.
+                let next = if budget.is_exhausted(next_base) {
+                    truncated = true;
+                    Vec::new()
+                } else {
+                    produce_generation(generation + 1, &mut next_base)
+                };
+                for slot in current {
+                    match slot.out.expect("chunk evaluated") {
+                        Ok(Ok(c)) => merge(c)?,
+                        Ok(Err(e)) => return Err(e),
+                        Err(_) => unreachable!("inline evaluation does not catch panics"),
+                    }
+                }
+                current = next;
+                generation += 1;
+            }
+        }
         loop {
             if generation > 0 && budget.is_exhausted(next_base) {
                 return Ok(SearchStatus::Truncated);
@@ -239,7 +388,7 @@ where
             }
             for slot in &mut gen {
                 let chunk = std::mem::take(&mut slot.items);
-                slot.out = Some(Ok(eval(slot.base, chunk)));
+                slot.out = Some(Ok(eval(&mut workspace, slot.base, chunk)));
             }
             for slot in gen {
                 match slot.out.expect("chunk evaluated") {
@@ -266,24 +415,31 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                start.wait();
-                if done.load(Ordering::Acquire) {
-                    return;
-                }
+            scope.spawn(|| {
+                let mut workspace = scratch();
                 loop {
-                    let index = next_slot.fetch_add(1, Ordering::Relaxed);
-                    let work = {
-                        let mut guard = slots.lock().unwrap_or_else(PoisonError::into_inner);
-                        guard
-                            .get_mut(index)
-                            .map(|slot| (slot.base, std::mem::take(&mut slot.items)))
-                    };
-                    let Some((base, chunk)) = work else { break };
-                    let out = catch_unwind(AssertUnwindSafe(|| eval(base, chunk)));
-                    slots.lock().unwrap_or_else(PoisonError::into_inner)[index].out = Some(out);
+                    start.wait();
+                    if done.load(Ordering::Acquire) {
+                        return;
+                    }
+                    loop {
+                        // Shared index-ordered chunk queue: each worker
+                        // claims the next unclaimed chunk, so load
+                        // imbalance inside a generation self-levels.
+                        let index = next_slot.fetch_add(1, Ordering::Relaxed);
+                        let work = {
+                            let mut guard = slots.lock().unwrap_or_else(PoisonError::into_inner);
+                            guard
+                                .get_mut(index)
+                                .map(|slot| (slot.base, std::mem::take(&mut slot.items)))
+                        };
+                        let Some((base, chunk)) = work else { break };
+                        let out =
+                            catch_unwind(AssertUnwindSafe(|| eval(&mut workspace, base, chunk)));
+                        slots.lock().unwrap_or_else(PoisonError::into_inner)[index].out = Some(out);
+                    }
+                    finish.wait();
                 }
-                finish.wait();
             });
         }
 
@@ -291,45 +447,99 @@ where
         // caller's `merge` or in the items iterator must still reach the
         // shutdown protocol below, or the workers would stay parked on
         // the start barrier forever and scope-join would deadlock.
-        let driver = catch_unwind(AssertUnwindSafe(|| loop {
-            if generation > 0 && budget.is_exhausted(next_base) {
-                status = SearchStatus::Truncated;
-                break;
-            }
-            let gen = produce_generation(generation, &mut next_base);
-            if gen.is_empty() {
-                break;
-            }
-            *slots.lock().unwrap_or_else(PoisonError::into_inner) = gen;
-            next_slot.store(0, Ordering::Relaxed);
-            start.wait();
-            finish.wait();
-            let gen = std::mem::take(&mut *slots.lock().unwrap_or_else(PoisonError::into_inner));
-            for slot in gen {
-                match slot.out.expect("generation fully evaluated") {
-                    Ok(Ok(c)) => {
-                        if first_error.is_none() && panic_payload.is_none() {
-                            if let Err(e) = merge(c) {
-                                first_error = Some(e);
+        let driver = catch_unwind(AssertUnwindSafe(|| {
+            if pipelined {
+                let mut current = produce_generation(0, &mut next_base);
+                let mut truncated = false;
+                loop {
+                    if current.is_empty() {
+                        if truncated {
+                            status = SearchStatus::Truncated;
+                        }
+                        break;
+                    }
+                    // A prefetched generation must not be dispatched once
+                    // the deadline has passed or a cancellation landed —
+                    // re-poll the *timing-dependent* budget parts here.
+                    // The node budget is deliberately NOT re-polled: its
+                    // dispatch decision was already taken (determin-
+                    // istically) when this generation was produced, and
+                    // re-counting it here would shift the truncation
+                    // point relative to a non-pipelined run.
+                    if generation > 0 && (budget.out_of_time() || budget.cancelled()) {
+                        status = SearchStatus::Truncated;
+                        break;
+                    }
+                    *slots.lock().unwrap_or_else(PoisonError::into_inner) = current;
+                    next_slot.store(0, Ordering::Relaxed);
+                    start.wait();
+                    // Workers are evaluating this generation: produce
+                    // the next one now. The production itself must not
+                    // skip the finish barrier on panic, or the pool
+                    // would deadlock — catch and re-raise after it.
+                    let prefetch = if budget.is_exhausted(next_base) {
+                        truncated = true;
+                        Ok(Vec::new())
+                    } else {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            produce_generation(generation + 1, &mut next_base)
+                        }))
+                    };
+                    finish.wait();
+                    let gen =
+                        std::mem::take(&mut *slots.lock().unwrap_or_else(PoisonError::into_inner));
+                    for slot in gen {
+                        collect(
+                            slot.out.expect("generation fully evaluated"),
+                            &mut merge,
+                            &mut first_error,
+                            &mut panic_payload,
+                        );
+                    }
+                    match prefetch {
+                        Ok(next) => current = next,
+                        Err(payload) => {
+                            if panic_payload.is_none() {
+                                panic_payload = Some(payload);
                             }
+                            break;
                         }
                     }
-                    Ok(Err(e)) => {
-                        if first_error.is_none() && panic_payload.is_none() {
-                            first_error = Some(e);
-                        }
+                    if first_error.is_some() || panic_payload.is_some() {
+                        break;
                     }
-                    Err(payload) => {
-                        if panic_payload.is_none() {
-                            panic_payload = Some(payload);
-                        }
+                    generation += 1;
+                }
+            } else {
+                loop {
+                    if generation > 0 && budget.is_exhausted(next_base) {
+                        status = SearchStatus::Truncated;
+                        break;
                     }
+                    let gen = produce_generation(generation, &mut next_base);
+                    if gen.is_empty() {
+                        break;
+                    }
+                    *slots.lock().unwrap_or_else(PoisonError::into_inner) = gen;
+                    next_slot.store(0, Ordering::Relaxed);
+                    start.wait();
+                    finish.wait();
+                    let gen =
+                        std::mem::take(&mut *slots.lock().unwrap_or_else(PoisonError::into_inner));
+                    for slot in gen {
+                        collect(
+                            slot.out.expect("generation fully evaluated"),
+                            &mut merge,
+                            &mut first_error,
+                            &mut panic_payload,
+                        );
+                    }
+                    if first_error.is_some() || panic_payload.is_some() {
+                        break;
+                    }
+                    generation += 1;
                 }
             }
-            if first_error.is_some() || panic_payload.is_some() {
-                break;
-            }
-            generation += 1;
         }));
         // Single shutdown point: every driver exit path — normal,
         // erroring or panicking — releases the workers exactly once.
@@ -348,6 +558,36 @@ where
     match first_error {
         Some(e) => Err(e),
         None => Ok(status),
+    }
+}
+
+/// Folds one evaluated slot into the driver state: merge successful
+/// results (in slot order, only while no failure is pending), keep the
+/// lowest-indexed error, and capture the first worker panic.
+fn collect<C, E>(
+    out: std::thread::Result<Result<C, E>>,
+    merge: &mut impl FnMut(C) -> Result<(), E>,
+    first_error: &mut Option<E>,
+    panic_payload: &mut Option<Box<dyn std::any::Any + Send>>,
+) {
+    match out {
+        Ok(Ok(c)) => {
+            if first_error.is_none() && panic_payload.is_none() {
+                if let Err(e) = merge(c) {
+                    *first_error = Some(e);
+                }
+            }
+        }
+        Ok(Err(e)) => {
+            if first_error.is_none() && panic_payload.is_none() {
+                *first_error = Some(e);
+            }
+        }
+        Err(payload) => {
+            if panic_payload.is_none() {
+                *panic_payload = Some(payload);
+            }
+        }
     }
 }
 
@@ -505,10 +745,52 @@ mod tests {
         };
         let reference = count(1);
         // Whole generations: 32 (gen 0) + 64 (gen 1) + 128 (gen 2) — the
-        // budget trips after the generation crossing 100 items.
+        // budget trips after the generation crossing 100 items, exactly
+        // as on the non-pipelined executor.
         assert_eq!(reference, 224);
         for threads in [2, 8] {
             assert_eq!(count(threads), reference, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_the_prefetched_generation_from_dispatching() {
+        // The prefetch of generation g+1 happens while g evaluates, but
+        // a cancellation landing before g+1 is published must win: the
+        // produced items are dropped, not evaluated.
+        use std::sync::atomic::AtomicU64;
+        for threads in [1usize, 4] {
+            let (budget, handle) = SearchBudget::unlimited().cancellable();
+            let evaluated = AtomicU64::new(0);
+            let mut merged = 0u64;
+            let status = search_chunks(
+                0..1000u32,
+                &ParallelConfig {
+                    threads,
+                    chunk_size: 8,
+                    chunks_per_generation: 16,
+                },
+                &budget,
+                |_, chunk: Vec<u32>| {
+                    evaluated.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                    Ok::<_, ()>(chunk.len() as u64)
+                },
+                |n| {
+                    merged += n;
+                    // Trips during the merge of generation 0 — after
+                    // generation 1 was already prefetched.
+                    handle.cancel();
+                    Ok(())
+                },
+            )
+            .unwrap();
+            assert_eq!(status, SearchStatus::Truncated, "threads {threads}");
+            assert_eq!(merged, 8, "threads {threads}");
+            assert_eq!(
+                evaluated.load(Ordering::Relaxed),
+                8,
+                "threads {threads}: the prefetched generation must not run"
+            );
         }
     }
 
@@ -614,6 +896,27 @@ mod tests {
     }
 
     #[test]
+    fn hook_producer_panics_propagate_instead_of_deadlocking() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            search_generations(
+                |generation, capacity| {
+                    if generation >= 2 {
+                        panic!("hook bug");
+                    }
+                    vec![0u32; capacity]
+                },
+                &ParallelConfig::with_threads(4),
+                &SearchBudget::unlimited(),
+                |_base, _chunk: Vec<u32>| Ok::<_, ()>(()),
+                |()| Ok(()),
+            )
+        }));
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "hook bug");
+    }
+
+    #[test]
     fn zero_threads_resolves_to_available_parallelism() {
         let config = ParallelConfig::with_threads(0);
         assert!(config.effective_threads() >= 1);
@@ -645,6 +948,80 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn scratch_is_per_worker_and_reused_across_generations() {
+        // Each worker's scratch counts the chunks it evaluated; the
+        // counts must sum to the total chunk count (every chunk ran on
+        // exactly one scratch), and with threads = 1 a single scratch
+        // sees everything — proof the value survives generations.
+        for threads in [1usize, 4] {
+            let mut per_chunk_counts = Vec::new();
+            let status = search_chunks_with(
+                0..96u32,
+                &ParallelConfig {
+                    threads,
+                    chunk_size: 8,
+                    chunks_per_generation: 4,
+                },
+                &SearchBudget::unlimited(),
+                || 0u64,
+                |seen: &mut u64, base, _chunk: Vec<u32>| {
+                    *seen += 1;
+                    Ok::<_, ()>((base, *seen))
+                },
+                |(base, seen)| {
+                    per_chunk_counts.push((base, seen));
+                    Ok(())
+                },
+            )
+            .unwrap();
+            assert!(status.is_complete());
+            assert_eq!(per_chunk_counts.len(), 12, "threads {threads}");
+            if threads == 1 {
+                // One scratch evaluates every chunk in order.
+                let counts: Vec<u64> = per_chunk_counts.iter().map(|&(_, s)| s).collect();
+                assert_eq!(counts, (1..=12).collect::<Vec<u64>>());
+            }
+            // Per-worker counters never exceed the chunk total and are
+            // strictly positive.
+            assert!(per_chunk_counts.iter().all(|&(_, s)| (1..=12).contains(&s)));
+        }
+    }
+
+    #[test]
+    fn pipelined_production_overlaps_evaluation() {
+        // The iterator records how far production has advanced when each
+        // chunk is evaluated. With pipelining, the items of generation
+        // g + 1 are produced before generation g merges — visible here
+        // as production having advanced past the evaluated chunk's own
+        // generation by merge time at threads = 1 (deterministic order).
+        use std::sync::atomic::AtomicU64;
+        let produced = AtomicU64::new(0);
+        let mut merged: Vec<(u64, u64)> = Vec::new();
+        let status = search_chunks(
+            (0..48u64).inspect(|_| {
+                produced.fetch_add(1, Ordering::Relaxed);
+            }),
+            &ParallelConfig {
+                threads: 1,
+                chunk_size: 4,
+                chunks_per_generation: 2,
+            },
+            &SearchBudget::unlimited(),
+            |base, chunk: Vec<u64>| Ok::<_, ()>((base, chunk.len() as u64)),
+            |(base, len)| {
+                merged.push((base, produced.load(Ordering::Relaxed)));
+                let _ = len;
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert!(status.is_complete());
+        // When chunk at base 0 (generation 0) merges, generation 1's
+        // items (8 more) must already be produced: 4 + 8 = 12.
+        assert_eq!(merged.first(), Some(&(0, 12)));
     }
 
     #[test]
@@ -720,6 +1097,44 @@ mod tests {
         assert_eq!(reference.iter().map(|(_, c)| c.len()).sum::<usize>(), 50);
         for threads in [2, 8] {
             assert_eq!(run(threads), reference, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn hook_sees_merged_state_of_the_previous_generation() {
+        // The hook contract: production at generation g observes every
+        // merge of generations 0..g. A pipelined producer could not make
+        // this promise — this test pins the hook variant to it.
+        for threads in [1usize, 4] {
+            let merged_total = std::cell::Cell::new(0u64);
+            let mut observed: Vec<u64> = Vec::new();
+            let mut rounds = 0u32;
+            let status = search_generations(
+                |_generation, _capacity| {
+                    observed.push(merged_total.get());
+                    rounds += 1;
+                    if rounds > 3 {
+                        Vec::new()
+                    } else {
+                        vec![1u64; 4]
+                    }
+                },
+                &ParallelConfig {
+                    threads,
+                    chunk_size: 2,
+                    chunks_per_generation: 4,
+                },
+                &SearchBudget::unlimited(),
+                |_base, chunk: Vec<u64>| Ok::<_, ()>(chunk.iter().sum::<u64>()),
+                |s| {
+                    merged_total.set(merged_total.get() + s);
+                    Ok(())
+                },
+            )
+            .unwrap();
+            assert!(status.is_complete());
+            // Each call sees all previous generations fully merged.
+            assert_eq!(observed, vec![0, 4, 8, 12], "threads {threads}");
         }
     }
 

@@ -52,5 +52,7 @@ pub mod executor;
 mod incumbent;
 
 pub use crate::budget::{CancelHandle, SearchBudget};
-pub use crate::executor::{search_chunks, search_generations, ParallelConfig, SearchStatus};
+pub use crate::executor::{
+    search_chunks, search_chunks_with, search_generations, ParallelConfig, SearchStatus,
+};
 pub use crate::incumbent::SharedIncumbent;

@@ -17,11 +17,14 @@
 //! included). A [`SearchBudget`] bounds the whole scan; a truncated run
 //! still returns the best partition of the generations that finished.
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 use tamopt_assign::{
-    core_assign, AssignResult, CoreAssignOptions, CoreAssignOutcome, CostMatrix, TamSet,
+    core_assign_into, AssignError, AssignResult, AssignScratch, CoreAssignOptions, CostMatrix,
+    TamSet,
 };
-use tamopt_engine::{search_chunks, ParallelConfig, SearchBudget, SharedIncumbent};
+use tamopt_engine::{search_chunks_with, ParallelConfig, SearchBudget, SharedIncumbent};
 use tamopt_wrapper::TimeTable;
 
 use crate::enumerate::Partitions;
@@ -141,6 +144,79 @@ pub struct EvalResult {
     pub complete: bool,
 }
 
+/// Per-worker reusable state of the scan hot path: after warm-up, one
+/// partition evaluation performs **zero heap allocations** unless it
+/// improves the incumbent (materializing a result).
+///
+/// * `matrix` / `assign` are grow-once buffers rebuilt in place per
+///   partition ([`CostMatrix::from_table_into`] / [`core_assign_into`]).
+/// * `memo` caches cost matrices keyed by the partition's
+///   **effective-width signature**
+///   ([`TimeTable::effective_widths`]): parts past a core-set's Pareto
+///   saturation width produce identical cost columns — the paper's own
+///   plateau observation — so partitions like `4+40` and `4+64` (both
+///   saturated) share one cached matrix instead of rebuilding it. A
+///   memo hit copies the cached costs and installs the partition's
+///   *actual* widths, so tie-breaks (which compare widths) behave
+///   bit-identically to an uncached build. Signatures equal to the
+///   actual widths are unique to their partition and skip the memo
+///   entirely — caching them could only waste memory.
+///
+/// The memo is per worker: which partitions share a scratch depends on
+/// thread count, but a memo hit and a rebuild produce the same matrix,
+/// so results stay thread-count invariant.
+struct ScanScratch {
+    matrix: CostMatrix,
+    assign: AssignScratch,
+    signature: Vec<u32>,
+    memo: HashMap<Vec<u32>, CostMatrix>,
+}
+
+/// Upper bound on memoized matrices per worker — a safety valve for
+/// pathological tables, far above what the benchmark SOCs produce.
+const MEMO_CAP: usize = 4096;
+
+impl ScanScratch {
+    fn new() -> Self {
+        ScanScratch {
+            matrix: CostMatrix::scratch(),
+            assign: AssignScratch::new(),
+            signature: Vec::new(),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Rebuilds `self.matrix` for `tams`, via the memo when the
+    /// partition's effective-width signature collapses (some part is
+    /// past saturation), directly from the table otherwise.
+    fn rebuild_matrix(
+        &mut self,
+        table: &TimeTable,
+        tams: &TamSet,
+        effective: &[u32],
+    ) -> Result<(), AssignError> {
+        self.signature.clear();
+        self.signature
+            .extend(tams.widths().iter().map(|&w| effective[w as usize]));
+        if self.signature.as_slice() == tams.widths() {
+            // Canonical widths: no other partition shares this matrix.
+            return CostMatrix::from_table_into(table, tams, &mut self.matrix);
+        }
+        if !self.memo.contains_key(self.signature.as_slice()) {
+            if self.memo.len() >= MEMO_CAP {
+                return CostMatrix::from_table_into(table, tams, &mut self.matrix);
+            }
+            let canonical =
+                TamSet::new(self.signature.iter().copied()).expect("effective widths are positive");
+            let built = CostMatrix::from_table(table, &canonical)?;
+            self.memo.insert(self.signature.clone(), built);
+        }
+        let cached = &self.memo[self.signature.as_slice()];
+        self.matrix.copy_from(cached, tams.widths());
+        Ok(())
+    }
+}
+
 /// Runs `Partition_evaluate`: enumerates every unique partition of
 /// `total_width` over the configured TAM-count range, scores each with
 /// `Core_assign` under the running best-known bound `τ`, and returns the
@@ -202,12 +278,20 @@ pub fn partition_evaluate(
     let mut stats = PruneStats::default();
     let mut best: Option<(u64, TamSet, AssignResult)> = None;
 
+    // Width canonicalization for the per-worker matrix memo (see
+    // `ScanScratch`): computed once, shared read-only by all workers.
+    let effective = table.effective_widths();
+
     let items = (config.min_tams..=config.max_tams).flat_map(|b| Partitions::new(total_width, b));
-    let status = search_chunks(
+    let status = search_chunks_with(
         items,
         &config.parallel,
         &config.budget,
-        |_base, chunk: Vec<Vec<u32>>| -> Result<ChunkEval, PartitionError> {
+        ScanScratch::new,
+        |scratch: &mut ScanScratch,
+         _base,
+         chunk: Vec<Vec<u32>>|
+         -> Result<ChunkEval, PartitionError> {
             // The shared bound as of this chunk's generation, improved
             // locally as the chunk's own partitions complete.
             let mut tau = incumbent.get();
@@ -218,21 +302,25 @@ pub fn partition_evaluate(
             for widths in chunk {
                 out.stats.enumerated += 1;
                 let tams = TamSet::new(widths).expect("partition parts are positive");
-                let costs = CostMatrix::from_table(table, &tams)?;
+                scratch.rebuild_matrix(table, &tams, &effective)?;
                 let bound = if config.prune && tau != u64::MAX {
                     Some(tau)
                 } else {
                     None
                 };
-                match core_assign(&costs, bound, &config.options) {
-                    CoreAssignOutcome::Complete(result) => {
+                match core_assign_into(&scratch.matrix, bound, &config.options, &mut scratch.assign)
+                {
+                    Some(time) => {
                         out.stats.completed += 1;
-                        if result.soc_time() < tau {
-                            tau = result.soc_time();
-                            out.best = Some((tau, tams, result));
+                        if time < tau {
+                            tau = time;
+                            // Materializing the result is the hot path's
+                            // only allocation, paid just for new chunk
+                            // incumbents.
+                            out.best = Some((tau, tams, scratch.assign.result(&scratch.matrix)));
                         }
                     }
-                    CoreAssignOutcome::Aborted { .. } => {
+                    None => {
                         out.stats.aborted += 1;
                     }
                 }
@@ -575,6 +663,64 @@ mod tests {
             seeded.stats.enumerated,
             seeded.stats.completed + seeded.stats.aborted
         );
+    }
+
+    #[test]
+    fn rebuild_matrix_equals_a_direct_build_for_every_partition() {
+        // The memo must be invisible: whether a matrix comes from the
+        // effective-width cache or straight from the table, it must be
+        // bit-identical — including the *actual* (uncollapsed) widths
+        // the heuristic's tie-breaks compare.
+        let table = d695_table(64);
+        let effective = table.effective_widths();
+        let mut scratch = ScanScratch::new();
+        let mut memo_hits = 0u32;
+        for b in 1..=3u32 {
+            for widths in Partitions::new(64, b) {
+                let tams = TamSet::new(widths).unwrap();
+                let sig: Vec<u32> = tams
+                    .widths()
+                    .iter()
+                    .map(|&w| effective[w as usize])
+                    .collect();
+                if sig != tams.widths() {
+                    memo_hits += 1;
+                }
+                scratch.rebuild_matrix(&table, &tams, &effective).unwrap();
+                let direct = CostMatrix::from_table(&table, &tams).unwrap();
+                assert_eq!(scratch.matrix, direct, "widths {:?}", tams.widths());
+            }
+        }
+        assert!(memo_hits > 0, "W=64 must exercise the saturated-part memo");
+    }
+
+    #[test]
+    fn memoized_scan_matches_a_naive_unpruned_scan() {
+        // End-to-end cross-check of the allocation-free hot path against
+        // the straightforward allocate-per-partition loop it replaced.
+        use tamopt_assign::{core_assign, CoreAssignOptions};
+        let table = d695_table(64);
+        let config = EvaluateConfig {
+            prune: false,
+            ..EvaluateConfig::up_to_tams(3)
+        };
+        let eval = partition_evaluate(&table, 64, &config).unwrap();
+        let mut best: Option<(u64, TamSet, AssignResult)> = None;
+        for b in 1..=3u32 {
+            for widths in Partitions::new(64, b) {
+                let tams = TamSet::new(widths).unwrap();
+                let costs = CostMatrix::from_table(&table, &tams).unwrap();
+                let result = core_assign(&costs, None, &CoreAssignOptions::default())
+                    .into_result()
+                    .expect("unbounded");
+                if best.as_ref().is_none_or(|(t, _, _)| result.soc_time() < *t) {
+                    best = Some((result.soc_time(), tams, result));
+                }
+            }
+        }
+        let (_, tams, result) = best.unwrap();
+        assert_eq!(eval.tams, tams);
+        assert_eq!(eval.result, result);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use tamopt_engine::{search_chunks, CancelHandle, ParallelConfig, SearchBudget};
+use tamopt_engine::{search_generations, CancelHandle, ParallelConfig, SearchBudget};
 use tamopt_partition::pipeline::{co_optimize, PipelineConfig};
 use tamopt_partition::CoOptimization;
 use tamopt_wrapper::TimeTable;
@@ -123,7 +123,11 @@ impl Batch {
     /// Requests are dispatched in priority order (ties keep submission
     /// order), one request per executor chunk: with `threads = N`, up to
     /// `N` requests co-optimize concurrently, and the global budget is
-    /// polled between generations. Requests never dispatched because the
+    /// polled between generations. A generation dispatching exactly
+    /// **one** request (always generation 0 under the ramp, and whenever
+    /// the queue runs low) lets that request borrow the whole pool for
+    /// its inner partition scan — identical results, lower tail latency
+    /// for lone heavy requests. Requests never dispatched because the
     /// budget ran out are reported as [`RequestStatus::Skipped`].
     /// Per-request failures (e.g. an infeasible width) are captured as
     /// [`RequestStatus::Failed`] outcomes — they never abort the batch.
@@ -147,17 +151,38 @@ impl Batch {
             chunk_size: 1,
             chunks_per_generation: config.requests_per_generation.max(1),
         };
-        search_chunks(
-            order.iter().copied(),
+        // Nested parallelism: a generation dispatching exactly one
+        // request cannot use the pool width at the request level, so
+        // that lone request borrows the whole pool for its *inner*
+        // partition scan. The inner chunk geometry stays at its default,
+        // so the inner thread count is pure execution policy — results
+        // (and `PruneStats`) are bit-identical whether a request runs
+        // alone on N threads or beside siblings on one.
+        let pool_width = parallel.effective_threads();
+        let mut cursor = order.iter().copied();
+        search_generations(
+            |_generation, capacity| {
+                let picked: Vec<usize> = cursor.by_ref().take(capacity).collect();
+                let inner_threads = if picked.len() == 1 { pool_width } else { 1 };
+                picked
+                    .into_iter()
+                    .map(|index| (index, inner_threads))
+                    .collect::<Vec<(usize, usize)>>()
+            },
             &parallel,
             &config.budget,
-            |_base, chunk: Vec<usize>| -> Result<_, std::convert::Infallible> {
+            |_base, chunk: Vec<(usize, usize)>| -> Result<_, std::convert::Infallible> {
                 Ok(chunk
                     .into_iter()
-                    .map(|index| {
+                    .map(|(index, inner_threads)| {
                         (
                             index,
-                            run_request(&self.entries[index].request, &inner_global, None),
+                            run_request(
+                                &self.entries[index].request,
+                                &inner_global,
+                                None,
+                                inner_threads,
+                            ),
                         )
                     })
                     .collect::<Vec<_>>())
@@ -216,14 +241,19 @@ impl Batch {
 
 /// Runs one request under the intersection of its own budget and the
 /// batch-global deadline/cancellation, optionally warm-started with a
-/// `seed_tau` bound (see [`crate::LiveQueue`]'s incumbent cache). The
-/// inner partition scan runs single-threaded (its worker thread *is* the
-/// parallelism) with the default chunk geometry, so an unseeded result
-/// matches a standalone `co_optimize` run bit for bit.
+/// `seed_tau` bound (see [`crate::LiveQueue`]'s incumbent cache).
+///
+/// `inner_threads` is the thread count of the request's inner partition
+/// scan: `1` when the request runs beside siblings (its pool worker *is*
+/// the parallelism), the pool width when it runs alone in its generation
+/// (nested parallelism). The inner chunk geometry never changes, so the
+/// result is bit-identical for every `inner_threads` value — an unseeded
+/// result matches a standalone `co_optimize` run bit for bit.
 pub(crate) fn run_request(
     request: &Request,
     global: &SearchBudget,
     seed_tau: Option<u64>,
+    inner_threads: usize,
 ) -> Result<CoOptimization, String> {
     let table = TimeTable::new(&request.soc, request.width).map_err(|e| e.to_string())?;
     let pipeline = PipelineConfig {
@@ -231,6 +261,7 @@ pub(crate) fn run_request(
         max_tams: request.max_tams,
         budget: request.budget.intersect(global),
         seed_tau,
+        parallel: ParallelConfig::with_threads(inner_threads.max(1)),
         ..PipelineConfig::up_to_tams(request.max_tams)
     };
     co_optimize(&table, request.width, &pipeline).map_err(|e| e.to_string())

@@ -8,7 +8,10 @@
 //! dispatcher re-reads the priority queue at every generation barrier of
 //! the engine ([`tamopt_engine::search_generations`]), so a
 //! high-priority request submitted mid-run preempts queued (not yet
-//! dispatched) lower-priority work. Completed outcomes stream out via
+//! dispatched) lower-priority work — bounded by the optional
+//! [`LiveConfig::aging`] term, which deterministically raises the
+//! effective priority of waiting work so a stream of high-priority
+//! submissions cannot starve the backlog. Completed outcomes stream out via
 //! [`recv_outcome`](LiveQueue::recv_outcome) as they merge instead of
 //! one terminal report; [`shutdown`](LiveQueue::shutdown) drains the
 //! queue and returns the final [`BatchReport`].
@@ -65,6 +68,15 @@ pub struct LiveConfig {
     /// Whether to warm-start requests from the per-queue incumbent cache
     /// (default `true`). Disable to measure cold-start costs.
     pub warm_start: bool,
+    /// Priority-aging rate: a queued request's **effective** priority is
+    /// `priority + aging × generations_waited`, counted in generation
+    /// barriers since the request became visible to the dispatcher —
+    /// deterministic (no wall clock), so replayed traces age
+    /// identically. With `aging > 0` a steady stream of high-priority
+    /// submissions can no longer starve the backlog: any queued request
+    /// eventually out-prioritizes new arrivals. `0` (the default)
+    /// preserves strict priority order.
+    pub aging: u32,
 }
 
 impl Default for LiveConfig {
@@ -74,6 +86,7 @@ impl Default for LiveConfig {
             threads: 1,
             requests_per_generation: 8,
             warm_start: true,
+            aging: 0,
         }
     }
 }
@@ -218,6 +231,10 @@ struct Pending {
     request: Request,
     handle: CancelHandle,
     fingerprint: u64,
+    /// The generation barrier at which the dispatcher first saw this
+    /// entry — the zero point of priority aging. `None` until then
+    /// (live submissions land between barriers).
+    seen_at: Option<u32>,
 }
 
 /// One request handed to the worker pool, warm-start seed resolved.
@@ -227,6 +244,9 @@ struct Dispatch {
     handle: CancelHandle,
     fingerprint: u64,
     seed: Option<u64>,
+    /// Thread count for the request's inner partition scan: the pool
+    /// width when the request is alone in its generation, else 1.
+    inner_threads: usize,
 }
 
 /// Queue state behind the mutex.
@@ -427,6 +447,7 @@ impl LiveQueue {
             request: Request { budget, ..request },
             handle: handle.clone(),
             fingerprint,
+            seen_at: None,
         });
         state.handles.insert(id, handle.clone());
         drop(state);
@@ -551,6 +572,7 @@ fn dispatch(
                 request: Request { budget, ..request },
                 handle,
                 fingerprint,
+                seen_at: None,
             });
         }
         TraceAction::Cancel(id) => {
@@ -560,6 +582,7 @@ fn dispatch(
         }
     };
 
+    let pool_width = parallel.effective_threads();
     let produce = |generation: u32, capacity: usize| -> Vec<Dispatch> {
         let mut book = book.borrow_mut();
         let mut state = lock(shared);
@@ -610,10 +633,27 @@ fn dispatch(
                 .unwrap_or_else(PoisonError::into_inner)
                 .0;
         }
-        state
-            .pending
-            .sort_by_key(|p| (std::cmp::Reverse(p.request.priority), p.id));
+        // Aging clock: an entry starts aging at the first barrier that
+        // sees it (deterministic under replay — trace events are
+        // injected at their tagged barrier).
+        for p in &mut state.pending {
+            p.seen_at.get_or_insert(generation);
+        }
+        // Effective priority = priority + aging × generations waited;
+        // i64 arithmetic so extreme priorities cannot overflow. Ties
+        // keep submission order.
+        let aging = i64::from(config.aging);
+        state.pending.sort_by_key(|p| {
+            let waited = i64::from(generation - p.seen_at.unwrap_or(generation));
+            (
+                std::cmp::Reverse(i64::from(p.request.priority) + aging * waited),
+                p.id,
+            )
+        });
         let take = capacity.min(state.pending.len());
+        // A lone request borrows the whole pool for its inner scan
+        // (thread-count-invariant inner geometry: identical results).
+        let inner_threads = if take == 1 { pool_width } else { 1 };
         state
             .pending
             .drain(..take)
@@ -629,6 +669,7 @@ fn dispatch(
                     handle: p.handle,
                     fingerprint: p.fingerprint,
                     seed,
+                    inner_threads,
                 }
             })
             .collect()
@@ -642,7 +683,12 @@ fn dispatch(
             Ok(chunk
                 .into_iter()
                 .map(|dispatch| {
-                    let result = run_request(&dispatch.request, &inner_global, dispatch.seed);
+                    let result = run_request(
+                        &dispatch.request,
+                        &inner_global,
+                        dispatch.seed,
+                        dispatch.inner_threads,
+                    );
                     (dispatch, result)
                 })
                 .collect::<Vec<_>>())

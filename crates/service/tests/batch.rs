@@ -46,6 +46,37 @@ fn batch_reports_are_thread_count_invariant() {
 }
 
 #[test]
+fn lone_request_nested_parallelism_is_result_invariant() {
+    // A single-request batch on a 4-thread pool borrows the whole pool
+    // for its inner partition scan (nested parallelism). The inner chunk
+    // geometry is fixed, so the architecture, heuristic, stats — all of
+    // it — must equal both the 1-thread batch and a standalone
+    // single-threaded co_optimize, bit for bit.
+    let request = || Request::new(benchmarks::p31108(), 32).max_tams(4);
+    let narrow = run_batch([request()], &BatchConfig::with_threads(1));
+    let wide = run_batch([request()], &BatchConfig::with_threads(4));
+    assert_eq!(
+        stable_lines(&narrow.to_json()),
+        stable_lines(&wide.to_json())
+    );
+    let table = TimeTable::new(&request().soc, 32).expect("width is valid");
+    let standalone = co_optimize(
+        &table,
+        32,
+        &PipelineConfig {
+            max_tams: 4,
+            ..PipelineConfig::up_to_tams(4)
+        },
+    )
+    .expect("valid configuration");
+    let co = wide.outcomes[0].result.as_ref().expect("completed");
+    assert_eq!(co.tams, standalone.tams);
+    assert_eq!(co.optimized, standalone.optimized);
+    assert_eq!(co.heuristic, standalone.heuristic);
+    assert_eq!(co.stats, standalone.stats);
+}
+
+#[test]
 fn batched_results_match_standalone_co_optimization() {
     let report = run_batch(three_soc_requests(), &BatchConfig::with_threads(4));
     for (request, outcome) in three_soc_requests().iter().zip(&report.outcomes) {

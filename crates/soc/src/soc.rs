@@ -80,15 +80,69 @@ impl Soc {
 
     /// A content fingerprint of the SOC: equal SOCs (name and full core
     /// data) hash equal, structurally different SOCs virtually never
-    /// collide. Stable within a process — the key of per-process caches
-    /// such as the service layer's warm-start cache — but **not** a
-    /// persistent identifier across builds or machines.
+    /// collide.
+    ///
+    /// The hash is a hand-rolled **FNV-1a** over a canonical, explicit
+    /// field ordering (name, core count, then per core: name, inputs,
+    /// outputs, bidirs, scan chains, patterns — every variable-length
+    /// field length-prefixed). It is therefore **stable across process
+    /// restarts, builds and machines**, unlike `DefaultHasher` — the
+    /// property persisted caches (e.g. serializing the service layer's
+    /// warm-start cache across daemon restarts) depend on.
     pub fn fingerprint(&self) -> u64 {
-        use std::hash::{Hash, Hasher};
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        self.name.hash(&mut hasher);
-        self.cores.hash(&mut hasher);
+        let mut hasher = Fnv1a::new();
+        hasher.write_str(&self.name);
+        hasher.write_u64(self.cores.len() as u64);
+        for core in &self.cores {
+            hasher.write_str(core.name());
+            hasher.write_u32(core.inputs());
+            hasher.write_u32(core.outputs());
+            hasher.write_u32(core.bidirs());
+            hasher.write_u64(core.scan_chains().len() as u64);
+            for &chain in core.scan_chains() {
+                hasher.write_u32(chain);
+            }
+            hasher.write_u64(core.patterns());
+        }
         hasher.finish()
+    }
+}
+
+/// 64-bit FNV-1a with explicit length prefixes for variable-length
+/// fields, so field boundaries can never alias ("ab" + "c" vs "a" +
+/// "bc"). Kept private: the only contract is [`Soc::fingerprint`].
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET_BASIS)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    fn write_str(&mut self, value: &str) {
+        self.write_u64(value.len() as u64);
+        self.write_bytes(value.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -266,6 +320,52 @@ mod tests {
             .unwrap();
         assert_ne!(a.fingerprint(), renamed.fingerprint());
         assert_ne!(a.fingerprint(), grown.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_process_restart_stable() {
+        // FNV-1a over canonical fields has no per-process seed, so these
+        // golden values hold across restarts, builds and machines — the
+        // contract persisted warm caches rely on. If this test fails,
+        // the canonical serialization changed and any persisted cache
+        // keyed on the old fingerprints must be invalidated.
+        assert_eq!(
+            crate::benchmarks::d695().fingerprint(),
+            0xf8a2_5b3d_a5f4_46ee
+        );
+        assert_eq!(
+            crate::benchmarks::p93791().fingerprint(),
+            0x57de_ea81_47b0_1db4
+        );
+    }
+
+    #[test]
+    fn fingerprint_length_prefixes_prevent_field_aliasing() {
+        // Same concatenated bytes, different field boundaries: "ab"+1
+        // chain vs "a"+2 chains must not collide.
+        let a = Soc::builder("s")
+            .core(
+                Core::builder("ab")
+                    .inputs(1)
+                    .patterns(1)
+                    .scan_chains([7])
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let b = Soc::builder("s")
+            .core(
+                Core::builder("a")
+                    .inputs(1)
+                    .patterns(1)
+                    .scan_chains([7, 7])
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]
