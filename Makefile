@@ -57,26 +57,31 @@ determinism: serve-determinism
 	  diff /tmp/$${soc}_t1.txt /tmp/$${soc}_t4.txt || exit 1; \
 	done
 	set -o pipefail; \
-	./target/release/tamopt batch examples/batch.manifest --threads 1 \
-	  | grep -v wall_clock > /tmp/batch_t1.json
-	set -o pipefail; \
-	./target/release/tamopt batch examples/batch.manifest --threads 4 \
-	  | grep -v wall_clock > /tmp/batch_t4.json
-	diff /tmp/batch_t1.json /tmp/batch_t4.json
+	for manifest in batch kinds; do \
+	  ./target/release/tamopt batch examples/$${manifest}.manifest --threads 1 \
+	    | grep -v wall_clock > /tmp/$${manifest}_t1.json; \
+	  ./target/release/tamopt batch examples/$${manifest}.manifest --threads 4 \
+	    | grep -v wall_clock > /tmp/$${manifest}_t4.json; \
+	  diff /tmp/$${manifest}_t1.json /tmp/$${manifest}_t4.json || exit 1; \
+	done
 
 # Live-daemon gate: the trace-replay suite plus a byte-level diff of the
 # `tamopt serve` stream (outcome lines + final report, minus wall_clock*
-# lines) at threads 1 vs 4 over the example trace.
+# lines) at threads 1 vs 4 over the example traces — serve.trace for the
+# classic point workload, kinds.trace for the mixed point/topk/frontier
+# one.
 serve-determinism:
 	cargo test --release -p tamopt_service --test live
+	cargo test --release -p tamopt_service --test kinds
 	cargo build --release -p tamopt
 	set -o pipefail; \
-	./target/release/tamopt serve --threads 1 < examples/serve.trace \
-	  | grep -v wall_clock > /tmp/serve_t1.txt
-	set -o pipefail; \
-	./target/release/tamopt serve --threads 4 < examples/serve.trace \
-	  | grep -v wall_clock > /tmp/serve_t4.txt
-	diff /tmp/serve_t1.txt /tmp/serve_t4.txt
+	for trace in serve kinds; do \
+	  ./target/release/tamopt serve --threads 1 < examples/$${trace}.trace \
+	    | grep -v wall_clock > /tmp/$${trace}_t1.txt; \
+	  ./target/release/tamopt serve --threads 4 < examples/$${trace}.trace \
+	    | grep -v wall_clock > /tmp/$${trace}_t4.txt; \
+	  diff /tmp/$${trace}_t1.txt /tmp/$${trace}_t4.txt || exit 1; \
+	done
 
 # --- CI job: bench-smoke ----------------------------------------------------
 
@@ -89,7 +94,7 @@ bench-json:
 	rm -rf target/criterion
 	cargo bench -p tamopt_bench \
 	  --bench bench_parallel --bench bench_scan --bench bench_batch \
-	  --bench bench_serve
+	  --bench bench_serve --bench bench_topk
 	cargo run --release -p tamopt_bench --bin bench_json -- \
 	  --prefix parallel_ --out BENCH_parallel.json
 	cargo run --release -p tamopt_bench --bin bench_json -- \
@@ -98,12 +103,14 @@ bench-json:
 	  --prefix batch_ --out BENCH_batch.json
 	cargo run --release -p tamopt_bench --bin bench_json -- \
 	  --prefix serve_ --out BENCH_serve.json
+	cargo run --release -p tamopt_bench --bin bench_json -- \
+	  --prefix topk_ --out BENCH_topk.json
 
 # Perf-regression comparator (warn-only, mirrors the CI step): put the
 # previous run's exports under baseline/ and compare. Missing baselines
 # pass cleanly.
 bench-compare:
-	for family in parallel scan batch serve; do \
+	for family in parallel scan batch serve topk; do \
 	  cargo run --release -p tamopt_bench --bin bench_json -- \
 	    --compare baseline/BENCH_$${family}.json BENCH_$${family}.json \
 	    --threshold 15 || exit 1; \

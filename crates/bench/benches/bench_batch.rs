@@ -23,17 +23,18 @@ use tamopt::service::{run_batch, BatchConfig, BatchReport, Request};
 fn queue_requests() -> Vec<Request> {
     vec![
         // The acceptance manifest (examples/batch.manifest)...
-        Request::new(benchmarks::d695(), 32).max_tams(6),
+        Request::new(benchmarks::d695(), 32).unwrap().max_tams(6),
         Request::new(benchmarks::p31108(), 32)
+            .unwrap()
             .max_tams(4)
             .priority(1),
-        Request::new(benchmarks::p93791(), 64).max_tams(10),
+        Request::new(benchmarks::p93791(), 64).unwrap().max_tams(10),
         // ...padded to eight requests so the ramp reaches width 4.
-        Request::new(benchmarks::d695(), 48).max_tams(6),
-        Request::new(benchmarks::p31108(), 24).max_tams(3),
-        Request::new(benchmarks::d695(), 24).max_tams(4),
-        Request::new(benchmarks::p31108(), 16).max_tams(2),
-        Request::new(benchmarks::d695(), 16).max_tams(2),
+        Request::new(benchmarks::d695(), 48).unwrap().max_tams(6),
+        Request::new(benchmarks::p31108(), 24).unwrap().max_tams(3),
+        Request::new(benchmarks::d695(), 24).unwrap().max_tams(4),
+        Request::new(benchmarks::p31108(), 16).unwrap().max_tams(2),
+        Request::new(benchmarks::d695(), 16).unwrap().max_tams(2),
     ]
 }
 

@@ -18,18 +18,30 @@ use tamopt::service::{LiveConfig, LiveQueue, Request, RequestOutcome, Trace};
 
 fn serve_trace() -> Trace {
     let mut trace = Trace::new()
-        .submit_at(0, Request::new(benchmarks::d695(), 32).max_tams(6))
-        .submit_at(0, Request::new(benchmarks::p31108(), 32).max_tams(4))
-        .submit_at(0, Request::new(benchmarks::d695(), 48).max_tams(6))
-        .submit_at(0, Request::new(benchmarks::p31108(), 24).max_tams(3))
-        .submit_at(0, Request::new(benchmarks::d695(), 24).max_tams(4))
-        .submit_at(0, Request::new(benchmarks::p31108(), 16).max_tams(2));
+        .submit_at(0, Request::new(benchmarks::d695(), 32).unwrap().max_tams(6))
+        .submit_at(
+            0,
+            Request::new(benchmarks::p31108(), 32).unwrap().max_tams(4),
+        )
+        .submit_at(0, Request::new(benchmarks::d695(), 48).unwrap().max_tams(6))
+        .submit_at(
+            0,
+            Request::new(benchmarks::p31108(), 24).unwrap().max_tams(3),
+        )
+        .submit_at(0, Request::new(benchmarks::d695(), 24).unwrap().max_tams(4))
+        .submit_at(
+            0,
+            Request::new(benchmarks::p31108(), 16).unwrap().max_tams(2),
+        );
     // Mid-run preemption and a warm-start duplicate of submission 0.
     trace = trace.submit_at(
         1,
-        Request::new(benchmarks::d695(), 16).max_tams(2).priority(9),
+        Request::new(benchmarks::d695(), 16)
+            .unwrap()
+            .max_tams(2)
+            .priority(9),
     );
-    trace.submit_at(2, Request::new(benchmarks::d695(), 32).max_tams(6))
+    trace.submit_at(2, Request::new(benchmarks::d695(), 32).unwrap().max_tams(6))
 }
 
 /// The deterministic portion of a replay: outcome lines + stable report

@@ -1,0 +1,78 @@
+//! Cost of the ranked top-K query kind: the four best p93791
+//! architectures at W = 64 versus the single-incumbent point query on
+//! the same instance, at 1, 2 and 4 worker threads.
+//!
+//! The bounded best-K heap rides the same pruned scan as the point
+//! query — the tau abort just keeps the K-th incumbent instead of the
+//! first — so top-4 should cost a small constant factor over top-1, not
+//! a K-fold blowup. Bit-identity is asserted before any timing: the
+//! rank-1 entry of every ranked run must equal the point query's
+//! winner, and top-1 must match it including prune counters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tamopt::benchmarks;
+use tamopt::partition::pipeline::{co_optimize, co_optimize_top_k, PipelineConfig};
+use tamopt::wrapper::TimeTable;
+use tamopt::ParallelConfig;
+
+const WIDTH: u32 = 64;
+const MAX_TAMS: u32 = 10;
+const K: usize = 4;
+
+fn config(threads: usize) -> PipelineConfig {
+    PipelineConfig {
+        parallel: ParallelConfig::with_threads(threads),
+        ..PipelineConfig::up_to_tams(MAX_TAMS)
+    }
+}
+
+fn bench_topk_threads(c: &mut Criterion) {
+    let table = TimeTable::new(&benchmarks::p93791(), WIDTH).expect("width is valid");
+    let point = co_optimize(&table, WIDTH, &config(1)).expect("valid configuration");
+
+    let mut group = c.benchmark_group("topk_p93791");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        // Bit-identity gates before timing anything: top-1 is the point
+        // query (prune counters included), and the top-4 rank-1 entry is
+        // the point winner at every thread count.
+        let top1 = co_optimize_top_k(&table, WIDTH, &config(threads), 1).expect("valid");
+        assert_eq!(top1.entries.len(), 1);
+        assert_eq!(top1.entries[0].tams, point.tams, "threads={threads}");
+        assert_eq!(top1.entries[0].optimized, point.optimized);
+        assert_eq!(top1.entries[0].stats, point.stats, "threads={threads}");
+
+        let ranked = co_optimize_top_k(&table, WIDTH, &config(threads), K).expect("valid");
+        assert_eq!(ranked.entries.len(), K, "threads={threads}");
+        assert_eq!(ranked.entries[0].tams, point.tams, "threads={threads}");
+        assert_eq!(ranked.entries[0].soc_time(), point.soc_time());
+        assert!(ranked
+            .entries
+            .windows(2)
+            .all(|w| w[0].soc_time() <= w[1].soc_time()));
+
+        group.bench_with_input(
+            BenchmarkId::new("top4/threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(co_optimize_top_k(
+                        black_box(&table),
+                        WIDTH,
+                        &config(threads),
+                        K,
+                    ))
+                })
+            },
+        );
+    }
+    // The point query at one thread anchors the top-4 overhead factor.
+    group.bench_function("point/threads/1", |b| {
+        b.iter(|| black_box(co_optimize(black_box(&table), WIDTH, &config(1))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk_threads);
+criterion_main!(benches);

@@ -29,12 +29,16 @@
 //!
 //! A batch manifest holds one request per line — `<soc> <width>
 //! <max-tams>` plus optional `key=value` pairs (`min-tams`, `priority`,
-//! `time-limit`, `node-budget`); `#` starts a comment. The report is
+//! `time-limit`, `node-budget`, and `kind`: `point` (default),
+//! `topk:K`, or `frontier:LO..HI:STEP` whose `HI` must equal the
+//! positional `<width>`); `#` starts a comment. The report is
 //! deterministic JSON (see [`tamopt::service`]): identical for every
 //! `--threads` value once its `wall_clock` lines are filtered.
 //!
-//! `tamopt serve` runs the live daemon: it reads the same request lines
-//! from **stdin** (plus `cancel <id>` lines) and streams one JSON
+//! `tamopt serve` runs the live daemon: it announces its wire protocol
+//! with one JSON `protocol` banner line, then reads the same request
+//! lines from **stdin** (plus `cancel <id>` and — live mode only —
+//! `stats` lines) and streams one JSON
 //! outcome line per request to stdout as results complete, submitting
 //! each line the moment it is read — a high-priority request entered
 //! while earlier work runs preempts the queued backlog. A final pretty
@@ -54,7 +58,9 @@ use tamopt::cost::{BusCost, GateWeights};
 use tamopt::engine::SearchBudget;
 use tamopt::rail::{design_rails, RailConfig, RailCostModel};
 use tamopt::schedule::TestSchedule;
-use tamopt::service::{BatchConfig, LiveConfig, LiveQueue, Request, RequestStatus, Trace};
+use tamopt::service::{
+    BatchConfig, LiveConfig, LiveQueue, Request, RequestKind, RequestStatus, Trace, WIRE_VERSION,
+};
 use tamopt::soc::format::parse_soc;
 use tamopt::{benchmarks, CoOptimizer, Soc, Strategy};
 
@@ -177,7 +183,8 @@ fn batch_usage() -> &'static str {
     "usage: tamopt batch <manifest> [--threads <N, 0 = all CPUs>] \
      [--time-limit <seconds>] [--out <report.json>]\n\
      manifest lines: <soc> <width> <max-tams> \
-     [min-tams=N] [priority=P] [time-limit=S] [node-budget=N]"
+     [min-tams=N] [priority=P] [time-limit=S] [node-budget=N] \
+     [kind=point|topk:K|frontier:LO..HI:STEP]"
 }
 
 fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs, String> {
@@ -227,7 +234,9 @@ fn parse_request_line(line: &str) -> Result<Request, String> {
         .parse()
         .map_err(|_| "invalid <max-tams>".to_owned())?;
     let soc = load_soc(soc_name)?;
-    let mut request = Request::new(soc, width).max_tams(max_tams);
+    let mut request = Request::new(soc, width)
+        .map_err(|e| e.to_string())?
+        .max_tams(max_tams);
     for option in fields {
         let (key, value) = option
             .split_once('=')
@@ -249,6 +258,20 @@ fn parse_request_line(line: &str) -> Result<Request, String> {
                     .parse()
                     .map_err(|_| "invalid node-budget value".to_owned())?;
                 request.budget(SearchBudget::node_limited(nodes))
+            }
+            "kind" => {
+                let kind: RequestKind = value.parse().map_err(|e| format!("{e}"))?;
+                if let RequestKind::Frontier { max_width, .. } = kind {
+                    // The positional <width> sizes the shared time
+                    // table; a mismatched sweep maximum would silently
+                    // re-size it, so demand they agree.
+                    if max_width != width {
+                        return Err(format!(
+                            "frontier maximum {max_width} must equal the request width {width}"
+                        ));
+                    }
+                }
+                request.kind(kind)
             }
             other => return Err(format!("unknown option `{other}`")),
         };
@@ -331,7 +354,8 @@ fn serve_usage() -> &'static str {
     "usage: tamopt serve [--threads <N, 0 = all CPUs>] [--time-limit <seconds>] \
      [--no-warm-start] [--aging <rate, 0 = strict priorities>]\n\
      stdin lines: <soc> <width> <max-tams> [min-tams=N] [priority=P] \
-     [time-limit=S] [node-budget=N]  |  cancel <id>\n\
+     [time-limit=S] [node-budget=N] [kind=point|topk:K|frontier:LO..HI:STEP]  \
+     |  cancel <id>  |  stats (live mode only)\n\
      prefix every line with @<generation> to replay a deterministic trace"
 }
 
@@ -371,6 +395,9 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
 enum ServeLine {
     Submit(Request),
     Cancel(usize),
+    /// Dump a deterministic JSON snapshot of the backlog (live mode
+    /// only — a replayed trace has no interactive observer to serve).
+    Stats,
 }
 
 /// Parses one serve stdin line into an optional `@generation` tag and a
@@ -392,6 +419,9 @@ fn parse_serve_line(raw: &str) -> Result<Option<(Option<u32>, ServeLine)>, Strin
         }
         None => (None, line),
     };
+    if rest == "stats" {
+        return Ok(Some((generation, ServeLine::Stats)));
+    }
     let directive = match rest.strip_prefix("cancel") {
         Some(id) if id.starts_with(char::is_whitespace) => {
             let id: usize = id
@@ -419,6 +449,10 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
     if let Some(limit) = args.time_limit {
         config = config.time_limit(limit);
     }
+
+    // Announce the wire protocol before any outcome streams: consumers
+    // (and the replay comparator) key their parsing off this version.
+    println!("{{\"protocol\": \"tamopt-serve\", \"v\": {WIRE_VERSION}}}");
 
     use std::io::BufRead as _;
     let stdin = std::io::stdin();
@@ -455,11 +489,18 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
             let (_, report) = LiveQueue::replay(Trace::new(), config);
             report
         }
-        Some((_, (Some(generation), directive))) => {
+        Some((first_number, (Some(generation), directive))) => {
             // Trace mode: collect the whole input, then replay.
             let mut trace = match directive {
                 ServeLine::Submit(request) => Trace::new().submit_at(generation, request),
                 ServeLine::Cancel(id) => Trace::new().cancel_at(generation, id),
+                ServeLine::Stats => {
+                    eprintln!(
+                        "serve: line {}: `stats` is only available in live mode",
+                        first_number + 1
+                    );
+                    return ExitCode::FAILURE;
+                }
             };
             for (number, line) in lines {
                 let line = match line {
@@ -476,6 +517,13 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
                     }
                     Ok(Some((Some(generation), ServeLine::Cancel(id)))) => {
                         trace = trace.cancel_at(generation, id);
+                    }
+                    Ok(Some((_, ServeLine::Stats))) => {
+                        eprintln!(
+                            "serve: line {}: `stats` is only available in live mode",
+                            number + 1
+                        );
+                        return ExitCode::FAILURE;
                     }
                     Ok(Some((None, _))) => {
                         eprintln!(
@@ -524,6 +572,9 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
                             eprintln!("serve: line {}: unknown request id {id}", number + 1);
                             *errors += 1;
                         }
+                    }
+                    ServeLine::Stats => {
+                        println!("{}", queue.stats().to_json());
                     }
                 };
                 apply(first_number, first_directive, &mut parse_errors);
@@ -911,6 +962,42 @@ mod tests {
         // `cancel` with no id falls through to request parsing and
         // errors there (no SOC named `cancel`).
         assert!(parse_serve_line("cancel").is_err());
+    }
+
+    #[test]
+    fn parses_kinds_in_request_lines() {
+        let r = parse_request_line("d695 32 6 kind=topk:4").unwrap();
+        assert_eq!(r.kind, RequestKind::TopK { k: 4 });
+        let r = parse_request_line("d695 64 6 kind=frontier:16..64:8").unwrap();
+        assert_eq!(
+            r.kind,
+            RequestKind::Frontier {
+                min_width: 16,
+                max_width: 64,
+                step: 8
+            }
+        );
+        assert_eq!(r.width, 64);
+        // The sweep maximum must agree with the positional width.
+        assert!(parse_request_line("d695 32 6 kind=frontier:16..64:8")
+            .unwrap_err()
+            .contains("must equal"));
+        assert!(parse_request_line("d695 32 6 kind=topk:0").is_err());
+        assert!(parse_request_line("d695 32 6 kind=bogus").is_err());
+        // Width 0 is rejected at request construction now.
+        assert!(parse_request_line("d695 0 6")
+            .unwrap_err()
+            .contains("width"));
+    }
+
+    #[test]
+    fn parses_stats_lines() {
+        let (tag, line) = parse_serve_line("stats  # comment").unwrap().unwrap();
+        assert!(tag.is_none());
+        assert!(matches!(line, ServeLine::Stats));
+        let (tag, line) = parse_serve_line("@2 stats").unwrap().unwrap();
+        assert_eq!(tag, Some(2));
+        assert!(matches!(line, ServeLine::Stats));
     }
 
     #[test]

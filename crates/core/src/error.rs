@@ -22,6 +22,16 @@ pub enum TamOptError {
     Partition(PartitionError),
     /// Power-aware scheduling failed (missing or oversized ratings).
     Schedule(ScheduleError),
+    /// A frontier sweep specification produced no widths: zero stride,
+    /// an empty range, or a range starting at width 0.
+    InvalidFrontier {
+        /// Inclusive sweep start.
+        min_width: u32,
+        /// Inclusive sweep end.
+        max_width: u32,
+        /// Sweep stride.
+        step: u32,
+    },
 }
 
 impl fmt::Display for TamOptError {
@@ -31,6 +41,14 @@ impl fmt::Display for TamOptError {
             TamOptError::Assign(e) => write!(f, "core assignment: {e}"),
             TamOptError::Partition(e) => write!(f, "partition optimization: {e}"),
             TamOptError::Schedule(e) => write!(f, "power scheduling: {e}"),
+            TamOptError::InvalidFrontier {
+                min_width,
+                max_width,
+                step,
+            } => write!(
+                f,
+                "invalid frontier sweep {min_width}..={max_width} step {step}"
+            ),
         }
     }
 }
@@ -42,6 +60,7 @@ impl Error for TamOptError {
             TamOptError::Assign(e) => Some(e),
             TamOptError::Partition(e) => Some(e),
             TamOptError::Schedule(e) => Some(e),
+            TamOptError::InvalidFrontier { .. } => None,
         }
     }
 }

@@ -63,6 +63,7 @@ pub mod cost;
 mod error;
 mod optimizer;
 pub mod power;
+mod query;
 pub mod schedule;
 
 pub mod cli;
@@ -70,6 +71,7 @@ pub mod cli;
 pub use crate::architecture::Architecture;
 pub use crate::error::TamOptError;
 pub use crate::optimizer::{CoOptimizer, Strategy};
+pub use crate::query::{FrontierPoint, ParetoFrontier, RankedArchitectures};
 
 /// SOC test-data model, benchmarks, generator, `.soc` format
 /// (re-export of [`tamopt_soc`]).

@@ -1,15 +1,18 @@
+use std::ops::RangeInclusive;
 use std::time::{Duration, Instant};
 
 use tamopt_assign::exact::ExactConfig;
 use tamopt_assign::ilp::IlpAssignConfig;
 use tamopt_engine::{ParallelConfig, SearchBudget};
 use tamopt_partition::exhaustive::{self, ExhaustiveConfig};
-use tamopt_partition::pipeline::{co_optimize, FinalStep, PipelineConfig};
-use tamopt_partition::PruneStats;
+use tamopt_partition::pipeline::{
+    co_optimize_frontier, co_optimize_top_k, FinalStep, PipelineConfig,
+};
+use tamopt_partition::{PruneStats, RankedPartition};
 use tamopt_soc::Soc;
-use tamopt_wrapper::TimeTable;
+use tamopt_wrapper::{pareto, TimeTable};
 
-use crate::{Architecture, TamOptError};
+use crate::{Architecture, FrontierPoint, ParetoFrontier, RankedArchitectures, TamOptError};
 
 /// Solution strategy of the [`CoOptimizer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -152,8 +155,8 @@ impl CoOptimizer {
     ///
     /// let report = CoOptimizer::batch(
     ///     [
-    ///         Request::new(benchmarks::d695(), 16).max_tams(2),
-    ///         Request::new(benchmarks::d695(), 24).max_tams(3),
+    ///         Request::new(benchmarks::d695(), 16).unwrap().max_tams(2),
+    ///         Request::new(benchmarks::d695(), 24).unwrap().max_tams(3),
     ///     ],
     ///     &BatchConfig::with_threads(2),
     /// );
@@ -190,7 +193,7 @@ impl CoOptimizer {
     ///
     /// let queue = CoOptimizer::serve(LiveConfig::default());
     /// queue
-    ///     .submit(Request::new(benchmarks::d695(), 16).max_tams(2))
+    ///     .submit(Request::new(benchmarks::d695(), 16).unwrap().max_tams(2))
     ///     .unwrap();
     /// let report = queue.shutdown().unwrap();
     /// assert!(report.complete);
@@ -199,61 +202,223 @@ impl CoOptimizer {
         tamopt_service::LiveQueue::start(config)
     }
 
-    /// Runs the optimization and assembles the [`Architecture`].
+    /// Runs the optimization and assembles the [`Architecture`] — the
+    /// *point* query: one `(SOC, W)`, one best architecture. The
+    /// [`top_k`](Self::top_k) and [`frontier`](Self::frontier) queries
+    /// answer the neighboring questions from the same builder.
     ///
     /// # Errors
     ///
     /// Validation and solver errors of the underlying layers
     /// ([`TamOptError`]).
     pub fn run(&self) -> Result<Architecture, TamOptError> {
-        // The clock starts here: one deadline bounds wrapper-table
+        // A rank-1 ranking *is* the point query — same code path, same
+        // bits (the partition layer's k=1 scan is the single-incumbent
+        // scan).
+        let mut ranked = self.top_k(1)?;
+        Ok(ranked
+            .entries
+            .pop()
+            .expect("a successful point query yields one architecture"))
+    }
+
+    /// Runs the optimization keeping the `k` best architectures — the
+    /// *top-K* query.
+    ///
+    /// One shared partition scan ranks the `k` best partitions (bounded
+    /// by the running K-th-best time instead of the single incumbent);
+    /// the final exact step then re-optimizes *each* of them, so the
+    /// ranking is by final testing time. Fewer than `k` entries are
+    /// returned only when the partition space itself is smaller. With
+    /// `k = 1` this is [`run`](Self::run) exactly.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tamopt::{benchmarks, CoOptimizer};
+    ///
+    /// # fn main() -> Result<(), tamopt::TamOptError> {
+    /// let ranked = CoOptimizer::new(benchmarks::d695(), 24)
+    ///     .max_tams(3)
+    ///     .top_k(4)?;
+    /// assert!(ranked.len() <= 4);
+    /// assert!(ranked.best().soc_time() <= ranked.entries.last().unwrap().soc_time());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn top_k(&self, k: usize) -> Result<RankedArchitectures, TamOptError> {
+        // The clock starts here: one deadline bounds, wrapper-table
         // construction aside, every search step end to end.
+        let budget = self.effective_budget();
+        let table = TimeTable::new(&self.soc, self.total_width.max(1))?;
+        match self.strategy {
+            Strategy::Exhaustive => self
+                .rank_exhaustive(&table, self.total_width, budget, k)
+                .map(|(ranked, _proven)| ranked),
+            _ => self.rank_pipeline(&table, self.total_width, budget, k),
+        }
+    }
+
+    /// Sweeps total TAM widths `widths` (inclusive, stride `step`) — the
+    /// *frontier* query: the testing-time-versus-width trade-off curve
+    /// of the paper's design-space tables from one call.
+    ///
+    /// The builder's own `total_width` is ignored; one wrapper time
+    /// table at the sweep's maximum width serves every point, and the
+    /// pipeline strategies share cost-matrix memoization plus
+    /// warm-start bounds across widths. Work sharing never changes a
+    /// winner: each point is bit-identical to an independent
+    /// [`run`](Self::run) at its width, for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`TamOptError::InvalidFrontier`] when `step == 0`, the range is
+    /// empty, or it starts at width 0; otherwise the errors of
+    /// [`run`](Self::run).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tamopt::{benchmarks, CoOptimizer};
+    ///
+    /// # fn main() -> Result<(), tamopt::TamOptError> {
+    /// let frontier = CoOptimizer::new(benchmarks::d695(), 32)
+    ///     .max_tams(4)
+    ///     .frontier(16..=32, 8)?;
+    /// assert_eq!(frontier.len(), 3); // W = 16, 24, 32
+    /// print!("{}", frontier.report());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn frontier(
+        &self,
+        widths: RangeInclusive<u32>,
+        step: u32,
+    ) -> Result<ParetoFrontier, TamOptError> {
+        let (lo, hi) = (*widths.start(), *widths.end());
+        if step == 0 || lo == 0 || lo > hi {
+            return Err(TamOptError::InvalidFrontier {
+                min_width: lo,
+                max_width: hi,
+                step,
+            });
+        }
+        let swept: Vec<u32> = (lo..=hi).step_by(step as usize).collect();
+        let budget = self.effective_budget();
+        let table = TimeTable::new(&self.soc, hi)?;
+
+        let (entries, complete) = match self.strategy {
+            Strategy::Exhaustive => {
+                // No cross-width sharing for the exact baseline: one
+                // independent exhaustive solve per width.
+                let mut entries = Vec::with_capacity(swept.len());
+                let mut complete = true;
+                for &w in &swept {
+                    let (mut ranked, proven) =
+                        self.rank_exhaustive(&table, w, budget.clone(), 1)?;
+                    complete &= proven;
+                    entries.push((w, ranked.entries.pop().expect("rank 1 exists")));
+                }
+                (entries, complete)
+            }
+            _ => {
+                let config = self.pipeline_config(budget);
+                let sweep_parallel = ParallelConfig::with_threads(self.threads);
+                let frontier = co_optimize_frontier(&table, &swept, &config, &sweep_parallel)?;
+                let complete = frontier.complete;
+                let mut entries = Vec::with_capacity(frontier.points.len());
+                for (w, co) in frontier.points {
+                    entries.push((
+                        w,
+                        Architecture::assemble(
+                            self.soc.clone(),
+                            co.tams,
+                            co.optimized,
+                            co.heuristic.soc_time(),
+                            co.stats,
+                            co.evaluate_time,
+                            co.final_time,
+                        )?,
+                    ));
+                }
+                (entries, complete)
+            }
+        };
+
+        let points = entries
+            .into_iter()
+            .map(|(width, architecture)| FrontierPoint {
+                width,
+                architecture,
+                lower_bound: pareto::bottleneck_at_width(&table, width),
+            })
+            .collect();
+        Ok(ParetoFrontier { points, complete })
+    }
+
+    fn effective_budget(&self) -> SearchBudget {
         let mut budget = self.budget.clone();
         if let Some(limit) = self.time_limit {
             budget = budget.and_time_limit(limit);
         }
-        let table = TimeTable::new(&self.soc, self.total_width.max(1))?;
-        match self.strategy {
-            Strategy::Exhaustive => self.run_exhaustive(&table, budget),
-            _ => self.run_pipeline(&table, budget),
-        }
+        budget
     }
 
-    fn run_pipeline(
-        &self,
-        table: &TimeTable,
-        budget: SearchBudget,
-    ) -> Result<Architecture, TamOptError> {
+    fn pipeline_config(&self, budget: SearchBudget) -> PipelineConfig {
         let final_step = match self.strategy {
             Strategy::Heuristic => FinalStep::None,
             Strategy::TwoStepIlp => FinalStep::Ilp(IlpAssignConfig::default()),
             _ => FinalStep::BranchBound(ExactConfig::default()),
         };
-        let config = PipelineConfig {
+        PipelineConfig {
             min_tams: self.min_tams,
             max_tams: self.max_tams,
             final_step,
             budget,
             parallel: ParallelConfig::with_threads(self.threads),
             ..PipelineConfig::up_to_tams(self.max_tams)
-        };
-        let co = co_optimize(table, self.total_width, &config)?;
-        Architecture::assemble(
-            self.soc.clone(),
-            co.tams.clone(),
-            co.optimized.clone(),
-            co.heuristic.soc_time(),
-            co.stats,
-            co.evaluate_time,
-            co.final_time,
-        )
+        }
     }
 
-    fn run_exhaustive(
+    fn rank_pipeline(
         &self,
         table: &TimeTable,
+        total_width: u32,
         budget: SearchBudget,
-    ) -> Result<Architecture, TamOptError> {
+        k: usize,
+    ) -> Result<RankedArchitectures, TamOptError> {
+        let config = self.pipeline_config(budget);
+        let ranked = co_optimize_top_k(table, total_width, &config, k)?;
+        let mut entries = Vec::with_capacity(ranked.entries.len());
+        for co in ranked.entries {
+            entries.push(Architecture::assemble(
+                self.soc.clone(),
+                co.tams,
+                co.optimized,
+                co.heuristic.soc_time(),
+                co.stats,
+                co.evaluate_time,
+                co.final_time,
+            )?);
+        }
+        Ok(RankedArchitectures { entries })
+    }
+
+    fn rank_exhaustive(
+        &self,
+        table: &TimeTable,
+        total_width: u32,
+        budget: SearchBudget,
+        k: usize,
+    ) -> Result<(RankedArchitectures, bool), TamOptError> {
         let start = Instant::now();
         let config = ExhaustiveConfig {
             min_tams: self.min_tams,
@@ -263,26 +428,30 @@ impl CoOptimizer {
             parallel: ParallelConfig::with_threads(self.threads),
             ..ExhaustiveConfig::up_to_tams(self.max_tams)
         };
-        let best = exhaustive::solve(table, self.total_width, &config)?;
+        let ranked = exhaustive::solve_top_k(table, total_width, &config, k)?;
         let elapsed = start.elapsed();
         // Architecture statistics stay in partition units (matching the
         // pipeline strategies): a per-partition solve that hit its limit
         // counts as aborted, not completed.
         let stats = PruneStats {
-            enumerated: best.partitions_solved,
-            completed: best.partitions_proven,
-            aborted: best.partitions_solved - best.partitions_proven,
+            enumerated: ranked.partitions_solved,
+            completed: ranked.partitions_proven,
+            aborted: ranked.partitions_solved - ranked.partitions_proven,
         };
-        let heuristic_time = best.result.soc_time();
-        Architecture::assemble(
-            self.soc.clone(),
-            best.tams.clone(),
-            best.result.clone(),
-            heuristic_time,
-            stats,
-            elapsed,
-            Duration::ZERO,
-        )
+        let mut entries = Vec::with_capacity(ranked.entries.len());
+        for RankedPartition { tams, result } in ranked.entries {
+            let heuristic_time = result.soc_time();
+            entries.push(Architecture::assemble(
+                self.soc.clone(),
+                tams,
+                result,
+                heuristic_time,
+                stats,
+                elapsed,
+                Duration::ZERO,
+            )?);
+        }
+        Ok((RankedArchitectures { entries }, ranked.proven_optimal))
     }
 }
 
@@ -387,6 +556,110 @@ mod tests {
             assert_eq!(arch.tams, reference.tams, "threads {threads}");
             assert_eq!(arch.soc_time(), reference.soc_time());
             assert_eq!(arch.stats, reference.stats);
+        }
+    }
+
+    #[test]
+    fn top_1_is_run_bit_identically() {
+        for strategy in [Strategy::TwoStep, Strategy::Heuristic, Strategy::Exhaustive] {
+            let opt = CoOptimizer::new(benchmarks::d695(), 24)
+                .max_tams(3)
+                .strategy(strategy);
+            let point = opt.run().unwrap();
+            let ranked = opt.top_k(1).unwrap();
+            assert_eq!(ranked.len(), 1);
+            let best = ranked.best();
+            assert_eq!(best.tams, point.tams, "{strategy:?}");
+            assert_eq!(best.assignment, point.assignment);
+            assert_eq!(best.heuristic_time_cycles, point.heuristic_time_cycles);
+            assert_eq!(best.stats, point.stats, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_beats_nothing_below_rank_1() {
+        let opt = CoOptimizer::new(benchmarks::d695(), 32).max_tams(4);
+        let ranked = opt.top_k(4).unwrap();
+        assert_eq!(ranked.len(), 4);
+        assert!(ranked
+            .entries
+            .windows(2)
+            .all(|e| e[0].soc_time() <= e[1].soc_time()));
+        let point = opt.run().unwrap();
+        assert!(ranked.best().soc_time() <= point.soc_time());
+    }
+
+    #[test]
+    fn exhaustive_top_k_brackets_the_two_step_ranking() {
+        let soc = benchmarks::d695();
+        let exact = CoOptimizer::new(soc.clone(), 24)
+            .max_tams(3)
+            .strategy(Strategy::Exhaustive)
+            .top_k(3)
+            .unwrap();
+        assert_eq!(exact.len(), 3);
+        assert!(exact
+            .entries
+            .windows(2)
+            .all(|e| e[0].soc_time() <= e[1].soc_time()));
+        let two_step = CoOptimizer::new(soc, 24).max_tams(3).top_k(3).unwrap();
+        // The exact rank-1 lower-bounds any heuristic pipeline result.
+        assert!(exact.best().soc_time() <= two_step.best().soc_time());
+    }
+
+    #[test]
+    fn frontier_points_match_independent_runs() {
+        let opt = CoOptimizer::new(benchmarks::d695(), 32).max_tams(4);
+        let frontier = opt.frontier(16..=32, 8).unwrap();
+        assert!(frontier.complete);
+        let widths: Vec<u32> = frontier.points.iter().map(|p| p.width).collect();
+        assert_eq!(widths, vec![16, 24, 32]);
+        for p in &frontier.points {
+            let solo = CoOptimizer::new(benchmarks::d695(), p.width)
+                .max_tams(4)
+                .run()
+                .unwrap();
+            assert_eq!(p.architecture.tams, solo.tams, "W={}", p.width);
+            assert_eq!(p.architecture.assignment, solo.assignment);
+            assert_eq!(
+                p.lower_bound,
+                pareto::bottleneck_lower_bound(&benchmarks::d695(), p.width).unwrap()
+            );
+        }
+        // Wider never slower.
+        assert!(frontier
+            .points
+            .windows(2)
+            .all(|p| p[1].architecture.soc_time() <= p[0].architecture.soc_time()));
+    }
+
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)] // a reversed sweep is exactly the input under test
+    fn frontier_rejects_degenerate_sweeps() {
+        let opt = CoOptimizer::new(benchmarks::d695(), 32).max_tams(2);
+        for (range, step) in [(16..=32, 0), (32..=16, 8), (0..=16, 8)] {
+            assert!(matches!(
+                opt.frontier(range, step).unwrap_err(),
+                TamOptError::InvalidFrontier { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn exhaustive_frontier_is_exact_per_width() {
+        let opt = CoOptimizer::new(benchmarks::d695(), 24)
+            .max_tams(2)
+            .strategy(Strategy::Exhaustive);
+        let frontier = opt.frontier(16..=24, 8).unwrap();
+        assert!(frontier.complete);
+        for p in &frontier.points {
+            let solo = CoOptimizer::new(benchmarks::d695(), p.width)
+                .max_tams(2)
+                .strategy(Strategy::Exhaustive)
+                .run()
+                .unwrap();
+            assert_eq!(p.architecture.tams, solo.tams);
+            assert_eq!(p.architecture.soc_time(), solo.soc_time());
         }
     }
 

@@ -228,9 +228,19 @@ fn serve_streams_outcomes_then_a_final_report() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let lines: Vec<&str> = stdout.lines().collect();
-    // Two compact outcome lines precede the pretty report.
-    assert!(lines[0].starts_with("{\"id\": 0,"), "line: {}", lines[0]);
-    assert!(lines[1].starts_with("{\"id\": 1,"), "line: {}", lines[1]);
+    // The protocol banner, then two compact outcome lines, then the
+    // pretty report.
+    assert_eq!(lines[0], "{\"protocol\": \"tamopt-serve\", \"v\": 1}");
+    assert!(
+        lines[1].starts_with("{\"v\": 1, \"id\": 0,"),
+        "line: {}",
+        lines[1]
+    );
+    assert!(
+        lines[2].starts_with("{\"v\": 1, \"id\": 1,"),
+        "line: {}",
+        lines[2]
+    );
     assert!(stdout.contains("\"schema\": \"tamopt.batch-report/v1\""));
     assert!(stdout.contains("\"complete\": true"));
     assert_eq!(stdout.matches("\"status\": \"complete\"").count(), 4);
@@ -250,13 +260,14 @@ fn serve_trace_replay_is_thread_count_invariant() {
     assert_eq!(s1, s4, "replayed serve output must not depend on threads");
     // The high-priority mid-run submission (id 3) streams before the
     // queued id 2…
-    let id3 = s1.find("{\"id\": 3,").expect("id 3 streamed");
-    let id2 = s1.find("{\"id\": 2,").expect("id 2 streamed");
+    let id3 = s1.find("\"id\": 3,").expect("id 3 streamed");
+    let id2 = s1.find("\"id\": 2,").expect("id 2 streamed");
     assert!(id3 < id2, "priority 9 preempts the queued backlog");
     // …and id 1 was cancelled at the same barrier, before dispatch.
     assert!(s1.contains(
-        "{\"id\": 1, \"soc\": \"d695\", \"width\": 16, \"min_tams\": 1, \
-         \"max_tams\": 2, \"priority\": 0, \"status\": \"cancelled\"}"
+        "{\"v\": 1, \"id\": 1, \"soc\": \"d695\", \"width\": 16, \
+         \"min_tams\": 1, \"max_tams\": 2, \"priority\": 0, \
+         \"kind\": \"point\", \"status\": \"cancelled\"}"
     ));
 }
 

@@ -1,0 +1,110 @@
+//! End-to-end acceptance tests of the typed query kinds: the
+//! `CoOptimizer` facade, the service layer and the classic per-width
+//! loop of the `design_space` example must all agree.
+
+use tamopt::service::{run_batch, BatchConfig, Request, RequestKind, RequestStatus};
+use tamopt::wrapper::pareto;
+use tamopt::{benchmarks, CoOptimizer};
+
+#[test]
+fn top_k_facade_brackets_run() {
+    let ranked = CoOptimizer::new(benchmarks::d695(), 32)
+        .max_tams(6)
+        .top_k(3)
+        .expect("valid query");
+    let single = CoOptimizer::new(benchmarks::d695(), 32)
+        .max_tams(6)
+        .run()
+        .expect("valid query");
+    assert_eq!(ranked.best().soc_time(), single.soc_time());
+    assert_eq!(ranked.best().num_tams(), single.num_tams());
+    assert!(ranked
+        .entries
+        .windows(2)
+        .all(|w| w[0].soc_time() <= w[1].soc_time()));
+    let report = ranked.report();
+    assert!(report.contains("rank"), "{report}");
+}
+
+/// The acceptance sweep: `Frontier` over 16..=64 step 8 on p31108
+/// reproduces the `design_space` example's time/bound table — once via
+/// the facade, once via a **single service call** — against the
+/// example's original per-width loop of independent optimizations.
+#[test]
+fn frontier_reproduces_the_design_space_table_from_one_service_call() {
+    let soc = benchmarks::p31108();
+    let widths: Vec<u32> = (16..=64).step_by(8).collect();
+
+    let frontier = CoOptimizer::new(soc.clone(), 64)
+        .max_tams(6)
+        .frontier(16..=64, 8)
+        .expect("valid sweep");
+    assert!(frontier.complete);
+    assert_eq!(frontier.len(), widths.len());
+
+    // The design_space example's loop: one independent optimizer per
+    // width, plus the bottleneck bound.
+    for (point, &width) in frontier.points.iter().zip(&widths) {
+        assert_eq!(point.width, width);
+        let arch = CoOptimizer::new(soc.clone(), width)
+            .max_tams(6)
+            .run()
+            .expect("valid width");
+        assert_eq!(point.architecture.soc_time(), arch.soc_time(), "W={width}");
+        assert_eq!(point.architecture.num_tams(), arch.num_tams(), "W={width}");
+        assert_eq!(
+            point.lower_bound,
+            pareto::bottleneck_lower_bound(&soc, width).expect("valid width"),
+            "W={width}"
+        );
+    }
+
+    // One service call returns the same table.
+    let report = run_batch(
+        [Request::new(soc.clone(), 64)
+            .unwrap()
+            .max_tams(6)
+            .frontier(16..=64, 8)],
+        &BatchConfig::default(),
+    );
+    let outcome = &report.outcomes[0];
+    assert_eq!(outcome.status, RequestStatus::Complete);
+    assert_eq!(
+        outcome.kind,
+        RequestKind::Frontier {
+            min_width: 16,
+            max_width: 64,
+            step: 8
+        }
+    );
+    assert_eq!(outcome.results.len(), frontier.len());
+    for (entry, point) in outcome.results.iter().zip(&frontier.points) {
+        assert_eq!(entry.width, point.width);
+        assert_eq!(
+            entry.result.soc_time(),
+            point.architecture.soc_time(),
+            "W={}",
+            entry.width
+        );
+        assert_eq!(
+            entry.lower_bound,
+            Some(point.lower_bound),
+            "W={}",
+            entry.width
+        );
+    }
+
+    // The rendered table carries the example's columns, every width row
+    // and the saturation pin once the time hits the bottleneck bound.
+    let table = frontier.report();
+    assert!(table.contains("lower bound"), "{table}");
+    for width in &widths {
+        assert!(
+            table.contains(&format!("\n{width:>5} ")),
+            "W={width}:\n{table}"
+        );
+    }
+    if frontier.points.iter().any(|p| p.at_bound()) {
+        assert!(table.contains("<- at the bottleneck bound"), "{table}");
+    }
+}

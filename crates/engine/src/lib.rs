@@ -50,9 +50,11 @@
 mod budget;
 pub mod executor;
 mod incumbent;
+mod ranking;
 
 pub use crate::budget::{CancelHandle, SearchBudget};
 pub use crate::executor::{
     search_chunks, search_chunks_with, search_generations, ParallelConfig, SearchStatus,
 };
 pub use crate::incumbent::SharedIncumbent;
+pub use crate::ranking::Ranking;

@@ -1,0 +1,247 @@
+//! Bounded best-K ranking over a capped binary heap.
+//!
+//! The top-K query kinds keep the `K` best candidates seen so far, where
+//! "best" means *smallest* under `Ord`. A full sort is wasteful when the
+//! candidate stream is huge (every unique partition of the TAM width)
+//! and `K` is tiny, so [`Ranking`] keeps a max-heap capped at `K`
+//! entries: the heap root is the current K-th best, and a new candidate
+//! only displaces it when strictly smaller.
+//!
+//! Determinism: [`Ranking`] itself is order-sensitive only through
+//! `Ord` — callers make ranking deterministic by embedding a unique
+//! tie-break (for the partition scan: the global partition index) in the
+//! candidate type. With a total order, the final [`Ranking::into_sorted_vec`]
+//! is independent of insertion order, which is what lets per-chunk heaps
+//! merge at generation barriers without caring how chunks interleaved.
+
+use std::collections::BinaryHeap;
+
+/// A capped max-heap keeping the `capacity` smallest items pushed so far.
+///
+/// # Example
+///
+/// ```
+/// use tamopt_engine::Ranking;
+///
+/// let mut top3 = Ranking::new(3);
+/// for v in [9u64, 2, 7, 4, 8, 1] {
+///     top3.offer(v);
+/// }
+/// assert_eq!(top3.into_sorted_vec(), vec![1, 2, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ranking<T: Ord> {
+    capacity: usize,
+    heap: BinaryHeap<T>,
+}
+
+impl<T: Ord> Ranking<T> {
+    /// Creates an empty ranking keeping the `capacity` smallest items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` — a best-0 ranking is meaningless and
+    /// would silently swallow every candidate.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "Ranking capacity must be at least 1");
+        Self {
+            capacity,
+            heap: BinaryHeap::with_capacity(capacity + 1),
+        }
+    }
+
+    /// The cap this ranking was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently held (`<= capacity`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no items have been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether the ranking holds `capacity` items, i.e. whether
+    /// [`Ranking::worst`] is a valid pruning bound.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() == self.capacity
+    }
+
+    /// The current K-th best (largest retained) item, if any.
+    ///
+    /// Only a *pruning* bound once [`Ranking::is_full`]: while the heap
+    /// is underfull every candidate must still be admitted.
+    pub fn worst(&self) -> Option<&T> {
+        self.heap.peek()
+    }
+
+    /// Offers a candidate; retains it iff the ranking is underfull or
+    /// the candidate is strictly smaller than the current worst.
+    ///
+    /// Returns `true` when the candidate was retained. Equal-to-worst
+    /// candidates are rejected, so with a total order the retained set
+    /// is insertion-order independent.
+    pub fn offer(&mut self, item: T) -> bool {
+        if self.heap.len() < self.capacity {
+            self.heap.push(item);
+            return true;
+        }
+        match self.heap.peek() {
+            Some(worst) if item < *worst => {
+                self.heap.push(item);
+                self.heap.pop();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drains `other` into `self` (barrier-time merge of chunk rankings).
+    pub fn absorb(&mut self, other: Ranking<T>) {
+        for item in other.heap {
+            self.offer(item);
+        }
+    }
+
+    /// Removes every retained item without touching the cap, so a
+    /// per-worker scratch heap can be reused across chunks.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Drains the retained items best-first, leaving the ranking empty
+    /// (the heap buffer is kept, so a reused scratch ranking does not
+    /// reallocate). An empty ranking drains to a non-allocating `Vec`.
+    pub fn drain_sorted(&mut self) -> Vec<T> {
+        let mut items: Vec<T> = self.heap.drain().collect();
+        items.sort_unstable();
+        items
+    }
+
+    /// Consumes the ranking, returning the retained items best-first.
+    pub fn into_sorted_vec(self) -> Vec<T> {
+        self.heap.into_sorted_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_k_smallest_in_order() {
+        let mut r = Ranking::new(4);
+        for v in [50u64, 10, 40, 30, 20, 60, 5] {
+            r.offer(v);
+        }
+        assert_eq!(r.into_sorted_vec(), vec![5, 10, 20, 30]);
+    }
+
+    #[test]
+    fn underfull_ranking_admits_everything() {
+        let mut r = Ranking::new(10);
+        assert!(!r.is_full());
+        for v in [3u64, 1, 2] {
+            assert!(r.offer(v));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.into_sorted_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_to_worst_is_rejected_once_full() {
+        let mut r = Ranking::new(2);
+        r.offer((5u64, 0usize));
+        r.offer((7, 1));
+        assert!(r.is_full());
+        // Ties on the full key are rejected — the earlier item wins.
+        assert!(!r.offer((7, 1)));
+        // A strictly smaller key (same time, lower index) displaces it.
+        assert!(r.offer((7, 0)));
+        assert_eq!(r.into_sorted_vec(), vec![(5, 0), (7, 0)]);
+    }
+
+    #[test]
+    fn retained_set_is_insertion_order_independent() {
+        let items = [9u64, 3, 7, 1, 8, 2, 6, 4, 5];
+        let mut forward = Ranking::new(3);
+        let mut backward = Ranking::new(3);
+        for &v in &items {
+            forward.offer(v);
+        }
+        for &v in items.iter().rev() {
+            backward.offer(v);
+        }
+        assert_eq!(forward.into_sorted_vec(), backward.into_sorted_vec());
+    }
+
+    #[test]
+    fn absorb_merges_two_rankings() {
+        let mut a = Ranking::new(3);
+        let mut b = Ranking::new(3);
+        for v in [10u64, 30, 50] {
+            a.offer(v);
+        }
+        for v in [20u64, 40, 5] {
+            b.offer(v);
+        }
+        a.absorb(b);
+        assert_eq!(a.into_sorted_vec(), vec![5, 10, 20]);
+    }
+
+    #[test]
+    fn drain_sorted_empties_without_dropping_the_cap() {
+        let mut r = Ranking::new(2);
+        for v in [4u64, 1, 3] {
+            r.offer(v);
+        }
+        assert_eq!(r.drain_sorted(), vec![1, 3]);
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), 2);
+        assert_eq!(r.drain_sorted(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn clear_resets_for_reuse() {
+        let mut r = Ranking::new(2);
+        r.offer(1u64);
+        r.offer(2);
+        assert!(r.is_full());
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), 2);
+        r.offer(9);
+        assert_eq!(r.into_sorted_vec(), vec![9]);
+    }
+
+    #[test]
+    fn worst_is_the_pruning_bound_only_when_full() {
+        let mut r = Ranking::new(3);
+        r.offer(4u64);
+        r.offer(2);
+        assert_eq!(r.worst(), Some(&4));
+        assert!(!r.is_full());
+        r.offer(6);
+        assert!(r.is_full());
+        assert_eq!(r.worst(), Some(&6));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_panics() {
+        let _ = Ranking::<u64>::new(0);
+    }
+
+    #[test]
+    fn capacity_one_tracks_the_single_minimum() {
+        let mut r = Ranking::new(1);
+        for v in [7u64, 3, 9, 3, 1, 1] {
+            r.offer(v);
+        }
+        assert_eq!(r.into_sorted_vec(), vec![1]);
+    }
+}

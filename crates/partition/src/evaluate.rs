@@ -18,13 +18,14 @@
 //! still returns the best partition of the generations that finished.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 use tamopt_assign::{
     core_assign_into, AssignError, AssignResult, AssignScratch, CoreAssignOptions, CostMatrix,
     TamSet,
 };
-use tamopt_engine::{search_chunks_with, ParallelConfig, SearchBudget, SharedIncumbent};
+use tamopt_engine::{search_chunks_with, ParallelConfig, Ranking, SearchBudget, SharedIncumbent};
 use tamopt_wrapper::TimeTable;
 
 use crate::enumerate::Partitions;
@@ -101,6 +102,57 @@ pub struct EvaluateConfig {
     /// transfer across widths is heuristic), the scan falls back to a
     /// cold rescan rather than returning nothing.
     pub seed_tau: Option<u64>,
+    /// Cross-scan [`MatrixMemo`]: when several scans run over the *same*
+    /// [`TimeTable`] (a `Frontier` sweep across widths), canonical cost
+    /// matrices built by one scan seed the per-worker memos of the next.
+    /// Purely a work-saving device — a memo hit and a rebuild produce
+    /// the same matrix, so results are unaffected.
+    pub shared_memo: Option<Arc<MatrixMemo>>,
+}
+
+/// Cross-scan cache of canonical cost matrices keyed by effective-width
+/// signature (see `ScanScratch`), shared by the widths of a `Frontier`
+/// sweep over one [`TimeTable`].
+///
+/// Workers snapshot the map when their scratch is created and publish
+/// newly built matrices back, so a width solved later starts with the
+/// saturated-signature matrices of the widths solved earlier — the
+/// paper's plateau makes wide widths share almost everything.
+///
+/// Never use one memo across *different* tables: signatures are only
+/// meaningful relative to the table that produced them.
+#[derive(Debug, Default)]
+pub struct MatrixMemo {
+    map: Mutex<HashMap<Vec<u32>, CostMatrix>>,
+}
+
+impl MatrixMemo {
+    /// Creates an empty shared memo.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Number of cached canonical matrices.
+    pub fn len(&self) -> usize {
+        self.map.lock().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Whether nothing has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn snapshot(&self) -> HashMap<Vec<u32>, CostMatrix> {
+        self.map.lock().map(|m| m.clone()).unwrap_or_default()
+    }
+
+    fn publish(&self, signature: &[u32], matrix: &CostMatrix) {
+        if let Ok(mut map) = self.map.lock() {
+            if map.len() < MEMO_CAP && !map.contains_key(signature) {
+                map.insert(signature.to_vec(), matrix.clone());
+            }
+        }
+    }
 }
 
 impl EvaluateConfig {
@@ -115,6 +167,7 @@ impl EvaluateConfig {
             budget: SearchBudget::unlimited(),
             parallel: ParallelConfig::default(),
             seed_tau: None,
+            shared_memo: None,
         }
     }
 
@@ -144,6 +197,81 @@ pub struct EvalResult {
     pub complete: bool,
 }
 
+/// One entry of a ranked scan: a partition and the heuristic assignment
+/// scored on it. Shared by [`partition_evaluate_top_k`] and the ranked
+/// exhaustive baseline ([`crate::exhaustive::solve_top_k`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedPartition {
+    /// The partition's TAM set (widths in non-decreasing order).
+    pub tams: TamSet,
+    /// The assignment scored on it (heuristic here, exact in the
+    /// exhaustive baseline).
+    pub result: AssignResult,
+}
+
+impl RankedPartition {
+    /// SOC testing time of this entry, in clock cycles.
+    pub fn soc_time(&self) -> u64 {
+        self.result.soc_time()
+    }
+}
+
+/// Result of [`partition_evaluate_top_k`]: the `k` best partitions found,
+/// best first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedEvalResult {
+    /// Up to `k` entries ordered by `(soc_time, partition index)` — the
+    /// scan's deterministic tie-break. Fewer than `k` when the partition
+    /// space itself is smaller.
+    pub entries: Vec<RankedPartition>,
+    /// Pruning statistics over the whole run (the bound is the running
+    /// *k-th best* time, so completion counts grow with `k`).
+    pub stats: PruneStats,
+    /// Whether the whole partition space was scanned.
+    pub complete: bool,
+}
+
+/// A scan candidate retained by the bounded best-K heap. Ordering (and
+/// therefore ranking equality) is on `(time, index)` only: the global
+/// partition index is unique per candidate, so the order is total and
+/// the retained set is independent of evaluation interleaving.
+#[derive(Debug, Clone)]
+pub(crate) struct Candidate {
+    pub(crate) time: u64,
+    /// Global index of the partition in the canonical enumeration
+    /// (TAM counts ascending, partitions in `Increment` order) — the
+    /// deterministic tie-break for equal times.
+    pub(crate) index: u64,
+    pub(crate) tams: TamSet,
+    pub(crate) result: AssignResult,
+}
+
+impl Candidate {
+    pub(crate) fn key(&self) -> (u64, u64) {
+        (self.time, self.index)
+    }
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
 /// Per-worker reusable state of the scan hot path: after warm-up, one
 /// partition evaluation performs **zero heap allocations** unless it
 /// improves the incumbent (materializing a result).
@@ -170,6 +298,13 @@ struct ScanScratch {
     assign: AssignScratch,
     signature: Vec<u32>,
     memo: HashMap<Vec<u32>, CostMatrix>,
+    /// Chunk-local bounded best-K heap, drained at the end of every
+    /// chunk (a heap persisting across chunks would make retention
+    /// depend on which chunks share a worker, i.e. on thread count).
+    ranking: Ranking<Candidate>,
+    /// Cross-scan memo this worker snapshots from and publishes to
+    /// (frontier sweeps); `None` for standalone scans.
+    shared: Option<Arc<MatrixMemo>>,
 }
 
 /// Upper bound on memoized matrices per worker — a safety valve for
@@ -177,12 +312,18 @@ struct ScanScratch {
 const MEMO_CAP: usize = 4096;
 
 impl ScanScratch {
-    fn new() -> Self {
+    fn new(k: usize, shared: Option<Arc<MatrixMemo>>) -> Self {
         ScanScratch {
             matrix: CostMatrix::scratch(),
             assign: AssignScratch::new(),
             signature: Vec::new(),
-            memo: HashMap::new(),
+            // Start from everything sibling scans already built.
+            memo: shared
+                .as_deref()
+                .map(MatrixMemo::snapshot)
+                .unwrap_or_default(),
+            ranking: Ranking::new(k),
+            shared,
         }
     }
 
@@ -209,6 +350,9 @@ impl ScanScratch {
             let canonical =
                 TamSet::new(self.signature.iter().copied()).expect("effective widths are positive");
             let built = CostMatrix::from_table(table, &canonical)?;
+            if let Some(shared) = &self.shared {
+                shared.publish(&self.signature, &built);
+            }
             self.memo.insert(self.signature.clone(), built);
         }
         let cached = &self.memo[self.signature.as_slice()];
@@ -259,24 +403,93 @@ pub fn partition_evaluate(
     total_width: u32,
     config: &EvaluateConfig,
 ) -> Result<EvalResult, PartitionError> {
+    let ranked = partition_evaluate_top_k(table, total_width, config, 1)?;
+    let RankedPartition { tams, result } = ranked
+        .entries
+        .into_iter()
+        .next()
+        .expect("a k=1 scan with entries yields exactly one");
+    Ok(EvalResult {
+        tams,
+        result,
+        stats: ranked.stats,
+        complete: ranked.complete,
+    })
+}
+
+/// Runs `Partition_evaluate` keeping the `k` best partitions instead of
+/// one: the typed `TopK` query kind of the service layer, and the
+/// single-winner scan's actual implementation (`k = 1`).
+///
+/// The scan carries a bounded best-K heap per worker chunk (capped
+/// [`Ranking`], ordered by `(soc_time, partition index)`), merged into a
+/// global heap at generation barriers in chunk-index order. The pruning
+/// bound generalizes from "best time so far" to "**k-th best** time so
+/// far": a partition that cannot beat the current k-th best can never
+/// enter the ranking, so `τ`-pruning (level 2) keeps working — it just
+/// admits more completions as `k` grows. With `k = 1` the heap degenerates
+/// to the single incumbent and the scan is bit-identical to
+/// [`partition_evaluate`] — winner, [`PruneStats`] and all (that function
+/// *is* this one).
+///
+/// A warm-start seed ([`EvaluateConfig::seed_tau`]) is honored only for
+/// `k = 1`: the seed is a best-time bound, and opening the scan there
+/// would wrongly abort the candidates of ranks `2..=k`, whose times are
+/// worse than the best by definition.
+///
+/// # Errors
+///
+/// Same validation errors as [`partition_evaluate`].
+///
+/// # Panics
+///
+/// Panics if `k == 0` (a best-0 query is meaningless).
+///
+/// # Example
+///
+/// ```
+/// use tamopt_partition::{partition_evaluate_top_k, EvaluateConfig};
+/// use tamopt_soc::benchmarks;
+/// use tamopt_wrapper::TimeTable;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let table = TimeTable::new(&benchmarks::d695(), 24)?;
+/// let ranked = partition_evaluate_top_k(&table, 24, &EvaluateConfig::up_to_tams(4), 3)?;
+/// assert_eq!(ranked.entries.len(), 3);
+/// // Entries are ranked best-first.
+/// assert!(ranked.entries[0].soc_time() <= ranked.entries[1].soc_time());
+/// # Ok(())
+/// # }
+/// ```
+pub fn partition_evaluate_top_k(
+    table: &TimeTable,
+    total_width: u32,
+    config: &EvaluateConfig,
+    k: usize,
+) -> Result<RankedEvalResult, PartitionError> {
+    assert!(k > 0, "top-k scan requires k >= 1");
     validate(table, total_width, config.min_tams, config.max_tams)?;
 
     /// Outcome of one index-ordered chunk of partitions.
     struct ChunkEval {
         stats: PruneStats,
-        /// Best completed partition of the chunk: `(time, tams, result)`.
-        best: Option<(u64, TamSet, AssignResult)>,
+        /// The chunk's best candidates, ascending, at most `k`.
+        best: Vec<Candidate>,
     }
 
     // A warm-start seed opens the scan at `seed + 1`: any partition that
     // cannot *match* the seeded time aborts, while one achieving exactly
-    // the seed (e.g. a repeated request) still completes and wins.
-    let incumbent = match config.seed_tau {
+    // the seed (e.g. a repeated request) still completes and wins. Only
+    // sound for k = 1 — see the doc above.
+    let seed_tau = config.seed_tau.filter(|_| k == 1);
+    let incumbent = match seed_tau {
         Some(seed) => SharedIncumbent::seeded(seed.saturating_add(1)),
         None => SharedIncumbent::unbounded(),
     };
     let mut stats = PruneStats::default();
-    let mut best: Option<(u64, TamSet, AssignResult)> = None;
+    // The global ranking; its worst entry (once full) is the k-th best
+    // time, published to workers through `incumbent` at barriers only.
+    let mut global: Ranking<Candidate> = Ranking::new(k);
 
     // Width canonicalization for the per-worker matrix memo (see
     // `ScanScratch`): computed once, shared read-only by all workers.
@@ -287,22 +500,27 @@ pub fn partition_evaluate(
         items,
         &config.parallel,
         &config.budget,
-        ScanScratch::new,
+        || ScanScratch::new(k, config.shared_memo.clone()),
         |scratch: &mut ScanScratch,
-         _base,
+         base,
          chunk: Vec<Vec<u32>>|
          -> Result<ChunkEval, PartitionError> {
-            // The shared bound as of this chunk's generation, improved
-            // locally as the chunk's own partitions complete.
-            let mut tau = incumbent.get();
-            let mut out = ChunkEval {
-                stats: PruneStats::default(),
-                best: None,
-            };
-            for widths in chunk {
-                out.stats.enumerated += 1;
+            // The shared k-th-best bound as of this chunk's generation,
+            // tightened locally by the chunk's own heap as it fills.
+            let snapshot = incumbent.get();
+            scratch.ranking.clear();
+            let mut out_stats = PruneStats::default();
+            for (offset, widths) in chunk.into_iter().enumerate() {
+                out_stats.enumerated += 1;
                 let tams = TamSet::new(widths).expect("partition parts are positive");
                 scratch.rebuild_matrix(table, &tams, &effective)?;
+                // A candidate worse than the chunk's own k-th best can
+                // never enter the global top-k either, so the local
+                // heap's worst (once full) is a sound extra bound.
+                let tau = match scratch.ranking.worst() {
+                    Some(worst) if scratch.ranking.is_full() => snapshot.min(worst.time),
+                    _ => snapshot,
+                };
                 let bound = if config.prune && tau != u64::MAX {
                     Some(tau)
                 } else {
@@ -311,31 +529,46 @@ pub fn partition_evaluate(
                 match core_assign_into(&scratch.matrix, bound, &config.options, &mut scratch.assign)
                 {
                     Some(time) => {
-                        out.stats.completed += 1;
-                        if time < tau {
-                            tau = time;
+                        out_stats.completed += 1;
+                        let index = base + offset as u64;
+                        let retain = match scratch.ranking.worst() {
+                            Some(worst) if scratch.ranking.is_full() => (time, index) < worst.key(),
+                            _ => true,
+                        };
+                        if retain {
                             // Materializing the result is the hot path's
-                            // only allocation, paid just for new chunk
-                            // incumbents.
-                            out.best = Some((tau, tams, scratch.assign.result(&scratch.matrix)));
+                            // only allocation, paid just for candidates
+                            // entering the chunk's ranking.
+                            scratch.ranking.offer(Candidate {
+                                time,
+                                index,
+                                tams,
+                                result: scratch.assign.result(&scratch.matrix),
+                            });
                         }
                     }
                     None => {
-                        out.stats.aborted += 1;
+                        out_stats.aborted += 1;
                     }
                 }
             }
-            Ok(out)
+            Ok(ChunkEval {
+                stats: out_stats,
+                best: scratch.ranking.drain_sorted(),
+            })
         },
         |chunk: ChunkEval| {
             stats.merge(chunk.stats);
-            if let Some((time, tams, result)) = chunk.best {
-                incumbent.tighten(time);
-                // Chunks merge in index order and improvement is strict,
-                // so the winner is the lowest-indexed partition with the
-                // best time — exactly the sequential winner.
-                if best.as_ref().is_none_or(|(t, _, _)| time < *t) {
-                    best = Some((time, tams, result));
+            // Chunks merge in index order and the candidate order is
+            // total on (time, index), so the global ranking ends up with
+            // the k lowest-(time, index) partitions — for k = 1 exactly
+            // the sequential single-incumbent winner.
+            for candidate in chunk.best {
+                global.offer(candidate);
+            }
+            if global.is_full() {
+                if let Some(worst) = global.worst() {
+                    incumbent.tighten(worst.time);
                 }
             }
             Ok(())
@@ -343,33 +576,40 @@ pub fn partition_evaluate(
     )?;
 
     debug_assert_eq!(stats.enumerated, stats.completed + stats.aborted);
-    let Some((_, tams, result)) = best else {
-        if config.seed_tau.is_some() {
+    if global.is_empty() {
+        if seed_tau.is_some() {
             // The seed was unreachable at this width / TAM range (the
             // warm-start transfer is heuristic, not a guarantee): rescan
             // cold so seeding can never change *whether* a result
             // exists. The fallback is deterministic — it depends only on
             // the (deterministic) seeded scan finding nothing.
-            let cold = partition_evaluate(
+            let cold = partition_evaluate_top_k(
                 table,
                 total_width,
                 &EvaluateConfig {
                     seed_tau: None,
                     ..config.clone()
                 },
+                k,
             )?;
             let mut merged = stats;
             merged.merge(cold.stats);
-            return Ok(EvalResult {
+            return Ok(RankedEvalResult {
                 stats: merged,
                 ..cold
             });
         }
         return Err(PartitionError::NoFeasiblePartition { total_width });
-    };
-    Ok(EvalResult {
-        tams,
-        result,
+    }
+    Ok(RankedEvalResult {
+        entries: global
+            .into_sorted_vec()
+            .into_iter()
+            .map(|c| RankedPartition {
+                tams: c.tams,
+                result: c.result,
+            })
+            .collect(),
         stats,
         complete: status.is_complete(),
     })
@@ -673,7 +913,7 @@ mod tests {
         // the heuristic's tie-breaks compare.
         let table = d695_table(64);
         let effective = table.effective_widths();
-        let mut scratch = ScanScratch::new();
+        let mut scratch = ScanScratch::new(1, None);
         let mut memo_hits = 0u32;
         for b in 1..=3u32 {
             for widths in Partitions::new(64, b) {
@@ -721,6 +961,170 @@ mod tests {
         let (_, tams, result) = best.unwrap();
         assert_eq!(eval.tams, tams);
         assert_eq!(eval.result, result);
+    }
+
+    #[test]
+    fn top_k_entries_are_ranked_and_distinct() {
+        let table = d695_table(32);
+        let ranked =
+            partition_evaluate_top_k(&table, 32, &EvaluateConfig::up_to_tams(4), 5).unwrap();
+        assert_eq!(ranked.entries.len(), 5);
+        assert!(ranked.complete);
+        assert!(ranked
+            .entries
+            .windows(2)
+            .all(|e| e[0].soc_time() <= e[1].soc_time()));
+        // Entries are distinct partitions, not copies of the winner.
+        for pair in ranked.entries.windows(2) {
+            assert_ne!(pair[0].tams, pair[1].tams);
+        }
+        assert_eq!(
+            ranked.stats.enumerated,
+            ranked.stats.completed + ranked.stats.aborted
+        );
+    }
+
+    #[test]
+    fn top_1_is_the_single_winner_path_bit_for_bit() {
+        let table = d695_table(48);
+        let config = EvaluateConfig::up_to_tams(5);
+        let single = partition_evaluate(&table, 48, &config).unwrap();
+        let ranked = partition_evaluate_top_k(&table, 48, &config, 1).unwrap();
+        assert_eq!(ranked.entries.len(), 1);
+        assert_eq!(ranked.entries[0].tams, single.tams);
+        assert_eq!(ranked.entries[0].result, single.result);
+        assert_eq!(ranked.stats, single.stats, "PruneStats must not drift");
+        assert_eq!(ranked.complete, single.complete);
+    }
+
+    #[test]
+    fn top_k_rank_1_matches_the_single_winner() {
+        // Growing k admits more completions (the bound is the k-th best)
+        // but must never change who wins.
+        let table = d695_table(32);
+        let config = EvaluateConfig::up_to_tams(4);
+        let single = partition_evaluate(&table, 32, &config).unwrap();
+        for k in [2usize, 4, 8] {
+            let ranked = partition_evaluate_top_k(&table, 32, &config, k).unwrap();
+            assert_eq!(ranked.entries[0].tams, single.tams, "k={k}");
+            assert_eq!(ranked.entries[0].result, single.result, "k={k}");
+            assert!(
+                ranked.stats.completed >= single.stats.completed,
+                "k={k}: a looser bound cannot complete fewer evaluations"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_is_thread_count_invariant() {
+        let table = d695_table(32);
+        let run = |threads: usize, k: usize| {
+            partition_evaluate_top_k(
+                &table,
+                32,
+                &EvaluateConfig {
+                    parallel: ParallelConfig::with_threads(threads),
+                    ..EvaluateConfig::up_to_tams(4)
+                },
+                k,
+            )
+            .unwrap()
+        };
+        for k in [1usize, 3, 4] {
+            let reference = run(1, k);
+            for threads in [2, 8] {
+                assert_eq!(run(threads, k), reference, "threads {threads}, k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_larger_than_the_space_returns_everything() {
+        // W=6, B=2 has exactly 3 unique partitions: 1+5, 2+4, 3+3.
+        let table = d695_table(6);
+        let ranked =
+            partition_evaluate_top_k(&table, 6, &EvaluateConfig::exact_tams(2), 10).unwrap();
+        assert_eq!(ranked.entries.len(), 3);
+        assert_eq!(ranked.stats.enumerated, 3);
+    }
+
+    #[test]
+    fn top_k_matches_a_full_unpruned_ranking() {
+        // Cross-check the heap + k-th-best pruning against the obvious
+        // oracle: score every partition unpruned, sort by
+        // (time, enumeration index), take k.
+        use tamopt_assign::core_assign;
+        let table = d695_table(24);
+        let k = 6usize;
+        let ranked =
+            partition_evaluate_top_k(&table, 24, &EvaluateConfig::up_to_tams(3), k).unwrap();
+        let mut oracle: Vec<(u64, u64, TamSet)> = Vec::new();
+        let mut index = 0u64;
+        for b in 1..=3u32 {
+            for widths in Partitions::new(24, b) {
+                let tams = TamSet::new(widths).unwrap();
+                let costs = CostMatrix::from_table(&table, &tams).unwrap();
+                let result = core_assign(&costs, None, &CoreAssignOptions::default())
+                    .into_result()
+                    .expect("unbounded");
+                oracle.push((result.soc_time(), index, tams));
+                index += 1;
+            }
+        }
+        oracle.sort_by_key(|(time, index, _)| (*time, *index));
+        assert_eq!(ranked.entries.len(), k);
+        for (entry, (time, _, tams)) in ranked.entries.iter().zip(&oracle) {
+            assert_eq!(entry.soc_time(), *time);
+            assert_eq!(&entry.tams, tams);
+        }
+    }
+
+    #[test]
+    fn top_k_ignores_the_warm_start_seed_for_k_above_1() {
+        // A best-time seed would wrongly abort ranks 2..=k; the ranked
+        // scan must drop it and still return the full cold ranking.
+        let table = d695_table(32);
+        let config = EvaluateConfig::up_to_tams(4);
+        let cold = partition_evaluate_top_k(&table, 32, &config, 3).unwrap();
+        let best = cold.entries[0].soc_time();
+        let seeded = partition_evaluate_top_k(
+            &table,
+            32,
+            &EvaluateConfig {
+                seed_tau: Some(best),
+                ..config
+            },
+            3,
+        )
+        .unwrap();
+        assert_eq!(seeded, cold, "seed must be inert for k > 1");
+    }
+
+    #[test]
+    fn shared_memo_changes_nothing_but_gets_populated() {
+        let table = d695_table(64);
+        let cold = partition_evaluate(&table, 64, &EvaluateConfig::up_to_tams(3)).unwrap();
+        let memo = MatrixMemo::new();
+        let with_memo = |memo: &Arc<MatrixMemo>| {
+            partition_evaluate(
+                &table,
+                64,
+                &EvaluateConfig {
+                    shared_memo: Some(memo.clone()),
+                    ..EvaluateConfig::up_to_tams(3)
+                },
+            )
+            .unwrap()
+        };
+        let first = with_memo(&memo);
+        assert_eq!(first, cold, "publishing to the memo must be invisible");
+        assert!(!memo.is_empty(), "W=64 must publish saturated signatures");
+        let populated = memo.len();
+        // A second scan over the same table starts warm and must still
+        // be bit-identical.
+        let second = with_memo(&memo);
+        assert_eq!(second, cold, "snapshotting the memo must be invisible");
+        assert_eq!(memo.len(), populated, "nothing new to publish");
     }
 
     #[test]

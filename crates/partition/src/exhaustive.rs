@@ -28,11 +28,11 @@
 
 use tamopt_assign::exact::{self, ExactConfig};
 use tamopt_assign::{AssignResult, CostMatrix, TamSet};
-use tamopt_engine::{search_chunks, ParallelConfig, SearchBudget, SharedIncumbent};
+use tamopt_engine::{search_chunks, ParallelConfig, Ranking, SearchBudget, SharedIncumbent};
 use tamopt_wrapper::TimeTable;
 
 use crate::enumerate::Partitions;
-use crate::evaluate::{validate, PruneStats};
+use crate::evaluate::{validate, Candidate, PruneStats, RankedPartition};
 use crate::PartitionError;
 
 /// Configuration of [`solve`].
@@ -133,6 +133,61 @@ pub fn solve(
     total_width: u32,
     config: &ExhaustiveConfig,
 ) -> Result<ExhaustiveResult, PartitionError> {
+    let ranked = solve_top_k(table, total_width, config, 1)?;
+    let RankedPartition { tams, result } = ranked
+        .entries
+        .into_iter()
+        .next()
+        .expect("a k=1 solve with entries yields exactly one");
+    Ok(ExhaustiveResult {
+        tams,
+        result,
+        partitions_solved: ranked.partitions_solved,
+        partitions_proven: ranked.partitions_proven,
+        stats: ranked.stats,
+        proven_optimal: ranked.proven_optimal,
+    })
+}
+
+/// Result of [`solve_top_k`]: the `k` best exactly solved partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedExhaustiveResult {
+    /// Up to `k` entries ordered by `(soc_time, partition index)`; each
+    /// carries the *exact* optimal assignment on its partition. Fewer
+    /// than `k` when the partition space itself is smaller.
+    pub entries: Vec<RankedPartition>,
+    /// Number of partitions solved.
+    pub partitions_solved: u64,
+    /// Per-partition solves that ran to a proof.
+    pub partitions_proven: u64,
+    /// Branch-and-bound node statistics (see
+    /// [`ExhaustiveResult::stats`]).
+    pub stats: PruneStats,
+    /// Whether every per-partition solve was proven optimal and the
+    /// search was not cut short by the budget.
+    pub proven_optimal: bool,
+}
+
+/// Runs the exhaustive baseline keeping the `k` best partitions. With
+/// incumbent seeding on, per-partition solves are bounded by the current
+/// **k-th best** SOC time — a partition dismissed at that bound can never
+/// enter the ranking, so seeding stays sound (and inert on results) for
+/// any `k`. [`solve`] is this function at `k = 1`.
+///
+/// # Errors
+///
+/// Same as [`solve`].
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn solve_top_k(
+    table: &TimeTable,
+    total_width: u32,
+    config: &ExhaustiveConfig,
+    k: usize,
+) -> Result<RankedExhaustiveResult, PartitionError> {
+    assert!(k > 0, "top-k solve requires k >= 1");
     validate(table, total_width, config.min_tams, config.max_tams)?;
 
     /// Outcome of one index-ordered chunk of exactly solved partitions.
@@ -141,8 +196,8 @@ pub fn solve(
         proven_solves: u64,
         stats: PruneStats,
         proven: bool,
-        /// Best partition of the chunk: `(time, tams, result)`.
-        best: Option<(u64, TamSet, AssignResult)>,
+        /// The chunk's best candidates, ascending, at most `k`.
+        best: Vec<Candidate>,
     }
 
     // The scan-level node budget counts *partitions* (enforced by the
@@ -161,27 +216,32 @@ pub fn solve(
     let mut partitions_proven = 0u64;
     let mut stats = PruneStats::default();
     let mut proven = true;
-    let mut best: Option<(u64, TamSet, AssignResult)> = None;
+    let mut global: Ranking<Candidate> = Ranking::new(k);
 
     let items = (config.min_tams..=config.max_tams).flat_map(|b| Partitions::new(total_width, b));
     let status = search_chunks(
         items,
         &config.parallel,
         &config.budget,
-        |_base, chunk: Vec<Vec<u32>>| -> Result<ChunkSolve, PartitionError> {
-            // The incumbent as of this chunk's generation barrier,
-            // tightened locally as the chunk's own partitions solve.
-            let mut tau = incumbent.get();
+        |base, chunk: Vec<Vec<u32>>| -> Result<ChunkSolve, PartitionError> {
+            // The k-th-best incumbent as of this chunk's generation
+            // barrier, tightened locally as the chunk's own heap fills.
+            let snapshot = incumbent.get();
+            let mut local: Ranking<Candidate> = Ranking::new(k);
             let mut out = ChunkSolve {
                 solved: 0,
                 proven_solves: 0,
                 stats: PruneStats::default(),
                 proven: true,
-                best: None,
+                best: Vec::new(),
             };
-            for widths in chunk {
+            for (offset, widths) in chunk.into_iter().enumerate() {
                 let tams = TamSet::new(widths).expect("partition parts are positive");
                 let costs = CostMatrix::from_table(table, &tams)?;
+                let tau = match local.worst() {
+                    Some(worst) if local.is_full() => snapshot.min(worst.time),
+                    _ => snapshot,
+                };
                 let bound = if config.seed_incumbent && tau != u64::MAX {
                     Some(tau)
                 } else {
@@ -198,13 +258,14 @@ pub fn solve(
                 out.proven &= solution.proven_optimal;
                 out.solved += 1;
                 let time = solution.result.soc_time();
-                if time < tau {
-                    tau = time;
-                }
-                if out.best.as_ref().is_none_or(|(t, _, _)| time < *t) {
-                    out.best = Some((time, tams, solution.result));
-                }
+                local.offer(Candidate {
+                    time,
+                    index: base + offset as u64,
+                    tams,
+                    result: solution.result,
+                });
             }
+            out.best = local.drain_sorted();
             Ok(out)
         },
         |chunk: ChunkSolve| {
@@ -212,20 +273,30 @@ pub fn solve(
             partitions_proven += chunk.proven_solves;
             stats.merge(chunk.stats);
             proven &= chunk.proven;
-            if let Some((time, tams, result)) = chunk.best {
-                incumbent.tighten(time);
-                if best.as_ref().is_none_or(|(t, _, _)| time < *t) {
-                    best = Some((time, tams, result));
+            for candidate in chunk.best {
+                global.offer(candidate);
+            }
+            if global.is_full() {
+                if let Some(worst) = global.worst() {
+                    incumbent.tighten(worst.time);
                 }
             }
             Ok(())
         },
     )?;
 
-    let (_, tams, result) = best.ok_or(PartitionError::NoFeasiblePartition { total_width })?;
-    Ok(ExhaustiveResult {
-        tams,
-        result,
+    if global.is_empty() {
+        return Err(PartitionError::NoFeasiblePartition { total_width });
+    }
+    Ok(RankedExhaustiveResult {
+        entries: global
+            .into_sorted_vec()
+            .into_iter()
+            .map(|c| RankedPartition {
+                tams: c.tams,
+                result: c.result,
+            })
+            .collect(),
         partitions_solved,
         partitions_proven,
         stats,
@@ -367,6 +438,62 @@ mod tests {
             strictly_fewer_somewhere,
             "incumbent seeding pruned nothing on d695 W=24"
         );
+    }
+
+    #[test]
+    fn top_k_solve_ranks_exact_partitions() {
+        let table = d695_table(16);
+        let ranked = solve_top_k(&table, 16, &ExhaustiveConfig::exact_tams(2), 4).unwrap();
+        assert_eq!(ranked.entries.len(), 4);
+        assert!(ranked.proven_optimal);
+        assert!(ranked
+            .entries
+            .windows(2)
+            .all(|e| e[0].soc_time() <= e[1].soc_time()));
+        let single = solve(&table, 16, &ExhaustiveConfig::exact_tams(2)).unwrap();
+        assert_eq!(ranked.entries[0].tams, single.tams);
+        assert_eq!(ranked.entries[0].result, single.result);
+        assert_eq!(ranked.partitions_solved, single.partitions_solved);
+    }
+
+    #[test]
+    fn top_k_incumbent_seeding_is_inert_on_the_ranking() {
+        let table = d695_table(24);
+        let seeded = solve_top_k(&table, 24, &ExhaustiveConfig::exact_tams(3), 3).unwrap();
+        let cold = solve_top_k(
+            &table,
+            24,
+            &ExhaustiveConfig {
+                seed_incumbent: false,
+                ..ExhaustiveConfig::exact_tams(3)
+            },
+            3,
+        )
+        .unwrap();
+        assert_eq!(seeded.entries, cold.entries, "seeding changed the ranking");
+        assert_eq!(seeded.proven_optimal, cold.proven_optimal);
+        assert!(seeded.stats.enumerated <= cold.stats.enumerated);
+    }
+
+    #[test]
+    fn top_k_solve_is_thread_count_invariant() {
+        let table = d695_table(16);
+        let run = |threads: usize| {
+            solve_top_k(
+                &table,
+                16,
+                &ExhaustiveConfig {
+                    parallel: ParallelConfig::with_threads(threads),
+                    ..ExhaustiveConfig::up_to_tams(2)
+                },
+                3,
+            )
+            .unwrap()
+        };
+        let reference = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), reference, "threads {threads}");
+        }
     }
 
     #[test]

@@ -60,5 +60,11 @@ pub mod exhaustive;
 pub mod pipeline;
 
 pub use crate::error::PartitionError;
-pub use crate::evaluate::{partition_evaluate, EvalResult, EvaluateConfig, PruneStats};
-pub use crate::pipeline::{co_optimize, CoOptimization, FinalStep, PipelineConfig};
+pub use crate::evaluate::{
+    partition_evaluate, partition_evaluate_top_k, EvalResult, EvaluateConfig, MatrixMemo,
+    PruneStats, RankedEvalResult, RankedPartition,
+};
+pub use crate::pipeline::{
+    co_optimize, co_optimize_frontier, co_optimize_top_k, CoOptimization, FinalStep,
+    FrontierResult, PipelineConfig, RankedCoOptimization,
+};

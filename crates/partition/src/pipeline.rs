@@ -12,15 +12,19 @@
 //! (its p21241, `W = 16` discussion). [`CoOptimization`] therefore keeps
 //! both the heuristic and the optimized results visible.
 
+use std::cell::Cell;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tamopt_assign::exact::ExactConfig;
 use tamopt_assign::ilp::IlpAssignConfig;
 use tamopt_assign::{exact, ilp, AssignResult, CoreAssignOptions, CostMatrix, TamSet};
-use tamopt_engine::{ParallelConfig, SearchBudget};
+use tamopt_engine::{search_generations, ParallelConfig, SearchBudget};
 use tamopt_wrapper::TimeTable;
 
-use crate::evaluate::{partition_evaluate, EvaluateConfig, PruneStats};
+use crate::evaluate::{
+    partition_evaluate_top_k, EvaluateConfig, MatrixMemo, PruneStats, RankedPartition,
+};
 use crate::PartitionError;
 
 /// Which exact solver performs the final optimization step.
@@ -65,6 +69,14 @@ pub struct PipelineConfig {
     /// winner, strictly fewer completed evaluations; unreachable seeds
     /// fall back to a cold rescan automatically.
     pub seed_tau: Option<u64>,
+    /// Cross-scan effective-width-signature memo. When set, step 1's
+    /// workers snapshot it at scratch creation and publish newly built
+    /// canonical cost matrices back, so several scans over the *same*
+    /// [`TimeTable`] (a frontier sweep, repeated service requests) share
+    /// the work. Purely work-saving: a memo hit equals a rebuild, so
+    /// results are unaffected. Never share one memo across different
+    /// tables.
+    pub shared_memo: Option<Arc<MatrixMemo>>,
 }
 
 impl PipelineConfig {
@@ -79,6 +91,7 @@ impl PipelineConfig {
             budget: SearchBudget::unlimited(),
             parallel: ParallelConfig::default(),
             seed_tau: None,
+            shared_memo: None,
         }
     }
 
@@ -154,6 +167,59 @@ pub fn co_optimize(
     total_width: u32,
     config: &PipelineConfig,
 ) -> Result<CoOptimization, PartitionError> {
+    let ranked = co_optimize_top_k(table, total_width, config, 1)?;
+    Ok(ranked
+        .entries
+        .into_iter()
+        .next()
+        .expect("a k=1 pipeline yields exactly one entry"))
+}
+
+/// Result of [`co_optimize_top_k`]: the `k` best architectures, each
+/// fully re-optimized by step 2.
+///
+/// Entries are ranked by **optimized** SOC time (ties keep the step-1
+/// scan order, i.e. partition-index order). Because step 1 ranks by
+/// *heuristic* time, step 2 can legitimately reorder — this is the
+/// paper's anomaly (its p21241, `W = 16` discussion) made visible: with
+/// `k > 1` the architecture the single-winner pipeline would have missed
+/// is right there in the ranking.
+///
+/// The step-1 scan is shared by all entries, so every entry carries the
+/// same [`CoOptimization::stats`], `evaluate_complete` and
+/// `evaluate_time`; `final_time` and the optimized assignment are per
+/// entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedCoOptimization {
+    /// Up to `k` architectures, best first by optimized SOC time.
+    pub entries: Vec<CoOptimization>,
+}
+
+impl RankedCoOptimization {
+    /// The best architecture of the ranking.
+    pub fn best(&self) -> &CoOptimization {
+        self.entries.first().expect("ranking is never empty")
+    }
+}
+
+/// Runs the two-step pipeline keeping the `k` best architectures: step 1
+/// is one shared [`partition_evaluate_top_k`] scan, step 2 re-optimizes
+/// *each* of the `k` ranked partitions exactly. With `k = 1` this is
+/// exactly [`co_optimize`] (that function is a wrapper over this one).
+///
+/// # Errors
+///
+/// Same as [`co_optimize`].
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn co_optimize_top_k(
+    table: &TimeTable,
+    total_width: u32,
+    config: &PipelineConfig,
+    k: usize,
+) -> Result<RankedCoOptimization, PartitionError> {
     let eval_config = EvaluateConfig {
         min_tams: config.min_tams,
         max_tams: config.max_tams,
@@ -162,56 +228,200 @@ pub fn co_optimize(
         budget: config.budget.clone(),
         parallel: config.parallel.clone(),
         seed_tau: config.seed_tau,
+        shared_memo: config.shared_memo.clone(),
     };
     let eval_start = Instant::now();
-    let eval = partition_evaluate(table, total_width, &eval_config)?;
+    let ranked = partition_evaluate_top_k(table, total_width, &eval_config, k)?;
     let evaluate_time = eval_start.elapsed();
 
-    let final_start = Instant::now();
-    let costs = CostMatrix::from_table(table, &eval.tams)?;
     // The pipeline-level node budget counts step-1 partitions; only the
     // deadline and cancellation carry into the step-2 solver, whose
     // nodes are a different unit.
     let step2_budget = config.budget.clone().without_node_budget();
-    let (optimized, final_step_optimal) = match &config.final_step {
-        FinalStep::None => (eval.result.clone(), false),
+    let mut entries = Vec::with_capacity(ranked.entries.len());
+    for RankedPartition { tams, result } in ranked.entries {
+        let final_start = Instant::now();
+        let costs = CostMatrix::from_table(table, &tams)?;
+        let (optimized, final_step_optimal) =
+            run_final_step(&costs, &config.final_step, &step2_budget, &result)?;
+        let final_time = final_start.elapsed();
+
+        // The exact step can only improve (it is seeded with a heuristic
+        // at least as good as step 1's assignment on this partition).
+        let optimized = if optimized.soc_time() <= result.soc_time() {
+            optimized
+        } else {
+            result.clone()
+        };
+
+        entries.push(CoOptimization {
+            tams,
+            heuristic: result,
+            optimized,
+            final_step_optimal,
+            evaluate_complete: ranked.complete,
+            stats: ranked.stats,
+            evaluate_time,
+            final_time,
+        });
+    }
+    // Stable sort: equal optimized times keep their step-1 rank, whose
+    // tie-break (partition index) is already deterministic.
+    entries.sort_by_key(|co| co.soc_time());
+    Ok(RankedCoOptimization { entries })
+}
+
+/// Result of [`co_optimize_frontier`]: one fully co-optimized
+/// architecture per swept width, in ascending width order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierResult {
+    /// `(total_width, architecture)` per swept width, width-ascending.
+    pub points: Vec<(u32, CoOptimization)>,
+    /// Whether every width was swept *and* every per-width scan covered
+    /// its whole partition space. A budget deadline truncates the sweep
+    /// to a valid prefix of widths (the last point of which may itself
+    /// be a partial scan).
+    pub complete: bool,
+}
+
+/// Sweeps the two-step pipeline across several total TAM widths over one
+/// shared [`TimeTable`] — the paper's design-space exploration (its
+/// Pareto plots of testing time versus TAM width) as a single engine
+/// query.
+///
+/// Widths are deduplicated and swept in ascending order, one width per
+/// engine chunk; `sweep_parallel` controls how many widths run
+/// concurrently while each width's own partition scan stays
+/// single-threaded (the parallelism budget is spent across the sweep,
+/// not inside it). Two forms of work sharing connect the widths, neither
+/// of which can change any winner:
+///
+/// * all widths share one [`MatrixMemo`] keyed by effective-width
+///   signature, so a cost matrix built at one width is reused verbatim
+///   at every other;
+/// * a width's scan is warm-started (`seed_tau`) with the best heuristic
+///   SOC time merged from *narrower* widths — achievable there, hence
+///   achievable at any wider budget (testing time is non-increasing in
+///   width). Seeds are read at generation barriers on the driver
+///   thread, so the swept results are bit-identical for every
+///   `sweep_parallel.threads`, and identical to independent
+///   [`co_optimize`] calls per width.
+///
+/// `config.seed_tau` and `config.shared_memo` are ignored (the sweep
+/// manages both internally); `config.parallel.threads` is forced to 1
+/// for the inner scans. The pipeline budget's deadline and cancellation
+/// bound the whole sweep; its node budget applies per width.
+///
+/// # Errors
+///
+/// The validation errors of [`co_optimize`] for any swept width (e.g.
+/// [`PartitionError::TableTooNarrow`] when a width exceeds the table's
+/// [`TimeTable::max_width`]).
+pub fn co_optimize_frontier(
+    table: &TimeTable,
+    widths: &[u32],
+    config: &PipelineConfig,
+    sweep_parallel: &ParallelConfig,
+) -> Result<FrontierResult, PartitionError> {
+    let mut widths = widths.to_vec();
+    widths.sort_unstable();
+    widths.dedup();
+    if widths.is_empty() {
+        return Ok(FrontierResult {
+            points: Vec::new(),
+            complete: true,
+        });
+    }
+
+    let memo = MatrixMemo::new();
+    let inner = PipelineConfig {
+        parallel: ParallelConfig {
+            threads: 1,
+            ..config.parallel.clone()
+        },
+        shared_memo: Some(memo.clone()),
+        ..config.clone()
+    };
+    // One width per chunk: chunks merge in index order, so `points`
+    // arrives width-ascending regardless of sweep thread count.
+    let sweep = ParallelConfig {
+        chunk_size: 1,
+        ..sweep_parallel.clone()
+    };
+    // Deadline/cancellation bound the sweep; the node budget is a
+    // per-scan unit and carries into the widths via `inner.budget`.
+    let sweep_budget = config.budget.clone().without_node_budget();
+
+    // Best heuristic SOC time merged so far. Written by `merge` and read
+    // by `produce` — both run on the driver thread, `produce` strictly
+    // under the generation barrier, so every width dispatched in
+    // generation `g` sees exactly the widths merged in generations
+    // `< g`: deterministic in the sweep thread count.
+    let seed: Cell<Option<u64>> = Cell::new(None);
+    let mut pending = widths.iter().copied();
+    let mut points: Vec<(u32, CoOptimization)> = Vec::with_capacity(widths.len());
+
+    let status = search_generations(
+        |_generation, capacity| {
+            let tau = seed.get();
+            pending.by_ref().take(capacity).map(|w| (w, tau)).collect()
+        },
+        &sweep,
+        &sweep_budget,
+        |_base, chunk: Vec<(u32, Option<u64>)>| {
+            chunk
+                .into_iter()
+                .map(|(width, tau)| {
+                    let cfg = PipelineConfig {
+                        seed_tau: tau,
+                        ..inner.clone()
+                    };
+                    co_optimize(table, width, &cfg).map(|co| (width, co))
+                })
+                .collect::<Result<Vec<_>, PartitionError>>()
+        },
+        |chunk: Vec<(u32, CoOptimization)>| {
+            for (width, co) in chunk {
+                let tau = co.heuristic.soc_time();
+                if seed.get().is_none_or(|s| tau < s) {
+                    seed.set(Some(tau));
+                }
+                points.push((width, co));
+            }
+            Ok(())
+        },
+    )?;
+
+    debug_assert!(points.windows(2).all(|p| p[0].0 < p[1].0));
+    let complete = status.is_complete() && points.iter().all(|(_, co)| co.evaluate_complete);
+    Ok(FrontierResult { points, complete })
+}
+
+fn run_final_step(
+    costs: &CostMatrix,
+    final_step: &FinalStep,
+    step2_budget: &SearchBudget,
+    heuristic: &AssignResult,
+) -> Result<(AssignResult, bool), PartitionError> {
+    match final_step {
+        FinalStep::None => Ok((heuristic.clone(), false)),
         FinalStep::BranchBound(cfg) => {
             let cfg = ExactConfig {
-                budget: cfg.budget.intersect(&step2_budget),
+                budget: cfg.budget.intersect(step2_budget),
                 ..cfg.clone()
             };
-            let sol = exact::solve(&costs, &cfg)?;
-            (sol.result, sol.proven_optimal)
+            let sol = exact::solve(costs, &cfg)?;
+            Ok((sol.result, sol.proven_optimal))
         }
         FinalStep::Ilp(cfg) => {
             let cfg = IlpAssignConfig {
-                budget: cfg.budget.intersect(&step2_budget),
+                budget: cfg.budget.intersect(step2_budget),
                 ..cfg.clone()
             };
-            let sol = ilp::solve(&costs, &cfg)?;
-            (sol.result, sol.proven_optimal)
+            let sol = ilp::solve(costs, &cfg)?;
+            Ok((sol.result, sol.proven_optimal))
         }
-    };
-    let final_time = final_start.elapsed();
-
-    // The exact step can only improve (it is seeded with a heuristic
-    // at least as good as step 1's assignment on this partition).
-    let optimized = if optimized.soc_time() <= eval.result.soc_time() {
-        optimized
-    } else {
-        eval.result.clone()
-    };
-
-    Ok(CoOptimization {
-        tams: eval.tams,
-        heuristic: eval.result,
-        optimized,
-        final_step_optimal,
-        evaluate_complete: eval.complete,
-        stats: eval.stats,
-        evaluate_time,
-        final_time,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -290,6 +500,187 @@ mod tests {
         assert_eq!(seeded.optimized, cold.optimized);
         assert_eq!(seeded.heuristic, cold.heuristic);
         assert!(seeded.stats.completed < cold.stats.completed);
+    }
+
+    #[test]
+    fn top_k_pipeline_ranks_by_optimized_time() {
+        let table = d695_table(32);
+        let ranked = co_optimize_top_k(&table, 32, &PipelineConfig::up_to_tams(4), 4).unwrap();
+        assert_eq!(ranked.entries.len(), 4);
+        assert!(ranked
+            .entries
+            .windows(2)
+            .all(|e| e[0].soc_time() <= e[1].soc_time()));
+        for co in &ranked.entries {
+            assert!(co.optimized.soc_time() <= co.heuristic.soc_time());
+            // The shared step-1 scan is replicated on every entry.
+            assert_eq!(co.stats, ranked.entries[0].stats);
+            assert_eq!(co.evaluate_time, ranked.entries[0].evaluate_time);
+        }
+        assert_eq!(ranked.best().soc_time(), ranked.entries[0].soc_time());
+    }
+
+    #[test]
+    fn top_1_pipeline_is_co_optimize() {
+        let table = d695_table(32);
+        let config = PipelineConfig::up_to_tams(4);
+        let single = co_optimize(&table, 32, &config).unwrap();
+        let ranked = co_optimize_top_k(&table, 32, &config, 1).unwrap();
+        assert_eq!(ranked.entries.len(), 1);
+        let entry = &ranked.entries[0];
+        // Wall-clock fields aside, the k=1 entry is the single result.
+        assert_eq!(entry.tams, single.tams);
+        assert_eq!(entry.heuristic, single.heuristic);
+        assert_eq!(entry.optimized, single.optimized);
+        assert_eq!(entry.final_step_optimal, single.final_step_optimal);
+        assert_eq!(entry.evaluate_complete, single.evaluate_complete);
+        assert_eq!(entry.stats, single.stats);
+    }
+
+    #[test]
+    fn top_k_rank_1_can_only_improve_on_the_single_winner() {
+        // Step 2 re-optimizes k candidate partitions instead of one, so
+        // the ranked best is at least as good as the k=1 pipeline (the
+        // paper's anomaly: the heuristic's winner is not always the
+        // exact winner).
+        let table = d695_table(32);
+        let config = PipelineConfig::up_to_tams(4);
+        let single = co_optimize(&table, 32, &config).unwrap();
+        let ranked = co_optimize_top_k(&table, 32, &config, 5).unwrap();
+        assert!(ranked.best().soc_time() <= single.soc_time());
+    }
+
+    #[test]
+    fn frontier_matches_independent_point_queries() {
+        // Memo and seed sharing may only change *work done*, never
+        // winners: every frontier point equals its standalone pipeline.
+        let table = d695_table(32);
+        let config = PipelineConfig::up_to_tams(4);
+        let widths: Vec<u32> = (16..=32).step_by(8).collect();
+        let frontier =
+            co_optimize_frontier(&table, &widths, &config, &ParallelConfig::default()).unwrap();
+        assert!(frontier.complete);
+        assert_eq!(frontier.points.len(), widths.len());
+        for ((w, co), expected_w) in frontier.points.iter().zip(&widths) {
+            assert_eq!(w, expected_w);
+            let solo = co_optimize(&table, *w, &config).unwrap();
+            assert_eq!(co.tams, solo.tams, "W={w}");
+            assert_eq!(co.heuristic, solo.heuristic, "W={w}");
+            assert_eq!(co.optimized, solo.optimized, "W={w}");
+        }
+    }
+
+    #[test]
+    fn frontier_is_sweep_thread_count_invariant() {
+        let table = d695_table(32);
+        let config = PipelineConfig::up_to_tams(4);
+        let widths = [16, 24, 32];
+        let sweep = |threads| {
+            co_optimize_frontier(
+                &table,
+                &widths,
+                &config,
+                &ParallelConfig {
+                    threads,
+                    ..ParallelConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let single = sweep(1);
+        for threads in [2, 8] {
+            let multi = sweep(threads);
+            assert_eq!(multi.complete, single.complete);
+            assert_eq!(multi.points.len(), single.points.len());
+            for ((wm, m), (ws, s)) in multi.points.iter().zip(&single.points) {
+                assert_eq!(wm, ws);
+                // Wall clocks aside, every field must be bit-identical —
+                // including PruneStats, i.e. the warm-start seed each
+                // width received is thread-count independent.
+                assert_eq!(m.tams, s.tams, "threads={threads} W={wm}");
+                assert_eq!(m.heuristic, s.heuristic);
+                assert_eq!(m.optimized, s.optimized);
+                assert_eq!(m.stats, s.stats, "threads={threads} W={wm}");
+                assert_eq!(m.evaluate_complete, s.evaluate_complete);
+                assert_eq!(m.final_step_optimal, s.final_step_optimal);
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_widths_are_sorted_and_deduplicated() {
+        let table = d695_table(32);
+        let config = PipelineConfig::up_to_tams(3);
+        let frontier = co_optimize_frontier(
+            &table,
+            &[32, 16, 32, 24, 16],
+            &config,
+            &ParallelConfig::default(),
+        )
+        .unwrap();
+        let swept: Vec<u32> = frontier.points.iter().map(|(w, _)| *w).collect();
+        assert_eq!(swept, vec![16, 24, 32]);
+        // Wider never tests slower — the frontier is monotone.
+        assert!(frontier
+            .points
+            .windows(2)
+            .all(|p| p[1].1.soc_time() <= p[0].1.soc_time()));
+    }
+
+    #[test]
+    fn frontier_of_no_widths_is_empty_and_complete() {
+        let table = d695_table(16);
+        let frontier = co_optimize_frontier(
+            &table,
+            &[],
+            &PipelineConfig::up_to_tams(2),
+            &ParallelConfig::default(),
+        )
+        .unwrap();
+        assert!(frontier.points.is_empty());
+        assert!(frontier.complete);
+    }
+
+    #[test]
+    fn frontier_rejects_widths_beyond_the_table() {
+        let table = d695_table(16);
+        assert_eq!(
+            co_optimize_frontier(
+                &table,
+                &[16, 24],
+                &PipelineConfig::up_to_tams(2),
+                &ParallelConfig::default(),
+            )
+            .unwrap_err(),
+            PartitionError::TableTooNarrow {
+                required: 24,
+                max_width: 16
+            }
+        );
+    }
+
+    #[test]
+    fn frontier_deadline_truncates_to_a_width_prefix() {
+        let table = d695_table(48);
+        let config = PipelineConfig {
+            budget: SearchBudget::time_limited(Duration::ZERO),
+            ..PipelineConfig::up_to_tams(4)
+        };
+        let frontier = co_optimize_frontier(
+            &table,
+            &[16, 24, 32, 40, 48],
+            &config,
+            &ParallelConfig::default(),
+        )
+        .unwrap();
+        assert!(!frontier.complete);
+        // An expired deadline still yields the first sweep generation
+        // (one width), whose own scan is likewise truncated but valid.
+        assert_eq!(frontier.points.len(), 1);
+        let (w, co) = &frontier.points[0];
+        assert_eq!(*w, 16);
+        assert!(!co.evaluate_complete);
+        assert_eq!(co.tams.total_width(), 16);
     }
 
     #[test]

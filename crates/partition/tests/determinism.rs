@@ -10,7 +10,9 @@
 use proptest::prelude::*;
 use tamopt_engine::ParallelConfig;
 use tamopt_partition::exhaustive::{self, ExhaustiveConfig};
-use tamopt_partition::pipeline::{co_optimize, CoOptimization, PipelineConfig};
+use tamopt_partition::pipeline::{
+    co_optimize, co_optimize_frontier, co_optimize_top_k, CoOptimization, PipelineConfig,
+};
 use tamopt_partition::{partition_evaluate, EvalResult, EvaluateConfig};
 use tamopt_soc::{benchmarks, scenarios, Soc};
 use tamopt_wrapper::TimeTable;
@@ -86,6 +88,93 @@ fn d695_wide_scan_is_thread_count_invariant() {
 fn synthetic_soc_is_thread_count_invariant() {
     let soc = scenarios::uniform(12, 0xDA7E_2002).expect("valid scenario");
     assert_deterministic(&soc, 40, 5);
+}
+
+/// `co_optimize_top_k` with `k = 1` must reduce bit-identically to the
+/// single-incumbent path — winner, assignments *and* prune counters —
+/// and stay thread-count invariant for every `k`.
+#[test]
+fn top_k_is_thread_count_invariant_and_top_1_equals_point() {
+    for (soc, width, max_tams, k) in [
+        (benchmarks::d695(), 32, 6, 3),
+        (benchmarks::p93791(), 32, 6, 4),
+    ] {
+        let table = TimeTable::new(&soc, width).expect("width is valid");
+        let run = |threads: usize, k: usize| {
+            let config = PipelineConfig {
+                parallel: ParallelConfig::with_threads(threads),
+                ..PipelineConfig::up_to_tams(max_tams)
+            };
+            co_optimize_top_k(&table, width, &config, k).expect("valid configuration")
+        };
+        let point = co_optimize_with_threads(&table, width, max_tams, 1);
+        let top1 = run(1, 1);
+        assert_eq!(top1.entries.len(), 1, "{}", soc.name());
+        let best = &top1.entries[0];
+        assert_eq!(best.tams, point.tams, "{}", soc.name());
+        assert_eq!(best.heuristic, point.heuristic, "{}", soc.name());
+        assert_eq!(best.optimized, point.optimized, "{}", soc.name());
+        assert_eq!(
+            best.stats,
+            point.stats,
+            "{}: k=1 prunes identically",
+            soc.name()
+        );
+        assert_eq!(best.evaluate_complete, point.evaluate_complete);
+
+        let reference = run(1, k);
+        assert!(reference
+            .entries
+            .windows(2)
+            .all(|w| w[0].soc_time() <= w[1].soc_time()));
+        for threads in THREAD_COUNTS {
+            let ranked = run(threads, k);
+            assert_eq!(
+                ranked.entries.len(),
+                reference.entries.len(),
+                "{}: threads {threads}",
+                soc.name()
+            );
+            for (a, b) in ranked.entries.iter().zip(&reference.entries) {
+                assert_eq!(a.tams, b.tams, "{}: threads {threads}", soc.name());
+                assert_eq!(a.heuristic, b.heuristic);
+                assert_eq!(a.optimized, b.optimized);
+                assert_eq!(a.stats, b.stats);
+            }
+        }
+    }
+}
+
+/// The frontier sweep is invariant in its own thread count: same points,
+/// same per-width winners, same prune counters.
+#[test]
+fn frontier_is_sweep_thread_count_invariant_on_benchmarks() {
+    let soc = benchmarks::d695();
+    let table = TimeTable::new(&soc, 32).expect("width is valid");
+    let widths = [8u32, 16, 24, 32];
+    let run = |threads: usize| {
+        co_optimize_frontier(
+            &table,
+            &widths,
+            &PipelineConfig::up_to_tams(4),
+            &ParallelConfig::with_threads(threads),
+        )
+        .expect("valid configuration")
+    };
+    let reference = run(1);
+    assert!(reference.complete);
+    assert_eq!(reference.points.len(), widths.len());
+    for threads in THREAD_COUNTS {
+        let frontier = run(threads);
+        assert_eq!(frontier.complete, reference.complete, "threads {threads}");
+        for ((wa, a), (wb, b)) in frontier.points.iter().zip(&reference.points) {
+            assert_eq!(wa, wb, "threads {threads}");
+            assert_eq!(a.tams, b.tams, "threads {threads}, width {wa}");
+            assert_eq!(a.heuristic, b.heuristic);
+            assert_eq!(a.optimized, b.optimized);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
 }
 
 #[test]

@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use std::collections::HashSet;
 use tamopt_partition::count;
 use tamopt_partition::enumerate::{Compositions, Partitions};
-use tamopt_partition::pipeline::{co_optimize, FinalStep, PipelineConfig};
+use tamopt_partition::pipeline::{
+    co_optimize, co_optimize_frontier, co_optimize_top_k, FinalStep, PipelineConfig,
+};
 use tamopt_partition::{partition_evaluate, EvaluateConfig};
 use tamopt_wrapper::TimeTable;
 
@@ -146,6 +148,69 @@ proptest! {
                 result.heuristic.soc_time()
             );
             previous = result.heuristic.soc_time();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `co_optimize_top_k` with `k = 1` is the single-incumbent path,
+    /// bit for bit — winner, both assignments *and* prune counters —
+    /// on random tables at every thread count.
+    #[test]
+    fn top_1_equals_the_point_query_bit_identically(
+        table in arb_table(),
+        max_tams in 1u32..5,
+        threads_ix in 0usize..3,
+    ) {
+        let width = table.max_width();
+        let threads = [1usize, 2, 8][threads_ix];
+        let config = PipelineConfig {
+            parallel: tamopt_engine::ParallelConfig::with_threads(threads),
+            ..PipelineConfig::up_to_tams(max_tams)
+        };
+        let point = co_optimize(&table, width, &config).expect("valid width");
+        let ranked = co_optimize_top_k(&table, width, &config, 1).expect("valid width");
+        prop_assert_eq!(ranked.entries.len(), 1);
+        let best = &ranked.entries[0];
+        prop_assert_eq!(&best.tams, &point.tams);
+        prop_assert_eq!(&best.heuristic, &point.heuristic);
+        prop_assert_eq!(&best.optimized, &point.optimized);
+        prop_assert_eq!(&best.stats, &point.stats);
+        prop_assert_eq!(best.evaluate_complete, point.evaluate_complete);
+        prop_assert_eq!(best.final_step_optimal, point.final_step_optimal);
+    }
+
+    /// A frontier sweep returns, at every width, the same architecture
+    /// as an independent point query at that width (prune counters may
+    /// shrink — the sweep warm-starts later widths — but never the
+    /// result).
+    #[test]
+    fn frontier_equals_a_loop_of_point_queries(
+        table in arb_table(),
+        max_tams in 1u32..4,
+        step in 1u32..4,
+        sweep_ix in 0usize..3,
+    ) {
+        let max_width = table.max_width();
+        let widths: Vec<u32> = (1..=max_width).step_by(step as usize).collect();
+        let config = PipelineConfig::up_to_tams(max_tams);
+        let frontier = co_optimize_frontier(
+            &table,
+            &widths,
+            &config,
+            &tamopt_engine::ParallelConfig::with_threads([1usize, 2, 8][sweep_ix]),
+        )
+        .expect("widths fit the table");
+        prop_assert!(frontier.complete);
+        prop_assert_eq!(frontier.points.len(), widths.len());
+        for (width, co) in &frontier.points {
+            let point = co_optimize(&table, *width, &config).expect("valid width");
+            prop_assert_eq!(&co.tams, &point.tams, "width {}", width);
+            prop_assert_eq!(&co.heuristic, &point.heuristic, "width {}", width);
+            prop_assert_eq!(&co.optimized, &point.optimized, "width {}", width);
+            prop_assert!(co.stats.completed <= point.stats.completed, "width {}", width);
         }
     }
 }

@@ -3,11 +3,14 @@
 use std::time::Instant;
 
 use tamopt_engine::{search_generations, CancelHandle, ParallelConfig, SearchBudget};
-use tamopt_partition::pipeline::{co_optimize, PipelineConfig};
+use tamopt_partition::pipeline::{
+    co_optimize, co_optimize_frontier, co_optimize_top_k, PipelineConfig,
+};
 use tamopt_partition::CoOptimization;
-use tamopt_wrapper::TimeTable;
+use tamopt_wrapper::{pareto, TimeTable};
 
-use crate::report::{BatchReport, RequestOutcome, RequestStatus};
+use crate::report::{BatchReport, RequestOutcome, RequestStatus, ResultEntry};
+use crate::request::RequestKind;
 use crate::Request;
 
 /// Configuration of [`Batch::run`].
@@ -143,7 +146,7 @@ impl Batch {
         // into each request, whose own node budget counts partitions — a
         // different unit.
         let inner_global = config.budget.clone().without_node_budget();
-        let mut slots: Vec<Option<Result<CoOptimization, String>>> =
+        let mut slots: Vec<Option<Result<RequestResult, String>>> =
             (0..self.entries.len()).map(|_| None).collect();
 
         let parallel = ParallelConfig {
@@ -202,19 +205,27 @@ impl Batch {
             .zip(slots)
             .enumerate()
             .map(|(index, (entry, slot))| {
-                let (status, result, error) = match slot {
-                    Some(Ok(co)) => {
-                        let status = if co.evaluate_complete {
+                let (status, result, results, error) = match slot {
+                    Some(Ok(res)) => {
+                        let status = if res.complete {
                             RequestStatus::Complete
                         } else if entry.handle.is_cancelled() {
                             RequestStatus::Cancelled
                         } else {
                             RequestStatus::Partial
                         };
-                        (status, Some(co), None)
+                        let headline = res.headline().clone();
+                        // A point outcome keeps the legacy single-result
+                        // shape; only the typed kinds carry a payload.
+                        let results = if entry.request.kind == RequestKind::Point {
+                            Vec::new()
+                        } else {
+                            res.entries
+                        };
+                        (status, Some(headline), results, None)
                     }
-                    Some(Err(message)) => (RequestStatus::Failed, None, Some(message)),
-                    None => (RequestStatus::Skipped, None, None),
+                    Some(Err(message)) => (RequestStatus::Failed, None, Vec::new(), Some(message)),
+                    None => (RequestStatus::Skipped, None, Vec::new(), None),
                 };
                 let request = &entry.request;
                 RequestOutcome {
@@ -224,8 +235,10 @@ impl Batch {
                     min_tams: request.min_tams,
                     max_tams: request.max_tams,
                     priority: request.priority,
+                    kind: request.kind,
                     status,
                     result,
+                    results,
                     error,
                 }
             })
@@ -239,6 +252,36 @@ impl Batch {
     }
 }
 
+/// What one dispatched request produced: the per-entry payload plus the
+/// completeness verdict. The headline result (the outcome's legacy
+/// single-architecture fields) is derived from the entries by
+/// [`RequestResult::headline`].
+#[derive(Debug, Clone)]
+pub(crate) struct RequestResult {
+    /// All architectures the query produced: one entry for a point
+    /// query, `k` ranked entries for top-k, one entry per swept width
+    /// for a frontier (ascending width, `lower_bound` populated).
+    pub(crate) entries: Vec<ResultEntry>,
+    /// Whether every entry's scan ran to completion.
+    pub(crate) complete: bool,
+}
+
+impl RequestResult {
+    /// The headline architecture: the entry with the smallest SOC
+    /// testing time, ties keeping the earliest entry — rank 1 for a
+    /// top-k query, the narrowest Pareto-preferred width for a frontier,
+    /// the single entry for a point query.
+    pub(crate) fn headline(&self) -> &CoOptimization {
+        let mut best = &self.entries[0].result;
+        for entry in &self.entries[1..] {
+            if entry.result.soc_time() < best.soc_time() {
+                best = &entry.result;
+            }
+        }
+        best
+    }
+}
+
 /// Runs one request under the intersection of its own budget and the
 /// batch-global deadline/cancellation, optionally warm-started with a
 /// `seed_tau` bound (see [`crate::LiveQueue`]'s incumbent cache).
@@ -248,13 +291,15 @@ impl Batch {
 /// the parallelism), the pool width when it runs alone in its generation
 /// (nested parallelism). The inner chunk geometry never changes, so the
 /// result is bit-identical for every `inner_threads` value — an unseeded
-/// result matches a standalone `co_optimize` run bit for bit.
+/// point result matches a standalone `co_optimize` run bit for bit. For
+/// a frontier request `inner_threads` instead widens the *sweep* (the
+/// per-width scans are sequential by design), equally result-invariant.
 pub(crate) fn run_request(
     request: &Request,
     global: &SearchBudget,
     seed_tau: Option<u64>,
     inner_threads: usize,
-) -> Result<CoOptimization, String> {
+) -> Result<RequestResult, String> {
     let table = TimeTable::new(&request.soc, request.width).map_err(|e| e.to_string())?;
     let pipeline = PipelineConfig {
         min_tams: request.min_tams,
@@ -264,7 +309,77 @@ pub(crate) fn run_request(
         parallel: ParallelConfig::with_threads(inner_threads.max(1)),
         ..PipelineConfig::up_to_tams(request.max_tams)
     };
-    co_optimize(&table, request.width, &pipeline).map_err(|e| e.to_string())
+    match request.kind {
+        RequestKind::Point => {
+            let co = co_optimize(&table, request.width, &pipeline).map_err(|e| e.to_string())?;
+            Ok(RequestResult {
+                complete: co.evaluate_complete,
+                entries: vec![ResultEntry {
+                    width: request.width,
+                    result: co,
+                    lower_bound: None,
+                }],
+            })
+        }
+        RequestKind::TopK { k } => {
+            let ranked = co_optimize_top_k(&table, request.width, &pipeline, k)
+                .map_err(|e| e.to_string())?;
+            Ok(RequestResult {
+                complete: ranked.entries.iter().all(|co| co.evaluate_complete),
+                entries: ranked
+                    .entries
+                    .into_iter()
+                    .map(|co| ResultEntry {
+                        width: request.width,
+                        result: co,
+                        lower_bound: None,
+                    })
+                    .collect(),
+            })
+        }
+        RequestKind::Frontier {
+            min_width,
+            max_width,
+            step,
+        } => {
+            // Wire input is validated by `RequestKind::from_str`; the
+            // builder path defers degenerate sweeps to this dispatch
+            // point, where they become a `Failed` outcome.
+            if step == 0 || min_width == 0 || min_width > max_width {
+                return Err(format!(
+                    "invalid frontier sweep {min_width}..={max_width} step {step}"
+                ));
+            }
+            if max_width != request.width {
+                return Err(format!(
+                    "frontier sweep maximum {max_width} does not match the request width {} \
+                     (use Request::frontier, which keeps them aligned)",
+                    request.width
+                ));
+            }
+            let widths: Vec<u32> = (min_width..=max_width).step_by(step as usize).collect();
+            let sweep = ParallelConfig::with_threads(inner_threads.max(1));
+            let frontier = co_optimize_frontier(&table, &widths, &pipeline, &sweep)
+                .map_err(|e| e.to_string())?;
+            if frontier.points.is_empty() {
+                // Unreachable under the engine's always-run-generation-0
+                // guarantee, but a frontier outcome must have a headline.
+                return Err("frontier budget expired before any width completed".to_owned());
+            }
+            Ok(RequestResult {
+                complete: frontier.complete,
+                entries: frontier
+                    .points
+                    .into_iter()
+                    .map(|(width, co)| ResultEntry {
+                        lower_bound: Some(pareto::bottleneck_at_width(&table, width)),
+                        width,
+                        result: co,
+                    })
+                    .collect(),
+            })
+        }
+    }
 }
 
 /// Queues `requests` in order and runs them — [`Batch::push`] +
@@ -292,8 +407,13 @@ mod tests {
     #[test]
     fn failed_requests_do_not_abort_the_batch() {
         let mut batch = Batch::new();
-        batch.push(Request::new(benchmarks::d695(), 0)); // infeasible
-        batch.push(Request::new(benchmarks::d695(), 16).max_tams(2));
+        // A degenerate frontier sweep (zero step) fails at dispatch.
+        batch.push(
+            Request::new(benchmarks::d695(), 16)
+                .unwrap()
+                .frontier(16..=16, 0),
+        );
+        batch.push(Request::new(benchmarks::d695(), 16).unwrap().max_tams(2));
         let report = batch.run(&BatchConfig::default());
         assert!(report.complete, "failure is an outcome, not an abort");
         assert_eq!(report.outcomes[0].status, RequestStatus::Failed);
@@ -305,8 +425,13 @@ mod tests {
     #[test]
     fn node_budget_dispatches_highest_priority_first() {
         let mut batch = Batch::new();
-        batch.push(Request::new(benchmarks::d695(), 16).max_tams(2)); // priority 0
-        batch.push(Request::new(benchmarks::d695(), 16).max_tams(2).priority(5));
+        batch.push(Request::new(benchmarks::d695(), 16).unwrap().max_tams(2)); // priority 0
+        batch.push(
+            Request::new(benchmarks::d695(), 16)
+                .unwrap()
+                .max_tams(2)
+                .priority(5),
+        );
         let config = BatchConfig {
             budget: SearchBudget::node_limited(1),
             ..BatchConfig::default()
@@ -324,8 +449,8 @@ mod tests {
     #[test]
     fn equal_priorities_dispatch_in_submission_order() {
         let mut batch = Batch::new();
-        batch.push(Request::new(benchmarks::d695(), 16).max_tams(2));
-        batch.push(Request::new(benchmarks::d695(), 24).max_tams(2));
+        batch.push(Request::new(benchmarks::d695(), 16).unwrap().max_tams(2));
+        batch.push(Request::new(benchmarks::d695(), 24).unwrap().max_tams(2));
         let config = BatchConfig {
             budget: SearchBudget::node_limited(1),
             ..BatchConfig::default()

@@ -9,7 +9,10 @@
 //! [`tamopt_engine`] into exactly that service:
 //!
 //! * a [`Request`] bundles one co-optimization job (SOC, total width,
-//!   TAM range, per-request [`SearchBudget`], priority);
+//!   TAM range, per-request [`SearchBudget`], priority) and a typed
+//!   [`RequestKind`]: the classic single-architecture *point* query, the
+//!   *k* best architectures of one scan ([`Request::top_k`]), or a
+//!   Pareto-frontier width sweep ([`Request::frontier`]);
 //! * a [`Batch`] queues requests and hands out a
 //!   [`CancelHandle`](tamopt_engine::CancelHandle) per request at
 //!   submission, so callers can cancel individual jobs while the batch
@@ -49,8 +52,13 @@
 //! use tamopt_soc::benchmarks;
 //!
 //! let mut batch = Batch::new();
-//! batch.push(Request::new(benchmarks::d695(), 16).max_tams(2));
-//! batch.push(Request::new(benchmarks::d695(), 24).max_tams(3).priority(1));
+//! batch.push(Request::new(benchmarks::d695(), 16).unwrap().max_tams(2));
+//! batch.push(
+//!     Request::new(benchmarks::d695(), 24)
+//!         .unwrap()
+//!         .max_tams(3)
+//!         .priority(1),
+//! );
 //! let report = batch.run(&BatchConfig::default());
 //! assert!(report.complete);
 //! // Outcomes are in submission order even though the priority-1
@@ -69,7 +77,8 @@ mod request;
 
 pub use crate::batch::{run_batch, Batch, BatchConfig};
 pub use crate::live::{
-    LiveConfig, LiveQueue, RequestId, SubmitError, Trace, TraceAction, TraceEvent,
+    LiveConfig, LiveQueue, PendingStat, QueueStats, RequestId, SubmitError, Trace, TraceAction,
+    TraceEvent,
 };
-pub use crate::report::{BatchReport, RequestOutcome, RequestStatus};
-pub use crate::request::Request;
+pub use crate::report::{BatchReport, RequestOutcome, RequestStatus, ResultEntry, WIRE_VERSION};
+pub use crate::request::{Request, RequestError, RequestKind};

@@ -46,7 +46,8 @@ use std::time::{Duration, Instant};
 use tamopt_engine::{search_generations, CancelHandle, ParallelConfig, SearchBudget};
 
 use crate::batch::run_request;
-use crate::report::{BatchReport, RequestOutcome, RequestStatus};
+use crate::report::{json_string, BatchReport, RequestOutcome, RequestStatus};
+use crate::request::RequestKind;
 use crate::Request;
 
 /// Configuration of a [`LiveQueue`].
@@ -255,6 +256,9 @@ struct State {
     pending: Vec<Pending>,
     next_id: usize,
     shutdown: bool,
+    /// The most recent generation barrier the dispatcher reached — the
+    /// reference point of [`LiveQueue::stats`]'s aging arithmetic.
+    last_barrier: u32,
     /// Cancellation handles of submissions still in flight (pending or
     /// dispatched), so [`LiveQueue::cancel`] and trace cancel events can
     /// reach them. Pruned when a submission's outcome is emitted —
@@ -344,9 +348,73 @@ fn bare_outcome(id: usize, request: &Request, status: RequestStatus) -> RequestO
         min_tams: request.min_tams,
         max_tams: request.max_tams,
         priority: request.priority,
+        kind: request.kind,
         status,
         result: None,
+        results: Vec::new(),
         error: None,
+    }
+}
+
+/// A point-in-time snapshot of the queue's backlog, as reported by
+/// [`LiveQueue::stats`] (the `stats` verb of `tamopt serve`). Entries
+/// are ordered exactly as the dispatcher would pick them: effective
+/// priority descending, ties by submission id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueStats {
+    /// The most recent generation barrier the dispatcher reached.
+    pub generation: u32,
+    /// The queue's [`LiveConfig::aging`] rate.
+    pub aging: u32,
+    /// The pending (accepted, not yet dispatched) entries.
+    pub pending: Vec<PendingStat>,
+}
+
+/// One backlog entry of a [`QueueStats`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingStat {
+    /// Submission id.
+    pub id: usize,
+    /// SOC name.
+    pub soc: String,
+    /// The query kind.
+    pub kind: RequestKind,
+    /// Raw submission priority.
+    pub priority: i32,
+    /// Generation barriers waited since the dispatcher first saw the
+    /// entry (0 until it has been seen at a barrier).
+    pub barriers_waited: u32,
+    /// Aged effective priority: `priority + aging × barriers_waited`.
+    pub effective_priority: i64,
+}
+
+impl QueueStats {
+    /// The snapshot as one deterministic, compact JSON object (no
+    /// wall-clock fields; stable key and entry order).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = format!(
+            "{{\"generation\": {}, \"aging\": {}, \"pending\": [",
+            self.generation, self.aging
+        );
+        for (i, p) in self.pending.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"id\": {}, \"soc\": {}, \"kind\": {}, \"priority\": {}, \
+                 \"barriers_waited\": {}, \"effective_priority\": {}}}",
+                p.id,
+                json_string(&p.soc),
+                json_string(&p.kind.label()),
+                p.priority,
+                p.barriers_waited,
+                p.effective_priority,
+            );
+        }
+        out.push_str("]}");
+        out
     }
 }
 
@@ -366,18 +434,21 @@ fn bare_outcome(id: usize, request: &Request, status: RequestStatus) -> RequestO
 ///
 /// let queue = LiveQueue::start(LiveConfig::default());
 /// let (id, _handle) = queue
-///     .submit(Request::new(benchmarks::d695(), 16).max_tams(2))
+///     .submit(Request::new(benchmarks::d695(), 16).unwrap().max_tams(2))
 ///     .unwrap();
 /// let outcome = queue.recv_outcome().unwrap();
 /// assert_eq!(outcome.index, id.index());
 /// let report = queue.shutdown().expect("first shutdown returns the report");
 /// assert!(report.complete);
 /// // The queue is sealed now.
-/// assert!(queue.submit(Request::new(benchmarks::d695(), 8)).is_err());
+/// assert!(queue.submit(Request::new(benchmarks::d695(), 8).unwrap()).is_err());
 /// ```
 #[derive(Debug)]
 pub struct LiveQueue {
     shared: Arc<Shared>,
+    /// The aging rate of the launching config, kept for
+    /// [`stats`](Self::stats) (the dispatcher owns the config itself).
+    aging: u32,
     /// Behind a mutex so the queue is `Sync`: one thread can submit
     /// while another drains outcomes (the `tamopt serve` pattern).
     outcomes: Mutex<Receiver<RequestOutcome>>,
@@ -411,6 +482,7 @@ impl LiveQueue {
     fn launch(config: LiveConfig, replay: Option<VecDeque<TraceEvent>>) -> Self {
         let shared = Arc::new(Shared::default());
         let (tx, rx) = std::sync::mpsc::channel();
+        let aging = config.aging;
         let dispatcher_shared = Arc::clone(&shared);
         let dispatcher = std::thread::Builder::new()
             .name("tamopt-live-dispatcher".to_owned())
@@ -418,6 +490,7 @@ impl LiveQueue {
             .expect("spawning the dispatcher thread");
         LiveQueue {
             shared,
+            aging,
             outcomes: Mutex::new(rx),
             dispatcher: Mutex::new(Some(dispatcher)),
         }
@@ -471,6 +544,39 @@ impl LiveQueue {
     /// Number of submissions accepted so far.
     pub fn submitted(&self) -> usize {
         lock(&self.shared).next_id
+    }
+
+    /// A snapshot of the backlog: pending entries with their raw
+    /// priority, barriers waited and aged effective priority, ordered as
+    /// the dispatcher would pick them (effective priority descending,
+    /// ties by submission id). Deterministic under replay — the aging
+    /// clock counts generation barriers, never the wall clock.
+    pub fn stats(&self) -> QueueStats {
+        let state = lock(&self.shared);
+        let generation = state.last_barrier;
+        let aging = i64::from(self.aging);
+        let mut pending: Vec<PendingStat> = state
+            .pending
+            .iter()
+            .map(|p| {
+                let waited = p.seen_at.map_or(0, |seen| generation.saturating_sub(seen));
+                PendingStat {
+                    id: p.id,
+                    soc: p.request.soc.name().to_owned(),
+                    kind: p.request.kind,
+                    priority: p.request.priority,
+                    barriers_waited: waited,
+                    effective_priority: i64::from(p.request.priority) + aging * i64::from(waited),
+                }
+            })
+            .collect();
+        drop(state);
+        pending.sort_by_key(|p| (std::cmp::Reverse(p.effective_priority), p.id));
+        QueueStats {
+            generation,
+            aging: self.aging,
+            pending,
+        }
     }
 
     /// Blocks until the next outcome streams out of the pool; `None`
@@ -586,6 +692,7 @@ fn dispatch(
     let produce = |generation: u32, capacity: usize| -> Vec<Dispatch> {
         let mut book = book.borrow_mut();
         let mut state = lock(shared);
+        state.last_barrier = generation;
         loop {
             // 1. Inject trace events due at this barrier.
             if let Some(events) = replay.as_mut() {
@@ -699,24 +806,38 @@ fn dispatch(
             for (dispatch, result) in evaluated {
                 state.handles.remove(&dispatch.id);
                 let outcome = match result {
-                    Ok(co) => {
+                    Ok(res) => {
                         if config.warm_start {
-                            book.cache.record(
-                                dispatch.fingerprint,
-                                dispatch.request.width,
-                                co.tams.len() as u32,
-                                co.heuristic.soc_time(),
-                            );
+                            // Every entry is a valid architecture at its
+                            // own width — a frontier or top-k request
+                            // warms the cache across its whole payload.
+                            for entry in &res.entries {
+                                book.cache.record(
+                                    dispatch.fingerprint,
+                                    entry.width,
+                                    entry.result.tams.len() as u32,
+                                    entry.result.heuristic.soc_time(),
+                                );
+                            }
                         }
-                        let status = if co.evaluate_complete {
+                        let status = if res.complete {
                             RequestStatus::Complete
                         } else if dispatch.handle.is_cancelled() {
                             RequestStatus::Cancelled
                         } else {
                             RequestStatus::Partial
                         };
+                        let headline = res.headline().clone();
+                        // As in `Batch::run`: point outcomes keep the
+                        // legacy single-result shape.
+                        let results = if dispatch.request.kind == RequestKind::Point {
+                            Vec::new()
+                        } else {
+                            res.entries
+                        };
                         RequestOutcome {
-                            result: Some(co),
+                            result: Some(headline),
+                            results,
                             ..bare_outcome(dispatch.id, &dispatch.request, status)
                         }
                     }

@@ -5,6 +5,14 @@ use std::time::Duration;
 
 use tamopt_partition::CoOptimization;
 
+use crate::request::RequestKind;
+
+/// Version of the JSON-lines wire format written by
+/// [`RequestOutcome::to_json_line`]. Every line carries it as its
+/// leading `"v"` field so stream consumers can check compatibility
+/// before parsing anything else.
+pub const WIRE_VERSION: u32 = 1;
+
 /// How one request in a batch ended.
 ///
 /// The JSON wire encoding is the lower-case [`RequestStatus::as_str`]
@@ -47,6 +55,20 @@ impl std::fmt::Display for RequestStatus {
     }
 }
 
+/// One entry of a request's [`RequestOutcome::results`] payload: a
+/// ranked architecture (top-K) or a swept width (frontier). Point
+/// queries carry exactly one entry.
+#[derive(Debug, Clone)]
+pub struct ResultEntry {
+    /// Total TAM width of this entry — the request's width except for
+    /// frontier sweeps, where each entry has its own.
+    pub width: u32,
+    /// The co-optimized architecture.
+    pub result: CoOptimization,
+    /// Bottleneck lower bound at `width` (frontier entries only).
+    pub lower_bound: Option<u64>,
+}
+
 /// The outcome of one request, in submission order within
 /// [`BatchReport::outcomes`].
 #[derive(Debug, Clone)]
@@ -63,41 +85,55 @@ pub struct RequestOutcome {
     pub max_tams: u32,
     /// Scheduling priority the request ran under.
     pub priority: i32,
+    /// The query kind the request ran as.
+    pub kind: RequestKind,
     /// How the request ended.
     pub status: RequestStatus,
-    /// The co-optimization result (`None` for skipped and failed
-    /// requests).
+    /// The headline co-optimization result (`None` for skipped and
+    /// failed requests): the single result of a point query, the rank-1
+    /// entry of a top-K query, the best (widest-preferring only on
+    /// strictly better times) point of a frontier sweep.
     pub result: Option<CoOptimization>,
+    /// The full result payload: one entry for a point query, `k` ranked
+    /// entries for top-K, one entry per swept width for a frontier.
+    /// Empty for skipped and failed requests.
+    pub results: Vec<ResultEntry>,
     /// The failure message for [`RequestStatus::Failed`].
     pub error: Option<String>,
 }
 
 impl RequestOutcome {
-    /// SOC testing time of the final architecture, if the request
+    /// SOC testing time of the headline architecture, if the request
     /// produced one.
     pub fn soc_time(&self) -> Option<u64> {
         self.result.as_ref().map(CoOptimization::soc_time)
     }
 
     /// Renders the outcome as one compact JSON line — the streaming wire
-    /// format of the live daemon (`tamopt serve`).
+    /// format of the live daemon (`tamopt serve`), versioned by the
+    /// leading `"v"` field ([`WIRE_VERSION`]).
     ///
     /// Deliberately free of wall-clock quantities: every line of the
     /// stream is **deterministic** for a fixed submission trace, so two
     /// serve runs diff clean without any filtering. The trailing newline
-    /// is included.
+    /// is included. Non-point kinds append a `"results"` array with one
+    /// `{rank, width, soc_time, num_tams, tams[, lower_bound]}` object
+    /// per entry; the headline fields (`soc_time`, `tams`, …) always
+    /// describe [`RequestOutcome::result`].
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(160);
         let _ = write!(
             out,
-            "{{\"id\": {}, \"soc\": {}, \"width\": {}, \"min_tams\": {}, \
-             \"max_tams\": {}, \"priority\": {}, \"status\": {}",
+            "{{\"v\": {}, \"id\": {}, \"soc\": {}, \"width\": {}, \"min_tams\": {}, \
+             \"max_tams\": {}, \"priority\": {}, \"kind\": {}, \"status\": {}",
+            WIRE_VERSION,
             self.index,
             json_string(&self.soc),
             self.width,
             self.min_tams,
             self.max_tams,
             self.priority,
+            json_string(&self.kind.label()),
             json_string(self.status.as_str()),
         );
         match (&self.result, &self.error) {
@@ -118,6 +154,29 @@ impl RequestOutcome {
                     co.stats.completed,
                     co.stats.aborted,
                 );
+                if self.kind != RequestKind::Point {
+                    out.push_str(", \"results\": [");
+                    for (rank, entry) in self.results.iter().enumerate() {
+                        if rank > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(
+                            out,
+                            "{{\"rank\": {}, \"width\": {}, \"soc_time\": {}, \
+                             \"num_tams\": {}, \"tams\": {}",
+                            rank + 1,
+                            entry.width,
+                            entry.result.soc_time(),
+                            entry.result.tams.len(),
+                            json_u32_array(entry.result.tams.widths()),
+                        );
+                        if let Some(bound) = entry.lower_bound {
+                            let _ = write!(out, ", \"lower_bound\": {bound}");
+                        }
+                        out.push('}');
+                    }
+                    out.push(']');
+                }
             }
             (None, Some(message)) => {
                 let _ = write!(out, ", \"error\": {}", json_string(message));
@@ -182,6 +241,11 @@ fn write_outcome(out: &mut String, outcome: &RequestOutcome, comma: &str) {
     let _ = writeln!(out, "      \"min_tams\": {},", outcome.min_tams);
     let _ = writeln!(out, "      \"max_tams\": {},", outcome.max_tams);
     let _ = writeln!(out, "      \"priority\": {},", outcome.priority);
+    let _ = writeln!(
+        out,
+        "      \"kind\": {},",
+        json_string(&outcome.kind.label())
+    );
     match (&outcome.result, &outcome.error) {
         (Some(co), _) => {
             let _ = writeln!(
@@ -216,6 +280,30 @@ fn write_outcome(out: &mut String, outcome: &RequestOutcome, comma: &str) {
                 "      \"stats\": {{ \"enumerated\": {}, \"completed\": {}, \"aborted\": {} }},",
                 co.stats.enumerated, co.stats.completed, co.stats.aborted
             );
+            if outcome.kind != RequestKind::Point {
+                let _ = writeln!(out, "      \"results\": [");
+                for (rank, entry) in outcome.results.iter().enumerate() {
+                    let comma = if rank + 1 < outcome.results.len() {
+                        ","
+                    } else {
+                        ""
+                    };
+                    let mut line = format!(
+                        "{{ \"rank\": {}, \"width\": {}, \"soc_time\": {}, \
+                         \"num_tams\": {}, \"tams\": {}",
+                        rank + 1,
+                        entry.width,
+                        entry.result.soc_time(),
+                        entry.result.tams.len(),
+                        json_u32_array(entry.result.tams.widths()),
+                    );
+                    if let Some(bound) = entry.lower_bound {
+                        let _ = write!(line, ", \"lower_bound\": {bound}");
+                    }
+                    let _ = writeln!(out, "        {line} }}{comma}");
+                }
+                let _ = writeln!(out, "      ],");
+            }
             let _ = writeln!(
                 out,
                 "      \"wall_clock_evaluate_ms\": {},",
@@ -247,7 +335,7 @@ fn write_outcome(out: &mut String, outcome: &RequestOutcome, comma: &str) {
 }
 
 /// Escapes `value` as a JSON string literal (quotes included).
-fn json_string(value: &str) -> String {
+pub(crate) fn json_string(value: &str) -> String {
     let mut out = String::with_capacity(value.len() + 2);
     out.push('"');
     for c in value.chars() {
@@ -304,14 +392,18 @@ mod tests {
             min_tams: 1,
             max_tams: 2,
             priority: 7,
+            kind: RequestKind::Point,
             status: RequestStatus::Skipped,
             result: None,
+            results: Vec::new(),
             error: None,
         };
         let line = outcome.to_json_line();
         assert!(line.ends_with("}\n"));
         assert_eq!(line.lines().count(), 1, "exactly one line");
+        assert!(line.starts_with("{\"v\": 1, "), "version field leads");
         assert!(line.contains("\"id\": 3"));
+        assert!(line.contains("\"kind\": \"point\""));
         assert!(line.contains("\"status\": \"skipped\""));
         assert!(!line.contains("wall_clock"));
         let failed = RequestOutcome {

@@ -12,11 +12,15 @@ use tamopt_wrapper::TimeTable;
 
 fn three_soc_requests() -> Vec<Request> {
     vec![
-        Request::new(benchmarks::d695(), 32).max_tams(6),
+        Request::new(benchmarks::d695(), 32).unwrap().max_tams(6),
         Request::new(benchmarks::p31108(), 32)
+            .unwrap()
             .max_tams(4)
             .priority(2),
-        Request::new(benchmarks::d695(), 24).max_tams(3).priority(1),
+        Request::new(benchmarks::d695(), 24)
+            .unwrap()
+            .max_tams(3)
+            .priority(1),
     ]
 }
 
@@ -52,7 +56,7 @@ fn lone_request_nested_parallelism_is_result_invariant() {
     // geometry is fixed, so the architecture, heuristic, stats — all of
     // it — must equal both the 1-thread batch and a standalone
     // single-threaded co_optimize, bit for bit.
-    let request = || Request::new(benchmarks::p31108(), 32).max_tams(4);
+    let request = || Request::new(benchmarks::p31108(), 32).unwrap().max_tams(4);
     let narrow = run_batch([request()], &BatchConfig::with_threads(1));
     let wide = run_batch([request()], &BatchConfig::with_threads(4));
     assert_eq!(
@@ -103,10 +107,10 @@ fn batched_results_match_standalone_co_optimization() {
 fn cancelled_request_is_partial_while_siblings_complete() {
     let mut batch = Batch::new();
     // A wide scan that would enumerate thousands of partitions...
-    let handle = batch.push(Request::new(benchmarks::d695(), 48).max_tams(6));
+    let handle = batch.push(Request::new(benchmarks::d695(), 48).unwrap().max_tams(6));
     // ...and two ordinary siblings.
-    batch.push(Request::new(benchmarks::d695(), 16).max_tams(2));
-    batch.push(Request::new(benchmarks::p31108(), 24).max_tams(3));
+    batch.push(Request::new(benchmarks::d695(), 16).unwrap().max_tams(2));
+    batch.push(Request::new(benchmarks::p31108(), 24).unwrap().max_tams(3));
     // Cancel before the run: deterministic, and the strictest test of
     // "partial but valid" (the request still owes a result).
     handle.cancel();
@@ -135,15 +139,15 @@ fn cancelled_request_is_partial_while_siblings_complete() {
 fn cancelling_one_request_leaves_sibling_results_bit_identical() {
     let baseline = run_batch(
         vec![
-            Request::new(benchmarks::d695(), 16).max_tams(2),
-            Request::new(benchmarks::d695(), 24).max_tams(3),
+            Request::new(benchmarks::d695(), 16).unwrap().max_tams(2),
+            Request::new(benchmarks::d695(), 24).unwrap().max_tams(3),
         ],
         &BatchConfig::default(),
     );
     let mut batch = Batch::new();
-    batch.push(Request::new(benchmarks::d695(), 16).max_tams(2));
-    batch.push(Request::new(benchmarks::d695(), 24).max_tams(3));
-    let doomed = batch.push(Request::new(benchmarks::d695(), 48).max_tams(6));
+    batch.push(Request::new(benchmarks::d695(), 16).unwrap().max_tams(2));
+    batch.push(Request::new(benchmarks::d695(), 24).unwrap().max_tams(3));
+    let doomed = batch.push(Request::new(benchmarks::d695(), 48).unwrap().max_tams(6));
     doomed.cancel();
     let report = batch.run(&BatchConfig::default());
     for (a, b) in baseline.outcomes.iter().zip(&report.outcomes) {
@@ -161,8 +165,13 @@ fn global_deadline_intersects_every_request_budget() {
     // deadline-truncated to its first generation; everything else is
     // skipped.
     let mut batch = Batch::new();
-    batch.push(Request::new(benchmarks::d695(), 48).max_tams(6));
-    batch.push(Request::new(benchmarks::d695(), 16).max_tams(2).priority(9));
+    batch.push(Request::new(benchmarks::d695(), 48).unwrap().max_tams(6));
+    batch.push(
+        Request::new(benchmarks::d695(), 16)
+            .unwrap()
+            .max_tams(2)
+            .priority(9),
+    );
     let config = BatchConfig::default().time_limit(Duration::ZERO);
     let report = batch.run(&config);
     assert!(!report.complete);
@@ -182,9 +191,10 @@ fn per_request_node_budget_does_not_leak_across_requests() {
     let report = run_batch(
         vec![
             Request::new(benchmarks::d695(), 48)
+                .unwrap()
                 .max_tams(6)
                 .budget(SearchBudget::node_limited(10)),
-            Request::new(benchmarks::d695(), 16).max_tams(2),
+            Request::new(benchmarks::d695(), 16).unwrap().max_tams(2),
         ],
         &BatchConfig::default(),
     );
@@ -195,7 +205,7 @@ fn per_request_node_budget_does_not_leak_across_requests() {
 #[test]
 fn json_report_shape_is_stable() {
     let report = run_batch(
-        vec![Request::new(benchmarks::d695(), 16).max_tams(2)],
+        vec![Request::new(benchmarks::d695(), 16).unwrap().max_tams(2)],
         &BatchConfig::default(),
     );
     let json = report.to_json();

@@ -26,13 +26,19 @@ fn stable_lines(report_json: &str) -> String {
 /// submission and a mid-run cancellation.
 fn mixed_trace() -> Trace {
     let mut trace = Trace::new()
-        .submit_at(0, Request::new(benchmarks::d695(), 32).max_tams(6)) // id 0
-        .submit_at(0, Request::new(benchmarks::d695(), 16).max_tams(2)) // id 1
-        .submit_at(0, Request::new(benchmarks::p31108(), 24).max_tams(3)); // id 2
-                                                                           // Mid-run: a high-priority request jumps the remaining backlog…
+        .submit_at(0, Request::new(benchmarks::d695(), 32).unwrap().max_tams(6)) // id 0
+        .submit_at(0, Request::new(benchmarks::d695(), 16).unwrap().max_tams(2)) // id 1
+        .submit_at(
+            0,
+            Request::new(benchmarks::p31108(), 24).unwrap().max_tams(3),
+        ); // id 2
+           // Mid-run: a high-priority request jumps the remaining backlog…
     trace = trace.submit_at(
         1,
-        Request::new(benchmarks::d695(), 24).max_tams(3).priority(9), // id 3
+        Request::new(benchmarks::d695(), 24)
+            .unwrap()
+            .max_tams(3)
+            .priority(9), // id 3
     );
     // …and a pending low-priority request is cancelled before dispatch.
     let id1 = tamopt_service::RequestId::from(1);
@@ -64,11 +70,14 @@ fn high_priority_submission_preempts_queued_work() {
     // still wait — and must run before them.
     let mut trace = Trace::new();
     for _ in 0..5 {
-        trace = trace.submit_at(0, Request::new(benchmarks::d695(), 16).max_tams(2));
+        trace = trace.submit_at(0, Request::new(benchmarks::d695(), 16).unwrap().max_tams(2));
     }
     trace = trace.submit_at(
         1,
-        Request::new(benchmarks::d695(), 24).max_tams(3).priority(9),
+        Request::new(benchmarks::d695(), 24)
+            .unwrap()
+            .max_tams(3)
+            .priority(9),
     );
     let (stream, report) = LiveQueue::replay(trace, LiveConfig::default());
     let order: Vec<usize> = stream.iter().map(|o| o.index).collect();
@@ -91,9 +100,9 @@ fn replayed_results_match_the_synchronous_batch() {
     // results as the build-then-run batch API.
     let requests = || {
         vec![
-            Request::new(benchmarks::d695(), 32).max_tams(6),
-            Request::new(benchmarks::d695(), 16).max_tams(2),
-            Request::new(benchmarks::p31108(), 24).max_tams(3),
+            Request::new(benchmarks::d695(), 32).unwrap().max_tams(6),
+            Request::new(benchmarks::d695(), 16).unwrap().max_tams(2),
+            Request::new(benchmarks::p31108(), 24).unwrap().max_tams(3),
         ]
     };
     let mut trace = Trace::new();
@@ -121,7 +130,7 @@ fn duplicate_soc_warm_hit_beats_cold_miss() {
     // The same request twice: the second dispatch seeds its τ bound from
     // the first outcome — identical winner, strictly fewer completed
     // step-1 evaluations.
-    let request = || Request::new(benchmarks::d695(), 32).max_tams(4);
+    let request = || Request::new(benchmarks::d695(), 32).unwrap().max_tams(4);
     let trace = || Trace::new().submit_at(0, request()).submit_at(0, request());
     let (_, warm) = LiveQueue::replay(trace(), LiveConfig::default());
     let cold_config = LiveConfig {
@@ -159,8 +168,8 @@ fn warm_start_transfers_across_widths() {
     // scan (widening a TAM never slows a core, so the bound transfers).
     let trace = || {
         Trace::new()
-            .submit_at(0, Request::new(benchmarks::d695(), 24).max_tams(4))
-            .submit_at(0, Request::new(benchmarks::d695(), 32).max_tams(4))
+            .submit_at(0, Request::new(benchmarks::d695(), 24).unwrap().max_tams(4))
+            .submit_at(0, Request::new(benchmarks::d695(), 32).unwrap().max_tams(4))
     };
     let (_, warm) = LiveQueue::replay(trace(), LiveConfig::default());
     let (_, cold) = LiveQueue::replay(
@@ -195,7 +204,7 @@ fn empty_trace_produces_a_valid_empty_report() {
 fn all_requests_cancelled_before_dispatch() {
     let mut trace = Trace::new();
     for _ in 0..3 {
-        trace = trace.submit_at(0, Request::new(benchmarks::d695(), 48).max_tams(6));
+        trace = trace.submit_at(0, Request::new(benchmarks::d695(), 48).unwrap().max_tams(6));
     }
     for id in 0..3 {
         trace = trace.cancel_at(0, tamopt_service::RequestId::from(id));
@@ -216,9 +225,9 @@ fn expired_global_budget_skips_the_backlog() {
     // internally by the shared deadline); the rest of the backlog is
     // reported as skipped — including trace events never injected.
     let trace = Trace::new()
-        .submit_at(0, Request::new(benchmarks::d695(), 48).max_tams(6))
-        .submit_at(0, Request::new(benchmarks::d695(), 16).max_tams(2))
-        .submit_at(3, Request::new(benchmarks::d695(), 24).max_tams(3));
+        .submit_at(0, Request::new(benchmarks::d695(), 48).unwrap().max_tams(6))
+        .submit_at(0, Request::new(benchmarks::d695(), 16).unwrap().max_tams(2))
+        .submit_at(3, Request::new(benchmarks::d695(), 24).unwrap().max_tams(3));
     let config = LiveConfig::default().time_limit(Duration::ZERO);
     let (stream, report) = LiveQueue::replay(trace, config);
     assert_eq!(report.outcomes.len(), 3, "every submission owes an outcome");
@@ -242,11 +251,15 @@ fn aging_bounds_starvation_deterministically() {
     // every thread count — aging counts generation barriers, not wall
     // clock.
     let trace = || {
-        let mut t = Trace::new().submit_at(0, Request::new(benchmarks::d695(), 16).max_tams(2)); // id 0
+        let mut t =
+            Trace::new().submit_at(0, Request::new(benchmarks::d695(), 16).unwrap().max_tams(2)); // id 0
         for generation in 0..4 {
             t = t.submit_at(
                 generation,
-                Request::new(benchmarks::d695(), 16).max_tams(2).priority(5), // ids 1..=4
+                Request::new(benchmarks::d695(), 16)
+                    .unwrap()
+                    .max_tams(2)
+                    .priority(5), // ids 1..=4
             );
         }
         t
@@ -297,14 +310,18 @@ fn aging_never_changes_results_only_order() {
     // request (the final report is in submission order either way).
     let trace = || {
         Trace::new()
-            .submit_at(0, Request::new(benchmarks::d695(), 16).max_tams(2))
+            .submit_at(0, Request::new(benchmarks::d695(), 16).unwrap().max_tams(2))
             .submit_at(
                 0,
-                Request::new(benchmarks::d695(), 24).max_tams(3).priority(7),
+                Request::new(benchmarks::d695(), 24)
+                    .unwrap()
+                    .max_tams(3)
+                    .priority(7),
             )
             .submit_at(
                 1,
                 Request::new(benchmarks::p31108(), 24)
+                    .unwrap()
                     .max_tams(3)
                     .priority(7),
             )
@@ -337,10 +354,10 @@ fn aging_never_changes_results_only_order() {
 fn live_queue_streams_submissions_and_seals_on_shutdown() {
     let queue = LiveQueue::start(LiveConfig::default());
     let (id0, _) = queue
-        .submit(Request::new(benchmarks::d695(), 16).max_tams(2))
+        .submit(Request::new(benchmarks::d695(), 16).unwrap().max_tams(2))
         .unwrap();
     let (id1, _) = queue
-        .submit(Request::new(benchmarks::d695(), 24).max_tams(3))
+        .submit(Request::new(benchmarks::d695(), 24).unwrap().max_tams(3))
         .unwrap();
     assert_eq!((id0.index(), id1.index()), (0, 1));
     assert_eq!(queue.submitted(), 2);
@@ -352,7 +369,7 @@ fn live_queue_streams_submissions_and_seals_on_shutdown() {
     // Sealed: no more submissions, no second report.
     assert_eq!(
         queue
-            .submit(Request::new(benchmarks::d695(), 8))
+            .submit(Request::new(benchmarks::d695(), 8).unwrap())
             .unwrap_err(),
         tamopt_service::SubmitError::ShutDown
     );
@@ -364,10 +381,10 @@ fn cancel_by_id_works_for_pending_requests() {
     let queue = LiveQueue::start(LiveConfig::default());
     // A long request keeps the pool busy while we cancel a queued one.
     queue
-        .submit(Request::new(benchmarks::p31108(), 32).max_tams(4))
+        .submit(Request::new(benchmarks::p31108(), 32).unwrap().max_tams(4))
         .unwrap();
     let (victim, _) = queue
-        .submit(Request::new(benchmarks::d695(), 48).max_tams(6))
+        .submit(Request::new(benchmarks::d695(), 48).unwrap().max_tams(6))
         .unwrap();
     assert!(queue.cancel(victim));
     assert!(

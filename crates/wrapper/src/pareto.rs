@@ -147,6 +147,21 @@ pub fn bottleneck_from_table(table: &TimeTable) -> u64 {
         .unwrap_or(0)
 }
 
+/// [`bottleneck_lower_bound`] at an *intermediate* width of a precomputed
+/// [`TimeTable`] — the per-width bound column of a frontier sweep, read
+/// without re-designing any wrapper.
+///
+/// # Panics
+///
+/// Panics if `width` is `0` or greater than the table's
+/// [`max_width`](TimeTable::max_width).
+pub fn bottleneck_at_width(table: &TimeTable, width: u32) -> u64 {
+    (0..table.num_cores())
+        .map(|c| table.time(c, width))
+        .max()
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +198,23 @@ mod tests {
         let table = TimeTable::new(&soc, 48).unwrap();
         assert_eq!(
             bottleneck_lower_bound(&soc, 48).unwrap(),
+            bottleneck_from_table(&table)
+        );
+    }
+
+    #[test]
+    fn per_width_bound_matches_a_fresh_design() {
+        let soc = benchmarks::d695();
+        let table = TimeTable::new(&soc, 48).unwrap();
+        for w in (8..=48).step_by(8) {
+            assert_eq!(
+                bottleneck_at_width(&table, w),
+                bottleneck_lower_bound(&soc, w).unwrap(),
+                "W={w}"
+            );
+        }
+        assert_eq!(
+            bottleneck_at_width(&table, 48),
             bottleneck_from_table(&table)
         );
     }

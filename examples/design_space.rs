@@ -4,7 +4,10 @@
 //! Reproduces, on the p31108 stand-in, the saturation phenomenon the
 //! paper discusses around its Tables 11–13: beyond a certain width the
 //! SOC testing time is pinned to the fastest possible time of its
-//! slowest core.
+//! slowest core. The whole width sweep is **one** `Frontier` query —
+//! `CoOptimizer::frontier` shares the wrapper time table and
+//! warm-starts each width from the previous incumbents, yet returns at
+//! every width exactly what an independent optimization would.
 //!
 //! Run with: `cargo run --release --example design_space`
 
@@ -30,28 +33,12 @@ fn main() -> Result<(), TamOptError> {
         pareto::saturation_width(core, 64)?
     );
 
-    // Sweep the total width and watch the SOC time hit the bound.
-    println!(
-        "{:>5} {:>8} {:>14} {:>14}  note",
-        "W", "TAMs", "time (cycles)", "lower bound"
-    );
-    for w in (16..=64).step_by(8) {
-        let arch = CoOptimizer::new(soc.clone(), w).max_tams(6).run()?;
-        let bound = pareto::bottleneck_lower_bound(&soc, w)?;
-        let pinned = if arch.soc_time() == bound {
-            "<- at the bottleneck bound"
-        } else {
-            ""
-        };
-        println!(
-            "{:>5} {:>8} {:>14} {:>14}  {}",
-            w,
-            arch.num_tams(),
-            arch.soc_time(),
-            bound,
-            pinned
-        );
-    }
+    // Sweep the total width with a single frontier query and watch the
+    // SOC time hit the bound: one call, one table.
+    let frontier = CoOptimizer::new(soc.clone(), 64)
+        .max_tams(6)
+        .frontier(16..=64, 8)?;
+    println!("{}", frontier.report());
 
     println!("\nPer-core Pareto staircases (width -> time) at W = 32:");
     for (i, core) in soc.iter().enumerate().take(5) {
