@@ -7,8 +7,8 @@
 SHELL := /bin/bash
 
 .PHONY: all build test verify doc-gate determinism serve-determinism \
-        alloc-gate bench-smoke bench-json bench-compare msrv-check lint \
-        fmt clean
+        shard-determinism alloc-gate bench-smoke bench-json bench-compare \
+        msrv-check lint fmt clean
 
 all: build test lint
 
@@ -43,7 +43,7 @@ msrv-check:
 
 # --- CI job: determinism ----------------------------------------------------
 
-determinism: serve-determinism
+determinism: serve-determinism shard-determinism
 	cargo test --release -p tamopt_partition --test determinism
 	cargo test --release -p tamopt_rail --test determinism
 	cargo test --release -p tamopt_service --test batch
@@ -83,6 +83,22 @@ serve-determinism:
 	  diff /tmp/$${trace}_t1.txt /tmp/$${trace}_t4.txt || exit 1; \
 	done
 
+# Sharded-daemon gate: the shard suite (threads {1,2,8} × shards
+# {1,2,4} grid plus the proportional-split property) and a byte-level
+# diff of `tamopt serve --shards 4` (shard-stamped outcome lines + final
+# report, minus wall_clock* lines) at threads 1 vs 4 over the mixed-kind
+# shard.trace.
+shard-determinism:
+	cargo test --release -p tamopt_service --test shard
+	cargo test --release -p tamopt_service --test proptest_split
+	cargo build --release -p tamopt
+	set -o pipefail; \
+	./target/release/tamopt serve --shards 4 --threads 1 < examples/shard.trace \
+	  | grep -v wall_clock > /tmp/shard_t1.txt; \
+	./target/release/tamopt serve --shards 4 --threads 4 < examples/shard.trace \
+	  | grep -v wall_clock > /tmp/shard_t4.txt; \
+	diff /tmp/shard_t1.txt /tmp/shard_t4.txt
+
 # --- CI job: bench-smoke ----------------------------------------------------
 
 bench-smoke:
@@ -94,7 +110,7 @@ bench-json:
 	rm -rf target/criterion
 	cargo bench -p tamopt_bench \
 	  --bench bench_parallel --bench bench_scan --bench bench_batch \
-	  --bench bench_serve --bench bench_topk
+	  --bench bench_serve --bench bench_topk --bench bench_shard
 	cargo run --release -p tamopt_bench --bin bench_json -- \
 	  --prefix parallel_ --out BENCH_parallel.json
 	cargo run --release -p tamopt_bench --bin bench_json -- \
@@ -105,12 +121,14 @@ bench-json:
 	  --prefix serve_ --out BENCH_serve.json
 	cargo run --release -p tamopt_bench --bin bench_json -- \
 	  --prefix topk_ --out BENCH_topk.json
+	cargo run --release -p tamopt_bench --bin bench_json -- \
+	  --prefix shard_ --out BENCH_shard.json
 
 # Perf-regression comparator (warn-only, mirrors the CI step): put the
 # previous run's exports under baseline/ and compare. Missing baselines
 # pass cleanly.
 bench-compare:
-	for family in parallel scan batch serve topk; do \
+	for family in parallel scan batch serve topk shard; do \
 	  cargo run --release -p tamopt_bench --bin bench_json -- \
 	    --compare baseline/BENCH_$${family}.json BENCH_$${family}.json \
 	    --threshold 15 || exit 1; \

@@ -32,13 +32,35 @@
 //! regressions; it is nonzero only for unreadable/empty *new* files. A
 //! missing *old* file (e.g. the first run of a repository, with no
 //! previous artifact) passes cleanly with a note.
+//!
+//! The **series** mode chains several exports — the last N commits'
+//! artifacts, oldest first — into one per-benchmark time series:
+//!
+//! ```text
+//! bench_json --series BENCH-3.json BENCH-2.json BENCH-1.json BENCH.json
+//! ```
+//!
+//! Two failure shapes are flagged per benchmark, both as warn-only
+//! GitHub annotations:
+//!
+//! * a **step change** — the newest point regressed beyond the
+//!   threshold against its immediate predecessor (what a two-file
+//!   `--compare` would catch);
+//! * a **slow drift** — the newest point regressed beyond the threshold
+//!   against the *oldest* point while every single step stayed under
+//!   it, the creeping regression a pairwise comparison can never see.
+//!
+//! Missing or unreadable *older* files are skipped with a note (early
+//! commits of a repository have fewer artifacts); the *newest* file
+//! must be readable and non-empty or the mode errors.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
     "usage: bench_json [--prefix <id-prefix>]... [--out <file.json>]\n\
-     or:    bench_json --compare <old.json> <new.json> [--threshold <percent>]"
+     or:    bench_json --compare <old.json> <new.json> [--threshold <percent>]\n\
+     or:    bench_json --series [--threshold <percent>] <oldest.json> ... <newest.json>"
 }
 
 /// Where criterion persisted its measurements: `$CRITERION_HOME`, else
@@ -196,10 +218,92 @@ fn compare(old_path: &str, new_path: &str, threshold_percent: f64) -> Result<u32
     Ok(warnings)
 }
 
+/// The series analyzer: chains N exports (chronological, oldest first)
+/// into per-id time series and flags step changes and slow drifts in
+/// the newest point. Returns the `::warning::` count (informational —
+/// the mode is warn-only, like [`compare`]).
+fn series(paths: &[String], threshold_percent: f64) -> Result<u32, String> {
+    let [older @ .., newest_path] = paths else {
+        return Err("--series needs at least one export".to_owned());
+    };
+    let newest_json = std::fs::read_to_string(newest_path)
+        .map_err(|e| format!("cannot read `{newest_path}`: {e}"))?;
+    let newest = parse_export(&newest_json);
+    if newest.is_empty() {
+        return Err(format!("no benchmark estimates in `{newest_path}`"));
+    }
+    // Older artifacts are best-effort: the first commits of a trajectory
+    // simply have fewer of them.
+    let mut history: Vec<std::collections::HashMap<String, f64>> = Vec::new();
+    for path in older {
+        match std::fs::read_to_string(path) {
+            Ok(json) => history.push(parse_export(&json).into_iter().collect()),
+            Err(_) => println!("no artifact at {path}; skipped"),
+        }
+    }
+    if history.is_empty() {
+        println!("series has a single usable export; nothing to chain (first run?)");
+        return Ok(0);
+    }
+    let mut warnings = 0u32;
+    for (id, newest_ns) in &newest {
+        // The chronological series of this benchmark, ending at the
+        // newest point.
+        let mut points: Vec<f64> = history.iter().filter_map(|h| h.get(id).copied()).collect();
+        points.push(*newest_ns);
+        if points.len() < 2 {
+            println!("{id}: new benchmark, no history");
+            continue;
+        }
+        let trail = points
+            .iter()
+            .map(|ns| format!("{ns:.0}"))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        let (first, prev) = (points[0], points[points.len() - 2]);
+        if first <= 0.0 || prev <= 0.0 {
+            println!("{id}: non-positive history point, skipped ({trail})");
+            continue;
+        }
+        let step_percent = (newest_ns / prev - 1.0) * 100.0;
+        let drift_percent = (newest_ns / first - 1.0) * 100.0;
+        let max_step_percent = points
+            .windows(2)
+            .map(|w| (w[1] / w[0] - 1.0) * 100.0)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if step_percent > threshold_percent {
+            println!(
+                "::warning title=bench step change::{id}: {trail} ns \
+                 ({step_percent:+.1} % in one step, threshold {threshold_percent} %)"
+            );
+            warnings += 1;
+        } else if drift_percent > threshold_percent && max_step_percent <= threshold_percent {
+            // The creeping shape: every step under the radar, the sum
+            // well over it.
+            println!(
+                "::warning title=bench slow drift::{id}: {trail} ns \
+                 ({drift_percent:+.1} % over {} run(s), no single step beyond \
+                 {threshold_percent} %)",
+                points.len() - 1
+            );
+            warnings += 1;
+        } else {
+            println!("{id}: {trail} ns ({drift_percent:+.1} % over the series)");
+        }
+    }
+    println!(
+        "chained {} export(s): {warnings} step/drift warning(s) beyond {threshold_percent} %",
+        history.len() + 1
+    );
+    Ok(warnings)
+}
+
 fn main() -> ExitCode {
     let mut prefixes: Vec<String> = Vec::new();
     let mut out_path: Option<String> = None;
     let mut compare_paths: Option<(String, String)> = None;
+    let mut series_mode = false;
+    let mut series_paths: Vec<String> = Vec::new();
     let mut threshold = 15.0f64;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -213,18 +317,36 @@ fn main() -> ExitCode {
             "--compare" => value("--compare <old>").and_then(|old| {
                 value("--compare <new>").map(|new| compare_paths = Some((old, new)))
             }),
+            "--series" => {
+                series_mode = true;
+                Ok(())
+            }
             "--threshold" => value("--threshold").and_then(|v| {
                 v.parse::<f64>()
                     .map(|t| threshold = t)
                     .map_err(|_| "invalid --threshold value".to_owned())
             }),
             "--help" | "-h" => Err(usage().to_owned()),
+            path if series_mode && !path.starts_with('-') => {
+                series_paths.push(path.to_owned());
+                Ok(())
+            }
             other => Err(format!("unknown flag `{other}`\n{}", usage())),
         };
         if let Err(msg) = result {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
+    }
+
+    if series_mode {
+        return match series(&series_paths, threshold) {
+            Ok(_warnings) => ExitCode::SUCCESS, // warn-only by design
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     if let Some((old, new)) = &compare_paths {
@@ -345,6 +467,57 @@ mod tests {
         std::fs::write(&empty, "{}").unwrap();
         assert!(compare(old.to_str().unwrap(), empty.to_str().unwrap(), 15.0).is_err());
         assert!(compare(old.to_str().unwrap(), missing.to_str().unwrap(), 15.0).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn series_flags_steps_and_slow_drifts_separately() {
+        let dir = std::env::temp_dir().join("bench-json-series-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths: Vec<String> = (0..3)
+            .map(|i| dir.join(format!("s{i}.json")).to_str().unwrap().to_owned())
+            .collect();
+        // Three commits, threshold 15 %:
+        //   steady:  1000 -> 1010 -> 1020  — fine
+        //   step:    1000 -> 1000 -> 1300  — +30 % in one step
+        //   drift:   1000 -> 1100 -> 1210  — +10 % twice, +21 % total
+        //   shrink:  1000 -> 900  -> 800   — improvements never warn
+        let rows = [
+            [1000.0, 1010.0, 1020.0],
+            [1000.0, 1000.0, 1300.0],
+            [1000.0, 1100.0, 1210.0],
+            [1000.0, 900.0, 800.0],
+        ];
+        for (i, path) in paths.iter().enumerate() {
+            std::fs::write(
+                path,
+                render(&[
+                    ("steady".to_owned(), rows[0][i]),
+                    ("step".to_owned(), rows[1][i]),
+                    ("drift".to_owned(), rows[2][i]),
+                    ("shrink".to_owned(), rows[3][i]),
+                ]),
+            )
+            .unwrap();
+        }
+        let warnings = series(&paths, 15.0).expect("series runs");
+        assert_eq!(warnings, 2, "one step change plus one slow drift");
+        // A missing older artifact is skipped, not fatal…
+        let mut with_gap = paths.clone();
+        with_gap.insert(0, dir.join("missing.json").to_str().unwrap().to_owned());
+        assert_eq!(series(&with_gap, 15.0), Ok(2));
+        // …and with only the newest readable there is nothing to chain.
+        let lone = vec![
+            dir.join("missing.json").to_str().unwrap().to_owned(),
+            paths[2].clone(),
+        ];
+        assert_eq!(series(&lone, 15.0), Ok(0));
+        // The newest export must parse, though.
+        let empty = dir.join("empty.json");
+        std::fs::write(&empty, "{}").unwrap();
+        let bad = vec![paths[0].clone(), empty.to_str().unwrap().to_owned()];
+        assert!(series(&bad, 15.0).is_err());
+        assert!(series(&[], 15.0).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

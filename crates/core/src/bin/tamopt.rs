@@ -59,7 +59,8 @@ use tamopt::engine::SearchBudget;
 use tamopt::rail::{design_rails, RailConfig, RailCostModel};
 use tamopt::schedule::TestSchedule;
 use tamopt::service::{
-    BatchConfig, LiveConfig, LiveQueue, Request, RequestKind, RequestStatus, Trace, WIRE_VERSION,
+    BatchConfig, LiveConfig, LiveQueue, Request, RequestKind, RequestStatus, ShardTrace,
+    ShardedQueue, Trace, WIRE_VERSION,
 };
 use tamopt::soc::format::parse_soc;
 use tamopt::{benchmarks, CoOptimizer, Soc, Strategy};
@@ -348,15 +349,20 @@ struct ServeArgs {
     time_limit: Option<Duration>,
     warm_start: bool,
     aging: u32,
+    /// `Some(n)` engages the fingerprint-sharded machinery (even for
+    /// `n = 1`, whose outcomes carry shard stamps); `None` keeps the
+    /// single-queue daemon with its byte-identical legacy output.
+    shards: Option<usize>,
 }
 
 fn serve_usage() -> &'static str {
-    "usage: tamopt serve [--threads <N, 0 = all CPUs>] [--time-limit <seconds>] \
-     [--no-warm-start] [--aging <rate, 0 = strict priorities>]\n\
+    "usage: tamopt serve [--threads <N per shard, 0 = all CPUs>] [--time-limit <seconds>] \
+     [--no-warm-start] [--aging <rate, 0 = strict priorities>] [--shards <N>]\n\
      stdin lines: <soc> <width> <max-tams> [min-tams=N] [priority=P] \
      [time-limit=S] [node-budget=N] [kind=point|topk:K|frontier:LO..HI:STEP]  \
      |  cancel <id>  |  stats (live mode only)\n\
-     prefix every line with @<generation> to replay a deterministic trace"
+     prefix every line with @<generation> to replay a deterministic trace; \
+     with --shards, @<generation>/<shard> pins a submission to a shard"
 }
 
 fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
@@ -364,6 +370,7 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
     let mut time_limit = None;
     let mut warm_start = true;
     let mut aging = 0u32;
+    let mut shards = None;
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
             argv.next()
@@ -378,6 +385,15 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
                     .parse()
                     .map_err(|_| "invalid --aging value".to_owned())?
             }
+            "--shards" => {
+                let n: usize = value("--shards")?
+                    .parse()
+                    .map_err(|_| "invalid --shards value".to_owned())?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_owned());
+                }
+                shards = Some(n);
+            }
             "--help" | "-h" => return Err(serve_usage().to_owned()),
             other => return Err(format!("unknown argument `{other}`\n{}", serve_usage())),
         }
@@ -387,6 +403,7 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
         time_limit,
         warm_start,
         aging,
+        shards,
     })
 }
 
@@ -400,27 +417,45 @@ enum ServeLine {
     Stats,
 }
 
-/// Parses one serve stdin line into an optional `@generation` tag and a
+/// The `@<generation>[/<shard>]` prefix of a trace line: the generation
+/// barrier the event applies at, plus an optional explicit shard pin
+/// (valid only under `--shards`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ServeTag {
+    generation: u32,
+    shard: Option<usize>,
+}
+
+/// Parses one serve stdin line into an optional [`ServeTag`] and a
 /// directive; comments and blank lines yield `None`.
-fn parse_serve_line(raw: &str) -> Result<Option<(Option<u32>, ServeLine)>, String> {
+fn parse_serve_line(raw: &str) -> Result<Option<(Option<ServeTag>, ServeLine)>, String> {
     let line = raw.split('#').next().unwrap_or_default().trim();
     if line.is_empty() {
         return Ok(None);
     }
-    let (generation, rest) = match line.strip_prefix('@') {
+    let (tag, rest) = match line.strip_prefix('@') {
         Some(tagged) => {
             let (tag, rest) = tagged
                 .split_once(char::is_whitespace)
                 .ok_or_else(|| "missing directive after @<generation>".to_owned())?;
-            let generation: u32 = tag
+            let (generation, shard) = match tag.split_once('/') {
+                Some((generation, shard)) => {
+                    let shard: usize = shard
+                        .parse()
+                        .map_err(|_| format!("invalid shard tag `@{tag}`"))?;
+                    (generation, Some(shard))
+                }
+                None => (tag, None),
+            };
+            let generation: u32 = generation
                 .parse()
                 .map_err(|_| format!("invalid generation tag `@{tag}`"))?;
-            (Some(generation), rest.trim())
+            (Some(ServeTag { generation, shard }), rest.trim())
         }
         None => (None, line),
     };
     if rest == "stats" {
-        return Ok(Some((generation, ServeLine::Stats)));
+        return Ok(Some((tag, ServeLine::Stats)));
     }
     let directive = match rest.strip_prefix("cancel") {
         Some(id) if id.starts_with(char::is_whitespace) => {
@@ -432,7 +467,60 @@ fn parse_serve_line(raw: &str) -> Result<Option<(Option<u32>, ServeLine)>, Strin
         }
         _ => ServeLine::Submit(parse_request_line(rest)?),
     };
-    Ok(Some((generation, directive)))
+    Ok(Some((tag, directive)))
+}
+
+/// The live daemon behind `tamopt serve`: one flat queue or N
+/// fingerprint-routed shards, behind one surface so the stdin loop is
+/// queue-shape agnostic.
+enum ServeQueue {
+    Flat(LiveQueue),
+    Sharded(ShardedQueue),
+}
+
+impl ServeQueue {
+    fn start(config: LiveConfig, shards: Option<usize>) -> Self {
+        match shards {
+            Some(n) => ServeQueue::Sharded(ShardedQueue::start(config, n)),
+            None => ServeQueue::Flat(LiveQueue::start(config)),
+        }
+    }
+
+    /// Whether the submission was accepted.
+    fn submit(&self, request: Request) -> bool {
+        match self {
+            ServeQueue::Flat(q) => q.submit(request).is_ok(),
+            ServeQueue::Sharded(q) => q.submit(request).is_ok(),
+        }
+    }
+
+    fn cancel(&self, id: usize) -> bool {
+        match self {
+            ServeQueue::Flat(q) => q.cancel(id.into()),
+            ServeQueue::Sharded(q) => q.cancel(id.into()),
+        }
+    }
+
+    fn stats_json(&self) -> String {
+        match self {
+            ServeQueue::Flat(q) => q.stats().to_json(),
+            ServeQueue::Sharded(q) => q.stats().to_json(),
+        }
+    }
+
+    fn recv_outcome(&self) -> Option<tamopt::service::RequestOutcome> {
+        match self {
+            ServeQueue::Flat(q) => q.recv_outcome(),
+            ServeQueue::Sharded(q) => q.recv_outcome(),
+        }
+    }
+
+    fn shutdown(&self) -> Option<tamopt::service::BatchReport> {
+        match self {
+            ServeQueue::Flat(q) => q.shutdown(),
+            ServeQueue::Sharded(q) => q.shutdown(),
+        }
+    }
 }
 
 fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
@@ -485,23 +573,20 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
 
     let report = match first {
         // Empty input: an empty trace still owes a valid (empty) report.
-        None => {
-            let (_, report) = LiveQueue::replay(Trace::new(), config);
-            report
-        }
-        Some((first_number, (Some(generation), directive))) => {
+        None => match args.shards {
+            Some(shards) => ShardedQueue::replay(ShardTrace::new(), config, shards).1,
+            None => LiveQueue::replay(Trace::new(), config).1,
+        },
+        Some((first_number, (Some(first_tag), first_directive))) => {
             // Trace mode: collect the whole input, then replay.
-            let mut trace = match directive {
-                ServeLine::Submit(request) => Trace::new().submit_at(generation, request),
-                ServeLine::Cancel(id) => Trace::new().cancel_at(generation, id),
-                ServeLine::Stats => {
-                    eprintln!(
-                        "serve: line {}: `stats` is only available in live mode",
-                        first_number + 1
-                    );
-                    return ExitCode::FAILURE;
-                }
-            };
+            if matches!(first_directive, ServeLine::Stats) {
+                eprintln!(
+                    "serve: line {}: `stats` is only available in live mode",
+                    first_number + 1
+                );
+                return ExitCode::FAILURE;
+            }
+            let mut events = vec![(first_number, first_tag, first_directive)];
             for (number, line) in lines {
                 let line = match line {
                     Ok(l) => l,
@@ -512,18 +597,15 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
                 };
                 match parse_serve_line(&line) {
                     Ok(None) => {}
-                    Ok(Some((Some(generation), ServeLine::Submit(request)))) => {
-                        trace = trace.submit_at(generation, request);
-                    }
-                    Ok(Some((Some(generation), ServeLine::Cancel(id)))) => {
-                        trace = trace.cancel_at(generation, id);
-                    }
                     Ok(Some((_, ServeLine::Stats))) => {
                         eprintln!(
                             "serve: line {}: `stats` is only available in live mode",
                             number + 1
                         );
                         return ExitCode::FAILURE;
+                    }
+                    Ok(Some((Some(tag), directive))) => {
+                        events.push((number, tag, directive));
                     }
                     Ok(Some((None, _))) => {
                         eprintln!(
@@ -538,7 +620,44 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
                     }
                 }
             }
-            let (stream, report) = LiveQueue::replay(trace, config);
+            let (stream, report) = match args.shards {
+                Some(shards) => {
+                    let mut trace = ShardTrace::new();
+                    for (_, tag, directive) in events {
+                        trace = match directive {
+                            ServeLine::Submit(request) => match tag.shard {
+                                Some(shard) => {
+                                    trace.submit_pinned_at(tag.generation, shard, request)
+                                }
+                                None => trace.submit_at(tag.generation, request),
+                            },
+                            // A cancel routes to the owner of the id;
+                            // any shard pin on it is redundant.
+                            ServeLine::Cancel(id) => trace.cancel_at(tag.generation, id),
+                            ServeLine::Stats => unreachable!("rejected during collection"),
+                        };
+                    }
+                    ShardedQueue::replay(trace, config, shards)
+                }
+                None => {
+                    let mut trace = Trace::new();
+                    for (number, tag, directive) in events {
+                        if tag.shard.is_some() {
+                            eprintln!(
+                                "serve: line {}: @<generation>/<shard> tags require --shards",
+                                number + 1
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                        trace = match directive {
+                            ServeLine::Submit(request) => trace.submit_at(tag.generation, request),
+                            ServeLine::Cancel(id) => trace.cancel_at(tag.generation, id),
+                            ServeLine::Stats => unreachable!("rejected during collection"),
+                        };
+                    }
+                    LiveQueue::replay(trace, config)
+                }
+            };
             for outcome in &stream {
                 print!("{}", outcome.to_json_line());
             }
@@ -548,7 +667,7 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
             // Live mode: submit each line as it is read; outcomes stream
             // concurrently. Parse errors are reported and skipped — work
             // already submitted keeps running — but fail the exit code.
-            let queue = LiveQueue::start(config);
+            let queue = ServeQueue::start(config, args.shards);
             let mut parse_errors = 0u32;
             let report = std::thread::scope(|scope| {
                 let printer = scope.spawn(|| {
@@ -562,19 +681,19 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
                 let apply = |number: usize, directive: ServeLine, errors: &mut u32| match directive
                 {
                     ServeLine::Submit(request) => {
-                        if queue.submit(request).is_err() {
+                        if !queue.submit(request) {
                             eprintln!("serve: line {}: queue is shut down", number + 1);
                             *errors += 1;
                         }
                     }
                     ServeLine::Cancel(id) => {
-                        if !queue.cancel(id.into()) {
+                        if !queue.cancel(id) {
                             eprintln!("serve: line {}: unknown request id {id}", number + 1);
                             *errors += 1;
                         }
                     }
                     ServeLine::Stats => {
-                        println!("{}", queue.stats().to_json());
+                        println!("{}", queue.stats_json());
                     }
                 };
                 apply(first_number, first_directive, &mut parse_errors);
@@ -923,6 +1042,15 @@ mod tests {
         assert!(parse_serve_args(["--aging", "-1"].iter().map(|s| s.to_string())).is_err());
         assert!(parse_serve_args(["--frobnicate".to_string()].into_iter()).is_err());
         assert!(parse_serve_args(["positional".to_string()].into_iter()).is_err());
+        assert!(a.shards.is_none(), "sharding is opt-in");
+        let c = parse_serve_args(["--shards", "4"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(c.shards, Some(4));
+        assert!(
+            parse_serve_args(["--shards", "0"].iter().map(|s| s.to_string()))
+                .unwrap_err()
+                .contains("at least 1")
+        );
+        assert!(parse_serve_args(["--shards", "x"].iter().map(|s| s.to_string())).is_err());
     }
 
     #[test]
@@ -939,15 +1067,42 @@ mod tests {
             other => panic!("expected a submit, got {other:?}"),
         }
         let (tag, line) = parse_serve_line("@3 cancel 7 # trailing").unwrap().unwrap();
-        assert_eq!(tag, Some(3));
+        assert_eq!(
+            tag,
+            Some(ServeTag {
+                generation: 3,
+                shard: None
+            })
+        );
         assert!(matches!(line, ServeLine::Cancel(7)));
         let (tag, _) = parse_serve_line("@0 d695 16 2").unwrap().unwrap();
-        assert_eq!(tag, Some(0));
+        assert_eq!(
+            tag,
+            Some(ServeTag {
+                generation: 0,
+                shard: None
+            })
+        );
+        let (tag, line) = parse_serve_line("@2/1 d695 16 2").unwrap().unwrap();
+        assert_eq!(
+            tag,
+            Some(ServeTag {
+                generation: 2,
+                shard: Some(1)
+            })
+        );
+        assert!(matches!(line, ServeLine::Submit(_)));
     }
 
     #[test]
     fn serve_line_errors_are_precise() {
         assert!(parse_serve_line("@x d695 16 2")
+            .unwrap_err()
+            .contains("generation tag"));
+        assert!(parse_serve_line("@1/x d695 16 2")
+            .unwrap_err()
+            .contains("shard tag"));
+        assert!(parse_serve_line("@x/0 d695 16 2")
             .unwrap_err()
             .contains("generation tag"));
         assert!(parse_serve_line("@5")
@@ -996,7 +1151,13 @@ mod tests {
         assert!(tag.is_none());
         assert!(matches!(line, ServeLine::Stats));
         let (tag, line) = parse_serve_line("@2 stats").unwrap().unwrap();
-        assert_eq!(tag, Some(2));
+        assert_eq!(
+            tag,
+            Some(ServeTag {
+                generation: 2,
+                shard: None
+            })
+        );
         assert!(matches!(line, ServeLine::Stats));
     }
 

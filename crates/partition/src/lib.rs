@@ -65,6 +65,6 @@ pub use crate::evaluate::{
     PruneStats, RankedEvalResult, RankedPartition,
 };
 pub use crate::pipeline::{
-    co_optimize, co_optimize_frontier, co_optimize_top_k, CoOptimization, FinalStep,
-    FrontierResult, PipelineConfig, RankedCoOptimization,
+    co_optimize, co_optimize_frontier, co_optimize_frontier_seeded, co_optimize_top_k,
+    CoOptimization, FinalStep, FrontierResult, PipelineConfig, RankedCoOptimization,
 };

@@ -308,9 +308,12 @@ pub struct FrontierResult {
 ///   [`co_optimize`] calls per width.
 ///
 /// `config.seed_tau` and `config.shared_memo` are ignored (the sweep
-/// manages both internally); `config.parallel.threads` is forced to 1
-/// for the inner scans. The pipeline budget's deadline and cancellation
-/// bound the whole sweep; its node budget applies per width.
+/// manages both internally — to warm-start a sweep from *outside*
+/// knowledge, e.g. a service-layer incumbent cache, use
+/// [`co_optimize_frontier_seeded`]); `config.parallel.threads` is
+/// forced to 1 for the inner scans. The pipeline budget's deadline and
+/// cancellation bound the whole sweep; its node budget applies per
+/// width.
 ///
 /// # Errors
 ///
@@ -322,6 +325,34 @@ pub fn co_optimize_frontier(
     widths: &[u32],
     config: &PipelineConfig,
     sweep_parallel: &ParallelConfig,
+) -> Result<FrontierResult, PartitionError> {
+    co_optimize_frontier_seeded(table, widths, config, sweep_parallel, &[])
+}
+
+/// [`co_optimize_frontier`] warm-started from external knowledge:
+/// `external_seeds` is a set of `(width, soc_time)` pairs, each an SOC
+/// testing time known to be **achievable at its width** (e.g. cached
+/// incumbents from earlier requests on the same SOC). Because testing
+/// time is non-increasing in width, a pair seeds the `τ` bound of every
+/// swept width ≥ its own — so a top-K answer at `(SOC, W)` accelerates a
+/// later frontier over widths `≥ W` without touching any winner
+/// (unreachable seeds fall back to a cold rescan inside the scan, see
+/// [`EvaluateConfig::seed_tau`](crate::EvaluateConfig)).
+///
+/// External seeds combine with the sweep's own narrower-width merging:
+/// each width's scan is seeded with the minimum of both sources, read at
+/// generation barriers on the driver thread — bit-identical results for
+/// every `sweep_parallel.threads` value, with or without seeds.
+///
+/// # Errors
+///
+/// Same as [`co_optimize_frontier`].
+pub fn co_optimize_frontier_seeded(
+    table: &TimeTable,
+    widths: &[u32],
+    config: &PipelineConfig,
+    sweep_parallel: &ParallelConfig,
+    external_seeds: &[(u32, u64)],
 ) -> Result<FrontierResult, PartitionError> {
     let mut widths = widths.to_vec();
     widths.sort_unstable();
@@ -363,8 +394,25 @@ pub fn co_optimize_frontier(
 
     let status = search_generations(
         |_generation, capacity| {
-            let tau = seed.get();
-            pending.by_ref().take(capacity).map(|w| (w, tau)).collect()
+            let merged = seed.get();
+            pending
+                .by_ref()
+                .take(capacity)
+                .map(|w| {
+                    // An external pair seeds every width ≥ its own; the
+                    // tightest applicable bound wins.
+                    let external = external_seeds
+                        .iter()
+                        .filter(|(ew, _)| *ew <= w)
+                        .map(|(_, t)| *t)
+                        .min();
+                    let tau = match (merged, external) {
+                        (Some(m), Some(e)) => Some(m.min(e)),
+                        (m, e) => m.or(e),
+                    };
+                    (w, tau)
+                })
+                .collect()
         },
         &sweep,
         &sweep_budget,
@@ -605,6 +653,60 @@ mod tests {
                 assert_eq!(m.final_step_optimal, s.final_step_optimal);
             }
         }
+    }
+
+    #[test]
+    fn external_seeds_keep_frontier_winners_with_fewer_completions() {
+        let table = d695_table(32);
+        let config = PipelineConfig::up_to_tams(4);
+        let widths = [16, 24, 32];
+        let cold =
+            co_optimize_frontier(&table, &widths, &config, &ParallelConfig::default()).unwrap();
+        // Seed with the narrowest width's own incumbent: achievable at
+        // 16, so it applies to every swept width — including 16 itself,
+        // which the unseeded sweep runs cold.
+        let seed_time = cold.points[0].1.heuristic.soc_time();
+        let seeded = co_optimize_frontier_seeded(
+            &table,
+            &widths,
+            &config,
+            &ParallelConfig::default(),
+            &[(16, seed_time)],
+        )
+        .unwrap();
+        assert_eq!(seeded.points.len(), cold.points.len());
+        for ((w, s), (_, c)) in seeded.points.iter().zip(&cold.points) {
+            assert_eq!(s.tams, c.tams, "W={w}");
+            assert_eq!(s.heuristic, c.heuristic, "W={w}");
+            assert_eq!(s.optimized, c.optimized, "W={w}");
+            assert!(s.stats.completed <= c.stats.completed, "W={w}");
+        }
+        assert!(
+            seeded.points[0].1.stats.completed < cold.points[0].1.stats.completed,
+            "the external seed must save completed evaluations at the width it covers"
+        );
+    }
+
+    #[test]
+    fn external_seeds_never_apply_below_their_own_width() {
+        // A time achieved at width 24 says nothing about width 16 —
+        // the narrower scan must run exactly as if unseeded.
+        let table = d695_table(24);
+        let config = PipelineConfig::up_to_tams(3);
+        let widths = [16, 24];
+        let cold =
+            co_optimize_frontier(&table, &widths, &config, &ParallelConfig::default()).unwrap();
+        let t24 = cold.points[1].1.heuristic.soc_time();
+        let seeded = co_optimize_frontier_seeded(
+            &table,
+            &widths,
+            &config,
+            &ParallelConfig::default(),
+            &[(24, t24)],
+        )
+        .unwrap();
+        assert_eq!(seeded.points[0].1.stats, cold.points[0].1.stats);
+        assert_eq!(seeded.points[0].1.optimized, cold.points[0].1.optimized);
     }
 
     #[test]

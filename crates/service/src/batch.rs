@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use tamopt_engine::{search_generations, CancelHandle, ParallelConfig, SearchBudget};
 use tamopt_partition::pipeline::{
-    co_optimize, co_optimize_frontier, co_optimize_top_k, PipelineConfig,
+    co_optimize, co_optimize_frontier_seeded, co_optimize_top_k, PipelineConfig,
 };
 use tamopt_partition::CoOptimization;
 use tamopt_wrapper::{pareto, TimeTable};
@@ -126,11 +126,14 @@ impl Batch {
     /// Requests are dispatched in priority order (ties keep submission
     /// order), one request per executor chunk: with `threads = N`, up to
     /// `N` requests co-optimize concurrently, and the global budget is
-    /// polled between generations. A generation dispatching exactly
-    /// **one** request (always generation 0 under the ramp, and whenever
-    /// the queue runs low) lets that request borrow the whole pool for
-    /// its inner partition scan — identical results, lower tail latency
-    /// for lone heavy requests. Requests never dispatched because the
+    /// polled between generations. The pool is split proportionally
+    /// across each generation's dispatches — every request's inner
+    /// partition scan runs `max(1, N / generation_width)` wide, so a
+    /// lone request (always generation 0 under the ramp, and whenever
+    /// the queue runs low) borrows the whole pool and idle workers
+    /// never park while siblings scan single-threaded. The split is
+    /// pure execution policy: results are identical for every value.
+    /// Requests never dispatched because the
     /// budget ran out are reported as [`RequestStatus::Skipped`].
     /// Per-request failures (e.g. an infeasible width) are captured as
     /// [`RequestStatus::Failed`] outcomes — they never abort the batch.
@@ -154,19 +157,20 @@ impl Batch {
             chunk_size: 1,
             chunks_per_generation: config.requests_per_generation.max(1),
         };
-        // Nested parallelism: a generation dispatching exactly one
-        // request cannot use the pool width at the request level, so
-        // that lone request borrows the whole pool for its *inner*
-        // partition scan. The inner chunk geometry stays at its default,
-        // so the inner thread count is pure execution policy — results
-        // (and `PruneStats`) are bit-identical whether a request runs
-        // alone on N threads or beside siblings on one.
+        // Nested parallelism: the pool is split *proportionally* across
+        // a generation's dispatched requests — each inner partition scan
+        // runs on `max(1, pool / generation_width)` threads, so a lone
+        // request borrows the whole pool and two requests on an
+        // 8-thread pool each scan 4-wide. The inner chunk geometry
+        // stays at its default, so the inner thread count is pure
+        // execution policy — results (and `PruneStats`) are
+        // bit-identical for every split.
         let pool_width = parallel.effective_threads();
         let mut cursor = order.iter().copied();
         search_generations(
             |_generation, capacity| {
                 let picked: Vec<usize> = cursor.by_ref().take(capacity).collect();
-                let inner_threads = if picked.len() == 1 { pool_width } else { 1 };
+                let inner_threads = (pool_width / picked.len().max(1)).max(1);
                 picked
                     .into_iter()
                     .map(|index| (index, inner_threads))
@@ -183,7 +187,7 @@ impl Batch {
                             run_request(
                                 &self.entries[index].request,
                                 &inner_global,
-                                None,
+                                &WarmSeed::default(),
                                 inner_threads,
                             ),
                         )
@@ -230,6 +234,7 @@ impl Batch {
                 let request = &entry.request;
                 RequestOutcome {
                     index,
+                    shard: None,
                     soc: request.soc.name().to_owned(),
                     width: request.width,
                     min_tams: request.min_tams,
@@ -282,22 +287,36 @@ impl RequestResult {
     }
 }
 
+/// Warm-start material resolved from an incumbent cache at dispatch
+/// (see [`crate::LiveQueue`]). Purely work-saving: seeds never change a
+/// winner, and an empty seed is a cold start.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WarmSeed {
+    /// The tightest cached SOC time applicable at the request's own
+    /// width — the step-1 `τ` seed of point and top-K scans.
+    pub(crate) tau: Option<u64>,
+    /// Cached `(width, soc_time)` pairs for frontier sweeps: each time
+    /// was achieved at its width, so it seeds every swept width ≥ it
+    /// (see [`co_optimize_frontier_seeded`]). Empty for other kinds.
+    pub(crate) frontier: Vec<(u32, u64)>,
+}
+
 /// Runs one request under the intersection of its own budget and the
 /// batch-global deadline/cancellation, optionally warm-started with a
-/// `seed_tau` bound (see [`crate::LiveQueue`]'s incumbent cache).
+/// [`WarmSeed`] (see [`crate::LiveQueue`]'s incumbent cache).
 ///
 /// `inner_threads` is the thread count of the request's inner partition
-/// scan: `1` when the request runs beside siblings (its pool worker *is*
-/// the parallelism), the pool width when it runs alone in its generation
-/// (nested parallelism). The inner chunk geometry never changes, so the
-/// result is bit-identical for every `inner_threads` value — an unseeded
-/// point result matches a standalone `co_optimize` run bit for bit. For
-/// a frontier request `inner_threads` instead widens the *sweep* (the
-/// per-width scans are sequential by design), equally result-invariant.
+/// scan — the request's proportional share of the pool,
+/// `max(1, pool / generation_width)`. The inner chunk geometry never
+/// changes, so the result is bit-identical for every `inner_threads`
+/// value — an unseeded point result matches a standalone `co_optimize`
+/// run bit for bit. For a frontier request `inner_threads` instead
+/// widens the *sweep* (the per-width scans are sequential by design),
+/// equally result-invariant.
 pub(crate) fn run_request(
     request: &Request,
     global: &SearchBudget,
-    seed_tau: Option<u64>,
+    seed: &WarmSeed,
     inner_threads: usize,
 ) -> Result<RequestResult, String> {
     let table = TimeTable::new(&request.soc, request.width).map_err(|e| e.to_string())?;
@@ -305,7 +324,7 @@ pub(crate) fn run_request(
         min_tams: request.min_tams,
         max_tams: request.max_tams,
         budget: request.budget.intersect(global),
-        seed_tau,
+        seed_tau: seed.tau,
         parallel: ParallelConfig::with_threads(inner_threads.max(1)),
         ..PipelineConfig::up_to_tams(request.max_tams)
     };
@@ -359,8 +378,9 @@ pub(crate) fn run_request(
             }
             let widths: Vec<u32> = (min_width..=max_width).step_by(step as usize).collect();
             let sweep = ParallelConfig::with_threads(inner_threads.max(1));
-            let frontier = co_optimize_frontier(&table, &widths, &pipeline, &sweep)
-                .map_err(|e| e.to_string())?;
+            let frontier =
+                co_optimize_frontier_seeded(&table, &widths, &pipeline, &sweep, &seed.frontier)
+                    .map_err(|e| e.to_string())?;
             if frontier.points.is_empty() {
                 // Unreachable under the engine's always-run-generation-0
                 // guarantee, but a frontier outcome must have a headline.

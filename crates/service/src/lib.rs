@@ -31,14 +31,21 @@
 //!   long-running daemon: non-blocking [`LiveQueue::submit`] while
 //!   requests execute, re-prioritization at every generation barrier,
 //!   streamed outcomes, deterministic [`Trace`] replay and a warm-start
-//!   incumbent cache across requests on the same SOC.
+//!   incumbent cache across requests on the same SOC;
+//! * a [`ShardedQueue`] (module [`shard`]) scales the daemon out to `N`
+//!   independent queue shards routed by SOC fingerprint hash with
+//!   deterministic work stealing, one warm cache shared by all shards,
+//!   shard-stamped outcomes and a sharded [`ShardTrace`] replay
+//!   preserving the bit-identity contract.
 //!
 //! # Determinism
 //!
 //! The batch schedule (dispatch order, generation geometry) is fixed by
 //! the request list and [`BatchConfig::requests_per_generation`] — never
 //! by [`BatchConfig::threads`]. Each request's inner partition scan runs
-//! single-threaded on its worker with the default chunk geometry, so a
+//! on its proportional share of the pool
+//! (`max(1, threads / generation_width)`) with the default chunk
+//! geometry; the inner thread count is pure execution policy, so a
 //! request's result inside a batch is bit-identical to a standalone
 //! [`co_optimize`](tamopt_partition::co_optimize) run, and the whole
 //! report (minus wall-clock fields) is bit-identical across thread
@@ -74,6 +81,7 @@ mod batch;
 pub mod live;
 mod report;
 mod request;
+pub mod shard;
 
 pub use crate::batch::{run_batch, Batch, BatchConfig};
 pub use crate::live::{
@@ -82,3 +90,4 @@ pub use crate::live::{
 };
 pub use crate::report::{BatchReport, RequestOutcome, RequestStatus, ResultEntry, WIRE_VERSION};
 pub use crate::request::{Request, RequestError, RequestKind};
+pub use crate::shard::{ShardStats, ShardTrace, ShardedQueue, ShardedStats, STEAL_MARGIN};

@@ -28,14 +28,23 @@
 //!
 //! # Warm starts
 //!
-//! The queue keeps a per-queue incumbent cache keyed by
+//! The queue keeps an incumbent cache keyed by
 //! [`Soc::fingerprint`](tamopt_soc::Soc::fingerprint): when a request
 //! arrives for an SOC seen before
 //! (at a width ≥ the cached one, with the cached TAM count inside the new
 //! request's range), its step-1 scan is seeded with the cached heuristic
-//! time — same winner, strictly fewer completed evaluations. Cache reads
-//! happen at dispatch and writes at merge, both on the dispatcher thread
-//! at generation barriers, so warm starts never break trace determinism.
+//! time — same winner, strictly fewer completed evaluations. Every
+//! completed request feeds the cache its **whole** payload: all `k`
+//! incumbents of a top-K answer and every swept width of a frontier,
+//! each a valid architecture at its own width. Consumption is
+//! kind-aware too — a frontier sweep picks up every transferable
+//! `(width, time)` pair and seeds each swept width with the pairs at or
+//! below it, so a `topk:K` answer at `(SOC, W)` accelerates a later
+//! frontier covering widths ≥ W. Cache reads happen at dispatch and
+//! writes at merge, both on the dispatcher thread at generation
+//! barriers, so warm starts never break trace determinism; queues
+//! sharded behind a [`crate::ShardedQueue`] share one cache across
+//! shards.
 
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -45,7 +54,7 @@ use std::time::{Duration, Instant};
 
 use tamopt_engine::{search_generations, CancelHandle, ParallelConfig, SearchBudget};
 
-use crate::batch::run_request;
+use crate::batch::{run_request, WarmSeed};
 use crate::report::{json_string, BatchReport, RequestOutcome, RequestStatus};
 use crate::request::RequestKind;
 use crate::Request;
@@ -244,9 +253,10 @@ struct Dispatch {
     request: Request,
     handle: CancelHandle,
     fingerprint: u64,
-    seed: Option<u64>,
-    /// Thread count for the request's inner partition scan: the pool
-    /// width when the request is alone in its generation, else 1.
+    seed: WarmSeed,
+    /// Thread count for the request's inner partition scan: its
+    /// proportional share of the pool,
+    /// `max(1, pool / generation_width)`.
     inner_threads: usize,
 }
 
@@ -277,10 +287,12 @@ fn lock(shared: &Shared) -> std::sync::MutexGuard<'_, State> {
     shared.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// The per-queue incumbent cache: best known heuristic times per SOC
-/// fingerprint, indexed by the width and TAM count that achieved them.
+/// The incumbent cache: best known heuristic times per SOC fingerprint,
+/// indexed by the width and TAM count that achieved them. Owned by one
+/// queue's dispatcher, or shared across the shards of a
+/// [`crate::ShardedQueue`] (see [`SharedWarmCache`]).
 #[derive(Debug, Default)]
-struct WarmCache {
+pub(crate) struct WarmCache {
     entries: HashMap<u64, Vec<WarmEntry>>,
 }
 
@@ -290,6 +302,12 @@ struct WarmEntry {
     tams: u32,
     time: u64,
 }
+
+/// A warm cache shareable across queues. Reads happen at dispatch and
+/// writes at merge, both at generation barriers on a dispatcher thread;
+/// the mutex is a leaf lock (never held across another lock), so
+/// cross-shard sharing cannot deadlock.
+pub(crate) type SharedWarmCache = Arc<Mutex<WarmCache>>;
 
 impl WarmCache {
     /// The tightest applicable seed for `request`: a cached time is
@@ -305,6 +323,27 @@ impl WarmCache {
             })
             .map(|e| e.time)
             .min()
+    }
+
+    /// Every transferable `(width, time)` pair for a frontier request:
+    /// cached times at widths ≤ the sweep maximum with TAM counts inside
+    /// the request's range, collapsed to the best time per width and
+    /// sorted by width — each pair seeds the swept widths ≥ its own (see
+    /// [`tamopt_partition::co_optimize_frontier_seeded`]).
+    fn frontier_seeds(&self, fingerprint: u64, request: &Request) -> Vec<(u32, u64)> {
+        let Some(entries) = self.entries.get(&fingerprint) else {
+            return Vec::new();
+        };
+        let mut best: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for e in entries {
+            if e.width <= request.width && request.min_tams <= e.tams && e.tams <= request.max_tams
+            {
+                best.entry(e.width)
+                    .and_modify(|t| *t = (*t).min(e.time))
+                    .or_insert(e.time);
+            }
+        }
+        best.into_iter().collect()
     }
 
     fn record(&mut self, fingerprint: u64, width: u32, tams: u32, time: u64) {
@@ -324,7 +363,7 @@ impl WarmCache {
 /// because both the barrier hook and the merge closure need it — they
 /// run at disjoint times on the dispatcher thread.
 struct Book {
-    cache: WarmCache,
+    cache: SharedWarmCache,
     outcomes: Vec<RequestOutcome>,
     stream: Sender<RequestOutcome>,
 }
@@ -343,6 +382,7 @@ impl Book {
 fn bare_outcome(id: usize, request: &Request, status: RequestStatus) -> RequestOutcome {
     RequestOutcome {
         index: id,
+        shard: None,
         soc: request.soc.name().to_owned(),
         width: request.width,
         min_tams: request.min_tams,
@@ -459,7 +499,13 @@ impl LiveQueue {
     /// Starts the queue: spawns the dispatcher thread, which owns the
     /// worker pool until [`shutdown`](Self::shutdown).
     pub fn start(config: LiveConfig) -> Self {
-        Self::launch(config, None)
+        Self::launch(config, None, SharedWarmCache::default())
+    }
+
+    /// Starts the queue with a warm cache shared with other queues —
+    /// the shard entry point of [`crate::ShardedQueue`].
+    pub(crate) fn start_with_cache(config: LiveConfig, cache: SharedWarmCache) -> Self {
+        Self::launch(config, None, cache)
     }
 
     /// Replays a fixed submission trace and returns the streamed
@@ -470,7 +516,19 @@ impl LiveQueue {
     /// wall-clock fields aside. The queue shuts down by itself once the
     /// trace is exhausted and the backlog drained.
     pub fn replay(trace: Trace, config: LiveConfig) -> (Vec<RequestOutcome>, BatchReport) {
-        let queue = Self::launch(config, Some(trace.events.into()));
+        Self::replay_with_cache(trace, config, SharedWarmCache::default())
+    }
+
+    /// [`replay`](Self::replay) with a warm cache carried in from (and
+    /// back out to) the caller — the shard replay entry point of
+    /// [`crate::ShardedQueue`], which replays its shards sequentially
+    /// over one cache so cross-shard warm sharing stays deterministic.
+    pub(crate) fn replay_with_cache(
+        trace: Trace,
+        config: LiveConfig,
+        cache: SharedWarmCache,
+    ) -> (Vec<RequestOutcome>, BatchReport) {
+        let queue = Self::launch(config, Some(trace.events.into()), cache);
         let mut stream = Vec::new();
         while let Some(outcome) = queue.recv_outcome() {
             stream.push(outcome);
@@ -479,14 +537,18 @@ impl LiveQueue {
         (stream, report)
     }
 
-    fn launch(config: LiveConfig, replay: Option<VecDeque<TraceEvent>>) -> Self {
+    fn launch(
+        config: LiveConfig,
+        replay: Option<VecDeque<TraceEvent>>,
+        cache: SharedWarmCache,
+    ) -> Self {
         let shared = Arc::new(Shared::default());
         let (tx, rx) = std::sync::mpsc::channel();
         let aging = config.aging;
         let dispatcher_shared = Arc::clone(&shared);
         let dispatcher = std::thread::Builder::new()
             .name("tamopt-live-dispatcher".to_owned())
-            .spawn(move || dispatch(&dispatcher_shared, &config, replay, tx))
+            .spawn(move || dispatch(&dispatcher_shared, &config, replay, cache, tx))
             .expect("spawning the dispatcher thread");
         LiveQueue {
             shared,
@@ -648,6 +710,7 @@ fn dispatch(
     shared: &Shared,
     config: &LiveConfig,
     mut replay: Option<VecDeque<TraceEvent>>,
+    cache: SharedWarmCache,
     stream: Sender<RequestOutcome>,
 ) -> BatchReport {
     let start = Instant::now();
@@ -661,7 +724,7 @@ fn dispatch(
     // carry into the requests themselves.
     let inner_global = config.budget.clone().without_node_budget();
     let book = RefCell::new(Book {
-        cache: WarmCache::default(),
+        cache,
         outcomes: Vec::new(),
         stream,
     });
@@ -758,17 +821,31 @@ fn dispatch(
             )
         });
         let take = capacity.min(state.pending.len());
-        // A lone request borrows the whole pool for its inner scan
-        // (thread-count-invariant inner geometry: identical results).
-        let inner_threads = if take == 1 { pool_width } else { 1 };
+        // The pool splits proportionally across the generation's
+        // dispatches: each inner scan runs `max(1, pool / take)` wide,
+        // so a lone request borrows the whole pool and siblings share
+        // it evenly (thread-count-invariant inner geometry: identical
+        // results and `PruneStats` for every split).
+        let inner_threads = (pool_width / take.max(1)).max(1);
         state
             .pending
             .drain(..take)
             .map(|p| {
                 let seed = if config.warm_start {
-                    book.cache.seed_for(p.fingerprint, &p.request)
+                    let cache = book.cache.lock().unwrap_or_else(PoisonError::into_inner);
+                    WarmSeed {
+                        tau: cache.seed_for(p.fingerprint, &p.request),
+                        // A frontier consumes the cache per width: every
+                        // transferable pair seeds the swept widths ≥ it.
+                        frontier: match p.request.kind {
+                            RequestKind::Frontier { .. } => {
+                                cache.frontier_seeds(p.fingerprint, &p.request)
+                            }
+                            _ => Vec::new(),
+                        },
+                    }
                 } else {
-                    None
+                    WarmSeed::default()
                 };
                 Dispatch {
                     id: p.id,
@@ -793,7 +870,7 @@ fn dispatch(
                     let result = run_request(
                         &dispatch.request,
                         &inner_global,
-                        dispatch.seed,
+                        &dispatch.seed,
                         dispatch.inner_threads,
                     );
                     (dispatch, result)
@@ -810,9 +887,12 @@ fn dispatch(
                         if config.warm_start {
                             // Every entry is a valid architecture at its
                             // own width — a frontier or top-k request
-                            // warms the cache across its whole payload.
+                            // warms the cache across its whole payload
+                            // (all K incumbents, not just the headline).
+                            let mut cache =
+                                book.cache.lock().unwrap_or_else(PoisonError::into_inner);
                             for entry in &res.entries {
-                                book.cache.record(
+                                cache.record(
                                     dispatch.fingerprint,
                                     entry.width,
                                     entry.result.tams.len() as u32,

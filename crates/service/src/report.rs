@@ -75,6 +75,11 @@ pub struct ResultEntry {
 pub struct RequestOutcome {
     /// Submission index within the batch.
     pub index: usize,
+    /// The shard that executed the request, when it ran behind a
+    /// [`crate::ShardedQueue`]. `None` for plain batches and unsharded
+    /// queues — and then absent from the JSON renderings, so all
+    /// unsharded output is byte-identical to earlier wire versions.
+    pub shard: Option<usize>,
     /// Name of the request's SOC.
     pub soc: String,
     /// Requested total TAM width.
@@ -122,12 +127,14 @@ impl RequestOutcome {
     /// describe [`RequestOutcome::result`].
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(160);
+        let _ = write!(out, "{{\"v\": {}, \"id\": {}", WIRE_VERSION, self.index);
+        if let Some(shard) = self.shard {
+            let _ = write!(out, ", \"shard\": {shard}");
+        }
         let _ = write!(
             out,
-            "{{\"v\": {}, \"id\": {}, \"soc\": {}, \"width\": {}, \"min_tams\": {}, \
+            ", \"soc\": {}, \"width\": {}, \"min_tams\": {}, \
              \"max_tams\": {}, \"priority\": {}, \"kind\": {}, \"status\": {}",
-            WIRE_VERSION,
-            self.index,
             json_string(&self.soc),
             self.width,
             self.min_tams,
@@ -236,6 +243,9 @@ impl BatchReport {
 fn write_outcome(out: &mut String, outcome: &RequestOutcome, comma: &str) {
     out.push_str("    {\n");
     let _ = writeln!(out, "      \"index\": {},", outcome.index);
+    if let Some(shard) = outcome.shard {
+        let _ = writeln!(out, "      \"shard\": {shard},");
+    }
     let _ = writeln!(out, "      \"soc\": {},", json_string(&outcome.soc));
     let _ = writeln!(out, "      \"width\": {},", outcome.width);
     let _ = writeln!(out, "      \"min_tams\": {},", outcome.min_tams);
@@ -387,6 +397,7 @@ mod tests {
     fn json_lines_are_compact_and_wall_clock_free() {
         let outcome = RequestOutcome {
             index: 3,
+            shard: None,
             soc: "d695".to_owned(),
             width: 16,
             min_tams: 1,
@@ -406,6 +417,17 @@ mod tests {
         assert!(line.contains("\"kind\": \"point\""));
         assert!(line.contains("\"status\": \"skipped\""));
         assert!(!line.contains("wall_clock"));
+        assert!(!line.contains("shard"), "unsharded lines carry no stamp");
+        let sharded = RequestOutcome {
+            shard: Some(2),
+            ..outcome.clone()
+        };
+        assert!(
+            sharded
+                .to_json_line()
+                .starts_with("{\"v\": 1, \"id\": 3, \"shard\": 2, "),
+            "the shard stamp follows the id"
+        );
         let failed = RequestOutcome {
             status: RequestStatus::Failed,
             error: Some("zero width".to_owned()),

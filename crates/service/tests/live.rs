@@ -163,6 +163,136 @@ fn duplicate_soc_warm_hit_beats_cold_miss() {
 }
 
 #[test]
+fn top_k_results_seed_later_point_queries() {
+    // A topk:3 answer feeds the warm cache; a later point query on the
+    // same (SOC, W) seeds its τ bound from the best incumbent —
+    // identical winner, strictly fewer completed evaluations.
+    let trace = || {
+        Trace::new()
+            .submit_at(
+                0,
+                Request::new(benchmarks::d695(), 32)
+                    .unwrap()
+                    .max_tams(6)
+                    .top_k(3),
+            )
+            .submit_at(0, Request::new(benchmarks::d695(), 32).unwrap().max_tams(6))
+    };
+    let (_, warm) = LiveQueue::replay(trace(), LiveConfig::default());
+    let (_, cold) = LiveQueue::replay(
+        trace(),
+        LiveConfig {
+            warm_start: false,
+            ..LiveConfig::default()
+        },
+    );
+    let warm_point = warm.outcomes[1].result.as_ref().unwrap();
+    let cold_point = cold.outcomes[1].result.as_ref().unwrap();
+    assert_eq!(warm_point.tams, cold_point.tams, "identical winner");
+    assert_eq!(warm_point.optimized, cold_point.optimized);
+    assert!(
+        warm_point.stats.completed < cold_point.stats.completed,
+        "a topk-then-point trace must warm-hit: {:?} vs {:?}",
+        warm_point.stats,
+        cold_point.stats
+    );
+}
+
+#[test]
+fn all_top_k_incumbents_feed_the_warm_cache_not_just_the_headline() {
+    // At (d695, W=32, ≤6 TAMs) the three best architectures use 5, 5
+    // and 4 TAMs. A later point query restricted to ≤4 TAMs can only be
+    // seeded by the *rank-3* incumbent — the headline winner is outside
+    // its TAM range — so a warm hit here proves the cache records every
+    // incumbent of a top-K result, not only the best one.
+    let trace = || {
+        Trace::new()
+            .submit_at(
+                0,
+                Request::new(benchmarks::d695(), 32)
+                    .unwrap()
+                    .max_tams(6)
+                    .top_k(3),
+            )
+            .submit_at(0, Request::new(benchmarks::d695(), 32).unwrap().max_tams(4))
+    };
+    let (_, warm) = LiveQueue::replay(trace(), LiveConfig::default());
+    let (_, cold) = LiveQueue::replay(
+        trace(),
+        LiveConfig {
+            warm_start: false,
+            ..LiveConfig::default()
+        },
+    );
+    // Precondition of the scenario: the topk winner really is out of
+    // the follow-up's range while a lower rank fits.
+    let ranked = &warm.outcomes[0].results;
+    assert!(
+        ranked[0].result.tams.len() > 4 && ranked.iter().any(|e| e.result.tams.len() <= 4),
+        "scenario broken: ranked TAM counts {:?}",
+        ranked
+            .iter()
+            .map(|e| e.result.tams.len())
+            .collect::<Vec<_>>()
+    );
+    let warm_point = warm.outcomes[1].result.as_ref().unwrap();
+    let cold_point = cold.outcomes[1].result.as_ref().unwrap();
+    assert_eq!(warm_point.tams, cold_point.tams, "identical winner");
+    assert_eq!(warm_point.optimized, cold_point.optimized);
+    assert!(
+        warm_point.stats.completed < cold_point.stats.completed,
+        "the non-headline incumbent must seed: {:?} vs {:?}",
+        warm_point.stats,
+        cold_point.stats
+    );
+}
+
+#[test]
+fn top_k_results_seed_later_frontier_sweeps() {
+    // A topk answer at (SOC, W) seeds a later Pareto sweep over widths
+    // ≤ W: the incumbents bound the swept width they were found at —
+    // identical frontier, strictly fewer completed evaluations.
+    let trace = || {
+        Trace::new()
+            .submit_at(
+                0,
+                Request::new(benchmarks::d695(), 32)
+                    .unwrap()
+                    .max_tams(6)
+                    .top_k(3),
+            )
+            .submit_at(
+                0,
+                Request::new(benchmarks::d695(), 32)
+                    .unwrap()
+                    .max_tams(6)
+                    .frontier(8..=32, 8),
+            )
+    };
+    let (_, warm) = LiveQueue::replay(trace(), LiveConfig::default());
+    let (_, cold) = LiveQueue::replay(
+        trace(),
+        LiveConfig {
+            warm_start: false,
+            ..LiveConfig::default()
+        },
+    );
+    let (warm_sweep, cold_sweep) = (&warm.outcomes[1].results, &cold.outcomes[1].results);
+    assert_eq!(warm_sweep.len(), cold_sweep.len());
+    for (a, b) in warm_sweep.iter().zip(cold_sweep) {
+        assert_eq!(a.width, b.width);
+        assert_eq!(a.result.tams, b.result.tams, "width {}", a.width);
+        assert_eq!(a.result.optimized, b.result.optimized, "width {}", a.width);
+    }
+    let warm_stats = &warm.outcomes[1].result.as_ref().unwrap().stats;
+    let cold_stats = &cold.outcomes[1].result.as_ref().unwrap().stats;
+    assert!(
+        warm_stats.completed < cold_stats.completed,
+        "seeded sweep must prune: {warm_stats:?} vs {cold_stats:?}"
+    );
+}
+
+#[test]
 fn warm_start_transfers_across_widths() {
     // Same SOC at a larger width: the cached W=24 time seeds the W=32
     // scan (widening a TAM never slows a core, so the bound transfers).

@@ -1,0 +1,61 @@
+//! Property-based test of proportional nested parallelism: splitting
+//! the batch worker pool across a generation's dispatched requests
+//! (`inner_threads = max(1, pool / generation_width)`) is pure
+//! execution policy — for random request mixes, the full report
+//! (winners, testing times, prune counters, statuses) is bit-identical
+//! to running every inner scan single-threaded.
+
+use proptest::prelude::*;
+use tamopt_service::{run_batch, BatchConfig, Request};
+use tamopt_soc::benchmarks;
+
+/// One random request on the d695 benchmark: small widths keep a case
+/// to a few partition scans while still exercising multi-TAM splits.
+fn arb_request() -> impl Strategy<Value = Request> {
+    (0usize..=2, 2u32..=3, 0u32..=4, 0usize..=2).prop_map(
+        |(width_index, max_tams, priority, kind)| {
+            let width = [8u32, 16, 24][width_index];
+            let request = Request::new(benchmarks::d695(), width)
+                .unwrap()
+                .max_tams(max_tams)
+                .priority(priority as i32 - 2);
+            match kind {
+                1 => request.top_k(2),
+                2 => request.frontier(8..=width, 8),
+                _ => request,
+            }
+        },
+    )
+}
+
+/// The comparison key: the full report minus its wall-clock lines.
+fn stable_report(requests: Vec<Request>, threads: usize) -> String {
+    let config = BatchConfig {
+        threads,
+        ..BatchConfig::default()
+    };
+    run_batch(requests, &config)
+        .to_json()
+        .lines()
+        .filter(|line| !line.contains("wall_clock"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+proptest! {
+    // Each case runs every request twice through real partition scans:
+    // a handful of cases is plenty, and widths are kept small above.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// An 8-thread pool split proportionally over generations of 2–4
+    /// requests (inner widths 2–4) reports byte-identically to a
+    /// single-threaded pool (inner width always 1).
+    #[test]
+    fn proportional_split_never_changes_winners_or_prune_counters(
+        requests in proptest::collection::vec(arb_request(), 2..=4)
+    ) {
+        let single = stable_report(requests.clone(), 1);
+        let split = stable_report(requests, 8);
+        prop_assert_eq!(single, split);
+    }
+}
