@@ -7,8 +7,8 @@
 SHELL := /bin/bash
 
 .PHONY: all build test verify doc-gate determinism serve-determinism \
-        shard-determinism alloc-gate bench-smoke bench-json bench-compare \
-        msrv-check lint fmt clean
+        shard-determinism store-determinism fuzz-smoke alloc-gate \
+        bench-smoke bench-json bench-compare msrv-check lint fmt clean
 
 all: build test lint
 
@@ -41,9 +41,19 @@ msrv-check:
 	  || { echo "MSRV drift: Cargo.toml says $$msrv but the ci.yml matrix disagrees"; exit 1; }; \
 	echo "MSRV $$msrv in sync with CI"
 
+# --- CI job: fuzz-smoke -----------------------------------------------------
+
+# A deterministic slice of the continuous fuzzer (examples/fuzz.rs) over
+# all four untrusted input surfaces: the batch-manifest grammar, the
+# serve line protocol, the ITC'02 parser and the store file format.
+# Failing inputs land in fuzz-failures/. The nightly fuzzer workflow
+# (.github/workflows/fuzzer.yml) runs the same harness at scale.
+fuzz-smoke:
+	cargo run --release --example fuzz -- --iters 500 --seed 1
+
 # --- CI job: determinism ----------------------------------------------------
 
-determinism: serve-determinism shard-determinism
+determinism: serve-determinism shard-determinism store-determinism
 	cargo test --release -p tamopt_partition --test determinism
 	cargo test --release -p tamopt_rail --test determinism
 	cargo test --release -p tamopt_service --test batch
@@ -99,6 +109,28 @@ shard-determinism:
 	  | grep -v wall_clock > /tmp/shard_t4.txt; \
 	diff /tmp/shard_t1.txt /tmp/shard_t4.txt
 
+# Warm-store gate: the store crate suite (format, crash safety, the
+# committed v1 upgrade fixture), the service-level store suite
+# (identical winners + strictly fewer completed evaluations, restart
+# resume, replay-grid byte-identity against a pre-populated store), and
+# an end-to-end CLI diff: populate a store once, then replay the trace
+# at threads 1 vs 4 against byte copies of it (each run mutates its own
+# copy at shutdown) — byte-identical streams within the warm condition.
+store-determinism:
+	cargo test --release -p tamopt_store
+	cargo test --release -p tamopt_service --test store
+	cargo build --release -p tamopt
+	set -o pipefail; \
+	./target/release/tamopt serve --threads 1 --store /tmp/seed.tamstore \
+	  < examples/serve.trace > /dev/null; \
+	cp /tmp/seed.tamstore /tmp/warm_t1.tamstore; \
+	cp /tmp/seed.tamstore /tmp/warm_t4.tamstore; \
+	./target/release/tamopt serve --threads 1 --store /tmp/warm_t1.tamstore \
+	  < examples/serve.trace | grep -v wall_clock > /tmp/serve_warm_t1.txt; \
+	./target/release/tamopt serve --threads 4 --store /tmp/warm_t4.tamstore \
+	  < examples/serve.trace | grep -v wall_clock > /tmp/serve_warm_t4.txt; \
+	diff /tmp/serve_warm_t1.txt /tmp/serve_warm_t4.txt
+
 # --- CI job: bench-smoke ----------------------------------------------------
 
 bench-smoke:
@@ -110,7 +142,8 @@ bench-json:
 	rm -rf target/criterion
 	cargo bench -p tamopt_bench \
 	  --bench bench_parallel --bench bench_scan --bench bench_batch \
-	  --bench bench_serve --bench bench_topk --bench bench_shard
+	  --bench bench_serve --bench bench_topk --bench bench_shard \
+	  --bench bench_store
 	cargo run --release -p tamopt_bench --bin bench_json -- \
 	  --prefix parallel_ --out BENCH_parallel.json
 	cargo run --release -p tamopt_bench --bin bench_json -- \
@@ -123,12 +156,14 @@ bench-json:
 	  --prefix topk_ --out BENCH_topk.json
 	cargo run --release -p tamopt_bench --bin bench_json -- \
 	  --prefix shard_ --out BENCH_shard.json
+	cargo run --release -p tamopt_bench --bin bench_json -- \
+	  --prefix store_ --out BENCH_store.json
 
 # Perf-regression comparator (warn-only, mirrors the CI step): put the
 # previous run's exports under baseline/ and compare. Missing baselines
 # pass cleanly.
 bench-compare:
-	for family in parallel scan batch serve topk shard; do \
+	for family in parallel scan batch serve topk shard store; do \
 	  cargo run --release -p tamopt_bench --bin bench_json -- \
 	    --compare baseline/BENCH_$${family}.json BENCH_$${family}.json \
 	    --threshold 15 || exit 1; \

@@ -1,0 +1,127 @@
+//! Value of the persistent warm-start store: the same eight-submission
+//! trace replayed cold (fresh process, empty cache) versus warm from a
+//! pre-populated store file, as a restarted daemon would run it.
+//!
+//! The determinism contract is asserted before any timing: the
+//! warm-from-store replay must produce identical winners (testing
+//! time, TAM partition, core assignment) to the cold one, while
+//! completing strictly fewer partition evaluations — the store may
+//! only ever remove work, never change a result. (The full outcome
+//! lines differ by design: the prune counters record the saved work.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tamopt::benchmarks;
+use tamopt::service::{LiveConfig, LiveQueue, Request, RequestOutcome, StoreBinding, Trace};
+use tamopt::store::{Store, StoreConfig};
+
+fn store_trace() -> Trace {
+    Trace::new()
+        .submit_at(0, Request::new(benchmarks::d695(), 32).unwrap().max_tams(6))
+        .submit_at(
+            0,
+            Request::new(benchmarks::p31108(), 32).unwrap().max_tams(4),
+        )
+        .submit_at(0, Request::new(benchmarks::d695(), 48).unwrap().max_tams(6))
+        .submit_at(
+            0,
+            Request::new(benchmarks::p31108(), 24).unwrap().max_tams(3),
+        )
+        .submit_at(0, Request::new(benchmarks::d695(), 24).unwrap().max_tams(4))
+        .submit_at(
+            0,
+            Request::new(benchmarks::p31108(), 16).unwrap().max_tams(2),
+        )
+        .submit_at(1, Request::new(benchmarks::d695(), 16).unwrap().max_tams(2))
+        .submit_at(2, Request::new(benchmarks::d695(), 32).unwrap().max_tams(6))
+}
+
+/// The winner-stable portion of a replay: each outcome's wire line up
+/// to (but excluding) its `"stats"` object — testing time, TAM
+/// partition and core assignment included, the prune counters (which
+/// legitimately shrink under a warm start) excluded.
+fn winners(stream: &[RequestOutcome]) -> Vec<String> {
+    stream
+        .iter()
+        .map(|o| {
+            let line = o.to_json_line();
+            line.split("\"stats\"").next().unwrap_or(&line).to_owned()
+        })
+        .collect()
+}
+
+fn total_completed(stream: &[RequestOutcome]) -> u64 {
+    stream
+        .iter()
+        .filter_map(|o| o.result.as_ref())
+        .map(|co| co.stats.completed)
+        .sum()
+}
+
+fn bench_store_replay(c: &mut Criterion) {
+    // Populate a store file once, through the same path a daemon uses:
+    // replay with an attached binding, snapshot at shutdown.
+    let path = std::env::temp_dir().join(format!(
+        "tamopt_bench_store_{}.tamstore",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let mut populate = LiveConfig::with_threads(1);
+    populate.store = Some(StoreBinding::new(
+        Store::open(&path, StoreConfig::default()).unwrap(),
+    ));
+    let (populate_stream, _) = LiveQueue::replay(store_trace(), populate);
+    let bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    // Each warm run opens its own in-memory copy of the persisted
+    // bytes, exactly what a restarted daemon reads off disk.
+    let warm_config = |bytes: &[u8]| {
+        let mut config = LiveConfig::with_threads(1);
+        config.store = Some(StoreBinding::new(
+            Store::from_bytes(bytes, StoreConfig::default()).unwrap(),
+        ));
+        config
+    };
+
+    // Identical-winners + strictly-less-work gates before timing
+    // anything, against a true cold run (no store, fresh cache).
+    let (cold_stream, _) = LiveQueue::replay(store_trace(), LiveConfig::with_threads(1));
+    let (warm_stream, _) = LiveQueue::replay(store_trace(), warm_config(&bytes));
+    assert_eq!(
+        winners(&warm_stream),
+        winners(&cold_stream),
+        "warm-from-store replay must produce identical winners"
+    );
+    assert_eq!(winners(&populate_stream), winners(&cold_stream));
+    assert!(
+        total_completed(&warm_stream) < total_completed(&cold_stream),
+        "warm-from-store replay must complete strictly fewer evaluations \
+         (cold {}, warm {})",
+        total_completed(&cold_stream),
+        total_completed(&warm_stream)
+    );
+
+    let mut group = c.benchmark_group("store_replay");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            black_box(LiveQueue::replay(
+                black_box(store_trace()),
+                LiveConfig::with_threads(1),
+            ))
+        })
+    });
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            black_box(LiveQueue::replay(
+                black_box(store_trace()),
+                warm_config(&bytes),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_replay);
+criterion_main!(benches);

@@ -9,10 +9,11 @@
 //!          [--analyze] [--gantt] [--svg <out.svg>] [--rail]
 //!
 //!   tamopt batch <manifest> [--threads <N>] [--time-limit <seconds>]
-//!                [--out <report.json>]
+//!                [--out <report.json>] [--store <file.tamstore>]
 //!
 //!   tamopt serve [--threads <N>] [--time-limit <seconds>]
 //!                [--no-warm-start] [--aging <rate>]
+//!                [--store <file.tamstore>]
 //! ```
 //!
 //! Examples:
@@ -48,21 +49,27 @@
 //! or `@3 cancel 1`): the queue replays it, and the full stdout —
 //! stream and report, minus `wall_clock*` lines — is byte-identical for
 //! every `--threads` value.
+//!
+//! `--store <file.tamstore>` attaches the persistent warm-start store
+//! (see [`tamopt::store`]) to `batch` and `serve`: incumbents and
+//! compressed cost tables survive across runs, so a restarted daemon
+//! finds the same winners with strictly less work. Only one process
+//! may hold a store at a time (a sidecar lock file enforces this).
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use tamopt::analysis::UtilizationReport;
-use tamopt::cli::{parse_threads, parse_time_limit};
+use tamopt::cli::{parse_manifest, parse_serve_line, parse_threads, parse_time_limit, ServeLine};
 use tamopt::cost::{BusCost, GateWeights};
-use tamopt::engine::SearchBudget;
 use tamopt::rail::{design_rails, RailConfig, RailCostModel};
 use tamopt::schedule::TestSchedule;
 use tamopt::service::{
-    BatchConfig, LiveConfig, LiveQueue, Request, RequestKind, RequestStatus, ShardTrace,
-    ShardedQueue, Trace, WIRE_VERSION,
+    BatchConfig, LiveConfig, LiveQueue, Request, RequestStatus, ShardTrace, ShardedQueue,
+    StoreBinding, Trace, WIRE_VERSION,
 };
 use tamopt::soc::format::parse_soc;
+use tamopt::store::{Store, StoreConfig};
 use tamopt::{benchmarks, CoOptimizer, Soc, Strategy};
 
 #[derive(Debug)]
@@ -178,11 +185,12 @@ struct BatchArgs {
     threads: usize,
     time_limit: Option<Duration>,
     out: Option<String>,
+    store: Option<String>,
 }
 
 fn batch_usage() -> &'static str {
     "usage: tamopt batch <manifest> [--threads <N, 0 = all CPUs>] \
-     [--time-limit <seconds>] [--out <report.json>]\n\
+     [--time-limit <seconds>] [--out <report.json>] [--store <file.tamstore>]\n\
      manifest lines: <soc> <width> <max-tams> \
      [min-tams=N] [priority=P] [time-limit=S] [node-budget=N] \
      [kind=point|topk:K|frontier:LO..HI:STEP]"
@@ -193,6 +201,7 @@ fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs,
     let mut threads = 1usize;
     let mut time_limit = None;
     let mut out = None;
+    let mut store = None;
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
             argv.next()
@@ -202,6 +211,7 @@ fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs,
             "--threads" => threads = parse_threads(&value("--threads")?)?,
             "--time-limit" => time_limit = Some(parse_time_limit(&value("--time-limit")?)?),
             "--out" => out = Some(value("--out")?),
+            "--store" => store = Some(value("--store")?),
             "--help" | "-h" => return Err(batch_usage().to_owned()),
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`\n{}", batch_usage()))
@@ -216,86 +226,21 @@ fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs,
         threads,
         time_limit,
         out,
+        store,
     })
 }
 
-/// Parses one request line — `<soc> <width> <max-tams> [key=value]…` —
-/// shared by the batch manifest and the serve protocol.
-fn parse_request_line(line: &str) -> Result<Request, String> {
-    let mut fields = line.split_whitespace();
-    let soc_name = fields.next().ok_or_else(|| "empty request".to_owned())?;
-    let width: u32 = fields
-        .next()
-        .ok_or_else(|| "missing <width>".to_owned())?
-        .parse()
-        .map_err(|_| "invalid <width>".to_owned())?;
-    let max_tams: u32 = fields
-        .next()
-        .ok_or_else(|| "missing <max-tams>".to_owned())?
-        .parse()
-        .map_err(|_| "invalid <max-tams>".to_owned())?;
-    let soc = load_soc(soc_name)?;
-    let mut request = Request::new(soc, width)
-        .map_err(|e| e.to_string())?
-        .max_tams(max_tams);
-    for option in fields {
-        let (key, value) = option
-            .split_once('=')
-            .ok_or_else(|| format!("expected key=value, got `{option}`"))?;
-        request = match key {
-            "min-tams" => request.min_tams(
-                value
-                    .parse()
-                    .map_err(|_| "invalid min-tams value".to_owned())?,
-            ),
-            "priority" => request.priority(
-                value
-                    .parse()
-                    .map_err(|_| "invalid priority value".to_owned())?,
-            ),
-            "time-limit" => request.time_limit(parse_time_limit(value)?),
-            "node-budget" => {
-                let nodes: u64 = value
-                    .parse()
-                    .map_err(|_| "invalid node-budget value".to_owned())?;
-                request.budget(SearchBudget::node_limited(nodes))
-            }
-            "kind" => {
-                let kind: RequestKind = value.parse().map_err(|e| format!("{e}"))?;
-                if let RequestKind::Frontier { max_width, .. } = kind {
-                    // The positional <width> sizes the shared time
-                    // table; a mismatched sweep maximum would silently
-                    // re-size it, so demand they agree.
-                    if max_width != width {
-                        return Err(format!(
-                            "frontier maximum {max_width} must equal the request width {width}"
-                        ));
-                    }
-                }
-                request.kind(kind)
-            }
-            other => return Err(format!("unknown option `{other}`")),
-        };
+/// Opens the persistent warm-start store behind `--store`, reporting
+/// recovery warnings (corrupt or old-layout files open as what could be
+/// salvaged) on stderr. Hard failures — a held lock, a future format
+/// version, I/O errors — abort the run.
+fn open_store(path: &str) -> Result<StoreBinding, String> {
+    let store = Store::open(path, StoreConfig::default())
+        .map_err(|e| format!("cannot open store `{path}`: {e}"))?;
+    for warning in store.warnings() {
+        eprintln!("tamopt: store `{path}`: {warning}");
     }
-    Ok(request)
-}
-
-/// Parses a request manifest: one request per line, `#` comments.
-fn parse_manifest(text: &str) -> Result<Vec<Request>, String> {
-    let mut requests = Vec::new();
-    for (number, line) in text.lines().enumerate() {
-        let line = line.split('#').next().unwrap_or_default().trim();
-        if line.is_empty() {
-            continue;
-        }
-        let request = parse_request_line(line)
-            .map_err(|message| format!("manifest line {}: {message}", number + 1))?;
-        requests.push(request);
-    }
-    if requests.is_empty() {
-        return Err("manifest contains no requests".to_owned());
-    }
-    Ok(requests)
+    Ok(StoreBinding::new(store))
 }
 
 fn batch_main(argv: impl Iterator<Item = String>) -> ExitCode {
@@ -313,7 +258,7 @@ fn batch_main(argv: impl Iterator<Item = String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let requests = match parse_manifest(&text) {
+    let requests = match parse_manifest(&text, &load_soc) {
         Ok(r) => r,
         Err(msg) => {
             eprintln!("{msg}");
@@ -323,6 +268,15 @@ fn batch_main(argv: impl Iterator<Item = String>) -> ExitCode {
     let mut config = BatchConfig::with_threads(args.threads);
     if let Some(limit) = args.time_limit {
         config = config.time_limit(limit);
+    }
+    if let Some(path) = &args.store {
+        config.store = match open_store(path) {
+            Ok(binding) => Some(binding),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
     }
     let report = CoOptimizer::batch(requests, &config);
     let json = report.to_json();
@@ -353,11 +307,13 @@ struct ServeArgs {
     /// `n = 1`, whose outcomes carry shard stamps); `None` keeps the
     /// single-queue daemon with its byte-identical legacy output.
     shards: Option<usize>,
+    store: Option<String>,
 }
 
 fn serve_usage() -> &'static str {
     "usage: tamopt serve [--threads <N per shard, 0 = all CPUs>] [--time-limit <seconds>] \
-     [--no-warm-start] [--aging <rate, 0 = strict priorities>] [--shards <N>]\n\
+     [--no-warm-start] [--aging <rate, 0 = strict priorities>] [--shards <N>] \
+     [--store <file.tamstore>]\n\
      stdin lines: <soc> <width> <max-tams> [min-tams=N] [priority=P] \
      [time-limit=S] [node-budget=N] [kind=point|topk:K|frontier:LO..HI:STEP]  \
      |  cancel <id>  |  stats (live mode only)\n\
@@ -371,6 +327,7 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
     let mut warm_start = true;
     let mut aging = 0u32;
     let mut shards = None;
+    let mut store = None;
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
             argv.next()
@@ -394,6 +351,7 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
                 }
                 shards = Some(n);
             }
+            "--store" => store = Some(value("--store")?),
             "--help" | "-h" => return Err(serve_usage().to_owned()),
             other => return Err(format!("unknown argument `{other}`\n{}", serve_usage())),
         }
@@ -404,70 +362,8 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
         warm_start,
         aging,
         shards,
+        store,
     })
-}
-
-/// One directive of the serve protocol.
-#[derive(Debug)]
-enum ServeLine {
-    Submit(Request),
-    Cancel(usize),
-    /// Dump a deterministic JSON snapshot of the backlog (live mode
-    /// only — a replayed trace has no interactive observer to serve).
-    Stats,
-}
-
-/// The `@<generation>[/<shard>]` prefix of a trace line: the generation
-/// barrier the event applies at, plus an optional explicit shard pin
-/// (valid only under `--shards`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ServeTag {
-    generation: u32,
-    shard: Option<usize>,
-}
-
-/// Parses one serve stdin line into an optional [`ServeTag`] and a
-/// directive; comments and blank lines yield `None`.
-fn parse_serve_line(raw: &str) -> Result<Option<(Option<ServeTag>, ServeLine)>, String> {
-    let line = raw.split('#').next().unwrap_or_default().trim();
-    if line.is_empty() {
-        return Ok(None);
-    }
-    let (tag, rest) = match line.strip_prefix('@') {
-        Some(tagged) => {
-            let (tag, rest) = tagged
-                .split_once(char::is_whitespace)
-                .ok_or_else(|| "missing directive after @<generation>".to_owned())?;
-            let (generation, shard) = match tag.split_once('/') {
-                Some((generation, shard)) => {
-                    let shard: usize = shard
-                        .parse()
-                        .map_err(|_| format!("invalid shard tag `@{tag}`"))?;
-                    (generation, Some(shard))
-                }
-                None => (tag, None),
-            };
-            let generation: u32 = generation
-                .parse()
-                .map_err(|_| format!("invalid generation tag `@{tag}`"))?;
-            (Some(ServeTag { generation, shard }), rest.trim())
-        }
-        None => (None, line),
-    };
-    if rest == "stats" {
-        return Ok(Some((tag, ServeLine::Stats)));
-    }
-    let directive = match rest.strip_prefix("cancel") {
-        Some(id) if id.starts_with(char::is_whitespace) => {
-            let id: usize = id
-                .trim()
-                .parse()
-                .map_err(|_| format!("invalid cancel id `{}`", id.trim()))?;
-            ServeLine::Cancel(id)
-        }
-        _ => ServeLine::Submit(parse_request_line(rest)?),
-    };
-    Ok(Some((tag, directive)))
 }
 
 /// The live daemon behind `tamopt serve`: one flat queue or N
@@ -537,6 +433,15 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
     if let Some(limit) = args.time_limit {
         config = config.time_limit(limit);
     }
+    if let Some(path) = &args.store {
+        config.store = match open_store(path) {
+            Ok(binding) => Some(binding),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
 
     // Announce the wire protocol before any outcome streams: consumers
     // (and the replay comparator) key their parsing off this version.
@@ -559,7 +464,7 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
-                match parse_serve_line(&line) {
+                match parse_serve_line(&line, &load_soc) {
                     Ok(None) => continue,
                     Ok(Some(directive)) => break Some((number, directive)),
                     Err(msg) => {
@@ -595,7 +500,7 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
-                match parse_serve_line(&line) {
+                match parse_serve_line(&line, &load_soc) {
                     Ok(None) => {}
                     Ok(Some((_, ServeLine::Stats))) => {
                         eprintln!(
@@ -706,7 +611,7 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
                             break;
                         }
                     };
-                    match parse_serve_line(&line) {
+                    match parse_serve_line(&line, &load_soc) {
                         Ok(None) => {}
                         Ok(Some((None, directive))) => {
                             apply(number, directive, &mut parse_errors);
@@ -986,8 +891,11 @@ mod tests {
         assert_eq!(a.threads, 4);
         assert_eq!(a.time_limit, Some(Duration::from_secs(2)));
         assert!(a.out.is_none());
+        assert!(a.store.is_none(), "persistence is opt-in");
         let b = batch_args(&["jobs.manifest", "--out", "report.json"]).unwrap();
         assert_eq!(b.out.as_deref(), Some("report.json"));
+        let c = batch_args(&["jobs.manifest", "--store", "warm.tamstore"]).unwrap();
+        assert_eq!(c.store.as_deref(), Some("warm.tamstore"));
     }
 
     #[test]
@@ -996,26 +904,7 @@ mod tests {
         assert!(batch_args(&["a", "b"]).is_err(), "two positionals");
         assert!(batch_args(&["a", "--frobnicate"]).is_err());
         assert!(batch_args(&["a", "--threads", "x"]).is_err());
-    }
-
-    #[test]
-    fn parses_a_manifest() {
-        let requests = parse_manifest(
-            "# comment\n\
-             d695   32 6\n\
-             \n\
-             p31108 32 4 priority=1 min-tams=2  # trailing comment\n\
-             d695   16 2 node-budget=100\n",
-        )
-        .unwrap();
-        assert_eq!(requests.len(), 3);
-        assert_eq!(requests[0].width, 32);
-        assert_eq!(requests[0].max_tams, 6);
-        assert_eq!(requests[0].priority, 0);
-        assert_eq!(requests[1].soc.name(), "p31108");
-        assert_eq!(requests[1].priority, 1);
-        assert_eq!(requests[1].min_tams, 2);
-        assert_eq!(requests[2].budget.node_budget(), Some(100));
+        assert!(batch_args(&["a", "--store"]).is_err(), "missing value");
     }
 
     #[test]
@@ -1051,130 +940,24 @@ mod tests {
                 .contains("at least 1")
         );
         assert!(parse_serve_args(["--shards", "x"].iter().map(|s| s.to_string())).is_err());
+        let d =
+            parse_serve_args(["--store", "warm.tamstore"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(d.store.as_deref(), Some("warm.tamstore"));
+        assert!(a.store.is_none(), "persistence is opt-in");
+        assert!(parse_serve_args(["--store".to_string()].into_iter()).is_err());
     }
 
-    #[test]
-    fn parses_serve_lines() {
-        assert!(parse_serve_line("# comment").unwrap().is_none());
-        assert!(parse_serve_line("   ").unwrap().is_none());
-        let (tag, line) = parse_serve_line("d695 32 6 priority=2").unwrap().unwrap();
-        assert!(tag.is_none());
-        match line {
-            ServeLine::Submit(request) => {
-                assert_eq!(request.width, 32);
-                assert_eq!(request.priority, 2);
-            }
-            other => panic!("expected a submit, got {other:?}"),
-        }
-        let (tag, line) = parse_serve_line("@3 cancel 7 # trailing").unwrap().unwrap();
-        assert_eq!(
-            tag,
-            Some(ServeTag {
-                generation: 3,
-                shard: None
-            })
-        );
-        assert!(matches!(line, ServeLine::Cancel(7)));
-        let (tag, _) = parse_serve_line("@0 d695 16 2").unwrap().unwrap();
-        assert_eq!(
-            tag,
-            Some(ServeTag {
-                generation: 0,
-                shard: None
-            })
-        );
-        let (tag, line) = parse_serve_line("@2/1 d695 16 2").unwrap().unwrap();
-        assert_eq!(
-            tag,
-            Some(ServeTag {
-                generation: 2,
-                shard: Some(1)
-            })
-        );
-        assert!(matches!(line, ServeLine::Submit(_)));
-    }
+    // The request-line / manifest / serve-protocol grammars are parsed
+    // (and tested) in `tamopt::cli`; the binary only supplies the
+    // filesystem-aware SOC resolver, covered by `load_soc_knows_benchmarks`
+    // and the manifest test below.
 
     #[test]
-    fn serve_line_errors_are_precise() {
-        assert!(parse_serve_line("@x d695 16 2")
-            .unwrap_err()
-            .contains("generation tag"));
-        assert!(parse_serve_line("@1/x d695 16 2")
-            .unwrap_err()
-            .contains("shard tag"));
-        assert!(parse_serve_line("@x/0 d695 16 2")
-            .unwrap_err()
-            .contains("generation tag"));
-        assert!(parse_serve_line("@5")
-            .unwrap_err()
-            .contains("missing directive"));
-        assert!(parse_serve_line("cancel seven")
-            .unwrap_err()
-            .contains("invalid cancel id"));
-        assert!(parse_serve_line("d695 16")
-            .unwrap_err()
-            .contains("max-tams"));
-        // `cancel` with no id falls through to request parsing and
-        // errors there (no SOC named `cancel`).
-        assert!(parse_serve_line("cancel").is_err());
-    }
-
-    #[test]
-    fn parses_kinds_in_request_lines() {
-        let r = parse_request_line("d695 32 6 kind=topk:4").unwrap();
-        assert_eq!(r.kind, RequestKind::TopK { k: 4 });
-        let r = parse_request_line("d695 64 6 kind=frontier:16..64:8").unwrap();
-        assert_eq!(
-            r.kind,
-            RequestKind::Frontier {
-                min_width: 16,
-                max_width: 64,
-                step: 8
-            }
-        );
-        assert_eq!(r.width, 64);
-        // The sweep maximum must agree with the positional width.
-        assert!(parse_request_line("d695 32 6 kind=frontier:16..64:8")
-            .unwrap_err()
-            .contains("must equal"));
-        assert!(parse_request_line("d695 32 6 kind=topk:0").is_err());
-        assert!(parse_request_line("d695 32 6 kind=bogus").is_err());
-        // Width 0 is rejected at request construction now.
-        assert!(parse_request_line("d695 0 6")
-            .unwrap_err()
-            .contains("width"));
-    }
-
-    #[test]
-    fn parses_stats_lines() {
-        let (tag, line) = parse_serve_line("stats  # comment").unwrap().unwrap();
-        assert!(tag.is_none());
-        assert!(matches!(line, ServeLine::Stats));
-        let (tag, line) = parse_serve_line("@2 stats").unwrap().unwrap();
-        assert_eq!(
-            tag,
-            Some(ServeTag {
-                generation: 2,
-                shard: None
-            })
-        );
-        assert!(matches!(line, ServeLine::Stats));
-    }
-
-    #[test]
-    fn manifest_errors_name_the_line() {
-        assert!(parse_manifest("").unwrap_err().contains("no requests"));
-        assert!(parse_manifest("d695\n").unwrap_err().contains("line 1"));
-        assert!(parse_manifest("d695 32\n")
-            .unwrap_err()
-            .contains("max-tams"));
-        assert!(parse_manifest("d695 32 4 bogus\n")
-            .unwrap_err()
-            .contains("key=value"));
-        assert!(parse_manifest("d695 32 4 zoom=1\n")
-            .unwrap_err()
-            .contains("unknown option"));
-        assert!(parse_manifest("nope.soc 32 4\n")
+    fn manifest_resolves_through_load_soc() {
+        let requests = parse_manifest("d695 32 6\np93791 64 8\n", &load_soc).unwrap();
+        assert_eq!(requests.len(), 2);
+        assert_eq!(requests[1].soc.name(), "p93791");
+        assert!(parse_manifest("nope.soc 32 4\n", &load_soc)
             .unwrap_err()
             .contains("line 1"));
     }

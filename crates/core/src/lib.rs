@@ -45,6 +45,7 @@
 //! | [`partition`] | `Partition_evaluate`, exhaustive baseline, pipeline | *P_PAW*, *P_NPAW* |
 //! | [`engine`] | deterministic parallel executor, `SearchBudget`, shared `τ` | — |
 //! | [`service`] | batched + live multi-SOC request queues on one worker pool | extension |
+//! | [`store`] | persistent, versioned, crash-safe warm-start store | extension |
 //! | [`lp`], [`ilp`] | simplex + branch-and-bound substrate (lpsolve stand-in) | — |
 //! | [`rail`] | TestRail (daisy-chain) model of the paper's ref [11] | extension |
 //! | [`analysis`] | idle-wire / utilization metrics behind the paper's motivation | extension |
@@ -117,6 +118,15 @@ pub mod engine {
 /// [`CoOptimizer::batch`] and [`CoOptimizer::serve`].
 pub mod service {
     pub use tamopt_service::*;
+}
+
+/// Persistent, versioned, crash-safe warm-start store: incumbents and
+/// compressed cost tables per SOC fingerprint, surviving restarts
+/// behind the service layer's warm cache (re-export of
+/// [`tamopt_store`]). Attach one via [`service::StoreBinding`] /
+/// `tamopt serve --store` / `tamopt batch --store`.
+pub mod store {
+    pub use tamopt_store::*;
 }
 
 /// Linear programming substrate (re-export of [`tamopt_lp`]).

@@ -1,5 +1,6 @@
 //! The batch queue and its pool-driven executor.
 
+use std::cell::RefCell;
 use std::time::Instant;
 
 use tamopt_engine::{search_generations, CancelHandle, ParallelConfig, SearchBudget};
@@ -7,8 +8,10 @@ use tamopt_partition::pipeline::{
     co_optimize, co_optimize_frontier_seeded, co_optimize_top_k, PipelineConfig,
 };
 use tamopt_partition::CoOptimization;
+use tamopt_store::CostColumns;
 use tamopt_wrapper::{pareto, TimeTable};
 
+use crate::live::{StoreBinding, WarmCache};
 use crate::report::{BatchReport, RequestOutcome, RequestStatus, ResultEntry};
 use crate::request::RequestKind;
 use crate::Request;
@@ -33,6 +36,12 @@ pub struct BatchConfig {
     /// requests run under a tight budget, but never any request's
     /// result.
     pub requests_per_generation: usize,
+    /// Optional persistent warm-start store. When set, the batch seeds
+    /// every request from the store's incumbents (work-saving only —
+    /// winners are unaffected), records what it finds back, and saves
+    /// the store once at the end of the run. `None` (the default) keeps
+    /// batches fully cold and side-effect-free.
+    pub store: Option<StoreBinding>,
 }
 
 impl Default for BatchConfig {
@@ -41,6 +50,7 @@ impl Default for BatchConfig {
             budget: SearchBudget::unlimited(),
             threads: 1,
             requests_per_generation: 8,
+            store: None,
         }
     }
 }
@@ -166,42 +176,99 @@ impl Batch {
         // execution policy — results (and `PruneStats`) are
         // bit-identical for every split.
         let pool_width = parallel.effective_threads();
+        // Warm starts, only with a store attached: seeds resolve from a
+        // run-local cache preloaded with the store's incumbents (on this
+        // thread, at generation boundaries — deterministic for every
+        // thread count), and everything merged feeds both tiers. A
+        // storeless batch stays bit-for-bit the classic cold run.
+        let store = config.store.as_ref();
+        let fingerprints: Vec<u64> = self
+            .entries
+            .iter()
+            .map(|e| e.request.soc.fingerprint())
+            .collect();
+        let cache = RefCell::new(WarmCache::default());
+        if let Some(binding) = store {
+            let mut warm = cache.borrow_mut();
+            for (fingerprint, entry) in binding.contents() {
+                warm.adopt(fingerprint, entry);
+            }
+        }
+        struct BatchDispatch {
+            index: usize,
+            seed: WarmSeed,
+            want_columns: bool,
+            inner_threads: usize,
+        }
         let mut cursor = order.iter().copied();
         search_generations(
             |_generation, capacity| {
                 let picked: Vec<usize> = cursor.by_ref().take(capacity).collect();
                 let inner_threads = (pool_width / picked.len().max(1)).max(1);
+                let mut warm = cache.borrow_mut();
                 picked
                     .into_iter()
-                    .map(|index| (index, inner_threads))
-                    .collect::<Vec<(usize, usize)>>()
+                    .map(|index| {
+                        let request = &self.entries[index].request;
+                        let seed = if store.is_some() {
+                            warm.seed(fingerprints[index], request)
+                        } else {
+                            WarmSeed::default()
+                        };
+                        BatchDispatch {
+                            index,
+                            want_columns: store.is_some() && seed.table.is_none(),
+                            seed,
+                            inner_threads,
+                        }
+                    })
+                    .collect::<Vec<BatchDispatch>>()
             },
             &parallel,
             &config.budget,
-            |_base, chunk: Vec<(usize, usize)>| -> Result<_, std::convert::Infallible> {
+            |_base, chunk: Vec<BatchDispatch>| -> Result<_, std::convert::Infallible> {
                 Ok(chunk
                     .into_iter()
-                    .map(|(index, inner_threads)| {
-                        (
-                            index,
-                            run_request(
-                                &self.entries[index].request,
-                                &inner_global,
-                                &WarmSeed::default(),
-                                inner_threads,
-                            ),
-                        )
+                    .map(|d| {
+                        let result = run_request(
+                            &self.entries[d.index].request,
+                            &inner_global,
+                            &d.seed,
+                            d.inner_threads,
+                            d.want_columns,
+                        );
+                        (d.index, result)
                     })
                     .collect::<Vec<_>>())
             },
             |chunk| {
                 for (index, outcome) in chunk {
+                    if let (Some(binding), Ok(res)) = (store, &outcome) {
+                        let fingerprint = fingerprints[index];
+                        let mut warm = cache.borrow_mut();
+                        for entry in &res.entries {
+                            warm.record(
+                                fingerprint,
+                                entry.width,
+                                entry.result.tams.len() as u32,
+                                entry.result.heuristic.soc_time(),
+                            );
+                        }
+                        if let Some(columns) = &res.columns {
+                            warm.record_columns(fingerprint, columns.clone());
+                        }
+                        drop(warm);
+                        binding.record(fingerprint, &res.entries, &res.columns);
+                    }
                     slots[index] = Some(outcome);
                 }
                 Ok(())
             },
         )
         .expect("request failures are captured per request");
+        if let Some(binding) = store {
+            binding.snapshot();
+        }
 
         let outcomes: Vec<RequestOutcome> = self
             .entries
@@ -269,6 +336,10 @@ pub(crate) struct RequestResult {
     pub(crate) entries: Vec<ResultEntry>,
     /// Whether every entry's scan ran to completion.
     pub(crate) complete: bool,
+    /// The request's cost table, compressed for the warm cache — only
+    /// when the dispatch asked for it (warm starts on and no table was
+    /// cached for this SOC yet).
+    pub(crate) columns: Option<CostColumns>,
 }
 
 impl RequestResult {
@@ -299,6 +370,12 @@ pub(crate) struct WarmSeed {
     /// was achieved at its width, so it seeds every swept width ≥ it
     /// (see [`co_optimize_frontier_seeded`]). Empty for other kinds.
     pub(crate) frontier: Vec<(u32, u64)>,
+    /// A ready-made cost table covering the request's width, expanded
+    /// from cached [`CostColumns`]. Bit-identical to building the table
+    /// from the SOC (each wrapper design depends only on its own width),
+    /// so serving it skips per-core wrapper construction without
+    /// touching any result.
+    pub(crate) table: Option<TimeTable>,
 }
 
 /// Runs one request under the intersection of its own budget and the
@@ -318,8 +395,13 @@ pub(crate) fn run_request(
     global: &SearchBudget,
     seed: &WarmSeed,
     inner_threads: usize,
+    want_columns: bool,
 ) -> Result<RequestResult, String> {
-    let table = TimeTable::new(&request.soc, request.width).map_err(|e| e.to_string())?;
+    let table = match &seed.table {
+        Some(table) => table.clone(),
+        None => TimeTable::new(&request.soc, request.width).map_err(|e| e.to_string())?,
+    };
+    let columns = want_columns.then(|| CostColumns::from_table(&table));
     let pipeline = PipelineConfig {
         min_tams: request.min_tams,
         max_tams: request.max_tams,
@@ -338,6 +420,7 @@ pub(crate) fn run_request(
                     result: co,
                     lower_bound: None,
                 }],
+                columns,
             })
         }
         RequestKind::TopK { k } => {
@@ -354,6 +437,7 @@ pub(crate) fn run_request(
                         lower_bound: None,
                     })
                     .collect(),
+                columns,
             })
         }
         RequestKind::Frontier {
@@ -397,6 +481,7 @@ pub(crate) fn run_request(
                         result: co,
                     })
                     .collect(),
+                columns,
             })
         }
     }

@@ -36,7 +36,15 @@
 //!   independent queue shards routed by SOC fingerprint hash with
 //!   deterministic work stealing, one warm cache shared by all shards,
 //!   shard-stamped outcomes and a sharded [`ShardTrace`] replay
-//!   preserving the bit-identity contract.
+//!   preserving the bit-identity contract;
+//! * a [`StoreBinding`] attaches a persistent, versioned, crash-safe
+//!   [`tamopt_store`] warm-start store behind the in-memory cache: the
+//!   queue preloads from it at start, feeds it at every merge and
+//!   snapshots it at generation barriers and shutdown, so incumbents
+//!   (and compressed cost tables) survive restarts. Store hits are
+//!   work-saving only — every winner is bit-identical to a cold run's;
+//!   the prune statistics just record less work (strictly fewer
+//!   completed evaluations once a seed prunes anything).
 //!
 //! # Determinism
 //!
@@ -85,8 +93,8 @@ pub mod shard;
 
 pub use crate::batch::{run_batch, Batch, BatchConfig};
 pub use crate::live::{
-    LiveConfig, LiveQueue, PendingStat, QueueStats, RequestId, SubmitError, Trace, TraceAction,
-    TraceEvent,
+    LiveConfig, LiveQueue, PendingStat, QueueStats, RequestId, StoreBinding, SubmitError, Trace,
+    TraceAction, TraceEvent, DEFAULT_SNAPSHOT_EVERY, DEFAULT_WARM_CAPACITY,
 };
 pub use crate::report::{BatchReport, RequestOutcome, RequestStatus, ResultEntry, WIRE_VERSION};
 pub use crate::request::{Request, RequestError, RequestKind};

@@ -53,6 +53,8 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use tamopt_engine::{search_generations, CancelHandle, ParallelConfig, SearchBudget};
+use tamopt_store::{CostColumns, SharedStore, Store, StoredEntry};
+use tamopt_wrapper::TimeTable;
 
 use crate::batch::{run_request, WarmSeed};
 use crate::report::{json_string, BatchReport, RequestOutcome, RequestStatus};
@@ -87,6 +89,105 @@ pub struct LiveConfig {
     /// eventually out-prioritizes new arrivals. `0` (the default)
     /// preserves strict priority order.
     pub aging: u32,
+    /// Entry cap of the in-memory warm cache: at most this many SOC
+    /// fingerprints are kept, evicting the least recently used first
+    /// (`0` = unbounded). Eviction only forgets work-saving seeds — it
+    /// never changes a winner — so a long-running daemon's memory stays
+    /// bounded without touching the determinism contract.
+    pub warm_capacity: usize,
+    /// Optional persistent backing tier for the warm cache (see
+    /// [`StoreBinding`] and [`tamopt_store`]): loaded into the cache at
+    /// start, fed at every merge, snapshotted at generation barriers
+    /// and at shutdown.
+    pub store: Option<StoreBinding>,
+}
+
+/// Default [`LiveConfig::warm_capacity`]: fingerprints cached before
+/// LRU eviction starts.
+pub const DEFAULT_WARM_CAPACITY: usize = 1024;
+
+/// Default [`StoreBinding::snapshot_every`]: generation barriers
+/// between persistent snapshots of a dirty store.
+pub const DEFAULT_SNAPSHOT_EVERY: u32 = 32;
+
+/// A persistent warm-start store attached to a queue (the `--store`
+/// flag of `tamopt serve` / `tamopt batch`).
+///
+/// The dispatcher preloads the in-memory cache from the store at
+/// start, records every merged incumbent (and freshly computed cost
+/// columns) into both tiers, and calls [`Store::save`] when the store
+/// is dirty — every `snapshot_every` generation barriers and once at
+/// shutdown. Sharded queues clone the binding per shard; the
+/// [`SharedStore`] mutex is a leaf lock, so cross-shard recording
+/// cannot deadlock. Store contents only ever *seed* searches: a
+/// pre-populated store changes completed-evaluation counts, never
+/// winners, and replayed traces stay byte-identical across thread and
+/// shard counts for any fixed starting store.
+#[derive(Debug, Clone)]
+pub struct StoreBinding {
+    /// The shared store handle.
+    pub store: SharedStore,
+    /// Generation barriers between snapshots of a dirty store
+    /// (`0` = save only at shutdown).
+    pub snapshot_every: u32,
+}
+
+impl StoreBinding {
+    /// Wraps an opened [`Store`] with the default snapshot cadence.
+    pub fn new(store: Store) -> Self {
+        StoreBinding {
+            store: Arc::new(Mutex::new(store)),
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Store> {
+        self.store.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Saves the store if it is dirty, demoting failures to a stderr
+    /// warning — persistence is an accelerator, never worth failing a
+    /// request over.
+    pub(crate) fn snapshot(&self) {
+        let mut store = self.lock();
+        if store.is_dirty() {
+            if let Err(e) = store.save() {
+                eprintln!("tamopt: warm-store snapshot failed: {e}");
+            }
+        }
+    }
+
+    /// A recency-ordered copy of the store contents, for preloading a
+    /// cache without holding the store lock while the cache lock is
+    /// taken (both stay leaf locks).
+    pub(crate) fn contents(&self) -> Vec<(u64, StoredEntry)> {
+        self.lock()
+            .iter()
+            .map(|(fingerprint, entry)| (fingerprint, entry.clone()))
+            .collect()
+    }
+
+    /// Records a merged request's payload — every incumbent entry and
+    /// any freshly computed cost columns — into the persistent tier.
+    pub(crate) fn record(
+        &self,
+        fingerprint: u64,
+        entries: &[crate::report::ResultEntry],
+        columns: &Option<CostColumns>,
+    ) {
+        let mut store = self.lock();
+        for entry in entries {
+            store.record_incumbent(
+                fingerprint,
+                entry.width,
+                entry.result.tams.len() as u32,
+                entry.result.heuristic.soc_time(),
+            );
+        }
+        if let Some(columns) = columns {
+            store.record_columns(fingerprint, columns.clone());
+        }
+    }
 }
 
 impl Default for LiveConfig {
@@ -97,6 +198,8 @@ impl Default for LiveConfig {
             requests_per_generation: 8,
             warm_start: true,
             aging: 0,
+            warm_capacity: DEFAULT_WARM_CAPACITY,
+            store: None,
         }
     }
 }
@@ -254,6 +357,10 @@ struct Dispatch {
     handle: CancelHandle,
     fingerprint: u64,
     seed: WarmSeed,
+    /// Whether the worker should return compressed cost columns for the
+    /// warm cache — set when warm starts are on and the cache could not
+    /// serve a ready-made table for this SOC.
+    want_columns: bool,
     /// Thread count for the request's inner partition scan: its
     /// proportional share of the pool,
     /// `max(1, pool / generation_width)`.
@@ -288,12 +395,29 @@ fn lock(shared: &Shared) -> std::sync::MutexGuard<'_, State> {
 }
 
 /// The incumbent cache: best known heuristic times per SOC fingerprint,
-/// indexed by the width and TAM count that achieved them. Owned by one
+/// indexed by the width and TAM count that achieved them, plus the
+/// SOC's compressed cost table once one has been computed. Owned by one
 /// queue's dispatcher, or shared across the shards of a
-/// [`crate::ShardedQueue`] (see [`SharedWarmCache`]).
+/// [`crate::ShardedQueue`] (see [`SharedWarmCache`]). Bounded by an
+/// LRU-by-fingerprint entry cap ([`LiveConfig::warm_capacity`]): every
+/// dispatch-time read and merge-time write touches the fingerprint's
+/// recency, both on the dispatcher thread at generation barriers, so
+/// eviction order is deterministic under trace replay — and eviction
+/// only ever forgets seeds, never results.
 #[derive(Debug, Default)]
 pub(crate) struct WarmCache {
-    entries: HashMap<u64, Vec<WarmEntry>>,
+    slots: HashMap<u64, CacheSlot>,
+    /// Logical recency clock; bumped on every touch.
+    clock: u64,
+    /// Max fingerprints kept (`0` = unbounded).
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheSlot {
+    entries: Vec<WarmEntry>,
+    columns: Option<CostColumns>,
+    last_used: u64,
 }
 
 #[derive(Debug)]
@@ -310,13 +434,58 @@ struct WarmEntry {
 pub(crate) type SharedWarmCache = Arc<Mutex<WarmCache>>;
 
 impl WarmCache {
+    /// An empty cache evicting beyond `capacity` fingerprints
+    /// (`0` = unbounded).
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        WarmCache {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// [`with_capacity`](Self::with_capacity), shared.
+    pub(crate) fn shared(capacity: usize) -> SharedWarmCache {
+        Arc::new(Mutex::new(Self::with_capacity(capacity)))
+    }
+
+    fn touch(&mut self, fingerprint: u64) -> Option<&CacheSlot> {
+        let slot = self.slots.get_mut(&fingerprint)?;
+        self.clock += 1;
+        slot.last_used = self.clock;
+        Some(slot)
+    }
+
+    fn slot_mut(&mut self, fingerprint: u64) -> &mut CacheSlot {
+        self.clock += 1;
+        let clock = self.clock;
+        let slot = self.slots.entry(fingerprint).or_default();
+        slot.last_used = clock;
+        slot
+    }
+
+    fn evict_over_cap(&mut self) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.slots.len() > self.capacity {
+            let victim = self
+                .slots
+                .iter()
+                .map(|(fingerprint, slot)| (slot.last_used, *fingerprint))
+                .min()
+                .expect("len > capacity >= 1")
+                .1;
+            self.slots.remove(&victim);
+        }
+    }
+
     /// The tightest applicable seed for `request`: a cached time is
     /// transferable when it was achieved at a width ≤ the request's
     /// (widening a TAM never slows a core) by a TAM count inside the
     /// request's range (so the widened partition is enumerable here).
-    fn seed_for(&self, fingerprint: u64, request: &Request) -> Option<u64> {
-        self.entries
-            .get(&fingerprint)?
+    fn seed_for(&mut self, fingerprint: u64, request: &Request) -> Option<u64> {
+        self.touch(fingerprint)?
+            .entries
             .iter()
             .filter(|e| {
                 e.width <= request.width && request.min_tams <= e.tams && e.tams <= request.max_tams
@@ -330,12 +499,12 @@ impl WarmCache {
     /// the request's range, collapsed to the best time per width and
     /// sorted by width — each pair seeds the swept widths ≥ its own (see
     /// [`tamopt_partition::co_optimize_frontier_seeded`]).
-    fn frontier_seeds(&self, fingerprint: u64, request: &Request) -> Vec<(u32, u64)> {
-        let Some(entries) = self.entries.get(&fingerprint) else {
+    fn frontier_seeds(&mut self, fingerprint: u64, request: &Request) -> Vec<(u32, u64)> {
+        let Some(slot) = self.touch(fingerprint) else {
             return Vec::new();
         };
         let mut best: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
-        for e in entries {
+        for e in &slot.entries {
             if e.width <= request.width && request.min_tams <= e.tams && e.tams <= request.max_tams
             {
                 best.entry(e.width)
@@ -346,15 +515,73 @@ impl WarmCache {
         best.into_iter().collect()
     }
 
-    fn record(&mut self, fingerprint: u64, width: u32, tams: u32, time: u64) {
-        let entries = self.entries.entry(fingerprint).or_default();
-        match entries
+    /// A ready-made time table covering `width`, expanded from cached
+    /// cost columns — bit-identical to building it from the SOC, so
+    /// serving it skips the per-core wrapper-design sweep without
+    /// changing anything the scan observes. `None` when no staircase
+    /// wide enough is cached.
+    fn table_for(&mut self, fingerprint: u64, width: u32) -> Option<TimeTable> {
+        self.touch(fingerprint)?.columns.as_ref()?.expand(width)
+    }
+
+    /// The full warm-start material for `request`: the tightest τ,
+    /// transferable frontier pairs (frontier kind only), and a
+    /// ready-made table when the cached cost columns cover the width.
+    pub(crate) fn seed(&mut self, fingerprint: u64, request: &Request) -> WarmSeed {
+        WarmSeed {
+            tau: self.seed_for(fingerprint, request),
+            // A frontier consumes the cache per width: every
+            // transferable pair seeds the swept widths ≥ it.
+            frontier: match request.kind {
+                RequestKind::Frontier { .. } => self.frontier_seeds(fingerprint, request),
+                _ => Vec::new(),
+            },
+            table: self.table_for(fingerprint, request.width),
+        }
+    }
+
+    pub(crate) fn record(&mut self, fingerprint: u64, width: u32, tams: u32, time: u64) {
+        let slot = self.slot_mut(fingerprint);
+        match slot
+            .entries
             .iter_mut()
             .find(|e| e.width == width && e.tams == tams)
         {
             Some(entry) => entry.time = entry.time.min(time),
-            None => entries.push(WarmEntry { width, tams, time }),
+            None => slot.entries.push(WarmEntry { width, tams, time }),
         }
+        self.evict_over_cap();
+    }
+
+    /// Caches `columns`, keeping the wider of the existing and new
+    /// staircases.
+    pub(crate) fn record_columns(&mut self, fingerprint: u64, columns: CostColumns) {
+        let slot = self.slot_mut(fingerprint);
+        let wider = slot
+            .columns
+            .as_ref()
+            .is_none_or(|existing| columns.max_width() > existing.max_width());
+        if wider {
+            slot.columns = Some(columns);
+        }
+        self.evict_over_cap();
+    }
+
+    /// Merges a store entry through the normal recording paths — the
+    /// start-of-queue preload from a [`StoreBinding`].
+    pub(crate) fn adopt(&mut self, fingerprint: u64, entry: StoredEntry) {
+        for incumbent in entry.incumbents {
+            self.record(fingerprint, incumbent.width, incumbent.tams, incumbent.time);
+        }
+        if let Some(columns) = entry.columns {
+            self.record_columns(fingerprint, columns);
+        }
+    }
+
+    /// Number of fingerprints cached.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -499,7 +726,8 @@ impl LiveQueue {
     /// Starts the queue: spawns the dispatcher thread, which owns the
     /// worker pool until [`shutdown`](Self::shutdown).
     pub fn start(config: LiveConfig) -> Self {
-        Self::launch(config, None, SharedWarmCache::default())
+        let cache = WarmCache::shared(config.warm_capacity);
+        Self::launch(config, None, cache)
     }
 
     /// Starts the queue with a warm cache shared with other queues —
@@ -516,7 +744,8 @@ impl LiveQueue {
     /// wall-clock fields aside. The queue shuts down by itself once the
     /// trace is exhausted and the backlog drained.
     pub fn replay(trace: Trace, config: LiveConfig) -> (Vec<RequestOutcome>, BatchReport) {
-        Self::replay_with_cache(trace, config, SharedWarmCache::default())
+        let cache = WarmCache::shared(config.warm_capacity);
+        Self::replay_with_cache(trace, config, cache)
     }
 
     /// [`replay`](Self::replay) with a warm cache carried in from (and
@@ -723,6 +952,17 @@ fn dispatch(
     // requests (polled by the executor); only deadline + cancellation
     // carry into the requests themselves.
     let inner_global = config.budget.clone().without_node_budget();
+    // Preload the in-memory cache from the persistent store (idempotent
+    // under the cache's min/widest merge rules, so shards sharing one
+    // cache may each preload). The store data is copied out first: the
+    // cache and store mutexes are both leaf locks, never nested.
+    if let Some(binding) = &config.store {
+        let contents = binding.contents();
+        let mut warm = cache.lock().unwrap_or_else(PoisonError::into_inner);
+        for (fingerprint, entry) in contents {
+            warm.adopt(fingerprint, entry);
+        }
+    }
     let book = RefCell::new(Book {
         cache,
         outcomes: Vec::new(),
@@ -753,6 +993,17 @@ fn dispatch(
 
     let pool_width = parallel.effective_threads();
     let produce = |generation: u32, capacity: usize| -> Vec<Dispatch> {
+        // Periodic persistence: a dirty store snapshots at generation
+        // barriers (on the dispatcher thread, no other lock held), so a
+        // crashed daemon loses at most `snapshot_every` generations.
+        if let Some(binding) = &config.store {
+            if binding.snapshot_every > 0
+                && generation > 0
+                && generation % binding.snapshot_every == 0
+            {
+                binding.snapshot();
+            }
+        }
         let mut book = book.borrow_mut();
         let mut state = lock(shared);
         state.last_barrier = generation;
@@ -832,18 +1083,8 @@ fn dispatch(
             .drain(..take)
             .map(|p| {
                 let seed = if config.warm_start {
-                    let cache = book.cache.lock().unwrap_or_else(PoisonError::into_inner);
-                    WarmSeed {
-                        tau: cache.seed_for(p.fingerprint, &p.request),
-                        // A frontier consumes the cache per width: every
-                        // transferable pair seeds the swept widths ≥ it.
-                        frontier: match p.request.kind {
-                            RequestKind::Frontier { .. } => {
-                                cache.frontier_seeds(p.fingerprint, &p.request)
-                            }
-                            _ => Vec::new(),
-                        },
-                    }
+                    let mut cache = book.cache.lock().unwrap_or_else(PoisonError::into_inner);
+                    cache.seed(p.fingerprint, &p.request)
                 } else {
                     WarmSeed::default()
                 };
@@ -852,6 +1093,7 @@ fn dispatch(
                     request: p.request,
                     handle: p.handle,
                     fingerprint: p.fingerprint,
+                    want_columns: config.warm_start && seed.table.is_none(),
                     seed,
                     inner_threads,
                 }
@@ -872,6 +1114,7 @@ fn dispatch(
                         &inner_global,
                         &dispatch.seed,
                         dispatch.inner_threads,
+                        dispatch.want_columns,
                     );
                     (dispatch, result)
                 })
@@ -899,6 +1142,14 @@ fn dispatch(
                                     entry.result.heuristic.soc_time(),
                                 );
                             }
+                            if let Some(columns) = &res.columns {
+                                cache.record_columns(dispatch.fingerprint, columns.clone());
+                            }
+                        }
+                        if let Some(binding) = &config.store {
+                            // Outside the cache lock: both are leaf
+                            // locks, never held together.
+                            binding.record(dispatch.fingerprint, &res.entries, &res.columns);
                         }
                         let status = if res.complete {
                             RequestStatus::Complete
@@ -960,6 +1211,12 @@ fn dispatch(
         book.emit(bare_outcome(p.id, &p.request, status));
     }
 
+    // Final persistence point: everything merged is on disk before the
+    // queue reports.
+    if let Some(binding) = &config.store {
+        binding.snapshot();
+    }
+
     let mut outcomes = book.outcomes;
     outcomes.sort_by_key(|o| o.index);
     let complete = outcomes.iter().all(|o| o.status != RequestStatus::Skipped);
@@ -967,5 +1224,39 @@ fn dispatch(
         outcomes,
         complete,
         wall_time: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::WarmCache;
+
+    /// The capacity cap is a hard bound: however many distinct
+    /// fingerprints stream through, the cache never holds more than
+    /// `capacity` slots, and the survivors are the most recently used.
+    #[test]
+    fn warm_cache_eviction_is_bounded_and_lru() {
+        let mut cache = WarmCache::with_capacity(3);
+        for fingerprint in 0..100u64 {
+            cache.record(fingerprint, 32, 4, 1000 + fingerprint);
+            assert!(cache.len() <= 3, "cap exceeded at {fingerprint}");
+        }
+        assert_eq!(cache.len(), 3);
+        // The three most recent fingerprints survive; older ones are
+        // gone (touch returns None without resurrecting them).
+        for fingerprint in 97..100 {
+            assert!(cache.touch(fingerprint).is_some());
+        }
+        assert!(cache.touch(0).is_none());
+    }
+
+    /// Capacity 0 disables eviction entirely.
+    #[test]
+    fn warm_cache_zero_capacity_is_unbounded() {
+        let mut cache = WarmCache::with_capacity(0);
+        for fingerprint in 0..100u64 {
+            cache.record(fingerprint, 32, 4, 1000);
+        }
+        assert_eq!(cache.len(), 100);
     }
 }

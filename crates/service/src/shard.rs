@@ -47,8 +47,8 @@ use std::time::Instant;
 use tamopt_engine::CancelHandle;
 
 use crate::live::{
-    LiveConfig, LiveQueue, QueueStats, RequestId, SharedWarmCache, SubmitError, Trace, TraceAction,
-    TraceEvent,
+    LiveConfig, LiveQueue, QueueStats, RequestId, SubmitError, Trace, TraceAction, TraceEvent,
+    WarmCache,
 };
 use crate::report::{BatchReport, RequestOutcome};
 use crate::Request;
@@ -289,7 +289,7 @@ impl ShardedQueue {
     /// sharing one warm cache.
     pub fn start(config: LiveConfig, shards: usize) -> Self {
         let shards = shards.max(1);
-        let cache = SharedWarmCache::default();
+        let cache = WarmCache::shared(config.warm_capacity);
         let queues: Arc<Vec<LiveQueue>> = Arc::new(
             (0..shards)
                 .map(|_| LiveQueue::start_with_cache(config.clone(), Arc::clone(&cache)))
@@ -502,7 +502,7 @@ impl ShardedQueue {
         // the exact cache state shards `0..s` left behind — itself
         // thread-count invariant by induction — so cross-shard warm
         // sharing cannot break the byte-identity contract.
-        let cache = SharedWarmCache::default();
+        let cache = WarmCache::shared(config.warm_capacity);
         let mut stream = Vec::new();
         let mut outcomes = Vec::with_capacity(table.owner.len());
         let mut complete = true;

@@ -1,0 +1,437 @@
+//! Seeded, deterministic fuzz harness over every untrusted input
+//! surface of the workspace:
+//!
+//! * the batch-manifest grammar ([`tamopt::cli::parse_manifest`]),
+//! * the serve line protocol ([`tamopt::cli::parse_serve_line`]),
+//! * the ITC'02 SOC parser ([`tamopt::soc::itc02`]),
+//! * the warm-start store file format ([`tamopt::store::Store`]).
+//!
+//! This is **not** cargo-fuzz: the build container has no crates.io
+//! access, so the harness is a plain example over the vendored `rand`
+//! shim — grammar-aware generation plus byte-level mutation (bit flips,
+//! truncation, token splices), fully reproducible from `--seed`.
+//!
+//! Each iteration first builds a *valid* input and checks the surface's
+//! semantic oracle (valid inputs parse; writers round-trip; store bytes
+//! decode back to equal bytes), then mutates the input and checks the
+//! robustness oracle: the parser may reject, but must never panic.
+//!
+//! ```text
+//! cargo run --release --example fuzz -- [--iters N] [--seed S] \
+//!     [--surface all|manifest|serve|itc02|store]
+//! ```
+//!
+//! On any violation the offending input is written to `fuzz-failures/`
+//! (reproduce with the printed seed) and the process exits non-zero.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use tamopt::cli::{parse_manifest, parse_serve_line};
+use tamopt::soc::itc02::{parse_itc02, write_itc02};
+use tamopt::soc::{
+    benchmarks,
+    generator::{CoreClass, SocSpec},
+    Soc,
+};
+use tamopt::store::{CostColumns, Store, StoreConfig};
+use tamopt::TimeTable;
+
+const SURFACES: [&str; 4] = ["manifest", "serve", "itc02", "store"];
+const BENCHES: [&str; 4] = ["d695", "p21241", "p31108", "p93791"];
+
+/// The in-memory SOC resolver: benchmark names only, no filesystem, so
+/// the harness fuzzes the grammar rather than the OS.
+fn resolve(name: &str) -> Result<Soc, String> {
+    match name {
+        "d695" => Ok(benchmarks::d695()),
+        "p21241" => Ok(benchmarks::p21241()),
+        "p31108" => Ok(benchmarks::p31108()),
+        "p93791" => Ok(benchmarks::p93791()),
+        other => Err(format!("unknown SOC `{other}`")),
+    }
+}
+
+fn usage() -> String {
+    "usage: fuzz [--iters N] [--seed S] [--surface all|manifest|serve|itc02|store]".to_owned()
+}
+
+struct Args {
+    iters: u64,
+    seed: u64,
+    surface: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut iters = 200;
+    let mut seed = 0xDA7E_2002;
+    let mut surface = "all".to_owned();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |flag: &str| argv.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--iters" => iters = value("--iters")?.parse().map_err(|_| usage())?,
+            "--seed" => seed = value("--seed")?.parse().map_err(|_| usage())?,
+            "--surface" => surface = value("--surface")?,
+            _ => return Err(usage()),
+        }
+    }
+    if surface != "all" && !SURFACES.contains(&surface.as_str()) {
+        return Err(usage());
+    }
+    Ok(Args {
+        iters,
+        seed,
+        surface,
+    })
+}
+
+/// A recorded oracle violation: the input that triggered it, preserved
+/// for replay.
+struct Failure {
+    surface: &'static str,
+    case: u64,
+    reason: String,
+    input: Vec<u8>,
+}
+
+struct Session {
+    rng: StdRng,
+    seed: u64,
+    failures: Vec<Failure>,
+}
+
+impl Session {
+    fn fail(&mut self, surface: &'static str, case: u64, reason: String, input: &[u8]) {
+        eprintln!("fuzz: {surface} case {case}: {reason}");
+        self.failures.push(Failure {
+            surface,
+            case,
+            reason,
+            input: input.to_vec(),
+        });
+    }
+
+    /// Runs `parser` on `input`; a panic is an oracle violation, an
+    /// `Err` is the parser doing its job.
+    fn must_not_panic<F: FnMut()>(
+        &mut self,
+        surface: &'static str,
+        case: u64,
+        input: &[u8],
+        parser: F,
+    ) {
+        if catch_unwind(AssertUnwindSafe(parser)).is_err() {
+            self.fail(surface, case, "parser panicked".to_owned(), input);
+        }
+    }
+}
+
+/// Applies one random byte-level mutation: bit flips, truncation, a
+/// spliced copy of an internal range, or raw byte insertion.
+fn mutate(rng: &mut StdRng, bytes: &mut Vec<u8>) {
+    if bytes.is_empty() {
+        bytes.extend((0..rng.gen_range(1..=16u32)).map(|_| rng.gen::<u8>()));
+        return;
+    }
+    match rng.gen_range(0u32..4) {
+        0 => {
+            for _ in 0..rng.gen_range(1..=8u32) {
+                let at = rng.gen_range(0..bytes.len());
+                bytes[at] ^= 1 << rng.gen_range(0..8u32);
+            }
+        }
+        1 => bytes.truncate(rng.gen_range(0..bytes.len())),
+        2 => {
+            let lo = rng.gen_range(0..bytes.len());
+            let hi = rng.gen_range(lo..bytes.len());
+            let splice: Vec<u8> = bytes[lo..=hi].to_vec();
+            let at = rng.gen_range(0..=bytes.len());
+            bytes.splice(at..at, splice);
+        }
+        _ => {
+            let at = rng.gen_range(0..=bytes.len());
+            let junk: Vec<u8> = (0..rng.gen_range(1..=8u32))
+                .map(|_| rng.gen::<u8>())
+                .collect();
+            bytes.splice(at..at, junk);
+        }
+    }
+}
+
+/// One valid request line: `<soc> <width> <max-tams> [key=value]…`.
+fn gen_request_line(rng: &mut StdRng) -> String {
+    let soc = BENCHES[rng.gen_range(0..BENCHES.len())];
+    let width = rng.gen_range(8..=64u32);
+    let max_tams = rng.gen_range(1..=8u32);
+    let mut line = format!("{soc} {width} {max_tams}");
+    if rng.gen::<bool>() {
+        line.push_str(&format!(" min-tams={}", rng.gen_range(1..=max_tams)));
+    }
+    if rng.gen::<bool>() {
+        line.push_str(&format!(" priority={}", rng.gen_range(0..=9u32)));
+    }
+    if rng.gen::<bool>() {
+        line.push_str(&format!(" node-budget={}", rng.gen_range(1..=100_000u64)));
+    }
+    match rng.gen_range(0u32..4) {
+        0 => line.push_str(" kind=point"),
+        1 => line.push_str(&format!(" kind=topk:{}", rng.gen_range(1..=5u32))),
+        2 => {
+            let lo = rng.gen_range(1..width);
+            let step = rng.gen_range(1..=8u32);
+            line.push_str(&format!(" kind=frontier:{lo}..{width}:{step}"));
+        }
+        _ => {}
+    }
+    line
+}
+
+/// A valid manifest: request lines mixed with comments and blanks.
+fn gen_manifest(rng: &mut StdRng) -> String {
+    let mut text = String::new();
+    for _ in 0..rng.gen_range(1..=5u32) {
+        match rng.gen_range(0u32..5) {
+            0 => text.push_str("# a comment line\n"),
+            1 => text.push('\n'),
+            _ => {
+                text.push_str(&gen_request_line(rng));
+                if rng.gen::<bool>() {
+                    text.push_str(" # trailing comment");
+                }
+                text.push('\n');
+            }
+        }
+    }
+    text.push_str(&gen_request_line(rng));
+    text.push('\n');
+    text
+}
+
+/// A valid serve-protocol line: an optionally `@gen[/shard]`-tagged
+/// submit, cancel or stats directive.
+fn gen_serve_line(rng: &mut StdRng) -> String {
+    let mut line = String::new();
+    if rng.gen::<bool>() {
+        line.push_str(&format!("@{}", rng.gen_range(0..=12u32)));
+        if rng.gen::<bool>() {
+            line.push_str(&format!("/{}", rng.gen_range(0..4usize)));
+        }
+        line.push(' ');
+    }
+    match rng.gen_range(0u32..4) {
+        0 => line.push_str(&format!("cancel {}", rng.gen_range(0..32usize))),
+        1 => line.push_str("stats"),
+        _ => line.push_str(&gen_request_line(rng)),
+    }
+    line
+}
+
+fn fuzz_manifest(s: &mut Session, iters: u64) {
+    for case in 0..iters {
+        let valid = gen_manifest(&mut s.rng);
+        if let Err(e) = parse_manifest(&valid, &resolve) {
+            s.fail(
+                "manifest",
+                case,
+                format!("valid manifest rejected: {e}"),
+                valid.as_bytes(),
+            );
+        }
+        let mut bytes = valid.into_bytes();
+        mutate(&mut s.rng, &mut bytes);
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        s.must_not_panic("manifest", case, &bytes, || {
+            let _ = parse_manifest(&text, &resolve);
+        });
+    }
+}
+
+fn fuzz_serve(s: &mut Session, iters: u64) {
+    for case in 0..iters {
+        let valid = gen_serve_line(&mut s.rng);
+        if let Err(e) = parse_serve_line(&valid, &resolve) {
+            s.fail(
+                "serve",
+                case,
+                format!("valid serve line rejected: {e}"),
+                valid.as_bytes(),
+            );
+        }
+        let mut bytes = valid.into_bytes();
+        mutate(&mut s.rng, &mut bytes);
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        s.must_not_panic("serve", case, &bytes, || {
+            let _ = parse_serve_line(&text, &resolve);
+        });
+    }
+}
+
+fn fuzz_itc02(s: &mut Session, iters: u64) {
+    for case in 0..iters {
+        let spec_seed = s.rng.gen::<u64>();
+        let logic = s.rng.gen_range(1..=6usize);
+        let soc = SocSpec::new(format!("fuzz{case}"), spec_seed)
+            .class(CoreClass::logic(
+                "logic",
+                logic,
+                (16, 4096),
+                (4, 96),
+                (1, 12),
+                (8, 200),
+            ))
+            .class(CoreClass::memory(
+                "mem",
+                s.rng.gen_range(1..=3usize),
+                (128, 8192),
+                (8, 64),
+            ))
+            .generate()
+            .expect("generator specs are valid by construction");
+        let written = write_itc02(&soc);
+        match parse_itc02(&written) {
+            Ok(reparsed) => {
+                // The writer must be a fixed point of the parser.
+                if write_itc02(&reparsed) != written {
+                    s.fail(
+                        "itc02",
+                        case,
+                        "write → parse → write is not a fixed point".to_owned(),
+                        written.as_bytes(),
+                    );
+                }
+            }
+            Err(e) => s.fail(
+                "itc02",
+                case,
+                format!("written SOC rejected: {e}"),
+                written.as_bytes(),
+            ),
+        }
+        let mut bytes = written.into_bytes();
+        mutate(&mut s.rng, &mut bytes);
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        s.must_not_panic("itc02", case, &bytes, || {
+            let _ = parse_itc02(&text);
+        });
+    }
+}
+
+fn fuzz_store(s: &mut Session, iters: u64, columns: &CostColumns) {
+    for case in 0..iters {
+        let mut store = Store::in_memory(StoreConfig::default());
+        for _ in 0..s.rng.gen_range(0..=6u32) {
+            let fingerprint = s.rng.gen::<u64>();
+            store.record_incumbent(
+                fingerprint,
+                s.rng.gen_range(1..=64u32),
+                s.rng.gen_range(1..=16u32),
+                s.rng.gen::<u64>() >> 16,
+            );
+            if s.rng.gen::<bool>() {
+                store.record_columns(fingerprint, columns.clone());
+            }
+        }
+        let bytes = store.to_bytes();
+        // Semantic oracle: encode → decode → encode is byte-stable and
+        // decoding our own bytes never warns.
+        match Store::from_bytes(&bytes, StoreConfig::default()) {
+            Ok(decoded) => {
+                if !decoded.warnings().is_empty() {
+                    s.fail(
+                        "store",
+                        case,
+                        format!("own bytes warned: {:?}", decoded.warnings()),
+                        &bytes,
+                    );
+                } else if decoded.to_bytes() != bytes {
+                    s.fail(
+                        "store",
+                        case,
+                        "encode → decode → encode is not byte-stable".to_owned(),
+                        &bytes,
+                    );
+                }
+            }
+            Err(e) => s.fail("store", case, format!("own bytes rejected: {e}"), &bytes),
+        }
+        let mut mutated = bytes;
+        mutate(&mut s.rng, &mut mutated);
+        s.must_not_panic("store", case, &mutated, || {
+            // A mutated file may decode with warnings or fail (a bit
+            // flip in the version field reads as a future version) —
+            // either way, no panic.
+            let _ = Store::from_bytes(&mutated, StoreConfig::default());
+        });
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "fuzz: surface={} iters={} seed={} (reproduce with --seed {})",
+        args.surface, args.iters, args.seed, args.seed
+    );
+
+    // Silence the per-panic backtrace spew; failures are recorded with
+    // their inputs instead.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut session = Session {
+        rng: StdRng::seed_from_u64(args.seed),
+        seed: args.seed,
+        failures: Vec::new(),
+    };
+    // One shared columns payload: real wrapper data, computed once.
+    let table = TimeTable::new(&benchmarks::d695(), 16).expect("d695 table");
+    let columns = CostColumns::from_table(&table);
+
+    let run = |surface: &str| args.surface == "all" || args.surface == surface;
+    if run("manifest") {
+        fuzz_manifest(&mut session, args.iters);
+    }
+    if run("serve") {
+        fuzz_serve(&mut session, args.iters);
+    }
+    if run("itc02") {
+        fuzz_itc02(&mut session, args.iters);
+    }
+    if run("store") {
+        fuzz_store(&mut session, args.iters, &columns);
+    }
+    let _ = std::panic::take_hook();
+
+    if session.failures.is_empty() {
+        println!("fuzz: all surfaces clean");
+        return ExitCode::SUCCESS;
+    }
+    let dir = std::path::Path::new("fuzz-failures");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("fuzz: cannot create {}: {e}", dir.display());
+    }
+    for failure in &session.failures {
+        let name = format!(
+            "{}-seed{}-case{}.bin",
+            failure.surface, session.seed, failure.case
+        );
+        let path = dir.join(&name);
+        match std::fs::write(&path, &failure.input) {
+            Ok(()) => eprintln!("fuzz: {}: {} -> {}", failure.surface, failure.reason, name),
+            Err(e) => eprintln!("fuzz: cannot write {}: {e}", path.display()),
+        }
+    }
+    eprintln!(
+        "fuzz: {} failure(s); inputs under {} (reproduce with --seed {})",
+        session.failures.len(),
+        dir.display(),
+        session.seed
+    );
+    ExitCode::FAILURE
+}
