@@ -7,7 +7,7 @@
 SHELL := /bin/bash
 
 .PHONY: all build test verify doc-gate determinism serve-determinism \
-        shard-determinism store-determinism fuzz-smoke alloc-gate \
+        shard-determinism store-determinism fuzz-smoke chaos-soak alloc-gate \
         bench-smoke bench-json bench-compare msrv-check lint fmt clean
 
 all: build test lint
@@ -44,12 +44,25 @@ msrv-check:
 # --- CI job: fuzz-smoke -----------------------------------------------------
 
 # A deterministic slice of the continuous fuzzer (examples/fuzz.rs) over
-# all four untrusted input surfaces: the batch-manifest grammar, the
-# serve line protocol, the ITC'02 parser and the store file format.
+# all five untrusted input surfaces: the batch-manifest grammar, the
+# serve line protocol, the ITC'02 parser, the store file format and the
+# network framing layer.
 # Failing inputs land in fuzz-failures/. The nightly fuzzer workflow
 # (.github/workflows/fuzzer.yml) runs the same harness at scale.
 fuzz-smoke:
 	cargo run --release --example fuzz -- --iters 500 --seed 1
+
+# --- CI job: chaos-soak -----------------------------------------------------
+
+# A deterministic slice of the multi-client chaos harness
+# (examples/chaos.rs): seeded scenarios checked both as deterministic
+# replays (byte-identical across threads {1,2,8} × shards {flat,1,2,4})
+# and over live loopback TCP sessions. Failing scenario scripts land in
+# chaos-failures/. The nightly chaos workflow
+# (.github/workflows/chaos.yml) runs the same harness at scale with
+# seed = run id.
+chaos-soak:
+	cargo run --release --example chaos -- --seed 1 --scenarios 4
 
 # --- CI job: determinism ----------------------------------------------------
 
@@ -143,7 +156,7 @@ bench-json:
 	cargo bench -p tamopt_bench \
 	  --bench bench_parallel --bench bench_scan --bench bench_batch \
 	  --bench bench_serve --bench bench_topk --bench bench_shard \
-	  --bench bench_store
+	  --bench bench_store --bench bench_net
 	cargo run --release -p tamopt_bench --bin bench_json -- \
 	  --prefix parallel_ --out BENCH_parallel.json
 	cargo run --release -p tamopt_bench --bin bench_json -- \
@@ -158,12 +171,14 @@ bench-json:
 	  --prefix shard_ --out BENCH_shard.json
 	cargo run --release -p tamopt_bench --bin bench_json -- \
 	  --prefix store_ --out BENCH_store.json
+	cargo run --release -p tamopt_bench --bin bench_json -- \
+	  --prefix net_ --out BENCH_net.json
 
 # Perf-regression comparator (warn-only, mirrors the CI step): put the
 # previous run's exports under baseline/ and compare. Missing baselines
 # pass cleanly.
 bench-compare:
-	for family in parallel scan batch serve topk shard store; do \
+	for family in parallel scan batch serve topk shard store net; do \
 	  cargo run --release -p tamopt_bench --bin bench_json -- \
 	    --compare baseline/BENCH_$${family}.json BENCH_$${family}.json \
 	    --threshold 15 || exit 1; \

@@ -14,6 +14,7 @@
 //!   tamopt serve [--threads <N>] [--time-limit <seconds>]
 //!                [--no-warm-start] [--aging <rate>]
 //!                [--store <file.tamstore>]
+//!                [--listen <ip:port> | --socket <path>]
 //! ```
 //!
 //! Examples:
@@ -65,8 +66,8 @@ use tamopt::cost::{BusCost, GateWeights};
 use tamopt::rail::{design_rails, RailConfig, RailCostModel};
 use tamopt::schedule::TestSchedule;
 use tamopt::service::{
-    BatchConfig, LiveConfig, LiveQueue, Request, RequestStatus, ShardTrace, ShardedQueue,
-    StoreBinding, Trace, WIRE_VERSION,
+    BatchConfig, LiveConfig, LiveQueue, NetDirective, NetListener, NetServer, Request,
+    RequestStatus, ShardTrace, ShardedQueue, StoreBinding, Trace, WIRE_VERSION,
 };
 use tamopt::soc::format::parse_soc;
 use tamopt::store::{Store, StoreConfig};
@@ -308,17 +309,24 @@ struct ServeArgs {
     /// single-queue daemon with its byte-identical legacy output.
     shards: Option<usize>,
     store: Option<String>,
+    /// `--listen <ip:port>`: serve the line protocol to many TCP
+    /// clients instead of stdin.
+    listen: Option<String>,
+    /// `--socket <path>`: same, over a unix-domain socket.
+    socket: Option<String>,
 }
 
 fn serve_usage() -> &'static str {
     "usage: tamopt serve [--threads <N per shard, 0 = all CPUs>] [--time-limit <seconds>] \
      [--no-warm-start] [--aging <rate, 0 = strict priorities>] [--shards <N>] \
-     [--store <file.tamstore>]\n\
+     [--store <file.tamstore>] [--listen <ip:port> | --socket <path>]\n\
      stdin lines: <soc> <width> <max-tams> [min-tams=N] [priority=P] \
      [time-limit=S] [node-budget=N] [kind=point|topk:K|frontier:LO..HI:STEP]  \
      |  cancel <id>  |  stats (live mode only)\n\
      prefix every line with @<generation> to replay a deterministic trace; \
-     with --shards, @<generation>/<shard> pins a submission to a shard"
+     with --shards, @<generation>/<shard> pins a submission to a shard\n\
+     with --listen/--socket the same lines arrive per connection (no @ tags), \
+     ids are per-client, and closing stdin shuts the server down"
 }
 
 fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
@@ -328,6 +336,8 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
     let mut aging = 0u32;
     let mut shards = None;
     let mut store = None;
+    let mut listen = None;
+    let mut socket = None;
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
             argv.next()
@@ -352,9 +362,14 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
                 shards = Some(n);
             }
             "--store" => store = Some(value("--store")?),
+            "--listen" => listen = Some(value("--listen")?),
+            "--socket" => socket = Some(value("--socket")?),
             "--help" | "-h" => return Err(serve_usage().to_owned()),
             other => return Err(format!("unknown argument `{other}`\n{}", serve_usage())),
         }
+    }
+    if listen.is_some() && socket.is_some() {
+        return Err("--listen and --socket are mutually exclusive".to_owned());
     }
     Ok(ServeArgs {
         threads,
@@ -363,6 +378,8 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
         aging,
         shards,
         store,
+        listen,
+        socket,
     })
 }
 
@@ -446,6 +463,10 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
     // Announce the wire protocol before any outcome streams: consumers
     // (and the replay comparator) key their parsing off this version.
     println!("{{\"protocol\": \"tamopt-serve\", \"v\": {WIRE_VERSION}}}");
+
+    if args.listen.is_some() || args.socket.is_some() {
+        return serve_net(&args, config);
+    }
 
     use std::io::BufRead as _;
     let stdin = std::io::stdin();
@@ -650,6 +671,72 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// The network front-end behind `serve --listen` / `--socket`: bind,
+/// announce the endpoint on stdout, serve clients until **stdin**
+/// closes (the operator's shutdown signal), then print the
+/// client-stamped final report.
+fn serve_net(args: &ServeArgs, config: LiveConfig) -> ExitCode {
+    let listener = match (&args.listen, &args.socket) {
+        (Some(addr), None) => NetListener::tcp(addr),
+        (None, Some(path)) => NetListener::unix(path.as_str()),
+        _ => unreachable!("parse_serve_args enforces exclusivity"),
+    };
+    let listener = match listener {
+        Ok(listener) => listener,
+        Err(err) => {
+            eprintln!("serve: cannot bind: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Port 0 resolves at bind time; announce the real endpoint so
+    // clients (and tests) can discover it.
+    println!("{{\"listening\": {}}}", json_escape(listener.addr()));
+
+    let parser: tamopt::service::LineParser =
+        std::sync::Arc::new(|line: &str| match parse_serve_line(line, &load_soc)? {
+            None => Ok(None),
+            Some((Some(_tag), _)) => Err(
+                "@<generation> tags are only valid in trace mode, not over the network".to_owned(),
+            ),
+            Some((None, ServeLine::Submit(request))) => Ok(Some(NetDirective::Submit(request))),
+            Some((None, ServeLine::Cancel(id))) => Ok(Some(NetDirective::Cancel(id))),
+            Some((None, ServeLine::Stats)) => Ok(Some(NetDirective::Stats)),
+        });
+    let server = NetServer::start(config, args.shards, listener, parser);
+
+    // Stdin is not a request source in network mode — it is the
+    // lifetime: the server runs until it closes.
+    let _ = std::io::copy(&mut std::io::stdin().lock(), &mut std::io::sink());
+
+    let report = server.shutdown().expect("first shutdown");
+    print!("{}", report.to_json());
+    let failed = report.count(RequestStatus::Failed);
+    if failed > 0 {
+        eprintln!("{failed} request(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Escapes `value` as a JSON string literal (quotes included).
+fn json_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn load_soc(name: &str) -> Result<Soc, String> {
@@ -945,6 +1032,38 @@ mod tests {
         assert_eq!(d.store.as_deref(), Some("warm.tamstore"));
         assert!(a.store.is_none(), "persistence is opt-in");
         assert!(parse_serve_args(["--store".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn parses_network_serve_flags() {
+        let a =
+            parse_serve_args(["--listen", "127.0.0.1:0"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(a.listen.as_deref(), Some("127.0.0.1:0"));
+        assert!(a.socket.is_none());
+        let b = parse_serve_args(
+            ["--socket", "/tmp/tamopt.sock", "--shards", "2"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(b.socket.as_deref(), Some("/tmp/tamopt.sock"));
+        assert_eq!(b.shards, Some(2));
+        assert!(parse_serve_args(
+            ["--listen", "127.0.0.1:0", "--socket", "/tmp/x.sock"]
+                .iter()
+                .map(|s| s.to_string())
+        )
+        .unwrap_err()
+        .contains("mutually exclusive"));
+        assert!(parse_serve_args(["--listen".to_string()].into_iter()).is_err());
+        assert!(parse_serve_args(["--socket".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn json_escape_matches_the_wire_format() {
+        assert_eq!(json_escape("127.0.0.1:7171"), "\"127.0.0.1:7171\"");
+        assert_eq!(json_escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_escape("\u{1}"), "\"\\u0001\"");
     }
 
     // The request-line / manifest / serve-protocol grammars are parsed

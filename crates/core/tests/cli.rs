@@ -344,3 +344,94 @@ fn parses_a_soc_file_from_disk() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("SOC mini"));
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn serve_listen_accepts_tcp_clients_and_reports_on_stdin_close() {
+    use std::io::{BufRead as _, BufReader};
+    use std::net::TcpStream;
+
+    let mut child = tamopt()
+        .args(["serve", "--listen", "127.0.0.1:0", "--threads", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("banner line");
+    assert_eq!(
+        line.trim_end(),
+        "{\"protocol\": \"tamopt-serve\", \"v\": 1}"
+    );
+    line.clear();
+    reader.read_line(&mut line).expect("listening line");
+    let addr = line
+        .trim_end()
+        .strip_prefix("{\"listening\": \"")
+        .and_then(|tail| tail.strip_suffix("\"}"))
+        .unwrap_or_else(|| panic!("unexpected listening line: {line}"))
+        .to_owned();
+
+    let stream = TcpStream::connect(&addr).expect("connecting to the server");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+        .expect("setting a read timeout");
+    let mut socket = BufReader::new(stream.try_clone().expect("cloning the stream"));
+    let mut net_line = String::new();
+    socket.read_line(&mut net_line).expect("greeting");
+    assert_eq!(
+        net_line.trim_end(),
+        "{\"protocol\": \"tamopt-serve\", \"v\": 1, \"client\": 0}"
+    );
+
+    let mut writer = stream;
+    writeln!(writer, "d695 16 2").expect("submitting");
+    net_line.clear();
+    socket.read_line(&mut net_line).expect("outcome line");
+    assert!(
+        net_line.starts_with("{\"v\": 1, \"id\": 0, \"client\": 0, "),
+        "outcome: {net_line}"
+    );
+    assert!(net_line.contains("\"status\": \"complete\""));
+
+    // Generation tags are a trace-mode construct; over the network they
+    // are a parse error, answered on the connection.
+    writeln!(writer, "@0 d695 16 2").expect("submitting a tagged line");
+    net_line.clear();
+    socket.read_line(&mut net_line).expect("error line");
+    assert!(
+        net_line.starts_with("{\"v\": 1, \"client\": 0, \"error\": \"parse\", "),
+        "tagged-line reply: {net_line}"
+    );
+
+    drop(writer);
+    drop(socket);
+
+    // Closing stdin is the shutdown signal: the server seals the queue
+    // and prints the final report to its own stdout.
+    drop(child.stdin.take());
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut rest).expect("final report");
+    let status = child.wait().expect("binary exits");
+    assert!(status.success(), "exit: {status:?}\nstdout tail: {rest}");
+    assert!(rest.contains("\"schema\": \"tamopt.batch-report/v1\""));
+    assert!(rest.contains("\"client\": 0,"), "report tail: {rest}");
+    assert!(rest.contains("\"status\": \"complete\""));
+}
+
+#[test]
+fn serve_rejects_listen_and_socket_together() {
+    let out = tamopt()
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--socket",
+            "/tmp/tamopt-never-bound.sock",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+}

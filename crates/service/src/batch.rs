@@ -301,6 +301,7 @@ impl Batch {
                 let request = &entry.request;
                 RequestOutcome {
                     index,
+                    client: None,
                     shard: None,
                     soc: request.soc.name().to_owned(),
                     width: request.width,

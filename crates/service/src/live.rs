@@ -609,6 +609,7 @@ impl Book {
 fn bare_outcome(id: usize, request: &Request, status: RequestStatus) -> RequestOutcome {
     RequestOutcome {
         index: id,
+        client: None,
         shard: None,
         soc: request.soc.name().to_owned(),
         width: request.width,

@@ -75,6 +75,12 @@ pub struct ResultEntry {
 pub struct RequestOutcome {
     /// Submission index within the batch.
     pub index: usize,
+    /// The client that submitted the request, when it arrived over the
+    /// network front-end ([`crate::net::NetServer`]). `None` for
+    /// batches, local queues and trace replay — and then absent from
+    /// the JSON renderings, so all single-client output is
+    /// byte-identical to earlier wire versions.
+    pub client: Option<usize>,
     /// The shard that executed the request, when it ran behind a
     /// [`crate::ShardedQueue`]. `None` for plain batches and unsharded
     /// queues — and then absent from the JSON renderings, so all
@@ -128,6 +134,9 @@ impl RequestOutcome {
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(160);
         let _ = write!(out, "{{\"v\": {}, \"id\": {}", WIRE_VERSION, self.index);
+        if let Some(client) = self.client {
+            let _ = write!(out, ", \"client\": {client}");
+        }
         if let Some(shard) = self.shard {
             let _ = write!(out, ", \"shard\": {shard}");
         }
@@ -243,6 +252,9 @@ impl BatchReport {
 fn write_outcome(out: &mut String, outcome: &RequestOutcome, comma: &str) {
     out.push_str("    {\n");
     let _ = writeln!(out, "      \"index\": {},", outcome.index);
+    if let Some(client) = outcome.client {
+        let _ = writeln!(out, "      \"client\": {client},");
+    }
     if let Some(shard) = outcome.shard {
         let _ = writeln!(out, "      \"shard\": {shard},");
     }
@@ -397,6 +409,7 @@ mod tests {
     fn json_lines_are_compact_and_wall_clock_free() {
         let outcome = RequestOutcome {
             index: 3,
+            client: None,
             shard: None,
             soc: "d695".to_owned(),
             width: 16,
@@ -418,6 +431,7 @@ mod tests {
         assert!(line.contains("\"status\": \"skipped\""));
         assert!(!line.contains("wall_clock"));
         assert!(!line.contains("shard"), "unsharded lines carry no stamp");
+        assert!(!line.contains("client"), "local lines carry no stamp");
         let sharded = RequestOutcome {
             shard: Some(2),
             ..outcome.clone()
@@ -427,6 +441,17 @@ mod tests {
                 .to_json_line()
                 .starts_with("{\"v\": 1, \"id\": 3, \"shard\": 2, "),
             "the shard stamp follows the id"
+        );
+        let networked = RequestOutcome {
+            client: Some(4),
+            shard: Some(2),
+            ..outcome.clone()
+        };
+        assert!(
+            networked
+                .to_json_line()
+                .starts_with("{\"v\": 1, \"id\": 3, \"client\": 4, \"shard\": 2, "),
+            "the client stamp sits between the id and the shard"
         );
         let failed = RequestOutcome {
             status: RequestStatus::Failed,

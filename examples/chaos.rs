@@ -1,0 +1,589 @@
+//! Seeded multi-client chaos harness over the network front-end.
+//!
+//! Generates random multi-client scenarios — concurrent submitters,
+//! mid-run disconnects, malformed lines, out-of-namespace cancels,
+//! stalled readers — and checks them two ways:
+//!
+//! * **replay**: the deterministic twin ([`tamopt::service::chaos`]).
+//!   Every scenario must produce byte-identical per-client transcripts
+//!   and final reports across threads {1, 2, 8} × shards
+//!   {flat, 1, 2, 4} — the workspace determinism contract extended to
+//!   hostile multi-client traffic.
+//! * **socket**: the same scenario driven over real TCP connections
+//!   against a live [`tamopt::service::NetServer`]. The stream
+//!   interleaving is scheduler-dependent, so the oracles are semantic:
+//!   every submission is answered exactly once (sealed shutdown
+//!   included), every malformed line gets its versioned error line,
+//!   disconnects neither leak requests nor perturb siblings, and
+//!   nobody reads until shutdown — so every client is a "stalled
+//!   reader" exercising the writer buffering.
+//!
+//! ```text
+//! cargo run --release --example chaos -- [--seed S] [--scenarios K] \
+//!     [--clients N] [--events M] [--mode all|replay|socket]
+//! ```
+//!
+//! On any violation the offending scenario script is written to
+//! `chaos-failures/` (reproduce with the printed seed) and the process
+//! exits non-zero.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use tamopt::cli::{parse_serve_line, ServeLine};
+use tamopt::service::chaos::replay;
+use tamopt::service::{
+    ChaosScenario, ClientScript, LineParser, LiveConfig, NetDirective, NetListener, NetServer,
+};
+use tamopt::soc::{benchmarks, Soc};
+
+const BENCHES: [&str; 3] = ["d695", "p21241", "p31108"];
+
+fn resolve(name: &str) -> Result<Soc, String> {
+    match name {
+        "d695" => Ok(benchmarks::d695()),
+        "p21241" => Ok(benchmarks::p21241()),
+        "p31108" => Ok(benchmarks::p31108()),
+        other => Err(format!("unknown SOC `{other}`")),
+    }
+}
+
+/// The serve grammar adapted for the network path, exactly as the
+/// `tamopt serve --listen` binary does it: `@` tags are trace-only.
+fn net_parse(line: &str) -> Result<Option<NetDirective>, String> {
+    match parse_serve_line(line, &resolve)? {
+        None => Ok(None),
+        Some((Some(_tag), _)) => {
+            Err("@<generation> tags are only valid in trace mode, not over the network".to_owned())
+        }
+        Some((None, ServeLine::Submit(request))) => Ok(Some(NetDirective::Submit(request))),
+        Some((None, ServeLine::Cancel(id))) => Ok(Some(NetDirective::Cancel(id))),
+        Some((None, ServeLine::Stats)) => Ok(Some(NetDirective::Stats)),
+    }
+}
+
+fn usage() -> String {
+    "usage: chaos [--seed S] [--scenarios K] [--clients N] [--events M] \
+     [--mode all|replay|socket]"
+        .to_owned()
+}
+
+struct Args {
+    seed: u64,
+    scenarios: u64,
+    clients: usize,
+    events: usize,
+    mode: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut seed = 0xC4A0_5202;
+    let mut scenarios = 3;
+    let mut clients = 3;
+    let mut events = 6;
+    let mut mode = "all".to_owned();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |flag: &str| argv.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--seed" => seed = value("--seed")?.parse().map_err(|_| usage())?,
+            "--scenarios" => scenarios = value("--scenarios")?.parse().map_err(|_| usage())?,
+            "--clients" => clients = value("--clients")?.parse().map_err(|_| usage())?,
+            "--events" => events = value("--events")?.parse().map_err(|_| usage())?,
+            "--mode" => mode = value("--mode")?,
+            _ => return Err(usage()),
+        }
+    }
+    if !["all", "replay", "socket"].contains(&mode.as_str()) {
+        return Err(usage());
+    }
+    if clients == 0 || events == 0 {
+        return Err(usage());
+    }
+    Ok(Args {
+        seed,
+        scenarios,
+        clients,
+        events,
+        mode,
+    })
+}
+
+/// One generated client event, kept alongside its script form so the
+/// socket driver and the failure artifact can replay it.
+#[derive(Clone)]
+enum Event {
+    Line(String),
+    Disconnect,
+}
+
+/// A generated scenario: per-client generation-tagged events.
+struct Scenario {
+    events: Vec<Vec<(u32, Event)>>,
+}
+
+impl Scenario {
+    fn to_chaos(&self) -> ChaosScenario {
+        ChaosScenario::new(
+            self.events
+                .iter()
+                .map(|events| {
+                    let mut script = ClientScript::new();
+                    for (generation, event) in events {
+                        script = match event {
+                            Event::Line(line) => script.line_at(*generation, line.clone()),
+                            Event::Disconnect => script.disconnect_at(*generation),
+                        };
+                    }
+                    script
+                })
+                .collect(),
+        )
+    }
+
+    /// Human-readable script, written to `chaos-failures/` on a
+    /// violation.
+    fn render(&self) -> String {
+        let mut text = String::new();
+        for (client, events) in self.events.iter().enumerate() {
+            for (generation, event) in events {
+                let line = match event {
+                    Event::Line(line) => line.as_str(),
+                    Event::Disconnect => "<disconnect>",
+                };
+                text.push_str(&format!("client {client} @{generation}: {line}\n"));
+            }
+        }
+        text
+    }
+}
+
+/// One valid network submit line, small enough for a dense grid sweep.
+fn gen_submit(rng: &mut StdRng) -> String {
+    let soc = BENCHES[rng.gen_range(0..BENCHES.len())];
+    let width = rng.gen_range(8..=32u32);
+    let max_tams = rng.gen_range(1..=4u32);
+    let mut line = format!("{soc} {width} {max_tams}");
+    if rng.gen::<bool>() {
+        line.push_str(&format!(" priority={}", rng.gen_range(0..=9u32)));
+    }
+    line
+}
+
+fn gen_scenario(rng: &mut StdRng, clients: usize, events: usize) -> Scenario {
+    let scripts = (0..clients)
+        .map(|_| {
+            let mut script: Vec<(u32, Event)> = Vec::new();
+            let mut generation = 0u32;
+            let mut disconnected = false;
+            for _ in 0..events {
+                if disconnected {
+                    break;
+                }
+                generation += rng.gen_range(0..=1u32);
+                let event = match rng.gen_range(0u32..10) {
+                    // Mostly real work, so the grid exercises the queue.
+                    0..=5 => Event::Line(gen_submit(rng)),
+                    6 => Event::Line(format!("cancel {}", rng.gen_range(0..events))),
+                    7 => Event::Line("totally not a request".to_owned()),
+                    8 => Event::Line(format!("@{} d695 16 2", rng.gen_range(0..4u32))),
+                    _ => {
+                        disconnected = true;
+                        Event::Disconnect
+                    }
+                };
+                script.push((generation, event));
+            }
+            script
+        })
+        .collect();
+    Scenario { events: scripts }
+}
+
+struct Session {
+    seed: u64,
+    failures: Vec<(u64, String, String)>,
+}
+
+impl Session {
+    fn fail(&mut self, scenario_id: u64, reason: String, scenario: &Scenario) {
+        eprintln!("chaos: scenario {scenario_id}: {reason}");
+        self.failures.push((scenario_id, reason, scenario.render()));
+    }
+}
+
+/// The replay grid: threads {1, 2, 8} × shards {flat, 1, 2, 4} must be
+/// byte-identical (transcripts and wall-clock-free report).
+fn check_replay(s: &mut Session, id: u64, scenario: &Scenario) {
+    let chaos = scenario.to_chaos();
+    for shards in [None, Some(1), Some(2), Some(4)] {
+        let reference = replay(&chaos, LiveConfig::with_threads(1), shards, &net_parse);
+        for threads in [2, 8] {
+            let run = replay(
+                &chaos,
+                LiveConfig::with_threads(threads),
+                shards,
+                &net_parse,
+            );
+            if run.transcripts != reference.transcripts {
+                s.fail(
+                    id,
+                    format!("transcripts drifted at threads {threads}, shards {shards:?}"),
+                    scenario,
+                );
+            }
+            if run.stable_report() != reference.stable_report() {
+                s.fail(
+                    id,
+                    format!("report drifted at threads {threads}, shards {shards:?}"),
+                    scenario,
+                );
+            }
+        }
+    }
+}
+
+/// What the socket driver expects back per client, tallied while
+/// sending.
+#[derive(Default)]
+struct Expected {
+    submits: usize,
+    parse_errors: usize,
+    unknown_ids: usize,
+    stats: usize,
+}
+
+/// What one client actually received, tallied by line envelope.
+#[derive(Default)]
+struct Tally {
+    outcomes: usize,
+    errors: usize,
+    stats: usize,
+}
+
+enum Kind {
+    Outcome,
+    Error,
+    Stats,
+}
+
+/// Classifies a received line by its envelope. Outcome lines are
+/// `{"v": 1, "id": L, "client": C, ...}`; error and stats lines lead
+/// with the client id instead. Substrings are not enough — outcome
+/// lines legitimately contain a `"stats"` payload of prune counters.
+fn classify(client: usize, line: &str) -> Option<Kind> {
+    if line.starts_with("{\"v\": 1, \"id\": ") {
+        return line
+            .contains(&format!("\"client\": {client}"))
+            .then_some(Kind::Outcome);
+    }
+    let envelope = format!("{{\"v\": 1, \"client\": {client}, ");
+    let rest = line.strip_prefix(&envelope)?;
+    if rest.starts_with("\"error\": ") {
+        Some(Kind::Error)
+    } else if rest.starts_with("\"stats\": ") {
+        Some(Kind::Stats)
+    } else {
+        None
+    }
+}
+
+/// Reads lines into `tally` until the **barrier** stats response: the
+/// client may still have `pending_stats` unread responses to scenario
+/// `stats` lines, which are tallied; the one after those is the
+/// barrier's own, left untallied. Errors on EOF or a bad envelope.
+fn read_until_stats(
+    client: usize,
+    reader: &mut BufReader<TcpStream>,
+    tally: &mut Tally,
+    mut pending_stats: usize,
+) -> Result<(), String> {
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Err(format!("client {client}: EOF before the stats barrier")),
+            Ok(_) => match classify(client, &line) {
+                Some(Kind::Outcome) => tally.outcomes += 1,
+                Some(Kind::Error) => tally.errors += 1,
+                Some(Kind::Stats) => {
+                    if pending_stats == 0 {
+                        return Ok(());
+                    }
+                    pending_stats -= 1;
+                    tally.stats += 1;
+                }
+                None => return Err(format!("client {client}: bad envelope: {line}")),
+            },
+            Err(e) => return Err(format!("client {client}: read failed: {e}")),
+        }
+    }
+}
+
+/// Drives `scenario` over real TCP connections and checks the semantic
+/// oracles. Nobody reads until their connection ends, so every client
+/// also exercises the stalled-reader (writer-buffering) path. Before a
+/// disconnect — and before shutdown — the driver runs a `stats`
+/// round-trip barrier: each connection's reader processes frames in
+/// order, so the response proves every earlier line was registered.
+fn check_socket(s: &mut Session, id: u64, scenario: &Scenario, shards: Option<usize>) {
+    let parser: LineParser = Arc::new(net_parse);
+    let listener = match NetListener::tcp("127.0.0.1:0") {
+        Ok(listener) => listener,
+        Err(e) => {
+            s.fail(id, format!("cannot bind a loopback port: {e}"), scenario);
+            return;
+        }
+    };
+    let server = NetServer::start(LiveConfig::with_threads(2), shards, listener, parser);
+    let addr = server.addr().to_owned();
+
+    // Connect sequentially, reading each greeting before the next
+    // connect, so client ids match scenario positions.
+    let mut streams: Vec<Option<(TcpStream, BufReader<TcpStream>)>> = Vec::new();
+    for client in 0..scenario.events.len() {
+        let stream = TcpStream::connect(&addr).expect("connecting to the chaos server");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(120)))
+            .expect("setting a read timeout");
+        let mut reader = BufReader::new(stream.try_clone().expect("cloning the stream"));
+        let mut greeting = String::new();
+        reader.read_line(&mut greeting).expect("greeting");
+        if !greeting.contains(&format!("\"client\": {client}")) {
+            s.fail(id, format!("wrong greeting: {greeting}"), scenario);
+        }
+        streams.push(Some((stream, reader)));
+    }
+
+    // Merge events exactly as the replay does — (generation, client,
+    // position) — and drive them down the live connections.
+    let mut merged: Vec<(u32, usize, &Event)> = Vec::new();
+    for (client, events) in scenario.events.iter().enumerate() {
+        for (generation, event) in events {
+            merged.push((*generation, client, event));
+        }
+    }
+    merged.sort_by_key(|&(generation, _, _)| generation);
+
+    let mut expected: Vec<Expected> = scenario
+        .events
+        .iter()
+        .map(|_| Expected::default())
+        .collect();
+    let mut tallies: Vec<Tally> = scenario.events.iter().map(|_| Tally::default()).collect();
+    for (_, client, event) in merged {
+        let Some((stream, reader)) = streams[client].as_mut() else {
+            continue;
+        };
+        match event {
+            Event::Disconnect => {
+                // Barrier first: once the stats response arrives, every
+                // earlier line on this connection is registered, so the
+                // disconnect cancels exactly the still-outstanding ones
+                // and the report accounts for all of them.
+                writeln!(stream, "stats").expect("writing the disconnect barrier");
+                let pending = expected[client].stats - tallies[client].stats;
+                if let Err(reason) = read_until_stats(client, reader, &mut tallies[client], pending)
+                {
+                    s.fail(id, reason, scenario);
+                }
+                streams[client] = None;
+            }
+            Event::Line(line) => {
+                writeln!(stream, "{line}").expect("writing a scenario line");
+                match net_parse(line) {
+                    Err(_) => expected[client].parse_errors += 1,
+                    Ok(None) => {}
+                    Ok(Some(NetDirective::Submit(_))) => expected[client].submits += 1,
+                    Ok(Some(NetDirective::Stats)) => expected[client].stats += 1,
+                    Ok(Some(NetDirective::Cancel(local))) => {
+                        // In-range cancels are silent; out-of-range ones
+                        // are typed errors. "In range" is judged against
+                        // what this client has submitted so far.
+                        if local >= expected[client].submits {
+                            expected[client].unknown_ids += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Barrier every surviving connection, so shutdown cannot outrun a
+    // reader thread that still holds unprocessed frames.
+    for (client, entry) in streams.iter_mut().enumerate() {
+        let Some((stream, reader)) = entry.as_mut() else {
+            continue;
+        };
+        writeln!(stream, "stats").expect("writing the shutdown barrier");
+        let pending = expected[client].stats - tallies[client].stats;
+        if let Err(reason) = read_until_stats(client, reader, &mut tallies[client], pending) {
+            s.fail(id, reason, scenario);
+        }
+    }
+
+    // Seal the queue: pending work surfaces as cancelled/skipped and
+    // streams to the still-connected clients, then the channels close.
+    let report = match server.shutdown() {
+        Some(report) => report,
+        None => {
+            s.fail(id, "shutdown returned no report".to_owned(), scenario);
+            return;
+        }
+    };
+
+    let total_submits: usize = expected.iter().map(|e| e.submits).sum();
+    if report.outcomes.len() != total_submits {
+        s.fail(
+            id,
+            format!(
+                "report accounts for {} outcomes, {} were submitted",
+                report.outcomes.len(),
+                total_submits
+            ),
+            scenario,
+        );
+    }
+    for outcome in &report.outcomes {
+        if outcome.client.is_none() {
+            s.fail(
+                id,
+                format!("outcome {} lost its client stamp", outcome.index),
+                scenario,
+            );
+        }
+    }
+
+    // Drain every surviving connection to EOF — the sealed tail — then
+    // compare tallies. Surviving clients get exactly one outcome line
+    // per submission; a disconnected client received a prefix (the
+    // router drops its lines once the connection is gone).
+    let survived: Vec<bool> = streams.iter().map(Option::is_some).collect();
+    for (client, entry) in streams.into_iter().enumerate() {
+        let Some((stream, mut reader)) = entry else {
+            continue;
+        };
+        drop(stream);
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => match classify(client, &line) {
+                    Some(Kind::Outcome) => tallies[client].outcomes += 1,
+                    Some(Kind::Error) => tallies[client].errors += 1,
+                    Some(Kind::Stats) => tallies[client].stats += 1,
+                    None => s.fail(
+                        id,
+                        format!("client {client}: bad envelope: {line}"),
+                        scenario,
+                    ),
+                },
+                Err(e) => {
+                    s.fail(id, format!("client {client} read failed: {e}"), scenario);
+                    break;
+                }
+            }
+        }
+    }
+    for (client, (want, got)) in expected.iter().zip(&tallies).enumerate() {
+        let outcomes_ok = if survived[client] {
+            got.outcomes == want.submits
+        } else {
+            got.outcomes <= want.submits
+        };
+        if !outcomes_ok {
+            s.fail(
+                id,
+                format!(
+                    "client {client}: {} outcome lines for {} submissions (survived: {})",
+                    got.outcomes, want.submits, survived[client]
+                ),
+                scenario,
+            );
+        }
+        if got.errors != want.parse_errors + want.unknown_ids {
+            s.fail(
+                id,
+                format!(
+                    "client {client}: {} error lines, expected {} parse + {} unknown-id",
+                    got.errors, want.parse_errors, want.unknown_ids
+                ),
+                scenario,
+            );
+        }
+        if got.stats != want.stats {
+            s.fail(
+                id,
+                format!(
+                    "client {client}: {} stats lines for {} requests",
+                    got.stats, want.stats
+                ),
+                scenario,
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "chaos: scenarios={} clients={} events={} seed={} mode={} (reproduce with --seed {})",
+        args.scenarios, args.clients, args.events, args.seed, args.mode, args.seed
+    );
+
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut session = Session {
+        seed: args.seed,
+        failures: Vec::new(),
+    };
+    for id in 0..args.scenarios {
+        let scenario = gen_scenario(&mut rng, args.clients, args.events);
+        if args.mode != "socket" {
+            check_replay(&mut session, id, &scenario);
+        }
+        if args.mode != "replay" {
+            // Alternate flat and sharded serving across scenarios.
+            let shards = if id % 2 == 0 { None } else { Some(2) };
+            check_socket(&mut session, id, &scenario, shards);
+        }
+        println!("chaos: scenario {id} checked");
+    }
+
+    if session.failures.is_empty() {
+        println!("chaos: all scenarios clean");
+        return ExitCode::SUCCESS;
+    }
+    let dir = std::path::Path::new("chaos-failures");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("chaos: cannot create {}: {e}", dir.display());
+    }
+    for (id, reason, script) in &session.failures {
+        let name = format!("scenario-seed{}-{id}.txt", session.seed);
+        let path = dir.join(&name);
+        let body = format!(
+            "# chaos failure: {reason}\n\
+             # reproduce: cargo run --release --example chaos -- --seed {} \n\
+             {script}",
+            session.seed
+        );
+        match std::fs::write(&path, body) {
+            Ok(()) => eprintln!("chaos: {reason} -> {name}"),
+            Err(e) => eprintln!("chaos: cannot write {}: {e}", path.display()),
+        }
+    }
+    eprintln!(
+        "chaos: {} failure(s); scripts under {} (reproduce with --seed {})",
+        session.failures.len(),
+        dir.display(),
+        session.seed
+    );
+    ExitCode::FAILURE
+}

@@ -4,7 +4,11 @@
 //! * the batch-manifest grammar ([`tamopt::cli::parse_manifest`]),
 //! * the serve line protocol ([`tamopt::cli::parse_serve_line`]),
 //! * the ITC'02 SOC parser ([`tamopt::soc::itc02`]),
-//! * the warm-start store file format ([`tamopt::store::Store`]).
+//! * the warm-start store file format ([`tamopt::store::Store`]),
+//! * the framed network protocol ([`tamopt::service::LineFramer`] +
+//!   the serve grammar): split, merged, oversized and interleaved
+//!   lines must frame chunking-invariantly and answer with error
+//!   lines — never a panic or a wedged connection.
 //!
 //! This is **not** cargo-fuzz: the build container has no crates.io
 //! access, so the harness is a plain example over the vendored `rand`
@@ -18,7 +22,7 @@
 //!
 //! ```text
 //! cargo run --release --example fuzz -- [--iters N] [--seed S] \
-//!     [--surface all|manifest|serve|itc02|store]
+//!     [--surface all|manifest|serve|itc02|store|net]
 //! ```
 //!
 //! On any violation the offending input is written to `fuzz-failures/`
@@ -29,6 +33,7 @@ use std::process::ExitCode;
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use tamopt::cli::{parse_manifest, parse_serve_line};
+use tamopt::service::{error_line, Frame, LineFramer, MAX_LINE_LEN};
 use tamopt::soc::itc02::{parse_itc02, write_itc02};
 use tamopt::soc::{
     benchmarks,
@@ -38,7 +43,7 @@ use tamopt::soc::{
 use tamopt::store::{CostColumns, Store, StoreConfig};
 use tamopt::TimeTable;
 
-const SURFACES: [&str; 4] = ["manifest", "serve", "itc02", "store"];
+const SURFACES: [&str; 5] = ["manifest", "serve", "itc02", "store", "net"];
 const BENCHES: [&str; 4] = ["d695", "p21241", "p31108", "p93791"];
 
 /// The in-memory SOC resolver: benchmark names only, no filesystem, so
@@ -54,7 +59,7 @@ fn resolve(name: &str) -> Result<Soc, String> {
 }
 
 fn usage() -> String {
-    "usage: fuzz [--iters N] [--seed S] [--surface all|manifest|serve|itc02|store]".to_owned()
+    "usage: fuzz [--iters N] [--seed S] [--surface all|manifest|serve|itc02|store|net]".to_owned()
 }
 
 struct Args {
@@ -367,6 +372,126 @@ fn fuzz_store(s: &mut Session, iters: u64, columns: &CostColumns) {
     }
 }
 
+/// A hostile framed byte stream: valid serve lines, junk, carriage
+/// returns, an occasional oversized line, sometimes an unterminated
+/// tail — the traffic shapes a network peer can produce.
+fn gen_net_stream(rng: &mut StdRng) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for _ in 0..rng.gen_range(1..=6u32) {
+        match rng.gen_range(0u32..8) {
+            0 => {
+                let over = MAX_LINE_LEN + rng.gen_range(1..=65usize);
+                bytes.extend(std::iter::repeat_n(b'z', over));
+            }
+            1 => {
+                for _ in 0..rng.gen_range(1..=24u32) {
+                    let byte = rng.gen::<u8>();
+                    if byte != b'\n' {
+                        bytes.push(byte);
+                    }
+                }
+            }
+            2 => bytes.extend_from_slice(b"cancel 99999999999999999999999999"),
+            _ => {
+                bytes.extend(gen_serve_line(rng).into_bytes());
+                if rng.gen::<bool>() {
+                    bytes.push(b'\r');
+                }
+            }
+        }
+        bytes.push(b'\n');
+    }
+    if rng.gen::<bool>() {
+        bytes.pop();
+    }
+    bytes
+}
+
+/// Frames `stream` pushed in random chunks (down to single bytes).
+fn frames_chunked(rng: &mut StdRng, stream: &[u8]) -> Vec<Frame> {
+    let mut framer = LineFramer::new();
+    let mut frames = Vec::new();
+    let mut rest = stream;
+    while !rest.is_empty() {
+        let take = rng.gen_range(1..=rest.len().min(97));
+        frames.extend(framer.push(&rest[..take]));
+        rest = &rest[take..];
+    }
+    frames.extend(framer.finish());
+    frames
+}
+
+fn fuzz_net(s: &mut Session, iters: u64) {
+    for case in 0..iters {
+        let stream = gen_net_stream(&mut s.rng);
+        // Semantic oracle: framing is chunking-invariant — the same
+        // bytes split or merged arbitrarily yield the same frames.
+        let mut whole = LineFramer::new();
+        let mut reference = whole.push(&stream);
+        reference.extend(whole.finish());
+        let chunked = frames_chunked(&mut s.rng, &stream);
+        if chunked != reference {
+            s.fail(
+                "net",
+                case,
+                "framing depends on chunk boundaries".to_owned(),
+                &stream,
+            );
+        }
+        // An oversized line never wedges the connection: a valid line
+        // appended after the whole stream still frames intact.
+        let mut resync = LineFramer::new();
+        let mut tail = resync.push(&stream);
+        tail.extend(resync.push(b"\nstats\n"));
+        match tail.last() {
+            Some(Frame::Line(line)) if line == "stats" => {}
+            other => s.fail(
+                "net",
+                case,
+                format!("no resync after the stream: {other:?}"),
+                &stream,
+            ),
+        }
+        // Robustness: every framed line goes through the real serve
+        // grammar; rejections must render as well-formed single-line
+        // versioned error lines — never a panic.
+        s.must_not_panic("net", case, &stream, || {
+            for frame in &reference {
+                let detail = match frame {
+                    Frame::Oversized => "line exceeds the frame limit".to_owned(),
+                    Frame::Line(text) => match parse_serve_line(text, &resolve) {
+                        Err(message) => message,
+                        Ok(_) => continue,
+                    },
+                };
+                let line = error_line(0, "parse", &detail);
+                assert!(
+                    line.ends_with('\n') && !line[..line.len() - 1].contains('\n'),
+                    "error line spans lines: {line:?}"
+                );
+                assert!(
+                    line.starts_with("{\"v\": 1, \"client\": 0, \"error\": "),
+                    "error line lost its envelope: {line:?}"
+                );
+            }
+        });
+        // And once more on mutated bytes: frame + parse arbitrary
+        // garbage without panicking.
+        let mut mutated = stream;
+        mutate(&mut s.rng, &mut mutated);
+        s.must_not_panic("net", case, &mutated, || {
+            let mut framer = LineFramer::new();
+            let mut frames = framer.push(&mutated);
+            frames.extend(framer.finish());
+            for frame in frames {
+                if let Frame::Line(text) = frame {
+                    let _ = parse_serve_line(&text, &resolve);
+                }
+            }
+        });
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -405,6 +530,9 @@ fn main() -> ExitCode {
     }
     if run("store") {
         fuzz_store(&mut session, args.iters, &columns);
+    }
+    if run("net") {
+        fuzz_net(&mut session, args.iters);
     }
     let _ = std::panic::take_hook();
 
