@@ -7,8 +7,9 @@
 SHELL := /bin/bash
 
 .PHONY: all build test verify doc-gate determinism serve-determinism \
-        shard-determinism store-determinism fuzz-smoke chaos-soak alloc-gate \
-        bench-smoke bench-json bench-compare msrv-check lint fmt clean
+        shard-determinism store-determinism recovery-determinism fuzz-smoke \
+        chaos-soak alloc-gate bench-smoke bench-json bench-compare msrv-check \
+        lint fmt clean
 
 all: build test lint
 
@@ -66,7 +67,8 @@ chaos-soak:
 
 # --- CI job: determinism ----------------------------------------------------
 
-determinism: serve-determinism shard-determinism store-determinism
+determinism: serve-determinism shard-determinism store-determinism \
+             recovery-determinism
 	cargo test --release -p tamopt_partition --test determinism
 	cargo test --release -p tamopt_rail --test determinism
 	cargo test --release -p tamopt_service --test batch
@@ -144,6 +146,21 @@ store-determinism:
 	  < examples/serve.trace | grep -v wall_clock > /tmp/serve_warm_t4.txt; \
 	diff /tmp/serve_warm_t1.txt /tmp/serve_warm_t4.txt
 
+# Crash-safety gate: the service-level recovery suite (journal redo
+# over threads {1,2,8} × shards {flat,1,2,4}, torn-tail recovery,
+# deterministic overload shedding, the network in-flight quota), the
+# end-to-end suite that SIGKILLs a real `--journal --store` daemon
+# mid-workload and restarts it with `--break-locks` (accepted ⊆
+# answered, winners byte-identical to an uninterrupted run, journal
+# compacted back to its empty header), and a seeded slice of the chaos
+# harness's kill-restart mode (which needs the release `tamopt` binary
+# built first).
+recovery-determinism:
+	cargo test --release -p tamopt_service --test recovery
+	cargo build --release -p tamopt
+	cargo test --release -p tamopt --test recovery
+	cargo run --release --example chaos -- --mode crash --seed 1 --scenarios 3
+
 # --- CI job: bench-smoke ----------------------------------------------------
 
 bench-smoke:
@@ -156,7 +173,7 @@ bench-json:
 	cargo bench -p tamopt_bench \
 	  --bench bench_parallel --bench bench_scan --bench bench_batch \
 	  --bench bench_serve --bench bench_topk --bench bench_shard \
-	  --bench bench_store --bench bench_net
+	  --bench bench_store --bench bench_net --bench bench_journal
 	cargo run --release -p tamopt_bench --bin bench_json -- \
 	  --prefix parallel_ --out BENCH_parallel.json
 	cargo run --release -p tamopt_bench --bin bench_json -- \
@@ -173,12 +190,14 @@ bench-json:
 	  --prefix store_ --out BENCH_store.json
 	cargo run --release -p tamopt_bench --bin bench_json -- \
 	  --prefix net_ --out BENCH_net.json
+	cargo run --release -p tamopt_bench --bin bench_json -- \
+	  --prefix journal_ --out BENCH_journal.json
 
 # Perf-regression comparator (warn-only, mirrors the CI step): put the
 # previous run's exports under baseline/ and compare. Missing baselines
 # pass cleanly.
 bench-compare:
-	for family in parallel scan batch serve topk shard store net; do \
+	for family in parallel scan batch serve topk shard store net journal; do \
 	  cargo run --release -p tamopt_bench --bin bench_json -- \
 	    --compare baseline/BENCH_$${family}.json BENCH_$${family}.json \
 	    --threshold 15 || exit 1; \

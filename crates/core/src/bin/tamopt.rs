@@ -13,7 +13,9 @@
 //!
 //!   tamopt serve [--threads <N>] [--time-limit <seconds>]
 //!                [--no-warm-start] [--aging <rate>]
-//!                [--store <file.tamstore>]
+//!                [--store <file.tamstore>] [--journal <file.tamjrnl>]
+//!                [--sync always|interval[:N]|never] [--break-locks]
+//!                [--max-pending <N>] [--max-inflight <N>] [--max-budget <nodes>]
 //!                [--listen <ip:port> | --socket <path>]
 //! ```
 //!
@@ -56,6 +58,29 @@
 //! compressed cost tables survive across runs, so a restarted daemon
 //! finds the same winners with strictly less work. Only one process
 //! may hold a store at a time (a sidecar lock file enforces this).
+//!
+//! `--journal <file.tamjrnl>` makes `serve` crash-safe: every accepted
+//! submission and cancellation is appended to a write-ahead journal at
+//! accept time, and every printed outcome seals its id. A daemon killed
+//! mid-workload (`kill -9` included) replays the journal on restart and
+//! deterministically resubmits exactly the accepted-but-unsealed
+//! requests — recovered outcome lines (original ids) print before any
+//! new input is read, and with `--store` the redo costs strictly less
+//! work while finding identical winners. `--sync` picks the fsync
+//! policy (`always` per record, `interval[:N]` every N records,
+//! `never`); a clean shutdown compacts the journal to an empty header.
+//! Trace-replay stdin (`@`-tagged) is not journalled — a trace is its
+//! own deterministic recovery script. After a crash, stale sidecar
+//! locks block reopening; `--break-locks` removes them first.
+//!
+//! Overload protection: `--max-pending <N>` bounds the accepted backlog
+//! (per shard with `--shards`) — at the cap, the lowest aged effective
+//! priority sheds deterministically, either as a `shed` outcome (queued
+//! victim) or a typed `overloaded` error line refusing the newcomer
+//! (which never drops the connection). `--max-inflight <N>` caps one
+//! network client's outstanding requests; `--max-budget <nodes>`
+//! clamps every request's node budget server-side (graceful
+//! degradation rather than refusal).
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -66,11 +91,12 @@ use tamopt::cost::{BusCost, GateWeights};
 use tamopt::rail::{design_rails, RailConfig, RailCostModel};
 use tamopt::schedule::TestSchedule;
 use tamopt::service::{
-    BatchConfig, LiveConfig, LiveQueue, NetDirective, NetListener, NetServer, Request,
-    RequestStatus, ShardTrace, ShardedQueue, StoreBinding, Trace, WIRE_VERSION,
+    BatchConfig, JournalBinding, LiveConfig, LiveQueue, NetDirective, NetListener, NetOptions,
+    NetServer, Request, RequestOutcome, RequestStatus, ShardTrace, ShardedQueue, StoreBinding,
+    SubmitError, Trace, WIRE_VERSION,
 };
 use tamopt::soc::format::parse_soc;
-use tamopt::store::{Store, StoreConfig};
+use tamopt::store::{Journal, JournalRecord, Store, StoreConfig, SyncPolicy};
 use tamopt::{benchmarks, CoOptimizer, Soc, Strategy};
 
 #[derive(Debug)]
@@ -235,9 +261,9 @@ fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs,
 /// recovery warnings (corrupt or old-layout files open as what could be
 /// salvaged) on stderr. Hard failures — a held lock, a future format
 /// version, I/O errors — abort the run.
-fn open_store(path: &str) -> Result<StoreBinding, String> {
-    let store = Store::open(path, StoreConfig::default())
-        .map_err(|e| format!("cannot open store `{path}`: {e}"))?;
+fn open_store(path: &str, config: StoreConfig) -> Result<StoreBinding, String> {
+    let store =
+        Store::open(path, config).map_err(|e| format!("cannot open store `{path}`: {e}"))?;
     for warning in store.warnings() {
         eprintln!("tamopt: store `{path}`: {warning}");
     }
@@ -271,7 +297,7 @@ fn batch_main(argv: impl Iterator<Item = String>) -> ExitCode {
         config = config.time_limit(limit);
     }
     if let Some(path) = &args.store {
-        config.store = match open_store(path) {
+        config.store = match open_store(path, StoreConfig::default()) {
             Ok(binding) => Some(binding),
             Err(msg) => {
                 eprintln!("{msg}");
@@ -309,6 +335,23 @@ struct ServeArgs {
     /// single-queue daemon with its byte-identical legacy output.
     shards: Option<usize>,
     store: Option<String>,
+    /// `--journal <path>`: write-ahead request journal for crash-safe
+    /// serving (see [`tamopt::store::Journal`]).
+    journal: Option<String>,
+    /// `--sync`: fsync policy for the journal (and the store's saves).
+    sync: SyncPolicy,
+    /// `--break-locks`: remove stale store/journal lock sidecars left
+    /// by a killed process before opening.
+    break_locks: bool,
+    /// `--max-pending`: accepted-backlog cap (0 = unbounded; per shard
+    /// with `--shards`).
+    max_pending: usize,
+    /// `--max-inflight`: per-client outstanding-request quota in
+    /// network mode (0 = unbounded).
+    max_inflight: usize,
+    /// `--max-budget`: server-side clamp on every request's node
+    /// budget.
+    max_budget: Option<u64>,
     /// `--listen <ip:port>`: serve the line protocol to many TCP
     /// clients instead of stdin.
     listen: Option<String>,
@@ -319,7 +362,10 @@ struct ServeArgs {
 fn serve_usage() -> &'static str {
     "usage: tamopt serve [--threads <N per shard, 0 = all CPUs>] [--time-limit <seconds>] \
      [--no-warm-start] [--aging <rate, 0 = strict priorities>] [--shards <N>] \
-     [--store <file.tamstore>] [--listen <ip:port> | --socket <path>]\n\
+     [--store <file.tamstore>] [--journal <file.tamjrnl>] \
+     [--sync always|interval[:N]|never] [--break-locks] \
+     [--max-pending <N, 0 = unbounded>] [--max-inflight <N, 0 = unbounded>] \
+     [--max-budget <nodes>] [--listen <ip:port> | --socket <path>]\n\
      stdin lines: <soc> <width> <max-tams> [min-tams=N] [priority=P] \
      [time-limit=S] [node-budget=N] [kind=point|topk:K|frontier:LO..HI:STEP]  \
      |  cancel <id>  |  stats (live mode only)\n\
@@ -336,6 +382,12 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
     let mut aging = 0u32;
     let mut shards = None;
     let mut store = None;
+    let mut journal = None;
+    let mut sync = SyncPolicy::default();
+    let mut break_locks = false;
+    let mut max_pending = 0usize;
+    let mut max_inflight = 0usize;
+    let mut max_budget = None;
     let mut listen = None;
     let mut socket = None;
     while let Some(flag) = argv.next() {
@@ -362,6 +414,28 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
                 shards = Some(n);
             }
             "--store" => store = Some(value("--store")?),
+            "--journal" => journal = Some(value("--journal")?),
+            "--sync" => sync = value("--sync")?.parse()?,
+            "--break-locks" => break_locks = true,
+            "--max-pending" => {
+                max_pending = value("--max-pending")?
+                    .parse()
+                    .map_err(|_| "invalid --max-pending value".to_owned())?
+            }
+            "--max-inflight" => {
+                max_inflight = value("--max-inflight")?
+                    .parse()
+                    .map_err(|_| "invalid --max-inflight value".to_owned())?
+            }
+            "--max-budget" => {
+                let nodes: u64 = value("--max-budget")?
+                    .parse()
+                    .map_err(|_| "invalid --max-budget value".to_owned())?;
+                if nodes == 0 {
+                    return Err("--max-budget must be at least 1".to_owned());
+                }
+                max_budget = Some(nodes);
+            }
             "--listen" => listen = Some(value("--listen")?),
             "--socket" => socket = Some(value("--socket")?),
             "--help" | "-h" => return Err(serve_usage().to_owned()),
@@ -378,6 +452,12 @@ fn parse_serve_args(mut argv: impl Iterator<Item = String>) -> Result<ServeArgs,
         aging,
         shards,
         store,
+        journal,
+        sync,
+        break_locks,
+        max_pending,
+        max_inflight,
+        max_budget,
         listen,
         socket,
     })
@@ -399,11 +479,32 @@ impl ServeQueue {
         }
     }
 
-    /// Whether the submission was accepted.
-    fn submit(&self, request: Request) -> bool {
+    /// Submits a request, returning its **global** id.
+    fn submit(&self, request: Request) -> Result<usize, SubmitError> {
         match self {
-            ServeQueue::Flat(q) => q.submit(request).is_ok(),
-            ServeQueue::Sharded(q) => q.submit(request).is_ok(),
+            ServeQueue::Flat(q) => q.submit(request).map(|(id, _)| id.index()),
+            ServeQueue::Sharded(q) => q.submit(request).map(|(id, _)| id.index()),
+        }
+    }
+
+    /// Submits pinned to `shard` when both the pin and the sharding
+    /// exist — the recovery path re-running a journalled request where
+    /// it was originally accepted; routes normally otherwise.
+    fn submit_pinned(&self, shard: Option<usize>, request: Request) -> Result<usize, SubmitError> {
+        match (self, shard) {
+            (ServeQueue::Sharded(q), Some(shard)) => {
+                q.submit_pinned(shard, request).map(|(id, _)| id.index())
+            }
+            _ => self.submit(request),
+        }
+    }
+
+    /// The shard that accepted global id `id` (`None` when flat) — the
+    /// accept-time stamp the journal records.
+    fn shard_of(&self, id: usize) -> Option<usize> {
+        match self {
+            ServeQueue::Flat(_) => None,
+            ServeQueue::Sharded(q) => q.shard_of(id.into()),
         }
     }
 
@@ -447,11 +548,35 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
     let mut config = LiveConfig::with_threads(args.threads);
     config.warm_start = args.warm_start;
     config.aging = args.aging;
+    config.max_pending = args.max_pending;
     if let Some(limit) = args.time_limit {
         config = config.time_limit(limit);
     }
+    // A SIGKILLed daemon leaves its sidecar locks behind; the operator
+    // opts into reclaiming them (a *live* holder would lose the lock
+    // too — breaking is explicitly not automatic).
+    if args.break_locks {
+        if let Some(path) = &args.store {
+            match Store::break_lock(path) {
+                Ok(true) => eprintln!("tamopt: store `{path}`: broke a stale lock"),
+                Ok(false) => {}
+                Err(e) => eprintln!("tamopt: store `{path}`: cannot break lock: {e}"),
+            }
+        }
+        if let Some(path) = &args.journal {
+            match Journal::break_lock(path) {
+                Ok(true) => eprintln!("tamopt: journal `{path}`: broke a stale lock"),
+                Ok(false) => {}
+                Err(e) => eprintln!("tamopt: journal `{path}`: cannot break lock: {e}"),
+            }
+        }
+    }
     if let Some(path) = &args.store {
-        config.store = match open_store(path) {
+        let store_config = StoreConfig {
+            sync: args.sync,
+            ..StoreConfig::default()
+        };
+        config.store = match open_store(path, store_config) {
             Ok(binding) => Some(binding),
             Err(msg) => {
                 eprintln!("{msg}");
@@ -464,8 +589,32 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
     // (and the replay comparator) key their parsing off this version.
     println!("{{\"protocol\": \"tamopt-serve\", \"v\": {WIRE_VERSION}}}");
 
+    // Crash safety: open the write-ahead journal and — before reading
+    // any input — redo whatever a previous process accepted but never
+    // sealed. Recovered outcome lines print first, with original ids.
+    let journal = match &args.journal {
+        None => None,
+        Some(path) => match Journal::open(path, args.sync) {
+            Err(e) => {
+                eprintln!("cannot open journal `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            Ok(opened) => {
+                for warning in &opened.warnings {
+                    eprintln!("tamopt: journal `{path}`: {warning}");
+                }
+                let binding = JournalBinding::new(opened.journal);
+                if let Err(msg) = recover_journal(&opened.records, &binding, &config, &args) {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+                Some(binding)
+            }
+        },
+    };
+
     if args.listen.is_some() || args.socket.is_some() {
-        return serve_net(&args, config);
+        return serve_net(&args, config, journal);
     }
 
     use std::io::BufRead as _;
@@ -473,7 +622,8 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
     let mut lines = stdin.lock().lines().enumerate();
 
     // The first directive decides the mode: `@`-tagged → deterministic
-    // trace replay; untagged → live submission as lines arrive.
+    // trace replay; untagged → live submission as lines arrive. The raw
+    // line text rides along — it is what the journal records.
     let first = loop {
         match lines.next() {
             None => break None,
@@ -487,7 +637,7 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
                 };
                 match parse_serve_line(&line, &load_soc) {
                     Ok(None) => continue,
-                    Ok(Some(directive)) => break Some((number, directive)),
+                    Ok(Some(directive)) => break Some((number, line, directive)),
                     Err(msg) => {
                         eprintln!("serve: line {}: {msg}", number + 1);
                         return ExitCode::FAILURE;
@@ -503,8 +653,13 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
             Some(shards) => ShardedQueue::replay(ShardTrace::new(), config, shards).1,
             None => LiveQueue::replay(Trace::new(), config).1,
         },
-        Some((first_number, (Some(first_tag), first_directive))) => {
-            // Trace mode: collect the whole input, then replay.
+        Some((first_number, _, (Some(first_tag), first_directive))) => {
+            // Trace mode: collect the whole input, then replay. A trace
+            // is its own deterministic recovery script, so it is not
+            // journalled (recovery of a *previous* crash already ran).
+            if journal.is_some() {
+                eprintln!("serve: trace replay is not journalled (the trace itself is the recovery script)");
+            }
             if matches!(first_directive, ServeLine::Stats) {
                 eprintln!(
                     "serve: line {}: `stats` is only available in live mode",
@@ -551,12 +706,15 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
                     let mut trace = ShardTrace::new();
                     for (_, tag, directive) in events {
                         trace = match directive {
-                            ServeLine::Submit(request) => match tag.shard {
-                                Some(shard) => {
-                                    trace.submit_pinned_at(tag.generation, shard, request)
+                            ServeLine::Submit(mut request) => {
+                                clamp_budget(&mut request, args.max_budget);
+                                match tag.shard {
+                                    Some(shard) => {
+                                        trace.submit_pinned_at(tag.generation, shard, request)
+                                    }
+                                    None => trace.submit_at(tag.generation, request),
                                 }
-                                None => trace.submit_at(tag.generation, request),
-                            },
+                            }
                             // A cancel routes to the owner of the id;
                             // any shard pin on it is redundant.
                             ServeLine::Cancel(id) => trace.cancel_at(tag.generation, id),
@@ -576,7 +734,10 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
                             return ExitCode::FAILURE;
                         }
                         trace = match directive {
-                            ServeLine::Submit(request) => trace.submit_at(tag.generation, request),
+                            ServeLine::Submit(mut request) => {
+                                clamp_budget(&mut request, args.max_budget);
+                                trace.submit_at(tag.generation, request)
+                            }
                             ServeLine::Cancel(id) => trace.cancel_at(tag.generation, id),
                             ServeLine::Stats => unreachable!("rejected during collection"),
                         };
@@ -589,7 +750,7 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
             }
             report
         }
-        Some((first_number, (None, first_directive))) => {
+        Some((first_number, first_line, (None, first_directive))) => {
             // Live mode: submit each line as it is read; outcomes stream
             // concurrently. Parse errors are reported and skipped — work
             // already submitted keeps running — but fail the exit code.
@@ -602,27 +763,61 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
                     while let Some(outcome) = queue.recv_outcome() {
                         let _ = out.write_all(outcome.to_json_line().as_bytes());
                         let _ = out.flush();
+                        // Seal after the line reached the output: a
+                        // crash in between redoes the request rather
+                        // than losing it.
+                        if let Some(journal) = &journal {
+                            journal.sealed(outcome.index);
+                        }
                     }
                 });
-                let apply = |number: usize, directive: ServeLine, errors: &mut u32| match directive
-                {
-                    ServeLine::Submit(request) => {
-                        if !queue.submit(request) {
-                            eprintln!("serve: line {}: queue is shut down", number + 1);
-                            *errors += 1;
+                let apply = |number: usize, line: &str, directive: ServeLine, errors: &mut u32| {
+                    match directive {
+                        ServeLine::Submit(mut request) => {
+                            clamp_budget(&mut request, args.max_budget);
+                            match queue.submit(request) {
+                                Ok(id) => {
+                                    if let Some(journal) = &journal {
+                                        journal.submit(id, None, queue.shard_of(id), line);
+                                    }
+                                }
+                                Err(SubmitError::ShutDown) => {
+                                    eprintln!("serve: line {}: queue is shut down", number + 1);
+                                    *errors += 1;
+                                }
+                                // Load shedding is an operational state,
+                                // not an input error: report it without
+                                // failing the run.
+                                Err(SubmitError::Overloaded) => {
+                                    eprintln!(
+                                        "serve: line {}: overloaded — request shed (backlog at \
+                                     max-pending)",
+                                        number + 1
+                                    );
+                                }
+                            }
                         }
-                    }
-                    ServeLine::Cancel(id) => {
-                        if !queue.cancel(id) {
-                            eprintln!("serve: line {}: unknown request id {id}", number + 1);
-                            *errors += 1;
+                        ServeLine::Cancel(id) => {
+                            if queue.cancel(id) {
+                                if let Some(journal) = &journal {
+                                    journal.cancel(id);
+                                }
+                            } else {
+                                eprintln!("serve: line {}: unknown request id {id}", number + 1);
+                                *errors += 1;
+                            }
                         }
-                    }
-                    ServeLine::Stats => {
-                        println!("{}", queue.stats_json());
+                        ServeLine::Stats => {
+                            println!("{}", queue.stats_json());
+                        }
                     }
                 };
-                apply(first_number, first_directive, &mut parse_errors);
+                apply(
+                    first_number,
+                    &first_line,
+                    first_directive,
+                    &mut parse_errors,
+                );
                 for (number, line) in lines {
                     let line = match line {
                         Ok(l) => l,
@@ -635,7 +830,7 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
                     match parse_serve_line(&line, &load_soc) {
                         Ok(None) => {}
                         Ok(Some((None, directive))) => {
-                            apply(number, directive, &mut parse_errors);
+                            apply(number, &line, directive, &mut parse_errors);
                         }
                         Ok(Some((Some(_), _))) => {
                             eprintln!(
@@ -657,6 +852,11 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
             });
             if parse_errors > 0 {
                 eprintln!("{parse_errors} invalid line(s)");
+                // Even a failed run drained its queue and sealed every
+                // outcome — a clean shutdown as far as the journal goes.
+                if let Some(journal) = &journal {
+                    journal.compact();
+                }
                 print!("{}", report.to_json());
                 return ExitCode::FAILURE;
             }
@@ -664,6 +864,11 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
         }
     };
 
+    // Clean shutdown: every accepted id is sealed, so the journal owes
+    // nothing — truncate it to an empty header.
+    if let Some(journal) = &journal {
+        journal.compact();
+    }
     print!("{}", report.to_json());
     let failed = report.count(RequestStatus::Failed);
     if failed > 0 {
@@ -673,11 +878,113 @@ fn serve_main(argv: impl Iterator<Item = String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Applies the server-side `--max-budget` clamp to one request: the
+/// request keeps its own node budget if tighter, graceful degradation
+/// instead of refusal otherwise.
+fn clamp_budget(request: &mut Request, max_budget: Option<u64>) {
+    if let Some(nodes) = max_budget {
+        request.budget = request.budget.clone().and_node_budget(nodes);
+    }
+}
+
+/// Redoes a crashed daemon's accepted-but-unsealed requests, so a
+/// `kill -9` mid-workload loses nothing: parses each journaled line,
+/// resubmits the live ones in original-id order through a fresh queue
+/// of the same shape, prints every outcome with its original id and
+/// client stamp, and seals it. Requests that were cancelled before the
+/// crash are not re-run — their `cancelled` outcome is synthesized
+/// directly — so the output still closes every accepted id exactly
+/// once. With `--store`, the redo finds identical winners with strictly
+/// fewer completed evaluations.
+fn recover_journal(
+    records: &[JournalRecord],
+    journal: &JournalBinding,
+    config: &LiveConfig,
+    args: &ServeArgs,
+) -> Result<(), String> {
+    let pending = tamopt::store::journal::unsealed(records);
+    if pending.is_empty() {
+        return Ok(());
+    }
+    eprintln!(
+        "tamopt: journal: recovering {} accepted-but-unsealed request(s)",
+        pending.len()
+    );
+    // Parse every line up front: a journaled line was accepted by a
+    // previous run, so a failure means a foreign or hand-edited file —
+    // refuse loudly rather than dropping an accepted request.
+    let mut live = Vec::new();
+    let mut outcomes = Vec::new();
+    for r in &pending {
+        let parsed = parse_serve_line(&r.line, &load_soc)
+            .map_err(|e| format!("journal: request {}: {e}", r.id))?;
+        let Some((None, ServeLine::Submit(mut request))) = parsed else {
+            return Err(format!(
+                "journal: request {}: journaled line is not a submission",
+                r.id
+            ));
+        };
+        clamp_budget(&mut request, args.max_budget);
+        if r.cancelled {
+            outcomes.push(RequestOutcome {
+                index: r.id as usize,
+                client: r.client.map(|c| c as usize),
+                shard: r.shard.map(|s| s as usize),
+                soc: request.soc.name().to_owned(),
+                width: request.width,
+                min_tams: request.min_tams,
+                max_tams: request.max_tams,
+                priority: request.priority,
+                kind: request.kind,
+                status: RequestStatus::Cancelled,
+                result: None,
+                results: Vec::new(),
+                error: None,
+            });
+        } else {
+            live.push((r, request));
+        }
+    }
+    if !live.is_empty() {
+        // Same queue shape (flat or sharded) and the same warm store,
+        // but no backlog cap: everything here was accepted once
+        // already, so recovery must never shed it.
+        let mut recovery_config = config.clone();
+        recovery_config.max_pending = 0;
+        let queue = ServeQueue::start(recovery_config, args.shards);
+        let mut owner = std::collections::HashMap::new();
+        for (r, request) in &live {
+            // Pin to the accept-time shard stamp, so the redo runs
+            // where the original did.
+            let id = queue
+                .submit_pinned(r.shard.map(|s| s as usize), request.clone())
+                .map_err(|e| format!("journal: request {}: resubmission failed: {e}", r.id))?;
+            owner.insert(id, *r);
+        }
+        for _ in 0..owner.len() {
+            let mut outcome = queue
+                .recv_outcome()
+                .ok_or_else(|| "journal: recovery queue died mid-replay".to_owned())?;
+            let original = owner[&outcome.index];
+            outcome.index = original.id as usize;
+            outcome.client = original.client.map(|c| c as usize);
+            outcomes.push(outcome);
+        }
+        let _ = queue.shutdown();
+    }
+    outcomes.sort_by_key(|o| o.index);
+    for outcome in &outcomes {
+        print!("{}", outcome.to_json_line());
+        journal.sealed(outcome.index);
+    }
+    Ok(())
+}
+
 /// The network front-end behind `serve --listen` / `--socket`: bind,
 /// announce the endpoint on stdout, serve clients until **stdin**
 /// closes (the operator's shutdown signal), then print the
 /// client-stamped final report.
-fn serve_net(args: &ServeArgs, config: LiveConfig) -> ExitCode {
+fn serve_net(args: &ServeArgs, config: LiveConfig, journal: Option<JournalBinding>) -> ExitCode {
     let listener = match (&args.listen, &args.socket) {
         (Some(addr), None) => NetListener::tcp(addr),
         (None, Some(path)) => NetListener::unix(path.as_str()),
@@ -694,23 +1001,36 @@ fn serve_net(args: &ServeArgs, config: LiveConfig) -> ExitCode {
     // clients (and tests) can discover it.
     println!("{{\"listening\": {}}}", json_escape(listener.addr()));
 
+    let max_budget = args.max_budget;
     let parser: tamopt::service::LineParser =
-        std::sync::Arc::new(|line: &str| match parse_serve_line(line, &load_soc)? {
+        std::sync::Arc::new(move |line: &str| match parse_serve_line(line, &load_soc)? {
             None => Ok(None),
             Some((Some(_tag), _)) => Err(
                 "@<generation> tags are only valid in trace mode, not over the network".to_owned(),
             ),
-            Some((None, ServeLine::Submit(request))) => Ok(Some(NetDirective::Submit(request))),
+            Some((None, ServeLine::Submit(mut request))) => {
+                clamp_budget(&mut request, max_budget);
+                Ok(Some(NetDirective::Submit(request)))
+            }
             Some((None, ServeLine::Cancel(id))) => Ok(Some(NetDirective::Cancel(id))),
             Some((None, ServeLine::Stats)) => Ok(Some(NetDirective::Stats)),
         });
-    let server = NetServer::start(config, args.shards, listener, parser);
+    let options = NetOptions {
+        max_inflight: args.max_inflight,
+        journal: journal.clone(),
+    };
+    let server = NetServer::start_with_options(config, args.shards, listener, parser, options);
 
     // Stdin is not a request source in network mode — it is the
     // lifetime: the server runs until it closes.
     let _ = std::io::copy(&mut std::io::stdin().lock(), &mut std::io::sink());
 
     let report = server.shutdown().expect("first shutdown");
+    // Clean shutdown: every accepted id was sealed by the router, so
+    // the journal owes nothing — truncate it to an empty header.
+    if let Some(journal) = &journal {
+        journal.compact();
+    }
     print!("{}", report.to_json());
     let failed = report.count(RequestStatus::Failed);
     if failed > 0 {
@@ -1057,6 +1377,51 @@ mod tests {
         .contains("mutually exclusive"));
         assert!(parse_serve_args(["--listen".to_string()].into_iter()).is_err());
         assert!(parse_serve_args(["--socket".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn parses_crash_safety_serve_flags() {
+        let a = parse_serve_args(std::iter::empty()).unwrap();
+        assert!(a.journal.is_none(), "journaling is opt-in");
+        assert_eq!(a.sync, SyncPolicy::default());
+        assert!(!a.break_locks);
+        assert_eq!(a.max_pending, 0, "no backlog cap by default");
+        assert_eq!(a.max_inflight, 0, "no client quota by default");
+        assert!(a.max_budget.is_none());
+        let b = parse_serve_args(
+            [
+                "--journal",
+                "req.tamjrnl",
+                "--sync",
+                "interval:4",
+                "--break-locks",
+                "--max-pending",
+                "16",
+                "--max-inflight",
+                "8",
+                "--max-budget",
+                "100000",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(b.journal.as_deref(), Some("req.tamjrnl"));
+        assert_eq!(b.sync, SyncPolicy::Interval(4));
+        assert!(b.break_locks);
+        assert_eq!(b.max_pending, 16);
+        assert_eq!(b.max_inflight, 8);
+        assert_eq!(b.max_budget, Some(100_000));
+        let c = parse_serve_args(["--sync", "always"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(c.sync, SyncPolicy::Always);
+        assert!(parse_serve_args(["--sync", "sometimes"].iter().map(|s| s.to_string())).is_err());
+        assert!(parse_serve_args(["--journal".to_string()].into_iter()).is_err());
+        assert!(parse_serve_args(["--max-pending", "x"].iter().map(|s| s.to_string())).is_err());
+        assert!(
+            parse_serve_args(["--max-budget", "0"].iter().map(|s| s.to_string()))
+                .unwrap_err()
+                .contains("at least 1")
+        );
     }
 
     #[test]

@@ -96,11 +96,12 @@ pub mod shard;
 pub use crate::batch::{run_batch, Batch, BatchConfig};
 pub use crate::chaos::{ChaosOutcome, ChaosScenario, ClientScript, ClientTranscript};
 pub use crate::live::{
-    LiveConfig, LiveQueue, PendingStat, QueueStats, RequestId, StoreBinding, SubmitError, Trace,
-    TraceAction, TraceEvent, DEFAULT_SNAPSHOT_EVERY, DEFAULT_WARM_CAPACITY,
+    JournalBinding, LiveConfig, LiveQueue, PendingStat, QueueStats, RequestId, StoreBinding,
+    SubmitError, Trace, TraceAction, TraceEvent, DEFAULT_SNAPSHOT_EVERY, DEFAULT_WARM_CAPACITY,
 };
 pub use crate::net::{
-    error_line, Frame, LineFramer, LineParser, NetDirective, NetListener, NetServer, MAX_LINE_LEN,
+    error_line, Frame, LineFramer, LineParser, NetDirective, NetListener, NetOptions, NetServer,
+    MAX_LINE_LEN,
 };
 pub use crate::report::{BatchReport, RequestOutcome, RequestStatus, ResultEntry, WIRE_VERSION};
 pub use crate::request::{Request, RequestError, RequestKind};

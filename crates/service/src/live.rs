@@ -100,6 +100,17 @@ pub struct LiveConfig {
     /// start, fed at every merge, snapshotted at generation barriers
     /// and at shutdown.
     pub store: Option<StoreBinding>,
+    /// Overload protection: upper bound on the pending (accepted, not
+    /// yet dispatched) backlog (`0` = unbounded, the default). When a
+    /// submission would exceed the cap, the weakest entry — the lowest
+    /// aged effective priority, ties shedding the newest id — makes
+    /// room: an already queued victim is reported as
+    /// [`RequestStatus::Shed`], or the incoming request itself is
+    /// refused with [`SubmitError::Overloaded`] (live) / shed with an
+    /// outcome (trace replay, where ids are positional). Deterministic:
+    /// the decision depends only on the backlog and the aging clock,
+    /// never on the wall clock.
+    pub max_pending: usize,
 }
 
 /// Default [`LiveConfig::warm_capacity`]: fingerprints cached before
@@ -190,6 +201,68 @@ impl StoreBinding {
     }
 }
 
+/// A write-ahead request journal shared across the threads that accept,
+/// cancel and seal requests (the `--journal` flag of `tamopt serve`).
+///
+/// Thin cloneable wrapper over [`tamopt_store::Journal`]: every method
+/// takes the leaf mutex for one append and demotes I/O failures to a
+/// stderr warning, mirroring [`StoreBinding`] — a sick disk degrades
+/// crash recoverability, it never takes the daemon down with it.
+#[derive(Debug, Clone)]
+pub struct JournalBinding {
+    journal: Arc<Mutex<tamopt_store::Journal>>,
+}
+
+impl JournalBinding {
+    /// Wraps an opened [`tamopt_store::Journal`].
+    pub fn new(journal: tamopt_store::Journal) -> Self {
+        JournalBinding {
+            journal: Arc::new(Mutex::new(journal)),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, tamopt_store::Journal> {
+        self.journal.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn append(&self, record: &tamopt_store::JournalRecord) {
+        if let Err(e) = self.lock().append(record) {
+            eprintln!("tamopt: journal append failed: {e}");
+        }
+    }
+
+    /// Journals an accepted submission: its global id, the client and
+    /// shard stamps (when known) and the canonical request line it can
+    /// be resubmitted from.
+    pub fn submit(&self, id: usize, client: Option<usize>, shard: Option<usize>, line: &str) {
+        self.append(&tamopt_store::JournalRecord::Submit {
+            id: id as u64,
+            client: client.map(|c| c as u64),
+            shard: shard.map(|s| s as u64),
+            line: line.to_owned(),
+        });
+    }
+
+    /// Journals an accepted cancellation of global submission `id`.
+    pub fn cancel(&self, id: usize) {
+        self.append(&tamopt_store::JournalRecord::Cancel { id: id as u64 });
+    }
+
+    /// Journals that submission `id`'s outcome reached the output — the
+    /// request no longer needs redoing after a crash.
+    pub fn sealed(&self, id: usize) {
+        self.append(&tamopt_store::JournalRecord::Sealed { id: id as u64 });
+    }
+
+    /// Truncates the journal to an empty header — the clean-shutdown
+    /// path, once every accepted request has been sealed.
+    pub fn compact(&self) {
+        if let Err(e) = self.lock().compact() {
+            eprintln!("tamopt: journal compaction failed: {e}");
+        }
+    }
+}
+
 impl Default for LiveConfig {
     fn default() -> Self {
         LiveConfig {
@@ -200,6 +273,7 @@ impl Default for LiveConfig {
             aging: 0,
             warm_capacity: DEFAULT_WARM_CAPACITY,
             store: None,
+            max_pending: 0,
         }
     }
 }
@@ -254,12 +328,22 @@ pub enum SubmitError {
     /// The queue is shutting down (or its dispatcher already finished);
     /// no new requests are accepted.
     ShutDown,
+    /// Overload protection refused the request: the backlog is at its
+    /// [`LiveConfig::max_pending`] cap and the incoming request has the
+    /// lowest aged effective priority of everything queued — shedding
+    /// it (rather than older, higher-priority work) is the
+    /// deterministic choice. The caller may retry later; the connection
+    /// or session it arrived on is unaffected.
+    Overloaded,
 }
 
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::ShutDown => f.write_str("queue is shut down"),
+            SubmitError::Overloaded => {
+                f.write_str("queue is overloaded (pending backlog at max-pending)")
+            }
         }
     }
 }
@@ -371,6 +455,10 @@ struct Dispatch {
 #[derive(Debug, Default)]
 struct State {
     pending: Vec<Pending>,
+    /// Entries evicted by overload protection, awaiting their
+    /// [`RequestStatus::Shed`] outcome at the next generation barrier
+    /// (outcomes only ever stream from the dispatcher thread).
+    shed: Vec<Pending>,
     next_id: usize,
     shutdown: bool,
     /// The most recent generation barrier the dispatcher reached — the
@@ -604,6 +692,44 @@ impl Book {
     }
 }
 
+/// The `error` note attached to every [`RequestStatus::Shed`] outcome,
+/// so shed requests are self-describing on the wire.
+const SHED_NOTE: &str =
+    "shed by overload protection: backlog at max-pending, lowest aged effective priority";
+
+/// Overload protection's victim choice, invoked with the backlog at its
+/// [`LiveConfig::max_pending`] cap and one more submission arriving.
+/// The weakest entry — the lowest aged effective priority as of the
+/// last generation barrier, ties falling on the newest id — makes room.
+/// The incoming submission would carry the largest id and has waited
+/// zero barriers, so it loses ties deliberately: admission never evicts
+/// equal-priority work that queued first.
+///
+/// Returns the evicted queued entry (handle already unregistered;
+/// caller moves it to [`State::shed`] for its barrier-time outcome), or
+/// `None` when the incoming submission itself is the weakest and must
+/// be the one shed.
+fn overload_victim(state: &mut State, aging: u32, incoming_priority: i32) -> Option<Pending> {
+    let generation = state.last_barrier;
+    let aging = i64::from(aging);
+    let effective = |p: &Pending| {
+        let waited = p.seen_at.map_or(0, |seen| generation.saturating_sub(seen));
+        i64::from(p.request.priority) + aging * i64::from(waited)
+    };
+    let (index, weakest) = state
+        .pending
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, p)| (effective(p), std::cmp::Reverse(p.id)))?;
+    if effective(weakest) < i64::from(incoming_priority) {
+        let victim = state.pending.remove(index);
+        state.handles.remove(&victim.id);
+        Some(victim)
+    } else {
+        None
+    }
+}
+
 /// An outcome carrying no result — cancelled before dispatch, or skipped
 /// because the global budget ran out first.
 fn bare_outcome(id: usize, request: &Request, status: RequestStatus) -> RequestOutcome {
@@ -717,6 +843,9 @@ pub struct LiveQueue {
     /// The aging rate of the launching config, kept for
     /// [`stats`](Self::stats) (the dispatcher owns the config itself).
     aging: u32,
+    /// The backlog cap of the launching config, kept for
+    /// [`submit`](Self::submit)'s admission check.
+    max_pending: usize,
     /// Behind a mutex so the queue is `Sync`: one thread can submit
     /// while another drains outcomes (the `tamopt serve` pattern).
     outcomes: Mutex<Receiver<RequestOutcome>>,
@@ -775,6 +904,7 @@ impl LiveQueue {
         let shared = Arc::new(Shared::default());
         let (tx, rx) = std::sync::mpsc::channel();
         let aging = config.aging;
+        let max_pending = config.max_pending;
         let dispatcher_shared = Arc::clone(&shared);
         let dispatcher = std::thread::Builder::new()
             .name("tamopt-live-dispatcher".to_owned())
@@ -783,6 +913,7 @@ impl LiveQueue {
         LiveQueue {
             shared,
             aging,
+            max_pending,
             outcomes: Mutex::new(rx),
             dispatcher: Mutex::new(Some(dispatcher)),
         }
@@ -797,11 +928,23 @@ impl LiveQueue {
     /// # Errors
     ///
     /// [`SubmitError::ShutDown`] after [`shutdown`](Self::shutdown) (or
-    /// after the dispatcher stopped because the global budget expired).
+    /// after the dispatcher stopped because the global budget expired);
+    /// [`SubmitError::Overloaded`] when the backlog is at
+    /// [`LiveConfig::max_pending`] and this request is the weakest
+    /// thing in it (lowest aged effective priority; ties shed the
+    /// newest submission). A refused request consumes no id: the queue
+    /// looks exactly as if the submission never happened, and the
+    /// caller may retry once the backlog drains.
     pub fn submit(&self, request: Request) -> Result<(RequestId, CancelHandle), SubmitError> {
         let mut state = lock(&self.shared);
         if state.shutdown {
             return Err(SubmitError::ShutDown);
+        }
+        if self.max_pending > 0 && state.pending.len() >= self.max_pending {
+            match overload_victim(&mut state, self.aging, request.priority) {
+                Some(victim) => state.shed.push(victim),
+                None => return Err(SubmitError::Overloaded),
+            }
         }
         let (budget, handle) = request.budget.clone().cancellable();
         let fingerprint = request.soc.fingerprint();
@@ -976,14 +1119,29 @@ fn dispatch(
             let fingerprint = request.soc.fingerprint();
             let id = state.next_id;
             state.next_id += 1;
-            state.handles.insert(id, handle.clone());
-            state.pending.push(Pending {
+            let entry = Pending {
                 id,
                 request: Request { budget, ..request },
-                handle,
+                handle: handle.clone(),
                 fingerprint,
                 seen_at: None,
-            });
+            };
+            // Unlike the live path, a replayed submission that loses
+            // the overload decision still consumes its id and owes a
+            // [`RequestStatus::Shed`] outcome: trace ids are positional
+            // (cancels reference them), so refusal must not renumber
+            // everything after it.
+            if config.max_pending > 0 && state.pending.len() >= config.max_pending {
+                match overload_victim(state, config.aging, entry.request.priority) {
+                    Some(victim) => state.shed.push(victim),
+                    None => {
+                        state.shed.push(entry);
+                        return;
+                    }
+                }
+            }
+            state.handles.insert(id, handle);
+            state.pending.push(entry);
         }
         TraceAction::Cancel(id) => {
             if let Some(handle) = state.handles.get(&id.0) {
@@ -1015,8 +1173,19 @@ fn dispatch(
                     apply(&mut state, events.pop_front().expect("peeked"));
                 }
             }
-            // 2. Requests cancelled before dispatch never reach the
-            // pool; their outcomes stream right here, in id order.
+            // 2. Requests shed by overload protection or cancelled
+            // before dispatch never reach the pool; their outcomes
+            // stream right here, each group in id order (shed first —
+            // eviction preceded this barrier).
+            let mut shed = std::mem::take(&mut state.shed);
+            shed.sort_by_key(|p| p.id);
+            for p in &shed {
+                state.handles.remove(&p.id);
+                book.emit(RequestOutcome {
+                    error: Some(SHED_NOTE.to_owned()),
+                    ..bare_outcome(p.id, &p.request, RequestStatus::Shed)
+                });
+            }
             let (mut cancelled, kept): (Vec<Pending>, Vec<Pending>) =
                 std::mem::take(&mut state.pending)
                     .into_iter()
@@ -1191,6 +1360,7 @@ fn dispatch(
     let mut state = lock(shared);
     state.shutdown = true;
     let mut leftovers: Vec<Pending> = std::mem::take(&mut state.pending);
+    let mut shed: Vec<Pending> = std::mem::take(&mut state.shed);
     if let Some(events) = replay.as_mut() {
         // Submissions the truncated replay never injected still owe an
         // outcome — inject them now, straight into the leftovers.
@@ -1198,10 +1368,19 @@ fn dispatch(
             apply(&mut state, event);
         }
         leftovers.append(&mut state.pending);
+        shed.append(&mut state.shed);
     }
     // The queue is sealed: no handle can reach anything anymore.
     state.handles.clear();
     drop(state);
+    // Evictions that never saw another barrier still owe their outcome.
+    shed.sort_by_key(|p| p.id);
+    for p in &shed {
+        book.emit(RequestOutcome {
+            error: Some(SHED_NOTE.to_owned()),
+            ..bare_outcome(p.id, &p.request, RequestStatus::Shed)
+        });
+    }
     leftovers.sort_by_key(|p| p.id);
     for p in &leftovers {
         let status = if p.handle.is_cancelled() {

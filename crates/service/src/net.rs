@@ -51,7 +51,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::live::{LiveConfig, LiveQueue, RequestId, SubmitError};
+use crate::live::{JournalBinding, LiveConfig, LiveQueue, RequestId, SubmitError};
 use crate::report::{json_string, BatchReport, RequestOutcome, WIRE_VERSION};
 use crate::request::Request;
 use crate::shard::ShardedQueue;
@@ -171,8 +171,11 @@ pub type LineParser = Arc<dyn Fn(&str) -> Result<Option<NetDirective>, String> +
 ///
 /// Stable codes: `parse` (malformed line), `oversized` (line beyond
 /// [`MAX_LINE_LEN`]), `unknown-id` (cancel outside the caller's
-/// namespace), `shutdown` (submit after the server sealed), and
-/// `unsupported` (directive not available in this mode).
+/// namespace), `shutdown` (submit after the server sealed),
+/// `unsupported` (directive not available in this mode), and
+/// `overloaded` (load shed: the backlog is at its cap and this request
+/// was the weakest, or the caller is at its in-flight quota — the
+/// connection survives; retry after draining).
 pub fn error_line(client: usize, code: &str, detail: &str) -> String {
     format!(
         "{{\"v\": {}, \"client\": {}, \"error\": {}, \"detail\": {}}}\n",
@@ -337,6 +340,13 @@ impl Queue {
         }
     }
 
+    fn shard_of(&self, id: RequestId) -> Option<usize> {
+        match self {
+            Queue::Flat(_) => None,
+            Queue::Sharded(q) => q.shard_of(id),
+        }
+    }
+
     fn cancel(&self, id: RequestId) -> bool {
         match self {
             Queue::Flat(q) => q.cancel(id),
@@ -397,6 +407,12 @@ struct Shared {
     mux: Mutex<Mux>,
     shutdown: AtomicBool,
     parser: LineParser,
+    /// Per-client in-flight quota ([`NetOptions::max_inflight`]).
+    max_inflight: usize,
+    /// Write-ahead request journal ([`NetOptions::journal`]): accepted
+    /// submissions and cancellations append at accept time, outcomes
+    /// seal as they stream.
+    journal: Option<JournalBinding>,
     /// Reader and writer thread handles, joined at shutdown.
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -443,20 +459,34 @@ impl Shared {
                     lock(&self.mux).respond(client, error_line(client, "parse", &detail));
                 }
                 Ok(None) => {}
-                Ok(Some(NetDirective::Submit(request))) => self.submit(client, request),
+                Ok(Some(NetDirective::Submit(request))) => self.submit(client, request, &text),
                 Ok(Some(NetDirective::Cancel(local))) => self.cancel(client, local),
                 Ok(Some(NetDirective::Stats)) => self.stats(client),
             },
         }
     }
 
-    fn submit(&self, client: usize, request: Request) {
+    fn submit(&self, client: usize, request: Request, line: &str) {
         // The mux lock is held across the queue submit (the queue's own
         // locks nest inside it; the router takes the mux lock alone) so
         // the router can never see a global id before its owner entry.
         let mut mux = lock(&self.mux);
         if mux.clients[client].disconnected {
             return;
+        }
+        // Per-client quota: one greedy client cannot crowd out its
+        // siblings. Refused submissions consume no id (local or
+        // global) — the client retries after draining an outcome.
+        if self.max_inflight > 0 {
+            let outstanding = mux.outstanding.values().filter(|o| o.0 == client).count();
+            if outstanding >= self.max_inflight {
+                let detail = format!(
+                    "client has {outstanding} request(s) in flight (quota {}); drain an outcome and retry",
+                    self.max_inflight
+                );
+                mux.respond(client, error_line(client, "overloaded", &detail));
+                return;
+            }
         }
         match self.queue.submit(request) {
             Ok(id) => {
@@ -466,11 +496,32 @@ impl Shared {
                 slot.globals.push(global);
                 mux.outstanding.insert(global, (client, local));
                 mux.stamps.insert(global, (client, local));
+                // Journal at accept, inside the mux lock: the append
+                // lands before any later accept (or this request's own
+                // seal) can, so journal order matches accept order. The
+                // shard stamp records where routing placed it, so
+                // recovery re-runs it on the same shard.
+                if let Some(journal) = &self.journal {
+                    journal.submit(global, Some(client), self.queue.shard_of(id), line);
+                }
             }
             Err(SubmitError::ShutDown) => {
                 mux.respond(
                     client,
                     error_line(client, "shutdown", "the server is shutting down"),
+                );
+            }
+            // Queue-level load shedding decided this incoming request
+            // is the weakest thing in a full backlog. The connection
+            // survives; nothing was enqueued.
+            Err(SubmitError::Overloaded) => {
+                mux.respond(
+                    client,
+                    error_line(
+                        client,
+                        "overloaded",
+                        "backlog at max-pending and this request has the lowest aged effective priority; retry later",
+                    ),
                 );
             }
         }
@@ -488,8 +539,12 @@ impl Shared {
         }
         // In-namespace cancels of already-finished requests are silent
         // no-ops, matching LiveQueue::cancel semantics.
-        self.queue
-            .cancel(RequestId::from(mux.clients[client].globals[local]));
+        let global = mux.clients[client].globals[local];
+        if self.queue.cancel(RequestId::from(global)) {
+            if let Some(journal) = &self.journal {
+                journal.cancel(global);
+            }
+        }
     }
 
     fn stats(&self, client: usize) {
@@ -526,6 +581,23 @@ impl Shared {
 // ---------------------------------------------------------------------------
 // The server
 
+/// Front-end tunables beyond the queue's own [`LiveConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct NetOptions {
+    /// Per-client in-flight quota (`0` = unbounded, the default): a
+    /// client with this many submissions outstanding gets an
+    /// `overloaded` [`error_line`] instead of an accepted id, so one
+    /// greedy client cannot monopolize the backlog. The connection is
+    /// unaffected; draining one outcome frees one slot.
+    pub max_inflight: usize,
+    /// Optional write-ahead request journal (`--journal`): accepted
+    /// submissions append before the accept returns, cancellations at
+    /// accept, and every streamed outcome seals its id — so a killed
+    /// daemon can deterministically resubmit exactly the
+    /// accepted-but-unsealed set on restart.
+    pub journal: Option<JournalBinding>,
+}
+
 /// A running multi-client front-end. See the [module docs](self) for
 /// the protocol and disconnect semantics.
 pub struct NetServer {
@@ -548,6 +620,18 @@ impl NetServer {
         listener: NetListener,
         parser: LineParser,
     ) -> Self {
+        Self::start_with_options(config, shards, listener, parser, NetOptions::default())
+    }
+
+    /// [`start`](Self::start) with explicit front-end tunables (the
+    /// `--max-inflight` path of `tamopt serve`).
+    pub fn start_with_options(
+        config: LiveConfig,
+        shards: Option<usize>,
+        listener: NetListener,
+        parser: LineParser,
+        options: NetOptions,
+    ) -> Self {
         let queue = match shards {
             None => Queue::Flat(LiveQueue::start(config)),
             Some(n) => Queue::Sharded(ShardedQueue::start(config, n)),
@@ -559,6 +643,8 @@ impl NetServer {
             mux: Mutex::new(Mux::default()),
             shutdown: AtomicBool::new(false),
             parser,
+            max_inflight: options.max_inflight,
+            journal: options.journal,
             workers: Mutex::new(Vec::new()),
         });
 
@@ -752,6 +838,12 @@ fn register(shared: &Arc<Shared>, conn: Conn) {
 /// still removed, so a disconnect never leaks bookkeeping.
 fn router_loop(shared: &Arc<Shared>) {
     while let Some(outcome) = shared.queue.recv_outcome() {
+        // Seal before routing, and regardless of whether the owner is
+        // still connected: the outcome has merged, so a crash from here
+        // on must not redo the request.
+        if let Some(journal) = &shared.journal {
+            journal.sealed(outcome.index);
+        }
         let mut mux = lock(&shared.mux);
         let Some((client, local)) = mux.outstanding.remove(&outcome.index) else {
             continue;

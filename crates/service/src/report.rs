@@ -31,6 +31,11 @@ pub enum RequestStatus {
     Cancelled,
     /// Never dispatched — the batch-global budget ran out first.
     Skipped,
+    /// Never dispatched — evicted by overload protection: the backlog
+    /// was at its [`max_pending`](crate::LiveConfig::max_pending) cap
+    /// and this request had the lowest aged effective priority; see
+    /// [`RequestOutcome::error`] for the shedding note.
+    Shed,
     /// The request itself was invalid (e.g. zero width); see
     /// [`RequestOutcome::error`].
     Failed,
@@ -44,6 +49,7 @@ impl RequestStatus {
             RequestStatus::Partial => "partial",
             RequestStatus::Cancelled => "cancelled",
             RequestStatus::Skipped => "skipped",
+            RequestStatus::Shed => "shed",
             RequestStatus::Failed => "failed",
         }
     }
@@ -468,6 +474,7 @@ mod tests {
             (RequestStatus::Partial, "partial"),
             (RequestStatus::Cancelled, "cancelled"),
             (RequestStatus::Skipped, "skipped"),
+            (RequestStatus::Shed, "shed"),
             (RequestStatus::Failed, "failed"),
         ] {
             assert_eq!(status.as_str(), name);

@@ -344,7 +344,11 @@ impl ShardedQueue {
     ///
     /// # Errors
     ///
-    /// [`SubmitError::ShutDown`] after [`shutdown`](Self::shutdown).
+    /// [`SubmitError::ShutDown`] after [`shutdown`](Self::shutdown);
+    /// [`SubmitError::Overloaded`] when the routed shard's backlog is
+    /// at [`LiveConfig::max_pending`] (the cap is per shard) and this
+    /// request is its weakest entry. Either way the speculative global
+    /// id is unwound — a refused submission consumes nothing.
     pub fn submit(&self, request: Request) -> Result<(RequestId, CancelHandle), SubmitError> {
         // The route lock is held across the shard submit so local ids
         // assigned by the shard queue stay in lock-step with the
@@ -366,6 +370,41 @@ impl ShardedQueue {
                 Err(err)
             }
         }
+    }
+
+    /// Submits `request` pinned to `shard` (wrapped into range),
+    /// bypassing fingerprint routing — the recovery path uses this to
+    /// re-run a journalled request on the shard that originally
+    /// accepted it.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit).
+    pub fn submit_pinned(
+        &self,
+        shard: usize,
+        request: Request,
+    ) -> Result<(RequestId, CancelHandle), SubmitError> {
+        let mut table = lock(&self.route);
+        let (shard, _local) = table.assign(request.soc.fingerprint(), Some(shard));
+        match self.shards[shard].submit(request) {
+            Ok((_id, handle)) => Ok((RequestId::from(table.owner.len() - 1), handle)),
+            Err(err) => {
+                table.owner.pop();
+                table.global_of[shard].pop();
+                table.loads[shard] -= 1;
+                Err(err)
+            }
+        }
+    }
+
+    /// The shard that accepted global submission `id`, or `None` for
+    /// unknown ids — the accept-time stamp the journal records.
+    pub fn shard_of(&self, id: RequestId) -> Option<usize> {
+        lock(&self.route)
+            .owner
+            .get(id.index())
+            .map(|&(shard, _)| shard)
     }
 
     /// Cancels global submission `id` on its owning shard; `false` for

@@ -46,11 +46,13 @@ use std::sync::{Arc, Mutex};
 
 mod columns;
 mod format;
+pub mod journal;
 mod lock;
 pub mod upgrade;
 pub mod version;
 
 pub use columns::CostColumns;
+pub use journal::{Journal, JournalRecord, OpenedJournal, RecoveredRequest, SyncPolicy};
 
 /// One recorded incumbent: an architecture's testing time achieved at a
 /// width with a TAM count.
@@ -80,11 +82,20 @@ pub struct StoreConfig {
     /// Maximum number of fingerprints kept; the least recently used is
     /// evicted first. `0` means unbounded.
     pub max_entries: usize,
+    /// Whether [`Store::save`] fsyncs before the rename.
+    /// [`SyncPolicy::Never`] skips the device barrier (the rename is
+    /// still atomic, but a power loss can roll the file back); any
+    /// other policy syncs — a whole-image save has no append interval
+    /// to batch over.
+    pub sync: SyncPolicy,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { max_entries: 1024 }
+        StoreConfig {
+            max_entries: 1024,
+            sync: SyncPolicy::Always,
+        }
     }
 }
 
@@ -410,7 +421,9 @@ impl Store {
             use std::io::Write as _;
             let mut file = std::fs::File::create(&tmp)?;
             file.write_all(&bytes)?;
-            file.sync_all()?;
+            if self.config.sync != SyncPolicy::Never {
+                file.sync_all()?;
+            }
         }
         std::fs::rename(&tmp, &path)?;
         self.dirty = false;
@@ -452,7 +465,10 @@ mod tests {
 
     #[test]
     fn lru_eviction_drops_the_oldest() {
-        let mut store = Store::in_memory(StoreConfig { max_entries: 2 });
+        let mut store = Store::in_memory(StoreConfig {
+            max_entries: 2,
+            ..StoreConfig::default()
+        });
         store.record_incumbent(1, 8, 1, 100);
         store.record_incumbent(2, 8, 1, 200);
         // Touch 1 so 2 becomes the LRU victim.
@@ -483,7 +499,14 @@ mod tests {
         assert!(store.get(10).is_some()); // 20 is now oldest
         let bytes = store.to_bytes();
         // Reload under a cap of 1: only the most recent (10) survives.
-        let reloaded = Store::from_bytes(&bytes, StoreConfig { max_entries: 1 }).unwrap();
+        let reloaded = Store::from_bytes(
+            &bytes,
+            StoreConfig {
+                max_entries: 1,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
         assert_eq!(reloaded.len(), 1);
         assert!(reloaded.peek(10).is_some());
     }

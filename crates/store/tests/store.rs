@@ -208,14 +208,28 @@ fn corrupt_open_rewrites_clean_on_save() {
 fn eviction_cap_persists_across_reloads() {
     let scratch = Scratch::new();
     {
-        let mut store = Store::open(&scratch.path, StoreConfig { max_entries: 3 }).unwrap();
+        let mut store = Store::open(
+            &scratch.path,
+            StoreConfig {
+                max_entries: 3,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
         for fingerprint in 1..=5u64 {
             store.record_incumbent(fingerprint, 8, 1, fingerprint);
         }
         assert_eq!(store.len(), 3, "cap enforced while recording");
         store.save().unwrap();
     }
-    let store = Store::open(&scratch.path, StoreConfig { max_entries: 3 }).unwrap();
+    let store = Store::open(
+        &scratch.path,
+        StoreConfig {
+            max_entries: 3,
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
     assert_eq!(store.len(), 3);
     for fingerprint in [3u64, 4, 5] {
         assert!(store.peek(fingerprint).is_some(), "newest three survive");

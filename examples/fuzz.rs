@@ -8,7 +8,14 @@
 //! * the framed network protocol ([`tamopt::service::LineFramer`] +
 //!   the serve grammar): split, merged, oversized and interleaved
 //!   lines must frame chunking-invariantly and answer with error
-//!   lines — never a panic or a wedged connection.
+//!   lines — never a panic or a wedged connection,
+//! * whole tagged submit/cancel **traces** ([`tamopt::service::Trace`]
+//!   / [`ShardTrace`]): structure-aware generation whose oracle is the
+//!   workspace invariant itself — replays are byte-identical across
+//!   threads and winner-identical across shard shapes, a store-backed
+//!   restart mid-trace redoes the tail with identical winners and
+//!   never more work, and the write-ahead journal round-trips its
+//!   records (and tolerates arbitrary corruption) across a reopen.
 //!
 //! This is **not** cargo-fuzz: the build container has no crates.io
 //! access, so the harness is a plain example over the vendored `rand`
@@ -22,7 +29,7 @@
 //!
 //! ```text
 //! cargo run --release --example fuzz -- [--iters N] [--seed S] \
-//!     [--surface all|manifest|serve|itc02|store|net]
+//!     [--surface all|manifest|serve|itc02|store|net|trace]
 //! ```
 //!
 //! On any violation the offending input is written to `fuzz-failures/`
@@ -33,17 +40,21 @@ use std::process::ExitCode;
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use tamopt::cli::{parse_manifest, parse_serve_line};
-use tamopt::service::{error_line, Frame, LineFramer, MAX_LINE_LEN};
+use tamopt::service::{
+    error_line, Frame, LineFramer, LiveConfig, LiveQueue, Request, RequestOutcome, ShardTrace,
+    ShardedQueue, StoreBinding, Trace, MAX_LINE_LEN,
+};
 use tamopt::soc::itc02::{parse_itc02, write_itc02};
 use tamopt::soc::{
     benchmarks,
     generator::{CoreClass, SocSpec},
     Soc,
 };
-use tamopt::store::{CostColumns, Store, StoreConfig};
+use tamopt::store::journal::{decode as decode_journal, unsealed};
+use tamopt::store::{CostColumns, Journal, JournalRecord, Store, StoreConfig, SyncPolicy};
 use tamopt::TimeTable;
 
-const SURFACES: [&str; 5] = ["manifest", "serve", "itc02", "store", "net"];
+const SURFACES: [&str; 6] = ["manifest", "serve", "itc02", "store", "net", "trace"];
 const BENCHES: [&str; 4] = ["d695", "p21241", "p31108", "p93791"];
 
 /// The in-memory SOC resolver: benchmark names only, no filesystem, so
@@ -59,7 +70,9 @@ fn resolve(name: &str) -> Result<Soc, String> {
 }
 
 fn usage() -> String {
-    "usage: fuzz [--iters N] [--seed S] [--surface all|manifest|serve|itc02|store|net]".to_owned()
+    "usage: fuzz [--iters N] [--seed S] \
+     [--surface all|manifest|serve|itc02|store|net|trace]"
+        .to_owned()
 }
 
 struct Args {
@@ -492,6 +505,468 @@ fn fuzz_net(s: &mut Session, iters: u64) {
     }
 }
 
+/// One event of a generated trace, kept structured so the same steps
+/// build a flat [`Trace`], a [`ShardTrace`], a journal record stream
+/// and a failure artifact.
+enum TraceStep {
+    Submit {
+        generation: u32,
+        request: Request,
+        /// Explicit shard pin for the sharded builds (`None` = routed).
+        pin: Option<usize>,
+    },
+    Cancel {
+        generation: u32,
+        id: usize,
+    },
+}
+
+/// A structure-aware random trace: submits against the fast benchmark
+/// SOCs plus cancels that always reference an earlier submission. No
+/// budgets or deadlines — the oracle is bit-identity, and those only
+/// truncate.
+fn gen_trace_steps(rng: &mut StdRng) -> Vec<TraceStep> {
+    let mut steps = Vec::new();
+    let mut submitted = 0usize;
+    let mut generation = 0u32;
+    for _ in 0..rng.gen_range(3..=7u32) {
+        generation += rng.gen_range(0..=1u32);
+        if submitted > 0 && rng.gen_range(0u32..5) == 0 {
+            steps.push(TraceStep::Cancel {
+                generation,
+                id: rng.gen_range(0..submitted),
+            });
+        } else {
+            let soc = resolve(["d695", "p21241", "p31108"][rng.gen_range(0..3usize)])
+                .expect("benchmark SOCs resolve");
+            let width = rng.gen_range(8..=24u32);
+            let request = Request::new(soc, width)
+                .expect("widths >= 8 are valid")
+                .max_tams(rng.gen_range(1..=3u32))
+                .priority(rng.gen_range(0..=9u32) as i32);
+            let pin = rng.gen::<bool>().then(|| rng.gen_range(0..4usize));
+            steps.push(TraceStep::Submit {
+                generation,
+                request,
+                pin,
+            });
+            submitted += 1;
+        }
+    }
+    steps
+}
+
+fn flat_trace(steps: &[TraceStep]) -> Trace {
+    steps.iter().fold(Trace::new(), |trace, step| match step {
+        TraceStep::Submit {
+            generation,
+            request,
+            ..
+        } => trace.submit_at(*generation, request.clone()),
+        TraceStep::Cancel { generation, id } => trace.cancel_at(*generation, *id),
+    })
+}
+
+fn shard_trace(steps: &[TraceStep]) -> ShardTrace {
+    steps
+        .iter()
+        .fold(ShardTrace::new(), |trace, step| match step {
+            TraceStep::Submit {
+                generation,
+                request,
+                pin: Some(shard),
+            } => trace.submit_pinned_at(*generation, *shard, request.clone()),
+            TraceStep::Submit {
+                generation,
+                request,
+                pin: None,
+            } => trace.submit_at(*generation, request.clone()),
+            TraceStep::Cancel { generation, id } => trace.cancel_at(*generation, *id),
+        })
+}
+
+/// Human-readable step list, the failure artifact for this surface.
+fn render_steps(steps: &[TraceStep]) -> String {
+    let mut text = String::new();
+    for step in steps {
+        match step {
+            TraceStep::Submit {
+                generation,
+                request,
+                pin,
+            } => {
+                let pin = pin.map_or(String::new(), |shard| format!("/{shard}"));
+                text.push_str(&format!(
+                    "@{generation}{pin} {} {} {} priority={}\n",
+                    request.soc.name(),
+                    request.width,
+                    request.max_tams,
+                    request.priority
+                ));
+            }
+            TraceStep::Cancel { generation, id } => {
+                text.push_str(&format!("@{generation} cancel {id}\n"));
+            }
+        }
+    }
+    text
+}
+
+/// The winner fields of an outcome line: the shard stamp (a routing
+/// artifact across shard shapes) and the prune-statistics tail (warm
+/// seeds record less work) are stripped; everything else must be
+/// byte-identical.
+fn outcome_winner(outcome: &RequestOutcome) -> String {
+    let line = outcome.to_json_line();
+    let head = line.split(", \"stats\": ").next().unwrap_or(&line);
+    match (head.find(", \"shard\": "), head.find(", \"soc\": ")) {
+        (Some(start), Some(end)) if start < end => format!("{}{}", &head[..start], &head[end..]),
+        _ => head.to_owned(),
+    }
+}
+
+/// The winner views of an outcome stream, ordered by submission id.
+fn winners_by_id(outcomes: &[RequestOutcome]) -> Vec<String> {
+    let mut winners: Vec<(usize, String)> = outcomes
+        .iter()
+        .map(|outcome| (outcome.index, outcome_winner(outcome)))
+        .collect();
+    winners.sort_by_key(|&(index, _)| index);
+    winners.into_iter().map(|(_, winner)| winner).collect()
+}
+
+/// Completed heuristic evaluations of one outcome — the "work" in the
+/// work-strictly-shrinks warm-start invariant.
+fn completed_evals(outcome: &RequestOutcome) -> u64 {
+    let line = outcome.to_json_line();
+    line.rfind("\"completed\": ")
+        .and_then(|at| {
+            let rest = &line[at + "\"completed\": ".len()..];
+            let end = rest.find([',', '}'])?;
+            rest[..end].trim().parse().ok()
+        })
+        .unwrap_or(0)
+}
+
+/// A fresh [`LiveConfig`] for trace replay, optionally store-backed.
+fn trace_config(threads: usize, store: Option<StoreBinding>) -> LiveConfig {
+    let mut config = LiveConfig::with_threads(threads);
+    config.store = store;
+    config
+}
+
+fn fuzz_trace(s: &mut Session, iters: u64) {
+    // Every case replays real co-optimizations a dozen ways; scale the
+    // budget down so `--surface all` stays minutes, not hours.
+    let iters = (iters / 10).max(5);
+    for case in 0..iters {
+        let steps = gen_trace_steps(&mut s.rng);
+        let artifact = render_steps(&steps);
+        let (reference, _) = LiveQueue::replay(flat_trace(&steps), trace_config(1, None));
+        let cold_lines: Vec<String> = reference.iter().map(RequestOutcome::to_json_line).collect();
+        // Streams interleave cancellations and completions; key the
+        // winner views by submission id so differently-ordered streams
+        // (sharded replay goes shard-by-shard) compare request-wise.
+        let cold_winners: Vec<String> = winners_by_id(&reference);
+
+        // Oracle 1a: flat replay is byte-identical across threads.
+        for threads in [2, 8] {
+            let (outcomes, _) = LiveQueue::replay(flat_trace(&steps), trace_config(threads, None));
+            let lines: Vec<String> = outcomes.iter().map(RequestOutcome::to_json_line).collect();
+            if lines != cold_lines {
+                s.fail(
+                    "trace",
+                    case,
+                    format!("flat replay drifted at {threads} threads"),
+                    artifact.as_bytes(),
+                );
+            }
+        }
+        // Oracle 1b: per shard count byte-identical across threads, and
+        // winner-identical to the flat replay across shard shapes.
+        for shards in [1, 2, 4] {
+            let (base, _) =
+                ShardedQueue::replay(shard_trace(&steps), trace_config(1, None), shards);
+            let base_lines: Vec<String> = base.iter().map(RequestOutcome::to_json_line).collect();
+            for threads in [2, 8] {
+                let (outcomes, _) =
+                    ShardedQueue::replay(shard_trace(&steps), trace_config(threads, None), shards);
+                let lines: Vec<String> =
+                    outcomes.iter().map(RequestOutcome::to_json_line).collect();
+                if lines != base_lines {
+                    s.fail(
+                        "trace",
+                        case,
+                        format!("sharded replay drifted at {shards} shards, {threads} threads"),
+                        artifact.as_bytes(),
+                    );
+                }
+            }
+            let winners = winners_by_id(&base);
+            if winners != cold_winners {
+                let diff = winners
+                    .iter()
+                    .zip(&cold_winners)
+                    .find(|(sharded, flat)| sharded != flat)
+                    .map(|(sharded, flat)| format!("\n  flat:    {flat}\n  sharded: {sharded}"))
+                    .unwrap_or_default();
+                s.fail(
+                    "trace",
+                    case,
+                    format!("winners drifted between flat and {shards}-shard replay{diff}"),
+                    artifact.as_bytes(),
+                );
+            }
+        }
+
+        // Oracle 2: a store-backed restart mid-trace. A prefix run
+        // warms a store; the store round-trips through bytes (the
+        // restart); re-running the whole trace against the warmed
+        // store — the trace is its own recovery script — must produce
+        // identical winners with no more work per request.
+        let max_generation = steps
+            .iter()
+            .map(|step| match step {
+                TraceStep::Submit { generation, .. } | TraceStep::Cancel { generation, .. } => {
+                    *generation
+                }
+            })
+            .max()
+            .unwrap_or(0);
+        let split = s.rng.gen_range(0..=max_generation);
+        let prefix: Vec<TraceStep> = steps
+            .iter()
+            .filter(|step| match step {
+                TraceStep::Submit { generation, .. } | TraceStep::Cancel { generation, .. } => {
+                    *generation < split
+                }
+            })
+            .map(|step| match step {
+                TraceStep::Submit {
+                    generation,
+                    request,
+                    pin,
+                } => TraceStep::Submit {
+                    generation: *generation,
+                    request: request.clone(),
+                    pin: *pin,
+                },
+                TraceStep::Cancel { generation, id } => TraceStep::Cancel {
+                    generation: *generation,
+                    id: *id,
+                },
+            })
+            .collect();
+        // Cancels reference submission ids; a time-prefix only ever
+        // references its own submissions, but a cancel of an id whose
+        // submit sits at the same generation may cross the cut — drop
+        // those to keep the prefix self-contained.
+        let prefix_submits = prefix
+            .iter()
+            .filter(|step| matches!(step, TraceStep::Submit { .. }))
+            .count();
+        let prefix: Vec<TraceStep> = prefix
+            .into_iter()
+            .filter(|step| match step {
+                TraceStep::Cancel { id, .. } => *id < prefix_submits,
+                TraceStep::Submit { .. } => true,
+            })
+            .collect();
+        let warm_binding = StoreBinding::new(Store::in_memory(StoreConfig::default()));
+        let _ = LiveQueue::replay(
+            flat_trace(&prefix),
+            trace_config(2, Some(warm_binding.clone())),
+        );
+        let bytes = warm_binding.store.lock().map(|store| store.to_bytes());
+        let revived = bytes
+            .ok()
+            .and_then(|bytes| Store::from_bytes(&bytes, StoreConfig::default()).ok());
+        match revived {
+            None => s.fail(
+                "trace",
+                case,
+                "warmed store did not survive a byte round-trip".to_owned(),
+                artifact.as_bytes(),
+            ),
+            Some(revived) => {
+                let binding = StoreBinding::new(revived);
+                let (warm, _) =
+                    LiveQueue::replay(flat_trace(&steps), trace_config(2, Some(binding)));
+                if winners_by_id(&warm) != cold_winners {
+                    s.fail(
+                        "trace",
+                        case,
+                        format!("winners drifted across a restart at generation {split}"),
+                        artifact.as_bytes(),
+                    );
+                }
+                let cold_work: std::collections::BTreeMap<usize, u64> = reference
+                    .iter()
+                    .map(|outcome| (outcome.index, completed_evals(outcome)))
+                    .collect();
+                for warm in &warm {
+                    let cold = cold_work.get(&warm.index).copied().unwrap_or(0);
+                    if completed_evals(warm) > cold {
+                        s.fail(
+                            "trace",
+                            case,
+                            format!(
+                                "request {} did more work warm ({}) than cold ({cold})",
+                                warm.index,
+                                completed_evals(warm)
+                            ),
+                            artifact.as_bytes(),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Oracle 3: the write-ahead journal round-trips the trace's
+        // accept-time records across a reopen, and `unsealed` recovers
+        // exactly the unanswered ids; mutated journal bytes decode
+        // leniently (torn tails) or reject — never a panic.
+        fuzz_trace_journal(s, case, &steps, artifact.as_bytes());
+    }
+}
+
+/// The journal leg of the trace surface: real file round-trip plus
+/// byte-level corruption.
+fn fuzz_trace_journal(s: &mut Session, case: u64, steps: &[TraceStep], artifact: &[u8]) {
+    let dir = std::env::temp_dir().join(format!("tamopt-fuzz-{}-{case}", std::process::id()));
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join("trace.tamjrnl");
+    let mut written = Vec::new();
+    let mut submits: Vec<u64> = Vec::new();
+    let mut cancelled = std::collections::BTreeSet::new();
+    let mut sealed = std::collections::BTreeSet::new();
+    {
+        let policy = match s.rng.gen_range(0u32..3) {
+            0 => SyncPolicy::Always,
+            1 => SyncPolicy::Interval(s.rng.gen_range(1..=8u32)),
+            _ => SyncPolicy::Never,
+        };
+        let mut journal = match Journal::open(&path, policy) {
+            Ok(opened) => opened.journal,
+            Err(e) => {
+                s.fail("trace", case, format!("journal open failed: {e}"), artifact);
+                let _ = std::fs::remove_dir_all(&dir);
+                return;
+            }
+        };
+        for (id, step) in steps.iter().enumerate() {
+            let id = id as u64;
+            let record = match step {
+                TraceStep::Submit { request, pin, .. } => {
+                    submits.push(id);
+                    JournalRecord::Submit {
+                        id,
+                        client: s.rng.gen::<bool>().then(|| s.rng.gen_range(0..4u64)),
+                        shard: pin.map(|shard| shard as u64),
+                        line: format!(
+                            "{} {} {}",
+                            request.soc.name(),
+                            request.width,
+                            request.max_tams
+                        ),
+                    }
+                }
+                TraceStep::Cancel { id: target, .. } => {
+                    cancelled.insert(*target as u64);
+                    JournalRecord::Cancel { id: *target as u64 }
+                }
+            };
+            written.push(record.clone());
+            if journal.append(&record).is_err() {
+                s.fail("trace", case, "journal append failed".to_owned(), artifact);
+            }
+            // Seal a random subset of what is in flight.
+            if s.rng.gen_range(0u32..3) == 0 {
+                if let Some(&id) = submits.iter().find(|id| !sealed.contains(*id)) {
+                    sealed.insert(id);
+                    let record = JournalRecord::Sealed { id };
+                    written.push(record.clone());
+                    if journal.append(&record).is_err() {
+                        s.fail("trace", case, "journal append failed".to_owned(), artifact);
+                    }
+                }
+            }
+        }
+    }
+    // Reopen: the records must round-trip exactly, and the unsealed
+    // set must be precisely the accepted-but-unanswered ids with their
+    // cancellation flags.
+    match Journal::open(&path, SyncPolicy::Never) {
+        Ok(opened) => {
+            if opened.records != written {
+                s.fail(
+                    "trace",
+                    case,
+                    "journal records did not round-trip a reopen".to_owned(),
+                    artifact,
+                );
+            }
+            if !opened.warnings.is_empty() {
+                s.fail(
+                    "trace",
+                    case,
+                    format!("clean journal warned on reopen: {:?}", opened.warnings),
+                    artifact,
+                );
+            }
+            let recovered = unsealed(&opened.records);
+            let want: Vec<u64> = submits
+                .iter()
+                .copied()
+                .filter(|id| !sealed.contains(id))
+                .collect();
+            let got: Vec<u64> = recovered.iter().map(|r| r.id).collect();
+            if got != want {
+                s.fail(
+                    "trace",
+                    case,
+                    format!("unsealed recovered {got:?}, accepted-but-unsealed is {want:?}"),
+                    artifact,
+                );
+            }
+            for r in &recovered {
+                if r.cancelled != cancelled.contains(&r.id) {
+                    s.fail(
+                        "trace",
+                        case,
+                        format!("request {} lost its cancellation flag", r.id),
+                        artifact,
+                    );
+                }
+            }
+        }
+        Err(e) => s.fail(
+            "trace",
+            case,
+            format!("journal reopen failed: {e}"),
+            artifact,
+        ),
+    }
+    // Corruption leg: mutated bytes must decode leniently or reject —
+    // never panic — and a reopen of the mutated file must not either.
+    if let Ok(bytes) = std::fs::read(&path) {
+        let mut mutated = bytes;
+        mutate(&mut s.rng, &mut mutated);
+        s.must_not_panic("trace", case, &mutated, || {
+            let _ = decode_journal(&mutated);
+        });
+        let torn = dir.join("torn.tamjrnl");
+        if std::fs::write(&torn, &mutated).is_ok() {
+            s.must_not_panic("trace", case, &mutated, || {
+                let _ = Journal::open(&torn, SyncPolicy::Never);
+            });
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -533,6 +1008,9 @@ fn main() -> ExitCode {
     }
     if run("net") {
         fuzz_net(&mut session, args.iters);
+    }
+    if run("trace") {
+        fuzz_trace(&mut session, args.iters);
     }
     let _ = std::panic::take_hook();
 
